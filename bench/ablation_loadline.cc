@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Design-space ablation: VRM remote-sense / load-line regulation on
+ * the single-layer baselines (paper Section II-C: "static IR-drop
+ * ... can be effectively tamed by circuit techniques such as load
+ * line regulation").
+ *
+ * With remote sense off, the VRM holds a fixed (pre-compensated)
+ * setpoint and the die rail wanders with load; with it on, the
+ * output servos so the mean rail tracks 1 V.  The voltage-stacked
+ * configurations have no knob like this — inherent voltage division
+ * sets the layer rails — which is why the paper needs the CR-IVR +
+ * smoothing stack instead.
+ */
+
+#include "bench/bench_util.hh"
+
+using namespace vsgpu;
+
+namespace
+{
+
+struct Row
+{
+    double meanV;
+    double minV;
+    double pde;
+};
+
+Row
+run(Benchmark b, bool remoteSense)
+{
+    CosimConfig cfg;
+    cfg.pds = defaultPds(PdsKind::ConventionalVrm);
+    cfg.vrmRemoteSense = remoteSense;
+    cfg.maxCycles = 120000;
+    const CosimResult r = CoSimulator(cfg).run(
+        bench::benchWorkload(b, bench::sweepBenchInstrs));
+    return {r.meanVoltage, r.minVoltage, r.energy.pde()};
+}
+
+} // namespace
+
+int
+main()
+{
+    setLogQuiet(true);
+    bench::banner("ablation: VRM load-line regulation",
+                  "remote-sense servo on the conventional baseline");
+
+    Table table("per-benchmark rail regulation");
+    table.setHeader({"benchmark", "mean V (fixed)", "mean V (servo)",
+                     "min V (fixed)", "min V (servo)",
+                     "PDE (servo)"});
+    double fixedErr = 0.0, servoErr = 0.0;
+    const Benchmark set[] = {Benchmark::Heartwall, Benchmark::Bfs,
+                             Benchmark::Blackscholes,
+                             Benchmark::Simpleatomic};
+    for (Benchmark b : set) {
+        const Row fixed = run(b, false);
+        const Row servo = run(b, true);
+        table.beginRow()
+            .cell(benchmarkName(b))
+            .cell(fixed.meanV, 3)
+            .cell(servo.meanV, 3)
+            .cell(fixed.minV, 3)
+            .cell(servo.minV, 3)
+            .cell(formatPercent(servo.pde))
+            .endRow();
+        fixedErr += std::abs(fixed.meanV - config::smVoltage);
+        servoErr += std::abs(servo.meanV - config::smVoltage);
+    }
+    table.print(std::cout);
+
+    std::cout << "\n";
+    bench::claim("servo cuts the mean rail error (ratio fixed/servo)",
+                 2.0, fixedErr / std::max(servoErr, 1e-6), "x+");
+    std::cout << "Reading: remote sense pins the die rail at nominal "
+                 "across light and heavy\nworkloads — the single-layer "
+                 "answer to static IR drop.  A stacked design has\nno "
+                 "equivalent knob per layer, which is why the paper "
+                 "pairs CR-IVRs with\narchitectural smoothing instead.\n";
+    return 0;
+}

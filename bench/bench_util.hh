@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Shared helpers for the per-figure/per-table benchmark harnesses.
+ *
+ * Every binary in bench/ regenerates one table or figure of the paper
+ * and prints the same rows/series the paper reports, so output can be
+ * compared side by side with the publication (EXPERIMENTS.md records
+ * that comparison).
+ */
+
+#ifndef VSGPU_BENCH_BENCH_UTIL_HH
+#define VSGPU_BENCH_BENCH_UTIL_HH
+
+#include <iostream>
+#include <string>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "sim/cosim.hh"
+#include "workloads/suite.hh"
+
+namespace vsgpu::bench
+{
+
+/** Instructions per warp used for full benchmark runs. */
+inline constexpr int defaultBenchInstrs = 1500;
+
+/** Instructions per warp for sweeps with many configurations. */
+inline constexpr int sweepBenchInstrs = 700;
+
+/** Cycle cap for a single benchmark run. */
+inline constexpr Cycle defaultMaxCycles = 120000;
+
+/** Print a standard header for a bench binary. */
+inline void
+banner(const std::string &id, const std::string &what)
+{
+    std::cout << "=====================================================\n"
+              << id << ": " << what << "\n"
+              << "=====================================================\n";
+}
+
+/** Build a benchmark workload at sweep-friendly size. */
+inline WorkloadSpec
+benchWorkload(Benchmark b, int instrs = defaultBenchInstrs)
+{
+    return scaledToInstrs(workloadFor(b), instrs);
+}
+
+/** Run one benchmark against one PDS configuration. */
+inline CosimResult
+runOn(PdsKind kind, Benchmark b, int instrs = defaultBenchInstrs,
+      Cycle maxCycles = defaultMaxCycles)
+{
+    CosimConfig cfg;
+    cfg.pds = defaultPds(kind);
+    cfg.maxCycles = maxCycles;
+    CoSimulator sim(cfg);
+    return sim.run(benchWorkload(b, instrs));
+}
+
+/** Print a paper-vs-measured claim line. */
+inline void
+claim(const std::string &what, double paper, double measured,
+      const std::string &unit = "")
+{
+    std::cout << "  [claim] " << what << ": paper " << paper << unit
+              << ", measured " << measured << unit << "\n";
+}
+
+} // namespace vsgpu::bench
+
+#endif // VSGPU_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Regenerates paper Fig. 3: effective impedance of the voltage-stacked
+ * GPU (a) without and (b) with the on-chip CR-IVR.
+ *
+ * Expected shape (paper): without regulation, Z_R(same layer) shows a
+ * high plateau (~0.2 ohm class) at low frequency and Z_G a resonance
+ * peak near 70 MHz; the CR-IVR suppresses both peaks, more strongly
+ * with more area.
+ */
+
+#include "bench/bench_util.hh"
+#include "ivr/cr_ivr.hh"
+#include "pdn/impedance.hh"
+
+using namespace vsgpu;
+
+namespace
+{
+
+void
+printSweep(const std::string &title, const VsPdn &pdn)
+{
+    ImpedanceAnalyzer analyzer(pdn);
+    Table table(title);
+    table.setHeader({"freq_MHz", "Z_G", "Z_ST", "Z_R_same",
+                     "Z_R_diff"});
+    for (const auto &p :
+         analyzer.sweep(logFrequencyGrid(1e6, 500e6, 28))) {
+        table.beginRow()
+            .cell(p.freqHz / 1e6, 2)
+            .cell(p.zGlobal, 4)
+            .cell(p.zStack, 4)
+            .cell(p.zResidualSameLayer, 4)
+            .cell(p.zResidualDiffLayer, 4)
+            .endRow();
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+}
+
+double
+peakOver(const VsPdn &pdn, double lo, double hi,
+         double (ImpedanceAnalyzer::*fn)(double) const)
+{
+    ImpedanceAnalyzer analyzer(pdn);
+    double peak = 0.0;
+    for (double f : logFrequencyGrid(lo, hi, 48))
+        peak = std::max(peak, (analyzer.*fn)(f));
+    return peak;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Fig. 3", "effective impedance of the VS GPU");
+
+    VsPdn bare;
+    printSweep("Fig. 3(a): no CR-IVR", bare);
+
+    const CrIvrDesign crossLayer(0.2 * config::gpuDieAreaMm2);
+    VsPdnOptions small;
+    small.crIvrEffOhms = crossLayer.effOhmsPerCell();
+    small.crIvrFlyCapF = crossLayer.flyCapPerCellF();
+    VsPdn regSmall(small);
+    printSweep("Fig. 3(b): with CR-IVR (0.2x GPU area)", regSmall);
+
+    const CrIvrDesign circuitOnly(config::circuitOnlyIvrAreaMm2);
+    VsPdnOptions large;
+    large.crIvrEffOhms = circuitOnly.effOhmsPerCell();
+    large.crIvrFlyCapF = circuitOnly.flyCapPerCellF();
+    VsPdn regLarge(large);
+    printSweep("Fig. 3(b'): with CR-IVR (1.72x GPU area)", regLarge);
+
+    // Headline shape checks against the paper.
+    double peakF = 0.0, peakZ = 0.0;
+    {
+        ImpedanceAnalyzer analyzer(bare);
+        for (double f : logFrequencyGrid(5e6, 5e8, 96)) {
+            const double z = analyzer.globalImpedance(f);
+            if (z > peakZ) {
+                peakZ = z;
+                peakF = f;
+            }
+        }
+    }
+    bench::claim("Z_G resonance frequency", 70.0, peakF / 1e6, " MHz");
+    bench::claim(
+        "Z_R(same) low-frequency plateau", 0.25,
+        ImpedanceAnalyzer(bare).residualImpedance(1e6, true), " ohm");
+    bench::claim("1.72x CR-IVR bounds all peaks below", 0.1,
+                 peakOver(regLarge, 1e6, 5e8,
+                          &ImpedanceAnalyzer::peakImpedance),
+                 " ohm");
+    return 0;
+}

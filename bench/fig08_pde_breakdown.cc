@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Regenerates paper Fig. 8: power-delivery efficiency and the
+ * normalized power breakdown for every benchmark under each PDS
+ * configuration.
+ *
+ * Expected shape (paper): both VS configurations deliver ~92-93%
+ * across benchmarks, versus 80% (VRM) and 85% (single-layer IVR);
+ * conversion loss dominates the non-stacked configurations while the
+ * VS losses are small and dominated by the CR-IVR's shuffled power.
+ */
+
+#include "bench/bench_util.hh"
+
+using namespace vsgpu;
+
+int
+main()
+{
+    setLogQuiet(true);
+    bench::banner("Fig. 8",
+                  "PDE and power breakdown across benchmarks");
+
+    const PdsKind kinds[] = {
+        PdsKind::ConventionalVrm,
+        PdsKind::SingleLayerIvr,
+        PdsKind::VsCircuitOnly,
+        PdsKind::VsCrossLayer,
+    };
+
+    for (PdsKind kind : kinds) {
+        Table table(std::string("breakdown: ") + pdsName(kind));
+        table.setHeader({"benchmark", "PDE", "load%", "pdn%", "conv%",
+                         "cr-ivr%", "overhead%"});
+        double loadJ = 0.0, wallJ = 0.0;
+        for (Benchmark b : allBenchmarks()) {
+            const CosimResult r =
+                bench::runOn(kind, b, bench::sweepBenchInstrs);
+            const auto &e = r.energy;
+            table.beginRow()
+                .cell(benchmarkName(b))
+                .cell(formatPercent(e.pde()))
+                .cell(formatPercent(e.load / e.wall))
+                .cell(formatPercent(e.pdn / e.wall))
+                .cell(formatPercent(e.conversion / e.wall))
+                .cell(formatPercent(e.crIvr / e.wall))
+                .cell(formatPercent(e.overhead / e.wall))
+                .endRow();
+            loadJ += e.load;
+            wallJ += e.wall;
+        }
+        table.beginRow()
+            .cell("AVERAGE")
+            .cell(formatPercent(loadJ / wallJ))
+            .cell("")
+            .cell("")
+            .cell("")
+            .cell("")
+            .cell("")
+            .endRow();
+        table.print(std::cout);
+        std::cout << "\n";
+    }
+    return 0;
+}

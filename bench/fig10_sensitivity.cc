@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Regenerates paper Fig. 10: worst-case voltage droop as a function
+ * of (a) CR-IVR area budget for several control latencies and (b)
+ * control latency for several area budgets.
+ *
+ * Expected shape (paper): with latency > ~80 cycles the worst droop
+ * becomes highly sensitive to area; with area < ~0.8x it becomes
+ * highly sensitive to latency; the paper picks 0.2x + 60 cycles.
+ */
+
+#include "bench/bench_util.hh"
+
+using namespace vsgpu;
+
+namespace
+{
+
+double
+worstVoltage(double areaFraction, Cycle latency)
+{
+    CosimConfig cfg;
+    cfg.pds = defaultPds(PdsKind::VsCrossLayer);
+    cfg.pds.ivrAreaFraction = areaFraction;
+    cfg.pds.controller.loopLatency = latency;
+    cfg.maxCycles = 4200;
+    cfg.gateLayerAtSec = 2e-6;
+    CoSimulator sim(cfg);
+    return sim.run(WorkloadFactory(uniformWorkload(9000)), 0.9)
+        .minVoltage;
+}
+
+} // namespace
+
+int
+main()
+{
+    setLogQuiet(true);
+    bench::banner("Fig. 10", "worst droop vs CR-IVR area and "
+                             "control latency");
+
+    const double areas[] = {0.2, 0.4, 0.8, 1.2, 1.6, 2.0};
+    const Cycle latencies[] = {60, 80, 120, 140};
+
+    Table a("Fig. 10(a): worst voltage vs area (per latency)");
+    {
+        std::vector<std::string> header = {"area_xGPU"};
+        for (Cycle l : latencies)
+            header.push_back("lat=" + std::to_string(l) + "cy");
+        a.setHeader(header);
+        for (double area : areas) {
+            auto &row = a.beginRow().cell(area, 2);
+            for (Cycle l : latencies)
+                row.cell(worstVoltage(area, l), 3);
+            row.endRow();
+        }
+    }
+    a.print(std::cout);
+    std::cout << "\n";
+
+    const Cycle latSweep[] = {30, 60, 90, 120, 150};
+    const double areaSweep[] = {2.0, 0.8, 0.4, 0.2};
+    Table b("Fig. 10(b): worst voltage vs latency (per area)");
+    {
+        std::vector<std::string> header = {"latency_cycles"};
+        for (double area : areaSweep)
+            header.push_back(formatFixed(area, 1) + "x area");
+        b.setHeader(header);
+        for (Cycle l : latSweep) {
+            auto &row = b.beginRow().cell(static_cast<long long>(l));
+            for (double area : areaSweep)
+                row.cell(worstVoltage(area, l), 3);
+            row.endRow();
+        }
+    }
+    b.print(std::cout);
+
+    std::cout << "\nChosen operating point (paper): 0.2x area, "
+                 "60-cycle latency -> worst voltage "
+              << formatFixed(worstVoltage(0.2, 60), 3) << " V\n";
+    std::cout
+        << "\nNote: the area sensitivity reproduces the paper's "
+           "knee (droop becomes\nacceptable above ~0.4-0.8x area).  "
+           "Latency sensitivity is muted here because\nthe modeled "
+           "worst-case event is a step whose uncontrolled droop does "
+           "not\ndeepen while the loop is in flight; the paper's "
+           "event appears to accumulate\ncharge loss during the "
+           "control latency, which our linearized PDN settles\n"
+           "faster than one loop period.\n";
+    return 0;
+}

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Google-benchmark micro-benchmarks of the simulation engines
+ * themselves: transient step throughput, AC solve, SM cycle rate, and
+ * the full co-simulation loop.  These guard the performance the
+ * experiment harnesses depend on.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "pdn/impedance.hh"
+#include "pdn/vs_pdn.hh"
+#include "sim/cosim.hh"
+#include "workloads/suite.hh"
+
+namespace
+{
+
+using namespace vsgpu;
+
+void
+BM_TransientStep(benchmark::State &state)
+{
+    VsPdnOptions options;
+    options.crIvrEffOhms = 0.1;
+    options.crIvrFlyCapF = 50e-9;
+    VsPdn pdn(options);
+    TransientSim sim(pdn.netlist(), config::clockPeriod);
+    for (int sm = 0; sm < config::numSMs; ++sm)
+        sim.setCurrent(pdn.smCurrentSource(sm), 5.0);
+    sim.initToDc();
+    for (auto _ : state) {
+        sim.step();
+        benchmark::DoNotOptimize(sim.nodeVoltage(1));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TransientStep);
+
+void
+BM_AcSolve(benchmark::State &state)
+{
+    VsPdn pdn;
+    ImpedanceAnalyzer analyzer(pdn);
+    double f = 1e6;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(analyzer.globalImpedance(f));
+        f = f < 4e8 ? f * 1.1 : 1e6;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AcSolve);
+
+void
+BM_SmCycle(benchmark::State &state)
+{
+    GpuConfig cfg;
+    Gpu gpu(cfg);
+    WorkloadFactory factory(uniformWorkload(1 << 20));
+    gpu.launch(factory);
+    for (auto _ : state) {
+        gpu.step();
+        benchmark::DoNotOptimize(gpu.cycle());
+    }
+    // 16 SM-cycles per GPU step.
+    state.SetItemsProcessed(state.iterations() * config::numSMs);
+}
+BENCHMARK(BM_SmCycle);
+
+void
+BM_CosimCycle(benchmark::State &state)
+{
+    // One full co-simulation cycle (GPU + power + circuit +
+    // controller), measured via short batched runs.
+    for (auto _ : state) {
+        state.PauseTiming();
+        CosimConfig cfg;
+        cfg.pds = defaultPds(PdsKind::VsCrossLayer);
+        cfg.maxCycles = 2000;
+        CoSimulator sim(cfg);
+        const WorkloadSpec wl = uniformWorkload(4000);
+        state.ResumeTiming();
+        benchmark::DoNotOptimize(sim.run(wl).cycles);
+    }
+    state.SetItemsProcessed(state.iterations() * 2000);
+}
+BENCHMARK(BM_CosimCycle)->Unit(benchmark::kMillisecond);
+
+void
+BM_WorkloadGeneration(benchmark::State &state)
+{
+    const WorkloadSpec spec = workloadFor(Benchmark::Hotspot);
+    WorkloadFactory factory(spec);
+    int sm = 0;
+    for (auto _ : state) {
+        auto prog = factory.makeProgram(sm, 0);
+        int count = 0;
+        while (prog->next().has_value())
+            ++count;
+        benchmark::DoNotOptimize(count);
+        sm = (sm + 1) % config::numSMs;
+    }
+}
+BENCHMARK(BM_WorkloadGeneration)->Unit(benchmark::kMicrosecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Define a custom synthetic workload and compare how it behaves on
+ * the conventional and voltage-stacked power delivery subsystems.
+ *
+ * The example builds a deliberately "VS-hostile" kernel — heavy
+ * compute bursts separated by global barriers with large per-SM
+ * phase misalignment — and shows how the cross-layer solution keeps
+ * the stacked layers inside the voltage margin anyway.
+ */
+
+#include <iostream>
+
+#include "common/table.hh"
+#include "sim/cosim.hh"
+#include "workloads/generator.hh"
+
+using namespace vsgpu;
+
+namespace
+{
+
+/** A bursty, misaligned kernel stressing layer current balance. */
+WorkloadSpec
+hostileKernel()
+{
+    WorkloadSpec spec;
+    spec.name = "hostile-bursts";
+
+    PhaseSpec burst;
+    burst.mix[static_cast<std::size_t>(OpClass::FpAlu)] = 0.75;
+    burst.mix[static_cast<std::size_t>(OpClass::IntAlu)] = 0.25;
+    burst.lengthInstrs = 160;
+    burst.depChance = 0.15; // nearly independent -> high power
+    PhaseSpec drain;
+    drain.mix[static_cast<std::size_t>(OpClass::Load)] = 0.6;
+    drain.mix[static_cast<std::size_t>(OpClass::IntAlu)] = 0.4;
+    drain.lengthInstrs = 80;
+    drain.depChance = 0.7;
+    drain.rowHitRate = 0.4;
+    drain.barrierAtEnd = true; // hard phase boundary
+
+    spec.phases = {burst, drain};
+    spec.repeats = 8;
+    spec.l1HitRate = 0.5;
+    spec.smJitter = 0.6;  // SMs far out of phase: worst for stacking
+    spec.warpJitter = 0.1;
+    spec.seed = 0xc0ffee;
+    return spec;
+}
+
+CosimResult
+runOn(PdsKind kind, const WorkloadSpec &spec)
+{
+    CosimConfig cfg;
+    cfg.pds = defaultPds(kind);
+    cfg.maxCycles = 200000;
+    CoSimulator sim(cfg);
+    return sim.run(spec);
+}
+
+} // namespace
+
+int
+main()
+{
+    const WorkloadSpec spec = hostileKernel();
+    std::cout << "custom workload '" << spec.name << "': "
+              << spec.totalInstrs() << " instructions/warp, "
+              << spec.warpsPerSm << " warps/SM, smJitter "
+              << spec.smJitter << "\n\n";
+
+    Table table("PDS comparison for the custom workload");
+    table.setHeader({"PDS", "PDE", "min V", "mean V", "imb>20%",
+                     "throttle"});
+    for (PdsKind kind :
+         {PdsKind::ConventionalVrm, PdsKind::VsCircuitOnly,
+          PdsKind::VsCrossLayer}) {
+        const CosimResult r = runOn(kind, spec);
+        table.beginRow()
+            .cell(pdsName(kind))
+            .cell(formatPercent(r.energy.pde()))
+            .cell(r.minVoltage, 3)
+            .cell(r.meanVoltage, 3)
+            .cell(formatPercent(r.imbalanceBins[2] +
+                                r.imbalanceBins[3]))
+            .cell(formatPercent(r.throttleRate))
+            .endRow();
+    }
+    table.print(std::cout);
+
+    std::cout
+        << "\nReading the table: stacking converts the workload's\n"
+        << "inter-SM misalignment into layer-voltage noise (min V of\n"
+        << "the circuit-only row); the cross-layer controller trades\n"
+        << "a small amount of throttling for a restored margin while\n"
+        << "keeping the stacked configuration's efficiency.\n";
+    return 0;
+}

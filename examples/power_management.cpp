@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Collaborative power management on a voltage-stacked GPU (paper
+ * Section VI-D): run DFS and power gating through the VS-aware
+ * hypervisor and compare against the conventional system.
+ */
+
+#include <iostream>
+
+#include "common/table.hh"
+#include "hypervisor/dfs.hh"
+#include "hypervisor/pg.hh"
+#include "hypervisor/vs_hypervisor.hh"
+#include "sim/cosim.hh"
+#include "workloads/suite.hh"
+
+using namespace vsgpu;
+
+namespace
+{
+
+struct Row
+{
+    std::string label;
+    double energyJ;
+    Cycle cycles;
+    double pde;
+    double minV;
+};
+
+Row
+runConfig(const std::string &label, PdsKind kind, bool dfsOn,
+          bool pgOn)
+{
+    const WorkloadSpec wl =
+        scaledToInstrs(workloadFor(Benchmark::Srad), 1000);
+
+    DfsConfig dcfg;
+    dcfg.perfTarget = 0.7; // GRAPE-style 70% performance goal
+    DfsGovernor dfs(dcfg);
+    PgGovernor pg;
+    VsAwareHypervisor hv;
+
+    CosimConfig cfg;
+    cfg.pds = defaultPds(kind);
+    if (pgOn)
+        cfg.gpu.sm.scheduler = SchedulerKind::Gates;
+    cfg.maxCycles = 400000;
+    CoSimulator sim(cfg);
+    if (dfsOn)
+        sim.attachDfs(&dfs);
+    if (pgOn)
+        sim.attachPg(&pg);
+    if (isVoltageStacked(kind) && (dfsOn || pgOn))
+        sim.attachHypervisor(&hv); // Algorithm 2 command mapping
+    const CosimResult r = sim.run(wl);
+    return {label, r.energy.wall, r.cycles, r.energy.pde(),
+            r.minVoltage};
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "Collaborative power management demo (srad kernel, "
+                 "DFS target 70%)\n\n";
+
+    const Row rows[] = {
+        runConfig("conventional, no PM", PdsKind::ConventionalVrm,
+                  false, false),
+        runConfig("conventional + DFS", PdsKind::ConventionalVrm,
+                  true, false),
+        runConfig("conventional + PG", PdsKind::ConventionalVrm,
+                  false, true),
+        runConfig("VS cross-layer, no PM", PdsKind::VsCrossLayer,
+                  false, false),
+        runConfig("VS cross-layer + DFS (hypervisor)",
+                  PdsKind::VsCrossLayer, true, false),
+        runConfig("VS cross-layer + PG (hypervisor)",
+                  PdsKind::VsCrossLayer, false, true),
+    };
+
+    const double norm = rows[0].energyJ;
+    Table table("total energy normalized to conventional/no-PM");
+    table.setHeader({"configuration", "energy", "cycles", "PDE",
+                     "min V"});
+    for (const Row &r : rows) {
+        table.beginRow()
+            .cell(r.label)
+            .cell(r.energyJ / norm, 3)
+            .cell(static_cast<long long>(r.cycles))
+            .cell(formatPercent(r.pde))
+            .cell(r.minV, 3)
+            .endRow();
+    }
+    table.print(std::cout);
+
+    std::cout
+        << "\nThe hypervisor (Algorithm 2) remaps DFS/PG commands so\n"
+        << "per-column frequency and gated-leakage spreads stay\n"
+        << "inside the current-imbalance budget; the VS rows keep a\n"
+        << "safe minimum voltage while their higher PDE converts the\n"
+        << "same optimizations into larger wall-energy savings.\n";
+    return 0;
+}

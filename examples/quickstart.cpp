@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Quickstart: simulate one GPU benchmark on a voltage-stacked power
+ * delivery subsystem and print the headline metrics.
+ *
+ * Build & run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart [benchmark-name]
+ */
+
+#include <cstring>
+#include <iostream>
+
+#include "common/table.hh"
+#include "sim/cosim.hh"
+#include "workloads/suite.hh"
+
+using namespace vsgpu;
+
+int
+main(int argc, char **argv)
+{
+    // 1. Pick a workload (default: hotspot; any paper benchmark name
+    //    works: backprop, bfs, heartwall, ...).
+    Benchmark bench = Benchmark::Hotspot;
+    if (argc > 1) {
+        bool found = false;
+        for (Benchmark b : allBenchmarks()) {
+            if (std::strcmp(argv[1], benchmarkName(b)) == 0) {
+                bench = b;
+                found = true;
+            }
+        }
+        if (!found) {
+            std::cerr << "unknown benchmark '" << argv[1]
+                      << "'; options:";
+            for (Benchmark b : allBenchmarks())
+                std::cerr << " " << benchmarkName(b);
+            std::cerr << "\n";
+            return 1;
+        }
+    }
+    const WorkloadSpec workload =
+        scaledToInstrs(workloadFor(bench), 1500);
+
+    // 2. Configure the cross-layer voltage-stacked PDS: a 0.2x-area
+    //    distributed CR-IVR plus the control-theoretic voltage
+    //    smoothing layer (DIWS by default).
+    CosimConfig cfg;
+    cfg.pds = defaultPds(PdsKind::VsCrossLayer);
+    cfg.maxCycles = 200000;
+
+    // 3. Run the integrated co-simulation: the cycle-level GPU model
+    //    produces per-SM power each clock, the circuit engine
+    //    advances the stacked PDN, and the controller closes the
+    //    loop.
+    CoSimulator sim(cfg);
+    const CosimResult r = sim.run(workload);
+
+    // 4. Report.
+    std::cout << "benchmark          : " << workload.name << "\n"
+              << "cycles             : " << r.cycles << "\n"
+              << "instructions       : " << r.instructions << "\n"
+              << "avg GPU power      : "
+              << formatFixed(r.avgLoadPower(), 1) << " W\n"
+              << "power delivery eff.: "
+              << formatPercent(r.energy.pde()) << "\n"
+              << "mean layer voltage : "
+              << formatFixed(r.meanVoltage, 3) << " V\n"
+              << "worst layer voltage: "
+              << formatFixed(r.minVoltage, 3) << " V\n"
+              << "smoothing throttle : "
+              << formatPercent(r.throttleRate) << " of cycles\n";
+
+    Table breakdown("energy breakdown");
+    breakdown.setHeader({"component", "joules", "share"});
+    const auto &e = r.energy;
+    const auto row = [&](const char *name, double joules) {
+        breakdown.beginRow()
+            .cell(name)
+            .cell(joules * 1e3, 3)
+            .cell(formatPercent(joules / e.wall))
+            .endRow();
+    };
+    row("SM load", e.load);
+    row("PDN resistive loss", e.pdn);
+    row("CR-IVR loss", e.crIvr);
+    row("control overheads", e.overhead);
+    breakdown.print(std::cout);
+    return 0;
+}

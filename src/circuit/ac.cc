@@ -1,0 +1,125 @@
+#include "circuit/ac.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace vsgpu
+{
+
+AcAnalysis::AcAnalysis(const Netlist &netlist,
+                       std::vector<bool> switchClosed)
+    : netlist_(netlist), switchClosed_(std::move(switchClosed))
+{
+    const auto &switches = netlist_.switches();
+    if (switchClosed_.empty()) {
+        switchClosed_.resize(switches.size());
+        for (std::size_t i = 0; i < switches.size(); ++i)
+            switchClosed_[i] = switches[i].initiallyClosed;
+    }
+    panicIfNot(switchClosed_.size() == switches.size(),
+               "AC switch-state size mismatch");
+}
+
+std::vector<Complex>
+AcAnalysis::solve(double freqHz,
+                  const std::vector<AcInjection> &injections) const
+{
+    panicIfNot(freqHz > 0.0, "AC analysis requires positive frequency");
+    const int numNodes = netlist_.numNodes();
+    const int numVsrc =
+        static_cast<int>(netlist_.voltageSources().size());
+    const std::size_t n = static_cast<std::size_t>(numNodes + numVsrc);
+    const double w = 2.0 * M_PI * freqHz;
+
+    CMatrix y(n, n);
+    std::vector<Complex> rhs(n, Complex{});
+
+    const auto stamp = [&](NodeId a, NodeId b, Complex admittance) {
+        if (a > 0)
+            y(static_cast<std::size_t>(a - 1),
+              static_cast<std::size_t>(a - 1)) += admittance;
+        if (b > 0)
+            y(static_cast<std::size_t>(b - 1),
+              static_cast<std::size_t>(b - 1)) += admittance;
+        if (a > 0 && b > 0) {
+            y(static_cast<std::size_t>(a - 1),
+              static_cast<std::size_t>(b - 1)) -= admittance;
+            y(static_cast<std::size_t>(b - 1),
+              static_cast<std::size_t>(a - 1)) -= admittance;
+        }
+    };
+
+    for (const auto &r : netlist_.resistors())
+        stamp(r.a, r.b, Complex{1.0 / r.ohms, 0.0});
+
+    const auto &switches = netlist_.switches();
+    for (std::size_t i = 0; i < switches.size(); ++i) {
+        const double ohms = switchClosed_[i] ? switches[i].onOhms
+                                             : switches[i].offOhms;
+        stamp(switches[i].a, switches[i].b, Complex{1.0 / ohms, 0.0});
+    }
+
+    for (const auto &c : netlist_.capacitors())
+        stamp(c.a, c.b, Complex{0.0, w * c.farads});
+
+    for (const auto &l : netlist_.inductors())
+        stamp(l.a, l.b, Complex{0.0, -1.0 / (w * l.henries)});
+
+    for (const auto &e : netlist_.equalizers()) {
+        const NodeId nodes[3] = {e.top, e.mid, e.bottom};
+        const double coeff[3] = {1.0, -2.0, 1.0};
+        for (int i = 0; i < 3; ++i) {
+            if (nodes[i] <= 0)
+                continue;
+            for (int j = 0; j < 3; ++j) {
+                if (nodes[j] <= 0)
+                    continue;
+                y(static_cast<std::size_t>(nodes[i] - 1),
+                  static_cast<std::size_t>(nodes[j] - 1)) +=
+                    Complex{coeff[i] * coeff[j] / e.effOhms, 0.0};
+            }
+        }
+    }
+
+    // DC sources short for small-signal analysis (AC value 0).
+    const auto &vsrc = netlist_.voltageSources();
+    for (std::size_t k = 0; k < vsrc.size(); ++k) {
+        const std::size_t row = static_cast<std::size_t>(numNodes) + k;
+        if (vsrc[k].plus > 0) {
+            const auto p = static_cast<std::size_t>(vsrc[k].plus - 1);
+            y(p, row) += Complex{1.0, 0.0};
+            y(row, p) += Complex{1.0, 0.0};
+        }
+        if (vsrc[k].minus > 0) {
+            const auto m = static_cast<std::size_t>(vsrc[k].minus - 1);
+            y(m, row) -= Complex{1.0, 0.0};
+            y(row, m) -= Complex{1.0, 0.0};
+        }
+        rhs[row] = Complex{}; // AC short
+    }
+
+    for (const auto &inj : injections) {
+        panicIfNot(inj.node >= 0 && inj.node <= numNodes,
+                   "AC injection at unknown node");
+        if (inj.node > 0)
+            rhs[static_cast<std::size_t>(inj.node - 1)] += inj.amps;
+    }
+
+    const std::vector<Complex> x = solveLinear(y, rhs);
+    std::vector<Complex> volts(static_cast<std::size_t>(numNodes) + 1,
+                               Complex{});
+    for (int i = 1; i <= numNodes; ++i)
+        volts[static_cast<std::size_t>(i)] =
+            x[static_cast<std::size_t>(i - 1)];
+    return volts;
+}
+
+Complex
+AcAnalysis::impedanceAt(double freqHz, NodeId node) const
+{
+    const auto volts = solve(freqHz, {{node, Complex{1.0, 0.0}}});
+    return volts[static_cast<std::size_t>(node)];
+}
+
+} // namespace vsgpu

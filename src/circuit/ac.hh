@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Small-signal AC (phasor) analysis of a Netlist.
+ *
+ * Implements the effective-impedance methodology of paper Section
+ * III-B: inject sinusoidal current stimuli at chosen nodes and observe
+ * the complex voltage response.  DC voltage sources are shorted (AC
+ * value zero) and load current sources are open, as in standard
+ * small-signal analysis.
+ */
+
+#ifndef VSGPU_CIRCUIT_AC_HH
+#define VSGPU_CIRCUIT_AC_HH
+
+#include <utility>
+#include <vector>
+
+#include "circuit/netlist.hh"
+#include "numeric/matrix.hh"
+
+namespace vsgpu
+{
+
+/** One AC current injection: node and complex amplitude (amps). */
+struct AcInjection
+{
+    NodeId node;
+    Complex amps;
+};
+
+/**
+ * AC analyzer over a fixed netlist.  Each solve() builds the complex
+ * MNA system at the requested frequency; this is cheap relative to the
+ * frequency sweep sizes used by the impedance benches.
+ */
+class AcAnalysis
+{
+  public:
+    /**
+     * @param netlist the circuit (must outlive the analyzer).
+     * @param switchClosed switch states to assume (defaults to each
+     *        switch's initial state).
+     */
+    explicit AcAnalysis(const Netlist &netlist,
+                        std::vector<bool> switchClosed = {});
+
+    /**
+     * Solve the phasor system at one frequency.
+     *
+     * @param freqHz    stimulus frequency (> 0).
+     * @param injections current injections (positive = current pushed
+     *                   into the node).
+     * @return complex node voltages indexed by node id (0 = ground).
+     */
+    std::vector<Complex>
+    solve(double freqHz, const std::vector<AcInjection> &injections) const;
+
+    /**
+     * Convenience: impedance seen between a node and ground, i.e. the
+     * voltage response at @p node to a unit current injected there.
+     */
+    Complex impedanceAt(double freqHz, NodeId node) const;
+
+  private:
+    const Netlist &netlist_;
+    std::vector<bool> switchClosed_;
+};
+
+} // namespace vsgpu
+
+#endif // VSGPU_CIRCUIT_AC_HH

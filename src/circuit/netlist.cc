@@ -1,0 +1,107 @@
+#include "circuit/netlist.hh"
+
+#include "common/logging.hh"
+
+namespace vsgpu
+{
+
+NodeId
+Netlist::allocNode(const std::string &label)
+{
+    ++numNodes_;
+    labels_.push_back(label);
+    return numNodes_;
+}
+
+const std::string &
+Netlist::nodeLabel(NodeId node) const
+{
+    panicIfNot(node >= 0 && node <= numNodes_, "bad node id ", node);
+    return labels_[static_cast<std::size_t>(node)];
+}
+
+void
+Netlist::checkNode(NodeId n) const
+{
+    panicIfNot(n >= 0 && n <= numNodes_,
+               "element references unknown node ", n);
+}
+
+int
+Netlist::addResistor(NodeId a, NodeId b, double ohms,
+                     const std::string &name)
+{
+    checkNode(a);
+    checkNode(b);
+    panicIfNot(ohms > 0.0, "resistor must have positive resistance");
+    resistors_.push_back({a, b, ohms, name});
+    return static_cast<int>(resistors_.size()) - 1;
+}
+
+int
+Netlist::addCapacitor(NodeId a, NodeId b, double farads,
+                      double initialVolts)
+{
+    checkNode(a);
+    checkNode(b);
+    panicIfNot(farads > 0.0, "capacitor must have positive capacitance");
+    caps_.push_back({a, b, farads, initialVolts});
+    return static_cast<int>(caps_.size()) - 1;
+}
+
+int
+Netlist::addInductor(NodeId a, NodeId b, double henries,
+                     double initialAmps)
+{
+    checkNode(a);
+    checkNode(b);
+    panicIfNot(henries > 0.0, "inductor must have positive inductance");
+    inductors_.push_back({a, b, henries, initialAmps});
+    return static_cast<int>(inductors_.size()) - 1;
+}
+
+int
+Netlist::addVoltageSource(NodeId plus, NodeId minus, double volts)
+{
+    checkNode(plus);
+    checkNode(minus);
+    vsources_.push_back({plus, minus, volts});
+    return static_cast<int>(vsources_.size()) - 1;
+}
+
+int
+Netlist::addCurrentSource(NodeId from, NodeId to, double amps,
+                          const std::string &name)
+{
+    checkNode(from);
+    checkNode(to);
+    isources_.push_back({from, to, amps, name});
+    return static_cast<int>(isources_.size()) - 1;
+}
+
+int
+Netlist::addSwitch(NodeId a, NodeId b, double onOhms, double offOhms,
+                   bool initiallyClosed)
+{
+    checkNode(a);
+    checkNode(b);
+    panicIfNot(onOhms > 0.0 && offOhms > onOhms,
+               "switch needs 0 < Ron < Roff");
+    switches_.push_back({a, b, onOhms, offOhms, initiallyClosed});
+    return static_cast<int>(switches_.size()) - 1;
+}
+
+int
+Netlist::addEqualizer(NodeId top, NodeId mid, NodeId bottom,
+                      double effOhms, const std::string &name)
+{
+    checkNode(top);
+    checkNode(mid);
+    checkNode(bottom);
+    panicIfNot(effOhms > 0.0,
+               "equalizer must have positive effective resistance");
+    equalizers_.push_back({top, mid, bottom, effOhms, name});
+    return static_cast<int>(equalizers_.size()) - 1;
+}
+
+} // namespace vsgpu

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Fixed-step transient simulation of a Netlist.
+ *
+ * Uses trapezoidal companion models for reactive elements and modified
+ * nodal analysis with the voltage-source branch currents as extra
+ * unknowns.  Because the PDN topology and timestep are fixed during a
+ * run, the system matrix only changes when a switch toggles; the LU
+ * factorization is cached per switch-state so the per-step cost is a
+ * right-hand-side build plus one back-substitution.
+ */
+
+#ifndef VSGPU_CIRCUIT_TRANSIENT_HH
+#define VSGPU_CIRCUIT_TRANSIENT_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "circuit/netlist.hh"
+#include "numeric/matrix.hh"
+
+namespace vsgpu
+{
+
+/**
+ * Trapezoidal-integration transient engine.
+ */
+class TransientSim
+{
+  public:
+    /**
+     * @param netlist the circuit (must outlive the simulator).
+     * @param dt      fixed timestep in seconds.
+     */
+    TransientSim(const Netlist &netlist, double dt);
+
+    /** Set a current source's value for subsequent steps (amps). */
+    void setCurrent(int sourceIdx, double amps);
+
+    /** Open or close a switch for subsequent steps. */
+    void setSwitch(int switchIdx, bool closed);
+
+    /**
+     * Change a voltage source's setpoint for subsequent steps (only
+     * the right-hand side changes, so the cached factorization stays
+     * valid).  Used e.g. for VRM load-line regulation.
+     */
+    void setSourceVolts(int vsrcIdx, double volts);
+
+    /**
+     * Initialize states to the DC operating point implied by the
+     * current source setpoints (inductors shorted, capacitors open).
+     */
+    void initToDc();
+
+    /** Advance the simulation by one timestep. */
+    void step();
+
+    /** @return simulated time (s). */
+    double time() const { return time_; }
+
+    /** @return number of steps taken. */
+    std::uint64_t steps() const { return stepCount_; }
+
+    /** @return voltage at a node (ground = 0 V). */
+    double nodeVoltage(NodeId node) const;
+
+    /** @return current through voltage source (plus -> external). */
+    double sourceCurrent(int vsrcIdx) const;
+
+    /** @return current a -> b through a resistor. */
+    double resistorCurrent(int resIdx) const;
+
+    /** @return instantaneous power dissipated in all resistors (W). */
+    double totalResistivePower() const;
+
+    /** @return instantaneous power dissipated in closed switches. */
+    double totalSwitchPower() const;
+
+    /**
+     * @return instantaneous power delivered by all voltage sources,
+     * positive when sourcing (W).
+     */
+    double totalSourcePower() const;
+
+    /** @return current through an inductor (a -> b, amps). */
+    double inductorCurrent(int indIdx) const;
+
+    /** @return equalizer average transfer current Ix (amps). */
+    double equalizerCurrent(int eqIdx) const;
+
+    /**
+     * @return intrinsic charge-transfer loss of an equalizer,
+     * Reff * Ix^2 (W).
+     */
+    double equalizerPower(int eqIdx) const;
+
+    /** @return summed charge-transfer loss of all equalizers (W). */
+    double totalEqualizerPower() const;
+
+  private:
+    /** Build and factor the MNA matrix for the current switch state. */
+    const LuFactor<double> &factorFor(std::uint64_t key);
+
+    /** Stamp a conductance into the MNA matrix. */
+    static void stampConductance(Matrix &g, NodeId a, NodeId b,
+                                 double siemens);
+
+    /** Stamp an averaged charge-recycling equalizer. */
+    static void stampEqualizer(Matrix &g, const Netlist::Equalizer &e);
+
+    std::uint64_t switchKey() const;
+
+    const Netlist &netlist_;
+    double dt_;
+    double time_ = 0.0;
+    std::uint64_t stepCount_ = 0;
+
+    int numNodes_;
+    int numVsrc_;
+    int numUnknowns_;
+
+    std::vector<double> solution_;    ///< node voltages + vsrc currents
+    std::vector<double> sourceAmps_;  ///< current-source setpoints
+    std::vector<double> sourceVolts_; ///< voltage-source setpoints
+    std::vector<bool> switchClosed_;
+
+    // Reactive element states.
+    std::vector<double> capVolts_;    ///< v across each capacitor
+    std::vector<double> capAmps_;     ///< i through each capacitor
+    std::vector<double> indAmps_;     ///< i through each inductor
+    std::vector<double> indVolts_;    ///< v across each inductor
+
+    // Cached factorizations keyed by switch-state bitmask.
+    std::map<std::uint64_t, std::unique_ptr<LuFactor<double>>> luCache_;
+};
+
+/**
+ * DC operating-point solve: inductors become tiny resistances,
+ * capacitors are open, current sources at the supplied setpoints.
+ *
+ * @return node voltages indexed by node id (index 0 = ground = 0 V).
+ */
+std::vector<double> solveDc(const Netlist &netlist,
+                            const std::vector<double> &sourceAmps,
+                            const std::vector<bool> &switchClosed = {});
+
+} // namespace vsgpu
+
+#endif // VSGPU_CIRCUIT_TRANSIENT_HH

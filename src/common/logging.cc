@@ -1,0 +1,54 @@
+#include "common/logging.hh"
+
+#include <atomic>
+
+namespace vsgpu
+{
+
+namespace
+{
+
+std::atomic<bool> quietFlag{false};
+
+const char *
+levelTag(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Inform: return "info";
+      case LogLevel::Warn:   return "warn";
+      case LogLevel::Fatal:  return "fatal";
+      case LogLevel::Panic:  return "panic";
+    }
+    return "?";
+}
+
+} // namespace
+
+void
+setLogQuiet(bool quiet)
+{
+    quietFlag.store(quiet);
+}
+
+bool
+logQuiet()
+{
+    return quietFlag.load();
+}
+
+namespace detail
+{
+
+void
+emitLog(LogLevel level, const std::string &msg)
+{
+    const bool suppressible =
+        level == LogLevel::Inform || level == LogLevel::Warn;
+    if (suppressible && quietFlag.load())
+        return;
+    std::cerr << levelTag(level) << ": " << msg << "\n";
+}
+
+} // namespace detail
+
+} // namespace vsgpu

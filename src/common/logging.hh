@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Logging and error-reporting helpers in the gem5 tradition.
+ *
+ * Two error functions with distinct purposes:
+ *   - panic():  something happened that should never happen regardless
+ *               of what the user does (a simulator bug).  Aborts.
+ *   - fatal():  the simulation cannot continue because of a user error
+ *               (bad configuration, invalid arguments).  Exits with 1.
+ *
+ * Status functions that never stop the simulation:
+ *   - inform(): normal operating message.
+ *   - warn():   functionality that might not behave as expected.
+ */
+
+#ifndef VSGPU_COMMON_LOGGING_HH
+#define VSGPU_COMMON_LOGGING_HH
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace vsgpu
+{
+
+/** Severity levels understood by the log sink. */
+enum class LogLevel
+{
+    Inform,
+    Warn,
+    Fatal,
+    Panic,
+};
+
+namespace detail
+{
+
+/** Concatenate arbitrary streamable arguments into one string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+
+/** Emit one formatted log line to stderr. */
+void emitLog(LogLevel level, const std::string &msg);
+
+} // namespace detail
+
+/** Whether inform()/warn() output is suppressed (e.g. during tests). */
+void setLogQuiet(bool quiet);
+
+/** @return true when inform()/warn() output is suppressed. */
+bool logQuiet();
+
+/**
+ * Report an unrecoverable user-caused error and exit(1).
+ * Use for bad configurations or invalid arguments.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    detail::emitLog(LogLevel::Fatal,
+                    detail::concat(std::forward<Args>(args)...));
+    std::exit(1);
+}
+
+/**
+ * Report an internal invariant violation (a simulator bug) and abort().
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    detail::emitLog(LogLevel::Panic,
+                    detail::concat(std::forward<Args>(args)...));
+    std::abort();
+}
+
+/** Emit a warning that does not stop the simulation. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::emitLog(LogLevel::Warn,
+                    detail::concat(std::forward<Args>(args)...));
+}
+
+/** Emit an informational status message. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::emitLog(LogLevel::Inform,
+                    detail::concat(std::forward<Args>(args)...));
+}
+
+/**
+ * Assert a simulator invariant; on failure, panic with the message.
+ * Active in all build types (unlike assert()).
+ */
+template <typename... Args>
+void
+panicIfNot(bool condition, Args &&...args)
+{
+    if (!condition)
+        panic(std::forward<Args>(args)...);
+}
+
+/** Fatal-if helper for validating user-supplied configuration. */
+template <typename... Args>
+void
+fatalIf(bool condition, Args &&...args)
+{
+    if (condition)
+        fatal(std::forward<Args>(args)...);
+}
+
+} // namespace vsgpu
+
+#endif // VSGPU_COMMON_LOGGING_HH

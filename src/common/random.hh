@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Workload generation must be reproducible across runs and platforms,
+ * so we implement a fixed algorithm (xoshiro256**) rather than rely on
+ * the standard library's unspecified distributions.
+ */
+
+#ifndef VSGPU_COMMON_RANDOM_HH
+#define VSGPU_COMMON_RANDOM_HH
+
+#include <cmath>
+#include <cstdint>
+
+namespace vsgpu
+{
+
+/**
+ * xoshiro256** generator with splitmix64 seeding.  Deterministic for a
+ * given seed on every platform.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** @return next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** @return uniform double in [0, 1). */
+    double uniform();
+
+    /** @return uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** @return uniform integer in [lo, hi] inclusive. */
+    int uniformInt(int lo, int hi);
+
+    /** @return standard normal variate (Box-Muller, cached pair). */
+    double normal();
+
+    /** @return normal variate with the given mean and stddev. */
+    double normal(double mean, double stddev);
+
+    /** @return true with probability p. */
+    bool bernoulli(double p);
+
+    /**
+     * @return geometric variate >= 1 with success probability p
+     * (number of trials up to and including the first success).
+     */
+    int geometric(double p);
+
+  private:
+    std::uint64_t s_[4];
+    bool hasSpare_ = false;
+    double spare_ = 0.0;
+};
+
+} // namespace vsgpu
+
+#endif // VSGPU_COMMON_RANDOM_HH

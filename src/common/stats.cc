@@ -1,0 +1,167 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace vsgpu
+{
+
+void
+RunningStats::add(double x)
+{
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+}
+
+void
+RunningStats::merge(const RunningStats &other)
+{
+    if (other.n_ == 0)
+        return;
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    const double na = static_cast<double>(n_);
+    const double nb = static_cast<double>(other.n_);
+    const double delta = other.mean_ - mean_;
+    const double nTotal = na + nb;
+    mean_ += delta * nb / nTotal;
+    m2_ += other.m2_ + delta * delta * na * nb / nTotal;
+    n_ += other.n_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+void
+RunningStats::reset()
+{
+    *this = RunningStats();
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+quantile(std::vector<double> samples, double q)
+{
+    panicIfNot(!samples.empty(), "quantile of empty sample set");
+    panicIfNot(q >= 0.0 && q <= 1.0, "quantile q out of [0,1]");
+    std::sort(samples.begin(), samples.end());
+    const double pos = q * static_cast<double>(samples.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, samples.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+}
+
+BoxStats
+boxStats(const std::vector<double> &samples)
+{
+    BoxStats b;
+    if (samples.empty())
+        return b;
+    std::vector<double> sorted = samples;
+    std::sort(sorted.begin(), sorted.end());
+    const auto at = [&](double q) {
+        const double pos = q * static_cast<double>(sorted.size() - 1);
+        const std::size_t lo = static_cast<std::size_t>(pos);
+        const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+        const double frac = pos - static_cast<double>(lo);
+        return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+    };
+    b.min = sorted.front();
+    b.q1 = at(0.25);
+    b.median = at(0.5);
+    b.q3 = at(0.75);
+    b.max = sorted.back();
+    double sum = 0.0;
+    for (double x : sorted)
+        sum += x;
+    b.mean = sum / static_cast<double>(sorted.size());
+    b.count = sorted.size();
+    return b;
+}
+
+ReservoirSampler::ReservoirSampler(std::size_t capacity)
+    : capacity_(capacity), state_(0x853c49e6748fea9bull)
+{
+    panicIfNot(capacity_ > 0, "reservoir capacity must be positive");
+    samples_.reserve(capacity_);
+}
+
+void
+ReservoirSampler::add(double x)
+{
+    ++seen_;
+    if (samples_.size() < capacity_) {
+        samples_.push_back(x);
+        return;
+    }
+    // xorshift64 for the replacement index; determinism matters more
+    // than statistical perfection here.
+    state_ ^= state_ << 13;
+    state_ ^= state_ >> 7;
+    state_ ^= state_ << 17;
+    const std::size_t idx = static_cast<std::size_t>(state_ % seen_);
+    if (idx < capacity_)
+        samples_[idx] = x;
+}
+
+Histogram::Histogram(std::vector<double> edges)
+    : edges_(std::move(edges))
+{
+    panicIfNot(edges_.size() >= 2, "histogram needs at least 2 edges");
+    for (std::size_t i = 1; i < edges_.size(); ++i)
+        panicIfNot(edges_[i] > edges_[i - 1],
+                   "histogram edges must be ascending");
+    counts_.assign(edges_.size() - 1, 0);
+}
+
+void
+Histogram::add(double x)
+{
+    ++total_;
+    if (x < edges_.front()) {
+        ++counts_.front();
+        return;
+    }
+    if (x >= edges_.back()) {
+        ++counts_.back();
+        return;
+    }
+    const auto it =
+        std::upper_bound(edges_.begin(), edges_.end(), x);
+    const std::size_t bin =
+        static_cast<std::size_t>(it - edges_.begin()) - 1;
+    ++counts_[std::min(bin, counts_.size() - 1)];
+}
+
+double
+Histogram::fraction(std::size_t i) const
+{
+    if (total_ == 0)
+        return 0.0;
+    return static_cast<double>(counts_.at(i)) /
+           static_cast<double>(total_);
+}
+
+std::string
+Histogram::binLabel(std::size_t i) const
+{
+    std::ostringstream oss;
+    oss << edges_.at(i) << "-" << edges_.at(i + 1);
+    return oss.str();
+}
+
+} // namespace vsgpu

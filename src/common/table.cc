@@ -1,0 +1,137 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace vsgpu
+{
+
+Table::Table(std::string title)
+    : title_(std::move(title))
+{
+}
+
+void
+Table::setHeader(std::vector<std::string> header)
+{
+    header_ = std::move(header);
+}
+
+void
+Table::addRow(std::vector<std::string> row)
+{
+    panicIfNot(header_.empty() || row.size() == header_.size(),
+               "table row width ", row.size(), " != header width ",
+               header_.size());
+    rows_.push_back(std::move(row));
+}
+
+Table &
+Table::beginRow()
+{
+    panicIfNot(!building_, "beginRow while a row is being built");
+    building_ = true;
+    pending_.clear();
+    return *this;
+}
+
+Table &
+Table::cell(const std::string &text)
+{
+    panicIfNot(building_, "cell() outside beginRow/endRow");
+    pending_.push_back(text);
+    return *this;
+}
+
+Table &
+Table::cell(double value, int precision)
+{
+    return cell(formatFixed(value, precision));
+}
+
+Table &
+Table::cell(long long value)
+{
+    return cell(std::to_string(value));
+}
+
+Table &
+Table::endRow()
+{
+    panicIfNot(building_, "endRow without beginRow");
+    building_ = false;
+    addRow(pending_);
+    pending_.clear();
+    return *this;
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths;
+    const auto grow = [&](const std::vector<std::string> &row) {
+        if (widths.size() < row.size())
+            widths.resize(row.size(), 0);
+        for (std::size_t i = 0; i < row.size(); ++i)
+            widths[i] = std::max(widths[i], row[i].size());
+    };
+    grow(header_);
+    for (const auto &row : rows_)
+        grow(row);
+
+    if (!title_.empty())
+        os << "== " << title_ << " ==\n";
+
+    const auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            os << std::left << std::setw(static_cast<int>(widths[i]) + 2)
+               << row[i];
+        }
+        os << "\n";
+    };
+    if (!header_.empty()) {
+        emit(header_);
+        std::size_t total = 0;
+        for (std::size_t w : widths)
+            total += w + 2;
+        os << std::string(total, '-') << "\n";
+    }
+    for (const auto &row : rows_)
+        emit(row);
+}
+
+void
+Table::printCsv(std::ostream &os) const
+{
+    const auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            if (i)
+                os << ",";
+            os << row[i];
+        }
+        os << "\n";
+    };
+    if (!header_.empty())
+        emit(header_);
+    for (const auto &row : rows_)
+        emit(row);
+}
+
+std::string
+formatFixed(double value, int precision)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(precision) << value;
+    return oss.str();
+}
+
+std::string
+formatPercent(double ratio, int precision)
+{
+    return formatFixed(ratio * 100.0, precision) + "%";
+}
+
+} // namespace vsgpu

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Console table and CSV emitters used by the benchmark harnesses to
+ * print the rows/series that correspond to the paper's tables and
+ * figures.
+ */
+
+#ifndef VSGPU_COMMON_TABLE_HH
+#define VSGPU_COMMON_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace vsgpu
+{
+
+/**
+ * A simple aligned-text table.  Cells are strings; numeric helpers
+ * format with fixed precision.  Rendered with a header rule so bench
+ * output is directly readable next to the paper.
+ */
+class Table
+{
+  public:
+    /** @param title caption printed above the table. */
+    explicit Table(std::string title = "");
+
+    // The fluent builder keeps state in the table; copying a table
+    // mid-build silently detaches the builder, so forbid copies.
+    Table(const Table &) = delete;
+    Table &operator=(const Table &) = delete;
+    Table(Table &&) = default;
+    Table &operator=(Table &&) = default;
+
+    /** Set the column headers (defines the column count). */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append a preformatted row (must match the column count). */
+    void addRow(std::vector<std::string> row);
+
+    /** Begin building a row cell by cell. */
+    Table &beginRow();
+
+    /** Append a string cell to the row being built. */
+    Table &cell(const std::string &text);
+
+    /** Append a numeric cell with fixed precision. */
+    Table &cell(double value, int precision = 3);
+
+    /** Append an integer cell. */
+    Table &cell(long long value);
+
+    /** Finish the row being built. */
+    Table &endRow();
+
+    /** Render to a stream as aligned text. */
+    void print(std::ostream &os) const;
+
+    /** Render to a stream as CSV. */
+    void printCsv(std::ostream &os) const;
+
+    /** @return number of data rows. */
+    std::size_t numRows() const { return rows_.size(); }
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+    std::vector<std::string> pending_;
+    bool building_ = false;
+};
+
+/** Format a double with fixed precision into a string. */
+std::string formatFixed(double value, int precision);
+
+/** Format a ratio as a percentage string, e.g. 0.923 -> "92.3%". */
+std::string formatPercent(double ratio, int precision = 1);
+
+} // namespace vsgpu
+
+#endif // VSGPU_COMMON_TABLE_HH

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Physical units, constants, and system-wide configuration values for
+ * the voltage-stacked GPU model (paper Table I).
+ *
+ * All internal quantities are SI: volts, amps, ohms, farads, henries,
+ * seconds, watts, hertz, square metres unless a suffix says otherwise.
+ */
+
+#ifndef VSGPU_COMMON_UNITS_HH
+#define VSGPU_COMMON_UNITS_HH
+
+#include <cstdint>
+
+namespace vsgpu
+{
+
+/** A simulation cycle count. */
+using Cycle = std::uint64_t;
+
+namespace units
+{
+
+// Multipliers for readable literals: value * units::milli etc.
+inline constexpr double tera  = 1e12;
+inline constexpr double giga  = 1e9;
+inline constexpr double mega  = 1e6;
+inline constexpr double kilo  = 1e3;
+inline constexpr double milli = 1e-3;
+inline constexpr double micro = 1e-6;
+inline constexpr double nano  = 1e-9;
+inline constexpr double pico  = 1e-12;
+inline constexpr double femto = 1e-15;
+
+} // namespace units
+
+/**
+ * Fixed parameters of the modeled system (paper Table I and Section
+ * III).  These mirror the NVIDIA Fermi-class configuration the paper
+ * evaluates and are shared by every subsystem.
+ */
+namespace config
+{
+
+/** Board-level input supply for the voltage-stacked PDS. */
+inline constexpr double pcbVoltage = 4.1;
+
+/** Nominal per-layer (per-SM) supply voltage. */
+inline constexpr double smVoltage = 1.0;
+
+/** Number of streaming multiprocessors. */
+inline constexpr int numSMs = 16;
+
+/** Number of series-stacked voltage layers. */
+inline constexpr int numLayers = 4;
+
+/** SMs per layer (= columns of the 4x4 stacking array). */
+inline constexpr int smsPerLayer = numSMs / numLayers;
+
+/** SM core clock (Hz). */
+inline constexpr double smClockHz = 700e6;
+
+/** One GPU clock period (s). */
+inline constexpr double clockPeriod = 1.0 / smClockHz;
+
+/** Maximum warps issued per SM per cycle (Fermi dual issue). */
+inline constexpr int maxIssueWidth = 2;
+
+/** Threads per warp. */
+inline constexpr int threadsPerWarp = 32;
+
+/** Maximum resident threads per SM. */
+inline constexpr int threadsPerSM = 1536;
+
+/** Maximum resident warps per SM. */
+inline constexpr int warpsPerSM = threadsPerSM / threadsPerWarp;
+
+/** Voltage guardband used by commercial GPUs (paper: 0.2 V). */
+inline constexpr double voltageMargin = 0.2;
+
+/** Minimum acceptable SM rail voltage (= smVoltage - margin). */
+inline constexpr double minSafeVoltage = smVoltage - voltageMargin;
+
+/** Default voltage-smoothing controller trigger threshold (V). */
+inline constexpr double defaultVThreshold = 0.9;
+
+/** GPU die area in mm^2 (Fermi GF100-class, paper Section III-C). */
+inline constexpr double gpuDieAreaMm2 = 529.0;
+
+/** CR-IVR area needed for a circuit-only guarantee (paper: 912 mm^2). */
+inline constexpr double circuitOnlyIvrAreaMm2 = 912.0;
+
+/** Default cross-layer CR-IVR area budget (0.2 x GPU area). */
+inline constexpr double defaultIvrAreaFraction = 0.2;
+
+/** Default end-to-end control-loop latency in cycles (paper: 60). */
+inline constexpr int defaultControlLatency = 60;
+
+/** Peak SM power used for normalization (W). */
+inline constexpr double peakSmPower = 14.0;
+
+} // namespace config
+
+} // namespace vsgpu
+
+#endif // VSGPU_COMMON_UNITS_HH

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * The boundary-triggered proportional voltage-smoothing controller
+ * (paper Algorithm 1) and the weighted actuation split of eq. (9).
+ *
+ * Every control period the controller reads the detected per-SM layer
+ * voltages; for each SM whose voltage fell below the threshold it
+ * computes a proportional correction and splits it across the three
+ * actuators by the configured weights:
+ *
+ *   - DIWS on the droopy SM itself (reduce its power),
+ *   - FII on the vertically adjacent SM of the same column (raise the
+ *     neighbouring layer's power),
+ *   - DCC alongside that neighbour (current-DAC compensation).
+ *
+ * The full sensing-computation-actuation loop latency is modeled with
+ * a command delay line.
+ */
+
+#ifndef VSGPU_CONTROL_CONTROLLER_HH
+#define VSGPU_CONTROL_CONTROLLER_HH
+
+#include <array>
+#include <deque>
+#include <vector>
+
+#include "common/units.hh"
+#include "control/dcc.hh"
+#include "control/detector.hh"
+
+namespace vsgpu
+{
+
+/** Per-SM actuation command. */
+struct SmCommand
+{
+    double issueWidth = static_cast<double>(config::maxIssueWidth);
+    double fakeRate = 0.0;
+    double dccAmps = 0.0;
+};
+
+/** Commands for all SMs. */
+using CommandSet = std::array<SmCommand, config::numSMs>;
+
+/** Controller configuration (paper Algorithm 1 + eq. (9)). */
+struct ControllerConfig
+{
+    /** Trigger threshold: smoothing engages below this voltage. */
+    double vThreshold = config::defaultVThreshold;
+
+    /** Nominal layer voltage. */
+    double vNominal = config::smVoltage;
+
+    /** Actuation weights for DIWS / FII / DCC (sum need not be 1). */
+    double w1 = 1.0;
+    double w2 = 0.0;
+    double w3 = 0.0;
+
+    /**
+     * Proportional gain: watts of per-SM power correction per volt
+     * of deviation from nominal.  k1/k2/k3 of Algorithm 1 are this
+     * gain expressed in each actuator's native unit.
+     */
+    double gainWattsPerVolt = 12.0;
+
+    /**
+     * Integral gain (W per volt-period of accumulated deviation),
+     * extending the paper's proportional controller to PI.  Zero
+     * (the paper's configuration) disables the integral path.  The
+     * integrator only accumulates while the SM is below threshold
+     * and is clamped (anti-windup) so releases stay bounded.
+     */
+    double integralGainWattsPerVolt = 0.0;
+
+    /** Anti-windup clamp on the integral correction (W). */
+    double integralClampWatts = 6.0;
+
+    /** Average dynamic power of one issue-width unit (W). */
+    double powerPerIssueWidth = 2.2;
+
+    /** Average power of one fake instruction per cycle (W). */
+    double powerPerFakeRate = 1.4;
+
+    /** Control decision period (cycles). */
+    Cycle period = 30;
+
+    /**
+     * Per-cycle exponential approach rates of the applied command
+     * toward the latest decision.  Onset (more throttling / more
+     * injection) is fast so droops are caught quickly; release is
+     * slow so warps accumulated during a throttle window do not
+     * burst out at full width and re-trigger the droop (a
+     * relaxation oscillation otherwise).
+     */
+    double onsetSmoothing = 0.30;
+    double releaseSmoothing = 0.05;
+
+    /**
+     * End-to-end loop latency in cycles (sensing + computation +
+     * communication + actuation); commands take effect this many
+     * cycles after the voltages they respond to (paper default 60).
+     */
+    Cycle loopLatency = config::defaultControlLatency;
+
+    /** Detector implementation (latency is part of loopLatency). */
+    DetectorSpec detector = {};
+
+    /** DCC current-DAC design. */
+    DccDac dcc = {};
+};
+
+/**
+ * The voltage-smoothing controller for the 16-SM array.
+ */
+class SmoothingController
+{
+  public:
+    explicit SmoothingController(const ControllerConfig &cfg = {});
+
+    /**
+     * Advance one cycle.
+     *
+     * @param railVolts actual per-SM layer voltages this cycle.
+     * @return the command set to apply THIS cycle (reflecting
+     *         decisions made loopLatency cycles ago).
+     */
+    const CommandSet &step(
+        const std::array<double, config::numSMs> &railVolts);
+
+    /** @return configuration. */
+    const ControllerConfig &config() const { return cfg_; }
+
+    /** @return detector power of the whole array (W). */
+    double detectorPower() const;
+
+    /** @return instantaneous DCC power drawn by current commands. */
+    double dccPower(const CommandSet &commands) const;
+
+    /** @return how many decisions triggered smoothing so far. */
+    std::uint64_t triggeredDecisions() const { return triggered_; }
+
+    /** @return total decisions so far. */
+    std::uint64_t totalDecisions() const { return decisions_; }
+
+    /** Reset all state to nominal. */
+    void reset();
+
+  private:
+    /** Run Algorithm 1 on detected voltages, producing a command. */
+    CommandSet decide(
+        const std::array<double, config::numSMs> &detected);
+
+    ControllerConfig cfg_;
+    std::vector<VoltageDetector> detectors_;
+    std::array<double, config::numSMs> lastDetected_{};
+    std::array<double, config::numSMs> periodAccum_{};
+    int periodFill_ = 0;
+
+    /** Pending commands: decided, waiting out the loop latency. */
+    std::deque<std::pair<Cycle, CommandSet>> pending_;
+    CommandSet active_{};
+    CommandSet applied_{};
+    Cycle now_ = 0;
+
+    /** PI integrator state per SM (volt-periods of deviation). */
+    std::array<double, config::numSMs> integral_{};
+
+    std::uint64_t decisions_ = 0;
+    std::uint64_t triggered_ = 0;
+};
+
+} // namespace vsgpu
+
+#endif // VSGPU_CONTROL_CONTROLLER_HH

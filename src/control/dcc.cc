@@ -1,0 +1,17 @@
+#include "control/dcc.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vsgpu
+{
+
+double
+DccDac::quantize(double amps) const
+{
+    const double lsb = lsbAmps();
+    const double clamped = std::clamp(amps, 0.0, fullScaleAmps);
+    return std::round(clamped / lsb) * lsb;
+}
+
+} // namespace vsgpu

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Dynamic current compensation (DCC) hardware model: a binary-
+ * weighted current-ladder DAC per SM position, digitally controlled
+ * at single-cycle granularity (paper Section IV-C).
+ */
+
+#ifndef VSGPU_CONTROL_DCC_HH
+#define VSGPU_CONTROL_DCC_HH
+
+#include "common/units.hh"
+
+namespace vsgpu
+{
+
+/**
+ * Binary-weighted current DAC.
+ */
+struct DccDac
+{
+    /** DAC resolution (bits). */
+    int bits = 6;
+
+    /** Full-scale compensation current (A). */
+    double fullScaleAmps = 3.0;
+
+    /** Static leakage of one DAC macro (W). */
+    double leakageWatts = 0.015;
+
+    /** Die area of one DAC macro (mm^2). */
+    double areaMm2 = 0.12;
+
+    /** @return LSB current step (A). */
+    double
+    lsbAmps() const
+    {
+        return fullScaleAmps / static_cast<double>((1 << bits) - 1);
+    }
+
+    /** @return unit power of the LSB at the layer voltage (W),
+     *  the Pd0 of paper eq. (9). */
+    double
+    lsbPowerWatts(double layerVolts = config::smVoltage) const
+    {
+        return lsbAmps() * layerVolts;
+    }
+
+    /** @return the requested current quantized to the DAC grid and
+     *  clamped to [0, full scale]. */
+    double quantize(double amps) const;
+};
+
+} // namespace vsgpu
+
+#endif // VSGPU_CONTROL_DCC_HH

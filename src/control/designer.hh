@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Control-theoretic design and verification of the voltage-smoothing
+ * loop (paper Section IV-A/B).
+ *
+ * The boundary-rail dynamics of one stacking column reduce to
+ *   Vdot_i = (P_{i+1} - P_i) / C + dI_i / C,   i = 1..3
+ * (eq. (4) linearized around the evenly divided equilibrium).  The
+ * proportional layer-voltage feedback P_i = P_nom + k (L_i - L_nom)
+ * with layer voltage L_i = V_i - V_{i-1} yields the closed loop
+ *   Vdot = (k/C) Lap V + dI / C
+ * where Lap is the 1-D Laplacian — stable for every k > 0 in
+ * continuous time.  The real limit is the loop delay: commands are
+ * computed from samples one control period old.  We model the delayed
+ * discrete loop exactly with the augmented system
+ *   [x[n+1]; x[n]] = [[Ad, BdK], [I, 0]] [x[n]; x[n-1]]
+ * and verify (a) spectral radius < 1 and (b) the peak
+ * disturbance-to-state gain over frequencies below Nyquist, which
+ * bounds the worst droop for disturbances the architecture loop is
+ * responsible for (paper's Bode-plot argument).
+ */
+
+#ifndef VSGPU_CONTROL_DESIGNER_HH
+#define VSGPU_CONTROL_DESIGNER_HH
+
+#include "common/units.hh"
+#include "numeric/statespace.hh"
+
+namespace vsgpu
+{
+
+/** Inputs to the control design. */
+struct ControlDesignSpec
+{
+    /** Per-boundary-rail capacitance (F): layer decap plus CR-IVR
+     *  flying-cap contribution. */
+    double boundaryCapF = 4.0 * 100e-9;
+
+    /** Proportional gain (W per volt of layer-voltage deviation),
+     *  aggregated per layer. */
+    double gainWattsPerVolt = 160.0;
+
+    /** Full control-loop latency = sampling period (cycles). */
+    Cycle loopLatencyCycles = config::defaultControlLatency;
+};
+
+/** Result of a control design evaluation. */
+struct ControlDesign
+{
+    StateSpace plant;       ///< continuous A (3x3 zeros) and B (3x4)
+    Matrix feedback;        ///< K (4x3)
+    Matrix augmented;       ///< delayed closed-loop matrix (6x6)
+    double samplePeriodSec = 0.0;
+    double boundaryCapF = 1.0; ///< capacitance the design assumed
+    double spectralRadius = 0.0;
+    bool stable = false;
+
+    /** Peak gain from a per-period state disturbance (volts of droop
+     *  per volt-equivalent of disturbance) below Nyquist. */
+    double peakDisturbanceGain = 0.0;
+
+    /**
+     * @return worst steady droop (V) for a sinusoidal imbalance
+     * current of the given amplitude below the Nyquist frequency.
+     */
+    double worstDroopVolts(double imbalanceAmps) const;
+};
+
+/** Evaluate a candidate design. */
+ControlDesign designController(const ControlDesignSpec &spec);
+
+/**
+ * @return the largest stable gain (W/V) for the given capacitance and
+ * latency, found by bisection on the spectral radius.
+ */
+double maxStableGain(double boundaryCapF, Cycle loopLatencyCycles);
+
+} // namespace vsgpu
+
+#endif // VSGPU_CONTROL_DESIGNER_HH

@@ -1,0 +1,63 @@
+#include "control/detector.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace vsgpu
+{
+
+DetectorSpec
+detectorSpec(DetectorKind kind)
+{
+    switch (kind) {
+      case DetectorKind::Oddd:
+        return {DetectorKind::Oddd, 2, 0.005, 0.015};
+      case DetectorKind::Cpm:
+        return {DetectorKind::Cpm, 40, 0.045, 0.050};
+      case DetectorKind::Adc:
+        return {DetectorKind::Adc, 4, 0.020, 1.0 / 128.0};
+    }
+    panic("unknown detector kind");
+}
+
+VoltageDetector::VoltageDetector(const DetectorSpec &spec,
+                                 double cutoffHz)
+    : spec_(spec)
+{
+    panicIfNot(cutoffHz > 0.0, "filter cutoff must be positive");
+    // First-order IIR equivalent of the RC filter at the core clock.
+    const double rc = 1.0 / (2.0 * M_PI * cutoffHz);
+    alpha_ = config::clockPeriod / (rc + config::clockPeriod);
+    reset(config::smVoltage);
+}
+
+void
+VoltageDetector::reset(double volts)
+{
+    filtered_ = volts;
+    lastOutput_ = volts;
+    delayLine_.assign(static_cast<std::size_t>(spec_.latency) + 1,
+                      volts);
+    head_ = 0;
+}
+
+double
+VoltageDetector::sample(double actualVolts)
+{
+    if (spec_.stuckAtVolts >= 0.0) {
+        lastOutput_ = spec_.stuckAtVolts;
+        return lastOutput_;
+    }
+    filtered_ += alpha_ * (actualVolts - filtered_);
+
+    delayLine_[head_] = filtered_;
+    head_ = (head_ + 1) % delayLine_.size();
+    const double delayed = delayLine_[head_];
+
+    const double q = spec_.resolutionVolts;
+    lastOutput_ = q > 0.0 ? std::round(delayed / q) * q : delayed;
+    return lastOutput_;
+}
+
+} // namespace vsgpu

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Front-end voltage detectors (paper Table II and Section IV-D1).
+ *
+ * Each SM's rail is observed through an RC low-pass filter (cutoff
+ * 50 MHz, filtering switching noise the architecture loop cannot act
+ * on) followed by a detector with kind-specific latency, power, and
+ * resolution: on-die droop detector (ODDD), critical path monitor
+ * (CPM), or ADC.
+ */
+
+#ifndef VSGPU_CONTROL_DETECTOR_HH
+#define VSGPU_CONTROL_DETECTOR_HH
+
+#include <vector>
+
+#include "common/units.hh"
+
+namespace vsgpu
+{
+
+/** Detector implementation choices (paper Table II). */
+enum class DetectorKind
+{
+    Oddd, ///< on-die droop detector: 1-2 cycles, 10-20 mV
+    Cpm,  ///< critical path monitor: 10-100 cycles, coarse
+    Adc,  ///< analog-to-digital converter: 1-10 cycles, 2^-N V
+};
+
+/** Static properties of a detector implementation. */
+struct DetectorSpec
+{
+    DetectorKind kind = DetectorKind::Adc;
+    Cycle latency = 4;          ///< sensing latency (cycles)
+    double powerWatts = 0.03;   ///< static power
+    double resolutionVolts = 1.0 / 128.0; ///< quantization step
+
+    /**
+     * Fault injection: when non-negative the detector output is
+     * stuck at this value regardless of the rail (models a failed
+     * sensor for reliability studies).  Negative disables the fault.
+     */
+    double stuckAtVolts = -1.0;
+};
+
+/** @return the paper's Table II representative numbers. */
+DetectorSpec detectorSpec(DetectorKind kind);
+
+/**
+ * Behavioural detector: RC low-pass filter + delay line +
+ * quantization.
+ */
+class VoltageDetector
+{
+  public:
+    /**
+     * @param spec     detector implementation.
+     * @param cutoffHz RC filter cutoff (paper: 50 MHz).
+     */
+    explicit VoltageDetector(const DetectorSpec &spec = {},
+                             double cutoffHz = 50e6);
+
+    /**
+     * Push this cycle's actual rail voltage; @return the detector
+     * output visible to the controller this cycle (filtered, delayed
+     * by the sensing latency, quantized).
+     */
+    double sample(double actualVolts);
+
+    /** @return last output without pushing a new sample. */
+    double output() const { return lastOutput_; }
+
+    /** @return the spec. */
+    const DetectorSpec &spec() const { return spec_; }
+
+    /** Reset filter/delay state to a given operating point. */
+    void reset(double volts);
+
+  private:
+    DetectorSpec spec_;
+    double alpha_;            ///< IIR coefficient from the RC cutoff
+    double filtered_;
+    std::vector<double> delayLine_;
+    std::size_t head_ = 0;
+    double lastOutput_;
+};
+
+} // namespace vsgpu
+
+#endif // VSGPU_CONTROL_DETECTOR_HH

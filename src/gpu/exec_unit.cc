@@ -1,0 +1,146 @@
+#include "gpu/exec_unit.hh"
+
+#include "common/logging.hh"
+
+namespace vsgpu
+{
+
+const char *
+execUnitName(ExecUnitKind kind)
+{
+    switch (kind) {
+      case ExecUnitKind::Sp0: return "sp0";
+      case ExecUnitKind::Sp1: return "sp1";
+      case ExecUnitKind::Sfu: return "sfu";
+      case ExecUnitKind::Lsu: return "lsu";
+      case ExecUnitKind::NumUnits: break;
+    }
+    return "?";
+}
+
+Cycle
+occupancyCycles(OpClass op)
+{
+    // Fermi's execution blocks run at the 2x shader clock, so a
+    // 16-lane block retires a 32-thread warp every core cycle.
+    switch (op) {
+      case OpClass::IntAlu:
+      case OpClass::FpAlu:
+        return 1; // 32 threads over 16 double-pumped lanes
+      case OpClass::Sfu:
+        return 4; // 32 threads over 4 double-pumped SFU lanes
+      case OpClass::Load:
+      case OpClass::Store:
+      case OpClass::SharedMem:
+        return 1; // 32 threads over 16 LSU lanes
+      case OpClass::Atomic:
+        return 2; // serialization overhead
+      case OpClass::Sync:
+        return 1; // barriers do not occupy a block
+      case OpClass::NumClasses:
+        break;
+    }
+    return 1;
+}
+
+ExecUnitKind
+primaryUnit(OpClass op)
+{
+    switch (op) {
+      case OpClass::IntAlu:
+      case OpClass::FpAlu:
+        return ExecUnitKind::Sp0;
+      case OpClass::Sfu:
+        return ExecUnitKind::Sfu;
+      case OpClass::Load:
+      case OpClass::Store:
+      case OpClass::SharedMem:
+      case OpClass::Atomic:
+        return ExecUnitKind::Lsu;
+      case OpClass::Sync:
+        return ExecUnitKind::Sp0; // nominal; barriers bypass blocks
+      case OpClass::NumClasses:
+        break;
+    }
+    return ExecUnitKind::Sp0;
+}
+
+ExecUnit::ExecUnit(ExecUnitKind kind)
+    : kind_(kind)
+{
+}
+
+bool
+ExecUnit::canAccept(Cycle now) const
+{
+    if (gatedFlag_ || wakeUntil_ > now)
+        return false;
+    return busyUntil_ <= now;
+}
+
+void
+ExecUnit::accept(OpClass op, Cycle now)
+{
+    panicIfNot(canAccept(now), "accept on a busy or gated unit");
+    busyUntil_ = now + occupancyCycles(op);
+    busyTotal_ += occupancyCycles(op);
+    lastBusy_ = busyUntil_;
+}
+
+Cycle
+ExecUnit::idleCycles(Cycle now) const
+{
+    if (busyUntil_ > now)
+        return 0;
+    return now - lastBusy_;
+}
+
+bool
+ExecUnit::gated(Cycle now) const
+{
+    return gatedFlag_ || wakeUntil_ > now;
+}
+
+void
+ExecUnit::gate(Cycle now, Cycle blackoutCycles)
+{
+    if (gatedFlag_)
+        return;
+    gatedFlag_ = true;
+    gatedSince_ = now;
+    blackoutUntil_ = now + blackoutCycles;
+    ++gateEvents_;
+}
+
+Cycle
+ExecUnit::ungate(Cycle now, Cycle wakeCycles)
+{
+    if (!gatedFlag_)
+        return wakeUntil_ > now ? wakeUntil_ : now;
+    // Honour the blackout period: the wake cannot complete before it.
+    const Cycle start = now > blackoutUntil_ ? now : blackoutUntil_;
+    gatedTotal_ += start - gatedSince_;
+    gatedFlag_ = false;
+    wakeUntil_ = start + wakeCycles;
+    lastBusy_ = wakeUntil_;
+    ++wakeEvents_;
+    return wakeUntil_;
+}
+
+Cycle
+ExecUnit::gatedCycles(Cycle now) const
+{
+    return gatedTotal_ + (gatedFlag_ ? now - gatedSince_ : 0);
+}
+
+void
+ExecUnit::reset(Cycle now)
+{
+    busyUntil_ = now;
+    lastBusy_ = now;
+    gatedFlag_ = false;
+    blackoutUntil_ = now;
+    wakeUntil_ = now;
+}
+
+} // namespace vsgpu

@@ -1,0 +1,88 @@
+#include "gpu/memory.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace vsgpu
+{
+
+MemorySystem::MemorySystem(const MemoryConfig &config)
+    : config_(config), rng_(config.seed)
+{
+    panicIfNot(config_.dramRequestsPerCycle > 0.0,
+               "DRAM bandwidth must be positive");
+}
+
+void
+MemorySystem::setL1HitRate(double rate)
+{
+    panicIfNot(rate >= 0.0 && rate <= 1.0, "L1 hit rate in [0,1]");
+    config_.l1HitRate = rate;
+}
+
+Cycle
+MemorySystem::access(OpClass op, bool rowHit, Cycle now)
+{
+    return accessWithHints(op, rowHit,
+                           rng_.bernoulli(config_.l1HitRate),
+                           rng_.bernoulli(config_.l2HitRate), now);
+}
+
+Cycle
+MemorySystem::accessWithHints(OpClass op, bool rowHit, bool l1Hit,
+                              bool l2Hit, Cycle now)
+{
+    panicIfNot(isMemoryOp(op), "non-memory op in MemorySystem");
+    ++accesses_;
+
+    if (op == OpClass::SharedMem)
+        return now + config_.sharedLatency;
+
+    const bool atomic = op == OpClass::Atomic;
+    if (!atomic && l1Hit) {
+        ++l1Hits_;
+        return now + config_.l1Latency;
+    }
+    if (!atomic && l2Hit) {
+        ++l2Hits_;
+        return now + config_.l2Latency;
+    }
+
+    // DRAM: bandwidth-limited channel; FR-FCFS approximated by giving
+    // row hits both priority (shorter queue occupancy) and lower
+    // service latency.
+    ++dramAccesses_;
+    const double nowD = static_cast<double>(now);
+    const double start = std::max(nowD, dramNextFree_);
+    dramQueueingTotal_ += start - nowD;
+    const double serviceSlots = rowHit ? 1.0 : 2.0;
+    dramNextFree_ = start + serviceSlots / config_.dramRequestsPerCycle;
+
+    Cycle latency = rowHit ? config_.dramRowHitLatency
+                           : config_.dramRowMissLatency;
+    if (atomic)
+        latency += config_.atomicExtraLatency;
+    return static_cast<Cycle>(start) + latency;
+}
+
+double
+MemorySystem::avgDramQueueing() const
+{
+    if (dramAccesses_ == 0)
+        return 0.0;
+    return dramQueueingTotal_ / static_cast<double>(dramAccesses_);
+}
+
+void
+MemorySystem::reset()
+{
+    dramNextFree_ = 0.0;
+    accesses_ = 0;
+    l1Hits_ = 0;
+    l2Hits_ = 0;
+    dramAccesses_ = 0;
+    dramQueueingTotal_ = 0.0;
+}
+
+} // namespace vsgpu

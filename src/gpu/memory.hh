@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Shared memory hierarchy: per-SM L1 (probabilistic hit model with a
+ * workload-supplied hit rate), a shared L2, and a bandwidth-limited
+ * DRAM channel model with FR-FCFS-style row-buffer sensitivity
+ * (row hits are cheaper, as scheduled first by the controller).
+ */
+
+#ifndef VSGPU_GPU_MEMORY_HH
+#define VSGPU_GPU_MEMORY_HH
+
+#include <cstdint>
+
+#include "common/random.hh"
+#include "common/units.hh"
+#include "gpu/isa.hh"
+
+namespace vsgpu
+{
+
+/** Latency and bandwidth parameters of the memory hierarchy. */
+struct MemoryConfig
+{
+    double l1HitRate = 0.6;   ///< per-workload
+    double l2HitRate = 0.5;   ///< residual hit rate in the shared L2
+
+    Cycle sharedLatency = 30; ///< shared-memory access
+    Cycle l1Latency = 28;     ///< L1 hit
+    Cycle l2Latency = 130;    ///< L1 miss, L2 hit (total)
+    Cycle dramRowHitLatency = 260;  ///< total latency, row-buffer hit
+    Cycle dramRowMissLatency = 440; ///< total latency, row-buffer miss
+    Cycle atomicExtraLatency = 120; ///< serialization of atomics
+
+    /**
+     * DRAM service bandwidth in requests per core cycle:
+     * 179.2 GB/s at 700 MHz with 128 B transactions = 2.0 req/cycle.
+     */
+    double dramRequestsPerCycle = 2.0;
+
+    std::uint64_t seed = 0x5eed0001;
+};
+
+/**
+ * The GPU-wide memory system shared by all SMs.
+ */
+class MemorySystem
+{
+  public:
+    explicit MemorySystem(const MemoryConfig &config = {});
+
+    /**
+     * Perform one warp memory access with probabilistic cache
+     * outcomes (rolls this system's RNG at the configured rates).
+     *
+     * @param op     memory op class.
+     * @param rowHit DRAM row-buffer locality hint from the trace.
+     * @param now    issue cycle.
+     * @return cycle at which the result is available.
+     */
+    Cycle access(OpClass op, bool rowHit, Cycle now);
+
+    /**
+     * Perform one warp memory access with the cache outcomes decided
+     * by the trace (deterministic across runs and access orders).
+     */
+    Cycle accessWithHints(OpClass op, bool rowHit, bool l1Hit,
+                          bool l2Hit, Cycle now);
+
+    /** @return configured parameters. */
+    const MemoryConfig &config() const { return config_; }
+
+    /** Change the L1 hit rate (per-workload). */
+    void setL1HitRate(double rate);
+
+    // --- statistics ---
+    std::uint64_t accesses() const { return accesses_; }
+    std::uint64_t l1Hits() const { return l1Hits_; }
+    std::uint64_t l2Hits() const { return l2Hits_; }
+    std::uint64_t dramAccesses() const { return dramAccesses_; }
+
+    /** @return average DRAM queueing delay (cycles). */
+    double avgDramQueueing() const;
+
+    /** Reset statistics and queue state. */
+    void reset();
+
+  private:
+    MemoryConfig config_;
+    Rng rng_;
+
+    /** Next cycle at which the DRAM channel can start a request. */
+    double dramNextFree_ = 0.0;
+
+    std::uint64_t accesses_ = 0;
+    std::uint64_t l1Hits_ = 0;
+    std::uint64_t l2Hits_ = 0;
+    std::uint64_t dramAccesses_ = 0;
+    double dramQueueingTotal_ = 0.0;
+};
+
+} // namespace vsgpu
+
+#endif // VSGPU_GPU_MEMORY_HH

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Per-warp instruction streams.
+ *
+ * A WarpProgram yields the instruction sequence one warp executes.
+ * Workload generators implement it procedurally (so multi-million
+ * instruction benchmarks need no trace storage); tests use the
+ * vector-backed TraceProgram.
+ */
+
+#ifndef VSGPU_GPU_PROGRAM_HH
+#define VSGPU_GPU_PROGRAM_HH
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "gpu/isa.hh"
+
+namespace vsgpu
+{
+
+/**
+ * Abstract instruction stream for one warp.
+ */
+class WarpProgram
+{
+  public:
+    virtual ~WarpProgram() = default;
+
+    /** @return the next instruction, or nullopt at end of program. */
+    virtual std::optional<WarpInstr> next() = 0;
+};
+
+/**
+ * A WarpProgram backed by a fixed instruction vector.
+ */
+class TraceProgram : public WarpProgram
+{
+  public:
+    explicit TraceProgram(std::vector<WarpInstr> instrs)
+        : instrs_(std::move(instrs))
+    {
+    }
+
+    std::optional<WarpInstr>
+    next() override
+    {
+        if (pos_ >= instrs_.size())
+            return std::nullopt;
+        return instrs_[pos_++];
+    }
+
+  private:
+    std::vector<WarpInstr> instrs_;
+    std::size_t pos_ = 0;
+};
+
+/**
+ * Factory handed to the GPU when a kernel launches: produces the
+ * program for each (SM, warp slot) pair.
+ */
+class ProgramFactory
+{
+  public:
+    virtual ~ProgramFactory() = default;
+
+    /** @return warps resident per SM for this kernel. */
+    virtual int warpsPerSm() const = 0;
+
+    /** Create the instruction stream for one warp. */
+    virtual std::unique_ptr<WarpProgram> makeProgram(int sm,
+                                                     int warp) const = 0;
+};
+
+} // namespace vsgpu
+
+#endif // VSGPU_GPU_PROGRAM_HH

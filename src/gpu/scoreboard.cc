@@ -1,0 +1,74 @@
+#include "gpu/scoreboard.hh"
+
+#include "common/logging.hh"
+
+namespace vsgpu
+{
+
+Scoreboard::Scoreboard(int numWarps, int numRegs)
+    : numWarps_(numWarps), numRegs_(numRegs)
+{
+    panicIfNot(numWarps_ > 0 && numRegs_ > 0,
+               "scoreboard needs positive warp/reg counts");
+    pending_.assign(
+        static_cast<std::size_t>(numWarps_) *
+            static_cast<std::size_t>(numRegs_),
+        0);
+}
+
+bool
+Scoreboard::regFree(int warp, std::uint8_t reg, Cycle now) const
+{
+    if (reg == noReg)
+        return true;
+    panicIfNot(reg < numRegs_, "register id out of range");
+    const Cycle until =
+        pending_[static_cast<std::size_t>(warp) *
+                     static_cast<std::size_t>(numRegs_) +
+                 reg];
+    return until <= now;
+}
+
+bool
+Scoreboard::ready(int warp, const WarpInstr &instr, Cycle now) const
+{
+    panicIfNot(warp >= 0 && warp < numWarps_, "bad warp index ", warp);
+    return regFree(warp, instr.src0, now) &&
+           regFree(warp, instr.src1, now) &&
+           regFree(warp, instr.dest, now);
+}
+
+void
+Scoreboard::recordIssue(int warp, const WarpInstr &instr, Cycle readyAt)
+{
+    panicIfNot(warp >= 0 && warp < numWarps_, "bad warp index ", warp);
+    if (instr.dest == noReg)
+        return;
+    panicIfNot(instr.dest < numRegs_, "register id out of range");
+    pending_[static_cast<std::size_t>(warp) *
+                 static_cast<std::size_t>(numRegs_) +
+             instr.dest] = readyAt;
+}
+
+void
+Scoreboard::releaseWarp(int warp)
+{
+    panicIfNot(warp >= 0 && warp < numWarps_, "bad warp index ", warp);
+    for (int r = 0; r < numRegs_; ++r)
+        pending_[static_cast<std::size_t>(warp) *
+                     static_cast<std::size_t>(numRegs_) +
+                 static_cast<std::size_t>(r)] = 0;
+}
+
+Cycle
+Scoreboard::pendingUntil(int warp, std::uint8_t reg) const
+{
+    panicIfNot(warp >= 0 && warp < numWarps_, "bad warp index ", warp);
+    if (reg == noReg || reg >= numRegs_)
+        return 0;
+    return pending_[static_cast<std::size_t>(warp) *
+                        static_cast<std::size_t>(numRegs_) +
+                    reg];
+}
+
+} // namespace vsgpu

@@ -1,0 +1,332 @@
+#include "gpu/sm.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace vsgpu
+{
+
+Sm::Sm(int id, const SmConfig &cfg, MemorySystem &mem)
+    : id_(id), cfg_(cfg), mem_(mem),
+      scoreboard_(config::warpsPerSM, cfg.numRegs),
+      units_{ExecUnit(ExecUnitKind::Sp0), ExecUnit(ExecUnitKind::Sp1),
+             ExecUnit(ExecUnitKind::Sfu), ExecUnit(ExecUnitKind::Lsu)},
+      issueLimit_(static_cast<double>(cfg.maxIssueWidth))
+{
+    panicIfNot(cfg_.maxIssueWidth > 0, "issue width must be positive");
+}
+
+void
+Sm::launch(const ProgramFactory &factory, Cycle now)
+{
+    const int numWarps = factory.warpsPerSm();
+    panicIfNot(numWarps > 0 && numWarps <= config::warpsPerSM,
+               "kernel warp count out of range: ", numWarps);
+    warps_.clear();
+    warps_.resize(static_cast<std::size_t>(numWarps));
+    for (int w = 0; w < numWarps; ++w) {
+        warps_[static_cast<std::size_t>(w)].program =
+            factory.makeProgram(id_, w);
+        scoreboard_.releaseWarp(w);
+    }
+    activeWarps_ = numWarps;
+    lastIssuedWarp_ = -1;
+    issueTokens_ = 0.0;
+    fakeTokens_ = 0.0;
+    for (auto &u : units_)
+        u.reset(now);
+}
+
+void
+Sm::refill(WarpContext &warp)
+{
+    if (warp.finished || warp.pending.has_value())
+        return;
+    warp.pending = warp.program->next();
+    if (!warp.pending.has_value()) {
+        warp.finished = true;
+        --activeWarps_;
+    }
+}
+
+void
+Sm::checkBarrier()
+{
+    bool anyWaiting = false;
+    for (const auto &w : warps_) {
+        if (w.finished)
+            continue;
+        if (!w.atBarrier)
+            return; // someone still running
+        anyWaiting = true;
+    }
+    if (!anyWaiting)
+        return;
+    for (auto &w : warps_) {
+        if (w.finished || !w.atBarrier)
+            continue;
+        w.atBarrier = false;
+        w.pending.reset();
+        ++retired_;
+    }
+}
+
+Cycle
+Sm::resultLatency(const WarpInstr &instr, Cycle now)
+{
+    switch (instr.op) {
+      case OpClass::IntAlu:
+        return now + cfg_.intAluLatency;
+      case OpClass::FpAlu:
+        return now + cfg_.fpAluLatency;
+      case OpClass::Sfu:
+        return now + cfg_.sfuLatency;
+      case OpClass::Load:
+      case OpClass::Store:
+      case OpClass::SharedMem:
+      case OpClass::Atomic:
+        return mem_.accessWithHints(instr.op, instr.rowHit,
+                                    instr.l1Hit, instr.l2Hit, now);
+      case OpClass::Sync:
+      case OpClass::NumClasses:
+        break;
+    }
+    return now + 1;
+}
+
+ExecUnit *
+Sm::findUnit(OpClass op, Cycle now)
+{
+    const auto tryUnit = [&](ExecUnitKind kind) -> ExecUnit * {
+        ExecUnit &u = unit(kind);
+        if (u.canAccept(now))
+            return &u;
+        if (u.gated(now)) {
+            // Demand wake-up: the instruction waits for the block.
+            if (u.gateRequested()) {
+                u.ungate(now, cfg_.pgWakeLatency);
+                ++events_.wakeEvents;
+            }
+        }
+        return nullptr;
+    };
+
+    if (op == OpClass::IntAlu || op == OpClass::FpAlu) {
+        if (ExecUnit *u = tryUnit(ExecUnitKind::Sp0))
+            return u;
+        return tryUnit(ExecUnitKind::Sp1);
+    }
+    return tryUnit(primaryUnit(op));
+}
+
+void
+Sm::buildSchedule(std::vector<int> &order, Cycle now)
+{
+    order.clear();
+    const int n = static_cast<int>(warps_.size());
+
+    if (cfg_.scheduler == SchedulerKind::Gates) {
+        // Gating-aware: first the warps whose next op targets an
+        // un-gated block (keeps idle blocks idle so they can gate),
+        // then the rest, each group in oldest-first order.
+        for (int pass = 0; pass < 2; ++pass) {
+            for (int w = 0; w < n; ++w) {
+                const auto &warp = warps_[static_cast<std::size_t>(w)];
+                if (warp.finished || !warp.pending.has_value())
+                    continue;
+                const ExecUnitKind kind =
+                    primaryUnit(warp.pending->op);
+                const bool hot = !unit(kind).gated(now);
+                if ((pass == 0) == hot)
+                    order.push_back(w);
+            }
+        }
+        return;
+    }
+
+    // GTO: greedy warp first, then oldest-first (slot order).
+    if (lastIssuedWarp_ >= 0 && lastIssuedWarp_ < n)
+        order.push_back(lastIssuedWarp_);
+    for (int w = 0; w < n; ++w)
+        if (w != lastIssuedWarp_)
+            order.push_back(w);
+}
+
+const SmCycleEvents &
+Sm::step(Cycle now)
+{
+    events_ = SmCycleEvents{};
+    events_.active = activeWarps_ > 0;
+    ++cyclesRun_;
+
+    if (activeWarps_ == 0)
+        return events_;
+
+    // DIWS token bucket: average issue rate <= issueLimit_.
+    issueTokens_ = std::min(
+        issueTokens_ + issueLimit_,
+        static_cast<double>(cfg_.maxIssueWidth));
+
+    int slots = cfg_.maxIssueWidth;
+    bool throttledThisCycle = false;
+
+    static thread_local std::vector<int> order;
+    // Refill all pending slots first so scheduling sees fresh state.
+    for (auto &warp : warps_)
+        refill(warp);
+    buildSchedule(order, now);
+
+    std::size_t cursor = 0;
+    while (slots > 0 && cursor < order.size()) {
+        if (issueTokens_ < 1.0) {
+            // A slot exists but DIWS withholds it; remember whether
+            // real work was available so the throttle is chargeable.
+            for (std::size_t k = cursor; k < order.size(); ++k) {
+                auto &w = warps_[static_cast<std::size_t>(order[k])];
+                if (!w.finished && w.pending.has_value() &&
+                    !w.atBarrier &&
+                    scoreboard_.ready(order[k], *w.pending, now)) {
+                    throttledThisCycle = true;
+                    break;
+                }
+            }
+            break;
+        }
+
+        const int wIdx = order[cursor];
+        WarpContext &warp = warps_[static_cast<std::size_t>(wIdx)];
+        if (warp.finished || !warp.pending.has_value() ||
+            warp.atBarrier) {
+            ++cursor;
+            continue;
+        }
+
+        const WarpInstr instr = *warp.pending;
+
+        if (instr.op == OpClass::Sync) {
+            warp.atBarrier = true;
+            ++cursor;
+            continue;
+        }
+
+        if (!scoreboard_.ready(wIdx, instr, now)) {
+            ++cursor;
+            continue;
+        }
+
+        ExecUnit *execUnit = findUnit(instr.op, now);
+        if (execUnit == nullptr) {
+            ++cursor;
+            continue;
+        }
+
+        // Issue.
+        execUnit->accept(instr.op, now);
+        const Cycle readyAt = resultLatency(instr, now);
+        scoreboard_.recordIssue(wIdx, instr, readyAt);
+        warp.pending.reset();
+        refill(warp);
+
+        events_.issued[static_cast<std::size_t>(instr.op)] += 1;
+        issuedByClass_[static_cast<std::size_t>(instr.op)] += 1;
+        events_.lanesActive += instr.activeLanes;
+        ++retired_;
+        ++issuedTotal_;
+        issueTokens_ -= 1.0;
+        --slots;
+
+        // Greedy: keep trying the same warp (do not advance cursor)
+        // unless it just stalled; the ready checks above handle that.
+        lastIssuedWarp_ = wIdx;
+    }
+
+    if (throttledThisCycle)
+        ++throttledCycles_;
+
+    checkBarrier();
+
+    // Fake instruction injection into leftover slots, limited by the
+    // injection-rate budget and SP block availability.
+    if (fakeRate_ > 0.0 && slots > 0) {
+        fakeTokens_ = std::min(
+            fakeTokens_ + fakeRate_,
+            static_cast<double>(cfg_.maxIssueWidth));
+        while (slots > 0 && fakeTokens_ >= 1.0) {
+            ExecUnit *u = findUnit(OpClass::IntAlu, now);
+            if (u == nullptr)
+                break;
+            u->accept(OpClass::IntAlu, now);
+            events_.fakeIssued += 1;
+            ++fakeTotal_;
+            fakeTokens_ -= 1.0;
+            --slots;
+        }
+    } else {
+        fakeTokens_ = 0.0;
+    }
+
+    return events_;
+}
+
+void
+Sm::setIssueWidthLimit(double warpsPerCycle)
+{
+    issueLimit_ = std::clamp(
+        warpsPerCycle, 0.0, static_cast<double>(cfg_.maxIssueWidth));
+}
+
+void
+Sm::setFakeInjectRate(double perCycle)
+{
+    fakeRate_ = std::clamp(
+        perCycle, 0.0, static_cast<double>(cfg_.maxIssueWidth));
+}
+
+ExecUnit &
+Sm::unit(ExecUnitKind kind)
+{
+    return units_[static_cast<std::size_t>(kind)];
+}
+
+const ExecUnit &
+Sm::unit(ExecUnitKind kind) const
+{
+    return units_[static_cast<std::size_t>(kind)];
+}
+
+void
+Sm::requestGate(ExecUnitKind kind, Cycle now)
+{
+    unit(kind).gate(now, cfg_.pgBlackout);
+}
+
+double
+Sm::avgIssueRate() const
+{
+    if (cyclesRun_ == 0)
+        return 0.0;
+    return static_cast<double>(issuedTotal_) /
+           static_cast<double>(cyclesRun_);
+}
+
+SmStats
+Sm::stats() const
+{
+    SmStats s;
+    s.cycles = cyclesRun_;
+    s.retired = retired_;
+    s.fakeIssued = fakeTotal_;
+    s.throttledCycles = throttledCycles_;
+    s.issuedByClass = issuedByClass_;
+    for (int u = 0; u < numExecUnits; ++u) {
+        const auto &eu = units_[static_cast<std::size_t>(u)];
+        s.unitBusyCycles[static_cast<std::size_t>(u)] =
+            eu.busyCycles();
+        s.gateEvents[static_cast<std::size_t>(u)] = eu.gateEvents();
+    }
+    s.avgIssueRate = avgIssueRate();
+    return s;
+}
+
+} // namespace vsgpu

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Cycle-level streaming multiprocessor model.
+ *
+ * The SM implements the paper's Fig. 6 microarchitecture at the level
+ * the voltage-stacking study needs: a dual-issue front end fed by a
+ * greedy-then-oldest (GTO) warp scheduler with scoreboard dependence
+ * checks, four execution blocks (SP0/SP1/SFU/LSU), barriers, and a
+ * shared memory hierarchy.  It exposes the two architecture-level
+ * voltage-smoothing actuators:
+ *
+ *   - dynamic issue width scaling (DIWS): a fractional issue-rate
+ *     limit realized with a token bucket (the paper's down-counter
+ *     per N cycles), and
+ *   - fake instruction injection (FII): fake ops filling otherwise
+ *     idle issue slots, consuming energy without architectural
+ *     effect,
+ *
+ * plus per-execution-block power gating with blackout and wake-up
+ * penalties (for the Warped-Gates-style policy).
+ */
+
+#ifndef VSGPU_GPU_SM_HH
+#define VSGPU_GPU_SM_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "gpu/exec_unit.hh"
+#include "gpu/memory.hh"
+#include "gpu/program.hh"
+#include "gpu/scoreboard.hh"
+
+namespace vsgpu
+{
+
+/** Warp scheduler flavours. */
+enum class SchedulerKind
+{
+    Gto,   ///< greedy-then-oldest (paper Table I)
+    Gates, ///< gating-aware scheduler (Warped Gates' GATES)
+};
+
+/** Static SM configuration. */
+struct SmConfig
+{
+    int maxIssueWidth = config::maxIssueWidth;
+    int numRegs = 64;
+
+    Cycle intAluLatency = 12;
+    Cycle fpAluLatency = 18;
+    Cycle sfuLatency = 22;
+
+    /** Power-gating wake-up latency (cycles). */
+    Cycle pgWakeLatency = 11;
+    /** Blackout: minimum cycles a gated block stays gated
+     *  (Warped Gates' break-even period). */
+    Cycle pgBlackout = 24;
+
+    SchedulerKind scheduler = SchedulerKind::Gto;
+};
+
+/** Micro-architectural events of one SM cycle (power-model input). */
+struct SmCycleEvents
+{
+    std::array<int, numOpClasses> issued{};
+    int fakeIssued = 0;
+    int lanesActive = 0;   ///< sum of active lanes of real issues
+    int wakeEvents = 0;    ///< power-gating wake-ups this cycle
+    bool active = false;   ///< SM still has unfinished warps
+    bool clocked = true;   ///< false on cycles skipped by DFS
+
+    /** @return real warp instructions issued this cycle. */
+    int
+    totalIssued() const
+    {
+        int n = 0;
+        for (int v : issued)
+            n += v;
+        return n;
+    }
+};
+
+/** Aggregate statistics snapshot of one SM. */
+struct SmStats
+{
+    std::uint64_t cycles = 0;
+    std::uint64_t retired = 0;
+    std::uint64_t fakeIssued = 0;
+    std::uint64_t throttledCycles = 0;
+    std::array<std::uint64_t, numOpClasses> issuedByClass{};
+    std::array<Cycle, numExecUnits> unitBusyCycles{};
+    std::array<std::uint64_t, numExecUnits> gateEvents{};
+    double avgIssueRate = 0.0;
+};
+
+/**
+ * One streaming multiprocessor.
+ */
+class Sm
+{
+  public:
+    /**
+     * @param id  SM index within the GPU.
+     * @param cfg static configuration.
+     * @param mem shared memory system (must outlive the SM).
+     */
+    Sm(int id, const SmConfig &cfg, MemorySystem &mem);
+
+    /** Install a kernel's warps; resets all pipeline state. */
+    void launch(const ProgramFactory &factory, Cycle now = 0);
+
+    /** @return true when every warp has drained. */
+    bool done() const { return activeWarps_ == 0; }
+
+    /** Advance one core cycle; @return the cycle's events. */
+    const SmCycleEvents &step(Cycle now);
+
+    /** @return events of the most recent step. */
+    const SmCycleEvents &lastEvents() const { return events_; }
+
+    // --- voltage-smoothing actuators ---
+
+    /** Set the DIWS issue-rate limit (warps/cycle, fractional OK). */
+    void setIssueWidthLimit(double warpsPerCycle);
+
+    /** @return current DIWS limit (warps/cycle). */
+    double issueWidthLimit() const { return issueLimit_; }
+
+    /** Set the FII injection rate (fake instructions/cycle). */
+    void setFakeInjectRate(double perCycle);
+
+    /** @return current FII rate. */
+    double fakeInjectRate() const { return fakeRate_; }
+
+    // --- power gating ---
+
+    /** @return an execution block (for gating policies and stats). */
+    ExecUnit &unit(ExecUnitKind kind);
+    const ExecUnit &unit(ExecUnitKind kind) const;
+
+    /** Gate a block using the configured blackout. */
+    void requestGate(ExecUnitKind kind, Cycle now);
+
+    // --- statistics ---
+
+    int id() const { return id_; }
+    std::uint64_t retired() const { return retired_; }
+    std::uint64_t fakeIssuedTotal() const { return fakeTotal_; }
+    std::uint64_t cyclesRun() const { return cyclesRun_; }
+
+    /** Cycles on which at least one issue slot went unused while a
+     *  warp was throttled purely by DIWS. */
+    std::uint64_t throttledCycles() const { return throttledCycles_; }
+
+    /** @return number of unfinished warps. */
+    int activeWarps() const { return activeWarps_; }
+
+    /** @return average issue rate so far (warps/cycle). */
+    double avgIssueRate() const;
+
+    /** @return an aggregate statistics snapshot. */
+    SmStats stats() const;
+
+  private:
+    /** Per-warp execution context. */
+    struct WarpContext
+    {
+        std::unique_ptr<WarpProgram> program;
+        std::optional<WarpInstr> pending;
+        bool atBarrier = false;
+        bool finished = false;
+    };
+
+    /** Fetch into pending if empty; updates finished state. */
+    void refill(WarpContext &warp);
+
+    /** Release the barrier when every unfinished warp reached it. */
+    void checkBarrier();
+
+    /** @return issue latency (result availability) for an op. */
+    Cycle resultLatency(const WarpInstr &instr, Cycle now);
+
+    /** Try to find an execution block for the op. */
+    ExecUnit *findUnit(OpClass op, Cycle now);
+
+    /** Build the scheduler's candidate order for this cycle. */
+    void buildSchedule(std::vector<int> &order, Cycle now);
+
+    int id_;
+    SmConfig cfg_;
+    MemorySystem &mem_;
+    Scoreboard scoreboard_;
+    std::vector<WarpContext> warps_;
+    std::array<ExecUnit, numExecUnits> units_;
+
+    int activeWarps_ = 0;
+    int lastIssuedWarp_ = -1;
+
+    double issueLimit_;
+    double issueTokens_ = 0.0;
+    double fakeRate_ = 0.0;
+    double fakeTokens_ = 0.0;
+
+    SmCycleEvents events_;
+    std::uint64_t retired_ = 0;
+    std::uint64_t fakeTotal_ = 0;
+    std::uint64_t cyclesRun_ = 0;
+    std::uint64_t issuedTotal_ = 0;
+    std::uint64_t throttledCycles_ = 0;
+    std::array<std::uint64_t, numOpClasses> issuedByClass_{};
+};
+
+} // namespace vsgpu
+
+#endif // VSGPU_GPU_SM_HH

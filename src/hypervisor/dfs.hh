@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Simplified GRAPE-style dynamic frequency scaling (paper Section V):
+ * a per-SM feedback governor that, every 4096-cycle epoch, picks the
+ * lowest 50 MHz frequency step predicted to meet a performance target
+ * expressed as a fraction of full-speed throughput.  Memory-bound
+ * epochs therefore scale down (saving energy at little cost), exactly
+ * the behaviour the paper's DFS experiments rely on.
+ */
+
+#ifndef VSGPU_HYPERVISOR_DFS_HH
+#define VSGPU_HYPERVISOR_DFS_HH
+
+#include <array>
+#include <cstdint>
+
+#include "common/units.hh"
+#include "gpu/gpu.hh"
+
+namespace vsgpu
+{
+
+/** DFS governor configuration. */
+struct DfsConfig
+{
+    /** Target throughput as a fraction of full-speed (e.g. 0.7). */
+    double perfTarget = 0.7;
+
+    /** Decision period (cycles), as in GRAPE. */
+    Cycle epoch = 4096;
+
+    /** Frequency quantization step (Hz), as in GRAPE. */
+    double stepHz = 50e6;
+
+    double minHz = 200e6;
+    double maxHz = config::smClockHz;
+};
+
+/**
+ * Per-SM DFS governor.
+ */
+class DfsGovernor
+{
+  public:
+    explicit DfsGovernor(const DfsConfig &cfg = {});
+
+    /**
+     * Advance one cycle; on epoch boundaries, update the requested
+     * per-SM frequencies from measured progress.
+     *
+     * @param gpu the device (reads retired counters; does NOT apply
+     *            frequencies — the hypervisor filters them first).
+     */
+    void step(const Gpu &gpu);
+
+    /** @return requested per-SM frequencies (Hz). */
+    const std::array<double, config::numSMs> &requested() const
+    {
+        return requestHz_;
+    }
+
+    /** @return configuration. */
+    const DfsConfig &config() const { return cfg_; }
+
+  private:
+    DfsConfig cfg_;
+    Cycle cycleInEpoch_ = 0;
+    std::array<std::uint64_t, config::numSMs> lastRetired_{};
+    std::array<double, config::numSMs> referenceIpc_{};
+    std::array<double, config::numSMs> requestHz_;
+};
+
+} // namespace vsgpu
+
+#endif // VSGPU_HYPERVISOR_DFS_HH

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Warped-Gates-style execution-unit power gating (paper Section V):
+ * the GATES gating-aware scheduler lives in the SM (SchedulerKind::
+ * Gates); this governor implements the idle-detect plus Blackout
+ * policy — a block idle longer than the detect window is gated and
+ * must stay gated for at least the break-even (blackout) period;
+ * wake-ups happen on demand inside the SM with a latency penalty.
+ */
+
+#ifndef VSGPU_HYPERVISOR_PG_HH
+#define VSGPU_HYPERVISOR_PG_HH
+
+#include <array>
+
+#include "common/units.hh"
+#include "gpu/gpu.hh"
+
+namespace vsgpu
+{
+
+/** Power-gating policy configuration. */
+struct PgConfig
+{
+    /** Consecutive idle cycles before a block is gated. */
+    Cycle idleDetect = 10;
+
+    /** Cycles between policy evaluations. */
+    Cycle checkPeriod = 4;
+
+    /** Allow gating of SP blocks. */
+    bool gateSp = true;
+    /** Allow gating of the SFU block. */
+    bool gateSfu = true;
+    /** Allow gating of the LSU block. */
+    bool gateLsu = true;
+};
+
+/**
+ * The gating governor for the whole SM array.
+ */
+class PgGovernor
+{
+  public:
+    explicit PgGovernor(const PgConfig &cfg = {});
+
+    /**
+     * Advance one cycle; every checkPeriod it proposes gating for
+     * idle blocks.  Vetoed (sm, unit) pairs — set by the VS-aware
+     * hypervisor — are skipped.
+     */
+    void step(Gpu &gpu, Cycle now);
+
+    /** Veto/permit gating of one block. */
+    void setVeto(int sm, ExecUnitKind unit, bool vetoed);
+
+    /** Clear all vetoes. */
+    void clearVetoes();
+
+    /** @return configuration. */
+    const PgConfig &config() const { return cfg_; }
+
+  private:
+    bool unitAllowed(ExecUnitKind kind) const;
+
+    PgConfig cfg_;
+    Cycle sinceCheck_ = 0;
+    std::array<std::array<bool, numExecUnits>, config::numSMs>
+        vetoed_{};
+};
+
+} // namespace vsgpu
+
+#endif // VSGPU_HYPERVISOR_PG_HH

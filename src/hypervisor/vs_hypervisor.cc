@@ -1,0 +1,128 @@
+#include "hypervisor/vs_hypervisor.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace vsgpu
+{
+
+namespace
+{
+
+/** Stacking-position convention shared with VsPdn: layer = sm / 4
+ *  (0 = top domain), column = sm % 4. */
+int
+columnOf(int sm)
+{
+    return sm % config::smsPerLayer;
+}
+
+} // namespace
+
+VsAwareHypervisor::VsAwareHypervisor(const HypervisorConfig &cfg)
+    : cfg_(cfg), freqThresholdHz_(cfg.freqThresholdHz),
+      leakThresholdW_(cfg.leakThresholdW)
+{
+}
+
+std::array<double, config::numSMs>
+VsAwareHypervisor::filterFrequencies(
+    std::array<double, config::numSMs> requested) const
+{
+    for (int c = 0; c < config::smsPerLayer; ++c) {
+        double fMax = 0.0;
+        for (int sm = 0; sm < config::numSMs; ++sm)
+            if (columnOf(sm) == c)
+                fMax = std::max(
+                    fMax, requested[static_cast<std::size_t>(sm)]);
+
+        const double floor = fMax - freqThresholdHz_;
+        for (int sm = 0; sm < config::numSMs; ++sm) {
+            if (columnOf(sm) != c)
+                continue;
+            double &f = requested[static_cast<std::size_t>(sm)];
+            if (f < floor) {
+                // Pull the outlier up to the budgeted spread,
+                // quantized to the DFS step grid.
+                f = std::ceil(floor / cfg_.stepHz) * cfg_.stepHz;
+            }
+        }
+    }
+    return requested;
+}
+
+GatingPlan
+VsAwareHypervisor::filterGating(
+    const GatingPlan &requested,
+    const std::array<double, numExecUnits> &unitLeakW) const
+{
+    GatingPlan plan{};
+
+    for (int c = 0; c < config::smsPerLayer; ++c) {
+        // Greedily admit gating requests, cheapest first, while the
+        // column's gated-leakage spread stays inside the budget.
+        std::array<double, config::numLayers> gatedLeak{};
+
+        // Collect requests in this column.
+        struct Req
+        {
+            int sm;
+            int unit;
+            double watts;
+        };
+        std::vector<Req> reqs;
+        for (int sm = 0; sm < config::numSMs; ++sm) {
+            if (columnOf(sm) != c)
+                continue;
+            for (int u = 0; u < numExecUnits; ++u) {
+                if (requested[static_cast<std::size_t>(sm)]
+                             [static_cast<std::size_t>(u)]) {
+                    reqs.push_back(
+                        {sm, u,
+                         unitLeakW[static_cast<std::size_t>(u)]});
+                }
+            }
+        }
+        std::sort(reqs.begin(), reqs.end(),
+                  [](const Req &a, const Req &b) {
+                      return a.watts < b.watts;
+                  });
+
+        for (const Req &r : reqs) {
+            const int layer = r.sm / config::smsPerLayer;
+            gatedLeak[static_cast<std::size_t>(layer)] += r.watts;
+            const auto minmax = std::minmax_element(gatedLeak.begin(),
+                                                    gatedLeak.end());
+            if (*minmax.second - *minmax.first > leakThresholdW_) {
+                // Would exceed the imbalance budget: veto.
+                gatedLeak[static_cast<std::size_t>(layer)] -= r.watts;
+                continue;
+            }
+            plan[static_cast<std::size_t>(r.sm)]
+                [static_cast<std::size_t>(r.unit)] = true;
+        }
+    }
+    return plan;
+}
+
+void
+VsAwareHypervisor::feedback(double throttleRate)
+{
+    panicIfNot(throttleRate >= 0.0 && throttleRate <= 1.0,
+               "throttle rate in [0,1]");
+    // Simple multiplicative adaptation around the setpoint: high
+    // smoothing pressure tightens the budgets, slack loosens them.
+    const double ratio =
+        throttleRate > cfg_.throttleSetpoint ? 0.9 : 1.05;
+    freqThresholdHz_ = std::clamp(freqThresholdHz_ * ratio,
+                                  cfg_.freqThresholdMinHz,
+                                  cfg_.freqThresholdMaxHz);
+    leakThresholdW_ = std::clamp(leakThresholdW_ * ratio,
+                                 cfg_.leakThresholdMinW,
+                                 cfg_.leakThresholdMaxW);
+}
+
+} // namespace vsgpu

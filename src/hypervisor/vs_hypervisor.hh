@@ -1,0 +1,102 @@
+/**
+ * @file
+ * The VS-aware power-management hypervisor (paper Algorithm 2).
+ *
+ * Sits between higher-level power optimizers (DFS, PG) and the GPU:
+ * it remaps their per-SM commands so that the frequency and gated-
+ * leakage spread *within each stacking column* stays inside a power-
+ * imbalance budget, because imbalanced commands would translate
+ * directly into layer current imbalance the CR-IVR/smoothing layer
+ * must then absorb.  The budget adapts to observed voltage-smoothing
+ * throttle pressure: when smoothing is busy, the hypervisor tightens
+ * the allowed spread.
+ */
+
+#ifndef VSGPU_HYPERVISOR_VS_HYPERVISOR_HH
+#define VSGPU_HYPERVISOR_VS_HYPERVISOR_HH
+
+#include <array>
+
+#include "common/units.hh"
+#include "gpu/exec_unit.hh"
+
+namespace vsgpu
+{
+
+/** Hypervisor configuration. */
+struct HypervisorConfig
+{
+    /** Initial max frequency spread within a stacking column (Hz). */
+    double freqThresholdHz = 100e6;
+
+    /** Initial max gated-leakage spread within a column (W). */
+    double leakThresholdW = 0.40;
+
+    /** Bounds for the adaptive budget. */
+    double freqThresholdMinHz = 50e6;
+    double freqThresholdMaxHz = 400e6;
+    double leakThresholdMinW = 0.15;
+    double leakThresholdMaxW = 1.2;
+
+    /** Throttle-rate setpoint driving the adaptation. */
+    double throttleSetpoint = 0.05;
+
+    /** Frequency quantization step for remapped commands (Hz). */
+    double stepHz = 50e6;
+};
+
+/** Per-SM gating permissions emitted by the hypervisor. */
+using GatingPlan =
+    std::array<std::array<bool, numExecUnits>, config::numSMs>;
+
+/**
+ * Algorithm 2: command mapping for DFS and PG requests.
+ */
+class VsAwareHypervisor
+{
+  public:
+    explicit VsAwareHypervisor(const HypervisorConfig &cfg = {});
+
+    /**
+     * Remap requested per-SM frequencies so each stacking column's
+     * spread stays within the current budget (low outliers are pulled
+     * up toward the column maximum).
+     */
+    std::array<double, config::numSMs>
+    filterFrequencies(std::array<double, config::numSMs> requested)
+        const;
+
+    /**
+     * Remap a gating request: permits gating only while the resulting
+     * gated-leakage spread within each column stays inside the
+     * budget.
+     *
+     * @param requested  per-(SM, unit) gating wishes.
+     * @param unitLeakW  leakage saved by gating each unit kind (W).
+     */
+    GatingPlan
+    filterGating(const GatingPlan &requested,
+                 const std::array<double, numExecUnits> &unitLeakW)
+        const;
+
+    /**
+     * Adapt the budgets from the observed voltage-smoothing throttle
+     * rate (fraction of cycles affected by smoothing).
+     */
+    void feedback(double throttleRate);
+
+    /** @return current frequency budget (Hz). */
+    double freqThresholdHz() const { return freqThresholdHz_; }
+
+    /** @return current leakage budget (W). */
+    double leakThresholdW() const { return leakThresholdW_; }
+
+  private:
+    HypervisorConfig cfg_;
+    double freqThresholdHz_;
+    double leakThresholdW_;
+};
+
+} // namespace vsgpu
+
+#endif // VSGPU_HYPERVISOR_VS_HYPERVISOR_HH

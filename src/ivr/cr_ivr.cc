@@ -1,0 +1,49 @@
+#include "ivr/cr_ivr.hh"
+
+#include "common/logging.hh"
+
+namespace vsgpu
+{
+
+CrIvrDesign::CrIvrDesign(double areaMm2, CrIvrTech tech)
+    : areaMm2_(areaMm2), tech_(tech)
+{
+    panicIfNot(areaMm2_ > 0.0, "CR-IVR area must be positive");
+    panicIfNot(tech_.numCells > 0, "CR-IVR needs at least one cell");
+}
+
+double
+CrIvrDesign::totalFlyCapF() const
+{
+    return areaMm2_ * tech_.capAreaFraction * tech_.capDensityPerMm2;
+}
+
+double
+CrIvrDesign::flyCapPerCellF() const
+{
+    return totalFlyCapF() / static_cast<double>(tech_.numCells);
+}
+
+double
+CrIvrDesign::effOhmsPerCell() const
+{
+    return 1.0 / (tech_.switchingHz * flyCapPerCellF());
+}
+
+double
+CrIvrDesign::switchingLoss(double transferredWatts) const
+{
+    return tech_.switchingLossFraction * transferredWatts;
+}
+
+double
+CrIvrDesign::areaForEffOhms(double effOhms, CrIvrTech tech)
+{
+    panicIfNot(effOhms > 0.0, "target Reff must be positive");
+    const double capPerCell = 1.0 / (tech.switchingHz * effOhms);
+    const double totalCap =
+        capPerCell * static_cast<double>(tech.numCells);
+    return totalCap / (tech.capAreaFraction * tech.capDensityPerMm2);
+}
+
+} // namespace vsgpu

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Charge-recycling integrated voltage regulator (CR-IVR) design model.
+ *
+ * Maps a silicon-area budget to the electrical strength of the
+ * distributed CR-IVR (paper Fig. 2): area -> flying capacitance ->
+ * per-cell effective resistance Reff = 1 / (fsw * Cfly).  The model
+ * follows the symmetric-ladder switched-capacitor topology of the VS
+ * prototypes the paper builds on (Lee et al., Tong et al.): a MIM/MOS
+ * capacitor bank dominates the area, and regulation strength scales
+ * directly with capacitance and switching frequency.
+ */
+
+#ifndef VSGPU_IVR_CR_IVR_HH
+#define VSGPU_IVR_CR_IVR_HH
+
+#include "common/units.hh"
+
+namespace vsgpu
+{
+
+/**
+ * Physical/technology constants of the CR-IVR implementation.
+ */
+struct CrIvrTech
+{
+    /** On-die capacitor density (F per mm^2), 40 nm MIM+MOS stack. */
+    double capDensityPerMm2 = 8e-9;
+
+    /** Fraction of the IVR macro area occupied by flying caps. */
+    double capAreaFraction = 0.7;
+
+    /** Switching frequency of the ladder (Hz). */
+    double switchingHz = 200e6;
+
+    /**
+     * Parasitic switching overhead: fraction of transferred power
+     * lost to gate drive and bottom-plate parasitics.
+     */
+    double switchingLossFraction = 0.06;
+
+    /**
+     * Efficiency of processing shuffled (inter-layer imbalance)
+     * power, beyond the conduction loss the averaged Reff already
+     * models: switching, bottom-plate, and control losses of the SC
+     * ladder.  The paper's observation that the CR-IVR "only needs to
+     * shuffle the imbalanced load, usually less than 20% of the layer
+     * power" makes this the dominant VS loss term.
+     */
+    double shuffleEfficiency = 0.45;
+
+    /** Number of equalizer cells (4 columns x 3 adjacent pairs). */
+    int numCells = 12;
+};
+
+/**
+ * A sized CR-IVR instance.
+ */
+class CrIvrDesign
+{
+  public:
+    /**
+     * @param areaMm2 total CR-IVR macro area (mm^2).
+     * @param tech    technology constants.
+     */
+    explicit CrIvrDesign(double areaMm2, CrIvrTech tech = {});
+
+    /** @return total macro area (mm^2). */
+    double areaMm2() const { return areaMm2_; }
+
+    /** @return area as a fraction of the GPU die. */
+    double
+    areaFractionOfGpu() const
+    {
+        return areaMm2_ / config::gpuDieAreaMm2;
+    }
+
+    /** @return total flying capacitance (F). */
+    double totalFlyCapF() const;
+
+    /** @return flying capacitance per equalizer cell (F). */
+    double flyCapPerCellF() const;
+
+    /** @return per-cell effective resistance Reff (ohms). */
+    double effOhmsPerCell() const;
+
+    /** @return switching-overhead loss for transferred power (W). */
+    double switchingLoss(double transferredWatts) const;
+
+    /** @return technology constants. */
+    const CrIvrTech &tech() const { return tech_; }
+
+    /**
+     * @return the area (mm^2) needed for a target per-cell Reff;
+     * inverse of effOhmsPerCell() for sizing studies.
+     */
+    static double areaForEffOhms(double effOhms, CrIvrTech tech = {});
+
+  private:
+    double areaMm2_;
+    CrIvrTech tech_;
+};
+
+} // namespace vsgpu
+
+#endif // VSGPU_IVR_CR_IVR_HH

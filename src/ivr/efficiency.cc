@@ -1,0 +1,75 @@
+#include "ivr/efficiency.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace vsgpu
+{
+
+namespace
+{
+
+/**
+ * Shared efficiency curve: peak efficiency at ~60% of rated power,
+ * with quadratic degradation toward light load (fixed switching
+ * losses dominate) and overload (conduction losses dominate).
+ */
+double
+curve(double peak, double rated, double outputWatts)
+{
+    if (outputWatts <= 0.0)
+        return peak * 0.5;
+    const double x = outputWatts / rated;
+    const double eff = peak - 0.08 * (x - 0.6) * (x - 0.6);
+    return std::clamp(eff, 0.5, peak);
+}
+
+} // namespace
+
+VrmModel::VrmModel(double peakEfficiency, double ratedWatts)
+    : peak_(peakEfficiency), rated_(ratedWatts)
+{
+    panicIfNot(peak_ > 0.0 && peak_ < 1.0, "VRM efficiency in (0,1)");
+    panicIfNot(rated_ > 0.0, "VRM rated power must be positive");
+}
+
+double
+VrmModel::efficiency(double outputWatts) const
+{
+    return curve(peak_, rated_, outputWatts);
+}
+
+double
+VrmModel::inputPower(double outputWatts) const
+{
+    return outputWatts / efficiency(outputWatts);
+}
+
+double
+VrmModel::conversionLoss(double outputWatts) const
+{
+    return inputPower(outputWatts) - outputWatts;
+}
+
+SingleIvrModel::SingleIvrModel(double peakEfficiency, double ratedWatts)
+    : peak_(peakEfficiency), rated_(ratedWatts)
+{
+    panicIfNot(peak_ > 0.0 && peak_ < 1.0, "IVR efficiency in (0,1)");
+    panicIfNot(rated_ > 0.0, "IVR rated power must be positive");
+}
+
+double
+SingleIvrModel::efficiency(double outputWatts) const
+{
+    return curve(peak_, rated_, outputWatts);
+}
+
+double
+SingleIvrModel::inputPower(double outputWatts) const
+{
+    return outputWatts / efficiency(outputWatts);
+}
+
+} // namespace vsgpu

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Conversion-efficiency models for the non-stacked baselines and the
+ * fixed per-configuration overheads used in the PDE accounting
+ * (paper Table III and Fig. 8).
+ */
+
+#ifndef VSGPU_IVR_EFFICIENCY_HH
+#define VSGPU_IVR_EFFICIENCY_HH
+
+#include "common/units.hh"
+
+namespace vsgpu
+{
+
+/**
+ * Board-level multi-phase buck VRM (the conventional baseline,
+ * paper ref [68]).  Efficiency peaks at mid load and degrades toward
+ * light and peak load.
+ */
+class VrmModel
+{
+  public:
+    /**
+     * @param peakEfficiency best-case conversion efficiency.
+     * @param ratedWatts     output power at which the curve is
+     *                       centered.
+     */
+    explicit VrmModel(double peakEfficiency = 0.885,
+                      double ratedWatts = 130.0);
+
+    /** @return conversion efficiency at the given output power. */
+    double efficiency(double outputWatts) const;
+
+    /** @return input power needed to deliver the given output (W). */
+    double inputPower(double outputWatts) const;
+
+    /** @return conversion loss at the given output power (W). */
+    double conversionLoss(double outputWatts) const;
+
+  private:
+    double peak_;
+    double rated_;
+};
+
+/**
+ * On-die switched-capacitor IVR for the single-layer IVR baseline
+ * (paper ref [69], FIVR-style).  2:1 conversion from a 2 V input rail.
+ */
+class SingleIvrModel
+{
+  public:
+    explicit SingleIvrModel(double peakEfficiency = 0.905,
+                            double ratedWatts = 140.0);
+
+    /** @return conversion efficiency at the given output power. */
+    double efficiency(double outputWatts) const;
+
+    /** @return input power needed to deliver the given output (W). */
+    double inputPower(double outputWatts) const;
+
+    /** @return board-side rail voltage (V). */
+    double inputVolts() const { return 2.0; }
+
+    /**
+     * Die area of the single-layer IVR sized for the full GPU load
+     * (paper Table III: 172.3 mm^2 = 0.33 x GPU die).
+     */
+    static double areaMm2() { return 172.3; }
+
+  private:
+    double peak_;
+    double rated_;
+};
+
+/**
+ * Fixed overheads of the voltage-stacked configurations.
+ */
+struct VsOverheads
+{
+    /**
+     * Level-shifted interface power at the L2/memory-controller
+     * boundary, as a fraction of SM power crossing domains (paper
+     * Section III-A: switched-capacitor level shifters, < 6% of
+     * memory-interface transistors).
+     */
+    double levelShifterFraction = 0.016;
+
+    /** Voltage-smoothing controller + issue adjusters (W, paper:
+     *  1.634 mW at 700 MHz — negligible but accounted). */
+    double controllerWatts = 1.634e-3;
+
+    /** Controller + adjusters area (mm^2, paper: 3084 um^2). */
+    double controllerAreaMm2 = 3084e-6;
+
+    /** RC low-pass filter area per SM (mm^2, paper: 1120 um^2). */
+    double filterAreaMm2 = 1120e-6;
+};
+
+} // namespace vsgpu
+
+#endif // VSGPU_IVR_EFFICIENCY_HH

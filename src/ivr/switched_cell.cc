@@ -1,0 +1,32 @@
+#include "ivr/switched_cell.hh"
+
+namespace vsgpu
+{
+
+void
+SwitchedCell::setPhase(TransientSim &sim, bool phaseA) const
+{
+    sim.setSwitch(swTopPlus, phaseA);
+    sim.setSwitch(swTopMinus, phaseA);
+    sim.setSwitch(swBotPlus, !phaseA);
+    sim.setSwitch(swBotMinus, !phaseA);
+}
+
+SwitchedCell
+addSwitchedCell(Netlist &net, NodeId top, NodeId mid, NodeId bottom,
+                double flyCapF, double onOhms, double initialCapVolts)
+{
+    SwitchedCell cell;
+    const NodeId capPlus = net.allocNode("fly_p");
+    const NodeId capMinus = net.allocNode("fly_n");
+    cell.capIdx =
+        net.addCapacitor(capPlus, capMinus, flyCapF, initialCapVolts);
+    cell.swTopPlus = net.addSwitch(top, capPlus, onOhms, 1e9, true);
+    cell.swTopMinus = net.addSwitch(capMinus, mid, onOhms, 1e9, true);
+    cell.swBotPlus = net.addSwitch(mid, capPlus, onOhms, 1e9, false);
+    cell.swBotMinus =
+        net.addSwitch(capMinus, bottom, onOhms, 1e9, false);
+    return cell;
+}
+
+} // namespace vsgpu

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Detailed two-phase switched-capacitor charge-recycling cell.
+ *
+ * This is the cycle-accurate counterpart of the averaged Equalizer
+ * element: a flying capacitor alternately connected across the upper
+ * layer (top, mid) and the lower layer (mid, bottom) through ideal
+ * switches.  It exists to validate the averaged model (DESIGN.md
+ * decision 1) and is exercised by the ivr unit tests; long benchmark
+ * runs use the averaged model.
+ */
+
+#ifndef VSGPU_IVR_SWITCHED_CELL_HH
+#define VSGPU_IVR_SWITCHED_CELL_HH
+
+#include "circuit/netlist.hh"
+#include "circuit/transient.hh"
+
+namespace vsgpu
+{
+
+/**
+ * Handle to a detailed switched-capacitor cell added to a netlist.
+ */
+struct SwitchedCell
+{
+    int swTopPlus = -1;  ///< top   -> cap+ (phase A)
+    int swTopMinus = -1; ///< cap-  -> mid  (phase A)
+    int swBotPlus = -1;  ///< mid   -> cap+ (phase B)
+    int swBotMinus = -1; ///< cap-  -> bottom (phase B)
+    int capIdx = -1;     ///< flying capacitor element index
+
+    /**
+     * Drive the switches for one phase.
+     * @param phaseA cap across (top, mid) when true; across
+     *        (mid, bottom) when false.
+     */
+    void setPhase(TransientSim &sim, bool phaseA) const;
+};
+
+/**
+ * Add a detailed switched-capacitor cell to a netlist.
+ *
+ * @param net     target netlist.
+ * @param top     upper-layer top rail.
+ * @param mid     shared middle rail.
+ * @param bottom  lower-layer bottom rail.
+ * @param flyCapF flying capacitance (F).
+ * @param onOhms  switch on-resistance (ohms).
+ * @param initialCapVolts initial flying-cap voltage.
+ */
+SwitchedCell addSwitchedCell(Netlist &net, NodeId top, NodeId mid,
+                             NodeId bottom, double flyCapF,
+                             double onOhms = 5e-3,
+                             double initialCapVolts = 1.0);
+
+} // namespace vsgpu
+
+#endif // VSGPU_IVR_SWITCHED_CELL_HH

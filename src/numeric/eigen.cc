@@ -1,0 +1,211 @@
+#include "numeric/eigen.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vsgpu
+{
+
+namespace
+{
+
+/**
+ * Reduce a complex matrix to upper Hessenberg form in place using
+ * Householder reflectors (similarity transform, eigenvalues kept).
+ */
+void
+hessenberg(CMatrix &h)
+{
+    const std::size_t n = h.rows();
+    if (n < 3)
+        return;
+    for (std::size_t k = 0; k + 2 < n; ++k) {
+        // Build the reflector that zeroes column k below row k+1.
+        double colNorm = 0.0;
+        for (std::size_t i = k + 1; i < n; ++i)
+            colNorm += std::norm(h(i, k));
+        colNorm = std::sqrt(colNorm);
+        if (colNorm == 0.0)
+            continue;
+
+        Complex alpha = h(k + 1, k);
+        const double alphaAbs = std::abs(alpha);
+        const Complex phase =
+            alphaAbs > 0.0 ? alpha / alphaAbs : Complex{1.0, 0.0};
+        const Complex beta = -phase * colNorm;
+
+        std::vector<Complex> v(n, Complex{});
+        v[k + 1] = alpha - beta;
+        for (std::size_t i = k + 2; i < n; ++i)
+            v[i] = h(i, k);
+        double vNorm2 = 0.0;
+        for (std::size_t i = k + 1; i < n; ++i)
+            vNorm2 += std::norm(v[i]);
+        if (vNorm2 == 0.0)
+            continue;
+
+        // H := (I - 2 v v^H / |v|^2) H (I - 2 v v^H / |v|^2)
+        // Left multiply.
+        for (std::size_t j = 0; j < n; ++j) {
+            Complex dot{};
+            for (std::size_t i = k + 1; i < n; ++i)
+                dot += std::conj(v[i]) * h(i, j);
+            dot *= 2.0 / vNorm2;
+            for (std::size_t i = k + 1; i < n; ++i)
+                h(i, j) -= dot * v[i];
+        }
+        // Right multiply.
+        for (std::size_t i = 0; i < n; ++i) {
+            Complex dot{};
+            for (std::size_t j = k + 1; j < n; ++j)
+                dot += h(i, j) * v[j];
+            dot *= 2.0 / vNorm2;
+            for (std::size_t j = k + 1; j < n; ++j)
+                h(i, j) -= dot * std::conj(v[j]);
+        }
+    }
+}
+
+/** Wilkinson shift from the trailing 2x2 block ending at index m. */
+Complex
+wilkinsonShift(const CMatrix &h, std::size_t m)
+{
+    const Complex a = h(m - 1, m - 1);
+    const Complex b = h(m - 1, m);
+    const Complex c = h(m, m - 1);
+    const Complex d = h(m, m);
+    const Complex tr = a + d;
+    const Complex det = a * d - b * c;
+    const Complex disc = std::sqrt(tr * tr - 4.0 * det);
+    const Complex l1 = (tr + disc) * 0.5;
+    const Complex l2 = (tr - disc) * 0.5;
+    return std::abs(l1 - d) < std::abs(l2 - d) ? l1 : l2;
+}
+
+} // namespace
+
+std::vector<Complex>
+eigenvalues(const CMatrix &a)
+{
+    panicIfNot(a.rows() == a.cols(), "eigenvalues of non-square matrix");
+    const std::size_t n = a.rows();
+    std::vector<Complex> lambda;
+    lambda.reserve(n);
+    if (n == 0)
+        return lambda;
+    if (n == 1) {
+        lambda.push_back(a(0, 0));
+        return lambda;
+    }
+
+    CMatrix h = a;
+    hessenberg(h);
+
+    const double scale = std::max(h.maxAbs(), 1e-300);
+    const double eps = 1e-14 * scale;
+    std::size_t m = n - 1; // active block is rows/cols 0..m
+    std::size_t iterations = 0;
+    const std::size_t maxIterations = 200 * n;
+
+    while (true) {
+        // Deflate converged trailing eigenvalues.
+        while (m > 0) {
+            const double sub = std::abs(h(m, m - 1));
+            const double diag =
+                std::abs(h(m, m)) + std::abs(h(m - 1, m - 1));
+            if (sub <= std::max(eps, 1e-15 * diag)) {
+                lambda.push_back(h(m, m));
+                --m;
+            } else {
+                break;
+            }
+        }
+        if (m == 0) {
+            lambda.push_back(h(0, 0));
+            break;
+        }
+
+        panicIfNot(++iterations < maxIterations,
+                   "QR eigenvalue iteration failed to converge");
+
+        // Occasionally use an exceptional shift to break cycles.
+        Complex mu;
+        if (iterations % 31 == 0) {
+            mu = Complex{std::abs(h(m, m - 1)), 0.0};
+        } else {
+            mu = wilkinsonShift(h, m);
+        }
+
+        // Implicit shifted QR step via Givens rotations on the
+        // active Hessenberg block 0..m.
+        for (std::size_t i = 0; i <= m; ++i)
+            h(i, i) -= mu;
+
+        // QR by Givens: eliminate subdiagonal, store rotations.
+        std::vector<Complex> cs(m), sn(m);
+        for (std::size_t k = 0; k < m; ++k) {
+            const Complex x = h(k, k);
+            const Complex y = h(k + 1, k);
+            const double r = std::sqrt(std::norm(x) + std::norm(y));
+            if (r == 0.0) {
+                cs[k] = 1.0;
+                sn[k] = 0.0;
+                continue;
+            }
+            cs[k] = x / r;
+            sn[k] = y / r;
+            for (std::size_t j = k; j <= m; ++j) {
+                const Complex t1 = h(k, j);
+                const Complex t2 = h(k + 1, j);
+                h(k, j) = std::conj(cs[k]) * t1 + std::conj(sn[k]) * t2;
+                h(k + 1, j) = -sn[k] * t1 + cs[k] * t2;
+            }
+        }
+        // RQ: apply rotations from the right.
+        for (std::size_t k = 0; k < m; ++k) {
+            const std::size_t hi = std::min(k + 2, m);
+            for (std::size_t i = 0; i <= hi; ++i) {
+                const Complex t1 = h(i, k);
+                const Complex t2 = h(i, k + 1);
+                h(i, k) = t1 * cs[k] + t2 * sn[k];
+                h(i, k + 1) = -t1 * std::conj(sn[k]) +
+                              t2 * std::conj(cs[k]);
+            }
+        }
+        for (std::size_t i = 0; i <= m; ++i)
+            h(i, i) += mu;
+    }
+
+    std::reverse(lambda.begin(), lambda.end());
+    return lambda;
+}
+
+std::vector<Complex>
+eigenvalues(const Matrix &a)
+{
+    CMatrix c(a.rows(), a.cols());
+    for (std::size_t i = 0; i < a.rows(); ++i)
+        for (std::size_t j = 0; j < a.cols(); ++j)
+            c(i, j) = Complex{a(i, j), 0.0};
+    return eigenvalues(c);
+}
+
+double
+spectralRadius(const Matrix &a)
+{
+    double rho = 0.0;
+    for (const auto &l : eigenvalues(a))
+        rho = std::max(rho, std::abs(l));
+    return rho;
+}
+
+double
+spectralRadius(const CMatrix &a)
+{
+    double rho = 0.0;
+    for (const auto &l : eigenvalues(a))
+        rho = std::max(rho, std::abs(l));
+    return rho;
+}
+
+} // namespace vsgpu

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Eigenvalue computation for small dense matrices.
+ *
+ * Used to verify closed-loop stability of the discretized
+ * voltage-smoothing controller (paper eq. (8)): the system is stable
+ * iff the spectral radius of Z(A + BK) is below one.
+ */
+
+#ifndef VSGPU_NUMERIC_EIGEN_HH
+#define VSGPU_NUMERIC_EIGEN_HH
+
+#include <vector>
+
+#include "numeric/matrix.hh"
+
+namespace vsgpu
+{
+
+/**
+ * Compute all eigenvalues of a square complex matrix using Hessenberg
+ * reduction followed by shifted QR iteration with deflation.
+ *
+ * Intended for small systems (n up to a few tens); panics if the
+ * iteration fails to converge.
+ */
+std::vector<Complex> eigenvalues(const CMatrix &a);
+
+/** Eigenvalues of a real matrix (may be complex conjugate pairs). */
+std::vector<Complex> eigenvalues(const Matrix &a);
+
+/** @return max |lambda_i| over all eigenvalues of a. */
+double spectralRadius(const Matrix &a);
+
+/** @return max |lambda_i| over all eigenvalues of a. */
+double spectralRadius(const CMatrix &a);
+
+} // namespace vsgpu
+
+#endif // VSGPU_NUMERIC_EIGEN_HH

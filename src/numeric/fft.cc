@@ -1,0 +1,139 @@
+#include "numeric/fft.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace vsgpu
+{
+
+std::size_t
+nextPowerOfTwo(std::size_t n)
+{
+    panicIfNot(n >= 1, "nextPowerOfTwo of zero");
+    std::size_t p = 1;
+    while (p < n)
+        p <<= 1;
+    return p;
+}
+
+void
+fft(std::vector<Complex> &data, bool inverse)
+{
+    const std::size_t n = data.size();
+    panicIfNot(n >= 1 && (n & (n - 1)) == 0,
+               "FFT size must be a power of two, got ", n);
+    if (n == 1)
+        return;
+
+    // Bit-reversal permutation.
+    for (std::size_t i = 1, j = 0; i < n; ++i) {
+        std::size_t bit = n >> 1;
+        for (; j & bit; bit >>= 1)
+            j ^= bit;
+        j ^= bit;
+        if (i < j)
+            std::swap(data[i], data[j]);
+    }
+
+    // Butterfly stages.
+    for (std::size_t len = 2; len <= n; len <<= 1) {
+        const double angle =
+            (inverse ? 2.0 : -2.0) * M_PI / static_cast<double>(len);
+        const Complex wlen{std::cos(angle), std::sin(angle)};
+        for (std::size_t i = 0; i < n; i += len) {
+            Complex w{1.0, 0.0};
+            for (std::size_t k = 0; k < len / 2; ++k) {
+                const Complex u = data[i + k];
+                const Complex v = data[i + k + len / 2] * w;
+                data[i + k] = u + v;
+                data[i + k + len / 2] = u - v;
+                w *= wlen;
+            }
+        }
+    }
+
+    if (inverse) {
+        const double inv = 1.0 / static_cast<double>(n);
+        for (auto &x : data)
+            x *= inv;
+    }
+}
+
+std::vector<SpectrumPoint>
+powerSpectrum(const std::vector<double> &samples, double sampleHz,
+              std::size_t segmentLength)
+{
+    panicIfNot(sampleHz > 0.0, "sample rate must be positive");
+    panicIfNot(samples.size() >= 8, "spectrum needs >= 8 samples");
+
+    std::size_t seg = segmentLength;
+    while (seg > samples.size())
+        seg >>= 1;
+    seg = std::max<std::size_t>(seg, 8);
+    panicIfNot((seg & (seg - 1)) == 0,
+               "segment length must be a power of two");
+
+    // Hann window and its power normalization.
+    std::vector<double> window(seg);
+    double windowPower = 0.0;
+    for (std::size_t i = 0; i < seg; ++i) {
+        window[i] = 0.5 * (1.0 - std::cos(2.0 * M_PI *
+                                          static_cast<double>(i) /
+                                          static_cast<double>(seg)));
+        windowPower += window[i] * window[i];
+    }
+
+    std::vector<double> accum(seg / 2 + 1, 0.0);
+    int segments = 0;
+    const std::size_t hop = seg / 2;
+    for (std::size_t start = 0; start + seg <= samples.size();
+         start += hop) {
+        // Remove the segment mean so DC leakage does not swamp the
+        // low bins.
+        double mean = 0.0;
+        for (std::size_t i = 0; i < seg; ++i)
+            mean += samples[start + i];
+        mean /= static_cast<double>(seg);
+
+        std::vector<Complex> buf(seg);
+        for (std::size_t i = 0; i < seg; ++i)
+            buf[i] = Complex{(samples[start + i] - mean) * window[i],
+                             0.0};
+        fft(buf);
+        for (std::size_t k = 0; k <= seg / 2; ++k)
+            accum[k] += std::norm(buf[k]);
+        ++segments;
+    }
+    panicIfNot(segments > 0, "series shorter than one segment");
+
+    std::vector<SpectrumPoint> psd;
+    psd.reserve(seg / 2 + 1);
+    const double norm =
+        1.0 / (static_cast<double>(segments) * windowPower * sampleHz);
+    for (std::size_t k = 0; k <= seg / 2; ++k) {
+        const double oneSided = (k == 0 || k == seg / 2) ? 1.0 : 2.0;
+        psd.push_back({sampleHz * static_cast<double>(k) /
+                           static_cast<double>(seg),
+                       accum[k] * norm * oneSided});
+    }
+    return psd;
+}
+
+double
+spectralFractionBelow(const std::vector<SpectrumPoint> &psd,
+                      double freqHz)
+{
+    double below = 0.0, total = 0.0;
+    for (const auto &p : psd) {
+        if (p.freqHz <= 0.0)
+            continue; // skip DC
+        total += p.power;
+        if (p.freqHz <= freqHz)
+            below += p.power;
+    }
+    return total > 0.0 ? below / total : 0.0;
+}
+
+} // namespace vsgpu

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Radix-2 FFT and power-spectrum estimation.
+ *
+ * Used to analyze simulated load-current and supply-voltage traces in
+ * the frequency domain — the paper's whole cross-layer argument is a
+ * frequency split (architecture handles the low band, CR-IVR the high
+ * band), and the spectrum bench makes that split visible from the
+ * co-simulation itself.
+ */
+
+#ifndef VSGPU_NUMERIC_FFT_HH
+#define VSGPU_NUMERIC_FFT_HH
+
+#include <vector>
+
+#include "numeric/matrix.hh"
+
+namespace vsgpu
+{
+
+/**
+ * In-place iterative radix-2 Cooley-Tukey FFT.
+ * @param data complex samples; size must be a power of two.
+ * @param inverse compute the inverse transform (includes the 1/N
+ *        normalization) when true.
+ */
+void fft(std::vector<Complex> &data, bool inverse = false);
+
+/** @return smallest power of two >= n (n >= 1). */
+std::size_t nextPowerOfTwo(std::size_t n);
+
+/**
+ * One-sided power spectral density estimate of a real sample stream
+ * via Welch's method (Hann window, 50% overlap).
+ *
+ * @param samples   real time series.
+ * @param sampleHz  sampling rate.
+ * @param segmentLength FFT segment size (power of two; clamped to the
+ *        series length).
+ * @return (frequencyHz, power) pairs for bins 0..segment/2.
+ */
+struct SpectrumPoint
+{
+    double freqHz;
+    double power;
+};
+
+std::vector<SpectrumPoint>
+powerSpectrum(const std::vector<double> &samples, double sampleHz,
+              std::size_t segmentLength = 4096);
+
+/**
+ * @return the fraction of total (non-DC) spectral power at or below
+ * the given frequency.
+ */
+double spectralFractionBelow(const std::vector<SpectrumPoint> &psd,
+                             double freqHz);
+
+} // namespace vsgpu
+
+#endif // VSGPU_NUMERIC_FFT_HH

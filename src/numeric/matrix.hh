@@ -1,0 +1,321 @@
+/**
+ * @file
+ * Small dense-matrix linear algebra.
+ *
+ * The control formulation (paper eq. (4)-(8)) and the MNA circuit
+ * engine both need dense real and complex matrices of modest size
+ * (4x4 control states up to a few hundred MNA unknowns), so a simple
+ * row-major template with partial-pivot LU is sufficient and keeps the
+ * project dependency-free.
+ */
+
+#ifndef VSGPU_NUMERIC_MATRIX_HH
+#define VSGPU_NUMERIC_MATRIX_HH
+
+#include <cmath>
+#include <complex>
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace vsgpu
+{
+
+/** Magnitude helper that works for both real and complex scalars. */
+inline double scalarAbs(double x) { return std::fabs(x); }
+inline double scalarAbs(const std::complex<double> &x)
+{
+    return std::abs(x);
+}
+
+/**
+ * Row-major dense matrix over a real or complex scalar type.
+ */
+template <typename T>
+class MatrixT
+{
+  public:
+    /** Construct an empty 0x0 matrix. */
+    MatrixT() = default;
+
+    /** Construct a rows x cols matrix filled with the given value. */
+    MatrixT(std::size_t rows, std::size_t cols, T fill = T{})
+        : rows_(rows), cols_(cols), data_(rows * cols, fill)
+    {
+    }
+
+    /** Construct from a nested initializer list (row major). */
+    MatrixT(std::initializer_list<std::initializer_list<T>> init)
+    {
+        rows_ = init.size();
+        cols_ = rows_ ? init.begin()->size() : 0;
+        data_.reserve(rows_ * cols_);
+        for (const auto &row : init) {
+            panicIfNot(row.size() == cols_,
+                       "ragged initializer for MatrixT");
+            for (const auto &v : row)
+                data_.push_back(v);
+        }
+    }
+
+    /** @return identity matrix of the given order. */
+    static MatrixT
+    identity(std::size_t n)
+    {
+        MatrixT m(n, n);
+        for (std::size_t i = 0; i < n; ++i)
+            m(i, i) = T{1};
+        return m;
+    }
+
+    /** @return number of rows. */
+    std::size_t rows() const { return rows_; }
+
+    /** @return number of columns. */
+    std::size_t cols() const { return cols_; }
+
+    /** Mutable element access. */
+    T &
+    operator()(std::size_t r, std::size_t c)
+    {
+        panicIfNot(r < rows_ && c < cols_, "matrix index out of range");
+        return data_[r * cols_ + c];
+    }
+
+    /** Const element access. */
+    const T &
+    operator()(std::size_t r, std::size_t c) const
+    {
+        panicIfNot(r < rows_ && c < cols_, "matrix index out of range");
+        return data_[r * cols_ + c];
+    }
+
+    /** Elementwise sum. */
+    MatrixT
+    operator+(const MatrixT &other) const
+    {
+        panicIfNot(sameShape(other), "matrix + shape mismatch");
+        MatrixT out = *this;
+        for (std::size_t i = 0; i < data_.size(); ++i)
+            out.data_[i] += other.data_[i];
+        return out;
+    }
+
+    /** Elementwise difference. */
+    MatrixT
+    operator-(const MatrixT &other) const
+    {
+        panicIfNot(sameShape(other), "matrix - shape mismatch");
+        MatrixT out = *this;
+        for (std::size_t i = 0; i < data_.size(); ++i)
+            out.data_[i] -= other.data_[i];
+        return out;
+    }
+
+    /** Matrix product. */
+    MatrixT
+    operator*(const MatrixT &other) const
+    {
+        panicIfNot(cols_ == other.rows_, "matrix * shape mismatch");
+        MatrixT out(rows_, other.cols_);
+        for (std::size_t i = 0; i < rows_; ++i) {
+            for (std::size_t k = 0; k < cols_; ++k) {
+                const T a = (*this)(i, k);
+                if (a == T{})
+                    continue;
+                for (std::size_t j = 0; j < other.cols_; ++j)
+                    out(i, j) += a * other(k, j);
+            }
+        }
+        return out;
+    }
+
+    /** Scalar product. */
+    MatrixT
+    operator*(const T &s) const
+    {
+        MatrixT out = *this;
+        for (auto &v : out.data_)
+            v *= s;
+        return out;
+    }
+
+    /** Matrix-vector product. */
+    std::vector<T>
+    operator*(const std::vector<T> &x) const
+    {
+        panicIfNot(cols_ == x.size(), "matrix-vector shape mismatch");
+        std::vector<T> y(rows_, T{});
+        for (std::size_t i = 0; i < rows_; ++i) {
+            T acc{};
+            for (std::size_t j = 0; j < cols_; ++j)
+                acc += (*this)(i, j) * x[j];
+            y[i] = acc;
+        }
+        return y;
+    }
+
+    /** @return the transpose (no conjugation). */
+    MatrixT
+    transpose() const
+    {
+        MatrixT out(cols_, rows_);
+        for (std::size_t i = 0; i < rows_; ++i)
+            for (std::size_t j = 0; j < cols_; ++j)
+                out(j, i) = (*this)(i, j);
+        return out;
+    }
+
+    /** @return largest absolute entry (infinity-style norm). */
+    double
+    maxAbs() const
+    {
+        double m = 0.0;
+        for (const auto &v : data_)
+            m = std::max(m, scalarAbs(v));
+        return m;
+    }
+
+    /** @return induced infinity norm (max absolute row sum). */
+    double
+    normInf() const
+    {
+        double m = 0.0;
+        for (std::size_t i = 0; i < rows_; ++i) {
+            double s = 0.0;
+            for (std::size_t j = 0; j < cols_; ++j)
+                s += scalarAbs((*this)(i, j));
+            m = std::max(m, s);
+        }
+        return m;
+    }
+
+    /** @return true when the shapes match. */
+    bool
+    sameShape(const MatrixT &other) const
+    {
+        return rows_ == other.rows_ && cols_ == other.cols_;
+    }
+
+  private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<T> data_;
+};
+
+using Matrix = MatrixT<double>;
+using CMatrix = MatrixT<std::complex<double>>;
+using Complex = std::complex<double>;
+
+/**
+ * Partial-pivot LU factorization of a square matrix, retaining the
+ * factorization so that many right-hand sides can be solved cheaply
+ * (the transient engine's hot path).
+ */
+template <typename T>
+class LuFactor
+{
+  public:
+    /** Factor the given square matrix.  Panics when singular. */
+    explicit LuFactor(MatrixT<T> a)
+        : lu_(std::move(a))
+    {
+        const std::size_t n = lu_.rows();
+        panicIfNot(n == lu_.cols(), "LU of non-square matrix");
+        perm_.resize(n);
+        for (std::size_t i = 0; i < n; ++i)
+            perm_[i] = i;
+
+        for (std::size_t k = 0; k < n; ++k) {
+            // Partial pivoting.
+            std::size_t pivot = k;
+            double best = scalarAbs(lu_(k, k));
+            for (std::size_t i = k + 1; i < n; ++i) {
+                const double cand = scalarAbs(lu_(i, k));
+                if (cand > best) {
+                    best = cand;
+                    pivot = i;
+                }
+            }
+            panicIfNot(best > 0.0, "singular matrix in LU factor");
+            if (pivot != k) {
+                for (std::size_t j = 0; j < n; ++j)
+                    std::swap(lu_(k, j), lu_(pivot, j));
+                std::swap(perm_[k], perm_[pivot]);
+            }
+            const T diag = lu_(k, k);
+            for (std::size_t i = k + 1; i < n; ++i) {
+                const T factor = lu_(i, k) / diag;
+                lu_(i, k) = factor;
+                if (factor == T{})
+                    continue;
+                for (std::size_t j = k + 1; j < n; ++j)
+                    lu_(i, j) -= factor * lu_(k, j);
+            }
+        }
+    }
+
+    /** Solve A x = b for one right-hand side. */
+    std::vector<T>
+    solve(const std::vector<T> &b) const
+    {
+        const std::size_t n = lu_.rows();
+        panicIfNot(b.size() == n, "LU solve rhs size mismatch");
+        std::vector<T> x(n);
+        // Forward substitution on the permuted rhs.
+        for (std::size_t i = 0; i < n; ++i) {
+            T acc = b[perm_[i]];
+            for (std::size_t j = 0; j < i; ++j)
+                acc -= lu_(i, j) * x[j];
+            x[i] = acc;
+        }
+        // Back substitution.
+        for (std::size_t ii = n; ii-- > 0;) {
+            T acc = x[ii];
+            for (std::size_t j = ii + 1; j < n; ++j)
+                acc -= lu_(ii, j) * x[j];
+            x[ii] = acc / lu_(ii, ii);
+        }
+        return x;
+    }
+
+    /** @return order of the factored matrix. */
+    std::size_t order() const { return lu_.rows(); }
+
+  private:
+    MatrixT<T> lu_;
+    std::vector<std::size_t> perm_;
+};
+
+/** Solve A x = b once (factor + solve). */
+template <typename T>
+std::vector<T>
+solveLinear(const MatrixT<T> &a, const std::vector<T> &b)
+{
+    return LuFactor<T>(a).solve(b);
+}
+
+/** Compute the inverse of a square matrix via LU. */
+template <typename T>
+MatrixT<T>
+inverse(const MatrixT<T> &a)
+{
+    const std::size_t n = a.rows();
+    LuFactor<T> lu(a);
+    MatrixT<T> inv(n, n);
+    std::vector<T> e(n, T{});
+    for (std::size_t j = 0; j < n; ++j) {
+        e[j] = T{1};
+        const auto col = lu.solve(e);
+        for (std::size_t i = 0; i < n; ++i)
+            inv(i, j) = col[i];
+        e[j] = T{};
+    }
+    return inv;
+}
+
+} // namespace vsgpu
+
+#endif // VSGPU_NUMERIC_MATRIX_HH

@@ -1,0 +1,151 @@
+#include "numeric/statespace.hh"
+
+#include <cmath>
+
+#include "numeric/eigen.hh"
+
+namespace vsgpu
+{
+
+Matrix
+expm(const Matrix &a)
+{
+    panicIfNot(a.rows() == a.cols(), "expm of non-square matrix");
+    const std::size_t n = a.rows();
+
+    // Scale so the norm is small, exponentiate by Taylor series, then
+    // square back.  Adequate for the well-conditioned small systems
+    // used here.
+    const double norm = a.normInf();
+    int squarings = 0;
+    double scale = 1.0;
+    while (norm * scale > 0.5) {
+        scale *= 0.5;
+        ++squarings;
+    }
+
+    Matrix scaled = a * scale;
+    Matrix result = Matrix::identity(n);
+    Matrix term = Matrix::identity(n);
+    for (int k = 1; k <= 24; ++k) {
+        term = term * scaled;
+        term = term * (1.0 / static_cast<double>(k));
+        result = result + term;
+        if (term.maxAbs() < 1e-18)
+            break;
+    }
+    for (int s = 0; s < squarings; ++s)
+        result = result * result;
+    return result;
+}
+
+DiscreteStateSpace
+discretizeZoh(const StateSpace &sys, double period)
+{
+    panicIfNot(period > 0.0, "discretization period must be positive");
+    const std::size_t n = sys.a.rows();
+    const std::size_t m = sys.b.cols();
+    panicIfNot(sys.b.rows() == n, "B row count != A order");
+
+    // Block matrix M = [[A, B], [0, 0]] * T; expm(M) = [[Ad, Bd], ...].
+    Matrix block(n + m, n + m);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j)
+            block(i, j) = sys.a(i, j) * period;
+        for (std::size_t j = 0; j < m; ++j)
+            block(i, n + j) = sys.b(i, j) * period;
+    }
+    const Matrix e = expm(block);
+
+    DiscreteStateSpace d;
+    d.period = period;
+    d.ad = Matrix(n, n);
+    d.bd = Matrix(n, m);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j)
+            d.ad(i, j) = e(i, j);
+        for (std::size_t j = 0; j < m; ++j)
+            d.bd(i, j) = e(i, n + j);
+    }
+    return d;
+}
+
+Matrix
+closedLoopDiscrete(const StateSpace &sys, const Matrix &k, double period)
+{
+    panicIfNot(k.rows() == sys.b.cols() && k.cols() == sys.a.rows(),
+               "feedback gain shape mismatch");
+    StateSpace closed;
+    closed.a = sys.a + sys.b * k;
+    closed.b = Matrix(sys.a.rows(), 1); // unused input
+    return discretizeZoh(closed, period).ad;
+}
+
+bool
+isDiscreteStable(const Matrix &ad)
+{
+    return spectralRadius(ad) < 1.0;
+}
+
+std::vector<double>
+disturbanceGain(const Matrix &ad, double freq, double period)
+{
+    const std::size_t n = ad.rows();
+    const double w = 2.0 * M_PI * freq * period;
+    const Complex z{std::cos(w), std::sin(w)};
+
+    CMatrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j)
+            m(i, j) = (i == j ? z : Complex{}) - Complex{ad(i, j), 0.0};
+
+    const CMatrix inv = inverse(m);
+    std::vector<double> gains(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        double rowSum = 0.0;
+        for (std::size_t j = 0; j < n; ++j)
+            rowSum += std::abs(inv(i, j));
+        gains[i] = rowSum;
+    }
+    return gains;
+}
+
+double
+peakDisturbanceGain(const Matrix &ad, double period, int gridPoints)
+{
+    panicIfNot(gridPoints > 1, "need at least 2 grid points");
+    const double nyquist = 0.5 / period;
+    double peak = 0.0;
+    for (int i = 0; i < gridPoints; ++i) {
+        // Log-ish grid biased toward low frequencies where the
+        // residual-current plateau lives; include DC.
+        const double frac =
+            static_cast<double>(i) / static_cast<double>(gridPoints - 1);
+        const double freq = nyquist * frac * frac;
+        for (double g : disturbanceGain(ad, freq, period))
+            peak = std::max(peak, g);
+    }
+    return peak;
+}
+
+std::vector<std::vector<double>>
+simulateDiscrete(const Matrix &ad, const std::vector<double> &x0,
+                 const std::vector<std::vector<double>> &disturbance)
+{
+    const std::size_t n = ad.rows();
+    panicIfNot(x0.size() == n, "x0 size mismatch");
+    std::vector<std::vector<double>> traj;
+    traj.reserve(disturbance.size());
+    std::vector<double> x = x0;
+    for (const auto &w : disturbance) {
+        panicIfNot(w.size() == n, "disturbance size mismatch");
+        std::vector<double> next = ad * x;
+        for (std::size_t i = 0; i < n; ++i)
+            next[i] += w[i];
+        x = std::move(next);
+        traj.push_back(x);
+    }
+    return traj;
+}
+
+} // namespace vsgpu

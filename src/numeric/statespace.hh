@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Continuous and discrete linear dynamic systems.
+ *
+ * Implements the pieces the paper's Section IV needs: the continuous
+ * model x' = A x + B u + dF (eq. (5)), zero-order-hold discretization
+ * at the control-loop sampling period T (eq. (8)), stability analysis
+ * of the closed loop, discrete frequency response (Bode magnitude) for
+ * the formal droop bound, and time-domain disturbance response.
+ */
+
+#ifndef VSGPU_NUMERIC_STATESPACE_HH
+#define VSGPU_NUMERIC_STATESPACE_HH
+
+#include <vector>
+
+#include "numeric/matrix.hh"
+
+namespace vsgpu
+{
+
+/** Matrix exponential via scaling-and-squaring with a Taylor core. */
+Matrix expm(const Matrix &a);
+
+/**
+ * A continuous-time linear system x' = A x + B u.
+ */
+struct StateSpace
+{
+    Matrix a; ///< state matrix
+    Matrix b; ///< input matrix
+
+    /** @return state dimension. */
+    std::size_t order() const { return a.rows(); }
+};
+
+/**
+ * A discrete-time linear system x[n+1] = Ad x[n] + Bd u[n].
+ */
+struct DiscreteStateSpace
+{
+    Matrix ad;       ///< discretized state matrix
+    Matrix bd;       ///< discretized input matrix
+    double period;   ///< sampling period (s)
+
+    /** @return state dimension. */
+    std::size_t order() const { return ad.rows(); }
+};
+
+/**
+ * Zero-order-hold discretization of a continuous system at period T,
+ * computed from the block matrix exponential
+ *   expm([[A, B], [0, 0]] T) = [[Ad, Bd], [0, I]].
+ */
+DiscreteStateSpace discretizeZoh(const StateSpace &sys, double period);
+
+/**
+ * Closed-loop discrete matrix for proportional state feedback u = K x:
+ * Z(A + B K) (paper eq. (8)), i.e. discretize(A + B K) by ZOH.
+ */
+Matrix closedLoopDiscrete(const StateSpace &sys, const Matrix &k,
+                          double period);
+
+/** @return true iff the discrete matrix has spectral radius < 1. */
+bool isDiscreteStable(const Matrix &ad);
+
+/**
+ * Magnitude of the discrete transfer function from an additive state
+ * disturbance w to each state:  x[n+1] = Ad x[n] + w[n].
+ *
+ * @param ad   closed-loop discrete state matrix.
+ * @param freq disturbance frequency (Hz), must be below Nyquist.
+ * @param period sampling period (s).
+ * @return per-state worst-case gain |(e^{jwT} I - Ad)^{-1}|_inf rows.
+ */
+std::vector<double> disturbanceGain(const Matrix &ad, double freq,
+                                    double period);
+
+/**
+ * Worst disturbance-to-state gain across a frequency grid up to the
+ * Nyquist frequency; this is the quantity the paper's Bode-plot proof
+ * bounds to guarantee droops stay inside the voltage margin.
+ */
+double peakDisturbanceGain(const Matrix &ad, double period,
+                           int gridPoints = 256);
+
+/**
+ * Simulate the discrete closed loop against a disturbance sequence.
+ *
+ * @param ad   discrete state matrix.
+ * @param x0   initial state.
+ * @param disturbance per-step additive disturbance vectors.
+ * @return state trajectory (one entry per step, post-update).
+ */
+std::vector<std::vector<double>>
+simulateDiscrete(const Matrix &ad, const std::vector<double> &x0,
+                 const std::vector<std::vector<double>> &disturbance);
+
+} // namespace vsgpu
+
+#endif // VSGPU_NUMERIC_STATESPACE_HH

@@ -1,0 +1,142 @@
+#include "pdn/impedance.hh"
+
+#include <cmath>
+
+#include "circuit/ac.hh"
+#include "common/logging.hh"
+
+namespace vsgpu
+{
+
+ImpedanceAnalyzer::ImpedanceAnalyzer(const VsPdn &pdn)
+    : pdn_(pdn)
+{
+}
+
+double
+ImpedanceAnalyzer::respond(const std::vector<double> &smLoadAmps,
+                           int observeSm, double freqHz) const
+{
+    panicIfNot(smLoadAmps.size() ==
+               static_cast<std::size_t>(pdn_.numSms()),
+               "per-SM load vector size mismatch");
+
+    AcAnalysis ac(pdn_.netlist());
+    std::vector<AcInjection> injections;
+    injections.reserve(smLoadAmps.size() * 2);
+    for (int sm = 0; sm < pdn_.numSms(); ++sm) {
+        const double amps = smLoadAmps[static_cast<std::size_t>(sm)];
+        if (amps == 0.0)
+            continue;
+        // A load drawing current pulls it out of the SM's top node and
+        // returns it at the bottom node.
+        injections.push_back({pdn_.smTopNode(sm), Complex{-amps, 0.0}});
+        injections.push_back({pdn_.smBottomNode(sm), Complex{amps, 0.0}});
+    }
+
+    const auto volts = ac.solve(freqHz, injections);
+    const Complex dv =
+        volts[static_cast<std::size_t>(pdn_.smTopNode(observeSm))] -
+        volts[static_cast<std::size_t>(pdn_.smBottomNode(observeSm))];
+    return std::abs(dv);
+}
+
+double
+ImpedanceAnalyzer::globalImpedance(double freqHz) const
+{
+    // Per-amp-of-SM-load convention: every SM draws 1 A and we report
+    // the layer-voltage deviation at one of them, so all four
+    // impedance flavours relate the *per-SM* current deviation to the
+    // local rail response and can share one axis (paper Fig. 3).
+    std::vector<double> loads(
+        static_cast<std::size_t>(pdn_.numSms()), 1.0);
+    return respond(loads, pdn_.smIndexAt(0, 0), freqHz);
+}
+
+double
+ImpedanceAnalyzer::stackImpedance(double freqHz, int column) const
+{
+    panicIfNot(column >= 0 && column < pdn_.columns(),
+               "bad stack column ", column);
+    // Stack pattern: every SM of the column draws 1 A, with the
+    // global component removed (orthogonal decomposition), i.e.
+    // +(1 - 1/M) on the column and -1/M elsewhere.
+    std::vector<double> loads(
+        static_cast<std::size_t>(pdn_.numSms()), 0.0);
+    const double inCol =
+        1.0 - 1.0 / static_cast<double>(pdn_.columns());
+    const double outCol =
+        -1.0 / static_cast<double>(pdn_.columns());
+    for (int sm = 0; sm < pdn_.numSms(); ++sm) {
+        loads[static_cast<std::size_t>(sm)] =
+            pdn_.columnOf(sm) == column ? inCol : outCol;
+    }
+    return respond(loads, pdn_.smIndexAt(0, column), freqHz);
+}
+
+double
+ImpedanceAnalyzer::residualImpedance(double freqHz, bool sameLayer) const
+{
+    // Unit extra load at SM (layer 0, column 0); residual component
+    // is +(1 - 1/N) there and -1/N at the other layers of column 0.
+    const int column = 0;
+    const int loadedLayer = 0;
+    std::vector<double> loads(
+        static_cast<std::size_t>(pdn_.numSms()), 0.0);
+    for (int layer = 0; layer < pdn_.layers(); ++layer) {
+        const int sm = pdn_.smIndexAt(layer, column);
+        loads[static_cast<std::size_t>(sm)] =
+            layer == loadedLayer
+                ? 1.0 - 1.0 / static_cast<double>(pdn_.layers())
+                : -1.0 / static_cast<double>(pdn_.layers());
+    }
+    const int observe =
+        sameLayer ? pdn_.smIndexAt(loadedLayer, column)
+                  : pdn_.smIndexAt(pdn_.layers() / 2, column);
+    return respond(loads, observe, freqHz);
+}
+
+std::vector<ImpedancePoint>
+ImpedanceAnalyzer::sweep(const std::vector<double> &freqsHz) const
+{
+    std::vector<ImpedancePoint> points;
+    points.reserve(freqsHz.size());
+    for (double f : freqsHz) {
+        ImpedancePoint p;
+        p.freqHz = f;
+        p.zGlobal = globalImpedance(f);
+        p.zStack = stackImpedance(f);
+        p.zResidualSameLayer = residualImpedance(f, true);
+        p.zResidualDiffLayer = residualImpedance(f, false);
+        points.push_back(p);
+    }
+    return points;
+}
+
+double
+ImpedanceAnalyzer::peakImpedance(double freqHz) const
+{
+    double z = globalImpedance(freqHz);
+    z = std::max(z, stackImpedance(freqHz));
+    z = std::max(z, residualImpedance(freqHz, true));
+    z = std::max(z, residualImpedance(freqHz, false));
+    return z;
+}
+
+std::vector<double>
+logFrequencyGrid(double loHz, double hiHz, int n)
+{
+    panicIfNot(loHz > 0.0 && hiHz > loHz && n >= 2,
+               "bad frequency grid parameters");
+    std::vector<double> freqs;
+    freqs.reserve(static_cast<std::size_t>(n));
+    const double ratio = std::log(hiHz / loHz);
+    for (int i = 0; i < n; ++i) {
+        const double frac =
+            static_cast<double>(i) / static_cast<double>(n - 1);
+        freqs.push_back(loHz * std::exp(ratio * frac));
+    }
+    return freqs;
+}
+
+} // namespace vsgpu

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Effective impedance analysis of the voltage-stacked PDN (paper
+ * Section III-B and Fig. 3).
+ *
+ * Any SM load-current vector decomposes into three orthogonal
+ * components:
+ *   - global:   the mean over all 16 SMs (flows top-to-bottom through
+ *               the whole stack),
+ *   - stack:    the per-column mean after removing the global part,
+ *   - residual: what remains — vertical imbalance inside a column,
+ *               the component that disturbs the boundary rails.
+ *
+ * For each component we inject the corresponding AC current pattern
+ * and report the magnitude of the layer-voltage response per amp of
+ * SM load:
+ *   - Z_G:        response at a loaded SM to the global pattern,
+ *   - Z_ST:       response within the loaded stack to the stack
+ *                 pattern,
+ *   - Z_R (same layer):      response at the over-loaded SM itself,
+ *   - Z_R (different layer): response at another layer of the same
+ *                 column.
+ */
+
+#ifndef VSGPU_PDN_IMPEDANCE_HH
+#define VSGPU_PDN_IMPEDANCE_HH
+
+#include <vector>
+
+#include "pdn/vs_pdn.hh"
+
+namespace vsgpu
+{
+
+/** One row of the effective-impedance sweep. */
+struct ImpedancePoint
+{
+    double freqHz = 0.0;
+    double zGlobal = 0.0;
+    double zStack = 0.0;
+    double zResidualSameLayer = 0.0;
+    double zResidualDiffLayer = 0.0;
+};
+
+/**
+ * Effective impedance analyzer over a voltage-stacked PDN.
+ */
+class ImpedanceAnalyzer
+{
+  public:
+    /** @param pdn the PDN to analyze (must outlive the analyzer). */
+    explicit ImpedanceAnalyzer(const VsPdn &pdn);
+
+    /** @return Z_G at one frequency (ohms). */
+    double globalImpedance(double freqHz) const;
+
+    /** @return Z_ST for the given column at one frequency. */
+    double stackImpedance(double freqHz, int column = 0) const;
+
+    /**
+     * @return Z_R at one frequency.
+     * @param sameLayer measure at the over-loaded SM itself when
+     *        true; at a different layer of the same column otherwise.
+     */
+    double residualImpedance(double freqHz, bool sameLayer) const;
+
+    /** Sweep all four impedances over a frequency list. */
+    std::vector<ImpedancePoint>
+    sweep(const std::vector<double> &freqsHz) const;
+
+    /** @return the maximum of the four impedances at one frequency. */
+    double peakImpedance(double freqHz) const;
+
+  private:
+    /**
+     * Solve with per-SM load amplitudes and return |ΔV| of the layer
+     * voltage at the observed SM per amp of stimulus normalization.
+     */
+    double respond(const std::vector<double> &smLoadAmps,
+                   int observeSm, double freqHz) const;
+
+    const VsPdn &pdn_;
+};
+
+/** Logarithmically spaced frequency grid [lo, hi], n points. */
+std::vector<double> logFrequencyGrid(double loHz, double hiHz, int n);
+
+} // namespace vsgpu
+
+#endif // VSGPU_PDN_IMPEDANCE_HH

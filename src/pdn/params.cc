@@ -1,0 +1,12 @@
+#include "pdn/params.hh"
+
+namespace vsgpu
+{
+
+PdnParams
+defaultPdnParams()
+{
+    return PdnParams{};
+}
+
+} // namespace vsgpu

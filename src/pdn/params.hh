@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Power-delivery-network parameters.
+ *
+ * Values follow the GPUvolt/EmerGPU modeling convention the paper
+ * cites: board and package RL parasitics, C4/grid resistance, and
+ * per-SM on-die decoupling capacitance, tuned so that the unregulated
+ * voltage-stacked global impedance peaks near 70 MHz (paper Fig. 3(a))
+ * and the DC residual plateau sits near 0.25 ohm.
+ */
+
+#ifndef VSGPU_PDN_PARAMS_HH
+#define VSGPU_PDN_PARAMS_HH
+
+#include "common/units.hh"
+
+namespace vsgpu
+{
+
+/**
+ * Electrical parameters shared by all PDS configurations.
+ * All values SI (ohms, henries, farads).
+ */
+struct PdnParams
+{
+    // Board (PCB trace + connector) per supply rail.
+    double boardR = 0.25e-3;
+    double boardL = 40e-12;
+
+    // Bulk decoupling on the board.
+    double bulkC = 300e-6;
+    double bulkEsr = 0.3e-3;
+
+    // Package (socket bumps + package planes) per rail.
+    double packageR = 0.35e-3;
+    double packageL = 65e-12;
+
+    // Package-level decoupling.
+    double packageC = 2.2e-6;
+    double packageEsr = 0.8e-3;
+
+    // C4 bump + top-metal connection, per stacking column.  The
+    // voltage-stacked configuration re-routes the top metal between
+    // the C4 bumps and the boundary rails, so this term includes the
+    // re-routing inductance (paper Section III-A).
+    double c4R = 1.2e-3;
+    double c4L = 100e-12;
+
+    // On-chip horizontal grid resistance between adjacent columns at
+    // one boundary level.
+    double gridR = 80e-3;
+
+    // On-die decoupling per SM (across its local rail pair) and its
+    // effective series resistance.
+    double smDecapC = 100e-9;
+    double smDecapEsr = 1.0e-3;
+
+    // Linearized SM load conductance.  GPU load current has only a
+    // weak voltage dependence around the operating point (clock and
+    // activity are externally set), modeled as I ~ V^alpha with
+    // alpha << 1, giving an incremental load resistance
+    // R_load = V / (alpha * I) = V^2 / (alpha * P).
+    double smNominalPower = 7.0;
+    double smNominalVoltage = config::smVoltage;
+    double smLoadAlpha = 0.15;
+
+    /** @return linearized per-SM load resistance (ohms). */
+    double
+    smLoadOhms() const
+    {
+        return smNominalVoltage * smNominalVoltage /
+               (smLoadAlpha * smNominalPower);
+    }
+};
+
+/** @return the default parameter set used across the evaluation. */
+PdnParams defaultPdnParams();
+
+} // namespace vsgpu
+
+#endif // VSGPU_PDN_PARAMS_HH

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Event-energy parameters for the GPUWattch-style SM power model.
+ *
+ * Dynamic power is accumulated from per-warp-instruction energies by
+ * op class (with a lane-dependent component for divergence), plus an
+ * issue/fetch/decode overhead, clock-tree power on clocked cycles,
+ * and per-execution-block gateable leakage.  Values are calibrated so
+ * a Fermi-class SM averages ~7 W and peaks near 14 W at 700 MHz
+ * (paper Table I system; SM grid = 93% of GPU average power).
+ */
+
+#ifndef VSGPU_POWER_ENERGY_MODEL_HH
+#define VSGPU_POWER_ENERGY_MODEL_HH
+
+#include <array>
+
+#include "gpu/exec_unit.hh"
+#include "gpu/sm.hh"
+
+namespace vsgpu
+{
+
+/** Tunable energy/power constants (J and W). */
+struct EnergyParams
+{
+    /** Dynamic energy per warp instruction by op class (J). */
+    std::array<double, numOpClasses> opEnergy = {
+        1.7e-9, // IntAlu
+        2.5e-9, // FpAlu
+        4.2e-9, // Sfu
+        3.4e-9, // Load
+        3.0e-9, // Store
+        2.0e-9, // SharedMem
+        4.6e-9, // Atomic
+        0.2e-9, // Sync
+    };
+
+    /** Fetch/decode/issue overhead per instruction (J). */
+    double issueEnergy = 0.5e-9;
+
+    /** Energy of a fake injected instruction (J): an SP op that is
+     *  fetched and executed but performs no architectural writeback. */
+    double fakeEnergy = 2.0e-9;
+
+    /** Fraction of op energy that scales with active lanes. */
+    double laneFraction = 0.6;
+
+    /** Clock tree, pipeline registers, schedulers, and register-file
+     *  background activity while the SM clock runs (W).  An SM that
+     *  is resident-but-stalled (e.g. at a barrier) still burns this —
+     *  real SMs idle near half their typical power, which bounds how
+     *  deep barrier-induced power swings can be. */
+    double clockPower = 2.6;
+
+    /** Gateable leakage per execution block (W): SP0 SP1 SFU LSU. */
+    std::array<double, numExecUnits> unitLeakage = {
+        0.30, 0.30, 0.14, 0.24,
+    };
+
+    /** Non-gateable leakage: register file, shared memory, control. */
+    double baseLeakage = 0.55;
+};
+
+} // namespace vsgpu
+
+#endif // VSGPU_POWER_ENERGY_MODEL_HH

@@ -1,0 +1,80 @@
+#include "power/power_model.hh"
+
+#include "common/units.hh"
+
+namespace vsgpu
+{
+
+SmPowerModel::SmPowerModel(const EnergyParams &params)
+    : params_(params)
+{
+}
+
+double
+SmPowerModel::dynamicEnergy(const SmCycleEvents &events) const
+{
+    double joules = 0.0;
+    double avgLanes = 1.0;
+    const int total = events.totalIssued();
+    if (total > 0) {
+        avgLanes = static_cast<double>(events.lanesActive) /
+                   (static_cast<double>(total) *
+                    static_cast<double>(config::threadsPerWarp));
+    }
+    const double laneScale =
+        (1.0 - params_.laneFraction) + params_.laneFraction * avgLanes;
+
+    for (int op = 0; op < numOpClasses; ++op) {
+        const int n = events.issued[static_cast<std::size_t>(op)];
+        if (n == 0)
+            continue;
+        joules += static_cast<double>(n) *
+                  (params_.opEnergy[static_cast<std::size_t>(op)] *
+                       laneScale +
+                   params_.issueEnergy);
+    }
+    joules += static_cast<double>(events.fakeIssued) *
+              params_.fakeEnergy;
+    return joules;
+}
+
+double
+SmPowerModel::leakagePower(const Sm &sm, Cycle now) const
+{
+    double watts = params_.baseLeakage;
+    for (int u = 0; u < numExecUnits; ++u) {
+        const auto kind = static_cast<ExecUnitKind>(u);
+        if (!sm.unit(kind).gated(now))
+            watts += params_.unitLeakage[static_cast<std::size_t>(u)];
+    }
+    return watts;
+}
+
+double
+SmPowerModel::cyclePower(const SmCycleEvents &events, const Sm &sm,
+                         Cycle now) const
+{
+    double watts = dynamicEnergy(events) / config::clockPeriod;
+    if (events.clocked && events.active)
+        watts += params_.clockPower;
+    watts += leakagePower(sm, now);
+    return watts;
+}
+
+double
+SmPowerModel::peakPower() const
+{
+    // Two FP instructions per cycle at full lanes plus clock and
+    // un-gated leakage.
+    double leak = params_.baseLeakage;
+    for (double l : params_.unitLeakage)
+        leak += l;
+    const double dyn =
+        2.0 * (params_.opEnergy[static_cast<std::size_t>(
+                   OpClass::FpAlu)] +
+               params_.issueEnergy) /
+        config::clockPeriod;
+    return dyn + params_.clockPower + leak;
+}
+
+} // namespace vsgpu

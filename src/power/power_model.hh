@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Per-cycle SM power evaluation (the GPUWattch role in the paper's
+ * hybrid infrastructure): converts one cycle's micro-architectural
+ * events into watts that the PDN co-simulation consumes.
+ */
+
+#ifndef VSGPU_POWER_POWER_MODEL_HH
+#define VSGPU_POWER_POWER_MODEL_HH
+
+#include "power/energy_model.hh"
+
+namespace vsgpu
+{
+
+/**
+ * Stateless evaluator of SM power from cycle events.
+ */
+class SmPowerModel
+{
+  public:
+    explicit SmPowerModel(const EnergyParams &params = {});
+
+    /** @return dynamic energy of one cycle's events (J). */
+    double dynamicEnergy(const SmCycleEvents &events) const;
+
+    /**
+     * @return leakage power of an SM given its gating state (W).
+     * @param now current cycle (gating is time-dependent).
+     */
+    double leakagePower(const Sm &sm, Cycle now) const;
+
+    /**
+     * @return total SM power for one cycle (W): dynamic energy over
+     * the clock period, clock-tree power when clocked, and leakage.
+     */
+    double cyclePower(const SmCycleEvents &events, const Sm &sm,
+                      Cycle now) const;
+
+    /** @return the parameter set. */
+    const EnergyParams &params() const { return params_; }
+
+    /** @return nominal peak SM power implied by the parameters (W). */
+    double peakPower() const;
+
+  private:
+    EnergyParams params_;
+};
+
+} // namespace vsgpu
+
+#endif // VSGPU_POWER_POWER_MODEL_HH

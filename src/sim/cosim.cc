@@ -1,0 +1,515 @@
+#include "sim/cosim.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.hh"
+#include "control/controller.hh"
+#include "ivr/efficiency.hh"
+#include "pdn/single_layer.hh"
+#include "pdn/vs_pdn.hh"
+
+namespace vsgpu
+{
+
+namespace
+{
+
+/** Clamp a measured rail voltage used in the P -> I conversion. */
+double
+usableVolts(double v)
+{
+    return std::clamp(v, 0.35, 1.6);
+}
+
+} // namespace
+
+CoSimulator::CoSimulator(const CosimConfig &cfg)
+    : cfg_(cfg)
+{
+}
+
+CosimResult
+CoSimulator::run(const WorkloadSpec &workload)
+{
+    WorkloadFactory factory(workload);
+    return run(factory, workload.l1HitRate);
+}
+
+CosimResult
+CoSimulator::run(const ProgramFactory &factory, double l1HitRate)
+{
+    return runImpl({&factory}, {l1HitRate});
+}
+
+CosimResult
+CoSimulator::runSequence(const std::vector<WorkloadSpec> &kernels)
+{
+    panicIfNot(!kernels.empty(), "empty kernel sequence");
+    std::vector<WorkloadFactory> factories;
+    factories.reserve(kernels.size());
+    std::vector<const ProgramFactory *> ptrs;
+    std::vector<double> rates;
+    for (const auto &kernel : kernels) {
+        factories.emplace_back(kernel);
+        rates.push_back(kernel.l1HitRate);
+    }
+    for (const auto &factory : factories)
+        ptrs.push_back(&factory);
+    return runImpl(ptrs, rates);
+}
+
+CosimResult
+CoSimulator::runImpl(
+    const std::vector<const ProgramFactory *> &kernels,
+    const std::vector<double> &l1HitRates)
+{
+    panicIfNot(kernels.size() == l1HitRates.size() &&
+               !kernels.empty(),
+               "kernel/l1-rate size mismatch");
+    const bool stacked = isVoltageStacked(cfg_.pds.kind);
+    const bool smoothing = cfg_.pds.kind == PdsKind::VsCrossLayer &&
+                           cfg_.pds.smoothingEnabled;
+
+    // --- build the device and the PDS ---
+    Gpu gpu(cfg_.gpu);
+
+    SmPowerModel powerModel(cfg_.energy);
+    const double peakSmPower = powerModel.peakPower();
+
+    std::unique_ptr<VsPdn> vsPdn;
+    std::unique_ptr<SingleLayerPdn> slPdn;
+    std::unique_ptr<TransientSim> tr;
+    std::vector<int> loadResistors;
+
+    if (stacked) {
+        VsPdnOptions options;
+        options.params = cfg_.pdn;
+        if (cfg_.pds.ivrAreaFraction > 0.0) {
+            const CrIvrDesign design(cfg_.pds.ivrAreaMm2(),
+                                     cfg_.pds.ivrTech);
+            options.crIvrEffOhms = design.effOhmsPerCell();
+            options.crIvrFlyCapF = design.flyCapPerCellF();
+        }
+        vsPdn = std::make_unique<VsPdn>(options);
+        tr = std::make_unique<TransientSim>(vsPdn->netlist(),
+                                            config::clockPeriod);
+        loadResistors = vsPdn->loadResistorIndices();
+    } else {
+        SingleLayerOptions options;
+        options.params = cfg_.pdn;
+        options.supplyAtPackage =
+            cfg_.pds.kind == PdsKind::SingleLayerIvr;
+        // Load-line compensation: the regulator output is set above
+        // nominal so the rail stays near 1 V under the average IR
+        // drop (further from the load = more compensation).
+        options.supplyVolts = options.supplyAtPackage ? 1.03 : 1.06;
+        slPdn = std::make_unique<SingleLayerPdn>(options);
+        tr = std::make_unique<TransientSim>(slPdn->netlist(),
+                                            config::clockPeriod);
+        loadResistors = slPdn->loadResistorIndices();
+    }
+    tr->initToDc();
+
+    // Per-SM rail voltage reader.
+    const auto railVolts = [&](int sm) {
+        return stacked ? vsPdn->smVoltage(*tr, sm)
+                       : slPdn->smVoltage(*tr, sm);
+    };
+    const auto smSource = [&](int sm) {
+        return stacked ? vsPdn->smCurrentSource(sm)
+                       : slPdn->smCurrentSource(sm);
+    };
+
+    // --- controller (cross-layer only) ---
+    std::unique_ptr<SmoothingController> controller;
+    if (smoothing)
+        controller =
+            std::make_unique<SmoothingController>(cfg_.pds.controller);
+
+    // --- loss models ---
+    const VrmModel vrm;
+    const SingleIvrModel singleIvr;
+    const VsOverheads overheads;
+    const CrIvrTech ivrTech = cfg_.pds.ivrTech;
+
+    // --- accumulators ---
+    CosimResult result;
+    const double dt = config::clockPeriod;
+    std::array<ReservoirSampler, config::numSMs> noise{};
+    RunningStats pooledVolts;
+    double minVoltage = 1e9;
+
+    Histogram imbalance({0.0, 0.10, 0.20, 0.40, 10.0});
+    std::array<double, config::numSMs> windowPower{};
+    int windowFill = 0;
+
+    const double loadOhms =
+        loadResistors.empty()
+            ? cfg_.pdn.smLoadOhms()
+            : (stacked ? vsPdn->netlist() : slPdn->netlist())
+                  .resistors()[static_cast<std::size_t>(
+                      loadResistors.front())]
+                  .ohms;
+    std::array<double, config::numSMs> dccAmps{};
+    std::array<double, config::numSMs> smPower{};
+
+    // Slow-filtered rail voltage used in the P -> I conversion: a
+    // load is constant-power only on thermal/architectural
+    // timescales; at nanosecond scale its current tracks voltage
+    // (the +1/R conductance).  Using the instantaneous voltage here
+    // would create a -P/V^2 negative conductance at the package
+    // resonance and destabilize the PDN, which is unphysical.
+    std::array<double, config::numSMs> vSlow{};
+    const double nominalRail =
+        stacked ? vsPdn->nominalLayerVolts() : config::smVoltage;
+    vSlow.fill(nominalRail);
+    const double vSlowBeta = 0.01; // ~100-cycle time constant
+
+    // Remote-sense VRM regulation state (single-layer configs).
+    double vrmSetVolts =
+        stacked ? 0.0 : slPdn->options().supplyVolts;
+
+    // Hypervisor/PG interplay bookkeeping.
+    Cycle lastHvUpdate = 0;
+    std::uint64_t lastThrottled = 0;
+
+    const Cycle gateLayerAt =
+        cfg_.gateLayerAtSec >= 0.0
+            ? static_cast<Cycle>(cfg_.gateLayerAtSec / dt)
+            : std::numeric_limits<Cycle>::max();
+
+    // ================= main loop =================
+    std::size_t kernelsLaunched = 0;
+    bool budgetExhausted = false;
+    for (std::size_t k = 0; k < kernels.size() && !budgetExhausted;
+         ++k) {
+        // Kernel-boundary resynchronization: the previous kernel has
+        // fully drained every SM before this launch.
+        gpu.memory().setL1HitRate(l1HitRates[k]);
+        gpu.launch(*kernels[k]);
+        ++kernelsLaunched;
+
+    while (!gpu.done() && gpu.cycle() < cfg_.maxCycles) {
+        const Cycle now = gpu.cycle();
+
+        // 1. GPU timing step.
+        gpu.step();
+
+        // 2. Per-SM power from the event trace.
+        double totalLoadPower = 0.0;
+        double fakePower = 0.0;
+        for (int sm = 0; sm < config::numSMs; ++sm) {
+            const auto &events = gpu.smEvents(sm);
+            double watts =
+                powerModel.cyclePower(events, gpu.sm(sm), now);
+            if (now >= gateLayerAt &&
+                VsPdn::smLayer(sm) == cfg_.gatedLayer) {
+                watts = cfg_.gatedLayerWatts;
+            }
+            smPower[static_cast<std::size_t>(sm)] = watts;
+            totalLoadPower += watts;
+            fakePower += static_cast<double>(events.fakeIssued) *
+                         cfg_.energy.fakeEnergy / dt;
+        }
+
+        // 3. Convert power to load currents and advance the PDS.
+        // Following the paper, each SM is a time-varying ideal
+        // current source: I = P(t) / V_nominal.  The linearized load
+        // conductance already in the netlist supplies the small
+        // positive dI/dV; the source covers the remainder.  Below the
+        // brown-out knee the current folds back linearly (logic stops
+        // switching), so a collapsed rail cannot demand unbounded
+        // current in worst-case studies.
+        double electricalLoadWatts = 0.0;
+        double dccDrawnWatts = 0.0;
+        for (int sm = 0; sm < config::numSMs; ++sm) {
+            const auto idx = static_cast<std::size_t>(sm);
+            const double rail = railVolts(sm);
+            vSlow[idx] += vSlowBeta * (rail - vSlow[idx]);
+            const double v = usableVolts(vSlow[idx]);
+            const double knee = 0.6 * config::smVoltage;
+            const double foldback =
+                std::clamp(v / knee, 0.0, 1.0);
+            const double loadAmps =
+                smPower[idx] / nominalRail * foldback - v / loadOhms;
+            tr->setCurrent(smSource(sm), loadAmps + dccAmps[idx]);
+            // Book what the load actually draws electrically (source
+            // plus linearized conductance), so load + losses = wall.
+            electricalLoadWatts +=
+                rail * (loadAmps + rail / loadOhms);
+            dccDrawnWatts += rail * dccAmps[idx];
+        }
+        tr->step();
+
+        // 3b. Remote-sense load-line regulation: servo the VRM
+        // output so the average die rail tracks nominal.
+        if (!stacked && cfg_.vrmRemoteSense) {
+            double railAvg = 0.0;
+            for (int sm = 0; sm < config::numSMs; ++sm)
+                railAvg += vSlow[static_cast<std::size_t>(sm)];
+            railAvg /= static_cast<double>(config::numSMs);
+            vrmSetVolts += cfg_.remoteSenseGain *
+                           (config::smVoltage - railAvg);
+            vrmSetVolts = std::clamp(vrmSetVolts, 0.95, 1.15);
+            tr->setSourceVolts(slPdn->supplySource(), vrmSetVolts);
+        }
+
+        // 4. Observability: noise statistics and traces.
+        double cycleMin = 1e9;
+        double cycleMax = -1e9;
+        for (int sm = 0; sm < config::numSMs; ++sm) {
+            const double v = railVolts(sm);
+            noise[static_cast<std::size_t>(sm)].add(v);
+            pooledVolts.add(v);
+            cycleMin = std::min(cycleMin, v);
+            cycleMax = std::max(cycleMax, v);
+        }
+        minVoltage = std::min(minVoltage, cycleMin);
+
+        if (cfg_.traceStride > 0 &&
+            now % static_cast<Cycle>(cfg_.traceStride) == 0) {
+            TraceSample sample;
+            sample.timeSec = tr->time();
+            sample.minSmVolts = cycleMin;
+            sample.maxSmVolts = cycleMax;
+            for (int layer = 0; layer < config::numLayers; ++layer)
+                sample.layerVolts[static_cast<std::size_t>(layer)] =
+                    railVolts(VsPdn::smAt(layer, 0));
+            result.trace.push_back(sample);
+        }
+
+        // 5. Imbalance histogram over an averaging window.
+        for (int sm = 0; sm < config::numSMs; ++sm)
+            windowPower[static_cast<std::size_t>(sm)] +=
+                smPower[static_cast<std::size_t>(sm)];
+        if (++windowFill >= cfg_.imbalanceWindow) {
+            const double norm =
+                static_cast<double>(cfg_.imbalanceWindow) *
+                peakSmPower;
+            for (int c = 0; c < config::smsPerLayer; ++c) {
+                for (int l = 0; l + 1 < config::numLayers; ++l) {
+                    const double a = windowPower[static_cast<
+                        std::size_t>(VsPdn::smAt(l, c))];
+                    const double b = windowPower[static_cast<
+                        std::size_t>(VsPdn::smAt(l + 1, c))];
+                    imbalance.add(std::abs(a - b) / norm);
+                }
+            }
+            windowPower.fill(0.0);
+            windowFill = 0;
+        }
+
+        // 6. Voltage-smoothing control loop.
+        if (controller) {
+            std::array<double, config::numSMs> volts{};
+            for (int sm = 0; sm < config::numSMs; ++sm)
+                volts[static_cast<std::size_t>(sm)] = railVolts(sm);
+            const CommandSet &commands = controller->step(volts);
+            for (int sm = 0; sm < config::numSMs; ++sm) {
+                const auto idx = static_cast<std::size_t>(sm);
+                gpu.sm(sm).setIssueWidthLimit(
+                    commands[idx].issueWidth);
+                gpu.sm(sm).setFakeInjectRate(commands[idx].fakeRate);
+                dccAmps[idx] = commands[idx].dccAmps;
+            }
+        }
+
+        // 7. Higher-level power management.
+        if (dfs_) {
+            dfs_->step(gpu);
+            auto request = dfs_->requested();
+            if (hypervisor_ && stacked)
+                request = hypervisor_->filterFrequencies(request);
+            for (int sm = 0; sm < config::numSMs; ++sm)
+                gpu.setSmFrequencyFraction(
+                    sm, request[static_cast<std::size_t>(sm)] /
+                            config::smClockHz);
+        }
+        if (pg_) {
+            if (hypervisor_ && stacked &&
+                now - lastHvUpdate >= 512) {
+                lastHvUpdate = now;
+                // Build the gating wish list: currently gated blocks
+                // plus blocks idle beyond the detect window.
+                GatingPlan wish{};
+                for (int sm = 0; sm < config::numSMs; ++sm) {
+                    for (int u = 0; u < numExecUnits; ++u) {
+                        const auto kind =
+                            static_cast<ExecUnitKind>(u);
+                        const auto &unit = gpu.sm(sm).unit(kind);
+                        wish[static_cast<std::size_t>(sm)]
+                            [static_cast<std::size_t>(u)] =
+                            unit.gated(now) ||
+                            unit.idleCycles(now) >=
+                                pg_->config().idleDetect;
+                    }
+                }
+                const GatingPlan plan = hypervisor_->filterGating(
+                    wish, cfg_.energy.unitLeakage);
+                for (int sm = 0; sm < config::numSMs; ++sm) {
+                    for (int u = 0; u < numExecUnits; ++u) {
+                        const auto kind =
+                            static_cast<ExecUnitKind>(u);
+                        const bool wanted =
+                            wish[static_cast<std::size_t>(sm)]
+                                [static_cast<std::size_t>(u)];
+                        const bool allowed =
+                            plan[static_cast<std::size_t>(sm)]
+                                [static_cast<std::size_t>(u)];
+                        pg_->setVeto(sm, kind, wanted && !allowed);
+                        auto &unit = gpu.sm(sm).unit(kind);
+                        if (wanted && !allowed && unit.gated(now) &&
+                            unit.gateRequested()) {
+                            unit.ungate(now,
+                                        cfg_.gpu.sm.pgWakeLatency);
+                        }
+                    }
+                }
+            }
+            pg_->step(gpu, now);
+        }
+        if (hypervisor_ && stacked && (now & 0xfff) == 0 &&
+            now > 0) {
+            std::uint64_t throttled = 0;
+            for (int sm = 0; sm < config::numSMs; ++sm)
+                throttled += gpu.sm(sm).throttledCycles();
+            const double rate =
+                static_cast<double>(throttled - lastThrottled) /
+                (4096.0 * config::numSMs);
+            lastThrottled = throttled;
+            hypervisor_->feedback(std::clamp(rate, 0.0, 1.0));
+        }
+
+        // 8. Energy bookkeeping.
+        result.energy.load += electricalLoadWatts * dt;
+        result.energy.fake += fakePower * dt;
+
+        // PDN resistive loss excludes the linearized load resistors.
+        const Netlist &net =
+            stacked ? vsPdn->netlist() : slPdn->netlist();
+        double loadResWatts = 0.0;
+        for (int i : loadResistors) {
+            const double amps = tr->resistorCurrent(i);
+            loadResWatts +=
+                amps * amps *
+                net.resistors()[static_cast<std::size_t>(i)].ohms;
+        }
+        const double pdnWatts =
+            std::max(0.0, tr->totalResistivePower() +
+                              tr->totalSwitchPower() - loadResWatts);
+
+        double overheadWatts = 0.0;
+        double crIvrWatts = 0.0;
+        double wallWatts = 0.0;
+        double conversionWatts = 0.0;
+
+        if (stacked) {
+            const double eqWatts = tr->totalEqualizerPower();
+            // Switching overhead proportional to transferred power.
+            double transferWatts = 0.0;
+            const int numEq =
+                static_cast<int>(vsPdn->equalizerIndices().size());
+            for (int e = 0; e < numEq; ++e)
+                transferWatts +=
+                    std::abs(tr->equalizerCurrent(e)) *
+                    config::smVoltage;
+
+            // Shuffle tax: inter-layer imbalance power is processed
+            // by the SC ladder at its shuffle efficiency; the
+            // averaged Reff only models the conduction part.
+            double layerPower[config::numLayers] = {};
+            for (int sm = 0; sm < config::numSMs; ++sm)
+                layerPower[VsPdn::smLayer(sm)] +=
+                    smPower[static_cast<std::size_t>(sm)];
+            const double avgLayer = totalLoadPower /
+                                    static_cast<double>(
+                                        config::numLayers);
+            double shuffleWatts = 0.0;
+            for (double lp : layerPower)
+                shuffleWatts += std::abs(lp - avgLayer);
+
+            crIvrWatts = eqWatts +
+                         ivrTech.switchingLossFraction * transferWatts +
+                         (1.0 - ivrTech.shuffleEfficiency) *
+                             shuffleWatts;
+
+            overheadWatts +=
+                overheads.levelShifterFraction * totalLoadPower;
+            if (controller) {
+                overheadWatts += overheads.controllerWatts +
+                                 controller->detectorPower();
+                overheadWatts +=
+                    cfg_.pds.controller.dcc.leakageWatts *
+                    static_cast<double>(config::numSMs);
+            }
+            // DCC compensation currents flow through the netlist and
+            // are part of the measured source power; book them as
+            // overhead, not load.
+            overheadWatts += dccDrawnWatts;
+
+            const double sourceWatts = tr->totalSourcePower();
+            wallWatts = sourceWatts + crIvrWatts -
+                        tr->totalEqualizerPower() + overheadWatts;
+        } else if (cfg_.pds.kind == PdsKind::ConventionalVrm) {
+            const double chipWatts = tr->totalSourcePower();
+            wallWatts = vrm.inputPower(chipWatts);
+            conversionWatts = wallWatts - chipWatts;
+        } else { // SingleLayerIvr
+            const double chipWatts = tr->totalSourcePower();
+            const double ivrInWatts = singleIvr.inputPower(chipWatts);
+            conversionWatts = ivrInWatts - chipWatts;
+            // Board transport at 2 V to the on-die regulator.
+            const double boardAmps =
+                ivrInWatts / singleIvr.inputVolts();
+            const double boardLossWatts =
+                boardAmps * boardAmps *
+                (cfg_.pdn.boardR + cfg_.pdn.packageR);
+            wallWatts = ivrInWatts + boardLossWatts;
+            conversionWatts += boardLossWatts;
+        }
+
+        result.energy.pdn += pdnWatts * dt;
+        result.energy.conversion += conversionWatts * dt;
+        result.energy.crIvr += crIvrWatts * dt;
+        result.energy.overhead += overheadWatts * dt;
+        result.energy.wall += wallWatts * dt;
+    }
+
+        if (gpu.cycle() >= cfg_.maxCycles)
+            budgetExhausted = true;
+    }
+    // ================= end main loop =================
+
+    result.cycles = gpu.cycle();
+    result.finished =
+        gpu.done() && kernelsLaunched == kernels.size();
+    std::uint64_t instructions = 0;
+    std::uint64_t throttled = 0;
+    for (int sm = 0; sm < config::numSMs; ++sm) {
+        instructions += gpu.sm(sm).retired();
+        throttled += gpu.sm(sm).throttledCycles();
+        result.smNoise[static_cast<std::size_t>(sm)] =
+            noise[static_cast<std::size_t>(sm)].box();
+    }
+    result.instructions = instructions;
+    result.minVoltage = minVoltage;
+    result.meanVoltage = pooledVolts.mean();
+    result.throttleRate =
+        result.cycles > 0
+            ? static_cast<double>(throttled) /
+                  (static_cast<double>(result.cycles) *
+                   config::numSMs)
+            : 0.0;
+    if (controller && controller->totalDecisions() > 0) {
+        result.triggerRate =
+            static_cast<double>(controller->triggeredDecisions()) /
+            static_cast<double>(controller->totalDecisions());
+    }
+    for (std::size_t b = 0; b < 4; ++b)
+        result.imbalanceBins[b] = imbalance.fraction(b);
+    return result;
+}
+
+} // namespace vsgpu

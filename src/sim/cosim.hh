@@ -1,0 +1,122 @@
+/**
+ * @file
+ * The integrated hybrid co-simulator (paper Section V): the GPU
+ * timing model produces a per-SM power trace every clock cycle, the
+ * circuit engine advances the PDS netlist one clock period with those
+ * loads, and (in the cross-layer configuration) the smoothing
+ * controller closes the loop by reconfiguring issue width, fake
+ * injection, and DCC currents with the modeled loop latency.
+ */
+
+#ifndef VSGPU_SIM_COSIM_HH
+#define VSGPU_SIM_COSIM_HH
+
+#include <memory>
+#include <vector>
+
+#include "gpu/gpu.hh"
+#include "pdn/params.hh"
+#include "hypervisor/dfs.hh"
+#include "hypervisor/pg.hh"
+#include "hypervisor/vs_hypervisor.hh"
+#include "power/power_model.hh"
+#include "sim/metrics.hh"
+#include "sim/pds.hh"
+#include "workloads/generator.hh"
+
+namespace vsgpu
+{
+
+/** Co-simulation configuration. */
+struct CosimConfig
+{
+    PdsOptions pds = defaultPds(PdsKind::VsCrossLayer);
+    GpuConfig gpu;
+    EnergyParams energy;
+    PdnParams pdn = defaultPdnParams();
+
+    /** Hard cap on simulated cycles. */
+    Cycle maxCycles = 200000;
+
+    /** Record a TraceSample every this many cycles (0 = off). */
+    int traceStride = 0;
+
+    /** Worst-case scenario: halt one layer's SMs ("manually turn
+     *  off", paper Fig. 9, at 3 us) from this time on (< 0 disables).
+     *  Halted SMs stop issuing but keep clock-tree and leakage power,
+     *  like an SM idled by the driver. */
+    double gateLayerAtSec = -1.0;
+    int gatedLayer = 0;
+    double gatedLayerWatts = 2.6;
+
+    /** Averaging window for the imbalance histogram (cycles).
+     *  Short enough to see burst imbalance, long enough to skip
+     *  single-cycle issue jitter the decaps absorb entirely. */
+    int imbalanceWindow = 16;
+
+    /**
+     * Remote-sense / load-line regulation for the single-layer
+     * configurations: the VRM slowly servos its output so the mean
+     * die rail sits at the nominal 1 V across load levels (adaptive
+     * voltage positioning; paper Section II-C's answer to static
+     * IR drop).  Disabled for the voltage-stacked configurations,
+     * which have no per-layer regulator to servo.
+     */
+    bool vrmRemoteSense = true;
+
+    /** Remote-sense integrator gain (volts per volt-cycle). */
+    double remoteSenseGain = 0.002;
+};
+
+/**
+ * Runs workloads against one PDS configuration.
+ */
+class CoSimulator
+{
+  public:
+    explicit CoSimulator(const CosimConfig &cfg = {});
+
+    /** Attach an optional DFS governor (non-owning). */
+    void attachDfs(DfsGovernor *dfs) { dfs_ = dfs; }
+
+    /** Attach an optional PG governor (non-owning).  Remember to set
+     *  cfg.gpu.sm.scheduler = SchedulerKind::Gates for GATES. */
+    void attachPg(PgGovernor *pg) { pg_ = pg; }
+
+    /** Attach the VS-aware hypervisor (non-owning; filters DFS/PG on
+     *  voltage-stacked configurations). */
+    void attachHypervisor(VsAwareHypervisor *hv) { hypervisor_ = hv; }
+
+    /** Run a workload described by a spec (builds the factory and
+     *  applies its L1 hit rate). */
+    CosimResult run(const WorkloadSpec &workload);
+
+    /** Run with an explicit program factory. */
+    CosimResult run(const ProgramFactory &factory, double l1HitRate);
+
+    /**
+     * Run a sequence of kernels back to back on one PDS instance.
+     * Each kernel launch naturally resynchronizes the SMs (all SMs
+     * drain before the next launch), exactly like successive kernel
+     * launches on a real GPU; electrical and controller state carry
+     * across the boundaries.  Metrics aggregate over the sequence.
+     */
+    CosimResult runSequence(const std::vector<WorkloadSpec> &kernels);
+
+    /** @return the configuration. */
+    const CosimConfig &config() const { return cfg_; }
+
+  private:
+    CosimResult runImpl(
+        const std::vector<const ProgramFactory *> &kernels,
+        const std::vector<double> &l1HitRates);
+
+    CosimConfig cfg_;
+    DfsGovernor *dfs_ = nullptr;
+    PgGovernor *pg_ = nullptr;
+    VsAwareHypervisor *hypervisor_ = nullptr;
+};
+
+} // namespace vsgpu
+
+#endif // VSGPU_SIM_COSIM_HH

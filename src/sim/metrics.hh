@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Result records of a co-simulation run: the quantities every paper
+ * table and figure is built from.
+ */
+
+#ifndef VSGPU_SIM_METRICS_HH
+#define VSGPU_SIM_METRICS_HH
+
+#include <array>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/units.hh"
+
+namespace vsgpu
+{
+
+/** Energy breakdown of one run (J). */
+struct EnergyBreakdown
+{
+    double load = 0.0;       ///< delivered to SM loads (incl. fake)
+    double fake = 0.0;       ///< part of load spent on FII
+    double pdn = 0.0;        ///< resistive PDN loss
+    double conversion = 0.0; ///< VRM / single-layer IVR loss
+    double crIvr = 0.0;      ///< CR-IVR charge-transfer + switching
+    double overhead = 0.0;   ///< detectors, controller, DCC, shifters
+    double wall = 0.0;       ///< total drawn from the board supply
+
+    /** @return power delivery efficiency: load / wall. */
+    double
+    pde() const
+    {
+        return wall > 0.0 ? load / wall : 0.0;
+    }
+
+    /** @return total PDS loss (everything that is not load). */
+    double
+    pdsLoss() const
+    {
+        return wall - load;
+    }
+};
+
+/** One voltage-trace sample (for Fig. 9-style waveforms). */
+struct TraceSample
+{
+    double timeSec = 0.0;
+    double minSmVolts = 0.0;
+    double maxSmVolts = 0.0;
+    std::array<double, config::numLayers> layerVolts{};
+};
+
+/** Complete result of a co-simulation run. */
+struct CosimResult
+{
+    Cycle cycles = 0;               ///< execution time (core cycles)
+    std::uint64_t instructions = 0; ///< real instructions retired
+    bool finished = false;          ///< workload drained before cap
+
+    EnergyBreakdown energy;
+
+    /** Per-SM rail-voltage distribution (box data for Fig. 11). */
+    std::array<BoxStats, config::numSMs> smNoise{};
+
+    /** Pooled min/typical voltage stats across SMs. */
+    double minVoltage = 0.0;
+    double meanVoltage = 0.0;
+
+    /** Fraction of cycles DIWS throttling was in effect. */
+    double throttleRate = 0.0;
+
+    /** Fraction of control decisions that triggered smoothing. */
+    double triggerRate = 0.0;
+
+    /** Vertical-pair current-imbalance distribution (Fig. 17 bins:
+     *  0-10%, 10-20%, 20-40%, >40% of peak SM current). */
+    std::array<double, 4> imbalanceBins{};
+
+    /** Optional voltage trace (when tracing was enabled). */
+    std::vector<TraceSample> trace;
+
+    /** @return average load power over the run (W). */
+    double
+    avgLoadPower() const
+    {
+        const double t = static_cast<double>(cycles) *
+                         config::clockPeriod;
+        return t > 0.0 ? energy.load / t : 0.0;
+    }
+};
+
+} // namespace vsgpu
+
+#endif // VSGPU_SIM_METRICS_HH

@@ -1,0 +1,73 @@
+#include "sim/pds.hh"
+
+#include "common/logging.hh"
+#include "ivr/efficiency.hh"
+
+namespace vsgpu
+{
+
+const char *
+pdsName(PdsKind kind)
+{
+    switch (kind) {
+      case PdsKind::ConventionalVrm: return "single-layer VRM";
+      case PdsKind::SingleLayerIvr:  return "single-layer IVR";
+      case PdsKind::VsCircuitOnly:   return "VS circuit-only";
+      case PdsKind::VsCrossLayer:    return "VS cross-layer";
+    }
+    return "?";
+}
+
+bool
+isVoltageStacked(PdsKind kind)
+{
+    return kind == PdsKind::VsCircuitOnly ||
+           kind == PdsKind::VsCrossLayer;
+}
+
+PdsOptions
+defaultPds(PdsKind kind)
+{
+    PdsOptions options;
+    options.kind = kind;
+    switch (kind) {
+      case PdsKind::ConventionalVrm:
+      case PdsKind::SingleLayerIvr:
+        options.ivrAreaFraction = 0.0;
+        break;
+      case PdsKind::VsCircuitOnly:
+        // Sized for a worst-case guarantee without architectural
+        // help (paper: 912 mm^2 = 1.72 x GPU die).
+        options.ivrAreaFraction =
+            config::circuitOnlyIvrAreaMm2 / config::gpuDieAreaMm2;
+        break;
+      case PdsKind::VsCrossLayer:
+        options.ivrAreaFraction = config::defaultIvrAreaFraction;
+        options.smoothingEnabled = true;
+        break;
+    }
+    return options;
+}
+
+double
+pdsAreaOverheadMm2(const PdsOptions &options)
+{
+    switch (options.kind) {
+      case PdsKind::ConventionalVrm:
+        return 0.0; // board-level, no die area
+      case PdsKind::SingleLayerIvr:
+        return SingleIvrModel::areaMm2();
+      case PdsKind::VsCircuitOnly:
+        return options.ivrAreaMm2();
+      case PdsKind::VsCrossLayer: {
+        const VsOverheads ov;
+        return options.ivrAreaMm2() + ov.controllerAreaMm2 +
+               ov.filterAreaMm2 * static_cast<double>(config::numSMs) +
+               options.controller.dcc.areaMm2 *
+                   static_cast<double>(config::numSMs);
+      }
+    }
+    panic("unknown PDS kind");
+}
+
+} // namespace vsgpu

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Power-delivery-subsystem configuration presets: the four PDS
+ * flavours the paper compares (Table III).
+ */
+
+#ifndef VSGPU_SIM_PDS_HH
+#define VSGPU_SIM_PDS_HH
+
+#include <string>
+
+#include "common/units.hh"
+#include "control/controller.hh"
+#include "ivr/cr_ivr.hh"
+
+namespace vsgpu
+{
+
+/** The four compared PDS configurations. */
+enum class PdsKind
+{
+    ConventionalVrm, ///< board-level VRM, single layer
+    SingleLayerIvr,  ///< on-die switched-capacitor IVR, single layer
+    VsCircuitOnly,   ///< 4x4 voltage stacking, CR-IVR only
+    VsCrossLayer,    ///< 4x4 voltage stacking, CR-IVR + smoothing
+};
+
+/** @return printable configuration name (Table III rows). */
+const char *pdsName(PdsKind kind);
+
+/** @return true for the two voltage-stacked configurations. */
+bool isVoltageStacked(PdsKind kind);
+
+/** Options of one PDS instantiation. */
+struct PdsOptions
+{
+    PdsKind kind = PdsKind::VsCrossLayer;
+
+    /** CR-IVR area as a fraction of the GPU die (VS kinds only). */
+    double ivrAreaFraction = config::defaultIvrAreaFraction;
+
+    /** Architecture-level smoothing on (VsCrossLayer only). */
+    bool smoothingEnabled = false;
+
+    /** Smoothing controller configuration. */
+    ControllerConfig controller = {};
+
+    /** CR-IVR technology constants. */
+    CrIvrTech ivrTech = {};
+
+    /** @return the CR-IVR area in mm^2. */
+    double
+    ivrAreaMm2() const
+    {
+        return ivrAreaFraction * config::gpuDieAreaMm2;
+    }
+};
+
+/** @return the paper's default options for each configuration. */
+PdsOptions defaultPds(PdsKind kind);
+
+/** @return die-area overhead (mm^2) of a configuration's PDS
+ *  (Table III column 3). */
+double pdsAreaOverheadMm2(const PdsOptions &options);
+
+} // namespace vsgpu
+
+#endif // VSGPU_SIM_PDS_HH

@@ -1,0 +1,58 @@
+#include "workloads/spec.hh"
+
+namespace vsgpu
+{
+
+PhaseSpec &
+PhaseSpec::w(OpClass op, double weight)
+{
+    mix[static_cast<std::size_t>(op)] = weight;
+    return *this;
+}
+
+PhaseSpec &
+PhaseSpec::len(int n)
+{
+    lengthInstrs = n;
+    return *this;
+}
+
+PhaseSpec &
+PhaseSpec::dep(double chance, int distance)
+{
+    depChance = chance;
+    depDistance = distance;
+    return *this;
+}
+
+PhaseSpec &
+PhaseSpec::div(double lanesFraction)
+{
+    divergence = lanesFraction;
+    return *this;
+}
+
+PhaseSpec &
+PhaseSpec::rowHit(double rate)
+{
+    rowHitRate = rate;
+    return *this;
+}
+
+PhaseSpec &
+PhaseSpec::barrier()
+{
+    barrierAtEnd = true;
+    return *this;
+}
+
+int
+WorkloadSpec::loopLength() const
+{
+    int n = 0;
+    for (const auto &phase : phases)
+        n += phase.lengthInstrs + (phase.barrierAtEnd ? 1 : 0);
+    return n;
+}
+
+} // namespace vsgpu

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Workload specifications.
+ *
+ * Each benchmark is described as a looped sequence of phases; every
+ * phase carries an instruction mix, a dependence profile, divergence,
+ * memory locality, and an optional trailing barrier.  Per-SM phase
+ * offsets ("jitter") reproduce the inter-SM activity misalignment
+ * that creates layer current imbalance in a voltage-stacked GPU
+ * (paper Fig. 17's per-benchmark imbalance spread).
+ */
+
+#ifndef VSGPU_WORKLOADS_SPEC_HH
+#define VSGPU_WORKLOADS_SPEC_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gpu/isa.hh"
+
+namespace vsgpu
+{
+
+/** One program phase. */
+struct PhaseSpec
+{
+    /** Sampling weights per op class (need not be normalized);
+     *  Sync weight is ignored (barriers via barrierAtEnd). */
+    std::array<double, static_cast<std::size_t>(OpClass::NumClasses)>
+        mix{};
+
+    /** Warp instructions in this phase. */
+    int lengthInstrs = 256;
+
+    /** Probability an instruction reads a recently produced value. */
+    double depChance = 0.45;
+
+    /** How far back (instructions) dependences typically reach. */
+    int depDistance = 3;
+
+    /** Mean fraction of active lanes (branch divergence). */
+    double divergence = 1.0;
+
+    /** DRAM row-buffer hit probability for memory ops. */
+    double rowHitRate = 0.8;
+
+    /** Emit a barrier as the phase's final instruction. */
+    bool barrierAtEnd = false;
+
+    // -- fluent helpers for the suite definitions --
+    PhaseSpec &w(OpClass op, double weight);
+    PhaseSpec &len(int n);
+    PhaseSpec &dep(double chance, int distance = 3);
+    PhaseSpec &div(double lanesFraction);
+    PhaseSpec &rowHit(double rate);
+    PhaseSpec &barrier();
+};
+
+/** A complete workload description. */
+struct WorkloadSpec
+{
+    std::string name;
+    std::vector<PhaseSpec> phases;
+
+    /** Times the phase sequence repeats per warp. */
+    int repeats = 4;
+
+    /** Resident warps per SM. */
+    int warpsPerSm = 32;
+
+    /** Per-workload L1 hit rate. */
+    double l1HitRate = 0.6;
+
+    /** Residual L2 hit rate for L1 misses. */
+    double l2HitRate = 0.5;
+
+    /**
+     * Inter-SM phase misalignment in [0, 1]: fraction of one loop
+     * iteration by which SM start points are scattered.
+     */
+    double smJitter = 0.1;
+
+    /**
+     * Per-warp start scatter in [0, 1] of one loop iteration
+     * (models intra-SM warp skew).
+     */
+    double warpJitter = 0.05;
+
+    /** Base RNG seed. */
+    std::uint64_t seed = 1;
+
+    /** @return instructions per warp in one loop iteration. */
+    int loopLength() const;
+
+    /** @return total instructions per warp. */
+    int totalInstrs() const { return loopLength() * repeats; }
+};
+
+} // namespace vsgpu
+
+#endif // VSGPU_WORKLOADS_SPEC_HH

@@ -1,0 +1,381 @@
+#include "workloads/suite.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace vsgpu
+{
+
+namespace
+{
+
+using Op = OpClass;
+
+PhaseSpec
+phase()
+{
+    return PhaseSpec{};
+}
+
+WorkloadSpec
+backprop()
+{
+    // Back-propagation: bursty alternation of input fetch, dense FP
+    // compute, and weight write-back with barriers between layers.
+    // The paper's most imbalanced workload (Fig. 17 left bar).
+    WorkloadSpec s;
+    s.name = "backprop";
+    s.phases = {
+        phase().w(Op::Load, 0.50).w(Op::FpAlu, 0.30)
+               .w(Op::IntAlu, 0.20).len(150).dep(0.40, 4)
+               .rowHit(0.70),
+        phase().w(Op::FpAlu, 0.60).w(Op::IntAlu, 0.25)
+               .w(Op::SharedMem, 0.15).len(330).dep(0.50, 3),
+        phase().w(Op::Store, 0.35).w(Op::FpAlu, 0.40)
+               .w(Op::IntAlu, 0.25).len(150).dep(0.45, 3)
+               .rowHit(0.75).barrier(),
+    };
+    s.repeats = 3;
+    s.l1HitRate = 0.50;
+    s.smJitter = 0.55;
+    s.warpJitter = 0.20;
+    s.seed = 0xb0071;
+    return s;
+}
+
+WorkloadSpec
+bfs()
+{
+    // Breadth-first search: irregular, divergent, memory bound; low
+    // issue rate and poor row locality.
+    WorkloadSpec s;
+    s.name = "bfs";
+    s.phases = {
+        phase().w(Op::Load, 0.30).w(Op::IntAlu, 0.52)
+               .w(Op::Store, 0.18).len(450).dep(0.50, 2)
+               .div(0.45).rowHit(0.40),
+    };
+    s.repeats = 4;
+    s.warpsPerSm = 24;
+    s.l1HitRate = 0.45;
+    s.smJitter = 0.30;
+    s.warpJitter = 0.25;
+    s.seed = 0xbf5;
+    return s;
+}
+
+WorkloadSpec
+heartwall()
+{
+    // Heart-wall tracking: long homogeneous FP streams; the paper's
+    // most uniform workload (Fig. 17 right bar).
+    WorkloadSpec s;
+    s.name = "heartwall";
+    s.phases = {
+        phase().w(Op::FpAlu, 0.55).w(Op::IntAlu, 0.20)
+               .w(Op::Load, 0.15).w(Op::SharedMem, 0.10)
+               .len(500).dep(0.40, 4).rowHit(0.85),
+    };
+    s.repeats = 4;
+    s.l1HitRate = 0.70;
+    s.smJitter = 0.02;
+    s.warpJitter = 0.02;
+    s.seed = 0x4ea27;
+    return s;
+}
+
+WorkloadSpec
+hotspot()
+{
+    // Thermal stencil: neighbour loads then FP relaxation per sweep.
+    WorkloadSpec s;
+    s.name = "hotspot";
+    s.phases = {
+        phase().w(Op::Load, 0.40).w(Op::FpAlu, 0.45)
+               .w(Op::IntAlu, 0.15).len(150).dep(0.45, 3)
+               .rowHit(0.85),
+        phase().w(Op::FpAlu, 0.70).w(Op::SharedMem, 0.20)
+               .w(Op::IntAlu, 0.10).len(400).dep(0.50, 3).barrier(),
+    };
+    s.repeats = 3;
+    s.l1HitRate = 0.65;
+    s.smJitter = 0.15;
+    s.warpJitter = 0.08;
+    s.seed = 0x407590;
+    return s;
+}
+
+WorkloadSpec
+pathfinder()
+{
+    // Dynamic programming over grid rows: short compute bursts with a
+    // barrier per row; sensitive to throttling (paper Fig. 11
+    // outlier).
+    WorkloadSpec s;
+    s.name = "pathfinder";
+    s.phases = {
+        phase().w(Op::SharedMem, 0.35).w(Op::IntAlu, 0.35)
+               .w(Op::FpAlu, 0.15).w(Op::Load, 0.15)
+               .len(200).dep(0.55, 2).barrier(),
+        phase().w(Op::IntAlu, 0.50).w(Op::SharedMem, 0.30)
+               .w(Op::Store, 0.20).len(150).dep(0.50, 2).barrier(),
+    };
+    s.repeats = 5;
+    s.l1HitRate = 0.60;
+    s.smJitter = 0.20;
+    s.warpJitter = 0.10;
+    s.seed = 0x9a24f;
+    return s;
+}
+
+WorkloadSpec
+srad()
+{
+    // Speckle-reducing anisotropic diffusion: FP with transcendental
+    // (exp) calls and neighbourhood loads.
+    WorkloadSpec s;
+    s.name = "srad";
+    s.phases = {
+        phase().w(Op::FpAlu, 0.55).w(Op::Sfu, 0.08)
+               .w(Op::Load, 0.20).w(Op::Store, 0.05)
+               .w(Op::IntAlu, 0.10).len(420).dep(0.45, 3)
+               .rowHit(0.80),
+    };
+    s.repeats = 4;
+    s.l1HitRate = 0.60;
+    s.smJitter = 0.12;
+    s.warpJitter = 0.08;
+    s.seed = 0x52ad;
+    return s;
+}
+
+WorkloadSpec
+blackscholes()
+{
+    // Option pricing: streaming loads feeding independent FP/SFU
+    // (exp, log, sqrt) work; the highest issue-rate workload.
+    WorkloadSpec s;
+    s.name = "blackscholes";
+    s.phases = {
+        phase().w(Op::FpAlu, 0.62).w(Op::Sfu, 0.12)
+               .w(Op::Load, 0.14).w(Op::Store, 0.12)
+               .len(480).dep(0.25, 5).rowHit(0.92),
+    };
+    s.repeats = 4;
+    s.l1HitRate = 0.80;
+    s.smJitter = 0.08;
+    s.warpJitter = 0.05;
+    s.seed = 0xb1acc;
+    return s;
+}
+
+WorkloadSpec
+scalarprod()
+{
+    // Dot products over large vectors: bandwidth bound streaming.
+    WorkloadSpec s;
+    s.name = "scalarprod";
+    s.phases = {
+        phase().w(Op::Load, 0.45).w(Op::FpAlu, 0.40)
+               .w(Op::IntAlu, 0.15).len(430).dep(0.30, 4)
+               .rowHit(0.95),
+    };
+    s.repeats = 4;
+    s.l1HitRate = 0.45;
+    s.smJitter = 0.10;
+    s.warpJitter = 0.06;
+    s.seed = 0x5ca1a;
+    return s;
+}
+
+WorkloadSpec
+sortingnet()
+{
+    // Bitonic sorting network: integer compare-exchange stages in
+    // shared memory with a barrier per stage.
+    WorkloadSpec s;
+    s.name = "sortingnet";
+    s.phases = {
+        phase().w(Op::IntAlu, 0.55).w(Op::SharedMem, 0.30)
+               .w(Op::Load, 0.10).w(Op::Store, 0.05)
+               .len(220).dep(0.50, 2).barrier(),
+    };
+    s.repeats = 7;
+    s.l1HitRate = 0.70;
+    s.smJitter = 0.10;
+    s.warpJitter = 0.05;
+    s.seed = 0x5027;
+    return s;
+}
+
+WorkloadSpec
+simpleface()
+{
+    // Face-detection style convolution: FP kernels over image tiles.
+    WorkloadSpec s;
+    s.name = "simpleface";
+    s.phases = {
+        phase().w(Op::FpAlu, 0.50).w(Op::Load, 0.25)
+               .w(Op::SharedMem, 0.15).w(Op::IntAlu, 0.10)
+               .len(440).dep(0.45, 3).rowHit(0.85),
+    };
+    s.repeats = 4;
+    s.l1HitRate = 0.75;
+    s.smJitter = 0.10;
+    s.warpJitter = 0.06;
+    s.seed = 0xface;
+    return s;
+}
+
+WorkloadSpec
+fastwalsh()
+{
+    // Fast Walsh transform: butterfly stages in shared memory with
+    // barriers; throttling-sensitive (paper Fig. 11 outlier).
+    WorkloadSpec s;
+    s.name = "fastwalsh";
+    s.phases = {
+        phase().w(Op::SharedMem, 0.40).w(Op::FpAlu, 0.35)
+               .w(Op::IntAlu, 0.25).len(240).dep(0.55, 2).barrier(),
+    };
+    s.repeats = 6;
+    s.l1HitRate = 0.70;
+    s.smJitter = 0.12;
+    s.warpJitter = 0.06;
+    s.seed = 0xfa57;
+    return s;
+}
+
+WorkloadSpec
+simpleatomic()
+{
+    // Atomic-intensive reduction: serializing global atomics produce
+    // bursty, imbalanced activity (paper Fig. 11/17 outlier).
+    WorkloadSpec s;
+    s.name = "simpleatomic";
+    s.phases = {
+        phase().w(Op::Atomic, 0.10).w(Op::IntAlu, 0.55)
+               .w(Op::Load, 0.22).w(Op::FpAlu, 0.13)
+               .len(380).dep(0.50, 2).div(0.60).rowHit(0.55),
+    };
+    s.repeats = 4;
+    s.warpsPerSm = 16;
+    s.l1HitRate = 0.40;
+    s.smJitter = 0.25;
+    s.warpJitter = 0.15;
+    s.seed = 0xa70a11c;
+    return s;
+}
+
+} // namespace
+
+const std::vector<Benchmark> &
+allBenchmarks()
+{
+    static const std::vector<Benchmark> all = {
+        Benchmark::Backprop,     Benchmark::Bfs,
+        Benchmark::Heartwall,    Benchmark::Hotspot,
+        Benchmark::Pathfinder,   Benchmark::Srad,
+        Benchmark::Blackscholes, Benchmark::Scalarprod,
+        Benchmark::Sortingnet,   Benchmark::Simpleface,
+        Benchmark::Fastwalsh,    Benchmark::Simpleatomic,
+    };
+    return all;
+}
+
+const char *
+benchmarkName(Benchmark bench)
+{
+    switch (bench) {
+      case Benchmark::Backprop:     return "backprop";
+      case Benchmark::Bfs:          return "bfs";
+      case Benchmark::Heartwall:    return "heartwall";
+      case Benchmark::Hotspot:      return "hotspot";
+      case Benchmark::Pathfinder:   return "pathfinder";
+      case Benchmark::Srad:         return "srad";
+      case Benchmark::Blackscholes: return "blackscholes";
+      case Benchmark::Scalarprod:   return "scalarprod";
+      case Benchmark::Sortingnet:   return "sortingnet";
+      case Benchmark::Simpleface:   return "simpleface";
+      case Benchmark::Fastwalsh:    return "fastwalsh";
+      case Benchmark::Simpleatomic: return "simpleatomic";
+    }
+    return "?";
+}
+
+WorkloadSpec
+workloadFor(Benchmark bench)
+{
+    switch (bench) {
+      case Benchmark::Backprop:     return backprop();
+      case Benchmark::Bfs:          return bfs();
+      case Benchmark::Heartwall:    return heartwall();
+      case Benchmark::Hotspot:      return hotspot();
+      case Benchmark::Pathfinder:   return pathfinder();
+      case Benchmark::Srad:         return srad();
+      case Benchmark::Blackscholes: return blackscholes();
+      case Benchmark::Scalarprod:   return scalarprod();
+      case Benchmark::Sortingnet:   return sortingnet();
+      case Benchmark::Simpleface:   return simpleface();
+      case Benchmark::Fastwalsh:    return fastwalsh();
+      case Benchmark::Simpleatomic: return simpleatomic();
+    }
+    panic("unknown benchmark");
+}
+
+double
+benchmarkL1HitRate(Benchmark bench)
+{
+    return workloadFor(bench).l1HitRate;
+}
+
+WorkloadSpec
+uniformWorkload(int instrsPerWarp)
+{
+    WorkloadSpec s;
+    s.name = "uniform";
+    s.phases = {
+        phase().w(Op::FpAlu, 0.6).w(Op::IntAlu, 0.4)
+               .len(std::max(instrsPerWarp, 1)).dep(0.30, 4),
+    };
+    s.repeats = 1;
+    s.l1HitRate = 0.9;
+    s.smJitter = 0.0;
+    s.warpJitter = 0.0;
+    s.seed = 0x111;
+    return s;
+}
+
+WorkloadSpec
+resonantWorkload(int phaseInstrs, int repeats)
+{
+    panicIfNot(phaseInstrs > 0, "phaseInstrs must be positive");
+    WorkloadSpec s;
+    s.name = "resonant";
+    s.phases = {
+        // Dense independent FP: high power.
+        phase().w(Op::FpAlu, 0.85).w(Op::IntAlu, 0.15)
+               .len(phaseInstrs).dep(0.05, 6),
+        // Serialized dependence chain: low power.
+        phase().w(Op::IntAlu, 1.0).len(phaseInstrs / 4)
+               .dep(1.0, 1),
+    };
+    s.repeats = repeats;
+    s.l1HitRate = 0.95;
+    s.smJitter = 0.0;
+    s.warpJitter = 0.0;
+    s.seed = 0x2e5;
+    return s;
+}
+
+WorkloadSpec
+scaledToInstrs(WorkloadSpec spec, int targetInstrs)
+{
+    const int loop = spec.loopLength();
+    panicIfNot(loop > 0, "workload loop is empty");
+    spec.repeats = std::max(1, targetInstrs / loop);
+    return spec;
+}
+
+} // namespace vsgpu

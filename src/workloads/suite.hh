@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The benchmark suite: synthetic equivalents of the paper's twelve
+ * evaluation workloads (six from Rodinia 2.0, six from the NVIDIA
+ * CUDA SDK), plus microbenchmarks used by tests and worst-case
+ * studies.
+ *
+ * Each generator is parameterized to match the published behavioural
+ * characterization rather than the applications' semantics: issue
+ * rates in the 0.8-1.8 warps/cycle range, per-benchmark memory
+ * intensity and divergence, barrier structure, and — critical for
+ * voltage stacking — per-benchmark inter-SM activity misalignment
+ * (backprop most imbalanced, heartwall most uniform; paper Fig. 17).
+ */
+
+#ifndef VSGPU_WORKLOADS_SUITE_HH
+#define VSGPU_WORKLOADS_SUITE_HH
+
+#include <vector>
+
+#include "workloads/spec.hh"
+
+namespace vsgpu
+{
+
+/** The paper's twelve benchmarks. */
+enum class Benchmark
+{
+    Backprop,     // Rodinia "BACKP"
+    Bfs,
+    Heartwall,
+    Hotspot,
+    Pathfinder,
+    Srad,
+    Blackscholes, // CUDA SDK
+    Scalarprod,
+    Sortingnet,
+    Simpleface,
+    Fastwalsh,
+    Simpleatomic,
+};
+
+/** @return all twelve benchmarks in the paper's presentation order. */
+const std::vector<Benchmark> &allBenchmarks();
+
+/** @return the display name used in the paper's figures. */
+const char *benchmarkName(Benchmark bench);
+
+/** @return the L1 hit rate this workload should configure. */
+double benchmarkL1HitRate(Benchmark bench);
+
+/** @return the workload specification for a benchmark. */
+WorkloadSpec workloadFor(Benchmark bench);
+
+/**
+ * Perfectly balanced compute microbenchmark (zero jitter): the ideal
+ * voltage-stacking case used by unit tests and calibration.
+ */
+WorkloadSpec uniformWorkload(int instrsPerWarp = 2000);
+
+/**
+ * Power square-wave microbenchmark: alternates dense independent FP
+ * phases with dependence-serialized low-power phases, producing a
+ * load-current fundamental near 1/(2*phaseCycles) of the core clock.
+ * Used to validate the impedance analysis against the transient
+ * engine.
+ */
+WorkloadSpec resonantWorkload(int phaseInstrs, int repeats = 8);
+
+/** Scale a spec's repeat count so it retires roughly targetInstrs
+ *  per warp. */
+WorkloadSpec scaledToInstrs(WorkloadSpec spec, int targetInstrs);
+
+} // namespace vsgpu
+
+#endif // VSGPU_WORKLOADS_SUITE_HH

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Textual trace format for warp instruction streams.
+ *
+ * Lets users drive the simulator with real traces (e.g. converted
+ * from a GPGPU-Sim run) instead of the synthetic generators, and lets
+ * the generators export their streams for inspection.
+ *
+ * Format (one file per kernel):
+ *
+ *   # comment
+ *   warp <sm> <warp>
+ *   <op> <dest> <src0> <src1> <lanes> <rowhit> <l1> <l2>
+ *   ...
+ *
+ * where <op> is one of int/fp/sfu/load/store/smem/atomic/sync,
+ * registers are 0-255 with '-' for none, <lanes> is 1-32, and the
+ * last three fields are 0/1 flags.  Instructions belong to the most
+ * recent `warp` header.  A stream may be shared: if a (sm, warp) pair
+ * is missing, the stream of (sm % recorded SMs, warp % recorded
+ * warps) is replayed, so a small trace can populate the whole GPU.
+ */
+
+#ifndef VSGPU_WORKLOADS_TRACE_FILE_HH
+#define VSGPU_WORKLOADS_TRACE_FILE_HH
+
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "gpu/program.hh"
+
+namespace vsgpu
+{
+
+/**
+ * In-memory trace: instruction streams keyed by (sm, warp).
+ */
+class TraceFile
+{
+  public:
+    /** Parse a trace from a stream.  fatal()s on malformed input. */
+    static TraceFile parse(std::istream &is);
+
+    /** Serialize to a stream in the textual format. */
+    void write(std::ostream &os) const;
+
+    /** Append a stream for one (sm, warp). */
+    void addStream(int sm, int warp, std::vector<WarpInstr> instrs);
+
+    /** @return number of recorded (sm, warp) streams. */
+    std::size_t numStreams() const { return streams_.size(); }
+
+    /** @return total recorded instructions. */
+    std::size_t totalInstrs() const;
+
+    /** @return highest warp slot recorded plus one. */
+    int warpsPerSm() const;
+
+    /** @return the stream for (sm, warp), with modulo fallback. */
+    const std::vector<WarpInstr> &stream(int sm, int warp) const;
+
+  private:
+    std::map<std::pair<int, int>, std::vector<WarpInstr>> streams_;
+};
+
+/**
+ * ProgramFactory replaying a TraceFile.
+ */
+class TraceFileFactory : public ProgramFactory
+{
+  public:
+    explicit TraceFileFactory(TraceFile trace);
+
+    int warpsPerSm() const override { return trace_.warpsPerSm(); }
+
+    std::unique_ptr<WarpProgram> makeProgram(int sm,
+                                             int warp) const override;
+
+    /** @return the underlying trace. */
+    const TraceFile &trace() const { return trace_; }
+
+  private:
+    TraceFile trace_;
+};
+
+/** Parse an op-class mnemonic ("int", "fp", ...).  fatal()s on an
+ *  unknown mnemonic. */
+OpClass parseOpClass(const std::string &mnemonic);
+
+/**
+ * Record a generated workload into a TraceFile (for export or
+ * round-trip testing).
+ *
+ * @param factory source of streams.
+ * @param numSms  how many SMs to record.
+ */
+TraceFile recordTrace(const ProgramFactory &factory, int numSms);
+
+} // namespace vsgpu
+
+#endif // VSGPU_WORKLOADS_TRACE_FILE_HH

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Unit tests for the AC (phasor) analyzer against closed-form
+ * impedances.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/ac.hh"
+#include "common/logging.hh"
+
+namespace vsgpu
+{
+namespace
+{
+
+TEST(AcAnalysis, ResistorImpedanceIsFlat)
+{
+    Netlist net;
+    const NodeId a = net.allocNode();
+    net.addResistor(a, Netlist::ground, 42.0);
+    AcAnalysis ac(net);
+    for (double f : {1e3, 1e6, 1e9})
+        EXPECT_NEAR(std::abs(ac.impedanceAt(f, a)), 42.0, 1e-9);
+}
+
+TEST(AcAnalysis, CapacitorImpedanceFallsWithFrequency)
+{
+    const double c = 1e-9;
+    Netlist net;
+    const NodeId a = net.allocNode();
+    net.addCapacitor(a, Netlist::ground, c);
+    AcAnalysis ac(net);
+    for (double f : {1e6, 1e7, 1e8}) {
+        const double expected = 1.0 / (2.0 * M_PI * f * c);
+        EXPECT_NEAR(std::abs(ac.impedanceAt(f, a)), expected,
+                    expected * 1e-9);
+    }
+}
+
+TEST(AcAnalysis, InductorImpedanceRisesWithFrequency)
+{
+    const double l = 1e-9;
+    Netlist net;
+    const NodeId a = net.allocNode();
+    net.addInductor(a, Netlist::ground, l);
+    AcAnalysis ac(net);
+    for (double f : {1e6, 1e8}) {
+        const double expected = 2.0 * M_PI * f * l;
+        EXPECT_NEAR(std::abs(ac.impedanceAt(f, a)), expected,
+                    expected * 1e-9);
+    }
+}
+
+TEST(AcAnalysis, SeriesRlcResonance)
+{
+    // Series RLC to ground: |Z| is minimal (=R) at f0.  The
+    // characteristic impedance sqrt(L/C) = 50 ohm dwarfs R so the
+    // off-resonance skirts are steep.
+    const double r = 0.5, l = 2.5e-6, c = 1e-9;
+    Netlist net;
+    const NodeId a = net.allocNode();
+    const NodeId m1 = net.allocNode();
+    const NodeId m2 = net.allocNode();
+    net.addResistor(a, m1, r);
+    net.addInductor(m1, m2, l);
+    net.addCapacitor(m2, Netlist::ground, c);
+    AcAnalysis ac(net);
+    const double f0 = 1.0 / (2.0 * M_PI * std::sqrt(l * c));
+    EXPECT_NEAR(std::abs(ac.impedanceAt(f0, a)), r, r * 1e-6);
+    EXPECT_GT(std::abs(ac.impedanceAt(f0 / 10.0, a)), r * 10.0);
+    EXPECT_GT(std::abs(ac.impedanceAt(f0 * 10.0, a)), r * 10.0);
+}
+
+TEST(AcAnalysis, ParallelRlcPeaksAtResonance)
+{
+    const double r = 100.0, l = 1e-9, c = 1e-9;
+    Netlist net;
+    const NodeId a = net.allocNode();
+    net.addResistor(a, Netlist::ground, r);
+    net.addInductor(a, Netlist::ground, l);
+    net.addCapacitor(a, Netlist::ground, c);
+    AcAnalysis ac(net);
+    const double f0 = 1.0 / (2.0 * M_PI * std::sqrt(l * c));
+    const double zPeak = std::abs(ac.impedanceAt(f0, a));
+    EXPECT_NEAR(zPeak, r, r * 0.01);
+    EXPECT_LT(std::abs(ac.impedanceAt(f0 / 5.0, a)), zPeak);
+    EXPECT_LT(std::abs(ac.impedanceAt(f0 * 5.0, a)), zPeak);
+}
+
+TEST(AcAnalysis, VoltageSourceIsAcShort)
+{
+    // Injecting current into a node held by a DC source produces no
+    // AC response at that node.
+    Netlist net;
+    const NodeId a = net.allocNode();
+    net.addVoltageSource(a, Netlist::ground, 5.0);
+    net.addResistor(a, Netlist::ground, 10.0);
+    AcAnalysis ac(net);
+    EXPECT_NEAR(std::abs(ac.impedanceAt(1e6, a)), 0.0, 1e-12);
+}
+
+TEST(AcAnalysis, TransferImpedanceAcrossDivider)
+{
+    // Inject at node a, observe at node b across a resistor ladder.
+    Netlist net;
+    const NodeId a = net.allocNode();
+    const NodeId b = net.allocNode();
+    net.addResistor(a, b, 1.0);
+    net.addResistor(b, Netlist::ground, 2.0);
+    AcAnalysis ac(net);
+    const auto volts = ac.solve(1e6, {{a, Complex{1.0, 0.0}}});
+    EXPECT_NEAR(volts[static_cast<std::size_t>(a)].real(), 3.0, 1e-9);
+    EXPECT_NEAR(volts[static_cast<std::size_t>(b)].real(), 2.0, 1e-9);
+}
+
+TEST(AcAnalysis, SwitchStateChangesTopology)
+{
+    Netlist net;
+    const NodeId a = net.allocNode();
+    net.addResistor(a, Netlist::ground, 10.0);
+    net.addSwitch(a, Netlist::ground, 1.0, 1e12, false);
+    AcAnalysis open(net, {false});
+    AcAnalysis closed(net, {true});
+    EXPECT_NEAR(std::abs(open.impedanceAt(1e6, a)), 10.0, 1e-6);
+    // 10 || 1 = 0.909...
+    EXPECT_NEAR(std::abs(closed.impedanceAt(1e6, a)), 10.0 / 11.0,
+                1e-6);
+}
+
+TEST(AcAnalysisDeath, RejectsNonPositiveFrequency)
+{
+    setLogQuiet(true);
+    Netlist net;
+    const NodeId a = net.allocNode();
+    net.addResistor(a, Netlist::ground, 1.0);
+    AcAnalysis ac(net);
+    EXPECT_DEATH(ac.impedanceAt(0.0, a), "");
+    EXPECT_DEATH(ac.impedanceAt(-1e6, a), "");
+}
+
+} // namespace
+} // namespace vsgpu

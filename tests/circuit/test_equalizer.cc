@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Tests for the averaged charge-recycling equalizer element: its MNA
+ * stamp, equalizing behaviour, loss accounting, and orthogonality to
+ * common-mode (global) currents.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/ac.hh"
+#include "circuit/transient.hh"
+
+namespace vsgpu
+{
+namespace
+{
+
+/**
+ * Build a two-layer stack: supply 2 V across (top .. ground) with a
+ * middle rail, per-layer load resistors, and an equalizer.  Returns
+ * node ids through out-params.
+ */
+Netlist
+twoLayerStack(NodeId &top, NodeId &mid, int &isrcTop, int &isrcBot,
+              double effOhms)
+{
+    Netlist net;
+    top = net.allocNode("top");
+    mid = net.allocNode("mid");
+    net.addVoltageSource(top, Netlist::ground, 2.0);
+    net.addResistor(top, mid, 10.0, "load_top");
+    net.addResistor(mid, Netlist::ground, 10.0, "load_bot");
+    net.addCapacitor(top, mid, 1e-9, 1.0);
+    net.addCapacitor(mid, Netlist::ground, 1e-9, 1.0);
+    isrcTop = net.addCurrentSource(top, mid);
+    isrcBot = net.addCurrentSource(mid, Netlist::ground);
+    if (effOhms > 0.0)
+        net.addEqualizer(top, mid, Netlist::ground, effOhms);
+    return net;
+}
+
+TEST(Equalizer, BalancedLoadsStayBalanced)
+{
+    NodeId top, mid;
+    int iTop, iBot;
+    Netlist net = twoLayerStack(top, mid, iTop, iBot, 0.1);
+    TransientSim sim(net, 1e-10);
+    sim.setCurrent(iTop, 0.5);
+    sim.setCurrent(iBot, 0.5);
+    sim.initToDc();
+    for (int i = 0; i < 5000; ++i)
+        sim.step();
+    EXPECT_NEAR(sim.nodeVoltage(mid), 1.0, 1e-3);
+    EXPECT_NEAR(sim.equalizerCurrent(0), 0.0, 1e-3);
+    EXPECT_NEAR(sim.equalizerPower(0), 0.0, 1e-5);
+}
+
+TEST(Equalizer, ReducesImbalanceDroop)
+{
+    // Top layer draws 1 A more than the bottom.  Without the
+    // equalizer the imbalance splits the rails strongly; with it the
+    // mid rail is pulled back toward half the supply.
+    NodeId top, mid;
+    int iTop, iBot;
+
+    Netlist bare = twoLayerStack(top, mid, iTop, iBot, 0.0);
+    TransientSim simBare(bare, 1e-10);
+    simBare.setCurrent(iTop, 1.0);
+    simBare.setCurrent(iBot, 0.0);
+    simBare.initToDc();
+    for (int i = 0; i < 20000; ++i)
+        simBare.step();
+    const double bareDeviation = std::abs(simBare.nodeVoltage(mid) - 1.0);
+
+    Netlist eq = twoLayerStack(top, mid, iTop, iBot, 0.05);
+    TransientSim simEq(eq, 1e-10);
+    simEq.setCurrent(iTop, 1.0);
+    simEq.setCurrent(iBot, 0.0);
+    simEq.initToDc();
+    for (int i = 0; i < 20000; ++i)
+        simEq.step();
+    const double eqDeviation = std::abs(simEq.nodeVoltage(mid) - 1.0);
+
+    EXPECT_GT(bareDeviation, 3.0 * eqDeviation);
+}
+
+TEST(Equalizer, TransferCurrentMatchesDefinition)
+{
+    NodeId top, mid;
+    int iTop, iBot;
+    Netlist net = twoLayerStack(top, mid, iTop, iBot, 0.1);
+    TransientSim sim(net, 1e-10);
+    sim.setCurrent(iTop, 1.0);
+    sim.setCurrent(iBot, 0.2);
+    sim.initToDc();
+    for (int i = 0; i < 20000; ++i)
+        sim.step();
+    const double vt = sim.nodeVoltage(top);
+    const double vm = sim.nodeVoltage(mid);
+    const double expectedIx = (vt - 2.0 * vm + 0.0) / 0.1;
+    EXPECT_NEAR(sim.equalizerCurrent(0), expectedIx, 1e-9);
+    EXPECT_NEAR(sim.equalizerPower(0), 0.1 * expectedIx * expectedIx,
+                1e-9);
+    EXPECT_NEAR(sim.totalEqualizerPower(), sim.equalizerPower(0),
+                1e-12);
+}
+
+TEST(Equalizer, StrongerCellEqualizesHarder)
+{
+    double prevDeviation = 1e9;
+    for (double eff : {0.5, 0.1, 0.02}) {
+        NodeId top, mid;
+        int iTop, iBot;
+        Netlist net = twoLayerStack(top, mid, iTop, iBot, eff);
+        TransientSim sim(net, 1e-10);
+        sim.setCurrent(iTop, 1.0);
+        sim.setCurrent(iBot, 0.0);
+        sim.initToDc();
+        for (int i = 0; i < 20000; ++i)
+            sim.step();
+        const double deviation =
+            std::abs(sim.nodeVoltage(mid) - 1.0);
+        EXPECT_LT(deviation, prevDeviation);
+        prevDeviation = deviation;
+    }
+}
+
+TEST(Equalizer, InvisibleToCommonModeAc)
+{
+    // The equalizer stamp is (1,-2,1)-shaped: a stimulus drawing the
+    // SAME current from both layers (pure stack current) sees no
+    // equalizer action, so the impedance with and without the cell is
+    // identical at the mid rail.
+    NodeId top, mid;
+    int iTop, iBot;
+    Netlist bare = twoLayerStack(top, mid, iTop, iBot, 0.0);
+    Netlist eq = twoLayerStack(top, mid, iTop, iBot, 0.05);
+    AcAnalysis acBare(bare), acEq(eq);
+    // Common-mode stimulus: 1 A through both layers in series, i.e.
+    // drawn from top and returned at ground.
+    const std::vector<AcInjection> stim = {
+        {top, Complex{-1.0, 0.0}},
+        // returned at ground (node 0): no injection entry needed.
+    };
+    for (double f : {1e6, 1e7, 1e8}) {
+        const auto vb = acBare.solve(f, stim);
+        const auto ve = acEq.solve(f, stim);
+        const Complex midB = vb[static_cast<std::size_t>(mid)];
+        const Complex midE = ve[static_cast<std::size_t>(mid)];
+        // Mid-rail response to common-mode should match closely: the
+        // equalizer only couples to differential content.
+        EXPECT_NEAR(std::abs(midB - midE), 0.0,
+                    1e-9 + 0.02 * std::abs(midB));
+    }
+}
+
+TEST(Equalizer, AcStampReducesDifferentialImpedance)
+{
+    NodeId top, mid;
+    int iTop, iBot;
+    Netlist bare = twoLayerStack(top, mid, iTop, iBot, 0.0);
+    Netlist eq = twoLayerStack(top, mid, iTop, iBot, 0.05);
+    AcAnalysis acBare(bare), acEq(eq);
+    // Differential stimulus: extra load on the top layer only.
+    const std::vector<AcInjection> stim = {
+        {top, Complex{-1.0, 0.0}},
+        {mid, Complex{1.0, 0.0}},
+    };
+    const double f = 1e6;
+    const auto vb = acBare.solve(f, stim);
+    const auto ve = acEq.solve(f, stim);
+    const double dropBare =
+        std::abs(vb[static_cast<std::size_t>(top)] -
+                 vb[static_cast<std::size_t>(mid)]);
+    const double dropEq =
+        std::abs(ve[static_cast<std::size_t>(top)] -
+                 ve[static_cast<std::size_t>(mid)]);
+    EXPECT_LT(dropEq, 0.5 * dropBare);
+}
+
+} // namespace
+} // namespace vsgpu

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Unit tests for netlist construction and validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "circuit/netlist.hh"
+#include "common/logging.hh"
+
+namespace vsgpu
+{
+namespace
+{
+
+TEST(Netlist, NodesAllocateSequentially)
+{
+    Netlist net;
+    EXPECT_EQ(net.numNodes(), 0);
+    EXPECT_EQ(net.allocNode("a"), 1);
+    EXPECT_EQ(net.allocNode("b"), 2);
+    EXPECT_EQ(net.numNodes(), 2);
+    EXPECT_EQ(net.nodeLabel(1), "a");
+    EXPECT_EQ(net.nodeLabel(0), "");
+}
+
+TEST(Netlist, ElementsRecordParameters)
+{
+    Netlist net;
+    const NodeId a = net.allocNode();
+    const NodeId b = net.allocNode();
+    const int r = net.addResistor(a, b, 10.0, "r1");
+    const int c = net.addCapacitor(a, b, 1e-9, 0.5);
+    const int l = net.addInductor(a, b, 1e-12, 2.0);
+    const int v = net.addVoltageSource(a, Netlist::ground, 3.3);
+    const int i = net.addCurrentSource(a, b, 0.1, "load");
+    const int s = net.addSwitch(a, b, 1e-3, 1e9, true);
+    const int e = net.addEqualizer(a, b, Netlist::ground, 0.05);
+
+    EXPECT_EQ(r, 0);
+    EXPECT_DOUBLE_EQ(net.resistors()[0].ohms, 10.0);
+    EXPECT_EQ(net.resistors()[0].name, "r1");
+    EXPECT_EQ(c, 0);
+    EXPECT_DOUBLE_EQ(net.capacitors()[0].initialVolts, 0.5);
+    EXPECT_EQ(l, 0);
+    EXPECT_DOUBLE_EQ(net.inductors()[0].initialAmps, 2.0);
+    EXPECT_EQ(v, 0);
+    EXPECT_DOUBLE_EQ(net.voltageSources()[0].volts, 3.3);
+    EXPECT_EQ(i, 0);
+    EXPECT_EQ(net.currentSources()[0].name, "load");
+    EXPECT_EQ(s, 0);
+    EXPECT_TRUE(net.switches()[0].initiallyClosed);
+    EXPECT_EQ(e, 0);
+    EXPECT_DOUBLE_EQ(net.equalizers()[0].effOhms, 0.05);
+}
+
+TEST(NetlistDeath, RejectsInvalidValues)
+{
+    setLogQuiet(true);
+    Netlist net;
+    const NodeId a = net.allocNode();
+    EXPECT_DEATH(net.addResistor(a, Netlist::ground, 0.0), "");
+    EXPECT_DEATH(net.addResistor(a, Netlist::ground, -1.0), "");
+    EXPECT_DEATH(net.addCapacitor(a, Netlist::ground, 0.0), "");
+    EXPECT_DEATH(net.addInductor(a, Netlist::ground, -1e-9), "");
+    EXPECT_DEATH(net.addEqualizer(a, Netlist::ground,
+                                  Netlist::ground, 0.0), "");
+    // Switch requires Ron < Roff.
+    EXPECT_DEATH(net.addSwitch(a, Netlist::ground, 1.0, 0.5), "");
+}
+
+TEST(NetlistDeath, RejectsUnknownNodes)
+{
+    setLogQuiet(true);
+    Netlist net;
+    net.allocNode();
+    EXPECT_DEATH(net.addResistor(1, 5, 1.0), "");
+    EXPECT_DEATH(net.addCurrentSource(-1, 0), "");
+    EXPECT_DEATH(net.nodeLabel(9), "");
+}
+
+} // namespace
+} // namespace vsgpu

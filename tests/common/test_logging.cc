@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Unit tests for the logging helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+
+namespace vsgpu
+{
+namespace
+{
+
+TEST(Logging, QuietFlagRoundTrips)
+{
+    const bool before = logQuiet();
+    setLogQuiet(true);
+    EXPECT_TRUE(logQuiet());
+    setLogQuiet(false);
+    EXPECT_FALSE(logQuiet());
+    setLogQuiet(before);
+}
+
+TEST(Logging, WarnAndInformDoNotTerminate)
+{
+    setLogQuiet(true);
+    warn("warning ", 42);
+    inform("info ", 3.14);
+    SUCCEED();
+}
+
+TEST(Logging, PanicIfNotPassesOnTrue)
+{
+    panicIfNot(true, "must not fire");
+    SUCCEED();
+}
+
+TEST(Logging, FatalIfPassesOnFalse)
+{
+    fatalIf(false, "must not fire");
+    SUCCEED();
+}
+
+TEST(LoggingDeath, PanicAborts)
+{
+    setLogQuiet(true);
+    EXPECT_DEATH(panic("boom"), "");
+}
+
+TEST(LoggingDeath, PanicIfNotFiresOnFalse)
+{
+    setLogQuiet(true);
+    EXPECT_DEATH(panicIfNot(false, "fired"), "");
+}
+
+TEST(LoggingDeath, FatalExitsWithOne)
+{
+    setLogQuiet(true);
+    EXPECT_EXIT(fatal("config error"), ::testing::ExitedWithCode(1),
+                "");
+}
+
+TEST(Logging, ConcatFormatsMixedTypes)
+{
+    EXPECT_EQ(detail::concat("a", 1, "b", 2.5), "a1b2.5");
+    EXPECT_EQ(detail::concat(), "");
+}
+
+} // namespace
+} // namespace vsgpu

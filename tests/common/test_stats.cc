@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Unit and property tests for the statistics helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.hh"
+#include "common/stats.hh"
+
+namespace vsgpu
+{
+namespace
+{
+
+TEST(RunningStats, EmptyDefaults)
+{
+    RunningStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.variance(), 0.0);
+    EXPECT_TRUE(std::isinf(s.min()));
+    EXPECT_TRUE(std::isinf(s.max()));
+}
+
+TEST(RunningStats, SingleSample)
+{
+    RunningStats s;
+    s.add(3.5);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+    EXPECT_DOUBLE_EQ(s.min(), 3.5);
+    EXPECT_DOUBLE_EQ(s.max(), 3.5);
+    EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownMoments)
+{
+    RunningStats s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeEqualsSingleStream)
+{
+    Rng rng(5);
+    RunningStats all, a, b;
+    for (int i = 0; i < 1000; ++i) {
+        const double x = rng.normal(2.0, 3.0);
+        all.add(x);
+        (i % 2 ? a : b).add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmptyIsIdentity)
+{
+    RunningStats a, empty;
+    a.add(1.0);
+    a.add(2.0);
+    const double mean = a.mean();
+    a.merge(empty);
+    EXPECT_DOUBLE_EQ(a.mean(), mean);
+    EXPECT_EQ(a.count(), 2u);
+
+    RunningStats b;
+    b.merge(a);
+    EXPECT_DOUBLE_EQ(b.mean(), mean);
+}
+
+TEST(RunningStats, ResetClearsState)
+{
+    RunningStats s;
+    s.add(10.0);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+}
+
+TEST(Quantile, MedianOfOddSet)
+{
+    EXPECT_DOUBLE_EQ(quantile({3.0, 1.0, 2.0}, 0.5), 2.0);
+}
+
+TEST(Quantile, InterpolatesBetweenSamples)
+{
+    EXPECT_DOUBLE_EQ(quantile({0.0, 10.0}, 0.25), 2.5);
+}
+
+TEST(Quantile, Extremes)
+{
+    std::vector<double> v = {5.0, -1.0, 3.0};
+    EXPECT_DOUBLE_EQ(quantile(v, 0.0), -1.0);
+    EXPECT_DOUBLE_EQ(quantile(v, 1.0), 5.0);
+}
+
+TEST(BoxStatsTest, FiveNumberSummary)
+{
+    std::vector<double> v;
+    for (int i = 1; i <= 101; ++i)
+        v.push_back(static_cast<double>(i));
+    const BoxStats b = boxStats(v);
+    EXPECT_DOUBLE_EQ(b.min, 1.0);
+    EXPECT_DOUBLE_EQ(b.median, 51.0);
+    EXPECT_DOUBLE_EQ(b.max, 101.0);
+    EXPECT_DOUBLE_EQ(b.q1, 26.0);
+    EXPECT_DOUBLE_EQ(b.q3, 76.0);
+    EXPECT_DOUBLE_EQ(b.mean, 51.0);
+    EXPECT_EQ(b.count, 101u);
+}
+
+TEST(BoxStatsTest, EmptyIsZeroed)
+{
+    const BoxStats b = boxStats({});
+    EXPECT_EQ(b.count, 0u);
+    EXPECT_EQ(b.median, 0.0);
+}
+
+/** Property: quartiles are ordered for arbitrary data. */
+TEST(BoxStatsTest, QuartilesOrdered)
+{
+    Rng rng(9);
+    for (int trial = 0; trial < 20; ++trial) {
+        std::vector<double> v;
+        const int n = 1 + rng.uniformInt(0, 300);
+        for (int i = 0; i < n; ++i)
+            v.push_back(rng.normal(0.0, 5.0));
+        const BoxStats b = boxStats(v);
+        EXPECT_LE(b.min, b.q1);
+        EXPECT_LE(b.q1, b.median);
+        EXPECT_LE(b.median, b.q3);
+        EXPECT_LE(b.q3, b.max);
+    }
+}
+
+TEST(ReservoirSamplerTest, KeepsEverythingUnderCapacity)
+{
+    ReservoirSampler r(100);
+    for (int i = 0; i < 50; ++i)
+        r.add(static_cast<double>(i));
+    EXPECT_EQ(r.samples().size(), 50u);
+    EXPECT_EQ(r.seen(), 50u);
+}
+
+TEST(ReservoirSamplerTest, CapsAtCapacity)
+{
+    ReservoirSampler r(64);
+    for (int i = 0; i < 10000; ++i)
+        r.add(static_cast<double>(i));
+    EXPECT_EQ(r.samples().size(), 64u);
+    EXPECT_EQ(r.seen(), 10000u);
+}
+
+TEST(ReservoirSamplerTest, RetainedMeanApproximatesStream)
+{
+    ReservoirSampler r(4096);
+    Rng rng(77);
+    for (int i = 0; i < 200000; ++i)
+        r.add(rng.uniform());
+    const BoxStats b = r.box();
+    EXPECT_NEAR(b.mean, 0.5, 0.05);
+    EXPECT_NEAR(b.median, 0.5, 0.05);
+}
+
+TEST(HistogramTest, BinAssignment)
+{
+    Histogram h({0.0, 1.0, 2.0, 3.0});
+    h.add(0.5);
+    h.add(1.5);
+    h.add(1.7);
+    h.add(2.5);
+    EXPECT_EQ(h.binCount(0), 1u);
+    EXPECT_EQ(h.binCount(1), 2u);
+    EXPECT_EQ(h.binCount(2), 1u);
+    EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(HistogramTest, OutOfRangeClampsToEdges)
+{
+    Histogram h({0.0, 1.0, 2.0});
+    h.add(-5.0);
+    h.add(99.0);
+    EXPECT_EQ(h.binCount(0), 1u);
+    EXPECT_EQ(h.binCount(1), 1u);
+}
+
+TEST(HistogramTest, LowerEdgeInclusiveUpperExclusive)
+{
+    Histogram h({0.0, 1.0, 2.0});
+    h.add(0.0);
+    h.add(1.0);
+    EXPECT_EQ(h.binCount(0), 1u);
+    EXPECT_EQ(h.binCount(1), 1u);
+}
+
+TEST(HistogramTest, FractionsSumToOne)
+{
+    Histogram h({0.0, 0.1, 0.2, 0.4, 10.0});
+    Rng rng(3);
+    for (int i = 0; i < 1000; ++i)
+        h.add(rng.uniform());
+    double sum = 0.0;
+    for (std::size_t b = 0; b < h.numBins(); ++b)
+        sum += h.fraction(b);
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(HistogramTest, EmptyFractionIsZero)
+{
+    Histogram h({0.0, 1.0});
+    EXPECT_EQ(h.fraction(0), 0.0);
+}
+
+TEST(HistogramTest, BinLabels)
+{
+    Histogram h({0.0, 0.5, 1.0});
+    EXPECT_EQ(h.binLabel(0), "0-0.5");
+    EXPECT_EQ(h.binLabel(1), "0.5-1");
+}
+
+} // namespace
+} // namespace vsgpu

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Unit tests for the table/CSV emitters.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/table.hh"
+
+namespace vsgpu
+{
+namespace
+{
+
+TEST(Table, RendersHeaderAndRows)
+{
+    Table t("demo");
+    t.setHeader({"name", "value"});
+    t.addRow({"a", "1"});
+    t.addRow({"bb", "22"});
+    std::ostringstream oss;
+    t.print(oss);
+    const std::string out = oss.str();
+    EXPECT_NE(out.find("demo"), std::string::npos);
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("bb"), std::string::npos);
+    EXPECT_EQ(t.numRows(), 2u);
+}
+
+TEST(Table, FluentRowBuilder)
+{
+    Table t;
+    t.setHeader({"a", "b", "c"});
+    t.beginRow().cell("x").cell(1.23456, 2).cell(7ll).endRow();
+    std::ostringstream oss;
+    t.printCsv(oss);
+    EXPECT_EQ(oss.str(), "a,b,c\nx,1.23,7\n");
+}
+
+TEST(Table, CsvWithoutHeader)
+{
+    Table t;
+    t.addRow({"1", "2"});
+    std::ostringstream oss;
+    t.printCsv(oss);
+    EXPECT_EQ(oss.str(), "1,2\n");
+}
+
+TEST(TableDeath, RowWidthMismatchPanics)
+{
+    Table t;
+    t.setHeader({"one", "two"});
+    EXPECT_DEATH(t.addRow({"only"}), "");
+}
+
+TEST(TableDeath, CellOutsideRowPanics)
+{
+    Table t;
+    EXPECT_DEATH(t.cell("x"), "");
+}
+
+TEST(TableDeath, NestedBeginRowPanics)
+{
+    Table t;
+    t.beginRow();
+    EXPECT_DEATH(t.beginRow(), "");
+}
+
+TEST(FormatHelpers, FixedPrecision)
+{
+    EXPECT_EQ(formatFixed(3.14159, 2), "3.14");
+    EXPECT_EQ(formatFixed(2.0, 0), "2");
+}
+
+TEST(FormatHelpers, Percent)
+{
+    EXPECT_EQ(formatPercent(0.923), "92.3%");
+    EXPECT_EQ(formatPercent(1.0, 0), "100%");
+    EXPECT_EQ(formatPercent(0.0), "0.0%");
+}
+
+} // namespace
+} // namespace vsgpu

@@ -1,0 +1,270 @@
+/**
+ * @file
+ * Unit tests for the voltage-smoothing controller (Algorithm 1 +
+ * eq. (9) weighted actuation).
+ */
+
+#include <gtest/gtest.h>
+
+#include "control/controller.hh"
+#include "pdn/vs_pdn.hh"
+
+namespace vsgpu
+{
+namespace
+{
+
+std::array<double, config::numSMs>
+allAt(double volts)
+{
+    std::array<double, config::numSMs> v{};
+    v.fill(volts);
+    return v;
+}
+
+/** Step the controller n cycles with constant voltages; @return the
+ *  last command set. */
+CommandSet
+settle(SmoothingController &ctl,
+       const std::array<double, config::numSMs> &volts, int cycles)
+{
+    CommandSet last{};
+    for (int i = 0; i < cycles; ++i)
+        last = ctl.step(volts);
+    return last;
+}
+
+TEST(Controller, NoActionAboveThreshold)
+{
+    SmoothingController ctl;
+    const CommandSet cmd = settle(ctl, allAt(1.0), 500);
+    for (const auto &c : cmd) {
+        EXPECT_NEAR(c.issueWidth, 2.0, 1e-9);
+        EXPECT_NEAR(c.fakeRate, 0.0, 1e-9);
+        EXPECT_NEAR(c.dccAmps, 0.0, 1e-9);
+    }
+    EXPECT_EQ(ctl.triggeredDecisions(), 0u);
+    EXPECT_GT(ctl.totalDecisions(), 0u);
+}
+
+TEST(Controller, DiwsEngagesBelowThreshold)
+{
+    ControllerConfig cfg;
+    cfg.w1 = 1.0;
+    SmoothingController ctl(cfg);
+    auto volts = allAt(1.0);
+    volts[5] = 0.82;
+    const CommandSet cmd = settle(ctl, volts, 2000);
+    EXPECT_LT(cmd[5].issueWidth, 1.9);
+    // Other SMs keep full width (except possible neighbour FII/DCC,
+    // disabled here).
+    EXPECT_NEAR(cmd[0].issueWidth, 2.0, 0.05);
+    EXPECT_GT(ctl.triggeredDecisions(), 0u);
+}
+
+TEST(Controller, CorrectionScalesWithDeviation)
+{
+    SmoothingController mild, severe;
+    auto mildV = allAt(1.0);
+    mildV[3] = 0.88;
+    auto severeV = allAt(1.0);
+    severeV[3] = 0.70;
+    const CommandSet mildCmd = settle(mild, mildV, 2000);
+    const CommandSet severeCmd = settle(severe, severeV, 2000);
+    EXPECT_LT(severeCmd[3].issueWidth, mildCmd[3].issueWidth);
+}
+
+TEST(Controller, FiiTargetsAdjacentLayer)
+{
+    ControllerConfig cfg;
+    cfg.w1 = 0.0;
+    cfg.w2 = 1.0;
+    SmoothingController ctl(cfg);
+    auto volts = allAt(1.0);
+    const int droopy = VsPdn::smAt(1, 2);
+    const int neighbour = VsPdn::smAt(2, 2);
+    volts[static_cast<std::size_t>(droopy)] = 0.8;
+    const CommandSet cmd = settle(ctl, volts, 2000);
+    EXPECT_GT(cmd[static_cast<std::size_t>(neighbour)].fakeRate, 0.1);
+    EXPECT_NEAR(cmd[static_cast<std::size_t>(droopy)].issueWidth, 2.0,
+                1e-6);
+}
+
+TEST(Controller, FiiWrapsFromBottomLayer)
+{
+    ControllerConfig cfg;
+    cfg.w1 = 0.0;
+    cfg.w2 = 1.0;
+    SmoothingController ctl(cfg);
+    auto volts = allAt(1.0);
+    const int droopy = VsPdn::smAt(3, 0);   // bottom layer
+    const int neighbour = VsPdn::smAt(0, 0); // wraps to top
+    volts[static_cast<std::size_t>(droopy)] = 0.8;
+    const CommandSet cmd = settle(ctl, volts, 2000);
+    EXPECT_GT(cmd[static_cast<std::size_t>(neighbour)].fakeRate, 0.1);
+}
+
+TEST(Controller, DccQuantizedAndBounded)
+{
+    ControllerConfig cfg;
+    cfg.w1 = 0.0;
+    cfg.w3 = 1.0;
+    SmoothingController ctl(cfg);
+    auto volts = allAt(1.0);
+    volts[VsPdn::smAt(0, 1)] = 0.75;
+    const CommandSet cmd = settle(ctl, volts, 3000);
+    const double amps =
+        cmd[static_cast<std::size_t>(VsPdn::smAt(1, 1))].dccAmps;
+    EXPECT_GT(amps, 0.0);
+    EXPECT_LE(amps, cfg.dcc.fullScaleAmps);
+    const double lsb = cfg.dcc.lsbAmps();
+    EXPECT_NEAR(amps / lsb, std::round(amps / lsb), 1e-6);
+}
+
+TEST(Controller, LoopLatencyDelaysReaction)
+{
+    ControllerConfig cfg;
+    cfg.loopLatency = 120;
+    cfg.period = 10;
+    SmoothingController ctl(cfg);
+    auto good = allAt(1.0);
+    auto bad = allAt(0.7);
+    settle(ctl, good, 300);
+    // Immediately after the droop starts, the applied command is
+    // still the stale full-width one.
+    CommandSet cmd{};
+    for (int i = 0; i < 40; ++i)
+        cmd = ctl.step(bad);
+    EXPECT_NEAR(cmd[0].issueWidth, 2.0, 0.05);
+    // Well after the loop latency, throttling is in force.
+    for (int i = 0; i < 2000; ++i)
+        cmd = ctl.step(bad);
+    EXPECT_LT(cmd[0].issueWidth, 1.2);
+}
+
+TEST(Controller, ReleaseIsSlowerThanOnset)
+{
+    ControllerConfig cfg;
+    SmoothingController ctl(cfg);
+    settle(ctl, allAt(0.7), 4000);
+    CommandSet cmd = ctl.step(allAt(0.7));
+    const double throttled = cmd[0].issueWidth;
+    ASSERT_LT(throttled, 1.0);
+    // Recovery toward full width takes tens of cycles.
+    cmd = settle(ctl, allAt(1.0), 30);
+    EXPECT_LT(cmd[0].issueWidth, 1.9);
+    cmd = settle(ctl, allAt(1.0), 5000);
+    EXPECT_NEAR(cmd[0].issueWidth, 2.0, 0.05);
+}
+
+TEST(Controller, ResetRestoresNominal)
+{
+    SmoothingController ctl;
+    settle(ctl, allAt(0.7), 3000);
+    ctl.reset();
+    EXPECT_EQ(ctl.totalDecisions(), 0u);
+    const CommandSet cmd = ctl.step(allAt(1.0));
+    EXPECT_NEAR(cmd[0].issueWidth, 2.0, 1e-9);
+}
+
+TEST(Controller, DetectorPowerScalesWithArray)
+{
+    SmoothingController ctl;
+    EXPECT_NEAR(ctl.detectorPower(),
+                ctl.config().detector.powerWatts * 16.0, 1e-12);
+}
+
+TEST(Controller, DccPowerIncludesLeakage)
+{
+    SmoothingController ctl;
+    CommandSet none{};
+    EXPECT_NEAR(ctl.dccPower(none),
+                ctl.config().dcc.leakageWatts * 16.0, 1e-12);
+    CommandSet some{};
+    some[0].dccAmps = 1.0;
+    EXPECT_NEAR(ctl.dccPower(some) - ctl.dccPower(none), 1.0, 1e-9);
+}
+
+TEST(Controller, WeightedSplitMatchesEquationNine)
+{
+    // With all three weights active, a droop must engage all three
+    // actuators simultaneously.
+    ControllerConfig cfg;
+    cfg.w1 = 0.6;
+    cfg.w2 = 0.3;
+    cfg.w3 = 0.1;
+    cfg.gainWattsPerVolt = 30.0;
+    SmoothingController ctl(cfg);
+    auto volts = allAt(1.0);
+    const int droopy = VsPdn::smAt(2, 3);
+    const int neighbour = VsPdn::smAt(3, 3);
+    volts[static_cast<std::size_t>(droopy)] = 0.78;
+    const CommandSet cmd = settle(ctl, volts, 3000);
+    EXPECT_LT(cmd[static_cast<std::size_t>(droopy)].issueWidth, 1.8);
+    EXPECT_GT(cmd[static_cast<std::size_t>(neighbour)].fakeRate, 0.0);
+    EXPECT_GT(cmd[static_cast<std::size_t>(neighbour)].dccAmps, 0.0);
+}
+
+TEST(ControllerPi, IntegralRemovesSteadyStateGap)
+{
+    // Under a constant mild droop the PI variant eventually applies a
+    // deeper correction than P alone (the integrator accumulates).
+    ControllerConfig p, pi;
+    p.gainWattsPerVolt = 4.0;
+    pi.gainWattsPerVolt = 4.0;
+    pi.integralGainWattsPerVolt = 1.0;
+    SmoothingController ctlP(p), ctlPi(pi);
+    auto volts = allAt(1.0);
+    volts[0] = 0.86;
+    const CommandSet cmdP = settle(ctlP, volts, 6000);
+    const CommandSet cmdPi = settle(ctlPi, volts, 6000);
+    EXPECT_LT(cmdPi[0].issueWidth, cmdP[0].issueWidth - 0.05);
+}
+
+TEST(ControllerPi, AntiWindupBoundsCorrection)
+{
+    ControllerConfig cfg;
+    cfg.gainWattsPerVolt = 4.0;
+    cfg.integralGainWattsPerVolt = 5.0;
+    cfg.integralClampWatts = 1.0;
+    SmoothingController ctl(cfg);
+    auto volts = allAt(1.0);
+    volts[0] = 0.80;
+    const CommandSet cmd = settle(ctl, volts, 20000);
+    // Correction bounded by kP*dev + clamp: width cut <=
+    // (4*0.2 + 1.0) / powerPerIssueWidth.
+    const double maxCut =
+        (4.0 * 0.2 + 1.0) / cfg.powerPerIssueWidth + 0.05;
+    EXPECT_GE(cmd[0].issueWidth, 2.0 - maxCut);
+}
+
+TEST(ControllerPi, IntegratorBleedsWhenHealthy)
+{
+    ControllerConfig cfg;
+    cfg.gainWattsPerVolt = 4.0;
+    cfg.integralGainWattsPerVolt = 2.0;
+    SmoothingController ctl(cfg);
+    auto droop = allAt(1.0);
+    droop[0] = 0.82;
+    settle(ctl, droop, 6000);
+    // After recovery, commands must return to nominal despite the
+    // accumulated integral state.
+    const CommandSet cmd = settle(ctl, allAt(1.0), 8000);
+    EXPECT_NEAR(cmd[0].issueWidth, 2.0, 0.05);
+}
+
+TEST(ControllerPi, ZeroIntegralGainMatchesPaperBehaviour)
+{
+    ControllerConfig cfg;
+    EXPECT_EQ(cfg.integralGainWattsPerVolt, 0.0);
+    SmoothingController ctl(cfg);
+    auto volts = allAt(1.0);
+    volts[0] = 0.85;
+    const CommandSet first = settle(ctl, volts, 2000);
+    const CommandSet later = settle(ctl, volts, 20000);
+    // P-only correction does not keep growing over time.
+    EXPECT_NEAR(first[0].issueWidth, later[0].issueWidth, 0.05);
+}
+
+} // namespace
+} // namespace vsgpu

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Tests for the control-theoretic designer (paper Section IV-A/B):
+ * stability of the discretized delayed loop and the disturbance-gain
+ * (Bode) bound.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "control/designer.hh"
+
+namespace vsgpu
+{
+namespace
+{
+
+TEST(Designer, PlantShapesMatchFormulation)
+{
+    const ControlDesign d = designController(ControlDesignSpec{});
+    EXPECT_EQ(d.plant.a.rows(), 3u);
+    EXPECT_EQ(d.plant.b.rows(), 3u);
+    EXPECT_EQ(d.plant.b.cols(), 4u);
+    EXPECT_EQ(d.feedback.rows(), 4u);
+    EXPECT_EQ(d.feedback.cols(), 3u);
+    EXPECT_EQ(d.augmented.rows(), 6u);
+}
+
+TEST(Designer, ClosedLoopIsLaplacianShaped)
+{
+    // A + B K = (k/C) tridiag(1, -2, 1) over the boundary voltages.
+    ControlDesignSpec spec;
+    spec.gainWattsPerVolt = 100.0;
+    spec.boundaryCapF = 1e-6;
+    const ControlDesign d = designController(spec);
+    const Matrix acl = d.plant.a + d.plant.b * d.feedback;
+    const double scale = spec.gainWattsPerVolt / spec.boundaryCapF;
+    EXPECT_NEAR(acl(0, 0), -2.0 * scale, 1e-3);
+    EXPECT_NEAR(acl(0, 1), 1.0 * scale, 1e-3);
+    EXPECT_NEAR(acl(1, 0), 1.0 * scale, 1e-3);
+    EXPECT_NEAR(acl(1, 2), 1.0 * scale, 1e-3);
+    EXPECT_NEAR(acl(0, 2), 0.0, 1e-3);
+}
+
+TEST(Designer, ModerateGainIsStable)
+{
+    // The pure-integrator plant with a 60-cycle delayed loop is
+    // stable only below ~C/(3.41 T) = 1.37 W/V per layer.
+    ControlDesignSpec spec;
+    spec.gainWattsPerVolt = 0.5;
+    const ControlDesign d = designController(spec);
+    EXPECT_TRUE(d.stable);
+    EXPECT_LT(d.spectralRadius, 1.0);
+}
+
+TEST(Designer, ExcessiveGainIsUnstable)
+{
+    // The loop delay limits the usable gain: far past the bound the
+    // delayed feedback must go unstable.
+    ControlDesignSpec spec;
+    spec.loopLatencyCycles = 60;
+    spec.gainWattsPerVolt =
+        100.0 * maxStableGain(spec.boundaryCapF, 60);
+    const ControlDesign d = designController(spec);
+    EXPECT_FALSE(d.stable);
+}
+
+TEST(Designer, MaxStableGainShrinksWithLatency)
+{
+    const double cap = 4.0 * 100e-9;
+    const double fast = maxStableGain(cap, 30);
+    const double slow = maxStableGain(cap, 120);
+    EXPECT_GT(fast, slow);
+    EXPECT_GT(slow, 0.0);
+}
+
+TEST(Designer, MaxStableGainGrowsWithCapacitance)
+{
+    const double small = maxStableGain(1e-7, 60);
+    const double large = maxStableGain(1e-6, 60);
+    EXPECT_GT(large, small);
+    // Linear relationship: the stability bound scales with C / T.
+    EXPECT_NEAR(large / small, 10.0, 1.0);
+}
+
+TEST(Designer, BisectionBracketsTheBoundary)
+{
+    const double cap = 4.0 * 100e-9;
+    const Cycle latency = 60;
+    const double kMax = maxStableGain(cap, latency);
+    ControlDesignSpec spec;
+    spec.boundaryCapF = cap;
+    spec.loopLatencyCycles = latency;
+    spec.gainWattsPerVolt = kMax * 0.98;
+    EXPECT_TRUE(designController(spec).stable);
+    spec.gainWattsPerVolt = kMax * 1.05;
+    EXPECT_FALSE(designController(spec).stable);
+}
+
+TEST(Designer, DisturbanceGainFiniteWhenStable)
+{
+    ControlDesignSpec spec;
+    spec.gainWattsPerVolt = 50.0;
+    const ControlDesign d = designController(spec);
+    EXPECT_GT(d.peakDisturbanceGain, 0.0);
+    EXPECT_LT(d.peakDisturbanceGain, 1e4);
+}
+
+TEST(Designer, StrongerGainTightensWorstDroop)
+{
+    ControlDesignSpec weak, strong;
+    weak.gainWattsPerVolt = 0.27;  // ~0.2 x stability bound
+    strong.gainWattsPerVolt = 0.68; // ~0.5 x stability bound
+    const ControlDesign dw = designController(weak);
+    const ControlDesign ds = designController(strong);
+    ASSERT_TRUE(dw.stable);
+    ASSERT_TRUE(ds.stable);
+    EXPECT_LT(ds.worstDroopVolts(1.0), dw.worstDroopVolts(1.0));
+}
+
+TEST(Designer, WorstDroopScalesLinearlyWithDisturbance)
+{
+    const ControlDesign d = designController(ControlDesignSpec{});
+    EXPECT_NEAR(d.worstDroopVolts(2.0), 2.0 * d.worstDroopVolts(1.0),
+                1e-9);
+}
+
+TEST(Designer, PaperDefaultMeetsTheMarginBound)
+{
+    // The architecture loop alone only needs to contain the slow
+    // residual that leaks past the minimum-size CR-IVR (the paper's
+    // division of labour); with the 60-cycle loop at half the
+    // stability bound, a 0.05 A sub-Nyquist residual stays inside
+    // the 0.2 V margin.
+    ControlDesignSpec spec;
+    spec.loopLatencyCycles = config::defaultControlLatency;
+    spec.boundaryCapF = 4.0 * 100e-9;
+    spec.gainWattsPerVolt =
+        0.5 * maxStableGain(spec.boundaryCapF,
+                            spec.loopLatencyCycles);
+    const ControlDesign d = designController(spec);
+    ASSERT_TRUE(d.stable);
+    EXPECT_LT(d.worstDroopVolts(0.05), config::voltageMargin);
+}
+
+TEST(DesignerDeath, RejectsBadSpecs)
+{
+    setLogQuiet(true);
+    ControlDesignSpec spec;
+    spec.boundaryCapF = 0.0;
+    EXPECT_DEATH(designController(spec), "");
+    spec.boundaryCapF = 1e-7;
+    spec.loopLatencyCycles = 0;
+    EXPECT_DEATH(designController(spec), "");
+}
+
+} // namespace
+} // namespace vsgpu

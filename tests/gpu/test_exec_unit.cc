@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Unit tests for execution blocks: occupancy, idle tracking, gating.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gpu/exec_unit.hh"
+
+namespace vsgpu
+{
+namespace
+{
+
+TEST(ExecUnitTest, OccupancyByOpClass)
+{
+    EXPECT_EQ(occupancyCycles(OpClass::IntAlu), 1u);
+    EXPECT_EQ(occupancyCycles(OpClass::FpAlu), 1u);
+    EXPECT_EQ(occupancyCycles(OpClass::Sfu), 4u);
+    EXPECT_EQ(occupancyCycles(OpClass::Load), 1u);
+    EXPECT_EQ(occupancyCycles(OpClass::Atomic), 2u);
+}
+
+TEST(ExecUnitTest, PrimaryUnitRouting)
+{
+    EXPECT_EQ(primaryUnit(OpClass::IntAlu), ExecUnitKind::Sp0);
+    EXPECT_EQ(primaryUnit(OpClass::Sfu), ExecUnitKind::Sfu);
+    EXPECT_EQ(primaryUnit(OpClass::Load), ExecUnitKind::Lsu);
+    EXPECT_EQ(primaryUnit(OpClass::SharedMem), ExecUnitKind::Lsu);
+}
+
+TEST(ExecUnitTest, BusyWhileOccupied)
+{
+    ExecUnit u(ExecUnitKind::Sfu);
+    EXPECT_TRUE(u.canAccept(10));
+    u.accept(OpClass::Sfu, 10);
+    EXPECT_TRUE(u.busy(10));
+    EXPECT_FALSE(u.canAccept(12));
+    EXPECT_TRUE(u.canAccept(14));
+}
+
+TEST(ExecUnitTest, IdleCyclesTrackLastUse)
+{
+    ExecUnit u(ExecUnitKind::Sp0);
+    u.accept(OpClass::IntAlu, 0);
+    EXPECT_EQ(u.idleCycles(1), 0u);
+    EXPECT_EQ(u.idleCycles(5), 4u);
+    u.accept(OpClass::IntAlu, 5);
+    EXPECT_EQ(u.idleCycles(6), 0u);
+}
+
+TEST(ExecUnitTest, GateBlocksAcceptance)
+{
+    ExecUnit u(ExecUnitKind::Lsu);
+    u.gate(10, 20);
+    EXPECT_TRUE(u.gated(15));
+    EXPECT_FALSE(u.canAccept(15));
+    EXPECT_EQ(u.gateEvents(), 1u);
+}
+
+TEST(ExecUnitTest, UngateHonoursBlackout)
+{
+    ExecUnit u(ExecUnitKind::Lsu);
+    u.gate(10, 50); // blackout until 60
+    const Cycle usable = u.ungate(20, 5);
+    EXPECT_EQ(usable, 65u); // wake starts only after blackout
+    EXPECT_TRUE(u.gated(64));
+    EXPECT_FALSE(u.gated(65));
+    EXPECT_TRUE(u.canAccept(65));
+    EXPECT_EQ(u.wakeEvents(), 1u);
+}
+
+TEST(ExecUnitTest, UngateAfterBlackoutIsPrompt)
+{
+    ExecUnit u(ExecUnitKind::Sp1);
+    u.gate(0, 10);
+    const Cycle usable = u.ungate(100, 7);
+    EXPECT_EQ(usable, 107u);
+}
+
+TEST(ExecUnitTest, GatedCyclesAccumulate)
+{
+    ExecUnit u(ExecUnitKind::Sfu);
+    u.gate(10, 0);
+    u.ungate(30, 2);
+    EXPECT_EQ(u.gatedCycles(100), 20u);
+    u.gate(50, 0);
+    EXPECT_EQ(u.gatedCycles(60), 30u);
+}
+
+TEST(ExecUnitTest, DoubleGateIsIdempotent)
+{
+    ExecUnit u(ExecUnitKind::Sfu);
+    u.gate(10, 5);
+    u.gate(12, 5);
+    EXPECT_EQ(u.gateEvents(), 1u);
+}
+
+TEST(ExecUnitTest, ResetClearsState)
+{
+    ExecUnit u(ExecUnitKind::Sp0);
+    u.accept(OpClass::Sfu, 0);
+    u.gate(10, 100);
+    u.reset(50);
+    EXPECT_FALSE(u.gated(50));
+    EXPECT_TRUE(u.canAccept(50));
+    EXPECT_EQ(u.idleCycles(55), 5u);
+}
+
+TEST(ExecUnitTest, Names)
+{
+    EXPECT_STREQ(execUnitName(ExecUnitKind::Sp0), "sp0");
+    EXPECT_STREQ(execUnitName(ExecUnitKind::Lsu), "lsu");
+}
+
+} // namespace
+} // namespace vsgpu

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Unit and property tests for the shared memory hierarchy.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "gpu/memory.hh"
+
+namespace vsgpu
+{
+namespace
+{
+
+TEST(MemorySystem, SharedMemoryHasFixedLatency)
+{
+    MemorySystem mem;
+    for (Cycle now : {0ull, 100ull, 12345ull})
+        EXPECT_EQ(mem.access(OpClass::SharedMem, true, now),
+                  now + mem.config().sharedLatency);
+}
+
+TEST(MemorySystem, AlwaysHitGoesToL1)
+{
+    MemoryConfig cfg;
+    cfg.l1HitRate = 1.0;
+    MemorySystem mem(cfg);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(mem.access(OpClass::Load, true, 10), 10 + cfg.l1Latency);
+    EXPECT_EQ(mem.l1Hits(), 100u);
+    EXPECT_EQ(mem.dramAccesses(), 0u);
+}
+
+TEST(MemorySystem, AlwaysMissReachesDram)
+{
+    MemoryConfig cfg;
+    cfg.l1HitRate = 0.0;
+    cfg.l2HitRate = 0.0;
+    MemorySystem mem(cfg);
+    const Cycle done = mem.access(OpClass::Load, true, 0);
+    EXPECT_GE(done, cfg.dramRowHitLatency);
+    EXPECT_EQ(mem.dramAccesses(), 1u);
+}
+
+TEST(MemorySystem, RowMissCostsMore)
+{
+    MemoryConfig cfg;
+    cfg.l1HitRate = 0.0;
+    cfg.l2HitRate = 0.0;
+    MemorySystem hit(cfg), miss(cfg);
+    EXPECT_LT(hit.access(OpClass::Load, true, 0),
+              miss.access(OpClass::Load, false, 0));
+}
+
+TEST(MemorySystem, AtomicsBypassCachesAndPayExtra)
+{
+    MemoryConfig cfg;
+    cfg.l1HitRate = 1.0; // would hit if it were a load
+    cfg.l2HitRate = 1.0;
+    MemorySystem mem(cfg);
+    const Cycle done = mem.access(OpClass::Atomic, true, 0);
+    EXPECT_GE(done, cfg.dramRowHitLatency + cfg.atomicExtraLatency);
+    EXPECT_EQ(mem.l1Hits(), 0u);
+}
+
+TEST(MemorySystem, BandwidthQueueingDelaysBursts)
+{
+    MemoryConfig cfg;
+    cfg.l1HitRate = 0.0;
+    cfg.l2HitRate = 0.0;
+    cfg.dramRequestsPerCycle = 1.0;
+    MemorySystem mem(cfg);
+    // 100 simultaneous requests: the last must wait ~100 slots.
+    Cycle last = 0;
+    for (int i = 0; i < 100; ++i)
+        last = std::max(last, mem.access(OpClass::Load, true, 0));
+    EXPECT_GE(last, 99 + cfg.dramRowHitLatency);
+    EXPECT_GT(mem.avgDramQueueing(), 10.0);
+}
+
+TEST(MemorySystem, HitRateStatisticsConverge)
+{
+    MemoryConfig cfg;
+    cfg.l1HitRate = 0.7;
+    MemorySystem mem(cfg);
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        mem.access(OpClass::Load, true, static_cast<Cycle>(i * 10));
+    const double measured =
+        static_cast<double>(mem.l1Hits()) / n;
+    EXPECT_NEAR(measured, 0.7, 0.02);
+}
+
+TEST(MemorySystem, SetL1HitRateTakesEffect)
+{
+    MemorySystem mem;
+    mem.setL1HitRate(0.0);
+    for (int i = 0; i < 50; ++i)
+        mem.access(OpClass::Load, true, 1000000);
+    EXPECT_EQ(mem.l1Hits(), 0u);
+}
+
+TEST(MemorySystem, ResetClearsState)
+{
+    MemorySystem mem;
+    mem.access(OpClass::Load, true, 0);
+    mem.reset();
+    EXPECT_EQ(mem.accesses(), 0u);
+    EXPECT_EQ(mem.dramAccesses(), 0u);
+    EXPECT_EQ(mem.avgDramQueueing(), 0.0);
+}
+
+TEST(MemorySystemDeath, RejectsNonMemoryOps)
+{
+    setLogQuiet(true);
+    MemorySystem mem;
+    EXPECT_DEATH(mem.access(OpClass::IntAlu, true, 0), "");
+}
+
+TEST(MemorySystemDeath, RejectsBadHitRate)
+{
+    setLogQuiet(true);
+    MemorySystem mem;
+    EXPECT_DEATH(mem.setL1HitRate(1.5), "");
+}
+
+/** Property: completion is never before issue plus the L1 latency. */
+class MemoryLatencySweep
+    : public ::testing::TestWithParam<std::tuple<double, double>>
+{
+};
+
+TEST_P(MemoryLatencySweep, CompletionMonotoneAndBounded)
+{
+    MemoryConfig cfg;
+    cfg.l1HitRate = std::get<0>(GetParam());
+    cfg.l2HitRate = std::get<1>(GetParam());
+    MemorySystem mem(cfg);
+    for (Cycle now = 0; now < 3000; now += 3) {
+        const Cycle done = mem.access(OpClass::Load, (now % 2) == 0,
+                                      now);
+        ASSERT_GE(done, now + cfg.l1Latency);
+        ASSERT_LE(done, now + cfg.dramRowMissLatency + 4000);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Rates, MemoryLatencySweep,
+    ::testing::Values(std::make_tuple(0.0, 0.0),
+                      std::make_tuple(0.3, 0.5),
+                      std::make_tuple(0.8, 0.2),
+                      std::make_tuple(1.0, 1.0)));
+
+} // namespace
+} // namespace vsgpu

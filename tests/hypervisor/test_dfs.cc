@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Unit tests for the GRAPE-style DFS governor.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hypervisor/dfs.hh"
+#include "workloads/generator.hh"
+#include "workloads/suite.hh"
+
+namespace vsgpu
+{
+namespace
+{
+
+TEST(DfsGovernor, StartsAtMaxFrequency)
+{
+    DfsGovernor gov;
+    for (double f : gov.requested())
+        EXPECT_DOUBLE_EQ(f, config::smClockHz);
+}
+
+TEST(DfsGovernor, RequestsQuantizedToStep)
+{
+    DfsConfig cfg;
+    cfg.perfTarget = 0.5;
+    cfg.epoch = 256;
+    DfsGovernor gov(cfg);
+    GpuConfig gpuCfg;
+    Gpu gpu(gpuCfg);
+    WorkloadFactory factory(uniformWorkload(4000));
+    gpu.launch(factory);
+    for (int i = 0; i < 4096 && !gpu.done(); ++i) {
+        gpu.step();
+        gov.step(gpu);
+    }
+    for (double f : gov.requested()) {
+        EXPECT_GE(f, cfg.minHz);
+        EXPECT_LE(f, cfg.maxHz);
+        EXPECT_NEAR(f / cfg.stepHz, std::round(f / cfg.stepHz), 1e-6);
+    }
+}
+
+TEST(DfsGovernor, LowerTargetRequestsLowerFrequency)
+{
+    const auto meanRequest = [](double target) {
+        DfsConfig cfg;
+        cfg.perfTarget = target;
+        cfg.epoch = 256;
+        DfsGovernor gov(cfg);
+        Gpu gpu;
+        WorkloadFactory factory(uniformWorkload(6000));
+        gpu.launch(factory);
+        for (int i = 0; i < 6000 && !gpu.done(); ++i) {
+            gpu.step();
+            gov.step(gpu);
+        }
+        double sum = 0.0;
+        for (double f : gov.requested())
+            sum += f;
+        return sum / 16.0;
+    };
+    EXPECT_LT(meanRequest(0.3), meanRequest(0.9));
+}
+
+TEST(DfsGovernor, NoUpdateBeforeEpochBoundary)
+{
+    DfsConfig cfg;
+    cfg.epoch = 1000;
+    cfg.perfTarget = 0.2;
+    DfsGovernor gov(cfg);
+    Gpu gpu;
+    WorkloadFactory factory(uniformWorkload(2000));
+    gpu.launch(factory);
+    for (int i = 0; i < 500; ++i) {
+        gpu.step();
+        gov.step(gpu);
+    }
+    for (double f : gov.requested())
+        EXPECT_DOUBLE_EQ(f, cfg.maxHz);
+}
+
+TEST(DfsGovernor, AppliedFrequencySlowsExecution)
+{
+    // Closing the loop: apply requested frequencies to the GPU and
+    // verify a low perf target stretches execution time.
+    const auto runCycles = [](double target) {
+        DfsConfig cfg;
+        cfg.perfTarget = target;
+        cfg.epoch = 512;
+        DfsGovernor gov(cfg);
+        Gpu gpu;
+        WorkloadFactory factory(uniformWorkload(3000));
+        gpu.launch(factory);
+        while (!gpu.done() && gpu.cycle() < 500000) {
+            gpu.step();
+            gov.step(gpu);
+            const auto &req = gov.requested();
+            for (int sm = 0; sm < 16; ++sm)
+                gpu.setSmFrequencyFraction(
+                    sm, req[static_cast<std::size_t>(sm)] /
+                            config::smClockHz);
+        }
+        return gpu.cycle();
+    };
+    const Cycle fast = runCycles(1.0);
+    const Cycle slow = runCycles(0.3);
+    EXPECT_GT(slow, fast * 5 / 4);
+}
+
+} // namespace
+} // namespace vsgpu

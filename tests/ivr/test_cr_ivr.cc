@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Unit tests for the CR-IVR area/strength design model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "ivr/cr_ivr.hh"
+
+namespace vsgpu
+{
+namespace
+{
+
+TEST(CrIvrDesign, CapacitanceScalesWithArea)
+{
+    const CrIvrDesign small(100.0);
+    const CrIvrDesign large(200.0);
+    EXPECT_NEAR(large.totalFlyCapF() / small.totalFlyCapF(), 2.0,
+                1e-12);
+}
+
+TEST(CrIvrDesign, EffOhmsInverselyProportionalToArea)
+{
+    const CrIvrDesign small(100.0);
+    const CrIvrDesign large(400.0);
+    EXPECT_NEAR(small.effOhmsPerCell() / large.effOhmsPerCell(), 4.0,
+                1e-9);
+}
+
+TEST(CrIvrDesign, KnownNumbers)
+{
+    CrIvrTech tech;
+    const CrIvrDesign d(100.0, tech);
+    const double expectedCap =
+        100.0 * tech.capAreaFraction * tech.capDensityPerMm2;
+    EXPECT_NEAR(d.totalFlyCapF(), expectedCap, 1e-15);
+    EXPECT_NEAR(d.flyCapPerCellF(), expectedCap / 12.0, 1e-15);
+    EXPECT_NEAR(d.effOhmsPerCell(),
+                1.0 / (tech.switchingHz * expectedCap / 12.0), 1e-9);
+}
+
+TEST(CrIvrDesign, AreaFractionOfGpu)
+{
+    const CrIvrDesign d(config::gpuDieAreaMm2 / 2.0);
+    EXPECT_NEAR(d.areaFractionOfGpu(), 0.5, 1e-12);
+}
+
+TEST(CrIvrDesign, SwitchingLossProportional)
+{
+    const CrIvrDesign d(100.0);
+    EXPECT_NEAR(d.switchingLoss(10.0),
+                d.tech().switchingLossFraction * 10.0, 1e-12);
+    EXPECT_NEAR(d.switchingLoss(0.0), 0.0, 1e-15);
+}
+
+TEST(CrIvrDesign, AreaForEffOhmsInvertsDesign)
+{
+    const CrIvrDesign d(123.4);
+    const double area =
+        CrIvrDesign::areaForEffOhms(d.effOhmsPerCell(), d.tech());
+    EXPECT_NEAR(area, 123.4, 1e-6);
+}
+
+TEST(CrIvrDesign, PaperSizings)
+{
+    // 0.2x and 1.72x GPU-area designs bracket a ~8.6x strength ratio.
+    const CrIvrDesign crossLayer(0.2 * config::gpuDieAreaMm2);
+    const CrIvrDesign circuitOnly(config::circuitOnlyIvrAreaMm2);
+    EXPECT_NEAR(crossLayer.effOhmsPerCell() /
+                    circuitOnly.effOhmsPerCell(),
+                config::circuitOnlyIvrAreaMm2 /
+                    (0.2 * config::gpuDieAreaMm2),
+                1e-9);
+}
+
+TEST(CrIvrDesignDeath, RejectsNonPositiveInputs)
+{
+    setLogQuiet(true);
+    EXPECT_DEATH(CrIvrDesign(0.0), "");
+    EXPECT_DEATH(CrIvrDesign(-5.0), "");
+    EXPECT_DEATH(CrIvrDesign::areaForEffOhms(0.0), "");
+}
+
+} // namespace
+} // namespace vsgpu

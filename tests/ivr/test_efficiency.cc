@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Unit tests for the conversion-efficiency models.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ivr/efficiency.hh"
+
+namespace vsgpu
+{
+namespace
+{
+
+TEST(VrmModel, EfficiencyPeaksAtMidLoad)
+{
+    const VrmModel vrm(0.90, 130.0);
+    const double mid = vrm.efficiency(0.6 * 130.0);
+    EXPECT_NEAR(mid, 0.90, 1e-12);
+    EXPECT_LT(vrm.efficiency(10.0), mid);
+    EXPECT_LT(vrm.efficiency(260.0), mid);
+}
+
+TEST(VrmModel, InputAlwaysExceedsOutput)
+{
+    const VrmModel vrm;
+    for (double p : {5.0, 50.0, 100.0, 200.0}) {
+        EXPECT_GT(vrm.inputPower(p), p);
+        EXPECT_NEAR(vrm.conversionLoss(p),
+                    vrm.inputPower(p) - p, 1e-12);
+    }
+}
+
+TEST(VrmModel, EfficiencyBounded)
+{
+    const VrmModel vrm;
+    for (double p : {0.0, 1.0, 500.0, 5000.0}) {
+        const double e = vrm.efficiency(p);
+        EXPECT_GE(e, 0.4);
+        EXPECT_LE(e, 0.95);
+    }
+}
+
+TEST(SingleIvrModel, TwoToOneConversion)
+{
+    const SingleIvrModel ivr;
+    EXPECT_DOUBLE_EQ(ivr.inputVolts(), 2.0);
+    EXPECT_GT(ivr.inputPower(100.0), 100.0);
+}
+
+TEST(SingleIvrModel, PaperAreaMatchesTableIII)
+{
+    // Table III: 172.3 mm^2 = 0.33 x GPU die.
+    EXPECT_NEAR(SingleIvrModel::areaMm2(), 172.3, 1e-9);
+    EXPECT_NEAR(SingleIvrModel::areaMm2() / config::gpuDieAreaMm2,
+                0.33, 0.01);
+}
+
+TEST(SingleIvrModel, MoreEfficientThanVrmAtTypicalLoad)
+{
+    // The single-layer IVR baseline beats the board VRM (85% vs 80%
+    // system PDE in the paper) partly through conversion efficiency.
+    const VrmModel vrm;
+    const SingleIvrModel ivr;
+    EXPECT_GT(ivr.efficiency(110.0), vrm.efficiency(110.0));
+}
+
+TEST(VsOverheadsTest, PaperConstants)
+{
+    const VsOverheads ov;
+    EXPECT_NEAR(ov.controllerWatts, 1.634e-3, 1e-9);
+    EXPECT_NEAR(ov.controllerAreaMm2, 3084e-6, 1e-12);
+    EXPECT_NEAR(ov.filterAreaMm2, 1120e-6, 1e-12);
+    EXPECT_GT(ov.levelShifterFraction, 0.0);
+    EXPECT_LT(ov.levelShifterFraction, 0.06);
+}
+
+} // namespace
+} // namespace vsgpu

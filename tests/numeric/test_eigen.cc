@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Unit and property tests for the eigenvalue solver.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.hh"
+#include "numeric/eigen.hh"
+
+namespace vsgpu
+{
+namespace
+{
+
+std::vector<double>
+sortedReal(std::vector<Complex> l)
+{
+    std::vector<double> re;
+    re.reserve(l.size());
+    for (const auto &v : l)
+        re.push_back(v.real());
+    std::sort(re.begin(), re.end());
+    return re;
+}
+
+TEST(Eigen, DiagonalMatrix)
+{
+    Matrix a{{3.0, 0.0}, {0.0, -1.0}};
+    const auto re = sortedReal(eigenvalues(a));
+    EXPECT_NEAR(re[0], -1.0, 1e-10);
+    EXPECT_NEAR(re[1], 3.0, 1e-10);
+}
+
+TEST(Eigen, OneByOne)
+{
+    Matrix a{{7.0}};
+    const auto l = eigenvalues(a);
+    ASSERT_EQ(l.size(), 1u);
+    EXPECT_NEAR(l[0].real(), 7.0, 1e-14);
+}
+
+TEST(Eigen, SymmetricKnown)
+{
+    // Eigenvalues of [[2,1],[1,2]] are 1 and 3.
+    Matrix a{{2.0, 1.0}, {1.0, 2.0}};
+    const auto re = sortedReal(eigenvalues(a));
+    EXPECT_NEAR(re[0], 1.0, 1e-10);
+    EXPECT_NEAR(re[1], 3.0, 1e-10);
+}
+
+TEST(Eigen, ComplexConjugatePair)
+{
+    // Rotation-like matrix: eigenvalues +/- i.
+    Matrix a{{0.0, -1.0}, {1.0, 0.0}};
+    const auto l = eigenvalues(a);
+    ASSERT_EQ(l.size(), 2u);
+    for (const auto &v : l) {
+        EXPECT_NEAR(v.real(), 0.0, 1e-10);
+        EXPECT_NEAR(std::abs(v.imag()), 1.0, 1e-10);
+    }
+}
+
+TEST(Eigen, TriangularReadsDiagonal)
+{
+    Matrix a{{1.0, 5.0, -2.0}, {0.0, 4.0, 3.0}, {0.0, 0.0, -2.0}};
+    const auto re = sortedReal(eigenvalues(a));
+    EXPECT_NEAR(re[0], -2.0, 1e-9);
+    EXPECT_NEAR(re[1], 1.0, 1e-9);
+    EXPECT_NEAR(re[2], 4.0, 1e-9);
+}
+
+TEST(Eigen, LaplacianChain)
+{
+    // 1-D Laplacian tridiag(1,-2,1), n=3: eigenvalues
+    // -2 + 2 cos(k pi / 4), k = 1..3.
+    Matrix a{{-2.0, 1.0, 0.0}, {1.0, -2.0, 1.0}, {0.0, 1.0, -2.0}};
+    auto re = sortedReal(eigenvalues(a));
+    EXPECT_NEAR(re[0], -2.0 - std::sqrt(2.0), 1e-9);
+    EXPECT_NEAR(re[1], -2.0, 1e-9);
+    EXPECT_NEAR(re[2], -2.0 + std::sqrt(2.0), 1e-9);
+}
+
+TEST(Eigen, TraceEqualsEigenSum)
+{
+    Rng rng(21);
+    for (int trial = 0; trial < 10; ++trial) {
+        const std::size_t n = 5;
+        Matrix a(n, n);
+        double trace = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            for (std::size_t j = 0; j < n; ++j)
+                a(i, j) = rng.uniform(-2.0, 2.0);
+            trace += a(i, i);
+        }
+        Complex sum{};
+        for (const auto &l : eigenvalues(a))
+            sum += l;
+        EXPECT_NEAR(sum.real(), trace, 1e-7);
+        EXPECT_NEAR(sum.imag(), 0.0, 1e-7);
+    }
+}
+
+TEST(SpectralRadiusTest, KnownValues)
+{
+    Matrix a{{0.5, 0.0}, {0.0, -0.9}};
+    EXPECT_NEAR(spectralRadius(a), 0.9, 1e-10);
+}
+
+TEST(SpectralRadiusTest, RotationHasUnitRadius)
+{
+    Matrix a{{0.0, -1.0}, {1.0, 0.0}};
+    EXPECT_NEAR(spectralRadius(a), 1.0, 1e-10);
+}
+
+TEST(Eigen, ComplexMatrixEigenvalues)
+{
+    CMatrix a(2, 2);
+    a(0, 0) = {0.0, 1.0}; // i
+    a(1, 1) = {0.0, -2.0};
+    const auto l = eigenvalues(a);
+    ASSERT_EQ(l.size(), 2u);
+    double maxImag = 0.0, minImag = 0.0;
+    for (const auto &v : l) {
+        maxImag = std::max(maxImag, v.imag());
+        minImag = std::min(minImag, v.imag());
+    }
+    EXPECT_NEAR(maxImag, 1.0, 1e-10);
+    EXPECT_NEAR(minImag, -2.0, 1e-10);
+}
+
+class EigenSizeSweep : public ::testing::TestWithParam<int>
+{
+};
+
+/** Property: for random matrices the characteristic identities hold
+ *  (sum = trace) and all eigenvalues have finite magnitude bounded by
+ *  the infinity norm. */
+TEST_P(EigenSizeSweep, SpectralBoundAndTrace)
+{
+    const int n = GetParam();
+    Rng rng(static_cast<std::uint64_t>(n) * 99991ull);
+    Matrix a(static_cast<std::size_t>(n), static_cast<std::size_t>(n));
+    double trace = 0.0;
+    for (int i = 0; i < n; ++i) {
+        for (int j = 0; j < n; ++j)
+            a(static_cast<std::size_t>(i),
+              static_cast<std::size_t>(j)) = rng.uniform(-1.0, 1.0);
+        trace += a(static_cast<std::size_t>(i),
+                   static_cast<std::size_t>(i));
+    }
+    const auto l = eigenvalues(a);
+    ASSERT_EQ(l.size(), static_cast<std::size_t>(n));
+    Complex sum{};
+    const double bound = a.normInf() + 1e-9;
+    for (const auto &v : l) {
+        sum += v;
+        EXPECT_LE(std::abs(v), bound);
+    }
+    EXPECT_NEAR(sum.real(), trace, 1e-6 * std::max(1.0, std::abs(trace)) + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EigenSizeSweep,
+                         ::testing::Values(2, 3, 4, 6, 8, 12));
+
+} // namespace
+} // namespace vsgpu

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Unit and property tests for the FFT and spectrum estimator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "numeric/fft.hh"
+
+namespace vsgpu
+{
+namespace
+{
+
+TEST(Fft, NextPowerOfTwo)
+{
+    EXPECT_EQ(nextPowerOfTwo(1), 1u);
+    EXPECT_EQ(nextPowerOfTwo(2), 2u);
+    EXPECT_EQ(nextPowerOfTwo(3), 4u);
+    EXPECT_EQ(nextPowerOfTwo(1000), 1024u);
+}
+
+TEST(Fft, ImpulseHasFlatSpectrum)
+{
+    std::vector<Complex> data(8, Complex{});
+    data[0] = Complex{1.0, 0.0};
+    fft(data);
+    for (const auto &x : data) {
+        EXPECT_NEAR(x.real(), 1.0, 1e-12);
+        EXPECT_NEAR(x.imag(), 0.0, 1e-12);
+    }
+}
+
+TEST(Fft, SingleToneLandsInOneBin)
+{
+    const std::size_t n = 64;
+    const int k0 = 5;
+    std::vector<Complex> data(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double phase = 2.0 * M_PI * k0 *
+                             static_cast<double>(i) /
+                             static_cast<double>(n);
+        data[i] = Complex{std::cos(phase), 0.0};
+    }
+    fft(data);
+    // Real cosine: energy at bins k0 and n - k0, amplitude n/2.
+    EXPECT_NEAR(std::abs(data[k0]), n / 2.0, 1e-9);
+    EXPECT_NEAR(std::abs(data[n - k0]), n / 2.0, 1e-9);
+    for (std::size_t k = 0; k < n; ++k) {
+        if (k == static_cast<std::size_t>(k0) || k == n - k0)
+            continue;
+        EXPECT_NEAR(std::abs(data[k]), 0.0, 1e-9) << "bin " << k;
+    }
+}
+
+TEST(Fft, ForwardInverseRoundTrip)
+{
+    Rng rng(99);
+    std::vector<Complex> data(128);
+    for (auto &x : data)
+        x = Complex{rng.normal(), rng.normal()};
+    const auto original = data;
+    fft(data);
+    fft(data, true);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+        EXPECT_NEAR(data[i].real(), original[i].real(), 1e-10);
+        EXPECT_NEAR(data[i].imag(), original[i].imag(), 1e-10);
+    }
+}
+
+TEST(Fft, ParsevalHolds)
+{
+    Rng rng(7);
+    std::vector<Complex> data(256);
+    double timePower = 0.0;
+    for (auto &x : data) {
+        x = Complex{rng.normal(), 0.0};
+        timePower += std::norm(x);
+    }
+    fft(data);
+    double freqPower = 0.0;
+    for (const auto &x : data)
+        freqPower += std::norm(x);
+    EXPECT_NEAR(freqPower / data.size(), timePower,
+                1e-9 * timePower);
+}
+
+TEST(FftDeath, RejectsNonPowerOfTwo)
+{
+    setLogQuiet(true);
+    std::vector<Complex> data(12);
+    EXPECT_DEATH(fft(data), "");
+}
+
+TEST(PowerSpectrumTest, FindsSinusoidFrequency)
+{
+    const double fs = 700e6;
+    const double f0 = 50e6;
+    std::vector<double> samples(16384);
+    for (std::size_t i = 0; i < samples.size(); ++i)
+        samples[i] = 2.0 + std::sin(2.0 * M_PI * f0 *
+                                    static_cast<double>(i) / fs);
+    const auto psd = powerSpectrum(samples, fs, 2048);
+    double peakF = 0.0, peakP = 0.0;
+    for (const auto &p : psd) {
+        if (p.power > peakP) {
+            peakP = p.power;
+            peakF = p.freqHz;
+        }
+    }
+    EXPECT_NEAR(peakF, f0, fs / 2048.0 * 2.0);
+}
+
+TEST(PowerSpectrumTest, LowFrequencySignalConcentratesBelowCut)
+{
+    const double fs = 700e6;
+    std::vector<double> samples(8192);
+    for (std::size_t i = 0; i < samples.size(); ++i)
+        samples[i] = std::sin(2.0 * M_PI * 2e6 *
+                              static_cast<double>(i) / fs);
+    const auto psd = powerSpectrum(samples, fs, 1024);
+    EXPECT_GT(spectralFractionBelow(psd, 10e6), 0.9);
+    EXPECT_LT(spectralFractionBelow(psd, 0.5e6), 0.5);
+}
+
+TEST(PowerSpectrumTest, WhiteNoiseSpreadsEvenly)
+{
+    Rng rng(13);
+    std::vector<double> samples(32768);
+    for (auto &s : samples)
+        s = rng.normal();
+    const auto psd = powerSpectrum(samples, 1.0, 1024);
+    // Half the band holds roughly half the power.
+    EXPECT_NEAR(spectralFractionBelow(psd, 0.25), 0.5, 0.1);
+}
+
+TEST(PowerSpectrumTest, SegmentClampedToSeriesLength)
+{
+    std::vector<double> samples(100, 1.0);
+    const auto psd = powerSpectrum(samples, 1.0, 4096);
+    EXPECT_GE(psd.size(), 5u); // clamped segment still produces bins
+}
+
+TEST(PowerSpectrumDeath, RejectsTinySeries)
+{
+    setLogQuiet(true);
+    std::vector<double> samples(4, 1.0);
+    EXPECT_DEATH(powerSpectrum(samples, 1.0), "");
+}
+
+} // namespace
+} // namespace vsgpu

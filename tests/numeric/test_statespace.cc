@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Unit tests for matrix exponential, ZOH discretization, stability,
+ * and disturbance-gain analysis.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "numeric/statespace.hh"
+
+namespace vsgpu
+{
+namespace
+{
+
+TEST(Expm, ZeroMatrixIsIdentity)
+{
+    const Matrix e = expm(Matrix(3, 3));
+    for (std::size_t i = 0; i < 3; ++i)
+        for (std::size_t j = 0; j < 3; ++j)
+            EXPECT_NEAR(e(i, j), i == j ? 1.0 : 0.0, 1e-14);
+}
+
+TEST(Expm, DiagonalExponentiatesEntrywise)
+{
+    Matrix a{{1.0, 0.0}, {0.0, -2.0}};
+    const Matrix e = expm(a);
+    EXPECT_NEAR(e(0, 0), std::exp(1.0), 1e-12);
+    EXPECT_NEAR(e(1, 1), std::exp(-2.0), 1e-12);
+    EXPECT_NEAR(e(0, 1), 0.0, 1e-14);
+}
+
+TEST(Expm, RotationGeneratesSineCosine)
+{
+    const double t = 0.7;
+    Matrix a{{0.0, -t}, {t, 0.0}};
+    const Matrix e = expm(a);
+    EXPECT_NEAR(e(0, 0), std::cos(t), 1e-12);
+    EXPECT_NEAR(e(0, 1), -std::sin(t), 1e-12);
+    EXPECT_NEAR(e(1, 0), std::sin(t), 1e-12);
+}
+
+TEST(Expm, LargeNormUsesScaling)
+{
+    Matrix a{{-50.0, 0.0}, {0.0, -80.0}};
+    const Matrix e = expm(a);
+    EXPECT_NEAR(e(0, 0), std::exp(-50.0), 1e-20);
+    EXPECT_GE(e(1, 1), 0.0);
+}
+
+TEST(Discretize, ScalarFirstOrderMatchesClosedForm)
+{
+    // x' = -a x + b u  ->  Ad = e^{-aT}, Bd = (1-e^{-aT}) b / a.
+    const double a = 3.0, b = 2.0, T = 0.25;
+    StateSpace sys;
+    sys.a = Matrix{{-a}};
+    sys.b = Matrix{{b}};
+    const auto d = discretizeZoh(sys, T);
+    EXPECT_NEAR(d.ad(0, 0), std::exp(-a * T), 1e-12);
+    EXPECT_NEAR(d.bd(0, 0), (1.0 - std::exp(-a * T)) * b / a, 1e-12);
+}
+
+TEST(Discretize, IntegratorBdEqualsT)
+{
+    // x' = u  ->  Ad = 1, Bd = T.
+    StateSpace sys;
+    sys.a = Matrix{{0.0}};
+    sys.b = Matrix{{1.0}};
+    const auto d = discretizeZoh(sys, 0.01);
+    EXPECT_NEAR(d.ad(0, 0), 1.0, 1e-14);
+    EXPECT_NEAR(d.bd(0, 0), 0.01, 1e-14);
+}
+
+TEST(Discretize, MultiInputShape)
+{
+    StateSpace sys;
+    sys.a = Matrix(3, 3);
+    sys.b = Matrix(3, 4, 0.5);
+    const auto d = discretizeZoh(sys, 0.1);
+    EXPECT_EQ(d.ad.rows(), 3u);
+    EXPECT_EQ(d.bd.rows(), 3u);
+    EXPECT_EQ(d.bd.cols(), 4u);
+}
+
+TEST(ClosedLoop, StableForNegativeFeedback)
+{
+    // x' = u with u = -k x: discretized 1 - kT, stable for kT < 2.
+    StateSpace sys;
+    sys.a = Matrix{{0.0}};
+    sys.b = Matrix{{1.0}};
+    const Matrix k{{-5.0}};
+    const Matrix ad = closedLoopDiscrete(sys, k, 0.1);
+    EXPECT_TRUE(isDiscreteStable(ad));
+    EXPECT_NEAR(ad(0, 0), std::exp(-0.5), 1e-12);
+}
+
+TEST(ClosedLoop, UnstableForPositiveFeedback)
+{
+    StateSpace sys;
+    sys.a = Matrix{{0.0}};
+    sys.b = Matrix{{1.0}};
+    const Matrix k{{5.0}};
+    const Matrix ad = closedLoopDiscrete(sys, k, 0.1);
+    EXPECT_FALSE(isDiscreteStable(ad));
+}
+
+TEST(DisturbanceGain, DcGainOfFirstOrder)
+{
+    // x+ = a x + w: gain at DC is 1 / (1 - a).
+    Matrix ad{{0.5}};
+    const auto g = disturbanceGain(ad, 0.0, 1e-3);
+    ASSERT_EQ(g.size(), 1u);
+    EXPECT_NEAR(g[0], 2.0, 1e-9);
+}
+
+TEST(DisturbanceGain, NyquistGainOfFirstOrder)
+{
+    // At Nyquist z = -1: gain = 1 / |(-1) - a| = 1 / (1 + a).
+    Matrix ad{{0.5}};
+    const double nyquist = 0.5 / 1e-3;
+    const auto g = disturbanceGain(ad, nyquist, 1e-3);
+    EXPECT_NEAR(g[0], 1.0 / 1.5, 1e-9);
+}
+
+TEST(PeakDisturbanceGain, AtLeastDcGain)
+{
+    Matrix ad{{0.9}};
+    const double peak = peakDisturbanceGain(ad, 1e-3, 64);
+    EXPECT_GE(peak, 1.0 / (1.0 - 0.9) - 1e-6);
+}
+
+TEST(SimulateDiscrete, TracksKnownRecursion)
+{
+    Matrix ad{{0.5}};
+    std::vector<std::vector<double>> w = {{1.0}, {0.0}, {0.0}};
+    const auto traj = simulateDiscrete(ad, {0.0}, w);
+    ASSERT_EQ(traj.size(), 3u);
+    EXPECT_NEAR(traj[0][0], 1.0, 1e-14);
+    EXPECT_NEAR(traj[1][0], 0.5, 1e-14);
+    EXPECT_NEAR(traj[2][0], 0.25, 1e-14);
+}
+
+TEST(SimulateDiscrete, StableSystemDecays)
+{
+    Matrix ad{{0.8, 0.1}, {0.0, 0.7}};
+    std::vector<std::vector<double>> w(200, {0.0, 0.0});
+    const auto traj = simulateDiscrete(ad, {1.0, 1.0}, w);
+    EXPECT_LT(std::abs(traj.back()[0]), 1e-8);
+    EXPECT_LT(std::abs(traj.back()[1]), 1e-8);
+}
+
+/** Property: ZOH discretization of a stable continuous system is
+ *  stable for any sampling period. */
+TEST(Discretize, StabilityPreservedUnderSampling)
+{
+    StateSpace sys;
+    sys.a = Matrix{{-1.0, 0.5}, {0.0, -2.0}};
+    sys.b = Matrix(2, 1);
+    for (double period : {1e-9, 1e-6, 1e-3, 0.1, 1.0, 10.0}) {
+        const auto d = discretizeZoh(sys, period);
+        EXPECT_TRUE(isDiscreteStable(d.ad)) << "period " << period;
+    }
+}
+
+} // namespace
+} // namespace vsgpu

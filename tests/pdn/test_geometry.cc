@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Tests for generalized stacking geometries (the design-space
+ * extension beyond the paper's fixed 4x4 arrangement).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "pdn/impedance.hh"
+#include "pdn/vs_pdn.hh"
+
+namespace vsgpu
+{
+namespace
+{
+
+VsPdnOptions
+geometry(int layers, int columns)
+{
+    VsPdnOptions options;
+    options.numLayers = layers;
+    options.numColumns = columns;
+    options.supplyVolts = static_cast<double>(layers) * 1.025;
+    return options;
+}
+
+TEST(VsGeometry, DefaultMatchesPaperConfig)
+{
+    VsPdn pdn;
+    EXPECT_EQ(pdn.layers(), 4);
+    EXPECT_EQ(pdn.columns(), 4);
+    EXPECT_EQ(pdn.numSms(), 16);
+}
+
+TEST(VsGeometry, InstanceMappingConsistent)
+{
+    VsPdn pdn(geometry(2, 8));
+    EXPECT_EQ(pdn.numSms(), 16);
+    for (int layer = 0; layer < 2; ++layer) {
+        for (int col = 0; col < 8; ++col) {
+            const int sm = pdn.smIndexAt(layer, col);
+            EXPECT_EQ(pdn.layerOf(sm), layer);
+            EXPECT_EQ(pdn.columnOf(sm), col);
+        }
+    }
+}
+
+TEST(VsGeometry, AdjacentLayersShareBoundaries)
+{
+    VsPdn pdn(geometry(8, 2));
+    for (int col = 0; col < 2; ++col)
+        for (int layer = 0; layer + 1 < 8; ++layer)
+            EXPECT_EQ(pdn.smBottomNode(pdn.smIndexAt(layer, col)),
+                      pdn.smTopNode(pdn.smIndexAt(layer + 1, col)));
+}
+
+TEST(VsGeometry, NominalLayerVoltageScalesWithDepth)
+{
+    VsPdn two(geometry(2, 8));
+    VsPdn eight(geometry(8, 2));
+    EXPECT_NEAR(two.nominalLayerVolts(), 1.025, 1e-9);
+    EXPECT_NEAR(eight.nominalLayerVolts(), 1.025, 1e-9);
+}
+
+TEST(VsGeometry, DcDividesEvenlyForAllGeometries)
+{
+    for (const auto &[layers, columns] :
+         {std::pair{2, 8}, std::pair{4, 4}, std::pair{8, 2}}) {
+        VsPdn pdn(geometry(layers, columns));
+        TransientSim sim(pdn.netlist(), config::clockPeriod);
+        for (int sm = 0; sm < pdn.numSms(); ++sm)
+            sim.setCurrent(pdn.smCurrentSource(sm), 5.0);
+        sim.initToDc();
+        for (int sm = 0; sm < pdn.numSms(); ++sm)
+            EXPECT_NEAR(pdn.smVoltage(sim, sm), 1.025, 0.06)
+                << layers << "x" << columns << " sm " << sm;
+    }
+}
+
+TEST(VsGeometry, SupplyCurrentScalesInverselyWithDepth)
+{
+    const auto supplyAmps = [](int layers, int columns) {
+        VsPdn pdn(geometry(layers, columns));
+        TransientSim sim(pdn.netlist(), config::clockPeriod);
+        for (int sm = 0; sm < pdn.numSms(); ++sm)
+            sim.setCurrent(pdn.smCurrentSource(sm), 6.0);
+        sim.initToDc();
+        for (int i = 0; i < 1500; ++i)
+            sim.step();
+        return sim.sourceCurrent(pdn.supplySource());
+    };
+    const double two = supplyAmps(2, 8);
+    const double eight = supplyAmps(8, 2);
+    EXPECT_NEAR(two / eight, 4.0, 0.3);
+}
+
+TEST(VsGeometry, ResidualImpedanceGrowsWithDepth)
+{
+    VsPdn shallow(geometry(2, 8));
+    VsPdn deep(geometry(8, 2));
+    ImpedanceAnalyzer sa(shallow), da(deep);
+    EXPECT_GT(da.residualImpedance(1e6, true),
+              sa.residualImpedance(1e6, true));
+}
+
+TEST(VsGeometry, EqualizerCountMatchesGeometry)
+{
+    VsPdnOptions options = geometry(8, 2);
+    options.crIvrEffOhms = 0.1;
+    VsPdn pdn(options);
+    // One cell per adjacent layer pair per column: 7 x 2.
+    EXPECT_EQ(pdn.equalizerIndices().size(), 14u);
+}
+
+TEST(VsGeometryDeath, RejectsDegenerateStacks)
+{
+    setLogQuiet(true);
+    VsPdnOptions flat;
+    flat.numLayers = 1;
+    flat.numColumns = 16;
+    EXPECT_DEATH(VsPdn{flat}, "");
+}
+
+} // namespace
+} // namespace vsgpu

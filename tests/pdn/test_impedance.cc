@@ -1,0 +1,261 @@
+/**
+ * @file
+ * Tests for the effective-impedance analysis (paper Section III-B and
+ * Fig. 3): decomposition properties, the characteristic shapes, and
+ * CR-IVR suppression.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "circuit/ac.hh"
+#include "common/logging.hh"
+#include "ivr/cr_ivr.hh"
+#include "pdn/impedance.hh"
+
+namespace vsgpu
+{
+namespace
+{
+
+TEST(LogFrequencyGrid, EndpointsAndMonotonicity)
+{
+    const auto grid = logFrequencyGrid(1e6, 1e9, 10);
+    ASSERT_EQ(grid.size(), 10u);
+    EXPECT_NEAR(grid.front(), 1e6, 1.0);
+    EXPECT_NEAR(grid.back(), 1e9, 1e3);
+    for (std::size_t i = 1; i < grid.size(); ++i)
+        EXPECT_GT(grid[i], grid[i - 1]);
+}
+
+TEST(LogFrequencyGridDeath, RejectsBadRanges)
+{
+    setLogQuiet(true);
+    EXPECT_DEATH(logFrequencyGrid(0.0, 1e6, 5), "");
+    EXPECT_DEATH(logFrequencyGrid(1e6, 1e3, 5), "");
+    EXPECT_DEATH(logFrequencyGrid(1e3, 1e6, 1), "");
+}
+
+class ImpedanceShapes : public ::testing::Test
+{
+  protected:
+    ImpedanceShapes() : pdn_(VsPdnOptions{}), analyzer_(pdn_) {}
+    VsPdn pdn_;
+    ImpedanceAnalyzer analyzer_;
+};
+
+TEST_F(ImpedanceShapes, ResidualDominatesAtLowFrequency)
+{
+    // Paper Fig. 3(a): Z_R (same layer) has the highest magnitude in
+    // the low-frequency range.
+    const double f = 2e6;
+    const double zR = analyzer_.residualImpedance(f, true);
+    EXPECT_GT(zR, analyzer_.globalImpedance(f));
+    EXPECT_GT(zR, analyzer_.stackImpedance(f));
+    EXPECT_GT(zR, analyzer_.residualImpedance(f, false));
+}
+
+TEST_F(ImpedanceShapes, ResidualPlateauIsFlatNearDc)
+{
+    const double z1 = analyzer_.residualImpedance(1e6, true);
+    const double z2 = analyzer_.residualImpedance(1.4e6, true);
+    EXPECT_NEAR(z1 / z2, 1.0, 0.30);
+    // And rolls off strongly at high frequency.
+    EXPECT_LT(analyzer_.residualImpedance(3e8, true), 0.3 * z1);
+}
+
+TEST_F(ImpedanceShapes, GlobalResonanceNear70MHz)
+{
+    // Paper Fig. 3(a): Z_G peaks around 70 MHz.
+    double peakF = 0.0, peakZ = 0.0;
+    for (double f : logFrequencyGrid(5e6, 5e8, 60)) {
+        const double z = analyzer_.globalImpedance(f);
+        if (z > peakZ) {
+            peakZ = z;
+            peakF = f;
+        }
+    }
+    EXPECT_GT(peakF, 40e6);
+    EXPECT_LT(peakF, 130e6);
+    // The peak clearly stands above the low-frequency global value.
+    EXPECT_GT(peakZ, 5.0 * analyzer_.globalImpedance(2e6));
+}
+
+TEST_F(ImpedanceShapes, SameLayerResidualExceedsCrossLayer)
+{
+    for (double f : {1e6, 1e7, 5e7})
+        EXPECT_GT(analyzer_.residualImpedance(f, true),
+                  analyzer_.residualImpedance(f, false));
+}
+
+TEST_F(ImpedanceShapes, StackImpedanceColumnSymmetry)
+{
+    // Columns 0 and 3 / 1 and 2 are mirror images in the chain grid.
+    const double f = 3e7;
+    EXPECT_NEAR(analyzer_.stackImpedance(f, 0),
+                analyzer_.stackImpedance(f, 3), 1e-9);
+    EXPECT_NEAR(analyzer_.stackImpedance(f, 1),
+                analyzer_.stackImpedance(f, 2), 1e-9);
+}
+
+TEST_F(ImpedanceShapes, PeakImpedanceIsUpperEnvelope)
+{
+    for (double f : {1e6, 7e7, 3e8}) {
+        const double peak = analyzer_.peakImpedance(f);
+        EXPECT_GE(peak, analyzer_.globalImpedance(f) - 1e-12);
+        EXPECT_GE(peak, analyzer_.stackImpedance(f) - 1e-12);
+        EXPECT_GE(peak, analyzer_.residualImpedance(f, true) - 1e-12);
+    }
+}
+
+TEST(ImpedanceCrIvr, SuppressesResidualPlateau)
+{
+    // Paper Fig. 3(b): the CR-IVR reduces the impedance peaks.
+    VsPdn bare;
+    ImpedanceAnalyzer bareAn(bare);
+
+    const CrIvrDesign design(0.2 * config::gpuDieAreaMm2);
+    VsPdnOptions options;
+    options.crIvrEffOhms = design.effOhmsPerCell();
+    options.crIvrFlyCapF = design.flyCapPerCellF();
+    VsPdn reg(options);
+    ImpedanceAnalyzer regAn(reg);
+
+    for (double f : {1e6, 4e6}) {
+        EXPECT_LT(regAn.residualImpedance(f, true),
+                  0.5 * bareAn.residualImpedance(f, true))
+            << "f=" << f;
+    }
+    // The cell still helps, more weakly, into the middle band.
+    EXPECT_LT(regAn.residualImpedance(2e7, true),
+              0.8 * bareAn.residualImpedance(2e7, true));
+}
+
+TEST(ImpedanceCrIvr, SuppressionScalesWithArea)
+{
+    double prev = 1e9;
+    for (double areaFraction : {0.1, 0.5, 2.0}) {
+        const CrIvrDesign design(areaFraction * config::gpuDieAreaMm2);
+        VsPdnOptions options;
+        options.crIvrEffOhms = design.effOhmsPerCell();
+        options.crIvrFlyCapF = design.flyCapPerCellF();
+        VsPdn pdn(options);
+        ImpedanceAnalyzer analyzer(pdn);
+        const double z = analyzer.residualImpedance(2e6, true);
+        EXPECT_LT(z, prev);
+        prev = z;
+    }
+}
+
+TEST(ImpedanceCrIvr, LargeAreaMeetsGuaranteeBound)
+{
+    // The circuit-only sizing (1.72x GPU area) must pull every
+    // impedance below the 0.1-ohm bound the paper derives.
+    const CrIvrDesign design(config::circuitOnlyIvrAreaMm2);
+    VsPdnOptions options;
+    options.crIvrEffOhms = design.effOhmsPerCell();
+    options.crIvrFlyCapF = design.flyCapPerCellF();
+    VsPdn pdn(options);
+    ImpedanceAnalyzer analyzer(pdn);
+    for (double f : logFrequencyGrid(1e6, 5e8, 25))
+        EXPECT_LT(analyzer.peakImpedance(f), 0.1) << "f=" << f;
+}
+
+TEST(ImpedanceSweepTest, SweepMatchesPointQueries)
+{
+    VsPdn pdn;
+    ImpedanceAnalyzer analyzer(pdn);
+    const std::vector<double> freqs = {1e6, 1e7, 1e8};
+    const auto sweep = analyzer.sweep(freqs);
+    ASSERT_EQ(sweep.size(), 3u);
+    for (std::size_t i = 0; i < 3; ++i) {
+        EXPECT_DOUBLE_EQ(sweep[i].freqHz, freqs[i]);
+        EXPECT_DOUBLE_EQ(sweep[i].zGlobal,
+                         analyzer.globalImpedance(freqs[i]));
+        EXPECT_DOUBLE_EQ(sweep[i].zResidualSameLayer,
+                         analyzer.residualImpedance(freqs[i], true));
+    }
+}
+
+TEST(ImpedanceDecomposition, ComponentsSumToSingleSmLoad)
+{
+    // The global + stack + residual patterns of a unit load at SM
+    // (0,0) must reconstruct that load exactly — the decomposition
+    // is a partition, not an approximation.
+    std::vector<double> total(config::numSMs, 0.0);
+    const double global = 1.0 / config::numSMs;
+    for (int sm = 0; sm < config::numSMs; ++sm)
+        total[static_cast<std::size_t>(sm)] += global;
+    // Stack component of a unit load in column 0.
+    for (int sm = 0; sm < config::numSMs; ++sm) {
+        const double colMean =
+            VsPdn::smColumn(sm) == 0
+                ? 1.0 / config::numLayers
+                : 0.0;
+        total[static_cast<std::size_t>(sm)] += colMean - global;
+    }
+    // Residual.
+    for (int layer = 0; layer < config::numLayers; ++layer) {
+        const int sm = VsPdn::smAt(layer, 0);
+        total[static_cast<std::size_t>(sm)] +=
+            (layer == 0 ? 1.0 : 0.0) - 1.0 / config::numLayers;
+    }
+    for (int sm = 0; sm < config::numSMs; ++sm) {
+        const double expected = sm == VsPdn::smAt(0, 0) ? 1.0 : 0.0;
+        EXPECT_NEAR(total[static_cast<std::size_t>(sm)], expected,
+                    1e-12)
+            << "sm " << sm;
+    }
+}
+
+TEST(ImpedanceDecomposition, LinearSuperpositionHolds)
+{
+    // The AC network is linear: the complex response to the full
+    // single-SM load equals the sum of the responses to its three
+    // components.  We verify through the public API by checking the
+    // triangle inequality becomes equality-like for magnitudes of a
+    // dominant component: |Z_single| <= |Z_G| + |Z_ST| + |Z_R|.
+    VsPdn pdn;
+    AcAnalysis ac(pdn.netlist());
+    const double f = 5e6;
+    const int sm = VsPdn::smAt(0, 0);
+    const auto respond = [&](const std::vector<double> &loads) {
+        std::vector<AcInjection> inj;
+        for (int s = 0; s < config::numSMs; ++s) {
+            const double a = loads[static_cast<std::size_t>(s)];
+            if (a == 0.0)
+                continue;
+            inj.push_back({pdn.smTopNode(s), Complex{-a, 0.0}});
+            inj.push_back({pdn.smBottomNode(s), Complex{a, 0.0}});
+        }
+        const auto v = ac.solve(f, inj);
+        return v[static_cast<std::size_t>(pdn.smTopNode(sm))] -
+               v[static_cast<std::size_t>(pdn.smBottomNode(sm))];
+    };
+
+    std::vector<double> single(config::numSMs, 0.0);
+    single[static_cast<std::size_t>(sm)] = 1.0;
+    std::vector<double> global(config::numSMs,
+                               1.0 / config::numSMs);
+    std::vector<double> stack(config::numSMs, 0.0);
+    for (int s = 0; s < config::numSMs; ++s)
+        stack[static_cast<std::size_t>(s)] =
+            (VsPdn::smColumn(s) == 0 ? 1.0 / config::numLayers
+                                     : 0.0) -
+            1.0 / config::numSMs;
+    std::vector<double> residual(config::numSMs, 0.0);
+    for (int layer = 0; layer < config::numLayers; ++layer)
+        residual[static_cast<std::size_t>(VsPdn::smAt(layer, 0))] =
+            (layer == 0 ? 1.0 : 0.0) - 1.0 / config::numLayers;
+
+    const Complex whole = respond(single);
+    const Complex sum =
+        respond(global) + respond(stack) + respond(residual);
+    EXPECT_NEAR(std::abs(whole - sum), 0.0,
+                1e-9 + 1e-6 * std::abs(whole));
+}
+
+} // namespace
+} // namespace vsgpu

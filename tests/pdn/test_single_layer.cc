@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Unit tests for the single-layer (conventional / IVR) PDN models.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "pdn/single_layer.hh"
+
+namespace vsgpu
+{
+namespace
+{
+
+TEST(SingleLayerPdn, DcRailNearSupply)
+{
+    SingleLayerOptions options;
+    options.supplyVolts = 1.05;
+    SingleLayerPdn pdn(options);
+    TransientSim sim(pdn.netlist(), config::clockPeriod);
+    for (int sm = 0; sm < config::numSMs; ++sm)
+        sim.setCurrent(pdn.smCurrentSource(sm), 6.0);
+    sim.initToDc();
+    for (int sm = 0; sm < config::numSMs; ++sm) {
+        const double v = pdn.smVoltage(sim, sm);
+        EXPECT_GT(v, 0.9);
+        EXPECT_LT(v, 1.05);
+    }
+}
+
+TEST(SingleLayerPdn, IrDropGrowsWithLoad)
+{
+    SingleLayerPdn pdn;
+    double prev = 10.0;
+    for (double amps : {1.0, 4.0, 8.0}) {
+        TransientSim sim(pdn.netlist(), config::clockPeriod);
+        for (int sm = 0; sm < config::numSMs; ++sm)
+            sim.setCurrent(pdn.smCurrentSource(sm), amps);
+        sim.initToDc();
+        const double v = pdn.smVoltage(sim, 0);
+        EXPECT_LT(v, prev);
+        prev = v;
+    }
+}
+
+TEST(SingleLayerPdn, IvrPlacementReducesDrop)
+{
+    // Supply at the package (IVR) sees less series resistance than
+    // the board-routed conventional supply.
+    const auto railAt = [](bool atPackage) {
+        SingleLayerOptions options;
+        options.supplyAtPackage = atPackage;
+        SingleLayerPdn pdn(options);
+        TransientSim sim(pdn.netlist(), config::clockPeriod);
+        for (int sm = 0; sm < config::numSMs; ++sm)
+            sim.setCurrent(pdn.smCurrentSource(sm), 6.0);
+        sim.initToDc();
+        return pdn.smVoltage(sim, 0);
+    };
+    EXPECT_GT(railAt(true), railAt(false));
+}
+
+TEST(SingleLayerPdn, AllSmsHaveDistinctNodes)
+{
+    SingleLayerPdn pdn;
+    for (int a = 0; a < config::numSMs; ++a)
+        for (int b = a + 1; b < config::numSMs; ++b)
+            EXPECT_NE(pdn.smNode(a), pdn.smNode(b));
+}
+
+TEST(SingleLayerPdn, LoadResistorsTracked)
+{
+    SingleLayerPdn pdn;
+    EXPECT_EQ(pdn.loadResistorIndices().size(),
+              static_cast<std::size_t>(config::numSMs));
+    SingleLayerOptions options;
+    options.includeLoadResistors = false;
+    SingleLayerPdn bare(options);
+    EXPECT_TRUE(bare.loadResistorIndices().empty());
+}
+
+TEST(SingleLayerPdn, SupplyDeliversTotalCurrent)
+{
+    SingleLayerPdn pdn;
+    TransientSim sim(pdn.netlist(), config::clockPeriod);
+    const double amps = 5.0;
+    for (int sm = 0; sm < config::numSMs; ++sm)
+        sim.setCurrent(pdn.smCurrentSource(sm), amps);
+    sim.initToDc();
+    for (int i = 0; i < 2000; ++i)
+        sim.step();
+    // All 16 loads' currents cross the single supply (plus the load
+    // resistors' draw) — unlike voltage stacking.
+    const double minExpected = amps * config::numSMs;
+    EXPECT_GT(sim.sourceCurrent(pdn.supplySource()), minExpected);
+}
+
+TEST(SingleLayerPdnDeath, BadIndicesPanic)
+{
+    setLogQuiet(true);
+    SingleLayerPdn pdn;
+    EXPECT_DEATH(pdn.smNode(-1), "");
+    EXPECT_DEATH(pdn.smNode(16), "");
+    EXPECT_DEATH(pdn.smCurrentSource(16), "");
+}
+
+} // namespace
+} // namespace vsgpu

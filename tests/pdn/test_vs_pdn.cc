@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Unit tests for the 4x4 voltage-stacked PDN model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "pdn/vs_pdn.hh"
+
+namespace vsgpu
+{
+namespace
+{
+
+TEST(VsPdn, SmLayerColumnMapping)
+{
+    // Paper convention: SM0-3 occupy the top domain (VDD..3/4 VDD).
+    EXPECT_EQ(VsPdn::smLayer(0), 0);
+    EXPECT_EQ(VsPdn::smLayer(3), 0);
+    EXPECT_EQ(VsPdn::smLayer(4), 1);
+    EXPECT_EQ(VsPdn::smLayer(15), 3);
+    EXPECT_EQ(VsPdn::smColumn(0), 0);
+    EXPECT_EQ(VsPdn::smColumn(5), 1);
+    EXPECT_EQ(VsPdn::smColumn(15), 3);
+    for (int layer = 0; layer < config::numLayers; ++layer)
+        for (int col = 0; col < config::smsPerLayer; ++col) {
+            const int sm = VsPdn::smAt(layer, col);
+            EXPECT_EQ(VsPdn::smLayer(sm), layer);
+            EXPECT_EQ(VsPdn::smColumn(sm), col);
+        }
+}
+
+TEST(VsPdn, TopLayerTouchesVddRail)
+{
+    VsPdn pdn;
+    for (int col = 0; col < config::smsPerLayer; ++col) {
+        EXPECT_EQ(pdn.smTopNode(VsPdn::smAt(0, col)),
+                  pdn.boundaryNode(config::numLayers, col));
+        EXPECT_EQ(pdn.smBottomNode(VsPdn::smAt(3, col)),
+                  pdn.boundaryNode(0, col));
+    }
+}
+
+TEST(VsPdn, AdjacentLayersShareBoundary)
+{
+    VsPdn pdn;
+    for (int col = 0; col < config::smsPerLayer; ++col)
+        for (int layer = 0; layer + 1 < config::numLayers; ++layer)
+            EXPECT_EQ(pdn.smBottomNode(VsPdn::smAt(layer, col)),
+                      pdn.smTopNode(VsPdn::smAt(layer + 1, col)));
+}
+
+TEST(VsPdn, NominalLayerVoltage)
+{
+    VsPdn pdn;
+    EXPECT_NEAR(pdn.nominalLayerVolts(), config::pcbVoltage / 4.0,
+                1e-12);
+}
+
+TEST(VsPdn, EqualizersOnlyWithCrIvr)
+{
+    VsPdn bare;
+    EXPECT_TRUE(bare.equalizerIndices().empty());
+    VsPdnOptions options;
+    options.crIvrEffOhms = 0.1;
+    VsPdn reg(options);
+    // 3 adjacent-layer cells per column x 4 columns.
+    EXPECT_EQ(reg.equalizerIndices().size(), 12u);
+}
+
+TEST(VsPdn, LoadResistorsPresentByDefault)
+{
+    VsPdn pdn;
+    EXPECT_EQ(pdn.loadResistorIndices().size(),
+              static_cast<std::size_t>(config::numSMs));
+    VsPdnOptions options;
+    options.includeLoadResistors = false;
+    VsPdn bare(options);
+    EXPECT_TRUE(bare.loadResistorIndices().empty());
+}
+
+TEST(VsPdn, DcOperatingPointDividesEvenly)
+{
+    VsPdn pdn;
+    TransientSim sim(pdn.netlist(), config::clockPeriod);
+    // Balanced nominal loads via the source-current setpoints.
+    const double amps = 5.0;
+    for (int sm = 0; sm < config::numSMs; ++sm)
+        sim.setCurrent(pdn.smCurrentSource(sm), amps);
+    sim.initToDc();
+    for (int sm = 0; sm < config::numSMs; ++sm) {
+        const double v = pdn.smVoltage(sim, sm);
+        EXPECT_NEAR(v, pdn.nominalLayerVolts(), 0.05)
+            << "sm " << sm;
+    }
+}
+
+TEST(VsPdn, BalancedTransientStaysQuiet)
+{
+    VsPdn pdn;
+    TransientSim sim(pdn.netlist(), config::clockPeriod);
+    for (int sm = 0; sm < config::numSMs; ++sm)
+        sim.setCurrent(pdn.smCurrentSource(sm), 5.0);
+    sim.initToDc();
+    for (int i = 0; i < 3000; ++i)
+        sim.step();
+    for (int sm = 0; sm < config::numSMs; ++sm)
+        EXPECT_NEAR(pdn.smVoltage(sim, sm),
+                    pdn.nominalLayerVolts(), 0.05);
+}
+
+TEST(VsPdn, ImbalanceDisturbsOnlyWithoutRegulation)
+{
+    // One layer draws extra; the CR-IVR version should show a much
+    // smaller deviation than the bare version.
+    const auto runDeviation = [](double effOhms) {
+        VsPdnOptions options;
+        if (effOhms > 0.0)
+            options.crIvrEffOhms = effOhms;
+        VsPdn pdn(options);
+        TransientSim sim(pdn.netlist(), config::clockPeriod);
+        for (int sm = 0; sm < config::numSMs; ++sm)
+            sim.setCurrent(pdn.smCurrentSource(sm),
+                           VsPdn::smLayer(sm) == 1 ? 8.0 : 4.0);
+        sim.initToDc();
+        for (int i = 0; i < 5000; ++i)
+            sim.step();
+        double worst = 0.0;
+        for (int sm = 0; sm < config::numSMs; ++sm)
+            worst = std::max(worst,
+                             std::abs(pdn.smVoltage(sim, sm) -
+                                      pdn.nominalLayerVolts()));
+        return worst;
+    };
+    const double bare = runDeviation(0.0);
+    const double regulated = runDeviation(0.02);
+    EXPECT_GT(bare, 2.0 * regulated);
+}
+
+TEST(VsPdn, SupplyCurrentMatchesStackCurrent)
+{
+    // In steady state the board supply carries one stack's worth of
+    // current (not the sum of all SM currents) — the VS benefit.
+    VsPdn pdn;
+    TransientSim sim(pdn.netlist(), config::clockPeriod);
+    const double amps = 6.0;
+    double loadResAmps = 0.0;
+    for (int sm = 0; sm < config::numSMs; ++sm)
+        sim.setCurrent(pdn.smCurrentSource(sm), amps);
+    sim.initToDc();
+    for (int i = 0; i < 3000; ++i)
+        sim.step();
+    // Per-column stack current = SM source + load resistor current.
+    loadResAmps = pdn.nominalLayerVolts() /
+                  pdn.options().params.smLoadOhms();
+    const double perColumn = amps + loadResAmps;
+    const double expected = perColumn * config::smsPerLayer;
+    EXPECT_NEAR(sim.sourceCurrent(pdn.supplySource()), expected,
+                expected * 0.05);
+}
+
+TEST(VsPdnDeath, BadIndicesPanic)
+{
+    setLogQuiet(true);
+    VsPdn pdn;
+    EXPECT_DEATH(pdn.smTopNode(-1), "");
+    EXPECT_DEATH(pdn.smTopNode(16), "");
+    EXPECT_DEATH(pdn.boundaryNode(5, 0), "");
+    EXPECT_DEATH(pdn.boundaryNode(0, 4), "");
+    EXPECT_DEATH(pdn.smCurrentSource(99), "");
+}
+
+} // namespace
+} // namespace vsgpu

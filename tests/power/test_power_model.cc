@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Unit tests for the GPUWattch-style SM power model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gpu/memory.hh"
+#include "power/power_model.hh"
+
+namespace vsgpu
+{
+namespace
+{
+
+SmCycleEvents
+eventsWith(OpClass op, int count, int lanesEach = 32)
+{
+    SmCycleEvents ev;
+    ev.issued[static_cast<std::size_t>(op)] = count;
+    ev.lanesActive = count * lanesEach;
+    ev.active = true;
+    ev.clocked = true;
+    return ev;
+}
+
+class PowerModelTest : public ::testing::Test
+{
+  protected:
+    MemorySystem mem_;
+    SmPowerModel model_;
+};
+
+TEST_F(PowerModelTest, IdleCycleHasNoDynamicEnergy)
+{
+    SmCycleEvents idle;
+    EXPECT_DOUBLE_EQ(model_.dynamicEnergy(idle), 0.0);
+}
+
+TEST_F(PowerModelTest, EnergyScalesWithIssueCount)
+{
+    const double one =
+        model_.dynamicEnergy(eventsWith(OpClass::FpAlu, 1));
+    const double two =
+        model_.dynamicEnergy(eventsWith(OpClass::FpAlu, 2));
+    EXPECT_NEAR(two, 2.0 * one, 1e-15);
+}
+
+TEST_F(PowerModelTest, SfuCostsMoreThanIntAlu)
+{
+    EXPECT_GT(model_.dynamicEnergy(eventsWith(OpClass::Sfu, 1)),
+              model_.dynamicEnergy(eventsWith(OpClass::IntAlu, 1)));
+}
+
+TEST_F(PowerModelTest, DivergenceReducesEnergy)
+{
+    const double full =
+        model_.dynamicEnergy(eventsWith(OpClass::FpAlu, 1, 32));
+    const double quarter =
+        model_.dynamicEnergy(eventsWith(OpClass::FpAlu, 1, 8));
+    EXPECT_LT(quarter, full);
+    // Only the lane-dependent fraction scales.
+    EXPECT_GT(quarter, full * (1.0 - model_.params().laneFraction));
+}
+
+TEST_F(PowerModelTest, FakeInstructionsCostEnergy)
+{
+    SmCycleEvents ev;
+    ev.fakeIssued = 3;
+    EXPECT_NEAR(model_.dynamicEnergy(ev),
+                3.0 * model_.params().fakeEnergy, 1e-15);
+}
+
+TEST_F(PowerModelTest, LeakageDropsWhenUnitsGate)
+{
+    Sm sm(0, SmConfig{}, mem_);
+    const double before = model_.leakagePower(sm, 100);
+    sm.requestGate(ExecUnitKind::Sfu, 100);
+    const double after = model_.leakagePower(sm, 101);
+    EXPECT_NEAR(before - after,
+                model_.params().unitLeakage[static_cast<std::size_t>(
+                    ExecUnitKind::Sfu)],
+                1e-12);
+}
+
+TEST_F(PowerModelTest, BaseLeakageNeverGates)
+{
+    Sm sm(0, SmConfig{}, mem_);
+    for (int u = 0; u < numExecUnits; ++u)
+        sm.requestGate(static_cast<ExecUnitKind>(u), 10);
+    EXPECT_NEAR(model_.leakagePower(sm, 11),
+                model_.params().baseLeakage, 1e-12);
+}
+
+TEST_F(PowerModelTest, ClockPowerOnlyWhenActiveAndClocked)
+{
+    Sm sm(0, SmConfig{}, mem_);
+    SmCycleEvents idleUnclocked;
+    idleUnclocked.active = true;
+    idleUnclocked.clocked = false;
+    SmCycleEvents idleClocked;
+    idleClocked.active = true;
+    idleClocked.clocked = true;
+    const double unclocked = model_.cyclePower(idleUnclocked, sm, 0);
+    const double clocked = model_.cyclePower(idleClocked, sm, 0);
+    EXPECT_NEAR(clocked - unclocked, model_.params().clockPower,
+                1e-12);
+}
+
+TEST_F(PowerModelTest, CyclePowerInPlausibleRange)
+{
+    Sm sm(0, SmConfig{}, mem_);
+    // Peak-ish cycle: two FP issues.
+    const double peak =
+        model_.cyclePower(eventsWith(OpClass::FpAlu, 2), sm, 0);
+    EXPECT_GT(peak, 5.0);
+    EXPECT_LT(peak, 20.0);
+    EXPECT_LE(peak, model_.peakPower() + 1e-9);
+}
+
+TEST_F(PowerModelTest, PeakPowerNearFermiClass)
+{
+    // An SM should peak in the high single digits to low teens of
+    // watts (paper Table I class machine).
+    EXPECT_GT(model_.peakPower(), 6.0);
+    EXPECT_LT(model_.peakPower(), 16.0);
+}
+
+TEST_F(PowerModelTest, TotalIssuedHelper)
+{
+    SmCycleEvents ev = eventsWith(OpClass::IntAlu, 1);
+    ev.issued[static_cast<std::size_t>(OpClass::Load)] = 1;
+    EXPECT_EQ(ev.totalIssued(), 2);
+}
+
+} // namespace
+} // namespace vsgpu

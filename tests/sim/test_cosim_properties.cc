@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Parameterized property tests of the co-simulator: invariants that
+ * must hold for EVERY benchmark on EVERY PDS configuration.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "sim/cosim.hh"
+#include "workloads/suite.hh"
+
+namespace vsgpu
+{
+namespace
+{
+
+using Param = std::tuple<PdsKind, Benchmark>;
+
+class CosimInvariants : public ::testing::TestWithParam<Param>
+{
+  protected:
+    CosimResult
+    run()
+    {
+        CosimConfig cfg;
+        cfg.pds = defaultPds(std::get<0>(GetParam()));
+        cfg.maxCycles = 15000;
+        CoSimulator sim(cfg);
+        return sim.run(scaledToInstrs(
+            workloadFor(std::get<1>(GetParam())), 400));
+    }
+};
+
+TEST_P(CosimInvariants, EnergyLedgerIsConsistent)
+{
+    const CosimResult r = run();
+    const auto &e = r.energy;
+    // Wall covers everything; each component non-negative.
+    EXPECT_GT(e.wall, 0.0);
+    EXPECT_GE(e.load, 0.0);
+    EXPECT_GE(e.pdn, 0.0);
+    EXPECT_GE(e.conversion, 0.0);
+    EXPECT_GE(e.crIvr, 0.0);
+    EXPECT_GE(e.overhead, 0.0);
+    EXPECT_GT(e.wall, e.load);
+    // The ledger closes within the capacitor-charging residue.
+    const double booked = e.load + e.pdn + e.conversion + e.crIvr +
+                          e.overhead;
+    EXPECT_NEAR(booked / e.wall, 1.0, 0.06);
+    // PDE in a physically sensible band.
+    EXPECT_GT(e.pde(), 0.6);
+    EXPECT_LT(e.pde(), 1.0);
+}
+
+TEST_P(CosimInvariants, VoltagesPhysicallyBounded)
+{
+    const CosimResult r = run();
+    EXPECT_GT(r.meanVoltage, 0.85);
+    EXPECT_LT(r.meanVoltage, 1.15);
+    EXPECT_LE(r.minVoltage, r.meanVoltage);
+    for (const auto &box : r.smNoise) {
+        EXPECT_LE(box.min, box.q1);
+        EXPECT_LE(box.q1, box.median);
+        EXPECT_LE(box.median, box.q3);
+        EXPECT_LE(box.q3, box.max);
+        EXPECT_GT(box.count, 0u);
+    }
+}
+
+TEST_P(CosimInvariants, HistogramAndRatesNormalized)
+{
+    const CosimResult r = run();
+    double sum = 0.0;
+    for (double f : r.imbalanceBins) {
+        EXPECT_GE(f, 0.0);
+        EXPECT_LE(f, 1.0);
+        sum += f;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+    EXPECT_GE(r.throttleRate, 0.0);
+    EXPECT_LE(r.throttleRate, 1.0);
+    EXPECT_GE(r.triggerRate, 0.0);
+    EXPECT_LE(r.triggerRate, 1.0);
+}
+
+TEST_P(CosimInvariants, DeterministicAcrossRuns)
+{
+    const CosimResult a = run();
+    const CosimResult b = run();
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_DOUBLE_EQ(a.energy.wall, b.energy.wall);
+    EXPECT_DOUBLE_EQ(a.minVoltage, b.minVoltage);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, CosimInvariants,
+    ::testing::Combine(
+        ::testing::Values(PdsKind::ConventionalVrm,
+                          PdsKind::SingleLayerIvr,
+                          PdsKind::VsCircuitOnly,
+                          PdsKind::VsCrossLayer),
+        ::testing::Values(Benchmark::Backprop, Benchmark::Heartwall,
+                          Benchmark::Bfs, Benchmark::Simpleatomic)),
+    [](const ::testing::TestParamInfo<Param> &info) {
+        std::string name =
+            std::string(pdsName(std::get<0>(info.param))) + "_" +
+            benchmarkName(std::get<1>(info.param));
+        for (char &c : name)
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        return name;
+    });
+
+} // namespace
+} // namespace vsgpu

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Fault-injection tests: verify the cross-layer stack behaves sanely
+ * — and that its protection is actually load-bearing — when parts of
+ * the loop are broken or stressed.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/cosim.hh"
+#include "workloads/suite.hh"
+
+namespace vsgpu
+{
+namespace
+{
+
+/** Settled minimum voltage over the last trace samples. */
+double
+settledFloor(const CosimResult &r)
+{
+    double floor = 1e9;
+    const std::size_t n = r.trace.size();
+    for (std::size_t i = n > 20 ? n - 20 : 0; i < n; ++i)
+        floor = std::min(floor, r.trace[i].minSmVolts);
+    return floor;
+}
+
+CosimResult
+worstCase(const ControllerConfig &controller)
+{
+    CosimConfig cfg;
+    cfg.pds = defaultPds(PdsKind::VsCrossLayer);
+    cfg.pds.controller = controller;
+    cfg.maxCycles = 6000;
+    cfg.gateLayerAtSec = 2e-6;
+    cfg.traceStride = 50;
+    return CoSimulator(cfg).run(
+        WorkloadFactory(uniformWorkload(10000)), 0.9);
+}
+
+TEST(FaultInjection, StuckDetectorDisablesProtection)
+{
+    // A detector stuck at nominal blinds the controller: the
+    // worst-case settles like the unprotected circuit-only design.
+    ControllerConfig healthy;
+    ControllerConfig blind;
+    blind.detector.stuckAtVolts = 1.0;
+
+    const double withControl = settledFloor(worstCase(healthy));
+    const double withoutControl = settledFloor(worstCase(blind));
+    EXPECT_GT(withControl, config::minSafeVoltage);
+    EXPECT_LT(withoutControl, withControl - 0.05);
+}
+
+TEST(FaultInjection, StuckLowDetectorThrottlesPermanently)
+{
+    // A detector stuck below threshold forces continuous smoothing:
+    // the workload still completes, just slower.
+    ControllerConfig stuck;
+    stuck.detector.stuckAtVolts = 0.8;
+    CosimConfig cfg;
+    cfg.pds = defaultPds(PdsKind::VsCrossLayer);
+    cfg.pds.controller = stuck;
+    cfg.maxCycles = 300000;
+    const CosimResult r = CoSimulator(cfg).run(
+        scaledToInstrs(workloadFor(Benchmark::Heartwall), 400));
+    EXPECT_TRUE(r.finished);
+    EXPECT_GT(r.throttleRate, 0.2);
+}
+
+TEST(FaultInjection, InfiniteLoopLatencyNeverActuates)
+{
+    ControllerConfig dead;
+    dead.loopLatency = 1u << 30; // commands never arrive
+    const CosimResult r = worstCase(dead);
+    // Equivalent to no protection.
+    EXPECT_LT(settledFloor(r), config::minSafeVoltage);
+}
+
+TEST(FaultInjection, ZeroAreaIvrStillSimulates)
+{
+    // Architectural smoothing without any CR-IVR: the run must stay
+    // numerically sane even though reliability is lost.
+    CosimConfig cfg;
+    cfg.pds = defaultPds(PdsKind::VsCrossLayer);
+    cfg.pds.ivrAreaFraction = 0.0;
+    cfg.maxCycles = 20000;
+    const CosimResult r = CoSimulator(cfg).run(
+        scaledToInstrs(workloadFor(Benchmark::Heartwall), 400));
+    // Unregulated stacks can ring a layer briefly through zero (no
+    // clamp diodes in the linear model); sanity means bounded, not
+    // safe.
+    EXPECT_GT(r.minVoltage, -0.5);
+    EXPECT_GT(r.meanVoltage, 0.8);
+    EXPECT_LT(r.meanVoltage, 1.2);
+}
+
+TEST(FaultInjection, PermanentPeakLoadOnOneSm)
+{
+    // One SM pinned at peak activity (a pathological kernel): the
+    // cross-layer system keeps every rail inside sane bounds.
+    struct PinnedFactory : ProgramFactory
+    {
+        int warpsPerSm() const override { return 8; }
+
+        std::unique_ptr<WarpProgram>
+        makeProgram(int sm, int warp) const override
+        {
+            WorkloadSpec heavy = uniformWorkload(4000);
+            WorkloadSpec light = uniformWorkload(4000);
+            // Dependence-serialize the light SMs to create a large
+            // sustained imbalance against SM 0.
+            light.phases[0].depChance = 1.0;
+            light.phases[0].depDistance = 1;
+            WorkloadFactory f(sm == 0 ? heavy : light);
+            return f.makeProgram(sm, warp);
+        }
+    };
+    CosimConfig cfg;
+    cfg.pds = defaultPds(PdsKind::VsCrossLayer);
+    cfg.maxCycles = 30000;
+    PinnedFactory factory;
+    const CosimResult r = CoSimulator(cfg).run(factory, 0.9);
+    EXPECT_GT(r.minVoltage, 0.5);
+}
+
+TEST(FaultInjection, GatingEveryLayerInTurnRecovers)
+{
+    // Serially halting different layers (re-running the scenario per
+    // layer) always recovers to the margin with smoothing on.
+    for (int layer = 0; layer < config::numLayers; ++layer) {
+        CosimConfig cfg;
+        cfg.pds = defaultPds(PdsKind::VsCrossLayer);
+        cfg.maxCycles = 6000;
+        cfg.gateLayerAtSec = 2e-6;
+        cfg.gatedLayer = layer;
+        cfg.traceStride = 50;
+        const CosimResult r = CoSimulator(cfg).run(
+            WorkloadFactory(uniformWorkload(10000)), 0.9);
+        EXPECT_GT(settledFloor(r), 0.75) << "layer " << layer;
+    }
+}
+
+} // namespace
+} // namespace vsgpu

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Unit tests for the PDS configuration presets (Table III rows).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/pds.hh"
+
+namespace vsgpu
+{
+namespace
+{
+
+TEST(Pds, NamesMatchTableIII)
+{
+    EXPECT_STREQ(pdsName(PdsKind::ConventionalVrm),
+                 "single-layer VRM");
+    EXPECT_STREQ(pdsName(PdsKind::SingleLayerIvr),
+                 "single-layer IVR");
+    EXPECT_STREQ(pdsName(PdsKind::VsCircuitOnly), "VS circuit-only");
+    EXPECT_STREQ(pdsName(PdsKind::VsCrossLayer), "VS cross-layer");
+}
+
+TEST(Pds, StackedFlag)
+{
+    EXPECT_FALSE(isVoltageStacked(PdsKind::ConventionalVrm));
+    EXPECT_FALSE(isVoltageStacked(PdsKind::SingleLayerIvr));
+    EXPECT_TRUE(isVoltageStacked(PdsKind::VsCircuitOnly));
+    EXPECT_TRUE(isVoltageStacked(PdsKind::VsCrossLayer));
+}
+
+TEST(Pds, CircuitOnlyDefaultsToGuaranteeSizing)
+{
+    const PdsOptions o = defaultPds(PdsKind::VsCircuitOnly);
+    EXPECT_NEAR(o.ivrAreaMm2(), config::circuitOnlyIvrAreaMm2, 1.0);
+    EXPECT_FALSE(o.smoothingEnabled);
+}
+
+TEST(Pds, CrossLayerDefaultsToPointTwo)
+{
+    const PdsOptions o = defaultPds(PdsKind::VsCrossLayer);
+    EXPECT_NEAR(o.ivrAreaFraction, 0.2, 1e-12);
+    EXPECT_TRUE(o.smoothingEnabled);
+}
+
+TEST(Pds, AreaOverheadsMatchTableIII)
+{
+    // Table III: conventional N/A (0), single-layer IVR 172.3 mm^2,
+    // circuit-only 912 mm^2 (1.72x), cross-layer ~105.8 mm^2 (0.2x).
+    EXPECT_DOUBLE_EQ(
+        pdsAreaOverheadMm2(defaultPds(PdsKind::ConventionalVrm)), 0.0);
+    EXPECT_NEAR(
+        pdsAreaOverheadMm2(defaultPds(PdsKind::SingleLayerIvr)),
+        172.3, 0.1);
+    EXPECT_NEAR(
+        pdsAreaOverheadMm2(defaultPds(PdsKind::VsCircuitOnly)), 912.0,
+        1.0);
+    const double crossLayer =
+        pdsAreaOverheadMm2(defaultPds(PdsKind::VsCrossLayer));
+    EXPECT_NEAR(crossLayer, 105.8, 3.0);
+}
+
+TEST(Pds, CrossLayerAreaReductionVsCircuitOnly)
+{
+    // Headline claim: ~88% area reduction.
+    const double circuitOnly =
+        pdsAreaOverheadMm2(defaultPds(PdsKind::VsCircuitOnly));
+    const double crossLayer =
+        pdsAreaOverheadMm2(defaultPds(PdsKind::VsCrossLayer));
+    EXPECT_NEAR(1.0 - crossLayer / circuitOnly, 0.88, 0.01);
+}
+
+} // namespace
+} // namespace vsgpu

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Unit tests for the workload specification types and their fluent
+ * builders.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workloads/spec.hh"
+
+namespace vsgpu
+{
+namespace
+{
+
+TEST(PhaseSpecTest, FluentBuildersSetFields)
+{
+    PhaseSpec p;
+    p.w(OpClass::FpAlu, 0.7)
+        .w(OpClass::Load, 0.3)
+        .len(123)
+        .dep(0.5, 7)
+        .div(0.25)
+        .rowHit(0.9)
+        .barrier();
+    EXPECT_DOUBLE_EQ(p.mix[static_cast<std::size_t>(OpClass::FpAlu)],
+                     0.7);
+    EXPECT_DOUBLE_EQ(p.mix[static_cast<std::size_t>(OpClass::Load)],
+                     0.3);
+    EXPECT_EQ(p.lengthInstrs, 123);
+    EXPECT_DOUBLE_EQ(p.depChance, 0.5);
+    EXPECT_EQ(p.depDistance, 7);
+    EXPECT_DOUBLE_EQ(p.divergence, 0.25);
+    EXPECT_DOUBLE_EQ(p.rowHitRate, 0.9);
+    EXPECT_TRUE(p.barrierAtEnd);
+}
+
+TEST(PhaseSpecTest, BuildersChainInAnyOrder)
+{
+    PhaseSpec p;
+    p.barrier().len(10).w(OpClass::IntAlu, 1.0);
+    EXPECT_TRUE(p.barrierAtEnd);
+    EXPECT_EQ(p.lengthInstrs, 10);
+}
+
+TEST(PhaseSpecTest, DefaultsAreSane)
+{
+    const PhaseSpec p;
+    EXPECT_FALSE(p.barrierAtEnd);
+    EXPECT_GT(p.lengthInstrs, 0);
+    EXPECT_DOUBLE_EQ(p.divergence, 1.0);
+    double total = 0.0;
+    for (double w : p.mix)
+        total += w;
+    EXPECT_DOUBLE_EQ(total, 0.0); // mixes are explicit
+}
+
+TEST(WorkloadSpecTest, LoopLengthCountsBarriers)
+{
+    WorkloadSpec s;
+    PhaseSpec a;
+    a.len(10);
+    PhaseSpec b;
+    b.len(20).barrier();
+    s.phases = {a, b};
+    EXPECT_EQ(s.loopLength(), 31); // 10 + 20 + 1 barrier
+}
+
+TEST(WorkloadSpecTest, TotalInstrsMultipliesRepeats)
+{
+    WorkloadSpec s;
+    PhaseSpec a;
+    a.len(50);
+    s.phases = {a};
+    s.repeats = 6;
+    EXPECT_EQ(s.totalInstrs(), 300);
+}
+
+TEST(WorkloadSpecTest, EmptyPhasesHaveZeroLoop)
+{
+    WorkloadSpec s;
+    EXPECT_EQ(s.loopLength(), 0);
+    EXPECT_EQ(s.totalInstrs(), 0);
+}
+
+} // namespace
+} // namespace vsgpu

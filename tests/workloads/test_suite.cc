@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Tests for the benchmark suite definitions, including parameterized
+ * health checks over all twelve benchmarks.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gpu/gpu.hh"
+#include "workloads/generator.hh"
+#include "workloads/suite.hh"
+
+namespace vsgpu
+{
+namespace
+{
+
+TEST(Suite, TwelveBenchmarksInPaperOrder)
+{
+    const auto &all = allBenchmarks();
+    ASSERT_EQ(all.size(), 12u);
+    EXPECT_EQ(all.front(), Benchmark::Backprop);
+    EXPECT_EQ(all.back(), Benchmark::Simpleatomic);
+}
+
+TEST(Suite, NamesMatchPaperFigures)
+{
+    EXPECT_STREQ(benchmarkName(Benchmark::Backprop), "backprop");
+    EXPECT_STREQ(benchmarkName(Benchmark::Blackscholes),
+                 "blackscholes");
+    EXPECT_STREQ(benchmarkName(Benchmark::Simpleatomic),
+                 "simpleatomic");
+}
+
+TEST(Suite, BackpropIsMostImbalancedHeartwallMostUniform)
+{
+    // Paper Fig. 17: backprop shows the largest inter-SM imbalance,
+    // heartwall the smallest.
+    const double backprop = workloadFor(Benchmark::Backprop).smJitter;
+    const double heartwall =
+        workloadFor(Benchmark::Heartwall).smJitter;
+    for (Benchmark b : allBenchmarks()) {
+        const double j = workloadFor(b).smJitter;
+        EXPECT_LE(j, backprop) << benchmarkName(b);
+        EXPECT_GE(j, heartwall) << benchmarkName(b);
+    }
+}
+
+TEST(Suite, UniformWorkloadHasNoJitter)
+{
+    const WorkloadSpec u = uniformWorkload();
+    EXPECT_EQ(u.smJitter, 0.0);
+    EXPECT_EQ(u.warpJitter, 0.0);
+}
+
+TEST(Suite, ResonantWorkloadAlternatesPhases)
+{
+    const WorkloadSpec r = resonantWorkload(200, 4);
+    ASSERT_EQ(r.phases.size(), 2u);
+    EXPECT_GT(r.phases[0].mix[static_cast<std::size_t>(
+                  OpClass::FpAlu)],
+              0.5);
+    EXPECT_NEAR(r.phases[1].depChance, 1.0, 1e-12);
+}
+
+TEST(Suite, ScaledToInstrsAdjustsRepeats)
+{
+    WorkloadSpec spec = workloadFor(Benchmark::Srad);
+    const WorkloadSpec scaled = scaledToInstrs(spec, 10000);
+    EXPECT_NEAR(scaled.totalInstrs(), 10000,
+                scaled.loopLength());
+}
+
+class SuiteSweep : public ::testing::TestWithParam<Benchmark>
+{
+};
+
+TEST_P(SuiteSweep, SpecIsWellFormed)
+{
+    const WorkloadSpec spec = workloadFor(GetParam());
+    EXPECT_FALSE(spec.name.empty());
+    EXPECT_FALSE(spec.phases.empty());
+    EXPECT_GT(spec.repeats, 0);
+    EXPECT_GT(spec.warpsPerSm, 0);
+    EXPECT_LE(spec.warpsPerSm, config::warpsPerSM);
+    EXPECT_GE(spec.l1HitRate, 0.0);
+    EXPECT_LE(spec.l1HitRate, 1.0);
+    EXPECT_GT(spec.totalInstrs(), 500);
+    for (const auto &phase : spec.phases) {
+        double total = 0.0;
+        for (double w : phase.mix)
+            total += w;
+        EXPECT_GT(total, 0.0);
+        EXPECT_GT(phase.lengthInstrs, 0);
+        EXPECT_GE(phase.divergence, 0.0);
+        EXPECT_LE(phase.divergence, 1.0);
+    }
+}
+
+TEST_P(SuiteSweep, RunsToCompletionOnGpu)
+{
+    WorkloadSpec spec = workloadFor(GetParam());
+    // Shrink for test runtime but keep the structure.
+    spec = scaledToInstrs(spec, 400);
+    GpuConfig cfg;
+    cfg.memory.l1HitRate = spec.l1HitRate;
+    Gpu gpu(cfg);
+    WorkloadFactory factory(spec);
+    gpu.launch(factory);
+    while (!gpu.done() && gpu.cycle() < 400000)
+        gpu.step();
+    EXPECT_TRUE(gpu.done()) << benchmarkName(GetParam());
+}
+
+TEST_P(SuiteSweep, IssueRateInPlausibleRange)
+{
+    WorkloadSpec spec = workloadFor(GetParam());
+    spec = scaledToInstrs(spec, 1200);
+    GpuConfig cfg;
+    cfg.memory.l1HitRate = spec.l1HitRate;
+    Gpu gpu(cfg);
+    WorkloadFactory factory(spec);
+    gpu.launch(factory);
+    while (!gpu.done() && gpu.cycle() < 600000)
+        gpu.step();
+    double rate = 0.0;
+    for (int sm = 0; sm < gpu.numSMs(); ++sm)
+        rate += gpu.sm(sm).avgIssueRate();
+    rate /= gpu.numSMs();
+    // Paper Section IV-C: 0.8-1.8 warps/cycle for typical kernels;
+    // memory/atomic-bound outliers fall below.
+    EXPECT_GT(rate, 0.15) << benchmarkName(GetParam());
+    EXPECT_LT(rate, 2.0) << benchmarkName(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, SuiteSweep,
+    ::testing::ValuesIn(allBenchmarks()),
+    [](const ::testing::TestParamInfo<Benchmark> &info) {
+        return benchmarkName(info.param);
+    });
+
+} // namespace
+} // namespace vsgpu

@@ -1,0 +1,282 @@
+/**
+ * @file
+ * vsgpu — command-line driver for the voltage-stacked GPU simulator.
+ *
+ * Subcommands:
+ *   vsgpu list
+ *       List benchmarks and PDS configurations.
+ *   vsgpu run [options]
+ *       Co-simulate a workload on a PDS configuration.
+ *   vsgpu impedance [--area F]
+ *       Effective-impedance sweep of the stacked PDN.
+ *   vsgpu export-trace --benchmark NAME --out FILE [--sms N]
+ *       Export a generated workload as a textual warp trace.
+ *
+ * run options:
+ *   --pds vrm|ivr|vs|cross      PDS configuration  [cross]
+ *   --benchmark NAME            paper benchmark    [hotspot]
+ *   --trace FILE                replay a warp-trace file instead
+ *   --instrs N                  instructions per warp [1500]
+ *   --cycles N                  cycle budget       [200000]
+ *   --area F                    CR-IVR area, x GPU [config default]
+ *   --threshold V               smoothing trigger  [0.9]
+ *   --halt-layer L@T            halt layer L at time T seconds
+ *   --wave FILE.csv             dump layer-voltage trace as CSV
+ *
+ * (Statistics from the GPU core model can be inspected with the
+ * examples or programmatically via Gpu::dumpStats.)
+ */
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "pdn/impedance.hh"
+#include "sim/cosim.hh"
+#include "workloads/suite.hh"
+#include "workloads/trace_file.hh"
+
+using namespace vsgpu;
+
+namespace
+{
+
+/** Minimal flag parser: --key value pairs after the subcommand. */
+std::map<std::string, std::string>
+parseFlags(int argc, char **argv, int first)
+{
+    std::map<std::string, std::string> flags;
+    for (int i = first; i < argc; ++i) {
+        const std::string key = argv[i];
+        fatalIf(key.size() < 3 || key.substr(0, 2) != "--",
+                "expected --flag, got '", key, "'");
+        fatalIf(i + 1 >= argc, "flag ", key, " needs a value");
+        flags[key.substr(2)] = argv[++i];
+    }
+    return flags;
+}
+
+std::string
+flagOr(const std::map<std::string, std::string> &flags,
+       const std::string &key, const std::string &fallback)
+{
+    const auto it = flags.find(key);
+    return it == flags.end() ? fallback : it->second;
+}
+
+PdsKind
+parsePds(const std::string &name)
+{
+    if (name == "vrm")
+        return PdsKind::ConventionalVrm;
+    if (name == "ivr")
+        return PdsKind::SingleLayerIvr;
+    if (name == "vs")
+        return PdsKind::VsCircuitOnly;
+    if (name == "cross")
+        return PdsKind::VsCrossLayer;
+    fatal("unknown PDS '", name, "' (vrm|ivr|vs|cross)");
+}
+
+Benchmark
+parseBenchmark(const std::string &name)
+{
+    for (Benchmark b : allBenchmarks())
+        if (name == benchmarkName(b))
+            return b;
+    fatal("unknown benchmark '", name, "' (try 'vsgpu list')");
+}
+
+int
+cmdList()
+{
+    std::cout << "benchmarks:";
+    for (Benchmark b : allBenchmarks())
+        std::cout << " " << benchmarkName(b);
+    std::cout << "\npds configurations: vrm (single-layer VRM), "
+                 "ivr (single-layer IVR),\n  vs (VS circuit-only), "
+                 "cross (VS cross-layer)\n";
+    return 0;
+}
+
+int
+cmdRun(const std::map<std::string, std::string> &flags)
+{
+    CosimConfig cfg;
+    cfg.pds = defaultPds(parsePds(flagOr(flags, "pds", "cross")));
+    cfg.maxCycles = static_cast<Cycle>(
+        std::stoull(flagOr(flags, "cycles", "200000")));
+    if (flags.count("area"))
+        cfg.pds.ivrAreaFraction = std::stod(flags.at("area"));
+    if (flags.count("threshold"))
+        cfg.pds.controller.vThreshold =
+            std::stod(flags.at("threshold"));
+    if (flags.count("halt-layer")) {
+        const std::string spec = flags.at("halt-layer");
+        const auto at = spec.find('@');
+        fatalIf(at == std::string::npos,
+                "--halt-layer wants L@seconds, e.g. 0@3e-6");
+        cfg.gatedLayer = std::stoi(spec.substr(0, at));
+        cfg.gateLayerAtSec = std::stod(spec.substr(at + 1));
+    }
+    const bool wantWave = flags.count("wave") > 0;
+    if (wantWave)
+        cfg.traceStride = 16;
+
+    CoSimulator sim(cfg);
+    CosimResult result;
+    if (flags.count("trace")) {
+        std::ifstream in(flags.at("trace"));
+        fatalIf(!in, "cannot open trace '", flags.at("trace"), "'");
+        TraceFileFactory factory(TraceFile::parse(in));
+        result = sim.run(factory, 0.6);
+    } else {
+        WorkloadSpec spec = workloadFor(
+            parseBenchmark(flagOr(flags, "benchmark", "hotspot")));
+        spec = scaledToInstrs(
+            spec, std::stoi(flagOr(flags, "instrs", "1500")));
+        result = sim.run(spec);
+    }
+
+    const auto &e = result.energy;
+    Table table("run summary");
+    table.setHeader({"metric", "value"});
+    table.beginRow().cell("pds").cell(pdsName(cfg.pds.kind)).endRow();
+    table.beginRow()
+        .cell("cycles")
+        .cell(static_cast<long long>(result.cycles))
+        .endRow();
+    table.beginRow()
+        .cell("instructions")
+        .cell(static_cast<long long>(result.instructions))
+        .endRow();
+    table.beginRow()
+        .cell("finished")
+        .cell(result.finished ? "yes" : "NO (cycle budget)")
+        .endRow();
+    table.beginRow()
+        .cell("avg load power (W)")
+        .cell(result.avgLoadPower(), 2)
+        .endRow();
+    table.beginRow()
+        .cell("PDE")
+        .cell(formatPercent(e.pde()))
+        .endRow();
+    table.beginRow()
+        .cell("mean rail (V)")
+        .cell(result.meanVoltage, 3)
+        .endRow();
+    table.beginRow()
+        .cell("min rail (V)")
+        .cell(result.minVoltage, 3)
+        .endRow();
+    table.beginRow()
+        .cell("throttle rate")
+        .cell(formatPercent(result.throttleRate))
+        .endRow();
+    table.print(std::cout);
+
+    if (wantWave) {
+        std::ofstream out(flags.at("wave"));
+        fatalIf(!out, "cannot open '", flags.at("wave"), "'");
+        out << "time_s,min_sm,max_sm,layer0,layer1,layer2,layer3\n";
+        for (const auto &s : result.trace) {
+            out << s.timeSec << "," << s.minSmVolts << ","
+                << s.maxSmVolts;
+            for (double v : s.layerVolts)
+                out << "," << v;
+            out << "\n";
+        }
+        std::cout << "\nwrote " << result.trace.size()
+                  << " waveform samples to " << flags.at("wave")
+                  << "\n";
+    }
+    return 0;
+}
+
+int
+cmdImpedance(const std::map<std::string, std::string> &flags)
+{
+    VsPdnOptions options;
+    const double area = std::stod(flagOr(flags, "area", "0.2"));
+    if (area > 0.0) {
+        const CrIvrDesign design(area * config::gpuDieAreaMm2);
+        options.crIvrEffOhms = design.effOhmsPerCell();
+        options.crIvrFlyCapF = design.flyCapPerCellF();
+    }
+    VsPdn pdn(options);
+    ImpedanceAnalyzer analyzer(pdn);
+    Table table("effective impedance, CR-IVR " +
+                formatFixed(area, 2) + "x GPU area");
+    table.setHeader({"freq_MHz", "Z_G", "Z_ST", "Z_R_same",
+                     "Z_R_diff"});
+    for (const auto &p :
+         analyzer.sweep(logFrequencyGrid(1e6, 500e6, 24))) {
+        table.beginRow()
+            .cell(p.freqHz / 1e6, 2)
+            .cell(p.zGlobal, 4)
+            .cell(p.zStack, 4)
+            .cell(p.zResidualSameLayer, 4)
+            .cell(p.zResidualDiffLayer, 4)
+            .endRow();
+    }
+    table.print(std::cout);
+    return 0;
+}
+
+int
+cmdExportTrace(const std::map<std::string, std::string> &flags)
+{
+    fatalIf(!flags.count("benchmark") || !flags.count("out"),
+            "export-trace needs --benchmark and --out");
+    WorkloadSpec spec =
+        workloadFor(parseBenchmark(flags.at("benchmark")));
+    spec = scaledToInstrs(spec,
+                          std::stoi(flagOr(flags, "instrs", "500")));
+    const int sms = std::stoi(flagOr(flags, "sms", "2"));
+    WorkloadFactory factory(spec);
+    const TraceFile trace = recordTrace(factory, sms);
+    std::ofstream out(flags.at("out"));
+    fatalIf(!out, "cannot open '", flags.at("out"), "'");
+    trace.write(out);
+    std::cout << "wrote " << trace.totalInstrs()
+              << " instructions (" << trace.numStreams()
+              << " streams) to " << flags.at("out") << "\n";
+    return 0;
+}
+
+void
+usage()
+{
+    std::cout
+        << "usage: vsgpu <list|run|impedance|export-trace> "
+           "[--flag value ...]\n"
+           "see the header of tools/vsgpu_cli.cc for all options\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        usage();
+        return 1;
+    }
+    const std::string cmd = argv[1];
+    const auto flags = parseFlags(argc, argv, 2);
+    if (cmd == "list")
+        return cmdList();
+    if (cmd == "run")
+        return cmdRun(flags);
+    if (cmd == "impedance")
+        return cmdImpedance(flags);
+    if (cmd == "export-trace")
+        return cmdExportTrace(flags);
+    usage();
+    return 1;
+}
