@@ -67,8 +67,8 @@ main()
             .cell(servo.minV, 3)
             .cell(formatPercent(servo.pde))
             .endRow();
-        fixedErr += std::abs(fixed.meanV - config::smVoltage);
-        servoErr += std::abs(servo.meanV - config::smVoltage);
+        fixedErr += std::abs(fixed.meanV - config::smVoltage.raw());
+        servoErr += std::abs(servo.meanV - config::smVoltage.raw());
     }
     table.print(std::cout);
 

@@ -32,8 +32,8 @@ struct Outcome
 {
     double supplyAmps = 0.0;
     double pdnLossW = 0.0;
-    double zResidualDc = 0.0;
-    double zGlobalPeak = 0.0;
+    Ohms zResidualDc{};
+    Ohms zGlobalPeak{};
 };
 
 Outcome
@@ -50,18 +50,20 @@ evaluate(const Geometry &g, double ivrAreaFraction)
         // One equalizer cell per adjacent layer pair per column.
         tech.numCells = (g.layers - 1) * g.columns;
         const CrIvrDesign design(
-            ivrAreaFraction * config::gpuDieAreaMm2, tech);
+            ivrAreaFraction * config::gpuDieArea, tech);
         options.crIvrEffOhms = design.effOhmsPerCell();
-        options.crIvrFlyCapF = design.flyCapPerCellF();
+        options.crIvrFlyCapF = design.flyCapPerCell();
     }
     VsPdn pdn(options);
 
     // Balanced nominal load: each SM draws its 7 W at ~1 V.
-    TransientSim sim(pdn.netlist(), config::clockPeriod);
-    const double amps = options.params.smNominalPower /
-                        options.params.smNominalVoltage;
-    const double resAmps = pdn.nominalLayerVolts() /
-                           options.params.smLoadOhms();
+    TransientSim sim(pdn.netlist(), config::clockPeriod.raw());
+    const double amps = (options.params.smNominalPower /
+                         options.params.smNominalVoltage)
+                            .raw();
+    const double resAmps = (pdn.nominalLayerVolts() /
+                            options.params.smLoadOhms())
+                               .raw();
     for (int sm = 0; sm < pdn.numSms(); ++sm)
         sim.setCurrent(pdn.smCurrentSource(sm), amps - resAmps);
     sim.initToDc();
@@ -81,8 +83,8 @@ evaluate(const Geometry &g, double ivrAreaFraction)
     out.pdnLossW = sim.totalResistivePower() - loadRes;
 
     ImpedanceAnalyzer analyzer(pdn);
-    out.zResidualDc = analyzer.residualImpedance(1e6, true);
-    for (double f : logFrequencyGrid(5e6, 5e8, 40))
+    out.zResidualDc = analyzer.residualImpedance(1.0_MHz, true);
+    for (Hertz f : logFrequencyGrid(5.0_MHz, 500.0_MHz, 40))
         out.zGlobalPeak =
             std::max(out.zGlobalPeak, analyzer.globalImpedance(f));
     return out;
@@ -113,8 +115,8 @@ main()
                 .cell(static_cast<double>(g.layers) * 1.025, 2)
                 .cell(o.supplyAmps, 1)
                 .cell(o.pdnLossW, 2)
-                .cell(o.zResidualDc, 4)
-                .cell(o.zGlobalPeak, 4)
+                .cell(o.zResidualDc.raw(), 4)
+                .cell(o.zGlobalPeak.raw(), 4)
                 .endRow();
         }
         table.print(std::cout);

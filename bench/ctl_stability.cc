@@ -70,7 +70,7 @@ main()
 
     bench::claim("stability product C/(k*T) (theory: ~3.41)", 3.41,
                  cap / (maxStableGain(cap, 60) * 60.0 *
-                        config::clockPeriod),
+                        config::clockPeriod.raw()),
                  "");
     return 0;
 }

@@ -26,26 +26,26 @@ printSweep(const std::string &title, const VsPdn &pdn)
     table.setHeader({"freq_MHz", "Z_G", "Z_ST", "Z_R_same",
                      "Z_R_diff"});
     for (const auto &p :
-         analyzer.sweep(logFrequencyGrid(1e6, 500e6, 28))) {
+         analyzer.sweep(logFrequencyGrid(1.0_MHz, 500.0_MHz, 28))) {
         table.beginRow()
-            .cell(p.freqHz / 1e6, 2)
-            .cell(p.zGlobal, 4)
-            .cell(p.zStack, 4)
-            .cell(p.zResidualSameLayer, 4)
-            .cell(p.zResidualDiffLayer, 4)
+            .cell(p.freq / 1.0_MHz, 2)
+            .cell(p.zGlobal.raw(), 4)
+            .cell(p.zStack.raw(), 4)
+            .cell(p.zResidualSameLayer.raw(), 4)
+            .cell(p.zResidualDiffLayer.raw(), 4)
             .endRow();
     }
     table.print(std::cout);
     std::cout << "\n";
 }
 
-double
-peakOver(const VsPdn &pdn, double lo, double hi,
-         double (ImpedanceAnalyzer::*fn)(double) const)
+Ohms
+peakOver(const VsPdn &pdn, Hertz lo, Hertz hi,
+         Ohms (ImpedanceAnalyzer::*fn)(Hertz) const)
 {
     ImpedanceAnalyzer analyzer(pdn);
-    double peak = 0.0;
-    for (double f : logFrequencyGrid(lo, hi, 48))
+    Ohms peak{};
+    for (Hertz f : logFrequencyGrid(lo, hi, 48))
         peak = std::max(peak, (analyzer.*fn)(f));
     return peak;
 }
@@ -60,39 +60,44 @@ main()
     VsPdn bare;
     printSweep("Fig. 3(a): no CR-IVR", bare);
 
-    const CrIvrDesign crossLayer(0.2 * config::gpuDieAreaMm2);
+    const CrIvrDesign crossLayer(0.2 * config::gpuDieArea);
     VsPdnOptions small;
     small.crIvrEffOhms = crossLayer.effOhmsPerCell();
-    small.crIvrFlyCapF = crossLayer.flyCapPerCellF();
+    small.crIvrFlyCapF = crossLayer.flyCapPerCell();
     VsPdn regSmall(small);
     printSweep("Fig. 3(b): with CR-IVR (0.2x GPU area)", regSmall);
 
-    const CrIvrDesign circuitOnly(config::circuitOnlyIvrAreaMm2);
+    const CrIvrDesign circuitOnly(config::circuitOnlyIvrArea);
     VsPdnOptions large;
     large.crIvrEffOhms = circuitOnly.effOhmsPerCell();
-    large.crIvrFlyCapF = circuitOnly.flyCapPerCellF();
+    large.crIvrFlyCapF = circuitOnly.flyCapPerCell();
     VsPdn regLarge(large);
     printSweep("Fig. 3(b'): with CR-IVR (1.72x GPU area)", regLarge);
 
     // Headline shape checks against the paper.
-    double peakF = 0.0, peakZ = 0.0;
+    Hertz peakF{};
+    Ohms peakZ{};
     {
         ImpedanceAnalyzer analyzer(bare);
-        for (double f : logFrequencyGrid(5e6, 5e8, 96)) {
-            const double z = analyzer.globalImpedance(f);
+        for (Hertz f : logFrequencyGrid(5.0_MHz, 500.0_MHz, 96)) {
+            const Ohms z = analyzer.globalImpedance(f);
             if (z > peakZ) {
                 peakZ = z;
                 peakF = f;
             }
         }
     }
-    bench::claim("Z_G resonance frequency", 70.0, peakF / 1e6, " MHz");
-    bench::claim(
-        "Z_R(same) low-frequency plateau", 0.25,
-        ImpedanceAnalyzer(bare).residualImpedance(1e6, true), " ohm");
+    bench::claim("Z_G resonance frequency", 70.0, peakF / 1.0_MHz,
+                 " MHz");
+    bench::claim("Z_R(same) low-frequency plateau", 0.25,
+                 ImpedanceAnalyzer(bare)
+                     .residualImpedance(1.0_MHz, true)
+                     .raw(),
+                 " ohm");
     bench::claim("1.72x CR-IVR bounds all peaks below", 0.1,
-                 peakOver(regLarge, 1e6, 5e8,
-                          &ImpedanceAnalyzer::peakImpedance),
+                 peakOver(regLarge, 1.0_MHz, 500.0_MHz,
+                          &ImpedanceAnalyzer::peakImpedance)
+                     .raw(),
                  " ohm");
     return 0;
 }

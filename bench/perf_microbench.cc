@@ -22,10 +22,10 @@ void
 BM_TransientStep(benchmark::State &state)
 {
     VsPdnOptions options;
-    options.crIvrEffOhms = 0.1;
-    options.crIvrFlyCapF = 50e-9;
+    options.crIvrEffOhms = 0.1_Ohm;
+    options.crIvrFlyCapF = 50.0_nF;
     VsPdn pdn(options);
-    TransientSim sim(pdn.netlist(), config::clockPeriod);
+    TransientSim sim(pdn.netlist(), config::clockPeriod.raw());
     for (int sm = 0; sm < config::numSMs; ++sm)
         sim.setCurrent(pdn.smCurrentSource(sm), 5.0);
     sim.initToDc();
@@ -42,10 +42,10 @@ BM_AcSolve(benchmark::State &state)
 {
     VsPdn pdn;
     ImpedanceAnalyzer analyzer(pdn);
-    double f = 1e6;
+    Hertz f = 1.0_MHz;
     for (auto _ : state) {
         benchmark::DoNotOptimize(analyzer.globalImpedance(f));
-        f = f < 4e8 ? f * 1.1 : 1e6;
+        f = f < 400.0_MHz ? f * 1.1 : 1.0_MHz;
     }
     state.SetItemsProcessed(state.iterations());
 }

@@ -49,7 +49,8 @@ residualTrace(Benchmark b, Cycle cycles)
             const int sm = layer * config::smsPerLayer; // column 0
             const double w =
                 pm.cyclePower(gpu.smEvents(sm), gpu.sm(sm),
-                              gpu.cycle());
+                              gpu.cycle())
+                    .raw();
             column += w;
             if (layer == 0)
                 top = w;
@@ -72,7 +73,8 @@ main()
                               "currents (basis of Section IV)");
 
     const double nyquistHz =
-        0.5 / (config::defaultControlLatency * config::clockPeriod);
+        0.5 /
+        (config::defaultControlLatency * config::clockPeriod).raw();
     std::cout << "architecture-loop Nyquist at the 60-cycle latency: "
               << formatFixed(nyquistHz / 1e6, 2) << " MHz\n\n";
 
@@ -97,7 +99,7 @@ main()
         rms = std::sqrt(rms / static_cast<double>(trace.size()));
 
         const auto psd =
-            powerSpectrum(trace, config::smClockHz, 4096);
+            powerSpectrum(trace, config::smClockHz.raw(), 4096);
         const double below1M = spectralFractionBelow(psd, 1e6);
         const double belowNyq =
             spectralFractionBelow(psd, nyquistHz);

@@ -41,12 +41,12 @@ main()
         }
         const double pde = loadJ / wallJ;
         const PdsOptions options = defaultPds(kind);
-        const double area = pdsAreaOverheadMm2(options);
+        const Area area = pdsAreaOverhead(options);
         table.beginRow()
             .cell(pdsName(kind))
             .cell(formatPercent(pde))
-            .cell(area, 1)
-            .cell(area / config::gpuDieAreaMm2, 2)
+            .cell(area / 1.0_mm2, 1)
+            .cell(area / config::gpuDieArea, 2)
             .endRow();
         if (kind == PdsKind::ConventionalVrm)
             pdeVrm = pde;
@@ -67,10 +67,10 @@ main()
     bench::claim("PDS loss eliminated", 61.5,
                  (1.0 - (1.0 - pdeCross) / (1.0 - pdeVrm)) * 100.0,
                  "%");
-    const double areaCircuit =
-        pdsAreaOverheadMm2(defaultPds(PdsKind::VsCircuitOnly));
-    const double areaCross =
-        pdsAreaOverheadMm2(defaultPds(PdsKind::VsCrossLayer));
+    const Area areaCircuit =
+        pdsAreaOverhead(defaultPds(PdsKind::VsCircuitOnly));
+    const Area areaCross =
+        pdsAreaOverhead(defaultPds(PdsKind::VsCrossLayer));
     bench::claim("area reduction vs circuit-only", 88.0,
                  (1.0 - areaCross / areaCircuit) * 100.0, "%");
     return 0;

@@ -29,20 +29,20 @@ makePdn(double areaFraction)
 {
     VsPdnOptions options;
     if (areaFraction > 0.0) {
-        const CrIvrDesign design(areaFraction * config::gpuDieAreaMm2);
+        const CrIvrDesign design(areaFraction * config::gpuDieArea);
         options.crIvrEffOhms = design.effOhmsPerCell();
-        options.crIvrFlyCapF = design.flyCapPerCellF();
+        options.crIvrFlyCapF = design.flyCapPerCell();
     }
     return VsPdn(options);
 }
 
 /** Worst effective impedance over the analysis band. */
-double
+Ohms
 worstImpedance(const VsPdn &pdn)
 {
     ImpedanceAnalyzer analyzer(pdn);
-    double worst = 0.0;
-    for (double f : logFrequencyGrid(1e6, 5e8, 40))
+    Ohms worst{};
+    for (Hertz f : logFrequencyGrid(1.0_MHz, 500.0_MHz, 40))
         worst = std::max(worst, analyzer.peakImpedance(f));
     return worst;
 }
@@ -62,13 +62,14 @@ main(int argc, char **argv)
         table.setHeader({"freq_MHz", "Z_G", "Z_ST", "Z_R_same",
                          "Z_R_diff"});
         for (const auto &p :
-             analyzer.sweep(logFrequencyGrid(1e6, 500e6, 24))) {
+             analyzer.sweep(logFrequencyGrid(1.0_MHz, 500.0_MHz,
+                                             24))) {
             table.beginRow()
-                .cell(p.freqHz / 1e6, 2)
-                .cell(p.zGlobal, 4)
-                .cell(p.zStack, 4)
-                .cell(p.zResidualSameLayer, 4)
-                .cell(p.zResidualDiffLayer, 4)
+                .cell(p.freq / 1.0_MHz, 2)
+                .cell(p.zGlobal.raw(), 4)
+                .cell(p.zStack.raw(), 4)
+                .cell(p.zResidualSameLayer.raw(), 4)
+                .cell(p.zResidualDiffLayer.raw(), 4)
                 .endRow();
         }
         table.print(std::cout);
@@ -84,19 +85,20 @@ main(int argc, char **argv)
     double smallestPassing = -1.0;
     for (double area : {0.0, 0.1, 0.2, 0.4, 0.8, 1.2, 1.72, 2.0}) {
         const VsPdn pdn = makePdn(area);
-        const double worst = worstImpedance(pdn);
-        const bool pass = worst < 0.1;
+        const Ohms worst = worstImpedance(pdn);
+        const bool pass = worst < 0.1_Ohm;
         if (pass && smallestPassing < 0.0)
             smallestPassing = area;
         table.beginRow()
             .cell(area, 2)
-            .cell(area * config::gpuDieAreaMm2, 1)
+            .cell(area * config::gpuDieArea / 1.0_mm2, 1)
             .cell(area > 0.0
-                      ? CrIvrDesign(area * config::gpuDieAreaMm2)
+                      ? CrIvrDesign(area * config::gpuDieArea)
                             .effOhmsPerCell()
+                            .raw()
                       : 0.0,
                   4)
-            .cell(worst, 4)
+            .cell(worst.raw(), 4)
             .cell(pass ? "yes" : "NO")
             .endRow();
     }

@@ -26,13 +26,13 @@ main(int argc, char **argv)
     const std::string prefix = argc > 1 ? argv[1] : "worst_case";
 
     // 0.2x-area CR-IVR voltage-stacked PDN.
-    const CrIvrDesign design(0.2 * config::gpuDieAreaMm2);
+    const CrIvrDesign design(0.2 * config::gpuDieArea);
     VsPdnOptions options;
     options.crIvrEffOhms = design.effOhmsPerCell();
-    options.crIvrFlyCapF = design.flyCapPerCellF();
+    options.crIvrFlyCapF = design.flyCapPerCell();
     VsPdn pdn(options);
 
-    TransientSim sim(pdn.netlist(), config::clockPeriod);
+    TransientSim sim(pdn.netlist(), config::clockPeriod.raw());
     WaveWriter wave(sim, 4);
     // Record each layer voltage of column 0 and the boundary rails.
     for (int layer = 0; layer < pdn.layers(); ++layer) {
@@ -51,9 +51,9 @@ main(int argc, char **argv)
     sim.initToDc();
 
     const Cycle haltAt =
-        static_cast<Cycle>(2e-6 / config::clockPeriod);
+        static_cast<Cycle>(2.0_us / config::clockPeriod);
     const Cycle total =
-        static_cast<Cycle>(5e-6 / config::clockPeriod);
+        static_cast<Cycle>(5.0_us / config::clockPeriod);
     for (Cycle cycle = 0; cycle < total; ++cycle) {
         if (cycle == haltAt) {
             for (int col = 0; col < pdn.columns(); ++col)

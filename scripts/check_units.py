@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Unit-suffix lint for the converted physical-model modules.
+
+The dimensional-analysis conversion (src/common/quantity.hh) replaced
+raw-double parameters carrying unit-suffixed names (loadOhms, supplyVolts,
+freqHz, ...) with typed Quantity parameters in the public headers of the
+converted modules.  This lint keeps it that way: it fails when a *new*
+raw-double function parameter or public data member whose name carries a
+unit suffix appears in one of those headers.
+
+A unit-suffixed name on a `double` is exactly the pattern the type system
+exists to remove — declare the parameter as Volts/Amps/Ohms/... instead,
+and call `.raw()` at the boundary to dimension-unaware code.
+
+Usage:  scripts/check_units.py [--verbose] [files...]
+
+With no arguments, scans every public header of the converted modules.
+Exit status 0 = clean, 1 = violations found.
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+# Headers of modules whose public interfaces are fully converted.
+CONVERTED_GLOBS = [
+    "src/common/units.hh",
+    "src/circuit/netlist.hh",
+    "src/pdn/*.hh",
+    "src/ivr/*.hh",
+    "src/power/*.hh",
+]
+
+# Unit-ish name suffixes, case-insensitive word-final:
+#   loadOhms, supplyVolts, freqHz, areaMm2, capF, delaySec, powerW ...
+UNIT_SUFFIX = re.compile(
+    r"(volts?|amps?|ohms?|siemens|farads?|henr(?:y|ies)|watts?|"
+    r"joules?|hz|hertz|mhz|ghz|sec(?:onds?)?|m?m2|nf|uf|pf|nh|ph|"
+    r"mv|ma|mw|nj|us|ns|ps)$",
+    re.IGNORECASE,
+)
+
+# `double <name>` as a parameter or data member, capturing the name.
+DOUBLE_DECL = re.compile(r"\bdouble\s+(\w+)")
+
+# Escape hatch for the rare legitimate case (document why inline).
+WAIVER = "check_units:allow"
+
+
+def strip_comments(text: str) -> str:
+    """Blank out // and /* */ comments, preserving line numbers."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        if text.startswith("//", i):
+            j = text.find("\n", i)
+            j = n if j < 0 else j
+            i = j
+        elif text.startswith("/*", i):
+            j = text.find("*/", i)
+            j = n if j < 0 else j + 2
+            out.append("\n" * text.count("\n", i, j))
+            i = j
+        else:
+            out.append(text[i])
+            i += 1
+    return "".join(out)
+
+
+def lint_file(path: pathlib.Path) -> list[str]:
+    raw_lines = path.read_text().splitlines()
+    text = strip_comments(path.read_text())
+    problems = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        for match in DOUBLE_DECL.finditer(line):
+            name = match.group(1)
+            if not UNIT_SUFFIX.search(name):
+                continue
+            src = raw_lines[lineno - 1] if lineno <= len(raw_lines) else ""
+            if WAIVER in src:
+                continue
+            rel = path.relative_to(REPO)
+            problems.append(
+                f"{rel}:{lineno}: raw double '{name}' carries a unit "
+                f"suffix — declare it as a Quantity type "
+                f"(see src/common/quantity.hh) or waive with "
+                f"'// {WAIVER}: <reason>'"
+            )
+    return problems
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("files", nargs="*", type=pathlib.Path)
+    parser.add_argument("--verbose", action="store_true")
+    args = parser.parse_args()
+
+    if args.files:
+        targets = [p.resolve() for p in args.files]
+        # Only headers of converted modules are in scope.
+        in_scope = {
+            f for g in CONVERTED_GLOBS for f in REPO.glob(g)
+        }
+        targets = [p for p in targets if p in in_scope]
+    else:
+        targets = sorted(
+            f for g in CONVERTED_GLOBS for f in REPO.glob(g)
+        )
+
+    problems = []
+    for path in targets:
+        if args.verbose:
+            print(f"checking {path.relative_to(REPO)}")
+        problems.extend(lint_file(path))
+
+    for p in problems:
+        print(p, file=sys.stderr)
+    if problems:
+        print(f"check_units: {len(problems)} violation(s)",
+              file=sys.stderr)
+        return 1
+    print(f"check_units: {len(targets)} header(s) clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,5 +1,6 @@
 #include "circuit/netlist.hh"
 
+#include "common/check.hh"
 #include "common/logging.hh"
 
 namespace vsgpu
@@ -28,79 +29,91 @@ Netlist::checkNode(NodeId n) const
 }
 
 int
-Netlist::addResistor(NodeId a, NodeId b, double ohms,
+Netlist::addResistor(NodeId a, NodeId b, Ohms resistance,
                      const std::string &name)
 {
     checkNode(a);
     checkNode(b);
-    panicIfNot(ohms > 0.0, "resistor must have positive resistance");
-    resistors_.push_back({a, b, ohms, name});
+    panicIfNot(resistance.raw() > 0.0,
+               "resistor must have positive resistance");
+    VSGPU_CHECK_FINITE(resistance);
+    resistors_.push_back({a, b, resistance.raw(), name});
     return static_cast<int>(resistors_.size()) - 1;
 }
 
 int
-Netlist::addCapacitor(NodeId a, NodeId b, double farads,
-                      double initialVolts)
+Netlist::addCapacitor(NodeId a, NodeId b, Farads capacitance,
+                      Volts initialVoltage)
 {
     checkNode(a);
     checkNode(b);
-    panicIfNot(farads > 0.0, "capacitor must have positive capacitance");
-    caps_.push_back({a, b, farads, initialVolts});
+    panicIfNot(capacitance.raw() > 0.0,
+               "capacitor must have positive capacitance");
+    VSGPU_CHECK_FINITE(capacitance);
+    VSGPU_CHECK_FINITE(initialVoltage);
+    caps_.push_back({a, b, capacitance.raw(), initialVoltage.raw()});
     return static_cast<int>(caps_.size()) - 1;
 }
 
 int
-Netlist::addInductor(NodeId a, NodeId b, double henries,
-                     double initialAmps)
+Netlist::addInductor(NodeId a, NodeId b, Henries inductance,
+                     Amps initialCurrent)
 {
     checkNode(a);
     checkNode(b);
-    panicIfNot(henries > 0.0, "inductor must have positive inductance");
-    inductors_.push_back({a, b, henries, initialAmps});
+    panicIfNot(inductance.raw() > 0.0,
+               "inductor must have positive inductance");
+    VSGPU_CHECK_FINITE(inductance);
+    VSGPU_CHECK_FINITE(initialCurrent);
+    inductors_.push_back({a, b, inductance.raw(), initialCurrent.raw()});
     return static_cast<int>(inductors_.size()) - 1;
 }
 
 int
-Netlist::addVoltageSource(NodeId plus, NodeId minus, double volts)
+Netlist::addVoltageSource(NodeId plus, NodeId minus, Volts voltage)
 {
     checkNode(plus);
     checkNode(minus);
-    vsources_.push_back({plus, minus, volts});
+    VSGPU_CHECK_FINITE(voltage);
+    vsources_.push_back({plus, minus, voltage.raw()});
     return static_cast<int>(vsources_.size()) - 1;
 }
 
 int
-Netlist::addCurrentSource(NodeId from, NodeId to, double amps,
+Netlist::addCurrentSource(NodeId from, NodeId to, Amps current,
                           const std::string &name)
 {
     checkNode(from);
     checkNode(to);
-    isources_.push_back({from, to, amps, name});
+    isources_.push_back({from, to, current.raw(), name});
     return static_cast<int>(isources_.size()) - 1;
 }
 
 int
-Netlist::addSwitch(NodeId a, NodeId b, double onOhms, double offOhms,
-                   bool initiallyClosed)
+Netlist::addSwitch(NodeId a, NodeId b, Ohms onResistance,
+                   Ohms offResistance, bool initiallyClosed)
 {
     checkNode(a);
     checkNode(b);
-    panicIfNot(onOhms > 0.0 && offOhms > onOhms,
+    panicIfNot(onResistance.raw() > 0.0 &&
+               offResistance.raw() > onResistance.raw(),
                "switch needs 0 < Ron < Roff");
-    switches_.push_back({a, b, onOhms, offOhms, initiallyClosed});
+    switches_.push_back({a, b, onResistance.raw(), offResistance.raw(),
+                         initiallyClosed});
     return static_cast<int>(switches_.size()) - 1;
 }
 
 int
 Netlist::addEqualizer(NodeId top, NodeId mid, NodeId bottom,
-                      double effOhms, const std::string &name)
+                      Ohms effResistance, const std::string &name)
 {
     checkNode(top);
     checkNode(mid);
     checkNode(bottom);
-    panicIfNot(effOhms > 0.0,
+    panicIfNot(effResistance.raw() > 0.0,
                "equalizer must have positive effective resistance");
-    equalizers_.push_back({top, mid, bottom, effOhms, name});
+    VSGPU_CHECK_FINITE(effResistance);
+    equalizers_.push_back({top, mid, bottom, effResistance.raw(), name});
     return static_cast<int>(equalizers_.size()) - 1;
 }
 

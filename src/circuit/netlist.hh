@@ -16,6 +16,8 @@
 #include <string>
 #include <vector>
 
+#include "common/quantity.hh"
+
 namespace vsgpu
 {
 
@@ -29,6 +31,10 @@ using NodeId = int;
  * current flows from a to b through the element.  Current sources
  * model loads: a positive setpoint draws current from node a and
  * returns it at node b.
+ *
+ * The add* builders take dimensioned quantities so a unit mixup at a
+ * call site is a compile error; the element structs store the raw SI
+ * values because they are the solver engines' hot-loop inputs.
  */
 class Netlist
 {
@@ -41,7 +47,7 @@ class Netlist
     {
         NodeId a;
         NodeId b;
-        double ohms;
+        double ohms; // check_units:allow: solver hot-loop storage
         std::string name;
     };
 
@@ -50,8 +56,9 @@ class Netlist
     {
         NodeId a;
         NodeId b;
-        double farads;
-        double initialVolts; ///< initial voltage across (a - b)
+        double farads; // check_units:allow: solver hot-loop storage
+        /// initial voltage across (a - b)
+        double initialVolts; // check_units:allow: solver storage
     };
 
     /** A linear inductor. */
@@ -59,8 +66,9 @@ class Netlist
     {
         NodeId a;
         NodeId b;
-        double henries;
-        double initialAmps; ///< initial current a -> b
+        double henries; // check_units:allow: solver hot-loop storage
+        /// initial current a -> b
+        double initialAmps; // check_units:allow: solver storage
     };
 
     /** An ideal DC voltage source (a is +). */
@@ -68,7 +76,7 @@ class Netlist
     {
         NodeId plus;
         NodeId minus;
-        double volts;
+        double volts; // check_units:allow: solver hot-loop storage
     };
 
     /** A time-varying load current source (value set per step). */
@@ -76,7 +84,8 @@ class Netlist
     {
         NodeId from;
         NodeId to;
-        double amps; ///< default / initial value
+        /// default / initial value
+        double amps; // check_units:allow: solver storage
         std::string name;
     };
 
@@ -85,8 +94,8 @@ class Netlist
     {
         NodeId a;
         NodeId b;
-        double onOhms;
-        double offOhms;
+        double onOhms; // check_units:allow: solver hot-loop storage
+        double offOhms; // check_units:allow: solver hot-loop storage
         bool initiallyClosed;
     };
 
@@ -107,7 +116,7 @@ class Netlist
         NodeId top;
         NodeId mid;
         NodeId bottom;
-        double effOhms;
+        double effOhms; // check_units:allow: solver hot-loop storage
         std::string name;
     };
 
@@ -121,31 +130,32 @@ class Netlist
     const std::string &nodeLabel(NodeId node) const;
 
     /** Add a resistor. @return its index. */
-    int addResistor(NodeId a, NodeId b, double ohms,
+    int addResistor(NodeId a, NodeId b, Ohms resistance,
                     const std::string &name = "");
 
     /** Add a capacitor with optional initial voltage. @return index. */
-    int addCapacitor(NodeId a, NodeId b, double farads,
-                     double initialVolts = 0.0);
+    int addCapacitor(NodeId a, NodeId b, Farads capacitance,
+                     Volts initialVoltage = Volts{});
 
     /** Add an inductor with optional initial current. @return index. */
-    int addInductor(NodeId a, NodeId b, double henries,
-                    double initialAmps = 0.0);
+    int addInductor(NodeId a, NodeId b, Henries inductance,
+                    Amps initialCurrent = Amps{});
 
     /** Add an ideal voltage source. @return its index. */
-    int addVoltageSource(NodeId plus, NodeId minus, double volts);
+    int addVoltageSource(NodeId plus, NodeId minus, Volts voltage);
 
     /** Add a controllable load current source. @return its index. */
-    int addCurrentSource(NodeId from, NodeId to, double amps = 0.0,
+    int addCurrentSource(NodeId from, NodeId to, Amps current = Amps{},
                          const std::string &name = "");
 
     /** Add an ideal switch. @return its index. */
-    int addSwitch(NodeId a, NodeId b, double onOhms = 1e-3,
-                  double offOhms = 1e9, bool initiallyClosed = false);
+    int addSwitch(NodeId a, NodeId b, Ohms onResistance = Ohms{1e-3},
+                  Ohms offResistance = Ohms{1e9},
+                  bool initiallyClosed = false);
 
     /** Add an averaged charge-recycling equalizer. @return index. */
     int addEqualizer(NodeId top, NodeId mid, NodeId bottom,
-                     double effOhms, const std::string &name = "");
+                     Ohms effResistance, const std::string &name = "");
 
     // Element accessors used by the engines.
     const std::vector<Resistor> &resistors() const { return resistors_; }

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "common/check.hh"
+
 namespace vsgpu
 {
 
@@ -55,6 +57,7 @@ TransientSim::setCurrent(int sourceIdx, double amps)
     panicIfNot(sourceIdx >= 0 &&
                sourceIdx < static_cast<int>(sourceAmps_.size()),
                "bad current source index ", sourceIdx);
+    VSGPU_CHECK_FINITE(amps);
     sourceAmps_[static_cast<std::size_t>(sourceIdx)] = amps;
 }
 
@@ -73,6 +76,7 @@ TransientSim::setSourceVolts(int vsrcIdx, double volts)
     panicIfNot(vsrcIdx >= 0 &&
                vsrcIdx < static_cast<int>(sourceVolts_.size()),
                "bad voltage source index ", vsrcIdx);
+    VSGPU_CHECK_FINITE(volts);
     sourceVolts_[static_cast<std::size_t>(vsrcIdx)] = volts;
 }
 
@@ -241,6 +245,11 @@ TransientSim::step()
             sourceVolts_[k];
 
     solution_ = lu.solve(rhs);
+
+    // Poisoning-NaN detection: a single corrupt setpoint or element
+    // turns the whole solution vector non-finite within one step, so
+    // this is where corruption is caught closest to its source.
+    VSGPU_CHECK_ALL_FINITE(solution_, "transient MNA solution");
 
     // Update reactive element states from the new node voltages.
     const auto nodeV = [&](NodeId node) {
@@ -462,6 +471,7 @@ solveDc(const Netlist &netlist, const std::vector<double> &sourceAmps,
     }
 
     const std::vector<double> x = solveLinear(g, rhs);
+    VSGPU_CHECK_ALL_FINITE(x, "DC operating-point solution");
     std::vector<double> volts(static_cast<std::size_t>(numNodes) + 1,
                               0.0);
     for (int i = 1; i <= numNodes; ++i)

@@ -56,8 +56,9 @@ Rng::next()
 double
 Rng::uniform()
 {
-    // 53 high bits -> double in [0, 1).
-    return (next() >> 11) * 0x1.0p-53;
+    // 53 high bits -> double in [0, 1); the shifted value fits a
+    // double mantissa exactly, so the conversion is lossless.
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
 }
 
 double

@@ -39,7 +39,11 @@ class RunningStats
     double mean() const { return n_ ? mean_ : 0.0; }
 
     /** @return population variance (0 when fewer than 2 samples). */
-    double variance() const { return n_ > 1 ? m2_ / n_ : 0.0; }
+    double
+    variance() const
+    {
+        return n_ > 1 ? m2_ / static_cast<double>(n_) : 0.0;
+    }
 
     /** @return population standard deviation. */
     double stddev() const;

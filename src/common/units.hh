@@ -12,6 +12,8 @@
 
 #include <cstdint>
 
+#include "common/quantity.hh"
+
 namespace vsgpu
 {
 
@@ -43,10 +45,10 @@ namespace config
 {
 
 /** Board-level input supply for the voltage-stacked PDS. */
-inline constexpr double pcbVoltage = 4.1;
+inline constexpr Volts pcbVoltage = 4.1_V;
 
 /** Nominal per-layer (per-SM) supply voltage. */
-inline constexpr double smVoltage = 1.0;
+inline constexpr Volts smVoltage = 1.0_V;
 
 /** Number of streaming multiprocessors. */
 inline constexpr int numSMs = 16;
@@ -57,11 +59,11 @@ inline constexpr int numLayers = 4;
 /** SMs per layer (= columns of the 4x4 stacking array). */
 inline constexpr int smsPerLayer = numSMs / numLayers;
 
-/** SM core clock (Hz). */
-inline constexpr double smClockHz = 700e6;
+/** SM core clock. */
+inline constexpr Hertz smClockHz = 700.0_MHz;
 
-/** One GPU clock period (s). */
-inline constexpr double clockPeriod = 1.0 / smClockHz;
+/** One GPU clock period. */
+inline constexpr Seconds clockPeriod = 1.0 / smClockHz;
 
 /** Maximum warps issued per SM per cycle (Fermi dual issue). */
 inline constexpr int maxIssueWidth = 2;
@@ -76,19 +78,19 @@ inline constexpr int threadsPerSM = 1536;
 inline constexpr int warpsPerSM = threadsPerSM / threadsPerWarp;
 
 /** Voltage guardband used by commercial GPUs (paper: 0.2 V). */
-inline constexpr double voltageMargin = 0.2;
+inline constexpr Volts voltageMargin = 0.2_V;
 
 /** Minimum acceptable SM rail voltage (= smVoltage - margin). */
-inline constexpr double minSafeVoltage = smVoltage - voltageMargin;
+inline constexpr Volts minSafeVoltage = smVoltage - voltageMargin;
 
-/** Default voltage-smoothing controller trigger threshold (V). */
-inline constexpr double defaultVThreshold = 0.9;
+/** Default voltage-smoothing controller trigger threshold. */
+inline constexpr Volts defaultVThreshold = 0.9_V;
 
-/** GPU die area in mm^2 (Fermi GF100-class, paper Section III-C). */
-inline constexpr double gpuDieAreaMm2 = 529.0;
+/** GPU die area (Fermi GF100-class, paper Section III-C). */
+inline constexpr Area gpuDieArea = 529.0_mm2;
 
 /** CR-IVR area needed for a circuit-only guarantee (paper: 912 mm^2). */
-inline constexpr double circuitOnlyIvrAreaMm2 = 912.0;
+inline constexpr Area circuitOnlyIvrArea = 912.0_mm2;
 
 /** Default cross-layer CR-IVR area budget (0.2 x GPU area). */
 inline constexpr double defaultIvrAreaFraction = 0.2;
@@ -96,8 +98,8 @@ inline constexpr double defaultIvrAreaFraction = 0.2;
 /** Default end-to-end control-loop latency in cycles (paper: 60). */
 inline constexpr int defaultControlLatency = 60;
 
-/** Peak SM power used for normalization (W). */
-inline constexpr double peakSmPower = 14.0;
+/** Peak SM power used for normalization. */
+inline constexpr Watts peakSmPower = 14.0_W;
 
 } // namespace config
 

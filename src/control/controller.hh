@@ -46,10 +46,10 @@ using CommandSet = std::array<SmCommand, config::numSMs>;
 struct ControllerConfig
 {
     /** Trigger threshold: smoothing engages below this voltage. */
-    double vThreshold = config::defaultVThreshold;
+    double vThreshold = config::defaultVThreshold.raw();
 
     /** Nominal layer voltage. */
-    double vNominal = config::smVoltage;
+    double vNominal = config::smVoltage.raw();
 
     /** Actuation weights for DIWS / FII / DCC (sum need not be 1). */
     double w1 = 1.0;

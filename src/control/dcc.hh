@@ -40,7 +40,7 @@ struct DccDac
     /** @return unit power of the LSB at the layer voltage (W),
      *  the Pd0 of paper eq. (9). */
     double
-    lsbPowerWatts(double layerVolts = config::smVoltage) const
+    lsbPowerWatts(double layerVolts = config::smVoltage.raw()) const
     {
         return lsbAmps() * layerVolts;
     }

@@ -27,7 +27,7 @@ designController(const ControlDesignSpec &spec)
     ControlDesign d;
     d.samplePeriodSec =
         static_cast<double>(spec.loopLatencyCycles) *
-        config::clockPeriod;
+        config::clockPeriod.raw();
     d.boundaryCapF = spec.boundaryCapF;
 
     const double invC = 1.0 / spec.boundaryCapF;

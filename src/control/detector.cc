@@ -28,8 +28,9 @@ VoltageDetector::VoltageDetector(const DetectorSpec &spec,
     panicIfNot(cutoffHz > 0.0, "filter cutoff must be positive");
     // First-order IIR equivalent of the RC filter at the core clock.
     const double rc = 1.0 / (2.0 * M_PI * cutoffHz);
-    alpha_ = config::clockPeriod / (rc + config::clockPeriod);
-    reset(config::smVoltage);
+    alpha_ = config::clockPeriod.raw() /
+             (rc + config::clockPeriod.raw());
+    reset(config::smVoltage.raw());
 }
 
 void

@@ -12,7 +12,7 @@ DfsGovernor::DfsGovernor(const DfsConfig &cfg)
     : cfg_(cfg)
 {
     panicIfNot(cfg_.epoch > 0, "DFS epoch must be positive");
-    panicIfNot(cfg_.stepHz > 0.0, "DFS step must be positive");
+    panicIfNot(cfg_.stepHz > Hertz{}, "DFS step must be positive");
     requestHz_.fill(cfg_.maxHz);
 }
 
@@ -52,7 +52,7 @@ DfsGovernor::step(const Gpu &gpu)
         const double needFraction =
             cfg_.perfTarget * referenceIpc_[idx] /
             std::max(ipcAtFull, 1e-6) * fracNow;
-        double hz = needFraction * config::smClockHz;
+        Hertz hz = needFraction * config::smClockHz;
         hz = std::ceil(hz / cfg_.stepHz) * cfg_.stepHz;
         requestHz_[idx] = std::clamp(hz, cfg_.minHz, cfg_.maxHz);
     }

@@ -29,11 +29,11 @@ struct DfsConfig
     /** Decision period (cycles), as in GRAPE. */
     Cycle epoch = 4096;
 
-    /** Frequency quantization step (Hz), as in GRAPE. */
-    double stepHz = 50e6;
+    /** Frequency quantization step, as in GRAPE. */
+    Hertz stepHz = 50.0_MHz;
 
-    double minHz = 200e6;
-    double maxHz = config::smClockHz;
+    Hertz minHz = 200.0_MHz;
+    Hertz maxHz = config::smClockHz;
 };
 
 /**
@@ -53,8 +53,8 @@ class DfsGovernor
      */
     void step(const Gpu &gpu);
 
-    /** @return requested per-SM frequencies (Hz). */
-    const std::array<double, config::numSMs> &requested() const
+    /** @return requested per-SM frequencies. */
+    const std::array<Hertz, config::numSMs> &requested() const
     {
         return requestHz_;
     }
@@ -67,7 +67,7 @@ class DfsGovernor
     Cycle cycleInEpoch_ = 0;
     std::array<std::uint64_t, config::numSMs> lastRetired_{};
     std::array<double, config::numSMs> referenceIpc_{};
-    std::array<double, config::numSMs> requestHz_;
+    std::array<Hertz, config::numSMs> requestHz_;
 };
 
 } // namespace vsgpu

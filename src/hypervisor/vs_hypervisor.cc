@@ -28,22 +28,22 @@ VsAwareHypervisor::VsAwareHypervisor(const HypervisorConfig &cfg)
 {
 }
 
-std::array<double, config::numSMs>
+std::array<Hertz, config::numSMs>
 VsAwareHypervisor::filterFrequencies(
-    std::array<double, config::numSMs> requested) const
+    std::array<Hertz, config::numSMs> requested) const
 {
     for (int c = 0; c < config::smsPerLayer; ++c) {
-        double fMax = 0.0;
+        Hertz fMax{};
         for (int sm = 0; sm < config::numSMs; ++sm)
             if (columnOf(sm) == c)
                 fMax = std::max(
                     fMax, requested[static_cast<std::size_t>(sm)]);
 
-        const double floor = fMax - freqThresholdHz_;
+        const Hertz floor = fMax - freqThresholdHz_;
         for (int sm = 0; sm < config::numSMs; ++sm) {
             if (columnOf(sm) != c)
                 continue;
-            double &f = requested[static_cast<std::size_t>(sm)];
+            Hertz &f = requested[static_cast<std::size_t>(sm)];
             if (f < floor) {
                 // Pull the outlier up to the budgeted spread,
                 // quantized to the DFS step grid.
@@ -57,21 +57,21 @@ VsAwareHypervisor::filterFrequencies(
 GatingPlan
 VsAwareHypervisor::filterGating(
     const GatingPlan &requested,
-    const std::array<double, numExecUnits> &unitLeakW) const
+    const std::array<Watts, numExecUnits> &unitLeakW) const
 {
     GatingPlan plan{};
 
     for (int c = 0; c < config::smsPerLayer; ++c) {
         // Greedily admit gating requests, cheapest first, while the
         // column's gated-leakage spread stays inside the budget.
-        std::array<double, config::numLayers> gatedLeak{};
+        std::array<Watts, config::numLayers> gatedLeak{};
 
         // Collect requests in this column.
         struct Req
         {
             int sm;
             int unit;
-            double watts;
+            Watts watts;
         };
         std::vector<Req> reqs;
         for (int sm = 0; sm < config::numSMs; ++sm) {

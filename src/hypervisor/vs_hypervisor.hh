@@ -26,23 +26,23 @@ namespace vsgpu
 /** Hypervisor configuration. */
 struct HypervisorConfig
 {
-    /** Initial max frequency spread within a stacking column (Hz). */
-    double freqThresholdHz = 100e6;
+    /** Initial max frequency spread within a stacking column. */
+    Hertz freqThresholdHz = 100.0_MHz;
 
-    /** Initial max gated-leakage spread within a column (W). */
-    double leakThresholdW = 0.40;
+    /** Initial max gated-leakage spread within a column. */
+    Watts leakThresholdW = 0.40_W;
 
     /** Bounds for the adaptive budget. */
-    double freqThresholdMinHz = 50e6;
-    double freqThresholdMaxHz = 400e6;
-    double leakThresholdMinW = 0.15;
-    double leakThresholdMaxW = 1.2;
+    Hertz freqThresholdMinHz = 50.0_MHz;
+    Hertz freqThresholdMaxHz = 400.0_MHz;
+    Watts leakThresholdMinW = 0.15_W;
+    Watts leakThresholdMaxW = 1.2_W;
 
     /** Throttle-rate setpoint driving the adaptation. */
     double throttleSetpoint = 0.05;
 
-    /** Frequency quantization step for remapped commands (Hz). */
-    double stepHz = 50e6;
+    /** Frequency quantization step for remapped commands. */
+    Hertz stepHz = 50.0_MHz;
 };
 
 /** Per-SM gating permissions emitted by the hypervisor. */
@@ -62,8 +62,8 @@ class VsAwareHypervisor
      * spread stays within the current budget (low outliers are pulled
      * up toward the column maximum).
      */
-    std::array<double, config::numSMs>
-    filterFrequencies(std::array<double, config::numSMs> requested)
+    std::array<Hertz, config::numSMs>
+    filterFrequencies(std::array<Hertz, config::numSMs> requested)
         const;
 
     /**
@@ -72,11 +72,11 @@ class VsAwareHypervisor
      * budget.
      *
      * @param requested  per-(SM, unit) gating wishes.
-     * @param unitLeakW  leakage saved by gating each unit kind (W).
+     * @param unitLeakW  leakage saved by gating each unit kind.
      */
     GatingPlan
     filterGating(const GatingPlan &requested,
-                 const std::array<double, numExecUnits> &unitLeakW)
+                 const std::array<Watts, numExecUnits> &unitLeakW)
         const;
 
     /**
@@ -85,16 +85,16 @@ class VsAwareHypervisor
      */
     void feedback(double throttleRate);
 
-    /** @return current frequency budget (Hz). */
-    double freqThresholdHz() const { return freqThresholdHz_; }
+    /** @return current frequency budget. */
+    Hertz freqThresholdHz() const { return freqThresholdHz_; }
 
-    /** @return current leakage budget (W). */
-    double leakThresholdW() const { return leakThresholdW_; }
+    /** @return current leakage budget. */
+    Watts leakThresholdW() const { return leakThresholdW_; }
 
   private:
     HypervisorConfig cfg_;
-    double freqThresholdHz_;
-    double leakThresholdW_;
+    Hertz freqThresholdHz_;
+    Watts leakThresholdW_;
 };
 
 } // namespace vsgpu

@@ -5,45 +5,45 @@
 namespace vsgpu
 {
 
-CrIvrDesign::CrIvrDesign(double areaMm2, CrIvrTech tech)
-    : areaMm2_(areaMm2), tech_(tech)
+CrIvrDesign::CrIvrDesign(Area area, CrIvrTech tech)
+    : area_(area), tech_(tech)
 {
-    panicIfNot(areaMm2_ > 0.0, "CR-IVR area must be positive");
+    panicIfNot(area_ > Area{}, "CR-IVR area must be positive");
     panicIfNot(tech_.numCells > 0, "CR-IVR needs at least one cell");
 }
 
-double
-CrIvrDesign::totalFlyCapF() const
+Farads
+CrIvrDesign::totalFlyCap() const
 {
-    return areaMm2_ * tech_.capAreaFraction * tech_.capDensityPerMm2;
+    return area_ * tech_.capAreaFraction * tech_.capDensity;
 }
 
-double
-CrIvrDesign::flyCapPerCellF() const
+Farads
+CrIvrDesign::flyCapPerCell() const
 {
-    return totalFlyCapF() / static_cast<double>(tech_.numCells);
+    return totalFlyCap() / static_cast<double>(tech_.numCells);
 }
 
-double
+Ohms
 CrIvrDesign::effOhmsPerCell() const
 {
-    return 1.0 / (tech_.switchingHz * flyCapPerCellF());
+    return 1.0 / (tech_.switchingHz * flyCapPerCell());
 }
 
-double
-CrIvrDesign::switchingLoss(double transferredWatts) const
+Watts
+CrIvrDesign::switchingLoss(Watts transferred) const
 {
-    return tech_.switchingLossFraction * transferredWatts;
+    return tech_.switchingLossFraction * transferred;
 }
 
-double
-CrIvrDesign::areaForEffOhms(double effOhms, CrIvrTech tech)
+Area
+CrIvrDesign::areaForEffOhms(Ohms effOhms, CrIvrTech tech)
 {
-    panicIfNot(effOhms > 0.0, "target Reff must be positive");
-    const double capPerCell = 1.0 / (tech.switchingHz * effOhms);
-    const double totalCap =
+    panicIfNot(effOhms > Ohms{}, "target Reff must be positive");
+    const Farads capPerCell = 1.0 / (tech.switchingHz * effOhms);
+    const Farads totalCap =
         capPerCell * static_cast<double>(tech.numCells);
-    return totalCap / (tech.capAreaFraction * tech.capDensityPerMm2);
+    return totalCap / (tech.capAreaFraction * tech.capDensity);
 }
 
 } // namespace vsgpu

@@ -24,14 +24,14 @@ namespace vsgpu
  */
 struct CrIvrTech
 {
-    /** On-die capacitor density (F per mm^2), 40 nm MIM+MOS stack. */
-    double capDensityPerMm2 = 8e-9;
+    /** On-die capacitor density (40 nm MIM+MOS stack). */
+    FaradsPerArea capDensity = 8.0_nF / 1.0_mm2;
 
     /** Fraction of the IVR macro area occupied by flying caps. */
     double capAreaFraction = 0.7;
 
-    /** Switching frequency of the ladder (Hz). */
-    double switchingHz = 200e6;
+    /** Switching frequency of the ladder. */
+    Hertz switchingHz = 200.0_MHz;
 
     /**
      * Parasitic switching overhead: fraction of transferred power
@@ -60,44 +60,44 @@ class CrIvrDesign
 {
   public:
     /**
-     * @param areaMm2 total CR-IVR macro area (mm^2).
-     * @param tech    technology constants.
+     * @param area total CR-IVR macro area.
+     * @param tech technology constants.
      */
-    explicit CrIvrDesign(double areaMm2, CrIvrTech tech = {});
+    explicit CrIvrDesign(Area area, CrIvrTech tech = {});
 
-    /** @return total macro area (mm^2). */
-    double areaMm2() const { return areaMm2_; }
+    /** @return total macro area. */
+    Area area() const { return area_; }
 
     /** @return area as a fraction of the GPU die. */
     double
     areaFractionOfGpu() const
     {
-        return areaMm2_ / config::gpuDieAreaMm2;
+        return area_ / config::gpuDieArea;
     }
 
-    /** @return total flying capacitance (F). */
-    double totalFlyCapF() const;
+    /** @return total flying capacitance. */
+    Farads totalFlyCap() const;
 
-    /** @return flying capacitance per equalizer cell (F). */
-    double flyCapPerCellF() const;
+    /** @return flying capacitance per equalizer cell. */
+    Farads flyCapPerCell() const;
 
-    /** @return per-cell effective resistance Reff (ohms). */
-    double effOhmsPerCell() const;
+    /** @return per-cell effective resistance Reff. */
+    Ohms effOhmsPerCell() const;
 
-    /** @return switching-overhead loss for transferred power (W). */
-    double switchingLoss(double transferredWatts) const;
+    /** @return switching-overhead loss for transferred power. */
+    Watts switchingLoss(Watts transferred) const;
 
     /** @return technology constants. */
     const CrIvrTech &tech() const { return tech_; }
 
     /**
-     * @return the area (mm^2) needed for a target per-cell Reff;
+     * @return the area needed for a target per-cell Reff;
      * inverse of effOhmsPerCell() for sizing studies.
      */
-    static double areaForEffOhms(double effOhms, CrIvrTech tech = {});
+    static Area areaForEffOhms(Ohms effOhms, CrIvrTech tech = {});
 
   private:
-    double areaMm2_;
+    Area area_;
     CrIvrTech tech_;
 };
 

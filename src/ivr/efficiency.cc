@@ -17,59 +17,59 @@ namespace
  * losses dominate) and overload (conduction losses dominate).
  */
 double
-curve(double peak, double rated, double outputWatts)
+curve(double peak, Watts rated, Watts output)
 {
-    if (outputWatts <= 0.0)
+    if (output <= Watts{})
         return peak * 0.5;
-    const double x = outputWatts / rated;
+    const double x = output / rated;
     const double eff = peak - 0.08 * (x - 0.6) * (x - 0.6);
     return std::clamp(eff, 0.5, peak);
 }
 
 } // namespace
 
-VrmModel::VrmModel(double peakEfficiency, double ratedWatts)
-    : peak_(peakEfficiency), rated_(ratedWatts)
+VrmModel::VrmModel(double peakEfficiency, Watts rated)
+    : peak_(peakEfficiency), rated_(rated)
 {
     panicIfNot(peak_ > 0.0 && peak_ < 1.0, "VRM efficiency in (0,1)");
-    panicIfNot(rated_ > 0.0, "VRM rated power must be positive");
+    panicIfNot(rated_ > Watts{}, "VRM rated power must be positive");
 }
 
 double
-VrmModel::efficiency(double outputWatts) const
+VrmModel::efficiency(Watts output) const
 {
-    return curve(peak_, rated_, outputWatts);
+    return curve(peak_, rated_, output);
 }
 
-double
-VrmModel::inputPower(double outputWatts) const
+Watts
+VrmModel::inputPower(Watts output) const
 {
-    return outputWatts / efficiency(outputWatts);
+    return output / efficiency(output);
 }
 
-double
-VrmModel::conversionLoss(double outputWatts) const
+Watts
+VrmModel::conversionLoss(Watts output) const
 {
-    return inputPower(outputWatts) - outputWatts;
+    return inputPower(output) - output;
 }
 
-SingleIvrModel::SingleIvrModel(double peakEfficiency, double ratedWatts)
-    : peak_(peakEfficiency), rated_(ratedWatts)
+SingleIvrModel::SingleIvrModel(double peakEfficiency, Watts rated)
+    : peak_(peakEfficiency), rated_(rated)
 {
     panicIfNot(peak_ > 0.0 && peak_ < 1.0, "IVR efficiency in (0,1)");
-    panicIfNot(rated_ > 0.0, "IVR rated power must be positive");
+    panicIfNot(rated_ > Watts{}, "IVR rated power must be positive");
 }
 
 double
-SingleIvrModel::efficiency(double outputWatts) const
+SingleIvrModel::efficiency(Watts output) const
 {
-    return curve(peak_, rated_, outputWatts);
+    return curve(peak_, rated_, output);
 }
 
-double
-SingleIvrModel::inputPower(double outputWatts) const
+Watts
+SingleIvrModel::inputPower(Watts output) const
 {
-    return outputWatts / efficiency(outputWatts);
+    return output / efficiency(output);
 }
 
 } // namespace vsgpu

@@ -23,24 +23,24 @@ class VrmModel
   public:
     /**
      * @param peakEfficiency best-case conversion efficiency.
-     * @param ratedWatts     output power at which the curve is
+     * @param rated          output power at which the curve is
      *                       centered.
      */
     explicit VrmModel(double peakEfficiency = 0.885,
-                      double ratedWatts = 130.0);
+                      Watts rated = 130.0_W);
 
     /** @return conversion efficiency at the given output power. */
-    double efficiency(double outputWatts) const;
+    double efficiency(Watts output) const;
 
-    /** @return input power needed to deliver the given output (W). */
-    double inputPower(double outputWatts) const;
+    /** @return input power needed to deliver the given output. */
+    Watts inputPower(Watts output) const;
 
-    /** @return conversion loss at the given output power (W). */
-    double conversionLoss(double outputWatts) const;
+    /** @return conversion loss at the given output power. */
+    Watts conversionLoss(Watts output) const;
 
   private:
     double peak_;
-    double rated_;
+    Watts rated_;
 };
 
 /**
@@ -51,26 +51,26 @@ class SingleIvrModel
 {
   public:
     explicit SingleIvrModel(double peakEfficiency = 0.905,
-                            double ratedWatts = 140.0);
+                            Watts rated = 140.0_W);
 
     /** @return conversion efficiency at the given output power. */
-    double efficiency(double outputWatts) const;
+    double efficiency(Watts output) const;
 
-    /** @return input power needed to deliver the given output (W). */
-    double inputPower(double outputWatts) const;
+    /** @return input power needed to deliver the given output. */
+    Watts inputPower(Watts output) const;
 
-    /** @return board-side rail voltage (V). */
-    double inputVolts() const { return 2.0; }
+    /** @return board-side rail voltage. */
+    Volts inputVolts() const { return 2.0_V; }
 
     /**
      * Die area of the single-layer IVR sized for the full GPU load
      * (paper Table III: 172.3 mm^2 = 0.33 x GPU die).
      */
-    static double areaMm2() { return 172.3; }
+    static Area area() { return 172.3_mm2; }
 
   private:
     double peak_;
-    double rated_;
+    Watts rated_;
 };
 
 /**
@@ -86,15 +86,15 @@ struct VsOverheads
      */
     double levelShifterFraction = 0.016;
 
-    /** Voltage-smoothing controller + issue adjusters (W, paper:
+    /** Voltage-smoothing controller + issue adjusters (paper:
      *  1.634 mW at 700 MHz — negligible but accounted). */
-    double controllerWatts = 1.634e-3;
+    Watts controllerPower = 1.634_mW;
 
-    /** Controller + adjusters area (mm^2, paper: 3084 um^2). */
-    double controllerAreaMm2 = 3084e-6;
+    /** Controller + adjusters area (paper: 3084 um^2). */
+    Area controllerArea = 3084.0_um2;
 
-    /** RC low-pass filter area per SM (mm^2, paper: 1120 um^2). */
-    double filterAreaMm2 = 1120e-6;
+    /** RC low-pass filter area per SM (paper: 1120 um^2). */
+    Area filterArea = 1120.0_um2;
 };
 
 } // namespace vsgpu

@@ -14,18 +14,19 @@ SwitchedCell::setPhase(TransientSim &sim, bool phaseA) const
 
 SwitchedCell
 addSwitchedCell(Netlist &net, NodeId top, NodeId mid, NodeId bottom,
-                double flyCapF, double onOhms, double initialCapVolts)
+                Farads flyCap, Ohms onRes, Volts initialCapVoltage)
 {
+    constexpr Ohms offRes{1e9};
     SwitchedCell cell;
     const NodeId capPlus = net.allocNode("fly_p");
     const NodeId capMinus = net.allocNode("fly_n");
     cell.capIdx =
-        net.addCapacitor(capPlus, capMinus, flyCapF, initialCapVolts);
-    cell.swTopPlus = net.addSwitch(top, capPlus, onOhms, 1e9, true);
-    cell.swTopMinus = net.addSwitch(capMinus, mid, onOhms, 1e9, true);
-    cell.swBotPlus = net.addSwitch(mid, capPlus, onOhms, 1e9, false);
+        net.addCapacitor(capPlus, capMinus, flyCap, initialCapVoltage);
+    cell.swTopPlus = net.addSwitch(top, capPlus, onRes, offRes, true);
+    cell.swTopMinus = net.addSwitch(capMinus, mid, onRes, offRes, true);
+    cell.swBotPlus = net.addSwitch(mid, capPlus, onRes, offRes, false);
     cell.swBotMinus =
-        net.addSwitch(capMinus, bottom, onOhms, 1e9, false);
+        net.addSwitch(capMinus, bottom, onRes, offRes, false);
     return cell;
 }
 

@@ -45,14 +45,14 @@ struct SwitchedCell
  * @param top     upper-layer top rail.
  * @param mid     shared middle rail.
  * @param bottom  lower-layer bottom rail.
- * @param flyCapF flying capacitance (F).
- * @param onOhms  switch on-resistance (ohms).
- * @param initialCapVolts initial flying-cap voltage.
+ * @param flyCap  flying capacitance.
+ * @param onRes   switch on-resistance.
+ * @param initialCapVoltage initial flying-cap voltage.
  */
 SwitchedCell addSwitchedCell(Netlist &net, NodeId top, NodeId mid,
-                             NodeId bottom, double flyCapF,
-                             double onOhms = 5e-3,
-                             double initialCapVolts = 1.0);
+                             NodeId bottom, Farads flyCap,
+                             Ohms onRes = 5.0_mOhm,
+                             Volts initialCapVoltage = 1.0_V);
 
 } // namespace vsgpu
 

@@ -13,9 +13,9 @@ ImpedanceAnalyzer::ImpedanceAnalyzer(const VsPdn &pdn)
 {
 }
 
-double
+Ohms
 ImpedanceAnalyzer::respond(const std::vector<double> &smLoadAmps,
-                           int observeSm, double freqHz) const
+                           int observeSm, Hertz freq) const
 {
     panicIfNot(smLoadAmps.size() ==
                static_cast<std::size_t>(pdn_.numSms()),
@@ -34,15 +34,15 @@ ImpedanceAnalyzer::respond(const std::vector<double> &smLoadAmps,
         injections.push_back({pdn_.smBottomNode(sm), Complex{amps, 0.0}});
     }
 
-    const auto volts = ac.solve(freqHz, injections);
+    const auto volts = ac.solve(freq.raw(), injections);
     const Complex dv =
         volts[static_cast<std::size_t>(pdn_.smTopNode(observeSm))] -
         volts[static_cast<std::size_t>(pdn_.smBottomNode(observeSm))];
-    return std::abs(dv);
+    return Ohms{std::abs(dv)};
 }
 
-double
-ImpedanceAnalyzer::globalImpedance(double freqHz) const
+Ohms
+ImpedanceAnalyzer::globalImpedance(Hertz freq) const
 {
     // Per-amp-of-SM-load convention: every SM draws 1 A and we report
     // the layer-voltage deviation at one of them, so all four
@@ -50,11 +50,11 @@ ImpedanceAnalyzer::globalImpedance(double freqHz) const
     // local rail response and can share one axis (paper Fig. 3).
     std::vector<double> loads(
         static_cast<std::size_t>(pdn_.numSms()), 1.0);
-    return respond(loads, pdn_.smIndexAt(0, 0), freqHz);
+    return respond(loads, pdn_.smIndexAt(0, 0), freq);
 }
 
-double
-ImpedanceAnalyzer::stackImpedance(double freqHz, int column) const
+Ohms
+ImpedanceAnalyzer::stackImpedance(Hertz freq, int column) const
 {
     panicIfNot(column >= 0 && column < pdn_.columns(),
                "bad stack column ", column);
@@ -71,11 +71,11 @@ ImpedanceAnalyzer::stackImpedance(double freqHz, int column) const
         loads[static_cast<std::size_t>(sm)] =
             pdn_.columnOf(sm) == column ? inCol : outCol;
     }
-    return respond(loads, pdn_.smIndexAt(0, column), freqHz);
+    return respond(loads, pdn_.smIndexAt(0, column), freq);
 }
 
-double
-ImpedanceAnalyzer::residualImpedance(double freqHz, bool sameLayer) const
+Ohms
+ImpedanceAnalyzer::residualImpedance(Hertz freq, bool sameLayer) const
 {
     // Unit extra load at SM (layer 0, column 0); residual component
     // is +(1 - 1/N) there and -1/N at the other layers of column 0.
@@ -93,17 +93,17 @@ ImpedanceAnalyzer::residualImpedance(double freqHz, bool sameLayer) const
     const int observe =
         sameLayer ? pdn_.smIndexAt(loadedLayer, column)
                   : pdn_.smIndexAt(pdn_.layers() / 2, column);
-    return respond(loads, observe, freqHz);
+    return respond(loads, observe, freq);
 }
 
 std::vector<ImpedancePoint>
-ImpedanceAnalyzer::sweep(const std::vector<double> &freqsHz) const
+ImpedanceAnalyzer::sweep(const std::vector<Hertz> &freqs) const
 {
     std::vector<ImpedancePoint> points;
-    points.reserve(freqsHz.size());
-    for (double f : freqsHz) {
+    points.reserve(freqs.size());
+    for (Hertz f : freqs) {
         ImpedancePoint p;
-        p.freqHz = f;
+        p.freq = f;
         p.zGlobal = globalImpedance(f);
         p.zStack = stackImpedance(f);
         p.zResidualSameLayer = residualImpedance(f, true);
@@ -113,28 +113,28 @@ ImpedanceAnalyzer::sweep(const std::vector<double> &freqsHz) const
     return points;
 }
 
-double
-ImpedanceAnalyzer::peakImpedance(double freqHz) const
+Ohms
+ImpedanceAnalyzer::peakImpedance(Hertz freq) const
 {
-    double z = globalImpedance(freqHz);
-    z = std::max(z, stackImpedance(freqHz));
-    z = std::max(z, residualImpedance(freqHz, true));
-    z = std::max(z, residualImpedance(freqHz, false));
+    Ohms z = globalImpedance(freq);
+    z = std::max(z, stackImpedance(freq));
+    z = std::max(z, residualImpedance(freq, true));
+    z = std::max(z, residualImpedance(freq, false));
     return z;
 }
 
-std::vector<double>
-logFrequencyGrid(double loHz, double hiHz, int n)
+std::vector<Hertz>
+logFrequencyGrid(Hertz lo, Hertz hi, int n)
 {
-    panicIfNot(loHz > 0.0 && hiHz > loHz && n >= 2,
+    panicIfNot(lo > Hertz{} && hi > lo && n >= 2,
                "bad frequency grid parameters");
-    std::vector<double> freqs;
+    std::vector<Hertz> freqs;
     freqs.reserve(static_cast<std::size_t>(n));
-    const double ratio = std::log(hiHz / loHz);
+    const double ratio = std::log(hi / lo);
     for (int i = 0; i < n; ++i) {
         const double frac =
             static_cast<double>(i) / static_cast<double>(n - 1);
-        freqs.push_back(loHz * std::exp(ratio * frac));
+        freqs.push_back(lo * std::exp(ratio * frac));
     }
     return freqs;
 }

@@ -35,11 +35,11 @@ namespace vsgpu
 /** One row of the effective-impedance sweep. */
 struct ImpedancePoint
 {
-    double freqHz = 0.0;
-    double zGlobal = 0.0;
-    double zStack = 0.0;
-    double zResidualSameLayer = 0.0;
-    double zResidualDiffLayer = 0.0;
+    Hertz freq{};
+    Ohms zGlobal{};
+    Ohms zStack{};
+    Ohms zResidualSameLayer{};
+    Ohms zResidualDiffLayer{};
 };
 
 /**
@@ -51,39 +51,39 @@ class ImpedanceAnalyzer
     /** @param pdn the PDN to analyze (must outlive the analyzer). */
     explicit ImpedanceAnalyzer(const VsPdn &pdn);
 
-    /** @return Z_G at one frequency (ohms). */
-    double globalImpedance(double freqHz) const;
+    /** @return Z_G at one frequency. */
+    Ohms globalImpedance(Hertz freq) const;
 
     /** @return Z_ST for the given column at one frequency. */
-    double stackImpedance(double freqHz, int column = 0) const;
+    Ohms stackImpedance(Hertz freq, int column = 0) const;
 
     /**
      * @return Z_R at one frequency.
      * @param sameLayer measure at the over-loaded SM itself when
      *        true; at a different layer of the same column otherwise.
      */
-    double residualImpedance(double freqHz, bool sameLayer) const;
+    Ohms residualImpedance(Hertz freq, bool sameLayer) const;
 
     /** Sweep all four impedances over a frequency list. */
     std::vector<ImpedancePoint>
-    sweep(const std::vector<double> &freqsHz) const;
+    sweep(const std::vector<Hertz> &freqs) const;
 
     /** @return the maximum of the four impedances at one frequency. */
-    double peakImpedance(double freqHz) const;
+    Ohms peakImpedance(Hertz freq) const;
 
   private:
     /**
      * Solve with per-SM load amplitudes and return |ΔV| of the layer
      * voltage at the observed SM per amp of stimulus normalization.
      */
-    double respond(const std::vector<double> &smLoadAmps,
-                   int observeSm, double freqHz) const;
+    Ohms respond(const std::vector<double> &smLoadAmps,
+                 int observeSm, Hertz freq) const;
 
     const VsPdn &pdn_;
 };
 
 /** Logarithmically spaced frequency grid [lo, hi], n points. */
-std::vector<double> logFrequencyGrid(double loHz, double hiHz, int n);
+std::vector<Hertz> logFrequencyGrid(Hertz lo, Hertz hi, int n);
 
 } // namespace vsgpu
 

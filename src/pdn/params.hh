@@ -19,53 +19,54 @@ namespace vsgpu
 
 /**
  * Electrical parameters shared by all PDS configurations.
- * All values SI (ohms, henries, farads).
+ * Dimensioned quantities; mixing a field into the wrong slot of a
+ * netlist builder is a compile error.
  */
 struct PdnParams
 {
     // Board (PCB trace + connector) per supply rail.
-    double boardR = 0.25e-3;
-    double boardL = 40e-12;
+    Ohms boardR = 0.25_mOhm;
+    Henries boardL = 40.0_pH;
 
     // Bulk decoupling on the board.
-    double bulkC = 300e-6;
-    double bulkEsr = 0.3e-3;
+    Farads bulkC = 300.0_uF;
+    Ohms bulkEsr = 0.3_mOhm;
 
     // Package (socket bumps + package planes) per rail.
-    double packageR = 0.35e-3;
-    double packageL = 65e-12;
+    Ohms packageR = 0.35_mOhm;
+    Henries packageL = 65.0_pH;
 
     // Package-level decoupling.
-    double packageC = 2.2e-6;
-    double packageEsr = 0.8e-3;
+    Farads packageC = 2.2_uF;
+    Ohms packageEsr = 0.8_mOhm;
 
     // C4 bump + top-metal connection, per stacking column.  The
     // voltage-stacked configuration re-routes the top metal between
     // the C4 bumps and the boundary rails, so this term includes the
     // re-routing inductance (paper Section III-A).
-    double c4R = 1.2e-3;
-    double c4L = 100e-12;
+    Ohms c4R = 1.2_mOhm;
+    Henries c4L = 100.0_pH;
 
     // On-chip horizontal grid resistance between adjacent columns at
     // one boundary level.
-    double gridR = 80e-3;
+    Ohms gridR = 80.0_mOhm;
 
     // On-die decoupling per SM (across its local rail pair) and its
     // effective series resistance.
-    double smDecapC = 100e-9;
-    double smDecapEsr = 1.0e-3;
+    Farads smDecapC = 100.0_nF;
+    Ohms smDecapEsr = 1.0_mOhm;
 
     // Linearized SM load conductance.  GPU load current has only a
     // weak voltage dependence around the operating point (clock and
     // activity are externally set), modeled as I ~ V^alpha with
     // alpha << 1, giving an incremental load resistance
     // R_load = V / (alpha * I) = V^2 / (alpha * P).
-    double smNominalPower = 7.0;
-    double smNominalVoltage = config::smVoltage;
+    Watts smNominalPower = 7.0_W;
+    Volts smNominalVoltage = config::smVoltage;
     double smLoadAlpha = 0.15;
 
-    /** @return linearized per-SM load resistance (ohms). */
-    double
+    /** @return linearized per-SM load resistance. */
+    Ohms
     smLoadOhms() const
     {
         return smNominalVoltage * smNominalVoltage /

@@ -29,7 +29,7 @@ SingleLayerPdn::build()
         // IVR at the point of load: regulated rail appears at the
         // package node through a small output impedance.
         pkgNode = net_.allocNode("vdd_pkg");
-        net_.addResistor(srcNode, pkgNode, 0.1e-3, "r_ivr_out");
+        net_.addResistor(srcNode, pkgNode, 0.1_mOhm, "r_ivr_out");
     } else {
         // Conventional: board + package parasitics; the ground return
         // is modeled as ideal (its parasitics are folded into the
@@ -92,10 +92,11 @@ SingleLayerPdn::build()
     for (int sm = 0; sm < config::numSMs; ++sm) {
         const NodeId node = smNode(sm);
         smSource_[static_cast<std::size_t>(sm)] = net_.addCurrentSource(
-            node, Netlist::ground, 0.0, "i_sm" + std::to_string(sm));
+            node, Netlist::ground, Amps{},
+            "i_sm" + std::to_string(sm));
         if (options_.includeLoadResistors) {
             // The linearization point scales with the rail voltage.
-            const double loadOhms =
+            const Ohms loadOhms =
                 options_.supplyVolts * options_.supplyVolts /
                 (p.smLoadAlpha * p.smNominalPower);
             loadResIdx_.push_back(net_.addResistor(
@@ -125,10 +126,10 @@ SingleLayerPdn::smCurrentSource(int sm) const
     return smSource_[static_cast<std::size_t>(sm)];
 }
 
-double
+Volts
 SingleLayerPdn::smVoltage(const TransientSim &sim, int sm) const
 {
-    return sim.nodeVoltage(smNode(sm));
+    return Volts{sim.nodeVoltage(smNode(sm))};
 }
 
 } // namespace vsgpu

@@ -35,7 +35,7 @@ struct SingleLayerOptions
     PdnParams params = defaultPdnParams();
 
     /** Regulated rail voltage delivered to the chip. */
-    double supplyVolts = config::smVoltage;
+    Volts supplyVolts = config::smVoltage;
 
     /**
      * Place the regulated source at the package (true for the
@@ -71,7 +71,7 @@ class SingleLayerPdn
     int smCurrentSource(int sm) const;
 
     /** @return the SM's rail voltage in a transient sim. */
-    double smVoltage(const TransientSim &sim, int sm) const;
+    Volts smVoltage(const TransientSim &sim, int sm) const;
 
     /** @return index of the supply voltage source. */
     int supplySource() const { return supplyIdx_; }

@@ -95,17 +95,17 @@ VsPdn::build()
     }
 
     // SM loads: current source + linearized load resistor + decap.
-    const double layerVolts = nominalLayerVolts();
+    const Volts layerVolts = nominalLayerVolts();
     smSource_.resize(static_cast<std::size_t>(numSms()));
     for (int sm = 0; sm < numSms(); ++sm) {
         const NodeId top = smTopNode(sm);
         const NodeId bottom = smBottomNode(sm);
-        const double nominalAmps =
+        const Amps nominalAmps =
             p.smNominalPower / p.smNominalVoltage;
 
         smSource_[static_cast<std::size_t>(sm)] = net_.addCurrentSource(
             top, bottom,
-            options_.includeLoadResistors ? 0.0 : nominalAmps,
+            options_.includeLoadResistors ? Amps{} : nominalAmps,
             "i_sm" + std::to_string(sm));
 
         if (options_.includeLoadResistors) {
@@ -122,17 +122,17 @@ VsPdn::build()
 
     // Distributed CR-IVR (averaged): three equalizer cells per column
     // spanning each adjacent layer pair.
-    if (options_.crIvrEffOhms > 0.0) {
+    if (options_.crIvrEffOhms > Ohms{}) {
         for (int c = 0; c < cols; ++c) {
             for (int level = layers; level >= 2; --level) {
                 equalizerIdx_.push_back(net_.addEqualizer(
                     boundaryNode(level, c), boundaryNode(level - 1, c),
                     boundaryNode(level - 2, c), options_.crIvrEffOhms,
                     "crivr_c" + std::to_string(c)));
-                if (options_.crIvrFlyCapF > 0.0) {
+                if (options_.crIvrFlyCapF > Farads{}) {
                     // Flying caps double as Cfly/2 of decoupling on
                     // each of the two layers the cell spans.
-                    const double half = options_.crIvrFlyCapF / 2.0;
+                    const Farads half = options_.crIvrFlyCapF / 2.0;
                     const NodeId mid1 = net_.allocNode("fly_esr");
                     net_.addCapacitor(boundaryNode(level, c), mid1,
                                       half, layerVolts);
@@ -181,11 +181,11 @@ VsPdn::smCurrentSource(int sm) const
     return smSource_[static_cast<std::size_t>(sm)];
 }
 
-double
+Volts
 VsPdn::smVoltage(const TransientSim &sim, int sm) const
 {
-    return sim.nodeVoltage(smTopNode(sm)) -
-           sim.nodeVoltage(smBottomNode(sm));
+    return Volts{sim.nodeVoltage(smTopNode(sm)) -
+                 sim.nodeVoltage(smBottomNode(sm))};
 }
 
 } // namespace vsgpu

@@ -47,22 +47,22 @@ struct VsPdnOptions
      * Effective resistance of each distributed CR-IVR equalizer cell
      * (1 / (fsw * Cfly)); non-positive disables on-chip regulation.
      */
-    double crIvrEffOhms = 0.0;
+    Ohms crIvrEffOhms{};
 
     /**
-     * Flying capacitance of each CR-IVR cell (F).  The flying caps
+     * Flying capacitance of each CR-IVR cell.  The flying caps
      * spend half of every switching period across each adjacent
      * layer, so they additionally act as Cfly/2 of decoupling on both
      * layers — this is what suppresses the global resonance peak in
      * paper Fig. 3(b).  Non-positive omits the effect.
      */
-    double crIvrFlyCapF = 0.0;
+    Farads crIvrFlyCapF{};
 
     /** Include the linearized per-SM load resistor. */
     bool includeLoadResistors = true;
 
     /** Board supply voltage. */
-    double supplyVolts = config::pcbVoltage;
+    Volts supplyVolts = config::pcbVoltage;
 };
 
 /**
@@ -128,7 +128,7 @@ class VsPdn
     }
 
     /** @return the SM's local rail voltage in a transient sim. */
-    double smVoltage(const TransientSim &sim, int sm) const;
+    Volts smVoltage(const TransientSim &sim, int sm) const;
 
     /** @return index of the board supply voltage source. */
     int supplySource() const { return supplyIdx_; }
@@ -147,7 +147,7 @@ class VsPdn
     }
 
     /** @return nominal per-layer voltage (supply / layers). */
-    double
+    Volts
     nominalLayerVolts() const
     {
         return options_.supplyVolts /

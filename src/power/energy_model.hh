@@ -15,51 +15,52 @@
 
 #include <array>
 
+#include "common/quantity.hh"
 #include "gpu/exec_unit.hh"
 #include "gpu/sm.hh"
 
 namespace vsgpu
 {
 
-/** Tunable energy/power constants (J and W). */
+/** Tunable energy/power constants. */
 struct EnergyParams
 {
-    /** Dynamic energy per warp instruction by op class (J). */
-    std::array<double, numOpClasses> opEnergy = {
-        1.7e-9, // IntAlu
-        2.5e-9, // FpAlu
-        4.2e-9, // Sfu
-        3.4e-9, // Load
-        3.0e-9, // Store
-        2.0e-9, // SharedMem
-        4.6e-9, // Atomic
-        0.2e-9, // Sync
+    /** Dynamic energy per warp instruction by op class. */
+    std::array<Joules, numOpClasses> opEnergy = {
+        1.7_nJ, // IntAlu
+        2.5_nJ, // FpAlu
+        4.2_nJ, // Sfu
+        3.4_nJ, // Load
+        3.0_nJ, // Store
+        2.0_nJ, // SharedMem
+        4.6_nJ, // Atomic
+        0.2_nJ, // Sync
     };
 
-    /** Fetch/decode/issue overhead per instruction (J). */
-    double issueEnergy = 0.5e-9;
+    /** Fetch/decode/issue overhead per instruction. */
+    Joules issueEnergy = 0.5_nJ;
 
-    /** Energy of a fake injected instruction (J): an SP op that is
+    /** Energy of a fake injected instruction: an SP op that is
      *  fetched and executed but performs no architectural writeback. */
-    double fakeEnergy = 2.0e-9;
+    Joules fakeEnergy = 2.0_nJ;
 
     /** Fraction of op energy that scales with active lanes. */
     double laneFraction = 0.6;
 
     /** Clock tree, pipeline registers, schedulers, and register-file
-     *  background activity while the SM clock runs (W).  An SM that
+     *  background activity while the SM clock runs.  An SM that
      *  is resident-but-stalled (e.g. at a barrier) still burns this —
      *  real SMs idle near half their typical power, which bounds how
      *  deep barrier-induced power swings can be. */
-    double clockPower = 2.6;
+    Watts clockPower = 2.6_W;
 
-    /** Gateable leakage per execution block (W): SP0 SP1 SFU LSU. */
-    std::array<double, numExecUnits> unitLeakage = {
-        0.30, 0.30, 0.14, 0.24,
+    /** Gateable leakage per execution block: SP0 SP1 SFU LSU. */
+    std::array<Watts, numExecUnits> unitLeakage = {
+        0.30_W, 0.30_W, 0.14_W, 0.24_W,
     };
 
     /** Non-gateable leakage: register file, shared memory, control. */
-    double baseLeakage = 0.55;
+    Watts baseLeakage = 0.55_W;
 };
 
 } // namespace vsgpu

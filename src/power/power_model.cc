@@ -10,10 +10,10 @@ SmPowerModel::SmPowerModel(const EnergyParams &params)
 {
 }
 
-double
+Joules
 SmPowerModel::dynamicEnergy(const SmCycleEvents &events) const
 {
-    double joules = 0.0;
+    Joules joules{};
     double avgLanes = 1.0;
     const int total = events.totalIssued();
     if (total > 0) {
@@ -38,10 +38,10 @@ SmPowerModel::dynamicEnergy(const SmCycleEvents &events) const
     return joules;
 }
 
-double
+Watts
 SmPowerModel::leakagePower(const Sm &sm, Cycle now) const
 {
-    double watts = params_.baseLeakage;
+    Watts watts = params_.baseLeakage;
     for (int u = 0; u < numExecUnits; ++u) {
         const auto kind = static_cast<ExecUnitKind>(u);
         if (!sm.unit(kind).gated(now))
@@ -50,26 +50,26 @@ SmPowerModel::leakagePower(const Sm &sm, Cycle now) const
     return watts;
 }
 
-double
+Watts
 SmPowerModel::cyclePower(const SmCycleEvents &events, const Sm &sm,
                          Cycle now) const
 {
-    double watts = dynamicEnergy(events) / config::clockPeriod;
+    Watts watts = dynamicEnergy(events) / config::clockPeriod;
     if (events.clocked && events.active)
         watts += params_.clockPower;
     watts += leakagePower(sm, now);
     return watts;
 }
 
-double
+Watts
 SmPowerModel::peakPower() const
 {
     // Two FP instructions per cycle at full lanes plus clock and
     // un-gated leakage.
-    double leak = params_.baseLeakage;
-    for (double l : params_.unitLeakage)
+    Watts leak = params_.baseLeakage;
+    for (Watts l : params_.unitLeakage)
         leak += l;
-    const double dyn =
+    const Watts dyn =
         2.0 * (params_.opEnergy[static_cast<std::size_t>(
                    OpClass::FpAlu)] +
                params_.issueEnergy) /

@@ -21,27 +21,27 @@ class SmPowerModel
   public:
     explicit SmPowerModel(const EnergyParams &params = {});
 
-    /** @return dynamic energy of one cycle's events (J). */
-    double dynamicEnergy(const SmCycleEvents &events) const;
+    /** @return dynamic energy of one cycle's events. */
+    Joules dynamicEnergy(const SmCycleEvents &events) const;
 
     /**
-     * @return leakage power of an SM given its gating state (W).
+     * @return leakage power of an SM given its gating state.
      * @param now current cycle (gating is time-dependent).
      */
-    double leakagePower(const Sm &sm, Cycle now) const;
+    Watts leakagePower(const Sm &sm, Cycle now) const;
 
     /**
-     * @return total SM power for one cycle (W): dynamic energy over
+     * @return total SM power for one cycle: dynamic energy over
      * the clock period, clock-tree power when clocked, and leakage.
      */
-    double cyclePower(const SmCycleEvents &events, const Sm &sm,
-                      Cycle now) const;
+    Watts cyclePower(const SmCycleEvents &events, const Sm &sm,
+                     Cycle now) const;
 
     /** @return the parameter set. */
     const EnergyParams &params() const { return params_; }
 
-    /** @return nominal peak SM power implied by the parameters (W). */
-    double peakPower() const;
+    /** @return nominal peak SM power implied by the parameters. */
+    Watts peakPower() const;
 
   private:
     EnergyParams params_;

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "common/check.hh"
 #include "common/logging.hh"
 #include "control/controller.hh"
 #include "ivr/efficiency.hh"
@@ -76,7 +77,7 @@ CoSimulator::runImpl(
     Gpu gpu(cfg_.gpu);
 
     SmPowerModel powerModel(cfg_.energy);
-    const double peakSmPower = powerModel.peakPower();
+    const double peakSmPower = powerModel.peakPower().raw();
 
     std::unique_ptr<VsPdn> vsPdn;
     std::unique_ptr<SingleLayerPdn> slPdn;
@@ -87,14 +88,14 @@ CoSimulator::runImpl(
         VsPdnOptions options;
         options.params = cfg_.pdn;
         if (cfg_.pds.ivrAreaFraction > 0.0) {
-            const CrIvrDesign design(cfg_.pds.ivrAreaMm2(),
+            const CrIvrDesign design(cfg_.pds.ivrArea(),
                                      cfg_.pds.ivrTech);
             options.crIvrEffOhms = design.effOhmsPerCell();
-            options.crIvrFlyCapF = design.flyCapPerCellF();
+            options.crIvrFlyCapF = design.flyCapPerCell();
         }
         vsPdn = std::make_unique<VsPdn>(options);
         tr = std::make_unique<TransientSim>(vsPdn->netlist(),
-                                            config::clockPeriod);
+                                            config::clockPeriod.raw());
         loadResistors = vsPdn->loadResistorIndices();
     } else {
         SingleLayerOptions options;
@@ -104,18 +105,20 @@ CoSimulator::runImpl(
         // Load-line compensation: the regulator output is set above
         // nominal so the rail stays near 1 V under the average IR
         // drop (further from the load = more compensation).
-        options.supplyVolts = options.supplyAtPackage ? 1.03 : 1.06;
+        options.supplyVolts =
+            options.supplyAtPackage ? 1.03_V : 1.06_V;
         slPdn = std::make_unique<SingleLayerPdn>(options);
         tr = std::make_unique<TransientSim>(slPdn->netlist(),
-                                            config::clockPeriod);
+                                            config::clockPeriod.raw());
         loadResistors = slPdn->loadResistorIndices();
     }
     tr->initToDc();
 
-    // Per-SM rail voltage reader.
+    // Per-SM rail voltage reader (raw volts for the loop math).
     const auto railVolts = [&](int sm) {
-        return stacked ? vsPdn->smVoltage(*tr, sm)
-                       : slPdn->smVoltage(*tr, sm);
+        return (stacked ? vsPdn->smVoltage(*tr, sm)
+                        : slPdn->smVoltage(*tr, sm))
+            .raw();
     };
     const auto smSource = [&](int sm) {
         return stacked ? vsPdn->smCurrentSource(sm)
@@ -136,7 +139,7 @@ CoSimulator::runImpl(
 
     // --- accumulators ---
     CosimResult result;
-    const double dt = config::clockPeriod;
+    const double dt = config::clockPeriod.raw();
     std::array<ReservoirSampler, config::numSMs> noise{};
     RunningStats pooledVolts;
     double minVoltage = 1e9;
@@ -147,7 +150,7 @@ CoSimulator::runImpl(
 
     const double loadOhms =
         loadResistors.empty()
-            ? cfg_.pdn.smLoadOhms()
+            ? cfg_.pdn.smLoadOhms().raw()
             : (stacked ? vsPdn->netlist() : slPdn->netlist())
                   .resistors()[static_cast<std::size_t>(
                       loadResistors.front())]
@@ -163,13 +166,14 @@ CoSimulator::runImpl(
     // resonance and destabilize the PDN, which is unphysical.
     std::array<double, config::numSMs> vSlow{};
     const double nominalRail =
-        stacked ? vsPdn->nominalLayerVolts() : config::smVoltage;
+        (stacked ? vsPdn->nominalLayerVolts() : config::smVoltage)
+            .raw();
     vSlow.fill(nominalRail);
     const double vSlowBeta = 0.01; // ~100-cycle time constant
 
     // Remote-sense VRM regulation state (single-layer configs).
     double vrmSetVolts =
-        stacked ? 0.0 : slPdn->options().supplyVolts;
+        stacked ? 0.0 : slPdn->options().supplyVolts.raw();
 
     // Hypervisor/PG interplay bookkeeping.
     Cycle lastHvUpdate = 0;
@@ -203,7 +207,7 @@ CoSimulator::runImpl(
         for (int sm = 0; sm < config::numSMs; ++sm) {
             const auto &events = gpu.smEvents(sm);
             double watts =
-                powerModel.cyclePower(events, gpu.sm(sm), now);
+                powerModel.cyclePower(events, gpu.sm(sm), now).raw();
             if (now >= gateLayerAt &&
                 VsPdn::smLayer(sm) == cfg_.gatedLayer) {
                 watts = cfg_.gatedLayerWatts;
@@ -211,7 +215,7 @@ CoSimulator::runImpl(
             smPower[static_cast<std::size_t>(sm)] = watts;
             totalLoadPower += watts;
             fakePower += static_cast<double>(events.fakeIssued) *
-                         cfg_.energy.fakeEnergy / dt;
+                         cfg_.energy.fakeEnergy.raw() / dt;
         }
 
         // 3. Convert power to load currents and advance the PDS.
@@ -229,7 +233,7 @@ CoSimulator::runImpl(
             const double rail = railVolts(sm);
             vSlow[idx] += vSlowBeta * (rail - vSlow[idx]);
             const double v = usableVolts(vSlow[idx]);
-            const double knee = 0.6 * config::smVoltage;
+            const double knee = 0.6 * config::smVoltage.raw();
             const double foldback =
                 std::clamp(v / knee, 0.0, 1.0);
             const double loadAmps =
@@ -251,7 +255,7 @@ CoSimulator::runImpl(
                 railAvg += vSlow[static_cast<std::size_t>(sm)];
             railAvg /= static_cast<double>(config::numSMs);
             vrmSetVolts += cfg_.remoteSenseGain *
-                           (config::smVoltage - railAvg);
+                           (config::smVoltage.raw() - railAvg);
             vrmSetVolts = std::clamp(vrmSetVolts, 0.95, 1.15);
             tr->setSourceVolts(slPdn->supplySource(), vrmSetVolts);
         }
@@ -261,6 +265,9 @@ CoSimulator::runImpl(
         double cycleMax = -1e9;
         for (int sm = 0; sm < config::numSMs; ++sm) {
             const double v = railVolts(sm);
+            // A non-finite rail voltage here means the PDS solve has
+            // already gone unstable; fail fast in debug builds.
+            VSGPU_CHECK_FINITE(v);
             noise[static_cast<std::size_t>(sm)].add(v);
             pooledVolts.add(v);
             cycleMin = std::min(cycleMin, v);
@@ -414,7 +421,7 @@ CoSimulator::runImpl(
             for (int e = 0; e < numEq; ++e)
                 transferWatts +=
                     std::abs(tr->equalizerCurrent(e)) *
-                    config::smVoltage;
+                    config::smVoltage.raw();
 
             // Shuffle tax: inter-layer imbalance power is processed
             // by the SC ladder at its shuffle efficiency; the
@@ -438,7 +445,7 @@ CoSimulator::runImpl(
             overheadWatts +=
                 overheads.levelShifterFraction * totalLoadPower;
             if (controller) {
-                overheadWatts += overheads.controllerWatts +
+                overheadWatts += overheads.controllerPower.raw() +
                                  controller->detectorPower();
                 overheadWatts +=
                     cfg_.pds.controller.dcc.leakageWatts *
@@ -454,18 +461,19 @@ CoSimulator::runImpl(
                         tr->totalEqualizerPower() + overheadWatts;
         } else if (cfg_.pds.kind == PdsKind::ConventionalVrm) {
             const double chipWatts = tr->totalSourcePower();
-            wallWatts = vrm.inputPower(chipWatts);
+            wallWatts = vrm.inputPower(Watts{chipWatts}).raw();
             conversionWatts = wallWatts - chipWatts;
         } else { // SingleLayerIvr
             const double chipWatts = tr->totalSourcePower();
-            const double ivrInWatts = singleIvr.inputPower(chipWatts);
+            const double ivrInWatts =
+                singleIvr.inputPower(Watts{chipWatts}).raw();
             conversionWatts = ivrInWatts - chipWatts;
             // Board transport at 2 V to the on-die regulator.
             const double boardAmps =
-                ivrInWatts / singleIvr.inputVolts();
+                ivrInWatts / singleIvr.inputVolts().raw();
             const double boardLossWatts =
                 boardAmps * boardAmps *
-                (cfg_.pdn.boardR + cfg_.pdn.packageR);
+                (cfg_.pdn.boardR + cfg_.pdn.packageR).raw();
             wallWatts = ivrInWatts + boardLossWatts;
             conversionWatts += boardLossWatts;
         }

@@ -85,7 +85,7 @@ struct CosimResult
     avgLoadPower() const
     {
         const double t = static_cast<double>(cycles) *
-                         config::clockPeriod;
+                         config::clockPeriod.raw();
         return t > 0.0 ? energy.load / t : 0.0;
     }
 };

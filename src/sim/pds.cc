@@ -39,7 +39,7 @@ defaultPds(PdsKind kind)
         // Sized for a worst-case guarantee without architectural
         // help (paper: 912 mm^2 = 1.72 x GPU die).
         options.ivrAreaFraction =
-            config::circuitOnlyIvrAreaMm2 / config::gpuDieAreaMm2;
+            config::circuitOnlyIvrArea / config::gpuDieArea;
         break;
       case PdsKind::VsCrossLayer:
         options.ivrAreaFraction = config::defaultIvrAreaFraction;
@@ -49,22 +49,22 @@ defaultPds(PdsKind kind)
     return options;
 }
 
-double
-pdsAreaOverheadMm2(const PdsOptions &options)
+Area
+pdsAreaOverhead(const PdsOptions &options)
 {
     switch (options.kind) {
       case PdsKind::ConventionalVrm:
-        return 0.0; // board-level, no die area
+        return Area{}; // board-level, no die area
       case PdsKind::SingleLayerIvr:
-        return SingleIvrModel::areaMm2();
+        return SingleIvrModel::area();
       case PdsKind::VsCircuitOnly:
-        return options.ivrAreaMm2();
+        return options.ivrArea();
       case PdsKind::VsCrossLayer: {
         const VsOverheads ov;
-        return options.ivrAreaMm2() + ov.controllerAreaMm2 +
-               ov.filterAreaMm2 * static_cast<double>(config::numSMs) +
-               options.controller.dcc.areaMm2 *
-                   static_cast<double>(config::numSMs);
+        return options.ivrArea() + ov.controllerArea +
+               ov.filterArea * static_cast<double>(config::numSMs) +
+               1.0_mm2 * (options.controller.dcc.areaMm2 *
+                          static_cast<double>(config::numSMs));
       }
     }
     panic("unknown PDS kind");

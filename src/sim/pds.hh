@@ -48,20 +48,20 @@ struct PdsOptions
     /** CR-IVR technology constants. */
     CrIvrTech ivrTech = {};
 
-    /** @return the CR-IVR area in mm^2. */
-    double
-    ivrAreaMm2() const
+    /** @return the CR-IVR die area. */
+    Area
+    ivrArea() const
     {
-        return ivrAreaFraction * config::gpuDieAreaMm2;
+        return ivrAreaFraction * config::gpuDieArea;
     }
 };
 
 /** @return the paper's default options for each configuration. */
 PdsOptions defaultPds(PdsKind kind);
 
-/** @return die-area overhead (mm^2) of a configuration's PDS
+/** @return die-area overhead of a configuration's PDS
  *  (Table III column 3). */
-double pdsAreaOverheadMm2(const PdsOptions &options);
+Area pdsAreaOverhead(const PdsOptions &options);
 
 } // namespace vsgpu
 

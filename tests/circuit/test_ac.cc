@@ -20,7 +20,7 @@ TEST(AcAnalysis, ResistorImpedanceIsFlat)
 {
     Netlist net;
     const NodeId a = net.allocNode();
-    net.addResistor(a, Netlist::ground, 42.0);
+    net.addResistor(a, Netlist::ground, Ohms{42.0});
     AcAnalysis ac(net);
     for (double f : {1e3, 1e6, 1e9})
         EXPECT_NEAR(std::abs(ac.impedanceAt(f, a)), 42.0, 1e-9);
@@ -31,7 +31,7 @@ TEST(AcAnalysis, CapacitorImpedanceFallsWithFrequency)
     const double c = 1e-9;
     Netlist net;
     const NodeId a = net.allocNode();
-    net.addCapacitor(a, Netlist::ground, c);
+    net.addCapacitor(a, Netlist::ground, Farads{c});
     AcAnalysis ac(net);
     for (double f : {1e6, 1e7, 1e8}) {
         const double expected = 1.0 / (2.0 * M_PI * f * c);
@@ -45,7 +45,7 @@ TEST(AcAnalysis, InductorImpedanceRisesWithFrequency)
     const double l = 1e-9;
     Netlist net;
     const NodeId a = net.allocNode();
-    net.addInductor(a, Netlist::ground, l);
+    net.addInductor(a, Netlist::ground, Henries{l});
     AcAnalysis ac(net);
     for (double f : {1e6, 1e8}) {
         const double expected = 2.0 * M_PI * f * l;
@@ -64,9 +64,9 @@ TEST(AcAnalysis, SeriesRlcResonance)
     const NodeId a = net.allocNode();
     const NodeId m1 = net.allocNode();
     const NodeId m2 = net.allocNode();
-    net.addResistor(a, m1, r);
-    net.addInductor(m1, m2, l);
-    net.addCapacitor(m2, Netlist::ground, c);
+    net.addResistor(a, m1, Ohms{r});
+    net.addInductor(m1, m2, Henries{l});
+    net.addCapacitor(m2, Netlist::ground, Farads{c});
     AcAnalysis ac(net);
     const double f0 = 1.0 / (2.0 * M_PI * std::sqrt(l * c));
     EXPECT_NEAR(std::abs(ac.impedanceAt(f0, a)), r, r * 1e-6);
@@ -79,9 +79,9 @@ TEST(AcAnalysis, ParallelRlcPeaksAtResonance)
     const double r = 100.0, l = 1e-9, c = 1e-9;
     Netlist net;
     const NodeId a = net.allocNode();
-    net.addResistor(a, Netlist::ground, r);
-    net.addInductor(a, Netlist::ground, l);
-    net.addCapacitor(a, Netlist::ground, c);
+    net.addResistor(a, Netlist::ground, Ohms{r});
+    net.addInductor(a, Netlist::ground, Henries{l});
+    net.addCapacitor(a, Netlist::ground, Farads{c});
     AcAnalysis ac(net);
     const double f0 = 1.0 / (2.0 * M_PI * std::sqrt(l * c));
     const double zPeak = std::abs(ac.impedanceAt(f0, a));
@@ -96,8 +96,8 @@ TEST(AcAnalysis, VoltageSourceIsAcShort)
     // AC response at that node.
     Netlist net;
     const NodeId a = net.allocNode();
-    net.addVoltageSource(a, Netlist::ground, 5.0);
-    net.addResistor(a, Netlist::ground, 10.0);
+    net.addVoltageSource(a, Netlist::ground, Volts{5.0});
+    net.addResistor(a, Netlist::ground, Ohms{10.0});
     AcAnalysis ac(net);
     EXPECT_NEAR(std::abs(ac.impedanceAt(1e6, a)), 0.0, 1e-12);
 }
@@ -108,8 +108,8 @@ TEST(AcAnalysis, TransferImpedanceAcrossDivider)
     Netlist net;
     const NodeId a = net.allocNode();
     const NodeId b = net.allocNode();
-    net.addResistor(a, b, 1.0);
-    net.addResistor(b, Netlist::ground, 2.0);
+    net.addResistor(a, b, Ohms{1.0});
+    net.addResistor(b, Netlist::ground, Ohms{2.0});
     AcAnalysis ac(net);
     const auto volts = ac.solve(1e6, {{a, Complex{1.0, 0.0}}});
     EXPECT_NEAR(volts[static_cast<std::size_t>(a)].real(), 3.0, 1e-9);
@@ -120,8 +120,8 @@ TEST(AcAnalysis, SwitchStateChangesTopology)
 {
     Netlist net;
     const NodeId a = net.allocNode();
-    net.addResistor(a, Netlist::ground, 10.0);
-    net.addSwitch(a, Netlist::ground, 1.0, 1e12, false);
+    net.addResistor(a, Netlist::ground, Ohms{10.0});
+    net.addSwitch(a, Netlist::ground, Ohms{1.0}, Ohms{1e12}, false);
     AcAnalysis open(net, {false});
     AcAnalysis closed(net, {true});
     EXPECT_NEAR(std::abs(open.impedanceAt(1e6, a)), 10.0, 1e-6);
@@ -135,7 +135,7 @@ TEST(AcAnalysisDeath, RejectsNonPositiveFrequency)
     setLogQuiet(true);
     Netlist net;
     const NodeId a = net.allocNode();
-    net.addResistor(a, Netlist::ground, 1.0);
+    net.addResistor(a, Netlist::ground, Ohms{1.0});
     AcAnalysis ac(net);
     EXPECT_DEATH(ac.impedanceAt(0.0, a), "");
     EXPECT_DEATH(ac.impedanceAt(-1e6, a), "");

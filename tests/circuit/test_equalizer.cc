@@ -29,15 +29,15 @@ twoLayerStack(NodeId &top, NodeId &mid, int &isrcTop, int &isrcBot,
     Netlist net;
     top = net.allocNode("top");
     mid = net.allocNode("mid");
-    net.addVoltageSource(top, Netlist::ground, 2.0);
-    net.addResistor(top, mid, 10.0, "load_top");
-    net.addResistor(mid, Netlist::ground, 10.0, "load_bot");
-    net.addCapacitor(top, mid, 1e-9, 1.0);
-    net.addCapacitor(mid, Netlist::ground, 1e-9, 1.0);
+    net.addVoltageSource(top, Netlist::ground, Volts{2.0});
+    net.addResistor(top, mid, Ohms{10.0}, "load_top");
+    net.addResistor(mid, Netlist::ground, Ohms{10.0}, "load_bot");
+    net.addCapacitor(top, mid, Farads{1e-9}, Volts{1.0});
+    net.addCapacitor(mid, Netlist::ground, Farads{1e-9}, Volts{1.0});
     isrcTop = net.addCurrentSource(top, mid);
     isrcBot = net.addCurrentSource(mid, Netlist::ground);
     if (effOhms > 0.0)
-        net.addEqualizer(top, mid, Netlist::ground, effOhms);
+        net.addEqualizer(top, mid, Netlist::ground, Ohms{effOhms});
     return net;
 }
 

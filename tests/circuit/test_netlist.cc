@@ -29,13 +29,13 @@ TEST(Netlist, ElementsRecordParameters)
     Netlist net;
     const NodeId a = net.allocNode();
     const NodeId b = net.allocNode();
-    const int r = net.addResistor(a, b, 10.0, "r1");
-    const int c = net.addCapacitor(a, b, 1e-9, 0.5);
-    const int l = net.addInductor(a, b, 1e-12, 2.0);
-    const int v = net.addVoltageSource(a, Netlist::ground, 3.3);
-    const int i = net.addCurrentSource(a, b, 0.1, "load");
-    const int s = net.addSwitch(a, b, 1e-3, 1e9, true);
-    const int e = net.addEqualizer(a, b, Netlist::ground, 0.05);
+    const int r = net.addResistor(a, b, 10.0_Ohm, "r1");
+    const int c = net.addCapacitor(a, b, 1.0_nF, 0.5_V);
+    const int l = net.addInductor(a, b, 1.0_pH, 2.0_A);
+    const int v = net.addVoltageSource(a, Netlist::ground, 3.3_V);
+    const int i = net.addCurrentSource(a, b, 0.1_A, "load");
+    const int s = net.addSwitch(a, b, 1.0_mOhm, Ohms{1e9}, true);
+    const int e = net.addEqualizer(a, b, Netlist::ground, 0.05_Ohm);
 
     EXPECT_EQ(r, 0);
     EXPECT_DOUBLE_EQ(net.resistors()[0].ohms, 10.0);
@@ -59,14 +59,14 @@ TEST(NetlistDeath, RejectsInvalidValues)
     setLogQuiet(true);
     Netlist net;
     const NodeId a = net.allocNode();
-    EXPECT_DEATH(net.addResistor(a, Netlist::ground, 0.0), "");
-    EXPECT_DEATH(net.addResistor(a, Netlist::ground, -1.0), "");
-    EXPECT_DEATH(net.addCapacitor(a, Netlist::ground, 0.0), "");
-    EXPECT_DEATH(net.addInductor(a, Netlist::ground, -1e-9), "");
+    EXPECT_DEATH(net.addResistor(a, Netlist::ground, Ohms{}), "");
+    EXPECT_DEATH(net.addResistor(a, Netlist::ground, -1.0_Ohm), "");
+    EXPECT_DEATH(net.addCapacitor(a, Netlist::ground, Farads{}), "");
+    EXPECT_DEATH(net.addInductor(a, Netlist::ground, -1.0_nH), "");
     EXPECT_DEATH(net.addEqualizer(a, Netlist::ground,
-                                  Netlist::ground, 0.0), "");
+                                  Netlist::ground, Ohms{}), "");
     // Switch requires Ron < Roff.
-    EXPECT_DEATH(net.addSwitch(a, Netlist::ground, 1.0, 0.5), "");
+    EXPECT_DEATH(net.addSwitch(a, Netlist::ground, 1.0_Ohm, 0.5_Ohm), "");
 }
 
 TEST(NetlistDeath, RejectsUnknownNodes)
@@ -74,7 +74,7 @@ TEST(NetlistDeath, RejectsUnknownNodes)
     setLogQuiet(true);
     Netlist net;
     net.allocNode();
-    EXPECT_DEATH(net.addResistor(1, 5, 1.0), "");
+    EXPECT_DEATH(net.addResistor(1, 5, 1.0_Ohm), "");
     EXPECT_DEATH(net.addCurrentSource(-1, 0), "");
     EXPECT_DEATH(net.nodeLabel(9), "");
 }

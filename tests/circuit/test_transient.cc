@@ -21,9 +21,9 @@ TEST(TransientSim, ResistiveDividerIsExact)
     Netlist net;
     const NodeId mid = net.allocNode("mid");
     const NodeId top = net.allocNode("top");
-    net.addVoltageSource(top, Netlist::ground, 10.0);
-    net.addResistor(top, mid, 1.0);
-    net.addResistor(mid, Netlist::ground, 3.0);
+    net.addVoltageSource(top, Netlist::ground, Volts{10.0});
+    net.addResistor(top, mid, Ohms{1.0});
+    net.addResistor(mid, Netlist::ground, Ohms{3.0});
     TransientSim sim(net, 1e-9);
     sim.step();
     EXPECT_NEAR(sim.nodeVoltage(mid), 7.5, 1e-9);
@@ -38,8 +38,8 @@ TEST(TransientSim, CurrentSourceThroughResistor)
 {
     Netlist net;
     const NodeId a = net.allocNode();
-    net.addResistor(a, Netlist::ground, 2.0);
-    const int isrc = net.addCurrentSource(a, Netlist::ground, 0.0);
+    net.addResistor(a, Netlist::ground, Ohms{2.0});
+    const int isrc = net.addCurrentSource(a, Netlist::ground, Amps{0.0});
     TransientSim sim(net, 1e-9);
     // Load drawing from node a pulls the node negative through R.
     sim.setCurrent(isrc, 1.5);
@@ -58,9 +58,9 @@ TEST(TransientSim, RcChargingMatchesClosedForm)
     Netlist net;
     const NodeId top = net.allocNode();
     const NodeId out = net.allocNode();
-    net.addVoltageSource(top, Netlist::ground, vs);
-    net.addResistor(top, out, r);
-    net.addCapacitor(out, Netlist::ground, c, 0.0);
+    net.addVoltageSource(top, Netlist::ground, Volts{vs});
+    net.addResistor(top, out, Ohms{r});
+    net.addCapacitor(out, Netlist::ground, Farads{c}, Volts{0.0});
     const double dt = 1e-9; // tau / 100
     TransientSim sim(net, dt);
     const int steps = 300;
@@ -78,9 +78,9 @@ TEST(TransientSim, RlCurrentRampMatchesClosedForm)
     Netlist net;
     const NodeId top = net.allocNode();
     const NodeId mid = net.allocNode();
-    net.addVoltageSource(top, Netlist::ground, vs);
-    net.addResistor(top, mid, r);
-    const int ind = net.addInductor(mid, Netlist::ground, l, 0.0);
+    net.addVoltageSource(top, Netlist::ground, Volts{vs});
+    net.addResistor(top, mid, Ohms{r});
+    const int ind = net.addInductor(mid, Netlist::ground, Henries{l}, Amps{0.0});
     const double dt = 1e-8; // tau/100
     TransientSim sim(net, dt);
     const int steps = 150;
@@ -98,9 +98,9 @@ TEST(TransientSim, LcOscillationFrequency)
     Netlist net;
     const NodeId a = net.allocNode();
     const NodeId b = net.allocNode();
-    net.addResistor(a, b, r);
-    net.addInductor(b, Netlist::ground, l, 0.0);
-    net.addCapacitor(a, Netlist::ground, c, 1.0);
+    net.addResistor(a, b, Ohms{r});
+    net.addInductor(b, Netlist::ground, Henries{l}, Amps{0.0});
+    net.addCapacitor(a, Netlist::ground, Farads{c}, Volts{1.0});
     const double dt = 2e-11;
     TransientSim sim(net, dt);
     // Count zero crossings of the cap voltage over many cycles.
@@ -127,10 +127,10 @@ TEST(TransientSim, DcInitRemovesStartupTransient)
     Netlist net;
     const NodeId top = net.allocNode();
     const NodeId mid = net.allocNode();
-    net.addVoltageSource(top, Netlist::ground, 4.0);
-    net.addResistor(top, mid, 1.0);
-    net.addResistor(mid, Netlist::ground, 1.0);
-    net.addCapacitor(mid, Netlist::ground, 1e-6, 0.0);
+    net.addVoltageSource(top, Netlist::ground, Volts{4.0});
+    net.addResistor(top, mid, Ohms{1.0});
+    net.addResistor(mid, Netlist::ground, Ohms{1.0});
+    net.addCapacitor(mid, Netlist::ground, Farads{1e-6}, Volts{0.0});
     TransientSim sim(net, 1e-9);
     sim.initToDc();
     EXPECT_NEAR(sim.nodeVoltage(mid), 2.0, 1e-6);
@@ -144,11 +144,11 @@ TEST(TransientSim, SwitchTogglesConductionPath)
     Netlist net;
     const NodeId top = net.allocNode();
     const NodeId out = net.allocNode();
-    net.addVoltageSource(top, Netlist::ground, 1.0);
-    net.addResistor(top, out, 1.0);
-    const int sw = net.addSwitch(out, Netlist::ground, 1e-6, 1e9,
+    net.addVoltageSource(top, Netlist::ground, Volts{1.0});
+    net.addResistor(top, out, Ohms{1.0});
+    const int sw = net.addSwitch(out, Netlist::ground, Ohms{1e-6}, Ohms{1e9},
                                  false);
-    net.addResistor(out, Netlist::ground, 1.0); // keeps node defined
+    net.addResistor(out, Netlist::ground, Ohms{1.0}); // keeps node defined
     TransientSim sim(net, 1e-9);
     sim.step();
     EXPECT_NEAR(sim.nodeVoltage(out), 0.5, 1e-6);
@@ -164,8 +164,8 @@ TEST(TransientSim, TimeAndStepsAdvance)
 {
     Netlist net;
     const NodeId a = net.allocNode();
-    net.addResistor(a, Netlist::ground, 1.0);
-    net.addVoltageSource(a, Netlist::ground, 1.0);
+    net.addResistor(a, Netlist::ground, Ohms{1.0});
+    net.addVoltageSource(a, Netlist::ground, Volts{1.0});
     TransientSim sim(net, 2e-9);
     EXPECT_EQ(sim.steps(), 0u);
     sim.step();
@@ -178,8 +178,8 @@ TEST(TransientSim, ResistorCurrentSign)
 {
     Netlist net;
     const NodeId a = net.allocNode();
-    net.addVoltageSource(a, Netlist::ground, 2.0);
-    const int r = net.addResistor(a, Netlist::ground, 4.0);
+    net.addVoltageSource(a, Netlist::ground, Volts{2.0});
+    const int r = net.addResistor(a, Netlist::ground, Ohms{4.0});
     TransientSim sim(net, 1e-9);
     sim.step();
     EXPECT_NEAR(sim.resistorCurrent(r), 0.5, 1e-9);
@@ -190,8 +190,8 @@ TEST(TransientSimDeath, BadIndicesPanic)
     setLogQuiet(true);
     Netlist net;
     const NodeId a = net.allocNode();
-    net.addResistor(a, Netlist::ground, 1.0);
-    net.addVoltageSource(a, Netlist::ground, 1.0);
+    net.addResistor(a, Netlist::ground, Ohms{1.0});
+    net.addVoltageSource(a, Netlist::ground, Volts{1.0});
     TransientSim sim(net, 1e-9);
     EXPECT_DEATH(sim.setCurrent(0, 1.0), "");
     EXPECT_DEATH(sim.setSwitch(0, true), "");
@@ -203,8 +203,8 @@ TEST(SolveDc, CurrentSourceIntoResistor)
 {
     Netlist net;
     const NodeId a = net.allocNode();
-    net.addResistor(a, Netlist::ground, 5.0);
-    net.addCurrentSource(a, Netlist::ground, 0.0);
+    net.addResistor(a, Netlist::ground, Ohms{5.0});
+    net.addCurrentSource(a, Netlist::ground, Amps{0.0});
     const auto v = solveDc(net, {2.0});
     EXPECT_NEAR(v[1], -10.0, 1e-6);
 }
@@ -214,9 +214,9 @@ TEST(SolveDc, InductorActsAsShort)
     Netlist net;
     const NodeId top = net.allocNode();
     const NodeId mid = net.allocNode();
-    net.addVoltageSource(top, Netlist::ground, 1.0);
-    net.addResistor(top, mid, 1.0);
-    net.addInductor(mid, Netlist::ground, 1e-9);
+    net.addVoltageSource(top, Netlist::ground, Volts{1.0});
+    net.addResistor(top, mid, Ohms{1.0});
+    net.addInductor(mid, Netlist::ground, Henries{1e-9});
     const auto v = solveDc(net, {});
     EXPECT_NEAR(v[2], 0.0, 1e-4);
 }
@@ -233,10 +233,10 @@ TEST_P(TransientLoadSweep, PowerBalanceInSteadyState)
     Netlist net;
     const NodeId top = net.allocNode();
     const NodeId out = net.allocNode();
-    net.addVoltageSource(top, Netlist::ground, 1.0);
-    net.addResistor(top, out, 0.01);
-    net.addResistor(out, Netlist::ground, 0.5);
-    net.addCapacitor(out, Netlist::ground, 1e-9, 1.0);
+    net.addVoltageSource(top, Netlist::ground, Volts{1.0});
+    net.addResistor(top, out, Ohms{0.01});
+    net.addResistor(out, Netlist::ground, Ohms{0.5});
+    net.addCapacitor(out, Netlist::ground, Farads{1e-9}, Volts{1.0});
     const int isrc = net.addCurrentSource(out, Netlist::ground);
     TransientSim sim(net, 1e-10);
     sim.setCurrent(isrc, loadAmps);
@@ -278,10 +278,10 @@ TEST(TransientAccuracy, TrapezoidalIsSecondOrder)
     const auto errorAt = [&](double dt) {
         Netlist net;
         const NodeId out = net.allocNode();
-        net.addResistor(out, Netlist::ground, r);
-        net.addCapacitor(out, Netlist::ground, c, 0.0);
+        net.addResistor(out, Netlist::ground, Ohms{r});
+        net.addCapacitor(out, Netlist::ground, Farads{c}, Volts{0.0});
         const int isrc =
-            net.addCurrentSource(out, Netlist::ground, 0.0);
+            net.addCurrentSource(out, Netlist::ground, Amps{0.0});
         TransientSim sim(net, dt);
         const int steps = static_cast<int>(tEnd / dt);
         for (int i = 0; i < steps; ++i) {
@@ -305,8 +305,8 @@ TEST(TransientAccuracy, SourceSetpointChangeTakesEffect)
 {
     Netlist net;
     const NodeId a = net.allocNode();
-    net.addVoltageSource(a, Netlist::ground, 1.0);
-    net.addResistor(a, Netlist::ground, 1.0);
+    net.addVoltageSource(a, Netlist::ground, Volts{1.0});
+    net.addResistor(a, Netlist::ground, Ohms{1.0});
     TransientSim sim(net, 1e-9);
     sim.step();
     EXPECT_NEAR(sim.nodeVoltage(a), 1.0, 1e-12);

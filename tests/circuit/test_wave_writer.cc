@@ -27,9 +27,9 @@ struct Rig
     {
         a = net.allocNode("a");
         b = net.allocNode("b");
-        net.addVoltageSource(a, Netlist::ground, 2.0);
-        net.addResistor(a, b, 1.0);
-        net.addResistor(b, Netlist::ground, 1.0);
+        net.addVoltageSource(a, Netlist::ground, Volts{2.0});
+        net.addResistor(a, b, Ohms{1.0});
+        net.addResistor(b, Netlist::ground, Ohms{1.0});
         isrc = net.addCurrentSource(b, Netlist::ground);
     }
 };

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Tests for the debug-mode numeric invariant guards and their hookup
+ * in the transient solver: a poisoned netlist (NaN current source)
+ * must abort at the solve in checked builds and stay silent (guards
+ * compiled out) in release builds.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <limits>
+
+#include "common/check.hh"
+#include "common/logging.hh"
+#include "pdn/vs_pdn.hh"
+
+namespace vsgpu
+{
+namespace
+{
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+#if VSGPU_DEBUG_CHECKS
+
+TEST(CheckMacrosDeath, FiniteGuardTrips)
+{
+    setLogQuiet(true);
+    EXPECT_DEATH(VSGPU_CHECK_FINITE(kNaN), "invariant");
+    EXPECT_DEATH(VSGPU_CHECK_FINITE(kInf), "invariant");
+    EXPECT_DEATH(VSGPU_CHECK_FINITE(Volts{kNaN}), "invariant");
+}
+
+TEST(CheckMacrosDeath, RangeGuardTrips)
+{
+    setLogQuiet(true);
+    EXPECT_DEATH(VSGPU_CHECK_RANGE(2.0, 0.0, 1.0), "range");
+    EXPECT_DEATH(VSGPU_CHECK_RANGE(kNaN, 0.0, 1.0), "range");
+    EXPECT_DEATH(VSGPU_CHECK_RANGE(0.5_V, 0.8_V, 1.2_V), "range");
+}
+
+TEST(CheckMacrosDeath, AllFiniteGuardTrips)
+{
+    setLogQuiet(true);
+    const std::array<double, 3> bad = {1.0, kNaN, 3.0};
+    EXPECT_DEATH(VSGPU_CHECK_ALL_FINITE(bad, "test vector"),
+                 "index 1");
+}
+
+TEST(CheckMacrosDeath, PoisonedNetlistAbortsAtSolve)
+{
+    // addCurrentSource is deliberately unguarded, so the poison only
+    // surfaces when the MNA solution itself goes non-finite — the
+    // exact corruption class the solver-loop guard exists to catch.
+    setLogQuiet(true);
+    EXPECT_DEATH(
+        {
+            VsPdn pdn;
+            Netlist net = pdn.netlist();
+            net.addCurrentSource(pdn.smTopNode(0),
+                                 pdn.smBottomNode(0), Amps{kNaN},
+                                 "poison");
+            TransientSim sim(net, config::clockPeriod.raw());
+            sim.initToDc();
+            sim.step();
+        },
+        "non-finite");
+}
+
+#else // !VSGPU_DEBUG_CHECKS
+
+TEST(CheckMacros, ReleaseGuardsAreSilentNoOps)
+{
+    // Guards must not evaluate or abort; the poisoned value simply
+    // propagates (NaN rail voltages), which is release behaviour.
+    VSGPU_CHECK_FINITE(kNaN);
+    VSGPU_CHECK_RANGE(2.0, 0.0, 1.0);
+    const std::array<double, 2> bad = {kNaN, kInf};
+    VSGPU_CHECK_ALL_FINITE(bad, "test vector");
+
+    VsPdn pdn;
+    Netlist net = pdn.netlist();
+    net.addCurrentSource(pdn.smTopNode(0), pdn.smBottomNode(0),
+                         Amps{kNaN}, "poison");
+    TransientSim sim(net, config::clockPeriod.raw());
+    sim.initToDc();
+    sim.step();
+    EXPECT_TRUE(std::isnan(sim.nodeVoltage(pdn.smTopNode(0))));
+}
+
+#endif // VSGPU_DEBUG_CHECKS
+
+TEST(CheckMacros, PassingValuesDoNotAbort)
+{
+    VSGPU_CHECK_FINITE(1.0);
+    VSGPU_CHECK_FINITE(1.025_V);
+    VSGPU_CHECK_RANGE(0.5, 0.0, 1.0);
+    VSGPU_CHECK_RANGE(1.0_V, 0.8_V, 1.2_V);
+    const std::array<Volts, 3> ok = {1.0_V, 1.1_V, 0.9_V};
+    VSGPU_CHECK_ALL_FINITE(ok, "ok vector");
+    SUCCEED();
+}
+
+} // namespace
+} // namespace vsgpu

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Unit tests for the dimensional-analysis Quantity type: literal
+ * round-trips, algebraic identities, and (negative) compile-time
+ * checks that ill-dimensioned expressions do not form.
+ */
+
+#include <gtest/gtest.h>
+
+#include <type_traits>
+
+#include "common/quantity.hh"
+
+namespace vsgpu
+{
+namespace
+{
+
+TEST(Quantity, LiteralRoundTrips)
+{
+    EXPECT_DOUBLE_EQ((1.0_V).raw(), 1.0);
+    EXPECT_DOUBLE_EQ((80.0_mV).raw(), 0.08);
+    EXPECT_DOUBLE_EQ((5.0_mOhm).raw(), 0.005);
+    EXPECT_DOUBLE_EQ((12.0_uOhm).raw(), 12e-6);
+    EXPECT_DOUBLE_EQ((50.0_nF).raw(), 50e-9);
+    EXPECT_DOUBLE_EQ((3.0_pF).raw(), 3e-12);
+    EXPECT_DOUBLE_EQ((20.0_pH).raw(), 20e-12);
+    EXPECT_DOUBLE_EQ((14.0_W).raw(), 14.0);
+    EXPECT_DOUBLE_EQ((2.0_nJ).raw(), 2e-9);
+    EXPECT_DOUBLE_EQ((700.0_MHz).raw(), 700e6);
+    EXPECT_DOUBLE_EQ((1.0_GHz).raw(), 1e9);
+    EXPECT_DOUBLE_EQ((1.4_ns).raw(), 1.4e-9);
+    EXPECT_DOUBLE_EQ((528.0_mm2).raw(), 528e-6);
+    // Integral spellings produce the same values as floating ones.
+    EXPECT_DOUBLE_EQ((80_mOhm).raw(), (80.0_mOhm).raw());
+    EXPECT_DOUBLE_EQ((700_MHz).raw(), (700.0_MHz).raw());
+}
+
+TEST(Quantity, TauEqualsRTimesCInSeconds)
+{
+    // The canonical dimensional identity for this codebase: an RC
+    // time constant formed from typed values IS a Seconds value.
+    const Ohms r = 2.0_Ohm;
+    const Farads c = 50.0_nF;
+    const auto tau = r * c;
+    static_assert(std::is_same_v<decltype(tau),
+                                 const Seconds>);
+    EXPECT_DOUBLE_EQ(tau.raw(), 100e-9);
+    // And its reciprocal is a frequency.
+    const auto f = 1.0 / tau;
+    static_assert(std::is_same_v<decltype(f), const Hertz>);
+    EXPECT_DOUBLE_EQ(f.raw(), 1e7);
+}
+
+TEST(Quantity, OhmsLawRoundTrip)
+{
+    const Volts v = 1.025_V;
+    const Ohms r = 250.0_mOhm;
+    const Amps i = v / r;
+    EXPECT_DOUBLE_EQ(i.raw(), 4.1);
+    const Watts p = v * i;
+    EXPECT_DOUBLE_EQ(p.raw(), 1.025 * 4.1);
+    // Back to volts through the power path.
+    const Volts back = p / i;
+    EXPECT_DOUBLE_EQ(back.raw(), v.raw());
+}
+
+TEST(Quantity, DimensionlessRatiosCollapseToDouble)
+{
+    static_assert(
+        std::is_same_v<decltype(1.0_V / 1.0_V), double>);
+    static_assert(
+        std::is_same_v<decltype(1.0_MHz / 1.0_Hz), double>);
+    static_assert(
+        std::is_same_v<decltype(1.0_mm2 / 1.0_m2), double>);
+    EXPECT_DOUBLE_EQ(4.1_V / 1.025_V, 4.0);
+    EXPECT_DOUBLE_EQ(700.0_MHz / 1.0_MHz, 700.0);
+    EXPECT_DOUBLE_EQ(528.0_mm2 / 1.0_mm2, 528.0);
+}
+
+TEST(Quantity, AdditiveAndScalarOps)
+{
+    Volts v = 1.0_V;
+    v += 25.0_mV;
+    v -= 5.0_mV;
+    v *= 2.0;
+    v /= 4.0;
+    EXPECT_DOUBLE_EQ(v.raw(), 1.02 / 2.0);
+    EXPECT_DOUBLE_EQ((-v).raw(), -0.51);
+    EXPECT_DOUBLE_EQ((+v).raw(), 0.51);
+    EXPECT_DOUBLE_EQ((3.0 * 2.0_A).raw(), 6.0);
+    EXPECT_DOUBLE_EQ((2.0_A * 3.0).raw(), 6.0);
+    EXPECT_DOUBLE_EQ((6.0_A / 3.0).raw(), 2.0);
+}
+
+TEST(Quantity, ComparisonAndAbs)
+{
+    EXPECT_LT(0.9_V, 1.0_V);
+    EXPECT_GT(1.1_V, 1.0_V);
+    EXPECT_EQ(1000.0_mV, 1.0_V);
+    EXPECT_GE(1.0_V, 1000.0_mV);
+    EXPECT_DOUBLE_EQ(abs(-3.0_A).raw(), 3.0);
+    EXPECT_DOUBLE_EQ(abs(3.0_A).raw(), 3.0);
+}
+
+TEST(Quantity, DefaultConstructionIsZero)
+{
+    EXPECT_DOUBLE_EQ(Volts{}.raw(), 0.0);
+    EXPECT_EQ(Watts{}, 0.0_W);
+}
+
+TEST(Quantity, ZeroRuntimeCostLayout)
+{
+    // The whole point: a Quantity is exactly one double.
+    static_assert(sizeof(Volts) == sizeof(double));
+    static_assert(std::is_trivially_copyable_v<Volts>);
+    static_assert(alignof(Volts) == alignof(double));
+}
+
+// -----------------------------------------------------------------
+// Negative compile-time checks: ill-dimensioned expressions must not
+// form.  Each `requires` probe would be valid code if the type system
+// failed to reject the mix, so these static_asserts ARE the
+// compile-fail test cases, kept green in every build.
+
+template <typename T, typename U>
+concept Addable = requires(T t, U u) { t + u; };
+template <typename T, typename U>
+concept Assignable = requires(T t, U u) { t = u; };
+template <typename T, typename U>
+concept Comparable = requires(T t, U u) { t < u; };
+
+// Adding watts to volts is meaningless and must not compile.
+static_assert(!Addable<Watts, Volts>);
+// Nor ohms + farads.
+static_assert(!Addable<Ohms, Farads>);
+// A volts variable cannot be assigned from a raw double (explicit
+// construction only) nor from another unit.
+static_assert(!Assignable<Volts &, double>);
+static_assert(!Assignable<Volts &, Watts>);
+// Cross-unit comparison has no meaning.
+static_assert(!Comparable<Hertz, Seconds>);
+// No implicit decay back to double: the escape hatch is .raw() only.
+static_assert(!std::is_convertible_v<Volts, double>);
+static_assert(!std::is_convertible_v<double, Volts>);
+
+} // namespace
+} // namespace vsgpu

@@ -140,7 +140,7 @@ TEST(Designer, PaperDefaultMeetsTheMarginBound)
                             spec.loopLatencyCycles);
     const ControlDesign d = designController(spec);
     ASSERT_TRUE(d.stable);
-    EXPECT_LT(d.worstDroopVolts(0.05), config::voltageMargin);
+    EXPECT_LT(d.worstDroopVolts(0.05), config::voltageMargin.raw());
 }
 
 TEST(DesignerDeath, RejectsBadSpecs)

@@ -17,8 +17,8 @@ namespace
 TEST(DfsGovernor, StartsAtMaxFrequency)
 {
     DfsGovernor gov;
-    for (double f : gov.requested())
-        EXPECT_DOUBLE_EQ(f, config::smClockHz);
+    for (Hertz f : gov.requested())
+        EXPECT_DOUBLE_EQ(f.raw(), config::smClockHz.raw());
 }
 
 TEST(DfsGovernor, RequestsQuantizedToStep)
@@ -35,7 +35,7 @@ TEST(DfsGovernor, RequestsQuantizedToStep)
         gpu.step();
         gov.step(gpu);
     }
-    for (double f : gov.requested()) {
+    for (Hertz f : gov.requested()) {
         EXPECT_GE(f, cfg.minHz);
         EXPECT_LE(f, cfg.maxHz);
         EXPECT_NEAR(f / cfg.stepHz, std::round(f / cfg.stepHz), 1e-6);
@@ -57,8 +57,8 @@ TEST(DfsGovernor, LowerTargetRequestsLowerFrequency)
             gov.step(gpu);
         }
         double sum = 0.0;
-        for (double f : gov.requested())
-            sum += f;
+        for (Hertz f : gov.requested())
+            sum += f.raw();
         return sum / 16.0;
     };
     EXPECT_LT(meanRequest(0.3), meanRequest(0.9));
@@ -77,8 +77,8 @@ TEST(DfsGovernor, NoUpdateBeforeEpochBoundary)
         gpu.step();
         gov.step(gpu);
     }
-    for (double f : gov.requested())
-        EXPECT_DOUBLE_EQ(f, cfg.maxHz);
+    for (Hertz f : gov.requested())
+        EXPECT_DOUBLE_EQ(f.raw(), cfg.maxHz.raw());
 }
 
 TEST(DfsGovernor, AppliedFrequencySlowsExecution)

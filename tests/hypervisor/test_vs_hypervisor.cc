@@ -16,10 +16,10 @@ namespace vsgpu
 namespace
 {
 
-std::array<double, config::numSMs>
-uniformFreq(double hz)
+std::array<Hertz, config::numSMs>
+uniformFreq(Hertz hz)
 {
-    std::array<double, config::numSMs> f{};
+    std::array<Hertz, config::numSMs> f{};
     f.fill(hz);
     return f;
 }
@@ -27,58 +27,59 @@ uniformFreq(double hz)
 TEST(VsHypervisor, BalancedFrequenciesPassThrough)
 {
     VsAwareHypervisor hv;
-    const auto in = uniformFreq(600e6);
+    const auto in = uniformFreq(600.0_MHz);
     const auto out = hv.filterFrequencies(in);
     for (int sm = 0; sm < config::numSMs; ++sm)
-        EXPECT_DOUBLE_EQ(out[static_cast<std::size_t>(sm)], 600e6);
+        EXPECT_DOUBLE_EQ(out[static_cast<std::size_t>(sm)].raw(), 600e6);
 }
 
 TEST(VsHypervisor, PullsUpColumnOutlier)
 {
     HypervisorConfig cfg;
-    cfg.freqThresholdHz = 100e6;
+    cfg.freqThresholdHz = 100.0_MHz;
     VsAwareHypervisor hv(cfg);
-    auto in = uniformFreq(700e6);
-    in[0] = 300e6; // column 0, far below the rest of its column
+    auto in = uniformFreq(700.0_MHz);
+    in[0] = 300.0_MHz; // column 0, far below the rest of its column
     const auto out = hv.filterFrequencies(in);
-    EXPECT_GE(out[0], 600e6 - 1.0);
+    EXPECT_GE(out[0].raw(), 600e6 - 1.0);
     // Other columns untouched.
-    EXPECT_DOUBLE_EQ(out[1], 700e6);
+    EXPECT_DOUBLE_EQ(out[1].raw(), 700e6);
 }
 
 TEST(VsHypervisor, SpreadWithinBudgetIsKept)
 {
     HypervisorConfig cfg;
-    cfg.freqThresholdHz = 200e6;
+    cfg.freqThresholdHz = 200.0_MHz;
     VsAwareHypervisor hv(cfg);
-    auto in = uniformFreq(700e6);
-    in[4] = 550e6; // within the 200 MHz budget for column 0
+    auto in = uniformFreq(700.0_MHz);
+    in[4] = 550.0_MHz; // within the 200 MHz budget for column 0
     const auto out = hv.filterFrequencies(in);
-    EXPECT_DOUBLE_EQ(out[4], 550e6);
+    EXPECT_DOUBLE_EQ(out[4].raw(), 550e6);
 }
 
 TEST(VsHypervisor, RemapQuantizesToStep)
 {
     HypervisorConfig cfg;
-    cfg.freqThresholdHz = 130e6;
-    cfg.stepHz = 50e6;
+    cfg.freqThresholdHz = 130.0_MHz;
+    cfg.stepHz = 50.0_MHz;
     VsAwareHypervisor hv(cfg);
-    auto in = uniformFreq(700e6);
-    in[8] = 200e6;
+    auto in = uniformFreq(700.0_MHz);
+    in[8] = 200.0_MHz;
     const auto out = hv.filterFrequencies(in);
-    EXPECT_NEAR(out[8] / 50e6, std::round(out[8] / 50e6), 1e-9);
-    EXPECT_GE(out[8], 700e6 - 130e6 - 1.0);
+    EXPECT_NEAR(out[8] / 50.0_MHz, std::round(out[8] / 50.0_MHz),
+                1e-9);
+    EXPECT_GE(out[8].raw(), 700e6 - 130e6 - 1.0);
 }
 
 TEST(VsHypervisor, GatingWithinBudgetPermitted)
 {
     HypervisorConfig cfg;
-    cfg.leakThresholdW = 10.0; // generous
+    cfg.leakThresholdW = 10.0_W; // generous
     VsAwareHypervisor hv(cfg);
     GatingPlan wish{};
     wish[0][static_cast<std::size_t>(ExecUnitKind::Sfu)] = true;
-    const std::array<double, numExecUnits> leak = {0.3, 0.3, 0.14,
-                                                   0.24};
+    const std::array<Watts, numExecUnits> leak = {
+        0.3_W, 0.3_W, 0.14_W, 0.24_W};
     const GatingPlan plan = hv.filterGating(wish, leak);
     EXPECT_TRUE(plan[0][static_cast<std::size_t>(ExecUnitKind::Sfu)]);
 }
@@ -86,35 +87,35 @@ TEST(VsHypervisor, GatingWithinBudgetPermitted)
 TEST(VsHypervisor, VetoesImbalancedGating)
 {
     HypervisorConfig cfg;
-    cfg.leakThresholdW = 0.2;
+    cfg.leakThresholdW = 0.2_W;
     VsAwareHypervisor hv(cfg);
     // Ask to gate EVERY unit of one layer's SM in column 0 only:
     // that unbalances the column's gated leakage.
     GatingPlan wish{};
     for (int u = 0; u < numExecUnits; ++u)
         wish[0][static_cast<std::size_t>(u)] = true; // SM0: layer 0
-    const std::array<double, numExecUnits> leak = {0.3, 0.3, 0.14,
-                                                   0.24};
+    const std::array<Watts, numExecUnits> leak = {
+        0.3_W, 0.3_W, 0.14_W, 0.24_W};
     const GatingPlan plan = hv.filterGating(wish, leak);
-    double granted = 0.0;
+    Watts granted{};
     for (int u = 0; u < numExecUnits; ++u)
         if (plan[0][static_cast<std::size_t>(u)])
             granted += leak[static_cast<std::size_t>(u)];
-    EXPECT_LE(granted, cfg.leakThresholdW + 1e-9);
+    EXPECT_LE(granted.raw(), cfg.leakThresholdW.raw() + 1e-9);
 }
 
 TEST(VsHypervisor, BalancedGatingFullyGranted)
 {
     HypervisorConfig cfg;
-    cfg.leakThresholdW = 0.2;
+    cfg.leakThresholdW = 0.2_W;
     VsAwareHypervisor hv(cfg);
     // Gate the SFU in every SM: perfectly balanced across layers.
     GatingPlan wish{};
     for (int sm = 0; sm < config::numSMs; ++sm)
         wish[static_cast<std::size_t>(sm)]
             [static_cast<std::size_t>(ExecUnitKind::Sfu)] = true;
-    const std::array<double, numExecUnits> leak = {0.3, 0.3, 0.14,
-                                                   0.24};
+    const std::array<Watts, numExecUnits> leak = {
+        0.3_W, 0.3_W, 0.14_W, 0.24_W};
     const GatingPlan plan = hv.filterGating(wish, leak);
     for (int sm = 0; sm < config::numSMs; ++sm)
         EXPECT_TRUE(plan[static_cast<std::size_t>(sm)]
@@ -124,7 +125,7 @@ TEST(VsHypervisor, BalancedGatingFullyGranted)
 TEST(VsHypervisor, FeedbackTightensUnderPressure)
 {
     VsAwareHypervisor hv;
-    const double before = hv.freqThresholdHz();
+    const Hertz before = hv.freqThresholdHz();
     for (int i = 0; i < 10; ++i)
         hv.feedback(0.5); // heavy smoothing pressure
     EXPECT_LT(hv.freqThresholdHz(), before);
@@ -136,7 +137,7 @@ TEST(VsHypervisor, FeedbackRelaxesWhenQuiet)
     VsAwareHypervisor hv;
     for (int i = 0; i < 10; ++i)
         hv.feedback(0.5);
-    const double tightened = hv.freqThresholdHz();
+    const Hertz tightened = hv.freqThresholdHz();
     for (int i = 0; i < 30; ++i)
         hv.feedback(0.0);
     EXPECT_GT(hv.freqThresholdHz(), tightened);
@@ -148,10 +149,12 @@ TEST(VsHypervisor, BudgetsStayWithinConfiguredBounds)
     VsAwareHypervisor hv(cfg);
     for (int i = 0; i < 1000; ++i)
         hv.feedback(1.0);
-    EXPECT_GE(hv.freqThresholdHz(), cfg.freqThresholdMinHz - 1.0);
+    EXPECT_GE(hv.freqThresholdHz().raw(),
+              cfg.freqThresholdMinHz.raw() - 1.0);
     for (int i = 0; i < 1000; ++i)
         hv.feedback(0.0);
-    EXPECT_LE(hv.freqThresholdHz(), cfg.freqThresholdMaxHz + 1.0);
+    EXPECT_LE(hv.freqThresholdHz().raw(),
+              cfg.freqThresholdMaxHz.raw() + 1.0);
 }
 
 } // namespace

@@ -67,8 +67,8 @@ TEST(EndToEnd, ImpedanceGuaranteeMatchesTransientOutcome)
             .run(WorkloadFactory(uniformWorkload(8000)), 0.9)
             .minVoltage;
     };
-    EXPECT_GT(worstMin(1.72), config::minSafeVoltage);
-    EXPECT_LT(worstMin(0.2), config::minSafeVoltage);
+    EXPECT_GT(worstMin(1.72), config::minSafeVoltage.raw());
+    EXPECT_LT(worstMin(0.2), config::minSafeVoltage.raw());
 }
 
 TEST(EndToEnd, CrossLayerRecoversWorstCaseWithSmallIvr)
@@ -201,7 +201,7 @@ TEST(EndToEnd, TransientMatchesAcImpedance)
     ImpedanceAnalyzer analyzer(pdn);
 
     for (double freq : {10e6, 71e6}) {
-        TransientSim sim(pdn.netlist(), config::clockPeriod);
+        TransientSim sim(pdn.netlist(), config::clockPeriod.raw());
         const double bias = 5.0, amp = 1.0;
         for (int sm = 0; sm < pdn.numSms(); ++sm)
             sim.setCurrent(pdn.smCurrentSource(sm), bias);
@@ -218,13 +218,14 @@ TEST(EndToEnd, TransientMatchesAcImpedance)
                 sim.setCurrent(pdn.smCurrentSource(sm), load);
             sim.step();
             if (i >= settleSteps) {
-                const double v = pdn.smVoltage(sim, 0);
+                const double v = pdn.smVoltage(sim, 0).raw();
                 vMin = std::min(vMin, v);
                 vMax = std::max(vMax, v);
             }
         }
         const double transientAmp = (vMax - vMin) / 2.0;
-        const double acAmp = amp * analyzer.globalImpedance(freq);
+        const double acAmp =
+            amp * analyzer.globalImpedance(Hertz{freq}).raw();
         EXPECT_NEAR(transientAmp / acAmp, 1.0, 0.25)
             << "freq " << freq;
     }
@@ -244,7 +245,8 @@ TEST(EndToEnd, ResonantWorkloadAlternatesPowerLevels)
     while (!gpu.done() && gpu.cycle() < 120000) {
         gpu.step();
         const double w =
-            pm.cyclePower(gpu.smEvents(0), gpu.sm(0), gpu.cycle());
+            pm.cyclePower(gpu.smEvents(0), gpu.sm(0), gpu.cycle())
+                .raw();
         power.add(w);
         trace.push_back(w);
     }

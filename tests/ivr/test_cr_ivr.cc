@@ -15,16 +15,16 @@ namespace
 
 TEST(CrIvrDesign, CapacitanceScalesWithArea)
 {
-    const CrIvrDesign small(100.0);
-    const CrIvrDesign large(200.0);
-    EXPECT_NEAR(large.totalFlyCapF() / small.totalFlyCapF(), 2.0,
+    const CrIvrDesign small(100.0_mm2);
+    const CrIvrDesign large(200.0_mm2);
+    EXPECT_NEAR(large.totalFlyCap() / small.totalFlyCap(), 2.0,
                 1e-12);
 }
 
 TEST(CrIvrDesign, EffOhmsInverselyProportionalToArea)
 {
-    const CrIvrDesign small(100.0);
-    const CrIvrDesign large(400.0);
+    const CrIvrDesign small(100.0_mm2);
+    const CrIvrDesign large(400.0_mm2);
     EXPECT_NEAR(small.effOhmsPerCell() / large.effOhmsPerCell(), 4.0,
                 1e-9);
 }
@@ -32,55 +32,58 @@ TEST(CrIvrDesign, EffOhmsInverselyProportionalToArea)
 TEST(CrIvrDesign, KnownNumbers)
 {
     CrIvrTech tech;
-    const CrIvrDesign d(100.0, tech);
-    const double expectedCap =
-        100.0 * tech.capAreaFraction * tech.capDensityPerMm2;
-    EXPECT_NEAR(d.totalFlyCapF(), expectedCap, 1e-15);
-    EXPECT_NEAR(d.flyCapPerCellF(), expectedCap / 12.0, 1e-15);
-    EXPECT_NEAR(d.effOhmsPerCell(),
-                1.0 / (tech.switchingHz * expectedCap / 12.0), 1e-9);
+    const CrIvrDesign d(100.0_mm2, tech);
+    const Farads expectedCap =
+        100.0_mm2 * tech.capAreaFraction * tech.capDensity;
+    EXPECT_NEAR(d.totalFlyCap().raw(), expectedCap.raw(), 1e-15);
+    EXPECT_NEAR(d.flyCapPerCell().raw(), expectedCap.raw() / 12.0,
+                1e-15);
+    EXPECT_NEAR(d.effOhmsPerCell().raw(),
+                (1.0 / (tech.switchingHz * (expectedCap / 12.0)))
+                    .raw(),
+                1e-9);
 }
 
 TEST(CrIvrDesign, AreaFractionOfGpu)
 {
-    const CrIvrDesign d(config::gpuDieAreaMm2 / 2.0);
+    const CrIvrDesign d(config::gpuDieArea / 2.0);
     EXPECT_NEAR(d.areaFractionOfGpu(), 0.5, 1e-12);
 }
 
 TEST(CrIvrDesign, SwitchingLossProportional)
 {
-    const CrIvrDesign d(100.0);
-    EXPECT_NEAR(d.switchingLoss(10.0),
+    const CrIvrDesign d(100.0_mm2);
+    EXPECT_NEAR(d.switchingLoss(10.0_W).raw(),
                 d.tech().switchingLossFraction * 10.0, 1e-12);
-    EXPECT_NEAR(d.switchingLoss(0.0), 0.0, 1e-15);
+    EXPECT_NEAR(d.switchingLoss(Watts{}).raw(), 0.0, 1e-15);
 }
 
 TEST(CrIvrDesign, AreaForEffOhmsInvertsDesign)
 {
-    const CrIvrDesign d(123.4);
-    const double area =
+    const CrIvrDesign d(123.4_mm2);
+    const Area area =
         CrIvrDesign::areaForEffOhms(d.effOhmsPerCell(), d.tech());
-    EXPECT_NEAR(area, 123.4, 1e-6);
+    EXPECT_NEAR(area / 1.0_mm2, 123.4, 1e-6);
 }
 
 TEST(CrIvrDesign, PaperSizings)
 {
     // 0.2x and 1.72x GPU-area designs bracket a ~8.6x strength ratio.
-    const CrIvrDesign crossLayer(0.2 * config::gpuDieAreaMm2);
-    const CrIvrDesign circuitOnly(config::circuitOnlyIvrAreaMm2);
+    const CrIvrDesign crossLayer(0.2 * config::gpuDieArea);
+    const CrIvrDesign circuitOnly(config::circuitOnlyIvrArea);
     EXPECT_NEAR(crossLayer.effOhmsPerCell() /
                     circuitOnly.effOhmsPerCell(),
-                config::circuitOnlyIvrAreaMm2 /
-                    (0.2 * config::gpuDieAreaMm2),
+                config::circuitOnlyIvrArea /
+                    (0.2 * config::gpuDieArea),
                 1e-9);
 }
 
 TEST(CrIvrDesignDeath, RejectsNonPositiveInputs)
 {
     setLogQuiet(true);
-    EXPECT_DEATH(CrIvrDesign(0.0), "");
-    EXPECT_DEATH(CrIvrDesign(-5.0), "");
-    EXPECT_DEATH(CrIvrDesign::areaForEffOhms(0.0), "");
+    EXPECT_DEATH(CrIvrDesign(Area{}), "");
+    EXPECT_DEATH(CrIvrDesign(-5.0_mm2), "");
+    EXPECT_DEATH(CrIvrDesign::areaForEffOhms(Ohms{}), "");
 }
 
 } // namespace

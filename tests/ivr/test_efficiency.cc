@@ -14,27 +14,27 @@ namespace
 
 TEST(VrmModel, EfficiencyPeaksAtMidLoad)
 {
-    const VrmModel vrm(0.90, 130.0);
-    const double mid = vrm.efficiency(0.6 * 130.0);
+    const VrmModel vrm(0.90, 130.0_W);
+    const double mid = vrm.efficiency(0.6 * 130.0_W);
     EXPECT_NEAR(mid, 0.90, 1e-12);
-    EXPECT_LT(vrm.efficiency(10.0), mid);
-    EXPECT_LT(vrm.efficiency(260.0), mid);
+    EXPECT_LT(vrm.efficiency(10.0_W), mid);
+    EXPECT_LT(vrm.efficiency(260.0_W), mid);
 }
 
 TEST(VrmModel, InputAlwaysExceedsOutput)
 {
     const VrmModel vrm;
-    for (double p : {5.0, 50.0, 100.0, 200.0}) {
+    for (Watts p : {5.0_W, 50.0_W, 100.0_W, 200.0_W}) {
         EXPECT_GT(vrm.inputPower(p), p);
-        EXPECT_NEAR(vrm.conversionLoss(p),
-                    vrm.inputPower(p) - p, 1e-12);
+        EXPECT_NEAR(vrm.conversionLoss(p).raw(),
+                    (vrm.inputPower(p) - p).raw(), 1e-12);
     }
 }
 
 TEST(VrmModel, EfficiencyBounded)
 {
     const VrmModel vrm;
-    for (double p : {0.0, 1.0, 500.0, 5000.0}) {
+    for (Watts p : {0.0_W, 1.0_W, 500.0_W, 5000.0_W}) {
         const double e = vrm.efficiency(p);
         EXPECT_GE(e, 0.4);
         EXPECT_LE(e, 0.95);
@@ -44,15 +44,15 @@ TEST(VrmModel, EfficiencyBounded)
 TEST(SingleIvrModel, TwoToOneConversion)
 {
     const SingleIvrModel ivr;
-    EXPECT_DOUBLE_EQ(ivr.inputVolts(), 2.0);
-    EXPECT_GT(ivr.inputPower(100.0), 100.0);
+    EXPECT_DOUBLE_EQ(ivr.inputVolts().raw(), 2.0);
+    EXPECT_GT(ivr.inputPower(100.0_W), 100.0_W);
 }
 
 TEST(SingleIvrModel, PaperAreaMatchesTableIII)
 {
     // Table III: 172.3 mm^2 = 0.33 x GPU die.
-    EXPECT_NEAR(SingleIvrModel::areaMm2(), 172.3, 1e-9);
-    EXPECT_NEAR(SingleIvrModel::areaMm2() / config::gpuDieAreaMm2,
+    EXPECT_NEAR(SingleIvrModel::area() / 1.0_mm2, 172.3, 1e-9);
+    EXPECT_NEAR(SingleIvrModel::area() / config::gpuDieArea,
                 0.33, 0.01);
 }
 
@@ -62,15 +62,15 @@ TEST(SingleIvrModel, MoreEfficientThanVrmAtTypicalLoad)
     // system PDE in the paper) partly through conversion efficiency.
     const VrmModel vrm;
     const SingleIvrModel ivr;
-    EXPECT_GT(ivr.efficiency(110.0), vrm.efficiency(110.0));
+    EXPECT_GT(ivr.efficiency(110.0_W), vrm.efficiency(110.0_W));
 }
 
 TEST(VsOverheadsTest, PaperConstants)
 {
     const VsOverheads ov;
-    EXPECT_NEAR(ov.controllerWatts, 1.634e-3, 1e-9);
-    EXPECT_NEAR(ov.controllerAreaMm2, 3084e-6, 1e-12);
-    EXPECT_NEAR(ov.filterAreaMm2, 1120e-6, 1e-12);
+    EXPECT_NEAR(ov.controllerPower.raw(), 1.634e-3, 1e-9);
+    EXPECT_NEAR(ov.controllerArea / 1.0_mm2, 3084e-6, 1e-12);
+    EXPECT_NEAR(ov.filterArea / 1.0_mm2, 1120e-6, 1e-12);
     EXPECT_GT(ov.levelShifterFraction, 0.0);
     EXPECT_LT(ov.levelShifterFraction, 0.06);
 }

@@ -30,11 +30,11 @@ struct Stack
     {
         top = net.allocNode("top");
         mid = net.allocNode("mid");
-        net.addVoltageSource(top, Netlist::ground, 2.0);
-        net.addResistor(top, mid, 8.0, "load_top");
-        net.addResistor(mid, Netlist::ground, 8.0, "load_bot");
-        net.addCapacitor(top, mid, 50e-9, 1.0);
-        net.addCapacitor(mid, Netlist::ground, 50e-9, 1.0);
+        net.addVoltageSource(top, Netlist::ground, 2.0_V);
+        net.addResistor(top, mid, 8.0_Ohm, "load_top");
+        net.addResistor(mid, Netlist::ground, 8.0_Ohm, "load_bot");
+        net.addCapacitor(top, mid, 50.0_nF, 1.0_V);
+        net.addCapacitor(mid, Netlist::ground, 50.0_nF, 1.0_V);
         iTop = net.addCurrentSource(top, mid);
         iBot = net.addCurrentSource(mid, Netlist::ground);
     }
@@ -46,8 +46,8 @@ settleSwitched(double flyCapF, double fswHz, double imbalanceAmps)
 {
     Stack stack;
     const SwitchedCell cell = addSwitchedCell(
-        stack.net, stack.top, stack.mid, Netlist::ground, flyCapF,
-        2e-3, 1.0);
+        stack.net, stack.top, stack.mid, Netlist::ground,
+        Farads{flyCapF}, 2.0_mOhm, 1.0_V);
     const double dt = 1.0 / (fswHz * 40.0); // 20 steps per phase
     TransientSim sim(stack.net, dt);
     sim.setCurrent(stack.iTop, imbalanceAmps);
@@ -85,7 +85,7 @@ settleAveraged(double effOhms, double imbalanceAmps)
 {
     Stack stack;
     stack.net.addEqualizer(stack.top, stack.mid, Netlist::ground,
-                           effOhms);
+                           Ohms{effOhms});
     TransientSim sim(stack.net, 1e-9);
     sim.setCurrent(stack.iTop, imbalanceAmps);
     sim.setCurrent(stack.iBot, 0.0);
@@ -99,7 +99,7 @@ TEST(SwitchedCell, PhaseSwitchingMovesCharge)
 {
     Stack stack;
     const SwitchedCell cell = addSwitchedCell(
-        stack.net, stack.top, stack.mid, Netlist::ground, 50e-9);
+        stack.net, stack.top, stack.mid, Netlist::ground, 50.0_nF);
     TransientSim sim(stack.net, 1e-9);
     sim.setCurrent(stack.iTop, 0.8);
     sim.initToDc();
@@ -146,7 +146,7 @@ TEST(SwitchedCell, HandlesReversedImbalance)
 {
     Stack stack;
     const SwitchedCell cell = addSwitchedCell(
-        stack.net, stack.top, stack.mid, Netlist::ground, 60e-9);
+        stack.net, stack.top, stack.mid, Netlist::ground, 60.0_nF);
     const double dt = 1e-9;
     TransientSim sim(stack.net, dt);
     // Bottom layer draws more: mid rail sinks below 1 V; the cell

@@ -23,7 +23,7 @@ geometry(int layers, int columns)
     VsPdnOptions options;
     options.numLayers = layers;
     options.numColumns = columns;
-    options.supplyVolts = static_cast<double>(layers) * 1.025;
+    options.supplyVolts = static_cast<double>(layers) * 1.025_V;
     return options;
 }
 
@@ -61,8 +61,8 @@ TEST(VsGeometry, NominalLayerVoltageScalesWithDepth)
 {
     VsPdn two(geometry(2, 8));
     VsPdn eight(geometry(8, 2));
-    EXPECT_NEAR(two.nominalLayerVolts(), 1.025, 1e-9);
-    EXPECT_NEAR(eight.nominalLayerVolts(), 1.025, 1e-9);
+    EXPECT_NEAR(two.nominalLayerVolts().raw(), 1.025, 1e-9);
+    EXPECT_NEAR(eight.nominalLayerVolts().raw(), 1.025, 1e-9);
 }
 
 TEST(VsGeometry, DcDividesEvenlyForAllGeometries)
@@ -70,12 +70,12 @@ TEST(VsGeometry, DcDividesEvenlyForAllGeometries)
     for (const auto &[layers, columns] :
          {std::pair{2, 8}, std::pair{4, 4}, std::pair{8, 2}}) {
         VsPdn pdn(geometry(layers, columns));
-        TransientSim sim(pdn.netlist(), config::clockPeriod);
+        TransientSim sim(pdn.netlist(), config::clockPeriod.raw());
         for (int sm = 0; sm < pdn.numSms(); ++sm)
             sim.setCurrent(pdn.smCurrentSource(sm), 5.0);
         sim.initToDc();
         for (int sm = 0; sm < pdn.numSms(); ++sm)
-            EXPECT_NEAR(pdn.smVoltage(sim, sm), 1.025, 0.06)
+            EXPECT_NEAR(pdn.smVoltage(sim, sm).raw(), 1.025, 0.06)
                 << layers << "x" << columns << " sm " << sm;
     }
 }
@@ -84,7 +84,7 @@ TEST(VsGeometry, SupplyCurrentScalesInverselyWithDepth)
 {
     const auto supplyAmps = [](int layers, int columns) {
         VsPdn pdn(geometry(layers, columns));
-        TransientSim sim(pdn.netlist(), config::clockPeriod);
+        TransientSim sim(pdn.netlist(), config::clockPeriod.raw());
         for (int sm = 0; sm < pdn.numSms(); ++sm)
             sim.setCurrent(pdn.smCurrentSource(sm), 6.0);
         sim.initToDc();
@@ -102,14 +102,14 @@ TEST(VsGeometry, ResidualImpedanceGrowsWithDepth)
     VsPdn shallow(geometry(2, 8));
     VsPdn deep(geometry(8, 2));
     ImpedanceAnalyzer sa(shallow), da(deep);
-    EXPECT_GT(da.residualImpedance(1e6, true),
-              sa.residualImpedance(1e6, true));
+    EXPECT_GT(da.residualImpedance(1.0_MHz, true),
+              sa.residualImpedance(1.0_MHz, true));
 }
 
 TEST(VsGeometry, EqualizerCountMatchesGeometry)
 {
     VsPdnOptions options = geometry(8, 2);
-    options.crIvrEffOhms = 0.1;
+    options.crIvrEffOhms = 0.1_Ohm;
     VsPdn pdn(options);
     // One cell per adjacent layer pair per column: 7 x 2.
     EXPECT_EQ(pdn.equalizerIndices().size(), 14u);

@@ -22,10 +22,10 @@ namespace
 
 TEST(LogFrequencyGrid, EndpointsAndMonotonicity)
 {
-    const auto grid = logFrequencyGrid(1e6, 1e9, 10);
+    const auto grid = logFrequencyGrid(1.0_MHz, 1.0_GHz, 10);
     ASSERT_EQ(grid.size(), 10u);
-    EXPECT_NEAR(grid.front(), 1e6, 1.0);
-    EXPECT_NEAR(grid.back(), 1e9, 1e3);
+    EXPECT_NEAR(grid.front().raw(), 1e6, 1.0);
+    EXPECT_NEAR(grid.back().raw(), 1e9, 1e3);
     for (std::size_t i = 1; i < grid.size(); ++i)
         EXPECT_GT(grid[i], grid[i - 1]);
 }
@@ -33,9 +33,9 @@ TEST(LogFrequencyGrid, EndpointsAndMonotonicity)
 TEST(LogFrequencyGridDeath, RejectsBadRanges)
 {
     setLogQuiet(true);
-    EXPECT_DEATH(logFrequencyGrid(0.0, 1e6, 5), "");
-    EXPECT_DEATH(logFrequencyGrid(1e6, 1e3, 5), "");
-    EXPECT_DEATH(logFrequencyGrid(1e3, 1e6, 1), "");
+    EXPECT_DEATH(logFrequencyGrid(Hertz{}, 1.0_MHz, 5), "");
+    EXPECT_DEATH(logFrequencyGrid(1.0_MHz, 1.0_kHz, 5), "");
+    EXPECT_DEATH(logFrequencyGrid(1.0_kHz, 1.0_MHz, 1), "");
 }
 
 class ImpedanceShapes : public ::testing::Test
@@ -50,8 +50,8 @@ TEST_F(ImpedanceShapes, ResidualDominatesAtLowFrequency)
 {
     // Paper Fig. 3(a): Z_R (same layer) has the highest magnitude in
     // the low-frequency range.
-    const double f = 2e6;
-    const double zR = analyzer_.residualImpedance(f, true);
+    const Hertz f{2e6};
+    const Ohms zR = analyzer_.residualImpedance(f, true);
     EXPECT_GT(zR, analyzer_.globalImpedance(f));
     EXPECT_GT(zR, analyzer_.stackImpedance(f));
     EXPECT_GT(zR, analyzer_.residualImpedance(f, false));
@@ -59,33 +59,35 @@ TEST_F(ImpedanceShapes, ResidualDominatesAtLowFrequency)
 
 TEST_F(ImpedanceShapes, ResidualPlateauIsFlatNearDc)
 {
-    const double z1 = analyzer_.residualImpedance(1e6, true);
-    const double z2 = analyzer_.residualImpedance(1.4e6, true);
+    const Ohms z1 = analyzer_.residualImpedance(1.0_MHz, true);
+    const Ohms z2 = analyzer_.residualImpedance(Hertz{1.4e6}, true);
     EXPECT_NEAR(z1 / z2, 1.0, 0.30);
     // And rolls off strongly at high frequency.
-    EXPECT_LT(analyzer_.residualImpedance(3e8, true), 0.3 * z1);
+    EXPECT_LT(analyzer_.residualImpedance(300.0_MHz, true),
+              0.3 * z1);
 }
 
 TEST_F(ImpedanceShapes, GlobalResonanceNear70MHz)
 {
     // Paper Fig. 3(a): Z_G peaks around 70 MHz.
-    double peakF = 0.0, peakZ = 0.0;
-    for (double f : logFrequencyGrid(5e6, 5e8, 60)) {
-        const double z = analyzer_.globalImpedance(f);
+    Hertz peakF{};
+    Ohms peakZ{};
+    for (Hertz f : logFrequencyGrid(5.0_MHz, 500.0_MHz, 60)) {
+        const Ohms z = analyzer_.globalImpedance(f);
         if (z > peakZ) {
             peakZ = z;
             peakF = f;
         }
     }
-    EXPECT_GT(peakF, 40e6);
-    EXPECT_LT(peakF, 130e6);
+    EXPECT_GT(peakF, 40.0_MHz);
+    EXPECT_LT(peakF, 130.0_MHz);
     // The peak clearly stands above the low-frequency global value.
-    EXPECT_GT(peakZ, 5.0 * analyzer_.globalImpedance(2e6));
+    EXPECT_GT(peakZ, 5.0 * analyzer_.globalImpedance(2.0_MHz));
 }
 
 TEST_F(ImpedanceShapes, SameLayerResidualExceedsCrossLayer)
 {
-    for (double f : {1e6, 1e7, 5e7})
+    for (Hertz f : {1.0_MHz, 10.0_MHz, 50.0_MHz})
         EXPECT_GT(analyzer_.residualImpedance(f, true),
                   analyzer_.residualImpedance(f, false));
 }
@@ -93,20 +95,21 @@ TEST_F(ImpedanceShapes, SameLayerResidualExceedsCrossLayer)
 TEST_F(ImpedanceShapes, StackImpedanceColumnSymmetry)
 {
     // Columns 0 and 3 / 1 and 2 are mirror images in the chain grid.
-    const double f = 3e7;
-    EXPECT_NEAR(analyzer_.stackImpedance(f, 0),
-                analyzer_.stackImpedance(f, 3), 1e-9);
-    EXPECT_NEAR(analyzer_.stackImpedance(f, 1),
-                analyzer_.stackImpedance(f, 2), 1e-9);
+    const Hertz f = 30.0_MHz;
+    EXPECT_NEAR(analyzer_.stackImpedance(f, 0).raw(),
+                analyzer_.stackImpedance(f, 3).raw(), 1e-9);
+    EXPECT_NEAR(analyzer_.stackImpedance(f, 1).raw(),
+                analyzer_.stackImpedance(f, 2).raw(), 1e-9);
 }
 
 TEST_F(ImpedanceShapes, PeakImpedanceIsUpperEnvelope)
 {
-    for (double f : {1e6, 7e7, 3e8}) {
-        const double peak = analyzer_.peakImpedance(f);
-        EXPECT_GE(peak, analyzer_.globalImpedance(f) - 1e-12);
-        EXPECT_GE(peak, analyzer_.stackImpedance(f) - 1e-12);
-        EXPECT_GE(peak, analyzer_.residualImpedance(f, true) - 1e-12);
+    for (Hertz f : {1.0_MHz, 70.0_MHz, 300.0_MHz}) {
+        const Ohms peak = analyzer_.peakImpedance(f);
+        const Ohms eps{1e-12};
+        EXPECT_GE(peak, analyzer_.globalImpedance(f) - eps);
+        EXPECT_GE(peak, analyzer_.stackImpedance(f) - eps);
+        EXPECT_GE(peak, analyzer_.residualImpedance(f, true) - eps);
     }
 }
 
@@ -116,34 +119,34 @@ TEST(ImpedanceCrIvr, SuppressesResidualPlateau)
     VsPdn bare;
     ImpedanceAnalyzer bareAn(bare);
 
-    const CrIvrDesign design(0.2 * config::gpuDieAreaMm2);
+    const CrIvrDesign design(0.2 * config::gpuDieArea);
     VsPdnOptions options;
     options.crIvrEffOhms = design.effOhmsPerCell();
-    options.crIvrFlyCapF = design.flyCapPerCellF();
+    options.crIvrFlyCapF = design.flyCapPerCell();
     VsPdn reg(options);
     ImpedanceAnalyzer regAn(reg);
 
-    for (double f : {1e6, 4e6}) {
+    for (Hertz f : {1.0_MHz, 4.0_MHz}) {
         EXPECT_LT(regAn.residualImpedance(f, true),
                   0.5 * bareAn.residualImpedance(f, true))
             << "f=" << f;
     }
     // The cell still helps, more weakly, into the middle band.
-    EXPECT_LT(regAn.residualImpedance(2e7, true),
-              0.8 * bareAn.residualImpedance(2e7, true));
+    EXPECT_LT(regAn.residualImpedance(20.0_MHz, true),
+              0.8 * bareAn.residualImpedance(20.0_MHz, true));
 }
 
 TEST(ImpedanceCrIvr, SuppressionScalesWithArea)
 {
-    double prev = 1e9;
+    Ohms prev{1e9};
     for (double areaFraction : {0.1, 0.5, 2.0}) {
-        const CrIvrDesign design(areaFraction * config::gpuDieAreaMm2);
+        const CrIvrDesign design(areaFraction * config::gpuDieArea);
         VsPdnOptions options;
         options.crIvrEffOhms = design.effOhmsPerCell();
-        options.crIvrFlyCapF = design.flyCapPerCellF();
+        options.crIvrFlyCapF = design.flyCapPerCell();
         VsPdn pdn(options);
         ImpedanceAnalyzer analyzer(pdn);
-        const double z = analyzer.residualImpedance(2e6, true);
+        const Ohms z = analyzer.residualImpedance(2.0_MHz, true);
         EXPECT_LT(z, prev);
         prev = z;
     }
@@ -153,29 +156,30 @@ TEST(ImpedanceCrIvr, LargeAreaMeetsGuaranteeBound)
 {
     // The circuit-only sizing (1.72x GPU area) must pull every
     // impedance below the 0.1-ohm bound the paper derives.
-    const CrIvrDesign design(config::circuitOnlyIvrAreaMm2);
+    const CrIvrDesign design(config::circuitOnlyIvrArea);
     VsPdnOptions options;
     options.crIvrEffOhms = design.effOhmsPerCell();
-    options.crIvrFlyCapF = design.flyCapPerCellF();
+    options.crIvrFlyCapF = design.flyCapPerCell();
     VsPdn pdn(options);
     ImpedanceAnalyzer analyzer(pdn);
-    for (double f : logFrequencyGrid(1e6, 5e8, 25))
-        EXPECT_LT(analyzer.peakImpedance(f), 0.1) << "f=" << f;
+    for (Hertz f : logFrequencyGrid(1.0_MHz, 500.0_MHz, 25))
+        EXPECT_LT(analyzer.peakImpedance(f), 0.1_Ohm) << "f=" << f;
 }
 
 TEST(ImpedanceSweepTest, SweepMatchesPointQueries)
 {
     VsPdn pdn;
     ImpedanceAnalyzer analyzer(pdn);
-    const std::vector<double> freqs = {1e6, 1e7, 1e8};
+    const std::vector<Hertz> freqs = {1.0_MHz, 10.0_MHz, 100.0_MHz};
     const auto sweep = analyzer.sweep(freqs);
     ASSERT_EQ(sweep.size(), 3u);
     for (std::size_t i = 0; i < 3; ++i) {
-        EXPECT_DOUBLE_EQ(sweep[i].freqHz, freqs[i]);
-        EXPECT_DOUBLE_EQ(sweep[i].zGlobal,
-                         analyzer.globalImpedance(freqs[i]));
-        EXPECT_DOUBLE_EQ(sweep[i].zResidualSameLayer,
-                         analyzer.residualImpedance(freqs[i], true));
+        EXPECT_DOUBLE_EQ(sweep[i].freq.raw(), freqs[i].raw());
+        EXPECT_DOUBLE_EQ(sweep[i].zGlobal.raw(),
+                         analyzer.globalImpedance(freqs[i]).raw());
+        EXPECT_DOUBLE_EQ(
+            sweep[i].zResidualSameLayer.raw(),
+            analyzer.residualImpedance(freqs[i], true).raw());
     }
 }
 

@@ -18,29 +18,29 @@ namespace
 TEST(SingleLayerPdn, DcRailNearSupply)
 {
     SingleLayerOptions options;
-    options.supplyVolts = 1.05;
+    options.supplyVolts = 1.05_V;
     SingleLayerPdn pdn(options);
-    TransientSim sim(pdn.netlist(), config::clockPeriod);
+    TransientSim sim(pdn.netlist(), config::clockPeriod.raw());
     for (int sm = 0; sm < config::numSMs; ++sm)
         sim.setCurrent(pdn.smCurrentSource(sm), 6.0);
     sim.initToDc();
     for (int sm = 0; sm < config::numSMs; ++sm) {
-        const double v = pdn.smVoltage(sim, sm);
-        EXPECT_GT(v, 0.9);
-        EXPECT_LT(v, 1.05);
+        const Volts v = pdn.smVoltage(sim, sm);
+        EXPECT_GT(v, 0.9_V);
+        EXPECT_LT(v, 1.05_V);
     }
 }
 
 TEST(SingleLayerPdn, IrDropGrowsWithLoad)
 {
     SingleLayerPdn pdn;
-    double prev = 10.0;
+    Volts prev{10.0};
     for (double amps : {1.0, 4.0, 8.0}) {
-        TransientSim sim(pdn.netlist(), config::clockPeriod);
+        TransientSim sim(pdn.netlist(), config::clockPeriod.raw());
         for (int sm = 0; sm < config::numSMs; ++sm)
             sim.setCurrent(pdn.smCurrentSource(sm), amps);
         sim.initToDc();
-        const double v = pdn.smVoltage(sim, 0);
+        const Volts v = pdn.smVoltage(sim, 0);
         EXPECT_LT(v, prev);
         prev = v;
     }
@@ -54,7 +54,7 @@ TEST(SingleLayerPdn, IvrPlacementReducesDrop)
         SingleLayerOptions options;
         options.supplyAtPackage = atPackage;
         SingleLayerPdn pdn(options);
-        TransientSim sim(pdn.netlist(), config::clockPeriod);
+        TransientSim sim(pdn.netlist(), config::clockPeriod.raw());
         for (int sm = 0; sm < config::numSMs; ++sm)
             sim.setCurrent(pdn.smCurrentSource(sm), 6.0);
         sim.initToDc();
@@ -85,7 +85,7 @@ TEST(SingleLayerPdn, LoadResistorsTracked)
 TEST(SingleLayerPdn, SupplyDeliversTotalCurrent)
 {
     SingleLayerPdn pdn;
-    TransientSim sim(pdn.netlist(), config::clockPeriod);
+    TransientSim sim(pdn.netlist(), config::clockPeriod.raw());
     const double amps = 5.0;
     for (int sm = 0; sm < config::numSMs; ++sm)
         sim.setCurrent(pdn.smCurrentSource(sm), amps);

@@ -56,8 +56,8 @@ TEST(VsPdn, AdjacentLayersShareBoundary)
 TEST(VsPdn, NominalLayerVoltage)
 {
     VsPdn pdn;
-    EXPECT_NEAR(pdn.nominalLayerVolts(), config::pcbVoltage / 4.0,
-                1e-12);
+    EXPECT_NEAR(pdn.nominalLayerVolts().raw(),
+                config::pcbVoltage.raw() / 4.0, 1e-12);
 }
 
 TEST(VsPdn, EqualizersOnlyWithCrIvr)
@@ -65,7 +65,7 @@ TEST(VsPdn, EqualizersOnlyWithCrIvr)
     VsPdn bare;
     EXPECT_TRUE(bare.equalizerIndices().empty());
     VsPdnOptions options;
-    options.crIvrEffOhms = 0.1;
+    options.crIvrEffOhms = 0.1_Ohm;
     VsPdn reg(options);
     // 3 adjacent-layer cells per column x 4 columns.
     EXPECT_EQ(reg.equalizerIndices().size(), 12u);
@@ -85,15 +85,15 @@ TEST(VsPdn, LoadResistorsPresentByDefault)
 TEST(VsPdn, DcOperatingPointDividesEvenly)
 {
     VsPdn pdn;
-    TransientSim sim(pdn.netlist(), config::clockPeriod);
+    TransientSim sim(pdn.netlist(), config::clockPeriod.raw());
     // Balanced nominal loads via the source-current setpoints.
     const double amps = 5.0;
     for (int sm = 0; sm < config::numSMs; ++sm)
         sim.setCurrent(pdn.smCurrentSource(sm), amps);
     sim.initToDc();
     for (int sm = 0; sm < config::numSMs; ++sm) {
-        const double v = pdn.smVoltage(sim, sm);
-        EXPECT_NEAR(v, pdn.nominalLayerVolts(), 0.05)
+        const Volts v = pdn.smVoltage(sim, sm);
+        EXPECT_NEAR(v.raw(), pdn.nominalLayerVolts().raw(), 0.05)
             << "sm " << sm;
     }
 }
@@ -101,15 +101,15 @@ TEST(VsPdn, DcOperatingPointDividesEvenly)
 TEST(VsPdn, BalancedTransientStaysQuiet)
 {
     VsPdn pdn;
-    TransientSim sim(pdn.netlist(), config::clockPeriod);
+    TransientSim sim(pdn.netlist(), config::clockPeriod.raw());
     for (int sm = 0; sm < config::numSMs; ++sm)
         sim.setCurrent(pdn.smCurrentSource(sm), 5.0);
     sim.initToDc();
     for (int i = 0; i < 3000; ++i)
         sim.step();
     for (int sm = 0; sm < config::numSMs; ++sm)
-        EXPECT_NEAR(pdn.smVoltage(sim, sm),
-                    pdn.nominalLayerVolts(), 0.05);
+        EXPECT_NEAR(pdn.smVoltage(sim, sm).raw(),
+                    pdn.nominalLayerVolts().raw(), 0.05);
 }
 
 TEST(VsPdn, ImbalanceDisturbsOnlyWithoutRegulation)
@@ -119,9 +119,9 @@ TEST(VsPdn, ImbalanceDisturbsOnlyWithoutRegulation)
     const auto runDeviation = [](double effOhms) {
         VsPdnOptions options;
         if (effOhms > 0.0)
-            options.crIvrEffOhms = effOhms;
+            options.crIvrEffOhms = Ohms{effOhms};
         VsPdn pdn(options);
-        TransientSim sim(pdn.netlist(), config::clockPeriod);
+        TransientSim sim(pdn.netlist(), config::clockPeriod.raw());
         for (int sm = 0; sm < config::numSMs; ++sm)
             sim.setCurrent(pdn.smCurrentSource(sm),
                            VsPdn::smLayer(sm) == 1 ? 8.0 : 4.0);
@@ -130,9 +130,10 @@ TEST(VsPdn, ImbalanceDisturbsOnlyWithoutRegulation)
             sim.step();
         double worst = 0.0;
         for (int sm = 0; sm < config::numSMs; ++sm)
-            worst = std::max(worst,
-                             std::abs(pdn.smVoltage(sim, sm) -
-                                      pdn.nominalLayerVolts()));
+            worst = std::max(
+                worst, std::abs((pdn.smVoltage(sim, sm) -
+                                 pdn.nominalLayerVolts())
+                                    .raw()));
         return worst;
     };
     const double bare = runDeviation(0.0);
@@ -145,7 +146,7 @@ TEST(VsPdn, SupplyCurrentMatchesStackCurrent)
     // In steady state the board supply carries one stack's worth of
     // current (not the sum of all SM currents) — the VS benefit.
     VsPdn pdn;
-    TransientSim sim(pdn.netlist(), config::clockPeriod);
+    TransientSim sim(pdn.netlist(), config::clockPeriod.raw());
     const double amps = 6.0;
     double loadResAmps = 0.0;
     for (int sm = 0; sm < config::numSMs; ++sm)
@@ -154,8 +155,9 @@ TEST(VsPdn, SupplyCurrentMatchesStackCurrent)
     for (int i = 0; i < 3000; ++i)
         sim.step();
     // Per-column stack current = SM source + load resistor current.
-    loadResAmps = pdn.nominalLayerVolts() /
-                  pdn.options().params.smLoadOhms();
+    loadResAmps = (pdn.nominalLayerVolts() /
+                   pdn.options().params.smLoadOhms())
+                      .raw();
     const double perColumn = amps + loadResAmps;
     const double expected = perColumn * config::smsPerLayer;
     EXPECT_NEAR(sim.sourceCurrent(pdn.supplySource()), expected,

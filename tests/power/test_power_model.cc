@@ -34,16 +34,16 @@ class PowerModelTest : public ::testing::Test
 TEST_F(PowerModelTest, IdleCycleHasNoDynamicEnergy)
 {
     SmCycleEvents idle;
-    EXPECT_DOUBLE_EQ(model_.dynamicEnergy(idle), 0.0);
+    EXPECT_DOUBLE_EQ(model_.dynamicEnergy(idle).raw(), 0.0);
 }
 
 TEST_F(PowerModelTest, EnergyScalesWithIssueCount)
 {
-    const double one =
+    const Joules one =
         model_.dynamicEnergy(eventsWith(OpClass::FpAlu, 1));
-    const double two =
+    const Joules two =
         model_.dynamicEnergy(eventsWith(OpClass::FpAlu, 2));
-    EXPECT_NEAR(two, 2.0 * one, 1e-15);
+    EXPECT_NEAR(two.raw(), 2.0 * one.raw(), 1e-15);
 }
 
 TEST_F(PowerModelTest, SfuCostsMoreThanIntAlu)
@@ -54,9 +54,9 @@ TEST_F(PowerModelTest, SfuCostsMoreThanIntAlu)
 
 TEST_F(PowerModelTest, DivergenceReducesEnergy)
 {
-    const double full =
+    const Joules full =
         model_.dynamicEnergy(eventsWith(OpClass::FpAlu, 1, 32));
-    const double quarter =
+    const Joules quarter =
         model_.dynamicEnergy(eventsWith(OpClass::FpAlu, 1, 8));
     EXPECT_LT(quarter, full);
     // Only the lane-dependent fraction scales.
@@ -67,19 +67,21 @@ TEST_F(PowerModelTest, FakeInstructionsCostEnergy)
 {
     SmCycleEvents ev;
     ev.fakeIssued = 3;
-    EXPECT_NEAR(model_.dynamicEnergy(ev),
-                3.0 * model_.params().fakeEnergy, 1e-15);
+    EXPECT_NEAR(model_.dynamicEnergy(ev).raw(),
+                3.0 * model_.params().fakeEnergy.raw(), 1e-15);
 }
 
 TEST_F(PowerModelTest, LeakageDropsWhenUnitsGate)
 {
     Sm sm(0, SmConfig{}, mem_);
-    const double before = model_.leakagePower(sm, 100);
+    const Watts before = model_.leakagePower(sm, 100);
     sm.requestGate(ExecUnitKind::Sfu, 100);
-    const double after = model_.leakagePower(sm, 101);
-    EXPECT_NEAR(before - after,
-                model_.params().unitLeakage[static_cast<std::size_t>(
-                    ExecUnitKind::Sfu)],
+    const Watts after = model_.leakagePower(sm, 101);
+    EXPECT_NEAR((before - after).raw(),
+                model_.params()
+                    .unitLeakage[static_cast<std::size_t>(
+                        ExecUnitKind::Sfu)]
+                    .raw(),
                 1e-12);
 }
 
@@ -88,8 +90,8 @@ TEST_F(PowerModelTest, BaseLeakageNeverGates)
     Sm sm(0, SmConfig{}, mem_);
     for (int u = 0; u < numExecUnits; ++u)
         sm.requestGate(static_cast<ExecUnitKind>(u), 10);
-    EXPECT_NEAR(model_.leakagePower(sm, 11),
-                model_.params().baseLeakage, 1e-12);
+    EXPECT_NEAR(model_.leakagePower(sm, 11).raw(),
+                model_.params().baseLeakage.raw(), 1e-12);
 }
 
 TEST_F(PowerModelTest, ClockPowerOnlyWhenActiveAndClocked)
@@ -101,9 +103,11 @@ TEST_F(PowerModelTest, ClockPowerOnlyWhenActiveAndClocked)
     SmCycleEvents idleClocked;
     idleClocked.active = true;
     idleClocked.clocked = true;
-    const double unclocked = model_.cyclePower(idleUnclocked, sm, 0);
-    const double clocked = model_.cyclePower(idleClocked, sm, 0);
-    EXPECT_NEAR(clocked - unclocked, model_.params().clockPower,
+    const double unclocked =
+        model_.cyclePower(idleUnclocked, sm, 0).raw();
+    const double clocked =
+        model_.cyclePower(idleClocked, sm, 0).raw();
+    EXPECT_NEAR(clocked - unclocked, model_.params().clockPower.raw(),
                 1e-12);
 }
 
@@ -111,19 +115,19 @@ TEST_F(PowerModelTest, CyclePowerInPlausibleRange)
 {
     Sm sm(0, SmConfig{}, mem_);
     // Peak-ish cycle: two FP issues.
-    const double peak =
+    const Watts peak =
         model_.cyclePower(eventsWith(OpClass::FpAlu, 2), sm, 0);
-    EXPECT_GT(peak, 5.0);
-    EXPECT_LT(peak, 20.0);
-    EXPECT_LE(peak, model_.peakPower() + 1e-9);
+    EXPECT_GT(peak, 5.0_W);
+    EXPECT_LT(peak, 20.0_W);
+    EXPECT_LE(peak, model_.peakPower() + Watts{1e-9});
 }
 
 TEST_F(PowerModelTest, PeakPowerNearFermiClass)
 {
     // An SM should peak in the high single digits to low teens of
     // watts (paper Table I class machine).
-    EXPECT_GT(model_.peakPower(), 6.0);
-    EXPECT_LT(model_.peakPower(), 16.0);
+    EXPECT_GT(model_.peakPower(), 6.0_W);
+    EXPECT_LT(model_.peakPower(), 16.0_W);
 }
 
 TEST_F(PowerModelTest, TotalIssuedHelper)

@@ -113,7 +113,7 @@ TEST(Cosim, LayerGatingScenarioDroopsOtherLayers)
     const CosimResult r =
         sim.run(WorkloadFactory(uniformWorkload(6000)), 0.9);
     // The weak CR-IVR cannot hold the margin under a halted layer.
-    EXPECT_LT(r.minVoltage, config::minSafeVoltage);
+    EXPECT_LT(r.minVoltage, config::minSafeVoltage.raw());
 }
 
 TEST(Cosim, SmoothingImprovesWorstCase)

@@ -49,7 +49,7 @@ TEST(FaultInjection, StuckDetectorDisablesProtection)
 
     const double withControl = settledFloor(worstCase(healthy));
     const double withoutControl = settledFloor(worstCase(blind));
-    EXPECT_GT(withControl, config::minSafeVoltage);
+    EXPECT_GT(withControl, config::minSafeVoltage.raw());
     EXPECT_LT(withoutControl, withControl - 0.05);
 }
 
@@ -75,7 +75,7 @@ TEST(FaultInjection, InfiniteLoopLatencyNeverActuates)
     dead.loopLatency = 1u << 30; // commands never arrive
     const CosimResult r = worstCase(dead);
     // Equivalent to no protection.
-    EXPECT_LT(settledFloor(r), config::minSafeVoltage);
+    EXPECT_LT(settledFloor(r), config::minSafeVoltage.raw());
 }
 
 TEST(FaultInjection, ZeroAreaIvrStillSimulates)

@@ -33,7 +33,8 @@ TEST(Pds, StackedFlag)
 TEST(Pds, CircuitOnlyDefaultsToGuaranteeSizing)
 {
     const PdsOptions o = defaultPds(PdsKind::VsCircuitOnly);
-    EXPECT_NEAR(o.ivrAreaMm2(), config::circuitOnlyIvrAreaMm2, 1.0);
+    EXPECT_NEAR(o.ivrArea() / 1.0_mm2,
+                config::circuitOnlyIvrArea / 1.0_mm2, 1.0);
     EXPECT_FALSE(o.smoothingEnabled);
 }
 
@@ -49,25 +50,29 @@ TEST(Pds, AreaOverheadsMatchTableIII)
     // Table III: conventional N/A (0), single-layer IVR 172.3 mm^2,
     // circuit-only 912 mm^2 (1.72x), cross-layer ~105.8 mm^2 (0.2x).
     EXPECT_DOUBLE_EQ(
-        pdsAreaOverheadMm2(defaultPds(PdsKind::ConventionalVrm)), 0.0);
+        pdsAreaOverhead(defaultPds(PdsKind::ConventionalVrm)) /
+            1.0_mm2,
+        0.0);
     EXPECT_NEAR(
-        pdsAreaOverheadMm2(defaultPds(PdsKind::SingleLayerIvr)),
+        pdsAreaOverhead(defaultPds(PdsKind::SingleLayerIvr)) /
+            1.0_mm2,
         172.3, 0.1);
     EXPECT_NEAR(
-        pdsAreaOverheadMm2(defaultPds(PdsKind::VsCircuitOnly)), 912.0,
-        1.0);
+        pdsAreaOverhead(defaultPds(PdsKind::VsCircuitOnly)) /
+            1.0_mm2,
+        912.0, 1.0);
     const double crossLayer =
-        pdsAreaOverheadMm2(defaultPds(PdsKind::VsCrossLayer));
+        pdsAreaOverhead(defaultPds(PdsKind::VsCrossLayer)) / 1.0_mm2;
     EXPECT_NEAR(crossLayer, 105.8, 3.0);
 }
 
 TEST(Pds, CrossLayerAreaReductionVsCircuitOnly)
 {
     // Headline claim: ~88% area reduction.
-    const double circuitOnly =
-        pdsAreaOverheadMm2(defaultPds(PdsKind::VsCircuitOnly));
-    const double crossLayer =
-        pdsAreaOverheadMm2(defaultPds(PdsKind::VsCrossLayer));
+    const Area circuitOnly =
+        pdsAreaOverhead(defaultPds(PdsKind::VsCircuitOnly));
+    const Area crossLayer =
+        pdsAreaOverhead(defaultPds(PdsKind::VsCrossLayer));
     EXPECT_NEAR(1.0 - crossLayer / circuitOnly, 0.88, 0.01);
 }
 

@@ -204,9 +204,9 @@ cmdImpedance(const std::map<std::string, std::string> &flags)
     VsPdnOptions options;
     const double area = std::stod(flagOr(flags, "area", "0.2"));
     if (area > 0.0) {
-        const CrIvrDesign design(area * config::gpuDieAreaMm2);
+        const CrIvrDesign design(area * config::gpuDieArea);
         options.crIvrEffOhms = design.effOhmsPerCell();
-        options.crIvrFlyCapF = design.flyCapPerCellF();
+        options.crIvrFlyCapF = design.flyCapPerCell();
     }
     VsPdn pdn(options);
     ImpedanceAnalyzer analyzer(pdn);
@@ -215,13 +215,13 @@ cmdImpedance(const std::map<std::string, std::string> &flags)
     table.setHeader({"freq_MHz", "Z_G", "Z_ST", "Z_R_same",
                      "Z_R_diff"});
     for (const auto &p :
-         analyzer.sweep(logFrequencyGrid(1e6, 500e6, 24))) {
+         analyzer.sweep(logFrequencyGrid(1.0_MHz, 500.0_MHz, 24))) {
         table.beginRow()
-            .cell(p.freqHz / 1e6, 2)
-            .cell(p.zGlobal, 4)
-            .cell(p.zStack, 4)
-            .cell(p.zResidualSameLayer, 4)
-            .cell(p.zResidualDiffLayer, 4)
+            .cell(p.freq / 1.0_MHz, 2)
+            .cell(p.zGlobal.raw(), 4)
+            .cell(p.zStack.raw(), 4)
+            .cell(p.zResidualSameLayer.raw(), 4)
+            .cell(p.zResidualDiffLayer.raw(), 4)
             .endRow();
     }
     table.print(std::cout);
