@@ -1,83 +1,15 @@
 /**
  * @file
- * Regenerates paper Fig. 12: performance penalty as a function of
- * the controller's trigger threshold voltage.
- *
- * Expected shape (paper): penalties grow with the threshold (more
- * cycles spend throttled); at the default 0.9 V threshold penalties
- * sit in the low single-digit percents, and fewer than ~20% of
- * cycles are affected by smoothing.
+ * Thin frontend for the fig12_threshold_sweep scenario (paper
+ * Fig. 12); implementation in bench/scenarios/scenario_fig12.cc.
+ * Supports --jobs / --scale / --json (see scenarioMain()).
  */
 
-#include "bench/bench_util.hh"
-
-using namespace vsgpu;
-
-namespace
-{
-
-CosimResult
-runAtThreshold(Benchmark b, double threshold)
-{
-    CosimConfig cfg;
-    cfg.pds = defaultPds(PdsKind::VsCrossLayer);
-    cfg.pds.controller.vThreshold = threshold;
-    cfg.maxCycles = 200000;
-    CoSimulator sim(cfg);
-    return sim.run(bench::benchWorkload(b, bench::sweepBenchInstrs));
-}
-
-} // namespace
+#include "bench/scenarios/scenarios.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    setLogQuiet(true);
-    bench::banner("Fig. 12",
-                  "performance penalty vs controller threshold");
-
-    const double thresholds[] = {0.70, 0.80, 0.90, 0.95};
-
-    Table table("penalty (%) per benchmark");
-    std::vector<std::string> header = {"benchmark"};
-    for (double t : thresholds)
-        header.push_back("Vth=" + formatFixed(t, 2));
-    header.push_back("throttle@0.9");
-    table.setHeader(header);
-
-    double meanPenaltyAtDefault = 0.0;
-    for (Benchmark b : allBenchmarks()) {
-        // Baseline: smoothing disabled entirely.
-        CosimConfig base;
-        base.pds = defaultPds(PdsKind::VsCircuitOnly);
-        base.pds.ivrAreaFraction = 0.2;
-        base.maxCycles = 200000;
-        const CosimResult baseline = CoSimulator(base).run(
-            bench::benchWorkload(b, bench::sweepBenchInstrs));
-
-        auto &row = table.beginRow().cell(benchmarkName(b));
-        double throttleAtDefault = 0.0;
-        for (double t : thresholds) {
-            const CosimResult r = runAtThreshold(b, t);
-            const double penalty =
-                (static_cast<double>(r.cycles) /
-                     static_cast<double>(baseline.cycles) -
-                 1.0) *
-                100.0;
-            row.cell(penalty, 2);
-            if (t == 0.90) {
-                throttleAtDefault = r.throttleRate;
-                meanPenaltyAtDefault += penalty;
-            }
-        }
-        row.cell(formatPercent(throttleAtDefault));
-        row.endRow();
-    }
-    table.print(std::cout);
-
-    meanPenaltyAtDefault /= allBenchmarks().size();
-    std::cout << "\n";
-    bench::claim("mean penalty at Vth=0.9 (paper: 2-4%)", 3.0,
-                 meanPenaltyAtDefault, "%");
-    return 0;
+    return vsgpu::scen::scenarioMain("fig12_threshold_sweep", argc,
+                                     argv);
 }

@@ -1,122 +1,15 @@
 /**
  * @file
- * Regenerates paper Fig. 13: the energy-saving / performance-penalty
- * trade-off space spanned by the weighted actuation split (eq. (9))
- * across DIWS, FII, and DCC.
- *
- * Expected shape (paper): DIWS sits at the high-saving end of the
- * Pareto frontier while FII and DCC deliver lower performance
- * penalties; DCC is dominated by FII where FII has slack (extra
- * leakage and area).  In this reproduction FII's saving edges out
- * DIWS because our fake instructions are only injected during the
- * rare droop windows (cheap), while DIWS's throttling extends
- * runtime; the penalty ordering — the frontier's shape — matches.
+ * Thin frontend for the fig13_actuator_tradeoff scenario (paper
+ * Fig. 13); implementation in bench/scenarios/scenario_fig13.cc.
+ * Supports --jobs / --scale / --json (see scenarioMain()).
  */
 
-#include "bench/bench_util.hh"
-
-using namespace vsgpu;
-
-namespace
-{
-
-struct WeightPoint
-{
-    const char *label;
-    double w1, w2, w3;
-};
-
-struct Outcome
-{
-    double penaltyPct;
-    double netSavingPct;
-};
-
-Outcome
-evaluate(const WeightPoint &w)
-{
-    // Benchmarks with actuation-sensitive structure.
-    const Benchmark set[] = {Benchmark::Hotspot, Benchmark::Backprop,
-                             Benchmark::Fastwalsh};
-    double cyclesBase = 0.0, cyclesTest = 0.0;
-    double wallBase = 0.0, wallTest = 0.0;
-    double loadBase = 0.0;
-    for (Benchmark b : set) {
-        CosimConfig conv;
-        conv.pds = defaultPds(PdsKind::ConventionalVrm);
-        conv.maxCycles = 200000;
-        const CosimResult rb = CoSimulator(conv).run(
-            bench::benchWorkload(b, bench::sweepBenchInstrs));
-
-        CosimConfig cfg;
-        cfg.pds = defaultPds(PdsKind::VsCrossLayer);
-        cfg.pds.controller.w1 = w.w1;
-        cfg.pds.controller.w2 = w.w2;
-        cfg.pds.controller.w3 = w.w3;
-        cfg.maxCycles = 200000;
-        const CosimResult rt = CoSimulator(cfg).run(
-            bench::benchWorkload(b, bench::sweepBenchInstrs));
-
-        cyclesBase += static_cast<double>(rb.cycles);
-        cyclesTest += static_cast<double>(rt.cycles);
-        wallBase += rb.energy.wall;
-        wallTest += rt.energy.wall;
-        loadBase += rb.energy.load;
-    }
-    (void)loadBase;
-    Outcome o;
-    o.penaltyPct = (cyclesTest / cyclesBase - 1.0) * 100.0;
-    o.netSavingPct = (1.0 - wallTest / wallBase) * 100.0;
-    return o;
-}
-
-} // namespace
+#include "bench/scenarios/scenarios.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    setLogQuiet(true);
-    bench::banner("Fig. 13", "energy saving vs performance penalty "
-                             "across actuator weights");
-
-    const WeightPoint points[] = {
-        {"DIWS", 1.0, 0.0, 0.0},
-        {"FII", 0.0, 1.0, 0.0},
-        {"DCC", 0.0, 0.0, 1.0},
-        {"0.8 DIWS + 0.2 FII", 0.8, 0.2, 0.0},
-        {"0.8 DIWS + 0.2 DCC", 0.8, 0.0, 0.2},
-        {"0.5 DIWS + 0.5 FII", 0.5, 0.5, 0.0},
-        {"0.4 DIWS + 0.4 FII + 0.2 DCC", 0.4, 0.4, 0.2},
-    };
-
-    Table table("trade-off space (vs conventional VRM baseline)");
-    table.setHeader({"weights", "perf penalty %", "net saving %"});
-    Outcome diws{}, fii{};
-    for (const auto &p : points) {
-        const Outcome o = evaluate(p);
-        table.beginRow()
-            .cell(p.label)
-            .cell(o.penaltyPct, 2)
-            .cell(o.netSavingPct, 2)
-            .endRow();
-        if (std::string(p.label) == "DIWS")
-            diws = o;
-        if (std::string(p.label) == "FII")
-            fii = o;
-    }
-    table.print(std::cout);
-
-    std::cout << "\nPareto expectations (paper):\n"
-              << "  - DIWS sits at the high-saving end\n"
-              << "  - FII/DCC trade saving for a lower penalty\n";
-    bench::claim("FII penalty below DIWS penalty (sign)", 1.0,
-                 fii.penaltyPct <= diws.penaltyPct + 0.5 ? 1.0 : 0.0,
-                 "");
-    bench::claim("both DIWS and FII land in the 10-15% saving band",
-                 1.0,
-                 (diws.netSavingPct > 9.0 && fii.netSavingPct > 9.0)
-                     ? 1.0
-                     : 0.0,
-                 "");
-    return 0;
+    return vsgpu::scen::scenarioMain("fig13_actuator_tradeoff", argc,
+                                     argv);
 }

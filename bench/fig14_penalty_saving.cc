@@ -1,77 +1,15 @@
 /**
  * @file
- * Regenerates paper Fig. 14: per-benchmark performance penalty and
- * net energy saving of the cross-layer voltage-stacked GPU,
- * normalized against the conventional single-layer VRM system.
- *
- * Expected shape (paper): penalties within 2-4%; net energy savings
- * of 10-15% across benchmarks after accounting for the extended
- * execution time and extra leakage energy.
- *
- * Runs are kernel-sized: one generated workload corresponds to one
- * kernel launch.  Real kernels resynchronize the SMs at every launch
- * boundary; concatenating many iterations without that global resync
- * lets throttle-induced phase drift accumulate across SMs and
- * overstates the penalty relative to the paper's binaries.
+ * Thin frontend for the fig14_penalty_saving scenario (paper
+ * Fig. 14); implementation in bench/scenarios/scenario_fig14.cc.
+ * Supports --jobs / --scale / --json (see scenarioMain()).
  */
 
-#include "bench/bench_util.hh"
-
-using namespace vsgpu;
+#include "bench/scenarios/scenarios.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    setLogQuiet(true);
-    bench::banner("Fig. 14", "performance penalty and net energy "
-                             "saving per benchmark");
-
-    Table table("cross-layer VS vs conventional VRM");
-    table.setHeader({"benchmark", "penalty %", "net saving %",
-                     "throttle rate", "trigger rate"});
-
-    double meanPenalty = 0.0, meanSaving = 0.0;
-    for (Benchmark b : allBenchmarks()) {
-        CosimConfig conv;
-        conv.pds = defaultPds(PdsKind::ConventionalVrm);
-        conv.maxCycles = 250000;
-        const CosimResult rb = CoSimulator(conv).run(
-            bench::benchWorkload(b, bench::sweepBenchInstrs));
-
-        CosimConfig cross;
-        cross.pds = defaultPds(PdsKind::VsCrossLayer);
-        cross.maxCycles = 250000;
-        const CosimResult rt = CoSimulator(cross).run(
-            bench::benchWorkload(b, bench::sweepBenchInstrs));
-
-        const double penalty =
-            (static_cast<double>(rt.cycles) /
-                 static_cast<double>(rb.cycles) -
-             1.0) *
-            100.0;
-        // Net energy saving: wall energy for the same work, which
-        // already charges the longer runtime's leakage and clocking.
-        const double saving =
-            (1.0 - rt.energy.wall / rb.energy.wall) * 100.0;
-
-        table.beginRow()
-            .cell(benchmarkName(b))
-            .cell(penalty, 2)
-            .cell(saving, 2)
-            .cell(formatPercent(rt.throttleRate))
-            .cell(formatPercent(rt.triggerRate))
-            .endRow();
-        meanPenalty += penalty;
-        meanSaving += saving;
-    }
-    table.print(std::cout);
-
-    meanPenalty /= allBenchmarks().size();
-    meanSaving /= allBenchmarks().size();
-    std::cout << "\n";
-    bench::claim("mean performance penalty (paper: 2-4%)", 3.0,
-                 meanPenalty, "%");
-    bench::claim("mean net energy saving (paper: 10-15%)", 12.5,
-                 meanSaving, "%");
-    return 0;
+    return vsgpu::scen::scenarioMain("fig14_penalty_saving", argc,
+                                     argv);
 }

@@ -1,96 +1,14 @@
 /**
  * @file
- * Regenerates paper Fig. 15: GRAPE-style DFS on the conventional GPU
- * versus the cross-layer voltage-stacked GPU, at several performance
- * targets.  Energies are normalized by the conventional GPU's energy
- * at peak performance including power-delivery inefficiency.
- *
- * Expected shape (paper): the VS-aware hypervisor slightly perturbs
- * the optimal frequency settings (~1-2% computational energy), but
- * the superior PDE more than compensates — overall 7-13% lower total
- * energy than DFS on the conventional PDS.
+ * Thin frontend for the fig15_dfs scenario (paper Fig. 15);
+ * implementation in bench/scenarios/scenario_fig15.cc.  Supports
+ * --jobs / --scale / --json (see scenarioMain()).
  */
 
-#include "bench/bench_util.hh"
-#include "hypervisor/dfs.hh"
-#include "hypervisor/vs_hypervisor.hh"
-
-using namespace vsgpu;
-
-namespace
-{
-
-struct DfsRun
-{
-    double wallJ = 0.0;
-    double loadJ = 0.0;
-    Cycle cycles = 0;
-};
-
-DfsRun
-runDfs(PdsKind kind, double perfTarget, bool useHypervisor)
-{
-    DfsRun out;
-    for (Benchmark b :
-         {Benchmark::Heartwall, Benchmark::Srad, Benchmark::Hotspot,
-          Benchmark::Scalarprod}) {
-        DfsConfig dcfg;
-        dcfg.perfTarget = perfTarget;
-        DfsGovernor dfs(dcfg);
-        VsAwareHypervisor hv;
-
-        CosimConfig cfg;
-        cfg.pds = defaultPds(kind);
-        cfg.maxCycles = 300000;
-        CoSimulator sim(cfg);
-        sim.attachDfs(&dfs);
-        if (useHypervisor)
-            sim.attachHypervisor(&hv);
-        const CosimResult r = sim.run(
-            bench::benchWorkload(b, bench::sweepBenchInstrs));
-        out.wallJ += r.energy.wall;
-        out.loadJ += r.energy.load;
-        out.cycles += r.cycles;
-    }
-    return out;
-}
-
-} // namespace
+#include "bench/scenarios/scenarios.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    setLogQuiet(true);
-    bench::banner("Fig. 15", "DFS on conventional vs voltage-stacked "
-                             "GPU");
-
-    // Normalization: conventional at peak performance (no DFS).
-    const DfsRun peak = runDfs(PdsKind::ConventionalVrm, 1.0, false);
-
-    Table table("total energy, normalized to conventional @ peak");
-    table.setHeader({"perf target", "conventional+DFS", "VS+DFS",
-                     "VS saving %"});
-    double savingAt70 = 0.0;
-    for (double target : {0.9, 0.7, 0.5}) {
-        const DfsRun conv =
-            runDfs(PdsKind::ConventionalVrm, target, false);
-        const DfsRun vs = runDfs(PdsKind::VsCrossLayer, target, true);
-        const double convNorm = conv.wallJ / peak.wallJ;
-        const double vsNorm = vs.wallJ / peak.wallJ;
-        const double saving = (1.0 - vsNorm / convNorm) * 100.0;
-        table.beginRow()
-            .cell(formatPercent(target, 0))
-            .cell(convNorm, 3)
-            .cell(vsNorm, 3)
-            .cell(saving, 1)
-            .endRow();
-        if (target == 0.7)
-            savingAt70 = saving;
-    }
-    table.print(std::cout);
-
-    std::cout << "\n";
-    bench::claim("VS energy saving under DFS (paper: 7-13%)", 10.0,
-                 savingAt70, "%");
-    return 0;
+    return vsgpu::scen::scenarioMain("fig15_dfs", argc, argv);
 }

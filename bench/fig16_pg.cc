@@ -1,96 +1,14 @@
 /**
  * @file
- * Regenerates paper Fig. 16: Warped-Gates-style power gating on the
- * conventional GPU versus the cross-layer voltage-stacked GPU.
- *
- * Expected shape (paper): the hypervisor's current-imbalance budget
- * slightly disturbs the optimal gating pattern, but the VS system's
- * higher PDE more than compensates — lower total energy overall.
+ * Thin frontend for the fig16_pg scenario (paper Fig. 16);
+ * implementation in bench/scenarios/scenario_fig16.cc.  Supports
+ * --jobs / --scale / --json (see scenarioMain()).
  */
 
-#include "bench/bench_util.hh"
-#include "hypervisor/pg.hh"
-#include "hypervisor/vs_hypervisor.hh"
-
-using namespace vsgpu;
-
-namespace
-{
-
-struct PgRun
-{
-    double wallJ = 0.0;
-    Cycle cycles = 0;
-};
-
-PgRun
-runPg(PdsKind kind, bool gating, bool useHypervisor)
-{
-    PgRun out;
-    // Gating pays off on memory/latency-bound workloads with idle
-    // blocks.
-    for (Benchmark b : {Benchmark::Bfs, Benchmark::Pathfinder,
-                        Benchmark::Simpleatomic,
-                        Benchmark::Scalarprod}) {
-        PgGovernor pg;
-        VsAwareHypervisor hv;
-        CosimConfig cfg;
-        cfg.pds = defaultPds(kind);
-        if (gating)
-            cfg.gpu.sm.scheduler = SchedulerKind::Gates;
-        cfg.maxCycles = 300000;
-        CoSimulator sim(cfg);
-        if (gating) {
-            sim.attachPg(&pg);
-            if (useHypervisor)
-                sim.attachHypervisor(&hv);
-        }
-        const CosimResult r = sim.run(
-            bench::benchWorkload(b, bench::sweepBenchInstrs));
-        out.wallJ += r.energy.wall;
-        out.cycles += r.cycles;
-    }
-    return out;
-}
-
-} // namespace
+#include "bench/scenarios/scenarios.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    setLogQuiet(true);
-    bench::banner("Fig. 16", "power gating on conventional vs "
-                             "voltage-stacked GPU");
-
-    const PgRun convPeak =
-        runPg(PdsKind::ConventionalVrm, false, false);
-    const PgRun convPg = runPg(PdsKind::ConventionalVrm, true, false);
-    const PgRun vsPeak = runPg(PdsKind::VsCrossLayer, false, false);
-    const PgRun vsPg = runPg(PdsKind::VsCrossLayer, true, true);
-
-    Table table("total energy, normalized to conventional (no PG)");
-    table.setHeader({"configuration", "energy", "cycles"});
-    const auto addRow = [&](const char *name, const PgRun &r) {
-        table.beginRow()
-            .cell(name)
-            .cell(r.wallJ / convPeak.wallJ, 3)
-            .cell(static_cast<long long>(r.cycles))
-            .endRow();
-    };
-    addRow("conventional, no PG", convPeak);
-    addRow("conventional + Warped Gates", convPg);
-    addRow("VS cross-layer, no PG", vsPeak);
-    addRow("VS cross-layer + PG (hypervisor)", vsPg);
-    table.print(std::cout);
-
-    std::cout << "\n";
-    bench::claim("PG saves energy on conventional (sign)", 1.0,
-                 convPg.wallJ < convPeak.wallJ * 1.001 ? 1.0 : 0.0,
-                 "");
-    bench::claim(
-        "VS+PG beats conventional+PG (paper: PDE compensates)", 1.0,
-        vsPg.wallJ < convPg.wallJ ? 1.0 : 0.0, "");
-    bench::claim("VS+PG total saving vs conventional+PG", 10.0,
-                 (1.0 - vsPg.wallJ / convPg.wallJ) * 100.0, "%");
-    return 0;
+    return vsgpu::scen::scenarioMain("fig16_pg", argc, argv);
 }

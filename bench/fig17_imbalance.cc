@@ -1,120 +1,14 @@
 /**
  * @file
- * Regenerates paper Fig. 17: the distribution of current imbalance
- * between vertically stacked SMs (normalized by peak SM current,
- * binned 0-10% / 10-20% / 20-40% / >40%) under no power management,
- * DFS at several performance targets, and power gating.
- *
- * Expected shape (paper): without PM, ~50% of windows fall in the
- * 0-10% bin and >90% under 40%; backprop is the most imbalanced,
- * heartwall the most uniform; DFS and PG do not fundamentally
- * disturb the balance.
+ * Thin frontend for the fig17_imbalance scenario (paper Fig. 17);
+ * implementation in bench/scenarios/scenario_fig17.cc.  Supports
+ * --jobs / --scale / --json (see scenarioMain()).
  */
 
-#include "bench/bench_util.hh"
-#include "hypervisor/dfs.hh"
-#include "hypervisor/pg.hh"
-#include "hypervisor/vs_hypervisor.hh"
-
-using namespace vsgpu;
-
-namespace
-{
-
-enum class Pm
-{
-    None,
-    Dfs,
-    Pg,
-};
-
-std::array<double, 4>
-imbalanceOf(Benchmark b, Pm pm, double dfsTarget)
-{
-    DfsConfig dcfg;
-    dcfg.perfTarget = dfsTarget;
-    DfsGovernor dfs(dcfg);
-    PgGovernor pg;
-    VsAwareHypervisor hv;
-
-    CosimConfig cfg;
-    cfg.pds = defaultPds(PdsKind::VsCrossLayer);
-    if (pm == Pm::Pg)
-        cfg.gpu.sm.scheduler = SchedulerKind::Gates;
-    cfg.maxCycles = 200000;
-    CoSimulator sim(cfg);
-    if (pm == Pm::Dfs) {
-        sim.attachDfs(&dfs);
-        sim.attachHypervisor(&hv);
-    } else if (pm == Pm::Pg) {
-        sim.attachPg(&pg);
-        sim.attachHypervisor(&hv);
-    }
-    return sim.run(bench::benchWorkload(b, bench::sweepBenchInstrs))
-        .imbalanceBins;
-}
-
-std::array<double, 4>
-averageBins(Pm pm, double dfsTarget)
-{
-    std::array<double, 4> acc{};
-    for (Benchmark b : allBenchmarks()) {
-        const auto bins = imbalanceOf(b, pm, dfsTarget);
-        for (std::size_t i = 0; i < 4; ++i)
-            acc[i] += bins[i];
-    }
-    for (auto &v : acc)
-        v /= allBenchmarks().size();
-    return acc;
-}
-
-void
-addRow(Table &table, const std::string &name,
-       const std::array<double, 4> &bins)
-{
-    table.beginRow()
-        .cell(name)
-        .cell(formatPercent(bins[0]))
-        .cell(formatPercent(bins[1]))
-        .cell(formatPercent(bins[2]))
-        .cell(formatPercent(bins[3]))
-        .endRow();
-}
-
-} // namespace
+#include "bench/scenarios/scenarios.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    setLogQuiet(true);
-    bench::banner("Fig. 17", "vertical-pair current-imbalance "
-                             "distribution under power management");
-
-    Table table("imbalance bins (fraction of windows)");
-    table.setHeader({"scenario", "0-10%", "10-20%", "20-40%",
-                     ">40%"});
-
-    // No PM: worst / average / best benchmark plus suite average.
-    addRow(table, "no PM: backprop (worst)",
-           imbalanceOf(Benchmark::Backprop, Pm::None, 1.0));
-    const auto noPmAvg = averageBins(Pm::None, 1.0);
-    addRow(table, "no PM: average", noPmAvg);
-    addRow(table, "no PM: heartwall (best)",
-           imbalanceOf(Benchmark::Heartwall, Pm::None, 1.0));
-
-    for (double target : {0.7, 0.5, 0.2}) {
-        addRow(table,
-               "DFS " + formatPercent(target, 0) + ": average",
-               averageBins(Pm::Dfs, target));
-    }
-    addRow(table, "PG: average", averageBins(Pm::Pg, 1.0));
-    table.print(std::cout);
-
-    std::cout << "\n";
-    bench::claim("no-PM windows under 10% imbalance (paper: ~50%)",
-                 50.0, noPmAvg[0] * 100.0, "%");
-    bench::claim("no-PM windows under 40% imbalance (paper: ~93%)",
-                 93.0,
-                 (noPmAvg[0] + noPmAvg[1] + noPmAvg[2]) * 100.0, "%");
-    return 0;
+    return vsgpu::scen::scenarioMain("fig17_imbalance", argc, argv);
 }

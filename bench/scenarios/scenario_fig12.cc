@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Paper Fig. 12: performance penalty as a function of the
+ * controller's trigger threshold voltage.
+ *
+ * Expected shape (paper): penalties grow with the threshold (more
+ * cycles spend throttled); at the default 0.9 V threshold penalties
+ * sit in the low single-digit percents, and fewer than ~20% of
+ * cycles are affected by smoothing.
+ */
+
+#include "bench/scenarios/scenario_util.hh"
+
+namespace vsgpu::scen
+{
+
+namespace
+{
+
+constexpr double kThresholds[] = {0.70, 0.80, 0.90, 0.95};
+constexpr int kNumThresholds = 4;
+
+/** One run: the smoothing-off baseline or one threshold setting. */
+struct Point
+{
+    Benchmark bench;
+    int threshold; // -1 = baseline (smoothing disabled)
+};
+
+} // namespace
+
+Summary
+runFig12ThresholdSweep(ScenarioContext &ctx)
+{
+    const auto &benches = allBenchmarks();
+
+    std::vector<Point> points;
+    for (Benchmark b : benches) {
+        points.push_back({b, -1});
+        for (int t = 0; t < kNumThresholds; ++t)
+            points.push_back({b, t});
+    }
+
+    const auto results = exec::runSweep(
+        ctx.pool, points, /*sweepSeed=*/12,
+        [&ctx](const Point &p, exec::TaskContext &) {
+            CosimConfig cfg;
+            if (p.threshold < 0) {
+                // Baseline: smoothing disabled entirely.
+                cfg.pds = defaultPds(PdsKind::VsCircuitOnly);
+                cfg.pds.ivrAreaFraction = 0.2;
+            } else {
+                cfg.pds = defaultPds(PdsKind::VsCrossLayer);
+                cfg.pds.controller.vThreshold =
+                    kThresholds[p.threshold];
+            }
+            cfg.maxCycles = ctx.cycles(200000);
+            return runPoint(ctx, cfg, p.bench);
+        });
+
+    Table table("penalty (%) per benchmark");
+    std::vector<std::string> header = {"benchmark"};
+    for (double t : kThresholds)
+        header.push_back("Vth=" + formatFixed(t, 2));
+    header.push_back("throttle@0.9");
+    table.setHeader(header);
+
+    Summary summary;
+    const int runsPerBench = 1 + kNumThresholds;
+    double meanPenaltyAtDefault = 0.0;
+    double meanThrottleAtDefault = 0.0;
+    for (std::size_t bi = 0; bi < benches.size(); ++bi) {
+        const Benchmark b = benches[bi];
+        const CosimResult &baseline =
+            results[bi * runsPerBench];
+
+        auto &row = table.beginRow().cell(benchmarkName(b));
+        double throttleAtDefault = 0.0;
+        for (int t = 0; t < kNumThresholds; ++t) {
+            const CosimResult &r =
+                results[bi * runsPerBench + 1 +
+                        static_cast<std::size_t>(t)];
+            const double penalty =
+                (static_cast<double>(r.cycles) /
+                     static_cast<double>(baseline.cycles) -
+                 1.0) *
+                100.0;
+            row.cell(penalty, 2);
+            if (kThresholds[t] == 0.90) {
+                throttleAtDefault = r.throttleRate;
+                meanPenaltyAtDefault += penalty;
+                summary.add("penalty_pct_vth090_" +
+                                std::string(benchmarkName(b)),
+                            penalty, 2.0);
+            }
+        }
+        row.cell(formatPercent(throttleAtDefault));
+        row.endRow();
+        meanThrottleAtDefault += throttleAtDefault;
+    }
+    table.print(ctx.out);
+
+    meanPenaltyAtDefault /= static_cast<double>(benches.size());
+    meanThrottleAtDefault /= static_cast<double>(benches.size());
+    ctx.out << "\n";
+    claim(ctx.out, "mean penalty at Vth=0.9 (paper: 2-4%)", 3.0,
+          meanPenaltyAtDefault, "%");
+
+    summary.add("mean_penalty_pct_vth090", meanPenaltyAtDefault, 1.0);
+    summary.add("mean_throttle_rate_vth090", meanThrottleAtDefault,
+                0.05);
+    return summary;
+}
+
+} // namespace vsgpu::scen

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Paper Fig. 14: per-benchmark performance penalty and net energy
+ * saving of the cross-layer voltage-stacked GPU, normalized against
+ * the conventional single-layer VRM system.
+ *
+ * Expected shape (paper): penalties within 2-4%; net energy savings
+ * of 10-15% across benchmarks after accounting for the extended
+ * execution time and extra leakage energy.
+ *
+ * Runs are kernel-sized: one generated workload corresponds to one
+ * kernel launch.  Real kernels resynchronize the SMs at every launch
+ * boundary; concatenating many iterations without that global resync
+ * lets throttle-induced phase drift accumulate across SMs and
+ * overstates the penalty relative to the paper's binaries.
+ */
+
+#include "bench/scenarios/scenario_util.hh"
+
+namespace vsgpu::scen
+{
+
+namespace
+{
+
+struct Run
+{
+    Benchmark bench;
+    bool crossLayer;
+};
+
+} // namespace
+
+Summary
+runFig14PenaltySaving(ScenarioContext &ctx)
+{
+    const auto &benches = allBenchmarks();
+
+    std::vector<Run> runs;
+    for (Benchmark b : benches) {
+        runs.push_back({b, false});
+        runs.push_back({b, true});
+    }
+
+    const auto results = exec::runSweep(
+        ctx.pool, runs, /*sweepSeed=*/14,
+        [&ctx](const Run &run, exec::TaskContext &) {
+            CosimConfig cfg;
+            cfg.pds = defaultPds(run.crossLayer
+                                     ? PdsKind::VsCrossLayer
+                                     : PdsKind::ConventionalVrm);
+            cfg.maxCycles = ctx.cycles(250000);
+            return runPoint(ctx, cfg, run.bench);
+        });
+
+    Table table("cross-layer VS vs conventional VRM");
+    table.setHeader({"benchmark", "penalty %", "net saving %",
+                     "throttle rate", "trigger rate"});
+
+    Summary summary;
+    double meanPenalty = 0.0, meanSaving = 0.0;
+    for (std::size_t bi = 0; bi < benches.size(); ++bi) {
+        const Benchmark b = benches[bi];
+        const CosimResult &rb = results[bi * 2];
+        const CosimResult &rt = results[bi * 2 + 1];
+
+        const double penalty =
+            (static_cast<double>(rt.cycles) /
+                 static_cast<double>(rb.cycles) -
+             1.0) *
+            100.0;
+        // Net energy saving: wall energy for the same work, which
+        // already charges the longer runtime's leakage and clocking.
+        const double saving =
+            (1.0 - rt.energy.wall / rb.energy.wall) * 100.0;
+
+        table.beginRow()
+            .cell(benchmarkName(b))
+            .cell(penalty, 2)
+            .cell(saving, 2)
+            .cell(formatPercent(rt.throttleRate))
+            .cell(formatPercent(rt.triggerRate))
+            .endRow();
+        summary.add("penalty_pct_" + std::string(benchmarkName(b)),
+                    penalty, 2.0);
+        summary.add("saving_pct_" + std::string(benchmarkName(b)),
+                    saving, 2.5);
+        meanPenalty += penalty;
+        meanSaving += saving;
+    }
+    table.print(ctx.out);
+
+    meanPenalty /= static_cast<double>(benches.size());
+    meanSaving /= static_cast<double>(benches.size());
+    ctx.out << "\n";
+    claim(ctx.out, "mean performance penalty (paper: 2-4%)", 3.0,
+          meanPenalty, "%");
+    claim(ctx.out, "mean net energy saving (paper: 10-15%)", 12.5,
+          meanSaving, "%");
+
+    summary.add("mean_penalty_pct", meanPenalty, 1.0);
+    summary.add("mean_saving_pct", meanSaving, 1.5);
+    return summary;
+}
+
+} // namespace vsgpu::scen

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Paper Fig. 16: Warped-Gates-style power gating on the conventional
+ * GPU versus the cross-layer voltage-stacked GPU.
+ *
+ * Expected shape (paper): the hypervisor's current-imbalance budget
+ * slightly disturbs the optimal gating pattern, but the VS system's
+ * higher PDE more than compensates — lower total energy overall.
+ */
+
+#include "bench/scenarios/scenario_util.hh"
+#include "hypervisor/pg.hh"
+#include "hypervisor/vs_hypervisor.hh"
+
+namespace vsgpu::scen
+{
+
+namespace
+{
+
+// Gating pays off on memory/latency-bound workloads with idle
+// blocks.
+constexpr Benchmark kSet[] = {Benchmark::Bfs, Benchmark::Pathfinder,
+                              Benchmark::Simpleatomic,
+                              Benchmark::Scalarprod};
+constexpr int kSetSize = 4;
+
+struct Config
+{
+    const char *label;
+    const char *id; // metric-name stem
+    PdsKind kind;
+    bool gating;
+    bool useHypervisor;
+};
+
+constexpr Config kConfigs[] = {
+    {"conventional, no PG", "conv_nopg", PdsKind::ConventionalVrm,
+     false, false},
+    {"conventional + Warped Gates", "conv_pg",
+     PdsKind::ConventionalVrm, true, false},
+    {"VS cross-layer, no PG", "vs_nopg", PdsKind::VsCrossLayer, false,
+     false},
+    {"VS cross-layer + PG (hypervisor)", "vs_pg",
+     PdsKind::VsCrossLayer, true, true},
+};
+constexpr int kNumConfigs = 4;
+
+struct Run
+{
+    int config; // index into kConfigs
+    int bench;  // index into kSet
+};
+
+struct PgGroup
+{
+    double wallJ = 0.0;
+    Cycle cycles = 0;
+};
+
+} // namespace
+
+Summary
+runFig16Pg(ScenarioContext &ctx)
+{
+    std::vector<Run> runs;
+    for (int c = 0; c < kNumConfigs; ++c)
+        for (int j = 0; j < kSetSize; ++j)
+            runs.push_back({c, j});
+
+    const auto results = exec::runSweep(
+        ctx.pool, runs, /*sweepSeed=*/16,
+        [&ctx](const Run &run, exec::TaskContext &) {
+            const Config &c = kConfigs[run.config];
+            PgGovernor pg;
+            VsAwareHypervisor hv;
+            CosimConfig cfg;
+            cfg.pds = defaultPds(c.kind);
+            if (c.gating)
+                cfg.gpu.sm.scheduler = SchedulerKind::Gates;
+            cfg.maxCycles = ctx.cycles(300000);
+            CoSimulator sim(ctx.cache.withSetup(cfg));
+            if (c.gating) {
+                sim.attachPg(&pg);
+                if (c.useHypervisor)
+                    sim.attachHypervisor(&hv);
+            }
+            return sim.run(benchWorkload(ctx, kSet[run.bench]));
+        });
+
+    const auto groupOf = [&results](int c) {
+        PgGroup out;
+        for (int j = 0; j < kSetSize; ++j) {
+            const CosimResult &r = results[static_cast<std::size_t>(
+                c * kSetSize + j)];
+            out.wallJ += r.energy.wall;
+            out.cycles += r.cycles;
+        }
+        return out;
+    };
+
+    const PgGroup convPeak = groupOf(0);
+    const PgGroup convPg = groupOf(1);
+    const PgGroup vsPg = groupOf(3);
+
+    Table table("total energy, normalized to conventional (no PG)");
+    table.setHeader({"configuration", "energy", "cycles"});
+    Summary summary;
+    for (int c = 0; c < kNumConfigs; ++c) {
+        const PgGroup g = groupOf(c);
+        table.beginRow()
+            .cell(kConfigs[c].label)
+            .cell(g.wallJ / convPeak.wallJ, 3)
+            .cell(static_cast<long long>(g.cycles))
+            .endRow();
+        summary.add(std::string("energy_norm_") + kConfigs[c].id,
+                    g.wallJ / convPeak.wallJ, 0.05);
+    }
+    table.print(ctx.out);
+
+    ctx.out << "\n";
+    claim(ctx.out, "PG saves energy on conventional (sign)", 1.0,
+          convPg.wallJ < convPeak.wallJ * 1.001 ? 1.0 : 0.0, "");
+    claim(ctx.out,
+          "VS+PG beats conventional+PG (paper: PDE compensates)", 1.0,
+          vsPg.wallJ < convPg.wallJ ? 1.0 : 0.0, "");
+    const double vsPgSaving =
+        (1.0 - vsPg.wallJ / convPg.wallJ) * 100.0;
+    claim(ctx.out, "VS+PG total saving vs conventional+PG", 10.0,
+          vsPgSaving, "%");
+    summary.add("vs_pg_saving_pct", vsPgSaving, 3.0);
+    return summary;
+}
+
+} // namespace vsgpu::scen

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Shared helpers for scenario implementations.
+ *
+ * Mirrors bench/bench_util.hh for code that runs inside a
+ * ScenarioContext: workloads scale with ctx.scale, co-simulator
+ * configurations pick up the shared electrical setup from ctx.cache,
+ * and claim lines print to ctx.out instead of std::cout.
+ *
+ * Task functions passed to exec::runSweep may call benchWorkload()
+ * and runPoint() concurrently (both are thread-safe); they must not
+ * write to ctx.out — printing happens in the ordered reduction.
+ */
+
+#ifndef VSGPU_BENCH_SCENARIOS_SCENARIO_UTIL_HH
+#define VSGPU_BENCH_SCENARIOS_SCENARIO_UTIL_HH
+
+#include <ostream>
+#include <string>
+
+#include "bench/scenarios/scenarios.hh"
+#include "common/table.hh"
+#include "sim/cosim.hh"
+#include "workloads/suite.hh"
+
+namespace vsgpu::scen
+{
+
+/** Instructions per warp used for full benchmark runs. */
+inline constexpr int defaultBenchInstrs = 1500;
+
+/** Instructions per warp for sweeps with many configurations. */
+inline constexpr int sweepBenchInstrs = 700;
+
+/** Cycle cap for a single benchmark run. */
+inline constexpr Cycle defaultMaxCycles = 120000;
+
+/** Build a benchmark workload at ctx-scaled sweep size. */
+inline WorkloadSpec
+benchWorkload(const ScenarioContext &ctx, Benchmark b,
+              int baseInstrs = sweepBenchInstrs)
+{
+    return scaledToInstrs(workloadFor(b), ctx.instrs(baseInstrs));
+}
+
+/**
+ * Run one benchmark against one configuration, sharing the
+ * electrical setup through the scenario's cache.  Bitwise-identical
+ * to building the setup privately.
+ */
+inline CosimResult
+runPoint(ScenarioContext &ctx, const CosimConfig &cfg, Benchmark b,
+         int baseInstrs = sweepBenchInstrs)
+{
+    CoSimulator sim(ctx.cache.withSetup(cfg));
+    return sim.run(benchWorkload(ctx, b, baseInstrs));
+}
+
+/** Print a paper-vs-measured claim line. */
+inline void
+claim(std::ostream &os, const std::string &what, double paper,
+      double measured, const std::string &unit = "")
+{
+    os << "  [claim] " << what << ": paper " << paper << unit
+       << ", measured " << measured << unit << "\n";
+}
+
+} // namespace vsgpu::scen
+
+#endif // VSGPU_BENCH_SCENARIOS_SCENARIO_UTIL_HH

@@ -1,0 +1,134 @@
+#include "bench/scenarios/scenarios.hh"
+
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+
+#include "common/logging.hh"
+
+namespace vsgpu::scen
+{
+
+const std::vector<ScenarioInfo> &
+allScenarios()
+{
+    static const std::vector<ScenarioInfo> scenarios = {
+        {"table2_detectors", "voltage detector options",
+         &runTable2Detectors},
+        {"table3_pds_comparison",
+         "comparison of power delivery subsystems (all 12 benchmarks)",
+         &runTable3PdsComparison},
+        {"fig12_threshold_sweep",
+         "performance penalty vs controller threshold",
+         &runFig12ThresholdSweep},
+        {"fig13_actuator_tradeoff",
+         "energy saving vs performance penalty across actuator "
+         "weights",
+         &runFig13ActuatorTradeoff},
+        {"fig14_penalty_saving",
+         "performance penalty and net energy saving per benchmark",
+         &runFig14PenaltySaving},
+        {"fig15_dfs", "DFS on conventional vs voltage-stacked GPU",
+         &runFig15Dfs},
+        {"fig16_pg",
+         "power gating on conventional vs voltage-stacked GPU",
+         &runFig16Pg},
+        {"fig17_imbalance",
+         "vertical-pair current-imbalance distribution under power "
+         "management",
+         &runFig17Imbalance},
+    };
+    return scenarios;
+}
+
+const ScenarioInfo *
+findScenario(const std::string &name)
+{
+    for (const ScenarioInfo &s : allScenarios())
+        if (name == s.name)
+            return &s;
+    return nullptr;
+}
+
+Summary
+runScenario(const ScenarioInfo &info, const ScenarioOptions &opts,
+            std::ostream &out)
+{
+    exec::Pool pool(opts.jobs);
+    exec::SetupCache cache;
+    ScenarioContext ctx{pool, cache, opts.scale, out};
+
+    out << "=====================================================\n"
+        << info.name << ": " << info.title << "\n"
+        << "  (jobs=" << pool.threads() << ", scale=" << opts.scale
+        << ")\n"
+        << "=====================================================\n";
+
+    Summary summary = info.fn(ctx);
+    summary.scenario = info.name;
+    summary.scale = opts.scale;
+    return summary;
+}
+
+int
+scenarioMain(const char *name, int argc, char **argv)
+{
+    const ScenarioInfo *info = findScenario(name);
+    if (info == nullptr) {
+        std::cerr << "unknown scenario: " << name << "\n";
+        return 1;
+    }
+
+    ScenarioOptions opts;
+    std::string jsonPath;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const bool hasValue = i + 1 < argc;
+        if (arg == "--jobs" && hasValue) {
+            opts.jobs = std::atoi(argv[++i]);
+        } else if (arg == "--scale" && hasValue) {
+            opts.scale = std::atof(argv[++i]);
+        } else if (arg == "--json" && hasValue) {
+            jsonPath = argv[++i];
+        } else if (arg == "--help" || arg == "-h") {
+            std::cout
+                << "usage: " << argv[0]
+                << " [--jobs N] [--scale X] [--json PATH]\n"
+                << "  --jobs N     worker threads (default: hardware "
+                   "concurrency)\n"
+                << "  --scale X    workload scale (default 1.0)\n"
+                << "  --json PATH  write the summary metrics as "
+                   "JSON\n";
+            return 0;
+        } else {
+            std::cerr << "unknown argument: " << arg
+                      << " (try --help)\n";
+            return 1;
+        }
+    }
+    if (opts.scale <= 0.0) {
+        std::cerr << "--scale must be positive\n";
+        return 1;
+    }
+
+    setLogQuiet(true);
+    const Summary summary = runScenario(*info, opts, std::cout);
+
+    std::cout << "\nSummary metrics:\n";
+    for (const SummaryMetric &m : summary.metrics)
+        std::cout << "  " << m.name << " = " << m.value << "\n";
+
+    if (!jsonPath.empty()) {
+        std::ofstream out(jsonPath);
+        if (!out.good()) {
+            std::cerr << "cannot write " << jsonPath << "\n";
+            return 1;
+        }
+        writeSummaryJson(summary, out);
+        std::cout << "\nwrote " << jsonPath << "\n";
+    }
+    return 0;
+}
+
+} // namespace vsgpu::scen

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Registry of the paper's figure/table scenarios as library
+ * functions.
+ *
+ * Each hot bench binary used to be a standalone main() with a serial
+ * loop over co-simulation runs.  The scenario library factors those
+ * loops into functions of a ScenarioContext, so the same code backs
+ * three frontends:
+ *   - the bench binaries (bench/fig12_threshold_sweep etc., now thin
+ *     wrappers over scenarioMain()),
+ *   - tools/record_golden, which dumps each scenario's Summary into
+ *     tests/golden/<scenario>.json,
+ *   - the tier-1 golden regression tests, which replay scenarios at
+ *     reduced scale and compare against the recorded summaries.
+ *
+ * Scenarios shard their independent co-simulation runs across
+ * ctx.pool (exec::runSweep) and share per-configuration electrical
+ * setup through ctx.cache, so results are bitwise-identical for any
+ * --jobs value; see docs/parallel_exec.md.
+ *
+ * The registry is an explicit list (no static self-registration —
+ * linker-proof and greppable).
+ */
+
+#ifndef VSGPU_BENCH_SCENARIOS_SCENARIOS_HH
+#define VSGPU_BENCH_SCENARIOS_SCENARIOS_HH
+
+#include <algorithm>
+#include <cmath>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "bench/scenarios/summary.hh"
+#include "common/units.hh"
+#include "exec/pool.hh"
+#include "exec/setup_cache.hh"
+#include "exec/sweep.hh"
+
+namespace vsgpu::scen
+{
+
+/** Frontend-facing knobs of one scenario invocation. */
+struct ScenarioOptions
+{
+    /** Worker count; 0 = hardware concurrency. */
+    int jobs = 0;
+
+    /**
+     * Workload scale: multiplies instruction counts and cycle caps.
+     * 1.0 reproduces the paper-sized runs; the golden harness replays
+     * at goldenScale to keep tier-1 wall-clock small.
+     */
+    double scale = 1.0;
+};
+
+/** Scale used when recording and replaying golden summaries. */
+inline constexpr double goldenScale = 0.15;
+
+/** Everything a scenario needs to run. */
+struct ScenarioContext
+{
+    exec::Pool &pool;
+    exec::SetupCache &cache;
+    double scale = 1.0;
+
+    /** Sink for the human-readable tables. */
+    std::ostream &out;
+
+    /** Scale an instruction budget (>= 1). */
+    int
+    instrs(int base) const
+    {
+        return std::max(1, static_cast<int>(
+                               std::lround(base * scale)));
+    }
+
+    /** Scale a cycle cap (floor keeps short runs meaningful). */
+    Cycle
+    cycles(Cycle base) const
+    {
+        const double scaled = static_cast<double>(base) * scale;
+        return std::max<Cycle>(5000, static_cast<Cycle>(scaled));
+    }
+};
+
+using ScenarioFn = Summary (*)(ScenarioContext &ctx);
+
+/** One registry entry. */
+struct ScenarioInfo
+{
+    const char *name;  ///< stable id; golden file stem
+    const char *title; ///< banner line
+    ScenarioFn fn;
+};
+
+/** All registered scenarios, in paper order. */
+const std::vector<ScenarioInfo> &allScenarios();
+
+/** @return the named scenario, or nullptr. */
+const ScenarioInfo *findScenario(const std::string &name);
+
+/**
+ * Run one scenario: builds the pool and setup cache, prints the
+ * banner and tables to @p out, returns the summary.
+ */
+Summary runScenario(const ScenarioInfo &info,
+                    const ScenarioOptions &opts, std::ostream &out);
+
+/**
+ * Shared main() for the thin bench binaries.  Flags:
+ *   --jobs N     worker threads (default: hardware concurrency)
+ *   --scale X    workload scale (default 1.0)
+ *   --json PATH  also write the Summary as JSON to PATH
+ */
+int scenarioMain(const char *name, int argc, char **argv);
+
+// Scenario implementations (one translation unit each).
+Summary runFig12ThresholdSweep(ScenarioContext &ctx);
+Summary runFig13ActuatorTradeoff(ScenarioContext &ctx);
+Summary runFig14PenaltySaving(ScenarioContext &ctx);
+Summary runFig15Dfs(ScenarioContext &ctx);
+Summary runFig16Pg(ScenarioContext &ctx);
+Summary runFig17Imbalance(ScenarioContext &ctx);
+Summary runTable2Detectors(ScenarioContext &ctx);
+Summary runTable3PdsComparison(ScenarioContext &ctx);
+
+} // namespace vsgpu::scen
+
+#endif // VSGPU_BENCH_SCENARIOS_SCENARIOS_HH

@@ -1,0 +1,214 @@
+#include "bench/scenarios/summary.hh"
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "common/check.hh"
+
+namespace vsgpu::scen
+{
+
+const SummaryMetric *
+Summary::find(const std::string &name) const
+{
+    for (const SummaryMetric &m : metrics)
+        if (m.name == name)
+            return &m;
+    return nullptr;
+}
+
+namespace
+{
+
+/** Shortest round-trip-exact representation of a double. */
+std::string
+formatDouble(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    // Prefer a shorter form when it round-trips exactly.
+    for (int prec = 1; prec < 17; ++prec) {
+        char shorter[40];
+        std::snprintf(shorter, sizeof(shorter), "%.*g", prec, v);
+        double back = 0.0;
+        std::sscanf(shorter, "%lf", &back);
+        if (back == v)
+            return shorter;
+    }
+    return buf;
+}
+
+std::string
+quote(const std::string &s)
+{
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+/** Minimal parser for the JSON subset writeSummaryJson emits. */
+class Parser
+{
+  public:
+    explicit Parser(std::istream &is)
+    {
+        std::ostringstream buf;
+        buf << is.rdbuf();
+        text_ = buf.str();
+    }
+
+    Summary
+    parse()
+    {
+        Summary out;
+        expect('{');
+        bool first = true;
+        while (peek() != '}') {
+            if (!first)
+                expect(',');
+            first = false;
+            const std::string key = parseString();
+            expect(':');
+            if (key == "scenario") {
+                out.scenario = parseString();
+            } else if (key == "scale") {
+                out.scale = parseNumber();
+            } else if (key == "metrics") {
+                parseMetrics(out);
+            } else {
+                panic("summary JSON: unknown key '", key, "'");
+            }
+        }
+        expect('}');
+        return out;
+    }
+
+  private:
+    void
+    parseMetrics(Summary &out)
+    {
+        expect('[');
+        while (peek() != ']') {
+            if (!out.metrics.empty())
+                expect(',');
+            SummaryMetric m;
+            expect('{');
+            bool first = true;
+            while (peek() != '}') {
+                if (!first)
+                    expect(',');
+                first = false;
+                const std::string key = parseString();
+                expect(':');
+                if (key == "name")
+                    m.name = parseString();
+                else if (key == "value")
+                    m.value = parseNumber();
+                else if (key == "tol")
+                    m.tol = parseNumber();
+                else
+                    panic("summary JSON: unknown metric key '", key,
+                          "'");
+            }
+            expect('}');
+            out.metrics.push_back(std::move(m));
+        }
+        expect(']');
+    }
+
+    char
+    peek()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+        panicIfNot(pos_ < text_.size(),
+                   "summary JSON: unexpected end of input");
+        return text_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        panicIfNot(peek() == c, "summary JSON: expected '", c,
+                   "' at byte ", pos_);
+        ++pos_;
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+            if (text_[pos_] == '\\')
+                ++pos_;
+            panicIfNot(pos_ < text_.size(),
+                       "summary JSON: unterminated string");
+            out += text_[pos_++];
+        }
+        panicIfNot(pos_ < text_.size(),
+                   "summary JSON: unterminated string");
+        ++pos_; // closing quote
+        return out;
+    }
+
+    double
+    parseNumber()
+    {
+        peek(); // skip whitespace
+        std::size_t used = 0;
+        const double v = std::stod(text_.substr(pos_), &used);
+        panicIfNot(used != 0, "summary JSON: expected number at byte ",
+                   pos_);
+        pos_ += used;
+        return v;
+    }
+
+    std::string text_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+void
+writeSummaryJson(const Summary &summary, std::ostream &os)
+{
+    os << "{\n"
+       << "  \"scenario\": " << quote(summary.scenario) << ",\n"
+       << "  \"scale\": " << formatDouble(summary.scale) << ",\n"
+       << "  \"metrics\": [";
+    for (std::size_t i = 0; i < summary.metrics.size(); ++i) {
+        const SummaryMetric &m = summary.metrics[i];
+        os << (i ? ",\n" : "\n")
+           << "    {\"name\": " << quote(m.name)
+           << ", \"value\": " << formatDouble(m.value)
+           << ", \"tol\": " << formatDouble(m.tol) << "}";
+    }
+    os << "\n  ]\n}\n";
+}
+
+Summary
+readSummaryJson(std::istream &is)
+{
+    Parser parser(is);
+    return parser.parse();
+}
+
+Summary
+readSummaryFile(const std::string &path)
+{
+    std::ifstream in(path);
+    panicIfNot(in.good(), "cannot open summary file ", path);
+    return readSummaryJson(in);
+}
+
+} // namespace vsgpu::scen

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Machine-readable summary of a bench scenario run.
+ *
+ * Every scenario distills its tables into a flat list of named
+ * headline metrics, each with an absolute comparison tolerance.  The
+ * golden-trace harness records these summaries as JSON
+ * (tests/golden/<scenario>.json) and later replays the scenario,
+ * failing if any metric moved by more than its recorded tolerance.
+ * Tolerances exist for cross-platform floating-point slack (libm,
+ * FMA contraction) — on one machine replays are bitwise-identical.
+ */
+
+#ifndef VSGPU_BENCH_SCENARIOS_SUMMARY_HH
+#define VSGPU_BENCH_SCENARIOS_SUMMARY_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace vsgpu::scen
+{
+
+/** One headline metric of a scenario. */
+struct SummaryMetric
+{
+    std::string name;
+    double value = 0.0;
+
+    /** Absolute tolerance for golden comparison. */
+    double tol = 0.0;
+};
+
+/** All headline metrics of one scenario run. */
+struct Summary
+{
+    std::string scenario;
+
+    /** Workload scale the metrics were measured at (see
+     *  ScenarioOptions::scale); goldens only compare at equal
+     *  scale. */
+    double scale = 1.0;
+
+    std::vector<SummaryMetric> metrics;
+
+    /** Append one metric. */
+    void
+    add(std::string name, double value, double tol)
+    {
+        metrics.push_back({std::move(name), value, tol});
+    }
+
+    /** @return the named metric, or nullptr. */
+    const SummaryMetric *find(const std::string &name) const;
+};
+
+/** Serialize a summary as pretty-printed JSON. */
+void writeSummaryJson(const Summary &summary, std::ostream &os);
+
+/**
+ * Parse a summary previously written by writeSummaryJson().  Panics
+ * on malformed input (goldens are repo-controlled files).
+ */
+Summary readSummaryJson(std::istream &is);
+
+/** Convenience: read a summary from a file path. */
+Summary readSummaryFile(const std::string &path);
+
+} // namespace vsgpu::scen
+
+#endif // VSGPU_BENCH_SCENARIOS_SUMMARY_HH

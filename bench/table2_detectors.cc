@@ -1,70 +1,14 @@
 /**
  * @file
- * Regenerates paper Table II: voltage detector options, plus a
- * behavioural demonstration of each detector tracking a droop event
- * through the 50 MHz front-end filter.
+ * Thin frontend for the table2_detectors scenario (paper Table II);
+ * implementation in bench/scenarios/scenario_table2.cc.  Supports
+ * --jobs / --scale / --json (see scenarioMain()).
  */
 
-#include <cmath>
-
-#include "bench/bench_util.hh"
-#include "control/detector.hh"
-
-using namespace vsgpu;
+#include "bench/scenarios/scenarios.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    bench::banner("Table II", "voltage detector options");
-
-    Table table("detector implementations");
-    table.setHeader({"sensor", "latency_cycles", "power_mW",
-                     "resolution_mV", "output"});
-    const struct
-    {
-        DetectorKind kind;
-        const char *name;
-        const char *output;
-    } rows[] = {
-        {DetectorKind::Oddd, "ODDD", "detect indicator"},
-        {DetectorKind::Cpm, "CPM", "timing variation"},
-        {DetectorKind::Adc, "ADC", "N-bit digital"},
-    };
-    for (const auto &row : rows) {
-        const DetectorSpec spec = detectorSpec(row.kind);
-        table.beginRow()
-            .cell(row.name)
-            .cell(static_cast<long long>(spec.latency))
-            .cell(spec.powerWatts * 1e3, 1)
-            .cell(spec.resolutionVolts * 1e3, 1)
-            .cell(row.output)
-            .endRow();
-    }
-    table.print(std::cout);
-
-    // Behavioural check: a 100 mV droop step seen through each
-    // detector (settling time and resolved value).
-    std::cout << "\nDroop-step response (1.00 V -> 0.90 V):\n";
-    Table resp("step response");
-    resp.setHeader({"sensor", "cycles_to_resolve", "resolved_V"});
-    for (const auto &row : rows) {
-        VoltageDetector det(detectorSpec(row.kind));
-        for (int i = 0; i < 200; ++i)
-            det.sample(1.0);
-        int cycles = 0;
-        double out = 1.0;
-        for (; cycles < 500; ++cycles) {
-            out = det.sample(0.90);
-            if (std::abs(out - 0.90) <=
-                detectorSpec(row.kind).resolutionVolts)
-                break;
-        }
-        resp.beginRow()
-            .cell(row.name)
-            .cell(static_cast<long long>(cycles))
-            .cell(out, 4)
-            .endRow();
-    }
-    resp.print(std::cout);
-    return 0;
+    return vsgpu::scen::scenarioMain("table2_detectors", argc, argv);
 }

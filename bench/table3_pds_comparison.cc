@@ -1,77 +1,15 @@
 /**
  * @file
- * Regenerates paper Table III: PDE and die-area overhead of the four
- * power-delivery subsystems, averaged over all twelve benchmarks.
- *
- * Paper values: single-layer VRM 80% / no die area; single-layer IVR
- * 85% / 172.3 mm^2; VS circuit-only 93.0% / 912 mm^2 (1.72x GPU die);
- * VS cross-layer 92.3% / 105.8 mm^2 (0.2x GPU die).
+ * Thin frontend for the table3_pds_comparison scenario (paper
+ * Table III); implementation in bench/scenarios/scenario_table3.cc.
+ * Supports --jobs / --scale / --json (see scenarioMain()).
  */
 
-#include "bench/bench_util.hh"
-
-using namespace vsgpu;
+#include "bench/scenarios/scenarios.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    setLogQuiet(true);
-    bench::banner("Table III", "comparison of power delivery "
-                               "subsystems (all 12 benchmarks)");
-
-    const PdsKind kinds[] = {
-        PdsKind::ConventionalVrm,
-        PdsKind::SingleLayerIvr,
-        PdsKind::VsCircuitOnly,
-        PdsKind::VsCrossLayer,
-    };
-
-    Table table("Table III");
-    table.setHeader({"PDS configuration", "PDE", "die area (mm^2)",
-                     "area (xGPU die)"});
-
-    double pdeVrm = 0.0, pdeCross = 0.0, pdeCircuit = 0.0;
-    for (PdsKind kind : kinds) {
-        double loadJ = 0.0, wallJ = 0.0;
-        for (Benchmark b : allBenchmarks()) {
-            const CosimResult r =
-                bench::runOn(kind, b, bench::sweepBenchInstrs);
-            loadJ += r.energy.load;
-            wallJ += r.energy.wall;
-        }
-        const double pde = loadJ / wallJ;
-        const PdsOptions options = defaultPds(kind);
-        const Area area = pdsAreaOverhead(options);
-        table.beginRow()
-            .cell(pdsName(kind))
-            .cell(formatPercent(pde))
-            .cell(area / 1.0_mm2, 1)
-            .cell(area / config::gpuDieArea, 2)
-            .endRow();
-        if (kind == PdsKind::ConventionalVrm)
-            pdeVrm = pde;
-        if (kind == PdsKind::VsCircuitOnly)
-            pdeCircuit = pde;
-        if (kind == PdsKind::VsCrossLayer)
-            pdeCross = pde;
-    }
-    table.print(std::cout);
-
-    std::cout << "\nHeadline claims:\n";
-    bench::claim("VS cross-layer PDE", 92.3, pdeCross * 100.0, "%");
-    bench::claim("VS circuit-only PDE", 93.0, pdeCircuit * 100.0,
-                 "%");
-    bench::claim("conventional PDE", 80.0, pdeVrm * 100.0, "%");
-    bench::claim("PDE improvement over conventional", 12.3,
-                 (pdeCross - pdeVrm) * 100.0, " pts");
-    bench::claim("PDS loss eliminated", 61.5,
-                 (1.0 - (1.0 - pdeCross) / (1.0 - pdeVrm)) * 100.0,
-                 "%");
-    const Area areaCircuit =
-        pdsAreaOverhead(defaultPds(PdsKind::VsCircuitOnly));
-    const Area areaCross =
-        pdsAreaOverhead(defaultPds(PdsKind::VsCrossLayer));
-    bench::claim("area reduction vs circuit-only", 88.0,
-                 (1.0 - areaCross / areaCircuit) * 100.0, "%");
-    return 0;
+    return vsgpu::scen::scenarioMain("table3_pds_comparison", argc,
+                                     argv);
 }

@@ -25,6 +25,14 @@ std::vector<Complex>
 AcAnalysis::solve(double freqHz,
                   const std::vector<AcInjection> &injections) const
 {
+    return solveMany(freqHz, {injections}).front();
+}
+
+std::vector<std::vector<Complex>>
+AcAnalysis::solveMany(
+    double freqHz,
+    const std::vector<std::vector<AcInjection>> &patterns) const
+{
     panicIfNot(freqHz > 0.0, "AC analysis requires positive frequency");
     const int numNodes = netlist_.numNodes();
     const int numVsrc =
@@ -33,7 +41,6 @@ AcAnalysis::solve(double freqHz,
     const double w = 2.0 * M_PI * freqHz;
 
     CMatrix y(n, n);
-    std::vector<Complex> rhs(n, Complex{});
 
     const auto stamp = [&](NodeId a, NodeId b, Complex admittance) {
         if (a > 0)
@@ -96,23 +103,31 @@ AcAnalysis::solve(double freqHz,
             y(m, row) -= Complex{1.0, 0.0};
             y(row, m) -= Complex{1.0, 0.0};
         }
-        rhs[row] = Complex{}; // AC short
+        // rhs rows for sources stay zero: AC short.
     }
 
-    for (const auto &inj : injections) {
-        panicIfNot(inj.node >= 0 && inj.node <= numNodes,
-                   "AC injection at unknown node");
-        if (inj.node > 0)
-            rhs[static_cast<std::size_t>(inj.node - 1)] += inj.amps;
+    // One factorization, one back-substitution per pattern.
+    const LuFactor<Complex> lu(y);
+    std::vector<std::vector<Complex>> results;
+    results.reserve(patterns.size());
+    for (const auto &injections : patterns) {
+        std::vector<Complex> rhs(n, Complex{});
+        for (const auto &inj : injections) {
+            panicIfNot(inj.node >= 0 && inj.node <= numNodes,
+                       "AC injection at unknown node");
+            if (inj.node > 0)
+                rhs[static_cast<std::size_t>(inj.node - 1)] +=
+                    inj.amps;
+        }
+        const std::vector<Complex> x = lu.solve(rhs);
+        std::vector<Complex> volts(
+            static_cast<std::size_t>(numNodes) + 1, Complex{});
+        for (int i = 1; i <= numNodes; ++i)
+            volts[static_cast<std::size_t>(i)] =
+                x[static_cast<std::size_t>(i - 1)];
+        results.push_back(std::move(volts));
     }
-
-    const std::vector<Complex> x = solveLinear(y, rhs);
-    std::vector<Complex> volts(static_cast<std::size_t>(numNodes) + 1,
-                               Complex{});
-    for (int i = 1; i <= numNodes; ++i)
-        volts[static_cast<std::size_t>(i)] =
-            x[static_cast<std::size_t>(i - 1)];
-    return volts;
+    return results;
 }
 
 Complex

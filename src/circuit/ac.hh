@@ -56,6 +56,21 @@ class AcAnalysis
     solve(double freqHz, const std::vector<AcInjection> &injections) const;
 
     /**
+     * Solve several injection patterns at one frequency, building
+     * and factoring the complex MNA system exactly once and reusing
+     * the factorization for every right-hand side.  The effective-
+     * impedance methodology needs four stimulus patterns per
+     * frequency point; sharing the factorization makes a sweep point
+     * one LU plus four back-substitutions instead of four LUs.
+     *
+     * @return per-pattern node voltages, in pattern order.
+     */
+    std::vector<std::vector<Complex>>
+    solveMany(double freqHz,
+              const std::vector<std::vector<AcInjection>> &patterns)
+        const;
+
+    /**
      * Convenience: impedance seen between a node and ground, i.e. the
      * voltage response at @p node to a unit current injected there.
      */

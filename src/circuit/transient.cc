@@ -83,8 +83,15 @@ TransientSim::setSourceVolts(int vsrcIdx, double volts)
 void
 TransientSim::initToDc()
 {
-    const std::vector<double> dc =
-        solveDc(netlist_, sourceAmps_, switchClosed_);
+    initFromDc(solveDc(netlist_, sourceAmps_, switchClosed_));
+}
+
+void
+TransientSim::initFromDc(const std::vector<double> &dc)
+{
+    panicIfNot(dc.size() ==
+               static_cast<std::size_t>(numNodes_) + 1,
+               "DC solution size mismatch");
     for (int n = 1; n <= numNodes_; ++n)
         solution_[static_cast<std::size_t>(n - 1)] =
             dc[static_cast<std::size_t>(n)];

@@ -55,6 +55,16 @@ class TransientSim
      */
     void initToDc();
 
+    /**
+     * Initialize states from a precomputed DC operating point, as
+     * returned by solveDc() on this netlist with the same source
+     * setpoints and switch states.  Bitwise-equivalent to
+     * initToDc(), but lets sweep engines solve the operating point
+     * once per configuration and share it across runs
+     * (exec::SetupCache).
+     */
+    void initFromDc(const std::vector<double> &dcNodeVolts);
+
     /** Advance the simulation by one timestep. */
     void step();
 

@@ -1,0 +1,186 @@
+#include "exec/pool.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace vsgpu::exec
+{
+
+int
+Pool::hardwareJobs()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return std::max(1, static_cast<int>(hw));
+}
+
+Pool::Pool(int threads)
+    : threads_(threads > 0 ? threads : hardwareJobs())
+{
+    queues_.reserve(static_cast<std::size_t>(threads_));
+    for (int i = 0; i < threads_; ++i)
+        queues_.push_back(std::make_unique<WorkerQueue>());
+    // Slot 0 belongs to the caller of parallelFor(); only the other
+    // slots get a background thread.
+    workers_.reserve(static_cast<std::size_t>(threads_ - 1));
+    for (int slot = 1; slot < threads_; ++slot)
+        workers_.emplace_back([this, slot] { workerMain(slot); });
+}
+
+Pool::~Pool()
+{
+    {
+        std::lock_guard<std::mutex> lock(batchMutex_);
+        shutdown_ = true;
+    }
+    batchStart_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+void
+Pool::workerMain(int slot)
+{
+    std::uint64_t seenGeneration = 0;
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lock(batchMutex_);
+            batchStart_.wait(lock, [&] {
+                return shutdown_ || batchGeneration_ != seenGeneration;
+            });
+            if (shutdown_)
+                return;
+            seenGeneration = batchGeneration_;
+            ++workersActive_;
+        }
+        drainBatch(slot);
+        {
+            std::lock_guard<std::mutex> lock(batchMutex_);
+            --workersActive_;
+        }
+        batchDone_.notify_all();
+    }
+}
+
+int
+Pool::takeTask(int slot)
+{
+    // Own deque first: bottom (most recently assigned work, which
+    // for the contiguous initial split keeps each worker inside its
+    // own block of the sweep).
+    {
+        auto &own = *queues_[static_cast<std::size_t>(slot)];
+        std::lock_guard<std::mutex> lock(own.mutex);
+        if (!own.tasks.empty()) {
+            const int task = own.tasks.back();
+            own.tasks.pop_back();
+            return task;
+        }
+    }
+    // Steal from the top of the other deques, scanning in a fixed
+    // order starting after our own slot (deterministic scheduler
+    // state; task results never depend on who ran what).
+    for (int k = 1; k < threads_; ++k) {
+        const int victim = (slot + k) % threads_;
+        auto &queue = *queues_[static_cast<std::size_t>(victim)];
+        std::lock_guard<std::mutex> lock(queue.mutex);
+        if (!queue.tasks.empty()) {
+            const int task = queue.tasks.front();
+            queue.tasks.pop_front();
+            steals_.fetch_add(1, std::memory_order_relaxed);
+            return task;
+        }
+    }
+    return -1;
+}
+
+void
+Pool::drainBatch(int slot)
+{
+    for (;;) {
+        const int task = takeTask(slot);
+        if (task < 0)
+            return;
+        bool skip;
+        {
+            std::lock_guard<std::mutex> lock(batchMutex_);
+            skip = cancelled_;
+        }
+        if (!skip) {
+            try {
+                (*body_)(task);
+                tasksRun_.fetch_add(1, std::memory_order_relaxed);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(batchMutex_);
+                if (!firstError_)
+                    firstError_ = std::current_exception();
+                cancelled_ = true;
+            }
+        }
+        {
+            std::lock_guard<std::mutex> lock(batchMutex_);
+            --batchRemaining_;
+        }
+        batchDone_.notify_all();
+    }
+}
+
+void
+Pool::parallelFor(int numTasks, const std::function<void(int)> &body)
+{
+    panicIfNot(numTasks >= 0, "negative task count");
+    if (numTasks == 0)
+        return;
+
+    if (threads_ == 1) {
+        // Inline fast path: no threads, no locks — the determinism
+        // baseline every parallel run is measured against.
+        for (int i = 0; i < numTasks; ++i) {
+            body(i);
+            tasksRun_.fetch_add(1, std::memory_order_relaxed);
+        }
+        return;
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(batchMutex_);
+        panicIfNot(body_ == nullptr,
+                   "Pool::parallelFor is not reentrant");
+        body_ = &body;
+        firstError_ = nullptr;
+        cancelled_ = false;
+        batchRemaining_ = numTasks;
+        // Contiguous initial split: slot s owns indices
+        // [s*n/k, (s+1)*n/k); stealing rebalances from the far end.
+        for (int slot = 0; slot < threads_; ++slot) {
+            const int lo = static_cast<int>(
+                static_cast<long long>(numTasks) * slot / threads_);
+            const int hi = static_cast<int>(
+                static_cast<long long>(numTasks) * (slot + 1) /
+                threads_);
+            auto &queue = *queues_[static_cast<std::size_t>(slot)];
+            std::lock_guard<std::mutex> qlock(queue.mutex);
+            for (int i = lo; i < hi; ++i)
+                queue.tasks.push_back(i);
+        }
+        ++batchGeneration_;
+    }
+    batchStart_.notify_all();
+
+    drainBatch(0);
+
+    std::exception_ptr error;
+    {
+        std::unique_lock<std::mutex> lock(batchMutex_);
+        batchDone_.wait(lock, [&] {
+            return batchRemaining_ == 0 && workersActive_ == 0;
+        });
+        error = firstError_;
+        firstError_ = nullptr;
+        body_ = nullptr;
+    }
+    if (error)
+        std::rethrow_exception(error);
+}
+
+} // namespace vsgpu::exec

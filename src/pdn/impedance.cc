@@ -8,6 +8,84 @@
 namespace vsgpu
 {
 
+namespace
+{
+
+/** Global pattern: every SM draws 1 A (per-amp-of-SM-load axis). */
+std::vector<double>
+globalLoadPattern(const VsPdn &pdn)
+{
+    return std::vector<double>(
+        static_cast<std::size_t>(pdn.numSms()), 1.0);
+}
+
+/** Stack pattern for one column: +(1 - 1/M) on the column, -1/M
+ *  elsewhere (global component removed). */
+std::vector<double>
+stackLoadPattern(const VsPdn &pdn, int column)
+{
+    std::vector<double> loads(
+        static_cast<std::size_t>(pdn.numSms()), 0.0);
+    const double inCol =
+        1.0 - 1.0 / static_cast<double>(pdn.columns());
+    const double outCol =
+        -1.0 / static_cast<double>(pdn.columns());
+    for (int sm = 0; sm < pdn.numSms(); ++sm) {
+        loads[static_cast<std::size_t>(sm)] =
+            pdn.columnOf(sm) == column ? inCol : outCol;
+    }
+    return loads;
+}
+
+/** Residual pattern: +(1 - 1/N) at (layer 0, column 0), -1/N at the
+ *  other layers of column 0. */
+std::vector<double>
+residualLoadPattern(const VsPdn &pdn)
+{
+    std::vector<double> loads(
+        static_cast<std::size_t>(pdn.numSms()), 0.0);
+    for (int layer = 0; layer < pdn.layers(); ++layer) {
+        const int sm = pdn.smIndexAt(layer, 0);
+        loads[static_cast<std::size_t>(sm)] =
+            layer == 0
+                ? 1.0 - 1.0 / static_cast<double>(pdn.layers())
+                : -1.0 / static_cast<double>(pdn.layers());
+    }
+    return loads;
+}
+
+/** Translate per-SM load amplitudes into AC current injections. */
+std::vector<AcInjection>
+injectionsFor(const VsPdn &pdn, const std::vector<double> &smLoadAmps)
+{
+    std::vector<AcInjection> injections;
+    injections.reserve(smLoadAmps.size() * 2);
+    for (int sm = 0; sm < pdn.numSms(); ++sm) {
+        const double amps = smLoadAmps[static_cast<std::size_t>(sm)];
+        if (amps == 0.0)
+            continue;
+        // A load drawing current pulls it out of the SM's top node
+        // and returns it at the bottom node.
+        injections.push_back(
+            {pdn.smTopNode(sm), Complex{-amps, 0.0}});
+        injections.push_back(
+            {pdn.smBottomNode(sm), Complex{amps, 0.0}});
+    }
+    return injections;
+}
+
+/** |layer-voltage response| at one SM from a solved node vector. */
+Ohms
+observeAt(const VsPdn &pdn, const std::vector<Complex> &volts, int sm)
+{
+    const Complex dv =
+        volts[static_cast<std::size_t>(pdn.smTopNode(sm))] -
+        volts[static_cast<std::size_t>(pdn.smBottomNode(sm))];
+    return Ohms{std::abs(dv)};
+}
+
+} // namespace
+
 ImpedanceAnalyzer::ImpedanceAnalyzer(const VsPdn &pdn)
     : pdn_(pdn)
 {
@@ -22,23 +100,9 @@ ImpedanceAnalyzer::respond(const std::vector<double> &smLoadAmps,
                "per-SM load vector size mismatch");
 
     AcAnalysis ac(pdn_.netlist());
-    std::vector<AcInjection> injections;
-    injections.reserve(smLoadAmps.size() * 2);
-    for (int sm = 0; sm < pdn_.numSms(); ++sm) {
-        const double amps = smLoadAmps[static_cast<std::size_t>(sm)];
-        if (amps == 0.0)
-            continue;
-        // A load drawing current pulls it out of the SM's top node and
-        // returns it at the bottom node.
-        injections.push_back({pdn_.smTopNode(sm), Complex{-amps, 0.0}});
-        injections.push_back({pdn_.smBottomNode(sm), Complex{amps, 0.0}});
-    }
-
-    const auto volts = ac.solve(freq.raw(), injections);
-    const Complex dv =
-        volts[static_cast<std::size_t>(pdn_.smTopNode(observeSm))] -
-        volts[static_cast<std::size_t>(pdn_.smBottomNode(observeSm))];
-    return Ohms{std::abs(dv)};
+    const auto volts =
+        ac.solve(freq.raw(), injectionsFor(pdn_, smLoadAmps));
+    return observeAt(pdn_, volts, observeSm);
 }
 
 Ohms
@@ -48,9 +112,8 @@ ImpedanceAnalyzer::globalImpedance(Hertz freq) const
     // the layer-voltage deviation at one of them, so all four
     // impedance flavours relate the *per-SM* current deviation to the
     // local rail response and can share one axis (paper Fig. 3).
-    std::vector<double> loads(
-        static_cast<std::size_t>(pdn_.numSms()), 1.0);
-    return respond(loads, pdn_.smIndexAt(0, 0), freq);
+    return respond(globalLoadPattern(pdn_), pdn_.smIndexAt(0, 0),
+                   freq);
 }
 
 Ohms
@@ -61,17 +124,8 @@ ImpedanceAnalyzer::stackImpedance(Hertz freq, int column) const
     // Stack pattern: every SM of the column draws 1 A, with the
     // global component removed (orthogonal decomposition), i.e.
     // +(1 - 1/M) on the column and -1/M elsewhere.
-    std::vector<double> loads(
-        static_cast<std::size_t>(pdn_.numSms()), 0.0);
-    const double inCol =
-        1.0 - 1.0 / static_cast<double>(pdn_.columns());
-    const double outCol =
-        -1.0 / static_cast<double>(pdn_.columns());
-    for (int sm = 0; sm < pdn_.numSms(); ++sm) {
-        loads[static_cast<std::size_t>(sm)] =
-            pdn_.columnOf(sm) == column ? inCol : outCol;
-    }
-    return respond(loads, pdn_.smIndexAt(0, column), freq);
+    return respond(stackLoadPattern(pdn_, column),
+                   pdn_.smIndexAt(0, column), freq);
 }
 
 Ohms
@@ -79,21 +133,34 @@ ImpedanceAnalyzer::residualImpedance(Hertz freq, bool sameLayer) const
 {
     // Unit extra load at SM (layer 0, column 0); residual component
     // is +(1 - 1/N) there and -1/N at the other layers of column 0.
-    const int column = 0;
-    const int loadedLayer = 0;
-    std::vector<double> loads(
-        static_cast<std::size_t>(pdn_.numSms()), 0.0);
-    for (int layer = 0; layer < pdn_.layers(); ++layer) {
-        const int sm = pdn_.smIndexAt(layer, column);
-        loads[static_cast<std::size_t>(sm)] =
-            layer == loadedLayer
-                ? 1.0 - 1.0 / static_cast<double>(pdn_.layers())
-                : -1.0 / static_cast<double>(pdn_.layers());
-    }
     const int observe =
-        sameLayer ? pdn_.smIndexAt(loadedLayer, column)
-                  : pdn_.smIndexAt(pdn_.layers() / 2, column);
-    return respond(loads, observe, freq);
+        sameLayer ? pdn_.smIndexAt(0, 0)
+                  : pdn_.smIndexAt(pdn_.layers() / 2, 0);
+    return respond(residualLoadPattern(pdn_), observe, freq);
+}
+
+ImpedancePoint
+ImpedanceAnalyzer::sweepPoint(Hertz freq) const
+{
+    // Three stimulus patterns (the two residual flavours share one),
+    // solved against a single factorization.
+    AcAnalysis ac(pdn_.netlist());
+    const std::vector<std::vector<AcInjection>> patterns = {
+        injectionsFor(pdn_, globalLoadPattern(pdn_)),
+        injectionsFor(pdn_, stackLoadPattern(pdn_, 0)),
+        injectionsFor(pdn_, residualLoadPattern(pdn_)),
+    };
+    const auto volts = ac.solveMany(freq.raw(), patterns);
+
+    ImpedancePoint p;
+    p.freq = freq;
+    p.zGlobal = observeAt(pdn_, volts[0], pdn_.smIndexAt(0, 0));
+    p.zStack = observeAt(pdn_, volts[1], pdn_.smIndexAt(0, 0));
+    p.zResidualSameLayer =
+        observeAt(pdn_, volts[2], pdn_.smIndexAt(0, 0));
+    p.zResidualDiffLayer = observeAt(
+        pdn_, volts[2], pdn_.smIndexAt(pdn_.layers() / 2, 0));
+    return p;
 }
 
 std::vector<ImpedancePoint>
@@ -101,25 +168,19 @@ ImpedanceAnalyzer::sweep(const std::vector<Hertz> &freqs) const
 {
     std::vector<ImpedancePoint> points;
     points.reserve(freqs.size());
-    for (Hertz f : freqs) {
-        ImpedancePoint p;
-        p.freq = f;
-        p.zGlobal = globalImpedance(f);
-        p.zStack = stackImpedance(f);
-        p.zResidualSameLayer = residualImpedance(f, true);
-        p.zResidualDiffLayer = residualImpedance(f, false);
-        points.push_back(p);
-    }
+    for (Hertz f : freqs)
+        points.push_back(sweepPoint(f));
     return points;
 }
 
 Ohms
 ImpedanceAnalyzer::peakImpedance(Hertz freq) const
 {
-    Ohms z = globalImpedance(freq);
-    z = std::max(z, stackImpedance(freq));
-    z = std::max(z, residualImpedance(freq, true));
-    z = std::max(z, residualImpedance(freq, false));
+    const ImpedancePoint p = sweepPoint(freq);
+    Ohms z = p.zGlobal;
+    z = std::max(z, p.zStack);
+    z = std::max(z, p.zResidualSameLayer);
+    z = std::max(z, p.zResidualDiffLayer);
     return z;
 }
 

@@ -64,6 +64,14 @@ class ImpedanceAnalyzer
      */
     Ohms residualImpedance(Hertz freq, bool sameLayer) const;
 
+    /**
+     * All four impedances at one frequency.  Builds and factors the
+     * complex MNA system once and back-substitutes the four stimulus
+     * patterns against it (AcAnalysis::solveMany), so one sweep
+     * point costs one factorization instead of four.
+     */
+    ImpedancePoint sweepPoint(Hertz freq) const;
+
     /** Sweep all four impedances over a frequency list. */
     std::vector<ImpedancePoint>
     sweep(const std::vector<Hertz> &freqs) const;

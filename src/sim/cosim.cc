@@ -10,6 +10,7 @@
 #include "ivr/efficiency.hh"
 #include "pdn/single_layer.hh"
 #include "pdn/vs_pdn.hh"
+#include "sim/pds_setup.hh"
 
 namespace vsgpu
 {
@@ -79,40 +80,27 @@ CoSimulator::runImpl(
     SmPowerModel powerModel(cfg_.energy);
     const double peakSmPower = powerModel.peakPower().raw();
 
-    std::unique_ptr<VsPdn> vsPdn;
-    std::unique_ptr<SingleLayerPdn> slPdn;
-    std::unique_ptr<TransientSim> tr;
-    std::vector<int> loadResistors;
-
-    if (stacked) {
-        VsPdnOptions options;
-        options.params = cfg_.pdn;
-        if (cfg_.pds.ivrAreaFraction > 0.0) {
-            const CrIvrDesign design(cfg_.pds.ivrArea(),
-                                     cfg_.pds.ivrTech);
-            options.crIvrEffOhms = design.effOhmsPerCell();
-            options.crIvrFlyCapF = design.flyCapPerCell();
-        }
-        vsPdn = std::make_unique<VsPdn>(options);
-        tr = std::make_unique<TransientSim>(vsPdn->netlist(),
-                                            config::clockPeriod.raw());
-        loadResistors = vsPdn->loadResistorIndices();
+    // Shared electrical setup: use the caller's (sweep engines build
+    // one per configuration and share it across points) or build our
+    // own.  Either way the netlist is immutable and the DC operating
+    // point comes from the same solveDc() path, so results do not
+    // depend on which branch was taken.
+    std::shared_ptr<const PdsSetup> setup = cfg_.setup;
+    if (setup) {
+        panicIfNot(setup->key == pdsSetupKey(cfg_),
+                   "shared PDS setup built for a different "
+                   "electrical configuration");
     } else {
-        SingleLayerOptions options;
-        options.params = cfg_.pdn;
-        options.supplyAtPackage =
-            cfg_.pds.kind == PdsKind::SingleLayerIvr;
-        // Load-line compensation: the regulator output is set above
-        // nominal so the rail stays near 1 V under the average IR
-        // drop (further from the load = more compensation).
-        options.supplyVolts =
-            options.supplyAtPackage ? 1.03_V : 1.06_V;
-        slPdn = std::make_unique<SingleLayerPdn>(options);
-        tr = std::make_unique<TransientSim>(slPdn->netlist(),
-                                            config::clockPeriod.raw());
-        loadResistors = slPdn->loadResistorIndices();
+        setup = buildPdsSetup(cfg_);
     }
-    tr->initToDc();
+    const VsPdn *vsPdn = setup->vs.get();
+    const SingleLayerPdn *slPdn = setup->sl.get();
+    auto tr = std::make_unique<TransientSim>(
+        setup->netlist(), config::clockPeriod.raw());
+    const std::vector<int> &loadResistors =
+        stacked ? vsPdn->loadResistorIndices()
+                : slPdn->loadResistorIndices();
+    tr->initFromDc(setup->dcNodeVolts);
 
     // Per-SM rail voltage reader (raw volts for the loop math).
     const auto railVolts = [&](int sm) {

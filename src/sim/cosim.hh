@@ -27,6 +27,8 @@
 namespace vsgpu
 {
 
+struct PdsSetup;
+
 /** Co-simulation configuration. */
 struct CosimConfig
 {
@@ -66,6 +68,16 @@ struct CosimConfig
 
     /** Remote-sense integrator gain (volts per volt-cycle). */
     double remoteSenseGain = 0.002;
+
+    /**
+     * Optional shared electrical setup (pre-built PDN + DC operating
+     * point, see sim/pds_setup.hh).  When set it must have been
+     * built for an electrically identical configuration
+     * (pdsSetupKey() match is enforced); when null the simulator
+     * builds its own.  Results are bitwise-identical either way —
+     * sharing only removes redundant setup work from sweeps.
+     */
+    std::shared_ptr<const PdsSetup> setup;
 };
 
 /**

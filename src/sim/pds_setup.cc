@@ -1,0 +1,116 @@
+#include "sim/pds_setup.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace vsgpu
+{
+
+namespace
+{
+
+/** Append a raw double's bytes to the key (exact, not hashed). */
+void
+appendBits(std::string &key, double value)
+{
+    char bytes[sizeof(double)];
+    std::memcpy(bytes, &value, sizeof(double));
+    key.append(bytes, sizeof(double));
+}
+
+void
+appendBits(std::string &key, int value)
+{
+    char bytes[sizeof(int)];
+    std::memcpy(bytes, &value, sizeof(int));
+    key.append(bytes, sizeof(int));
+}
+
+} // namespace
+
+std::string
+pdsSetupKey(const CosimConfig &cfg)
+{
+    std::string key;
+    key.reserve(192);
+    appendBits(key, static_cast<int>(cfg.pds.kind));
+    appendBits(key, cfg.pds.ivrAreaFraction);
+
+    // CR-IVR technology (sizes the equalizers).
+    const CrIvrTech &tech = cfg.pds.ivrTech;
+    appendBits(key, tech.capDensity.raw());
+    appendBits(key, tech.capAreaFraction);
+    appendBits(key, tech.switchingHz.raw());
+    appendBits(key, tech.switchingLossFraction);
+    appendBits(key, tech.shuffleEfficiency);
+    appendBits(key, tech.numCells);
+
+    // PDN parasitics (shape the netlist and the DC point).
+    const PdnParams &p = cfg.pdn;
+    appendBits(key, p.boardR.raw());
+    appendBits(key, p.boardL.raw());
+    appendBits(key, p.bulkC.raw());
+    appendBits(key, p.bulkEsr.raw());
+    appendBits(key, p.packageR.raw());
+    appendBits(key, p.packageL.raw());
+    appendBits(key, p.packageC.raw());
+    appendBits(key, p.packageEsr.raw());
+    appendBits(key, p.c4R.raw());
+    appendBits(key, p.c4L.raw());
+    appendBits(key, p.gridR.raw());
+    appendBits(key, p.smDecapC.raw());
+    appendBits(key, p.smDecapEsr.raw());
+    appendBits(key, p.smNominalPower.raw());
+    appendBits(key, p.smNominalVoltage.raw());
+    appendBits(key, p.smLoadAlpha);
+    return key;
+}
+
+std::shared_ptr<const PdsSetup>
+buildPdsSetup(const CosimConfig &cfg)
+{
+    auto setup = std::make_shared<PdsSetup>();
+    setup->stacked = isVoltageStacked(cfg.pds.kind);
+    setup->key = pdsSetupKey(cfg);
+
+    if (setup->stacked) {
+        VsPdnOptions options;
+        options.params = cfg.pdn;
+        if (cfg.pds.ivrAreaFraction > 0.0) {
+            const CrIvrDesign design(cfg.pds.ivrArea(),
+                                     cfg.pds.ivrTech);
+            options.crIvrEffOhms = design.effOhmsPerCell();
+            options.crIvrFlyCapF = design.flyCapPerCell();
+        }
+        setup->vs = std::make_shared<const VsPdn>(options);
+    } else {
+        SingleLayerOptions options;
+        options.params = cfg.pdn;
+        options.supplyAtPackage =
+            cfg.pds.kind == PdsKind::SingleLayerIvr;
+        // Load-line compensation: the regulator output is set above
+        // nominal so the rail stays near 1 V under the average IR
+        // drop (further from the load = more compensation).
+        options.supplyVolts =
+            options.supplyAtPackage ? 1.03_V : 1.06_V;
+        setup->sl = std::make_shared<const SingleLayerPdn>(options);
+    }
+
+    // DC operating point at the netlist's default source setpoints
+    // and initial switch states — exactly what a fresh TransientSim
+    // would compute in initToDc(), solved once per configuration.
+    const Netlist &net = setup->netlist();
+    std::vector<double> amps;
+    amps.reserve(net.currentSources().size());
+    for (const auto &src : net.currentSources())
+        amps.push_back(src.amps);
+    std::vector<bool> closed;
+    closed.reserve(net.switches().size());
+    for (const auto &sw : net.switches())
+        closed.push_back(sw.initiallyClosed);
+    setup->dcNodeVolts = solveDc(net, amps, closed);
+    return setup;
+}
+
+} // namespace vsgpu

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Shared, immutable per-configuration setup of a co-simulation run:
+ * the built PDN netlist plus its DC operating point.
+ *
+ * Building a PDS means sizing the CR-IVR, assembling the netlist,
+ * and LU-solving the DC operating point — work that depends only on
+ * the electrical configuration, not on the workload or the
+ * controller.  A sweep that runs many points against one PDN/IVR
+ * configuration (threshold sweeps, workload sweeps, Monte Carlo
+ * seeds) therefore does that work once and shares the result.
+ *
+ * PdsSetup is deeply immutable after construction, so one instance
+ * can back any number of concurrent CoSimulator runs (each run has
+ * its own TransientSim over the shared netlist).  exec::SetupCache
+ * memoizes instances keyed by pdsSetupKey().
+ */
+
+#ifndef VSGPU_SIM_PDS_SETUP_HH
+#define VSGPU_SIM_PDS_SETUP_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pdn/single_layer.hh"
+#include "pdn/vs_pdn.hh"
+#include "sim/cosim.hh"
+
+namespace vsgpu
+{
+
+/**
+ * Immutable electrical setup shared across runs of one
+ * configuration.  Exactly one of vs / sl is set, matching whether
+ * the configuration is voltage-stacked.
+ */
+struct PdsSetup
+{
+    bool stacked = false;
+    std::shared_ptr<const VsPdn> vs;
+    std::shared_ptr<const SingleLayerPdn> sl;
+
+    /**
+     * DC operating point of the netlist with the default (zero)
+     * load currents and initial switch states, as returned by
+     * solveDc(); feeds TransientSim::initFromDc().
+     */
+    std::vector<double> dcNodeVolts;
+
+    /** Exact configuration key this setup was built for. */
+    std::string key;
+
+    /** @return the shared netlist. */
+    const Netlist &
+    netlist() const
+    {
+        return stacked ? vs->netlist() : sl->netlist();
+    }
+};
+
+/**
+ * Exact-bytes key of every configuration field that shapes the
+ * netlist or its DC operating point (PDS kind, CR-IVR area and
+ * technology, PDN parasitics).  Two configs with equal keys build
+ * bitwise-identical setups; controller and workload fields are
+ * deliberately excluded.
+ */
+std::string pdsSetupKey(const CosimConfig &cfg);
+
+/** Build the shared setup for a configuration (netlist + DC LU). */
+std::shared_ptr<const PdsSetup> buildPdsSetup(const CosimConfig &cfg);
+
+} // namespace vsgpu
+
+#endif // VSGPU_SIM_PDS_SETUP_HH

@@ -40,7 +40,6 @@ backprop()
     s.l1HitRate = 0.50;
     s.smJitter = 0.55;
     s.warpJitter = 0.20;
-    s.seed = 0xb0071;
     return s;
 }
 
@@ -61,7 +60,6 @@ bfs()
     s.l1HitRate = 0.45;
     s.smJitter = 0.30;
     s.warpJitter = 0.25;
-    s.seed = 0xbf5;
     return s;
 }
 
@@ -81,7 +79,6 @@ heartwall()
     s.l1HitRate = 0.70;
     s.smJitter = 0.02;
     s.warpJitter = 0.02;
-    s.seed = 0x4ea27;
     return s;
 }
 
@@ -102,7 +99,6 @@ hotspot()
     s.l1HitRate = 0.65;
     s.smJitter = 0.15;
     s.warpJitter = 0.08;
-    s.seed = 0x407590;
     return s;
 }
 
@@ -125,7 +121,6 @@ pathfinder()
     s.l1HitRate = 0.60;
     s.smJitter = 0.20;
     s.warpJitter = 0.10;
-    s.seed = 0x9a24f;
     return s;
 }
 
@@ -146,7 +141,6 @@ srad()
     s.l1HitRate = 0.60;
     s.smJitter = 0.12;
     s.warpJitter = 0.08;
-    s.seed = 0x52ad;
     return s;
 }
 
@@ -166,7 +160,6 @@ blackscholes()
     s.l1HitRate = 0.80;
     s.smJitter = 0.08;
     s.warpJitter = 0.05;
-    s.seed = 0xb1acc;
     return s;
 }
 
@@ -185,7 +178,6 @@ scalarprod()
     s.l1HitRate = 0.45;
     s.smJitter = 0.10;
     s.warpJitter = 0.06;
-    s.seed = 0x5ca1a;
     return s;
 }
 
@@ -205,7 +197,6 @@ sortingnet()
     s.l1HitRate = 0.70;
     s.smJitter = 0.10;
     s.warpJitter = 0.05;
-    s.seed = 0x5027;
     return s;
 }
 
@@ -224,7 +215,6 @@ simpleface()
     s.l1HitRate = 0.75;
     s.smJitter = 0.10;
     s.warpJitter = 0.06;
-    s.seed = 0xface;
     return s;
 }
 
@@ -243,7 +233,6 @@ fastwalsh()
     s.l1HitRate = 0.70;
     s.smJitter = 0.12;
     s.warpJitter = 0.06;
-    s.seed = 0xfa57;
     return s;
 }
 
@@ -264,7 +253,6 @@ simpleatomic()
     s.l1HitRate = 0.40;
     s.smJitter = 0.25;
     s.warpJitter = 0.15;
-    s.seed = 0xa70a11c;
     return s;
 }
 
@@ -304,24 +292,53 @@ benchmarkName(Benchmark bench)
     return "?";
 }
 
+std::uint64_t
+benchmarkSeed(Benchmark bench)
+{
+    switch (bench) {
+      case Benchmark::Backprop:     return 0xb0071;
+      case Benchmark::Bfs:          return 0xbf5;
+      case Benchmark::Heartwall:    return 0x4ea27;
+      case Benchmark::Hotspot:      return 0x407590;
+      case Benchmark::Pathfinder:   return 0x9a24f;
+      case Benchmark::Srad:         return 0x52ad;
+      case Benchmark::Blackscholes: return 0xb1acc;
+      case Benchmark::Scalarprod:   return 0x5ca1a;
+      case Benchmark::Sortingnet:   return 0x5027;
+      case Benchmark::Simpleface:   return 0xface;
+      case Benchmark::Fastwalsh:    return 0xfa57;
+      case Benchmark::Simpleatomic: return 0xa70a11c;
+    }
+    panic("unknown benchmark");
+}
+
+WorkloadSpec
+workloadFor(Benchmark bench, std::uint64_t seed)
+{
+    WorkloadSpec s;
+    switch (bench) {
+      case Benchmark::Backprop:     s = backprop(); break;
+      case Benchmark::Bfs:          s = bfs(); break;
+      case Benchmark::Heartwall:    s = heartwall(); break;
+      case Benchmark::Hotspot:      s = hotspot(); break;
+      case Benchmark::Pathfinder:   s = pathfinder(); break;
+      case Benchmark::Srad:         s = srad(); break;
+      case Benchmark::Blackscholes: s = blackscholes(); break;
+      case Benchmark::Scalarprod:   s = scalarprod(); break;
+      case Benchmark::Sortingnet:   s = sortingnet(); break;
+      case Benchmark::Simpleface:   s = simpleface(); break;
+      case Benchmark::Fastwalsh:    s = fastwalsh(); break;
+      case Benchmark::Simpleatomic: s = simpleatomic(); break;
+      default: panic("unknown benchmark");
+    }
+    s.seed = seed;
+    return s;
+}
+
 WorkloadSpec
 workloadFor(Benchmark bench)
 {
-    switch (bench) {
-      case Benchmark::Backprop:     return backprop();
-      case Benchmark::Bfs:          return bfs();
-      case Benchmark::Heartwall:    return heartwall();
-      case Benchmark::Hotspot:      return hotspot();
-      case Benchmark::Pathfinder:   return pathfinder();
-      case Benchmark::Srad:         return srad();
-      case Benchmark::Blackscholes: return blackscholes();
-      case Benchmark::Scalarprod:   return scalarprod();
-      case Benchmark::Sortingnet:   return sortingnet();
-      case Benchmark::Simpleface:   return simpleface();
-      case Benchmark::Fastwalsh:    return fastwalsh();
-      case Benchmark::Simpleatomic: return simpleatomic();
-    }
-    panic("unknown benchmark");
+    return workloadFor(bench, benchmarkSeed(bench));
 }
 
 double
@@ -331,7 +348,7 @@ benchmarkL1HitRate(Benchmark bench)
 }
 
 WorkloadSpec
-uniformWorkload(int instrsPerWarp)
+uniformWorkload(int instrsPerWarp, std::uint64_t seed)
 {
     WorkloadSpec s;
     s.name = "uniform";
@@ -343,12 +360,12 @@ uniformWorkload(int instrsPerWarp)
     s.l1HitRate = 0.9;
     s.smJitter = 0.0;
     s.warpJitter = 0.0;
-    s.seed = 0x111;
+    s.seed = seed;
     return s;
 }
 
 WorkloadSpec
-resonantWorkload(int phaseInstrs, int repeats)
+resonantWorkload(int phaseInstrs, int repeats, std::uint64_t seed)
 {
     panicIfNot(phaseInstrs > 0, "phaseInstrs must be positive");
     WorkloadSpec s;
@@ -365,7 +382,7 @@ resonantWorkload(int phaseInstrs, int repeats)
     s.l1HitRate = 0.95;
     s.smJitter = 0.0;
     s.warpJitter = 0.0;
-    s.seed = 0x2e5;
+    s.seed = seed;
     return s;
 }
 

@@ -16,6 +16,7 @@
 #ifndef VSGPU_WORKLOADS_SUITE_HH
 #define VSGPU_WORKLOADS_SUITE_HH
 
+#include <cstdint>
 #include <vector>
 
 #include "workloads/spec.hh"
@@ -49,14 +50,28 @@ const char *benchmarkName(Benchmark bench);
 /** @return the L1 hit rate this workload should configure. */
 double benchmarkL1HitRate(Benchmark bench);
 
-/** @return the workload specification for a benchmark. */
+/**
+ * The suite's published per-benchmark base seed.  All generator
+ * entry points default to this value, so two call sites asking for
+ * the same benchmark get bitwise-identical instruction streams
+ * unless one explicitly reseeds.
+ */
+std::uint64_t benchmarkSeed(Benchmark bench);
+
+/**
+ * @return the workload specification for a benchmark.
+ * @param seed base RNG seed for the instruction stream; defaults to
+ *             benchmarkSeed(bench) so results are reproducible.
+ */
+WorkloadSpec workloadFor(Benchmark bench, std::uint64_t seed);
 WorkloadSpec workloadFor(Benchmark bench);
 
 /**
  * Perfectly balanced compute microbenchmark (zero jitter): the ideal
  * voltage-stacking case used by unit tests and calibration.
  */
-WorkloadSpec uniformWorkload(int instrsPerWarp = 2000);
+WorkloadSpec uniformWorkload(int instrsPerWarp = 2000,
+                             std::uint64_t seed = 0x111);
 
 /**
  * Power square-wave microbenchmark: alternates dense independent FP
@@ -65,7 +80,8 @@ WorkloadSpec uniformWorkload(int instrsPerWarp = 2000);
  * Used to validate the impedance analysis against the transient
  * engine.
  */
-WorkloadSpec resonantWorkload(int phaseInstrs, int repeats = 8);
+WorkloadSpec resonantWorkload(int phaseInstrs, int repeats = 8,
+                              std::uint64_t seed = 0x2e5);
 
 /** Scale a spec's repeat count so it retires roughly targetInstrs
  *  per warp. */

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Property-based tests of the voltage detectors: over randomized
+ * seeded rail traces, detector outputs stay inside the input
+ * envelope (plus one quantization step), settle to within resolution
+ * on constant rails, and quantize onto the resolution grid.  Seeds
+ * are fixed, so failures reproduce exactly.
+ */
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "control/detector.hh"
+
+namespace vsgpu
+{
+namespace
+{
+
+/** A noisy rail trace with occasional droop events. */
+std::vector<double>
+randomRailTrace(Rng &rng, int cycles)
+{
+    std::vector<double> trace;
+    trace.reserve(static_cast<std::size_t>(cycles));
+    double droop = 0.0;
+    for (int i = 0; i < cycles; ++i) {
+        if (rng.bernoulli(0.01))
+            droop = rng.uniform(0.05, 0.20); // a droop event begins
+        droop *= 0.97;                       // and decays
+        trace.push_back(1.0 - droop + rng.normal(0.0, 0.005));
+    }
+    return trace;
+}
+
+TEST(DetectorProperties, OutputStaysInsideInputEnvelope)
+{
+    for (DetectorKind kind :
+         {DetectorKind::Oddd, DetectorKind::Cpm, DetectorKind::Adc}) {
+        const DetectorSpec spec = detectorSpec(kind);
+        for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+            Rng rng(seed);
+            VoltageDetector det(spec);
+            const auto trace = randomRailTrace(rng, 2000);
+            const double lo =
+                *std::min_element(trace.begin(), trace.end());
+            const double hi =
+                *std::max_element(trace.begin(), trace.end());
+            for (double v : trace) {
+                const double out = det.sample(v);
+                EXPECT_TRUE(std::isfinite(out));
+                // The filter is an average of past inputs and the
+                // reset state (1 V); quantization adds one step.
+                EXPECT_GE(out,
+                          std::min(lo, 1.0) - spec.resolutionVolts);
+                EXPECT_LE(out,
+                          std::max(hi, 1.0) + spec.resolutionVolts);
+            }
+        }
+    }
+}
+
+TEST(DetectorProperties, SettlesWithinResolutionOnConstantRail)
+{
+    for (DetectorKind kind :
+         {DetectorKind::Oddd, DetectorKind::Cpm, DetectorKind::Adc}) {
+        const DetectorSpec spec = detectorSpec(kind);
+        for (double level : {0.85, 0.95, 1.0, 1.05}) {
+            VoltageDetector det(spec);
+            double out = 0.0;
+            for (int i = 0; i < 2000; ++i)
+                out = det.sample(level);
+            EXPECT_NEAR(out, level, spec.resolutionVolts + 1e-12)
+                << "kind " << static_cast<int>(kind) << " level "
+                << level;
+        }
+    }
+}
+
+TEST(DetectorProperties, OutputLandsOnResolutionGrid)
+{
+    const DetectorSpec spec = detectorSpec(DetectorKind::Adc);
+    Rng rng(99);
+    VoltageDetector det(spec);
+    for (int i = 0; i < 1000; ++i) {
+        const double out = det.sample(rng.uniform(0.8, 1.1));
+        const double steps = out / spec.resolutionVolts;
+        EXPECT_NEAR(steps, std::round(steps), 1e-9)
+            << "output " << out << " is off the quantization grid";
+    }
+}
+
+TEST(DetectorProperties, StuckAtFaultDominatesAnyInput)
+{
+    DetectorSpec spec = detectorSpec(DetectorKind::Adc);
+    spec.stuckAtVolts = 0.93;
+    Rng rng(7);
+    VoltageDetector det(spec);
+    for (int i = 0; i < 500; ++i)
+        EXPECT_EQ(det.sample(rng.uniform(0.5, 1.5)), 0.93);
+}
+
+} // namespace
+} // namespace vsgpu

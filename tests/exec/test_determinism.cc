@@ -1,0 +1,151 @@
+/**
+ * @file
+ * The engine invariant, end to end: a sweep of co-simulations run
+ * with --jobs 1 and --jobs 8 produces bitwise-identical metrics, and
+ * repeated runs of the same sweep are identical to each other.
+ *
+ * Every double is compared with EXPECT_EQ (exact bits), not
+ * EXPECT_NEAR: the pool shards work but must never change results.
+ * This suite also runs under the TSan CI job, where the jobs=8
+ * sweeps double as a race detector workload.
+ */
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exec/pool.hh"
+#include "exec/setup_cache.hh"
+#include "exec/sweep.hh"
+#include "sim/cosim.hh"
+#include "workloads/suite.hh"
+
+namespace vsgpu::exec
+{
+namespace
+{
+
+struct SweepPoint
+{
+    Benchmark bench;
+    PdsKind kind;
+    double vThreshold;
+};
+
+std::vector<SweepPoint>
+sweepPoints()
+{
+    return {
+        {Benchmark::Srad, PdsKind::VsCrossLayer, 0.90},
+        {Benchmark::Hotspot, PdsKind::VsCrossLayer, 0.80},
+        {Benchmark::Bfs, PdsKind::VsCrossLayer, 0.95},
+        {Benchmark::Backprop, PdsKind::VsCircuitOnly, 0.90},
+        {Benchmark::Srad, PdsKind::ConventionalVrm, 0.90},
+        {Benchmark::Scalarprod, PdsKind::VsCrossLayer, 0.90},
+    };
+}
+
+std::vector<CosimResult>
+runSweepWithJobs(int jobs)
+{
+    Pool pool(jobs);
+    SetupCache cache;
+    return runSweep(pool, sweepPoints(), /*sweepSeed=*/7,
+                    [&cache](const SweepPoint &p, TaskContext &) {
+                        CosimConfig cfg;
+                        cfg.pds = defaultPds(p.kind);
+                        cfg.pds.controller.vThreshold = p.vThreshold;
+                        cfg.maxCycles = 25000;
+                        CoSimulator sim(cache.withSetup(cfg));
+                        return sim.run(scaledToInstrs(
+                            workloadFor(p.bench), 150));
+                    });
+}
+
+void
+expectBitwiseEqual(const CosimResult &a, const CosimResult &b,
+                   std::size_t idx)
+{
+    SCOPED_TRACE("sweep point " + std::to_string(idx));
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.finished, b.finished);
+
+    EXPECT_EQ(a.energy.load, b.energy.load);
+    EXPECT_EQ(a.energy.fake, b.energy.fake);
+    EXPECT_EQ(a.energy.pdn, b.energy.pdn);
+    EXPECT_EQ(a.energy.conversion, b.energy.conversion);
+    EXPECT_EQ(a.energy.crIvr, b.energy.crIvr);
+    EXPECT_EQ(a.energy.overhead, b.energy.overhead);
+    EXPECT_EQ(a.energy.wall, b.energy.wall);
+
+    EXPECT_EQ(a.minVoltage, b.minVoltage);
+    EXPECT_EQ(a.meanVoltage, b.meanVoltage);
+    EXPECT_EQ(a.throttleRate, b.throttleRate);
+    EXPECT_EQ(a.triggerRate, b.triggerRate);
+
+    for (std::size_t sm = 0; sm < a.smNoise.size(); ++sm) {
+        EXPECT_EQ(a.smNoise[sm].min, b.smNoise[sm].min);
+        EXPECT_EQ(a.smNoise[sm].median, b.smNoise[sm].median);
+        EXPECT_EQ(a.smNoise[sm].max, b.smNoise[sm].max);
+        EXPECT_EQ(a.smNoise[sm].mean, b.smNoise[sm].mean);
+    }
+
+    for (std::size_t i = 0; i < a.imbalanceBins.size(); ++i)
+        EXPECT_EQ(a.imbalanceBins[i], b.imbalanceBins[i]);
+}
+
+TEST(Determinism, Jobs1AndJobs8AreBitwiseIdentical)
+{
+    const auto serial = runSweepWithJobs(1);
+    const auto wide = runSweepWithJobs(8);
+    ASSERT_EQ(serial.size(), wide.size());
+    for (std::size_t i = 0; i < serial.size(); ++i)
+        expectBitwiseEqual(serial[i], wide[i], i);
+}
+
+TEST(Determinism, RepeatedRunsAreIdentical)
+{
+    const auto first = runSweepWithJobs(4);
+    const auto second = runSweepWithJobs(4);
+    ASSERT_EQ(first.size(), second.size());
+    for (std::size_t i = 0; i < first.size(); ++i)
+        expectBitwiseEqual(first[i], second[i], i);
+}
+
+TEST(Determinism, SetupSharingAcrossThreadsIsTransparent)
+{
+    // Same sweep with and without the cache: sharing the netlist and
+    // DC operating point must not perturb a single bit.
+    Pool pool(8);
+    SetupCache cache;
+    const auto points = sweepPoints();
+
+    const auto shared = runSweep(
+        pool, points, 7,
+        [&cache](const SweepPoint &p, TaskContext &) {
+            CosimConfig cfg;
+            cfg.pds = defaultPds(p.kind);
+            cfg.pds.controller.vThreshold = p.vThreshold;
+            cfg.maxCycles = 25000;
+            CoSimulator sim(cache.withSetup(cfg));
+            return sim.run(
+                scaledToInstrs(workloadFor(p.bench), 150));
+        });
+    const auto isolated = runSweep(
+        pool, points, 7, [](const SweepPoint &p, TaskContext &) {
+            CosimConfig cfg;
+            cfg.pds = defaultPds(p.kind);
+            cfg.pds.controller.vThreshold = p.vThreshold;
+            cfg.maxCycles = 25000;
+            CoSimulator sim(cfg);
+            return sim.run(
+                scaledToInstrs(workloadFor(p.bench), 150));
+        });
+    ASSERT_EQ(shared.size(), isolated.size());
+    for (std::size_t i = 0; i < shared.size(); ++i)
+        expectBitwiseEqual(shared[i], isolated[i], i);
+}
+
+} // namespace
+} // namespace vsgpu::exec

@@ -2,6 +2,11 @@
  * @file
  * Cross-module integration tests reproducing the paper's headline
  * qualitative results end to end (small scales for test runtime).
+ *
+ * Independent co-simulation points run through exec::runSweep on a
+ * shared pool with a shared setup cache — the same machinery the
+ * bench binaries use — so this suite also exercises the parallel
+ * engine against real workloads.
  */
 
 #include <gtest/gtest.h>
@@ -10,6 +15,9 @@
 
 #include "circuit/transient.hh"
 #include "control/designer.hh"
+#include "exec/pool.hh"
+#include "exec/setup_cache.hh"
+#include "exec/sweep.hh"
 #include "hypervisor/dfs.hh"
 #include "hypervisor/pg.hh"
 #include "hypervisor/vs_hypervisor.hh"
@@ -29,57 +37,80 @@ shortBench(Benchmark b, int instrs = 600)
     return scaledToInstrs(workloadFor(b), instrs);
 }
 
-TEST(EndToEnd, PdeOrderingMatchesTableIII)
+/** Pool and setup cache shared by every test in the suite. */
+class EndToEnd : public ::testing::Test
+{
+  protected:
+    static exec::Pool &
+    pool()
+    {
+        static exec::Pool p; // hardware concurrency
+        return p;
+    }
+    static exec::SetupCache &
+    cache()
+    {
+        static exec::SetupCache c;
+        return c;
+    }
+};
+
+TEST_F(EndToEnd, PdeOrderingMatchesTableIII)
 {
     // VRM < IVR < VS — the central efficiency claim.
-    std::array<double, 3> pde{};
-    const std::array<PdsKind, 3> kinds = {
+    const std::vector<PdsKind> kinds = {
         PdsKind::ConventionalVrm,
         PdsKind::SingleLayerIvr,
         PdsKind::VsCrossLayer,
     };
-    for (std::size_t i = 0; i < kinds.size(); ++i) {
-        CosimConfig cfg;
-        cfg.pds = defaultPds(kinds[i]);
-        cfg.maxCycles = 12000;
-        pde[i] = CoSimulator(cfg)
-                     .run(shortBench(Benchmark::Heartwall, 800))
-                     .energy.pde();
-    }
+    const auto pde = exec::runSweep(
+        pool(), kinds, 1, [](PdsKind kind, exec::TaskContext &) {
+            CosimConfig cfg;
+            cfg.pds = defaultPds(kind);
+            cfg.maxCycles = 12000;
+            return CoSimulator(cache().withSetup(cfg))
+                .run(shortBench(Benchmark::Heartwall, 800))
+                .energy.pde();
+        });
     EXPECT_LT(pde[0], pde[1]);
     EXPECT_LT(pde[1], pde[2]);
     EXPECT_NEAR(pde[0], 0.80, 0.06);
     EXPECT_NEAR(pde[2], 0.923, 0.05);
 }
 
-TEST(EndToEnd, ImpedanceGuaranteeMatchesTransientOutcome)
+TEST_F(EndToEnd, ImpedanceGuaranteeMatchesTransientOutcome)
 {
     // If the impedance analysis says the 1.72x CR-IVR bounds every
     // peak under 0.1 ohm, the worst-case transient must hold the
     // 0.8 V margin; the 0.2x design violates the bound and fails.
-    const auto worstMin = [](double areaFraction) {
-        CosimConfig cfg;
-        cfg.pds = defaultPds(PdsKind::VsCircuitOnly);
-        cfg.pds.ivrAreaFraction = areaFraction;
-        cfg.maxCycles = 4500;
-        cfg.gateLayerAtSec = 2e-6;
-        return CoSimulator(cfg)
-            .run(WorkloadFactory(uniformWorkload(8000)), 0.9)
-            .minVoltage;
-    };
-    EXPECT_GT(worstMin(1.72), config::minSafeVoltage.raw());
-    EXPECT_LT(worstMin(0.2), config::minSafeVoltage.raw());
+    const std::vector<double> areaFractions = {1.72, 0.2};
+    const auto worstMin = exec::runSweep(
+        pool(), areaFractions, 2,
+        [](double areaFraction, exec::TaskContext &) {
+            CosimConfig cfg;
+            cfg.pds = defaultPds(PdsKind::VsCircuitOnly);
+            cfg.pds.ivrAreaFraction = areaFraction;
+            cfg.maxCycles = 4500;
+            cfg.gateLayerAtSec = 2e-6;
+            return CoSimulator(cache().withSetup(cfg))
+                .run(WorkloadFactory(uniformWorkload(8000)), 0.9)
+                .minVoltage;
+        });
+    EXPECT_GT(worstMin[0], config::minSafeVoltage.raw());
+    EXPECT_LT(worstMin[1], config::minSafeVoltage.raw());
 }
 
-TEST(EndToEnd, CrossLayerRecoversWorstCaseWithSmallIvr)
+TEST_F(EndToEnd, CrossLayerRecoversWorstCaseWithSmallIvr)
 {
     CosimConfig cfg;
     cfg.pds = defaultPds(PdsKind::VsCrossLayer);
     cfg.maxCycles = 6000;
     cfg.gateLayerAtSec = 2e-6;
     cfg.traceStride = 50;
-    const CosimResult r = CoSimulator(cfg).run(
-        WorkloadFactory(uniformWorkload(12000)), 0.9);
+    const CosimResult r = CoSimulator(cache().withSetup(cfg))
+                              .run(WorkloadFactory(
+                                       uniformWorkload(12000)),
+                                   0.9);
     // Steady recovery: the tail of the trace is back near the margin.
     ASSERT_GT(r.trace.size(), 20u);
     double tailMin = 1e9;
@@ -88,7 +119,7 @@ TEST(EndToEnd, CrossLayerRecoversWorstCaseWithSmallIvr)
     EXPECT_GT(tailMin, 0.78);
 }
 
-TEST(EndToEnd, SmoothingCostsPerformanceButSavesEnergyPath)
+TEST_F(EndToEnd, SmoothingCostsPerformanceButSavesEnergyPath)
 {
     // Paper Fig. 14: a few percent performance penalty.
     CosimConfig smooth, bare;
@@ -96,9 +127,15 @@ TEST(EndToEnd, SmoothingCostsPerformanceButSavesEnergyPath)
     bare.pds = defaultPds(PdsKind::VsCircuitOnly);
     bare.pds.ivrAreaFraction = 0.2;
     smooth.maxCycles = bare.maxCycles = 60000;
-    const WorkloadSpec wl = shortBench(Benchmark::Hotspot, 1200);
-    const CosimResult rs = CoSimulator(smooth).run(wl);
-    const CosimResult rb = CoSimulator(bare).run(wl);
+    const std::vector<CosimConfig> configs = {smooth, bare};
+    const auto results = exec::runSweep(
+        pool(), configs, 14,
+        [](const CosimConfig &cfg, exec::TaskContext &) {
+            return CoSimulator(cache().withSetup(cfg))
+                .run(shortBench(Benchmark::Hotspot, 1200));
+        });
+    const CosimResult &rs = results[0];
+    const CosimResult &rb = results[1];
     ASSERT_TRUE(rs.finished);
     ASSERT_TRUE(rb.finished);
     const double penalty =
@@ -109,7 +146,7 @@ TEST(EndToEnd, SmoothingCostsPerformanceButSavesEnergyPath)
     EXPECT_LT(penalty, 0.25);
 }
 
-TEST(EndToEnd, DesignerPredictsCosimStability)
+TEST_F(EndToEnd, DesignerPredictsCosimStability)
 {
     // A gain far beyond the designer's stability bound must produce
     // visibly worse voltage excursions than a conservative gain.
@@ -120,7 +157,9 @@ TEST(EndToEnd, DesignerPredictsCosimStability)
         cfg.pds = defaultPds(PdsKind::VsCrossLayer);
         cfg.pds.controller.gainWattsPerVolt = gain;
         cfg.maxCycles = 15000;
-        return CoSimulator(cfg)
+        // The gain is a controller field: the shared electrical
+        // setup still applies.
+        return CoSimulator(cache().withSetup(cfg))
             .run(scaledToInstrs(workloadFor(Benchmark::Hotspot), 700))
             .minVoltage;
     };
@@ -128,7 +167,7 @@ TEST(EndToEnd, DesignerPredictsCosimStability)
     EXPECT_GT(runMin(0.4 * kMax), 0.4);
 }
 
-TEST(EndToEnd, HypervisorKeepsDfsImbalanceBudgeted)
+TEST_F(EndToEnd, HypervisorKeepsDfsImbalanceBudgeted)
 {
     DfsConfig dfsCfg;
     dfsCfg.perfTarget = 0.5;
@@ -139,7 +178,7 @@ TEST(EndToEnd, HypervisorKeepsDfsImbalanceBudgeted)
     CosimConfig cfg;
     cfg.pds = defaultPds(PdsKind::VsCrossLayer);
     cfg.maxCycles = 30000;
-    CoSimulator sim(cfg);
+    CoSimulator sim(cache().withSetup(cfg));
     sim.attachDfs(&dfs);
     sim.attachHypervisor(&hv);
     const CosimResult r =
@@ -149,7 +188,7 @@ TEST(EndToEnd, HypervisorKeepsDfsImbalanceBudgeted)
     EXPECT_GT(r.energy.pde(), 0.8);
 }
 
-TEST(EndToEnd, PgUnderVsCompletesAndSavesLeakage)
+TEST_F(EndToEnd, PgUnderVsCompletesAndSavesLeakage)
 {
     PgConfig pgCfg;
     pgCfg.idleDetect = 12;
@@ -176,22 +215,25 @@ TEST(EndToEnd, PgUnderVsCompletesAndSavesLeakage)
     EXPECT_LT(gated.avgLoadPower(), plain.avgLoadPower() * 1.02);
 }
 
-TEST(EndToEnd, BackpropMoreImbalancedThanHeartwall)
+TEST_F(EndToEnd, BackpropMoreImbalancedThanHeartwall)
 {
-    // Paper Fig. 17 ordering.
-    const auto lowBinFraction = [](Benchmark b) {
-        CosimConfig cfg;
-        cfg.pds = defaultPds(PdsKind::VsCircuitOnly);
-        cfg.maxCycles = 20000;
-        const CosimResult r =
-            CoSimulator(cfg).run(shortBench(b, 1000));
-        return r.imbalanceBins[0];
-    };
-    EXPECT_GT(lowBinFraction(Benchmark::Heartwall),
-              lowBinFraction(Benchmark::Backprop));
+    // Paper Fig. 17 ordering.  Both points share one electrical
+    // setup, so this sweep hits the cache on the second task.
+    const std::vector<Benchmark> benches = {Benchmark::Heartwall,
+                                            Benchmark::Backprop};
+    const auto lowBin = exec::runSweep(
+        pool(), benches, 17, [](Benchmark b, exec::TaskContext &) {
+            CosimConfig cfg;
+            cfg.pds = defaultPds(PdsKind::VsCircuitOnly);
+            cfg.maxCycles = 20000;
+            const CosimResult r = CoSimulator(cache().withSetup(cfg))
+                                      .run(shortBench(b, 1000));
+            return r.imbalanceBins[0];
+        });
+    EXPECT_GT(lowBin[0], lowBin[1]);
 }
 
-TEST(EndToEnd, TransientMatchesAcImpedance)
+TEST_F(EndToEnd, TransientMatchesAcImpedance)
 {
     // Engine cross-validation: drive the voltage-stacked PDN with a
     // sinusoidal global load current and compare the settled
@@ -231,7 +273,7 @@ TEST(EndToEnd, TransientMatchesAcImpedance)
     }
 }
 
-TEST(EndToEnd, ResonantWorkloadAlternatesPowerLevels)
+TEST_F(EndToEnd, ResonantWorkloadAlternatesPowerLevels)
 {
     // The resonant microbenchmark must actually produce two distinct
     // power levels (its reason to exist: exciting chosen frequencies).

@@ -4,6 +4,8 @@
  * health checks over all twelve benchmarks.
  */
 
+#include <set>
+
 #include <gtest/gtest.h>
 
 #include "gpu/gpu.hh"
@@ -69,6 +71,54 @@ TEST(Suite, ScaledToInstrsAdjustsRepeats)
     const WorkloadSpec scaled = scaledToInstrs(spec, 10000);
     EXPECT_NEAR(scaled.totalInstrs(), 10000,
                 scaled.loopLength());
+}
+
+TEST(Suite, EveryGeneratorTakesAnExplicitSeed)
+{
+    // The default-seed overloads and the explicit-seed overloads
+    // must agree, and explicit seeds must be honored verbatim.
+    for (Benchmark b : allBenchmarks()) {
+        EXPECT_EQ(workloadFor(b).seed, benchmarkSeed(b))
+            << benchmarkName(b);
+        EXPECT_EQ(workloadFor(b, 12345).seed, 12345u)
+            << benchmarkName(b);
+    }
+    EXPECT_EQ(uniformWorkload(100, 77).seed, 77u);
+    EXPECT_EQ(resonantWorkload(100, 2, 88).seed, 88u);
+}
+
+TEST(Suite, BenchmarkSeedsAreDistinct)
+{
+    std::set<std::uint64_t> seeds;
+    for (Benchmark b : allBenchmarks())
+        seeds.insert(benchmarkSeed(b));
+    EXPECT_EQ(seeds.size(), allBenchmarks().size());
+}
+
+TEST(Suite, ReseedingChangesTheInstructionStream)
+{
+    // Fingerprint the first instructions of a few warp streams.
+    const auto fingerprint = [](const WorkloadSpec &spec) {
+        WorkloadFactory f(spec);
+        std::vector<int> fp;
+        for (int sm = 0; sm < 4; ++sm) {
+            auto prog = f.makeProgram(sm, 0);
+            for (int i = 0; i < 200; ++i) {
+                const auto instr = prog->next();
+                if (!instr)
+                    break;
+                fp.push_back(static_cast<int>(instr->op) * 8 +
+                             instr->l1Hit * 4 + instr->rowHit * 2 +
+                             (instr->activeLanes == 32));
+            }
+        }
+        return fp;
+    };
+    const WorkloadSpec a = workloadFor(Benchmark::Bfs);
+    const WorkloadSpec b = workloadFor(Benchmark::Bfs, 0xdead);
+    // Same seed reproduces the stream; a new seed perturbs it.
+    EXPECT_EQ(fingerprint(a), fingerprint(workloadFor(Benchmark::Bfs)));
+    EXPECT_NE(fingerprint(a), fingerprint(b));
 }
 
 class SuiteSweep : public ::testing::TestWithParam<Benchmark>
