@@ -39,14 +39,14 @@ evaluate(double kP, double kI)
         cfg.pds.controller.gainWattsPerVolt = kP;
         cfg.pds.controller.integralGainWattsPerVolt = kI;
         cfg.maxCycles = 6000;
-        cfg.gateLayerAtSec = 2e-6;
+        cfg.gateLayerAtSec = 2.0_us;
         cfg.traceStride = 50;
         const CosimResult r = CoSimulator(cfg).run(
             WorkloadFactory(uniformWorkload(10000)), 0.9);
         double floor = 1e9;
         const std::size_t n = r.trace.size();
         for (std::size_t i = n > 20 ? n - 20 : 0; i < n; ++i)
-            floor = std::min(floor, r.trace[i].minSmVolts);
+            floor = std::min(floor, r.trace[i].minSmVolts.raw());
         out.worstFloor = floor;
     }
     {

@@ -24,7 +24,7 @@ worstCase(PdsKind kind, double areaFraction)
     cfg.pds = defaultPds(kind);
     cfg.pds.ivrAreaFraction = areaFraction;
     cfg.maxCycles = 4200;
-    cfg.gateLayerAtSec = 3e-6;
+    cfg.gateLayerAtSec = 3.0_us;
     cfg.gatedLayer = 0;
     cfg.traceStride = 70;
     CoSimulator sim(cfg);
@@ -64,9 +64,9 @@ main()
     const std::size_t samples = results[0].trace.size();
     for (std::size_t i = 0; i < samples; i += 3) {
         auto &row = table.beginRow().cell(
-            results[0].trace[i].timeSec * 1e6, 2);
+            results[0].trace[i].timeSec.raw() * 1e6, 2);
         for (const auto &r : results)
-            row.cell(i < r.trace.size() ? r.trace[i].minSmVolts : 0.0,
+            row.cell(i < r.trace.size() ? r.trace[i].minSmVolts.raw() : 0.0,
                      3);
         row.endRow();
     }
@@ -80,6 +80,6 @@ main()
     bench::claim("circuit-only 2.0x stays above", 0.8,
                  results[0].minVoltage, " V");
     bench::claim("cross-layer 0.2x recovers to ~", 0.85,
-                 results[3].trace.back().minSmVolts, " V");
+                 results[3].trace.back().minSmVolts.raw(), " V");
     return 0;
 }

@@ -24,7 +24,7 @@ worstVoltage(double areaFraction, Cycle latency)
     cfg.pds.ivrAreaFraction = areaFraction;
     cfg.pds.controller.loopLatency = latency;
     cfg.maxCycles = 4200;
-    cfg.gateLayerAtSec = 2e-6;
+    cfg.gateLayerAtSec = 2.0_us;
     CoSimulator sim(cfg);
     return sim.run(WorkloadFactory(uniformWorkload(9000)), 0.9)
         .minVoltage;

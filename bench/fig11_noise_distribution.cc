@@ -51,7 +51,7 @@ run(PdsKind kind, const WorkloadSpec &wl, bool worstCase)
     cfg.pds.ivrAreaFraction = 0.2; // both at the SAME small area
     cfg.maxCycles = worstCase ? 6000 : 60000;
     if (worstCase) {
-        cfg.gateLayerAtSec = 2e-6;
+        cfg.gateLayerAtSec = 2.0_us;
         cfg.traceStride = 50;
     }
     CoSimulator sim(cfg);
@@ -96,7 +96,7 @@ main()
         double floor = 1e9;
         const std::size_t n = r.trace.size();
         for (std::size_t i = n > 20 ? n - 20 : 0; i < n; ++i)
-            floor = std::min(floor, r.trace[i].minSmVolts);
+            floor = std::min(floor, r.trace[i].minSmVolts.raw());
         return floor;
     };
     bench::claim("worst-case settled floor, circuit-only 0.2x "

@@ -53,6 +53,7 @@ class AcAnalysis
      * @return complex node voltages indexed by node id (0 = ground).
      */
     std::vector<Complex>
+    // vsgpu-lint: raw-ok(dimension-erased MNA solver boundary)
     solve(double freqHz, const std::vector<AcInjection> &injections) const;
 
     /**
@@ -66,7 +67,7 @@ class AcAnalysis
      * @return per-pattern node voltages, in pattern order.
      */
     std::vector<std::vector<Complex>>
-    solveMany(double freqHz,
+    solveMany(double freqHz, // vsgpu-lint: raw-ok(dimension-erased MNA solver boundary)
               const std::vector<std::vector<AcInjection>> &patterns)
         const;
 
@@ -74,7 +75,7 @@ class AcAnalysis
      * Convenience: impedance seen between a node and ground, i.e. the
      * voltage response at @p node to a unit current injected there.
      */
-    Complex impedanceAt(double freqHz, NodeId node) const;
+    Complex impedanceAt(double freqHz, NodeId node) const; // vsgpu-lint: raw-ok(dimension-erased MNA solver boundary)
 
   private:
     const Netlist &netlist_;

@@ -37,7 +37,7 @@ class TransientSim
     TransientSim(const Netlist &netlist, double dt);
 
     /** Set a current source's value for subsequent steps (amps). */
-    void setCurrent(int sourceIdx, double amps);
+    void setCurrent(int sourceIdx, double amps); // vsgpu-lint: raw-ok(dimension-erased MNA solver boundary)
 
     /** Open or close a switch for subsequent steps. */
     void setSwitch(int switchIdx, bool closed);
@@ -47,7 +47,7 @@ class TransientSim
      * the right-hand side changes, so the cached factorization stays
      * valid).  Used e.g. for VRM load-line regulation.
      */
-    void setSourceVolts(int vsrcIdx, double volts);
+    void setSourceVolts(int vsrcIdx, double volts); // vsgpu-lint: raw-ok(dimension-erased MNA solver boundary)
 
     /**
      * Initialize states to the DC operating point implied by the
@@ -116,7 +116,7 @@ class TransientSim
 
     /** Stamp a conductance into the MNA matrix. */
     static void stampConductance(Matrix &g, NodeId a, NodeId b,
-                                 double siemens);
+                                 double siemens); // vsgpu-lint: raw-ok(dimension-erased MNA solver boundary)
 
     /** Stamp an averaged charge-recycling equalizer. */
     static void stampEqualizer(Matrix &g, const Netlist::Equalizer &e);

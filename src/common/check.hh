@@ -16,6 +16,19 @@
  *   VSGPU_CHECK_RANGE(x, lo, hi)     abort unless lo <= x <= hi
  *   VSGPU_CHECK_ALL_FINITE(xs, what) abort if any element is not
  *                                    finite; 'what' names the context
+ *
+ * Function contracts make interface obligations explicit and lintable:
+ *
+ *   VSGPU_REQUIRES(cond, ...)  precondition; abort in checked builds
+ *   VSGPU_ENSURES(cond, ...)   postcondition; abort in checked builds
+ *   VSGPU_CONTRACT             tags a function as contract-carrying
+ *
+ * A function tagged VSGPU_CONTRACT (which expands to the
+ * [[vsgpu::contract]] attribute where the compiler tolerates vendor
+ * attribute namespaces) promises that its definition states at least
+ * one VSGPU_REQUIRES/VSGPU_ENSURES.  tools/lint/vsgpu_lint verifies
+ * that promise statically; the macros verify the conditions at
+ * runtime in checked builds and compile to a name-check in release.
  */
 
 #ifndef VSGPU_COMMON_CHECK_HH
@@ -33,6 +46,16 @@
 #else
 #define VSGPU_DEBUG_CHECKS 1
 #endif
+#endif
+
+// The contract tag itself.  GCC >= 11 can scope the unknown-attribute
+// warning to a vendor namespace (-Wno-attributes=vsgpu::, added by the
+// top-level CMakeLists); elsewhere the tag expands to nothing and the
+// lint keys on the macro name in the source text instead.
+#if defined(__GNUC__) && !defined(__clang__) && __GNUC__ >= 11
+#define VSGPU_CONTRACT [[vsgpu::contract]]
+#else
+#define VSGPU_CONTRACT
 #endif
 
 namespace vsgpu
@@ -104,6 +127,22 @@ firstNonFinite(const Container &xs)
                            " at index ", vsgpuCheckIdx_);               \
     } while (0)
 
+#define VSGPU_REQUIRES(cond, ...)                                       \
+    do {                                                                \
+        if (!(cond))                                                    \
+            ::vsgpu::panic(__FILE__, ":", __LINE__,                     \
+                           ": precondition violated: " #cond            \
+                           __VA_OPT__(, ": ", __VA_ARGS__));            \
+    } while (0)
+
+#define VSGPU_ENSURES(cond, ...)                                        \
+    do {                                                                \
+        if (!(cond))                                                    \
+            ::vsgpu::panic(__FILE__, ":", __LINE__,                     \
+                           ": postcondition violated: " #cond           \
+                           __VA_OPT__(, ": ", __VA_ARGS__));            \
+    } while (0)
+
 #else
 
 // Release: evaluate nothing, but keep the operands name-checked so a
@@ -116,6 +155,10 @@ firstNonFinite(const Container &xs)
      (void)sizeof(::vsgpu::checkdetail::rawOf(hi)))
 #define VSGPU_CHECK_ALL_FINITE(xs, what)                                \
     ((void)sizeof(&(xs)), (void)sizeof(what))
+#define VSGPU_REQUIRES(cond, ...)                                       \
+    ((void)sizeof((cond) ? 1 : 0))
+#define VSGPU_ENSURES(cond, ...)                                        \
+    ((void)sizeof((cond) ? 1 : 0))
 
 #endif // VSGPU_DEBUG_CHECKS
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "common/check.hh"
 #include "common/logging.hh"
 
 namespace vsgpu
@@ -52,11 +53,11 @@ RunningStats::stddev() const
     return std::sqrt(variance());
 }
 
-double
+VSGPU_CONTRACT double
 quantile(std::vector<double> samples, double q)
 {
-    panicIfNot(!samples.empty(), "quantile of empty sample set");
-    panicIfNot(q >= 0.0 && q <= 1.0, "quantile q out of [0,1]");
+    VSGPU_REQUIRES(!samples.empty(), "quantile of empty sample set");
+    VSGPU_REQUIRES(q >= 0.0 && q <= 1.0, "quantile q out of [0,1]");
     std::sort(samples.begin(), samples.end());
     const double pos = q * static_cast<double>(samples.size() - 1);
     const std::size_t lo = static_cast<std::size_t>(pos);

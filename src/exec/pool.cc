@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/check.hh"
 #include "common/logging.hh"
 
 namespace vsgpu::exec
@@ -125,10 +126,11 @@ Pool::drainBatch(int slot)
     }
 }
 
-void
+VSGPU_CONTRACT void
 Pool::parallelFor(int numTasks, const std::function<void(int)> &body)
 {
-    panicIfNot(numTasks >= 0, "negative task count");
+    VSGPU_REQUIRES(numTasks >= 0, "negative task count ", numTasks);
+    VSGPU_REQUIRES(static_cast<bool>(body), "null task body");
     if (numTasks == 0)
         return;
 

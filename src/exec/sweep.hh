@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/check.hh"
 #include "common/random.hh"
 #include "exec/pool.hh"
 
@@ -43,9 +44,10 @@ struct TaskContext
 };
 
 /** splitmix64-style mix of a sweep seed and a task index. */
-inline std::uint64_t
+VSGPU_CONTRACT inline std::uint64_t
 taskSeed(std::uint64_t sweepSeed, int index)
 {
+    VSGPU_REQUIRES(index >= 0, "negative sweep index ", index);
     std::uint64_t z =
         sweepSeed + 0x9e3779b97f4a7c15ull *
                         (static_cast<std::uint64_t>(index) + 1);

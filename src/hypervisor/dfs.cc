@@ -3,16 +3,20 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/check.hh"
 #include "common/logging.hh"
 
 namespace vsgpu
 {
 
+VSGPU_CONTRACT
 DfsGovernor::DfsGovernor(const DfsConfig &cfg)
     : cfg_(cfg)
 {
-    panicIfNot(cfg_.epoch > 0, "DFS epoch must be positive");
-    panicIfNot(cfg_.stepHz > Hertz{}, "DFS step must be positive");
+    VSGPU_REQUIRES(cfg_.epoch > 0, "DFS epoch must be positive");
+    VSGPU_REQUIRES(cfg_.stepHz > Hertz{}, "DFS step must be positive");
+    VSGPU_REQUIRES(cfg_.minHz <= cfg_.maxHz,
+                   "DFS frequency band is inverted");
     requestHz_.fill(cfg_.maxHz);
 }
 

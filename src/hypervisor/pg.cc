@@ -1,14 +1,16 @@
 #include "hypervisor/pg.hh"
 
+#include "common/check.hh"
 #include "common/logging.hh"
 
 namespace vsgpu
 {
 
+VSGPU_CONTRACT
 PgGovernor::PgGovernor(const PgConfig &cfg)
     : cfg_(cfg)
 {
-    panicIfNot(cfg_.checkPeriod > 0, "check period must be positive");
+    VSGPU_REQUIRES(cfg_.checkPeriod > 0, "check period must be positive");
 }
 
 bool
@@ -55,10 +57,10 @@ PgGovernor::step(Gpu &gpu, Cycle now)
     }
 }
 
-void
+VSGPU_CONTRACT void
 PgGovernor::setVeto(int sm, ExecUnitKind unit, bool vetoed)
 {
-    panicIfNot(sm >= 0 && sm < config::numSMs, "bad SM index ", sm);
+    VSGPU_REQUIRES(sm >= 0 && sm < config::numSMs, "bad SM index ", sm);
     vetoed_[static_cast<std::size_t>(sm)]
            [static_cast<std::size_t>(unit)] = vetoed;
 }

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <vector>
 
+#include "common/check.hh"
 #include "common/logging.hh"
 
 namespace vsgpu
@@ -108,11 +109,11 @@ VsAwareHypervisor::filterGating(
     return plan;
 }
 
-void
+VSGPU_CONTRACT void
 VsAwareHypervisor::feedback(double throttleRate)
 {
-    panicIfNot(throttleRate >= 0.0 && throttleRate <= 1.0,
-               "throttle rate in [0,1]");
+    VSGPU_REQUIRES(throttleRate >= 0.0 && throttleRate <= 1.0,
+                   "throttle rate in [0,1], got ", throttleRate);
     // Simple multiplicative adaptation around the setpoint: high
     // smoothing pressure tightens the budgets, slack loosens them.
     const double ratio =

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/check.hh"
 #include "common/logging.hh"
 
 namespace vsgpu
@@ -28,11 +29,13 @@ curve(double peak, Watts rated, Watts output)
 
 } // namespace
 
+VSGPU_CONTRACT
 VrmModel::VrmModel(double peakEfficiency, Watts rated)
     : peak_(peakEfficiency), rated_(rated)
 {
-    panicIfNot(peak_ > 0.0 && peak_ < 1.0, "VRM efficiency in (0,1)");
-    panicIfNot(rated_ > Watts{}, "VRM rated power must be positive");
+    VSGPU_REQUIRES(peak_ > 0.0 && peak_ < 1.0,
+                   "VRM efficiency in (0,1)");
+    VSGPU_REQUIRES(rated_ > Watts{}, "VRM rated power must be positive");
 }
 
 double
@@ -53,11 +56,13 @@ VrmModel::conversionLoss(Watts output) const
     return inputPower(output) - output;
 }
 
+VSGPU_CONTRACT
 SingleIvrModel::SingleIvrModel(double peakEfficiency, Watts rated)
     : peak_(peakEfficiency), rated_(rated)
 {
-    panicIfNot(peak_ > 0.0 && peak_ < 1.0, "IVR efficiency in (0,1)");
-    panicIfNot(rated_ > Watts{}, "IVR rated power must be positive");
+    VSGPU_REQUIRES(peak_ > 0.0 && peak_ < 1.0,
+                   "IVR efficiency in (0,1)");
+    VSGPU_REQUIRES(rated_ > Watts{}, "IVR rated power must be positive");
 }
 
 double

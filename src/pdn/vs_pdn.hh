@@ -24,6 +24,7 @@
 
 #include "circuit/netlist.hh"
 #include "circuit/transient.hh"
+#include "common/check.hh"
 #include "common/units.hh"
 #include "pdn/params.hh"
 
@@ -115,10 +116,20 @@ class VsPdn
     int smCurrentSource(int sm) const;
 
     /** @return stacking layer of an SM (0 = top domain). */
-    static int smLayer(int sm) { return sm / config::smsPerLayer; }
+    VSGPU_CONTRACT static int
+    smLayer(int sm)
+    {
+        VSGPU_REQUIRES(sm >= 0, "negative SM index ", sm);
+        return sm / config::smsPerLayer;
+    }
 
     /** @return stacking column of an SM. */
-    static int smColumn(int sm) { return sm % config::smsPerLayer; }
+    VSGPU_CONTRACT static int
+    smColumn(int sm)
+    {
+        VSGPU_REQUIRES(sm >= 0, "negative SM index ", sm);
+        return sm % config::smsPerLayer;
+    }
 
     /** @return SM index for a (layer, column) pair. */
     static int

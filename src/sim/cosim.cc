@@ -168,8 +168,8 @@ CoSimulator::runImpl(
     std::uint64_t lastThrottled = 0;
 
     const Cycle gateLayerAt =
-        cfg_.gateLayerAtSec >= 0.0
-            ? static_cast<Cycle>(cfg_.gateLayerAtSec / dt)
+        cfg_.gateLayerAtSec >= Seconds{}
+            ? static_cast<Cycle>(cfg_.gateLayerAtSec.raw() / dt)
             : std::numeric_limits<Cycle>::max();
 
     // ================= main loop =================
@@ -198,7 +198,7 @@ CoSimulator::runImpl(
                 powerModel.cyclePower(events, gpu.sm(sm), now).raw();
             if (now >= gateLayerAt &&
                 VsPdn::smLayer(sm) == cfg_.gatedLayer) {
-                watts = cfg_.gatedLayerWatts;
+                watts = cfg_.gatedLayerWatts.raw();
             }
             smPower[static_cast<std::size_t>(sm)] = watts;
             totalLoadPower += watts;
@@ -266,9 +266,9 @@ CoSimulator::runImpl(
         if (cfg_.traceStride > 0 &&
             now % static_cast<Cycle>(cfg_.traceStride) == 0) {
             TraceSample sample;
-            sample.timeSec = tr->time();
-            sample.minSmVolts = cycleMin;
-            sample.maxSmVolts = cycleMax;
+            sample.timeSec = Seconds{tr->time()};
+            sample.minSmVolts = Volts{cycleMin};
+            sample.maxSmVolts = Volts{cycleMax};
             for (int layer = 0; layer < config::numLayers; ++layer)
                 sample.layerVolts[static_cast<std::size_t>(layer)] =
                     railVolts(VsPdn::smAt(layer, 0));

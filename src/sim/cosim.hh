@@ -47,9 +47,9 @@ struct CosimConfig
      *  off", paper Fig. 9, at 3 us) from this time on (< 0 disables).
      *  Halted SMs stop issuing but keep clock-tree and leakage power,
      *  like an SM idled by the driver. */
-    double gateLayerAtSec = -1.0;
+    Seconds gateLayerAtSec{-1.0};
     int gatedLayer = 0;
-    double gatedLayerWatts = 2.6;
+    Watts gatedLayerWatts{2.6};
 
     /** Averaging window for the imbalance histogram (cycles).
      *  Short enough to see burst imbalance, long enough to skip

@@ -45,9 +45,9 @@ struct EnergyBreakdown
 /** One voltage-trace sample (for Fig. 9-style waveforms). */
 struct TraceSample
 {
-    double timeSec = 0.0;
-    double minSmVolts = 0.0;
-    double maxSmVolts = 0.0;
+    Seconds timeSec{};
+    Volts minSmVolts{};
+    Volts maxSmVolts{};
     std::array<double, config::numLayers> layerVolts{};
 };
 

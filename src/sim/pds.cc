@@ -1,5 +1,6 @@
 #include "sim/pds.hh"
 
+#include "common/check.hh"
 #include "common/logging.hh"
 #include "ivr/efficiency.hh"
 
@@ -49,25 +50,29 @@ defaultPds(PdsKind kind)
     return options;
 }
 
-Area
+VSGPU_CONTRACT Area
 pdsAreaOverhead(const PdsOptions &options)
 {
-    switch (options.kind) {
-      case PdsKind::ConventionalVrm:
-        return Area{}; // board-level, no die area
-      case PdsKind::SingleLayerIvr:
-        return SingleIvrModel::area();
-      case PdsKind::VsCircuitOnly:
-        return options.ivrArea();
-      case PdsKind::VsCrossLayer: {
-        const VsOverheads ov;
-        return options.ivrArea() + ov.controllerArea +
-               ov.filterArea * static_cast<double>(config::numSMs) +
-               1.0_mm2 * (options.controller.dcc.areaMm2 *
-                          static_cast<double>(config::numSMs));
-      }
-    }
-    panic("unknown PDS kind");
+    const Area overhead = [&options]() -> Area {
+        switch (options.kind) {
+          case PdsKind::ConventionalVrm:
+            return Area{}; // board-level, no die area
+          case PdsKind::SingleLayerIvr:
+            return SingleIvrModel::area();
+          case PdsKind::VsCircuitOnly:
+            return options.ivrArea();
+          case PdsKind::VsCrossLayer: {
+            const VsOverheads ov;
+            return options.ivrArea() + ov.controllerArea +
+                   ov.filterArea * static_cast<double>(config::numSMs) +
+                   1.0_mm2 * (options.controller.dcc.areaMm2 *
+                              static_cast<double>(config::numSMs));
+          }
+        }
+        panic("unknown PDS kind");
+    }();
+    VSGPU_ENSURES(overhead >= Area{}, "negative PDS area overhead");
+    return overhead;
 }
 
 } // namespace vsgpu

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/check.hh"
 #include "common/logging.hh"
 #include "common/units.hh"
 
@@ -27,14 +28,15 @@ hash01(std::uint64_t seed, std::uint64_t a, std::uint64_t b = 0)
 
 } // namespace
 
+VSGPU_CONTRACT
 GeneratedProgram::GeneratedProgram(const WorkloadSpec &spec,
                                    std::uint64_t seed, int startOffset)
     : spec_(spec), rng_(seed), repeatsLeft_(spec.repeats),
       totalToEmit_(spec.totalInstrs())
 {
-    panicIfNot(!spec_.phases.empty(), "workload has no phases");
+    VSGPU_REQUIRES(!spec_.phases.empty(), "workload has no phases");
     const int loop = spec_.loopLength();
-    panicIfNot(loop > 0, "workload loop is empty");
+    VSGPU_REQUIRES(loop > 0, "workload loop is empty");
     int offset = startOffset % loop;
 
     // Position the cursor 'offset' instructions into the loop.
@@ -161,12 +163,13 @@ GeneratedProgram::next()
     return instr;
 }
 
+VSGPU_CONTRACT
 WorkloadFactory::WorkloadFactory(WorkloadSpec spec)
     : spec_(std::move(spec))
 {
-    panicIfNot(spec_.warpsPerSm > 0 &&
-               spec_.warpsPerSm <= config::warpsPerSM,
-               "warpsPerSm out of range");
+    VSGPU_REQUIRES(spec_.warpsPerSm > 0 &&
+                   spec_.warpsPerSm <= config::warpsPerSM,
+                   "warpsPerSm out of range");
 }
 
 std::unique_ptr<WarpProgram>

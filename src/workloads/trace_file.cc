@@ -4,6 +4,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "common/check.hh"
 #include "common/logging.hh"
 
 namespace vsgpu
@@ -185,10 +186,10 @@ TraceFileFactory::makeProgram(int sm, int warp) const
     return std::make_unique<TraceProgram>(trace_.stream(sm, warp));
 }
 
-TraceFile
+VSGPU_CONTRACT TraceFile
 recordTrace(const ProgramFactory &factory, int numSms)
 {
-    panicIfNot(numSms > 0, "numSms must be positive");
+    VSGPU_REQUIRES(numSms > 0, "numSms must be positive");
     TraceFile trace;
     for (int sm = 0; sm < numSms; ++sm) {
         for (int warp = 0; warp < factory.warpsPerSm(); ++warp) {

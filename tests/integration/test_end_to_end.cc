@@ -91,7 +91,7 @@ TEST_F(EndToEnd, ImpedanceGuaranteeMatchesTransientOutcome)
             cfg.pds = defaultPds(PdsKind::VsCircuitOnly);
             cfg.pds.ivrAreaFraction = areaFraction;
             cfg.maxCycles = 4500;
-            cfg.gateLayerAtSec = 2e-6;
+            cfg.gateLayerAtSec = 2.0_us;
             return CoSimulator(cache().withSetup(cfg))
                 .run(WorkloadFactory(uniformWorkload(8000)), 0.9)
                 .minVoltage;
@@ -105,7 +105,7 @@ TEST_F(EndToEnd, CrossLayerRecoversWorstCaseWithSmallIvr)
     CosimConfig cfg;
     cfg.pds = defaultPds(PdsKind::VsCrossLayer);
     cfg.maxCycles = 6000;
-    cfg.gateLayerAtSec = 2e-6;
+    cfg.gateLayerAtSec = 2.0_us;
     cfg.traceStride = 50;
     const CosimResult r = CoSimulator(cache().withSetup(cfg))
                               .run(WorkloadFactory(
@@ -115,7 +115,7 @@ TEST_F(EndToEnd, CrossLayerRecoversWorstCaseWithSmallIvr)
     ASSERT_GT(r.trace.size(), 20u);
     double tailMin = 1e9;
     for (std::size_t i = r.trace.size() - 10; i < r.trace.size(); ++i)
-        tailMin = std::min(tailMin, r.trace[i].minSmVolts);
+        tailMin = std::min(tailMin, r.trace[i].minSmVolts.raw());
     EXPECT_GT(tailMin, 0.78);
 }
 

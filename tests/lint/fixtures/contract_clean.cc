@@ -1,0 +1,23 @@
+// vsgpu_lint fixture: contract-tagged functions done right — a body
+// stating its precondition, a body stating its postcondition, and a
+// declaration (no body to check).
+#define VSGPU_CONTRACT
+#define VSGPU_REQUIRES(cond, ...) ((void)0)
+#define VSGPU_ENSURES(cond, ...) ((void)0)
+
+VSGPU_CONTRACT int
+clampStep(int step)
+{
+    VSGPU_REQUIRES(step >= -8, "fixture");
+    return step < 0 ? 0 : step;
+}
+
+[[vsgpu::contract]] double
+scaleBy(double x)
+{
+    const double y = x * 2.0;
+    VSGPU_ENSURES(y == y, "fixture");
+    return y;
+}
+
+VSGPU_CONTRACT int declaredElsewhere(int step);

@@ -1,0 +1,16 @@
+// vsgpu_lint fixture: contract-tagged functions whose bodies never
+// state VSGPU_REQUIRES / VSGPU_ENSURES.  Both definitions below must
+// be flagged by the contracts family.
+#define VSGPU_CONTRACT
+
+VSGPU_CONTRACT int
+clampStep(int step)
+{
+    return step < 0 ? 0 : step;
+}
+
+[[vsgpu::contract]] double
+scaleBy(double x)
+{
+    return x * 2.0;
+}

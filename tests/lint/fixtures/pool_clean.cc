@@ -1,0 +1,28 @@
+// vsgpu_lint fixture: the three sanctioned shared-write patterns —
+// per-task-index slot, atomic target, and a lock held in the body.
+#include <atomic>
+#include <mutex>
+#include <vector>
+
+struct Pool
+{
+    template <typename F>
+    void parallelFor(int n, F &&f);
+};
+
+void
+gather(Pool &pool, int tasks)
+{
+    std::vector<double> results(static_cast<std::size_t>(tasks));
+    std::atomic<long> done{0};
+    std::mutex mu;
+    double guarded = 0.0;
+    pool.parallelFor(tasks, [&](int i) {
+        results[i] = static_cast<double>(i);
+        done += 1;
+    });
+    pool.parallelFor(tasks, [&](int i) {
+        std::lock_guard<std::mutex> lock(mu);
+        guarded += static_cast<double>(i);
+    });
+}

@@ -1,0 +1,21 @@
+// vsgpu_lint fixture: by-reference captures written from a pool task
+// without a lock, atomic, or per-index slot.  Both writes below must
+// be flagged by the pool-concurrency family.
+#include <vector>
+
+struct Pool
+{
+    template <typename F>
+    void parallelFor(int n, F &&f);
+};
+
+void
+tally(Pool &pool, int tasks)
+{
+    double total = 0.0;
+    std::vector<double> events;
+    pool.parallelFor(tasks, [&](int i) {
+        total += static_cast<double>(i);
+        events.push_back(static_cast<double>(i));
+    });
+}

@@ -1,0 +1,13 @@
+// vsgpu_lint fixture: every declaration below must trip the
+// unit-safety family.  tests/lint/test_lint.cc counts the findings,
+// so keep additions in sync with LintUnitSafety.ViolatingFixture.
+#pragma once
+
+struct BadPdnConfig
+{
+    double supplyVolts = 1.6;
+    float loadAmps = 0.0F;
+};
+
+double railOhms();
+void setSwitchFreqHz(double freqHz);

@@ -107,7 +107,7 @@ TEST(Cosim, LayerGatingScenarioDroopsOtherLayers)
     cfg.pds = defaultPds(PdsKind::VsCircuitOnly);
     cfg.pds.ivrAreaFraction = 0.2;
     cfg.maxCycles = 4000;
-    cfg.gateLayerAtSec = 2e-6;
+    cfg.gateLayerAtSec = 2.0_us;
     cfg.gatedLayer = 0;
     CoSimulator sim(cfg);
     const CosimResult r =
@@ -122,11 +122,11 @@ TEST(Cosim, SmoothingImprovesWorstCase)
     circuitOnly.pds = defaultPds(PdsKind::VsCircuitOnly);
     circuitOnly.pds.ivrAreaFraction = 0.2;
     circuitOnly.maxCycles = 5000;
-    circuitOnly.gateLayerAtSec = 2e-6;
+    circuitOnly.gateLayerAtSec = 2.0_us;
 
     CosimConfig crossLayer = circuitOnly;
     crossLayer.pds = defaultPds(PdsKind::VsCrossLayer);
-    crossLayer.gateLayerAtSec = 2e-6;
+    crossLayer.gateLayerAtSec = 2.0_us;
 
     const CosimResult bare = CoSimulator(circuitOnly)
                                  .run(WorkloadFactory(

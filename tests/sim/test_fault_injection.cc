@@ -22,7 +22,7 @@ settledFloor(const CosimResult &r)
     double floor = 1e9;
     const std::size_t n = r.trace.size();
     for (std::size_t i = n > 20 ? n - 20 : 0; i < n; ++i)
-        floor = std::min(floor, r.trace[i].minSmVolts);
+        floor = std::min(floor, r.trace[i].minSmVolts.raw());
     return floor;
 }
 
@@ -33,7 +33,7 @@ worstCase(const ControllerConfig &controller)
     cfg.pds = defaultPds(PdsKind::VsCrossLayer);
     cfg.pds.controller = controller;
     cfg.maxCycles = 6000;
-    cfg.gateLayerAtSec = 2e-6;
+    cfg.gateLayerAtSec = 2.0_us;
     cfg.traceStride = 50;
     return CoSimulator(cfg).run(
         WorkloadFactory(uniformWorkload(10000)), 0.9);
@@ -133,7 +133,7 @@ TEST(FaultInjection, GatingEveryLayerInTurnRecovers)
         CosimConfig cfg;
         cfg.pds = defaultPds(PdsKind::VsCrossLayer);
         cfg.maxCycles = 6000;
-        cfg.gateLayerAtSec = 2e-6;
+        cfg.gateLayerAtSec = 2.0_us;
         cfg.gatedLayer = layer;
         cfg.traceStride = 50;
         const CosimResult r = CoSimulator(cfg).run(

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * vsgpu_lint_ast — optional Clang LibTooling verifier.
+ *
+ * Built only when Clang development headers are available
+ * (VSGPU_LINT_AST in tools/lint/CMakeLists.txt).  It cross-checks
+ * the unit-safety family against the real AST: every function
+ * parameter or return of builtin double/float type declared in a
+ * converted public header whose name carries a unit suffix is
+ * reported, with none of the token frontend's lexical guesswork.
+ * The token frontend (vsgpu_lint) remains the canonical gate — this
+ * binary exists to audit it where a full Clang is installed:
+ *
+ *   vsgpu_lint_ast -p build $(git ls-files 'src/**/*.hh')
+ *
+ * Diagnostics use the same "file:line: [unit-safety] ..." shape so
+ * the two tools' outputs diff cleanly.
+ */
+
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/Decl.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+#include "clang/ASTMatchers/ASTMatchers.h"
+#include "clang/Basic/SourceManager.h"
+#include "clang/Frontend/FrontendActions.h"
+#include "clang/Tooling/CommonOptionsParser.h"
+#include "clang/Tooling/Tooling.h"
+#include "llvm/Support/CommandLine.h"
+
+#include <cctype>
+#include <string>
+
+namespace
+{
+
+using namespace clang;
+using namespace clang::ast_matchers;
+
+llvm::cl::OptionCategory lintCategory("vsgpu_lint_ast options");
+
+const char *const unitSuffixes[] = {
+    "volts", "volt",  "amps",   "amp",    "ohms",    "ohm",
+    "siemens", "farads", "farad", "henries", "henry", "watts",
+    "watt",  "joules", "joule", "hertz",  "mhz",     "ghz",
+    "khz",   "hz",     "seconds", "second", "secs",  "sec",
+    "mm2",   "m2",     "nf",    "uf",     "pf",      "nh",
+    "ph",    "mv",     "ma",    "mw",     "nj",      "us",
+    "ns",    "ps",
+};
+
+bool
+hasUnitSuffix(llvm::StringRef name)
+{
+    const std::string lower = name.lower();
+    for (const char *suffix : unitSuffixes) {
+        const llvm::StringRef suf(suffix);
+        if (!llvm::StringRef(lower).endswith(suf))
+            continue;
+        const size_t at = name.size() - suf.size();
+        if (at == 0)
+            return true;
+        const char before = name[at - 1];
+        const char first = name[at];
+        if (std::isupper(static_cast<unsigned char>(first)) ||
+            before == '_' ||
+            std::isdigit(static_cast<unsigned char>(before)))
+            return true;
+    }
+    return false;
+}
+
+bool
+inConvertedHeader(llvm::StringRef file)
+{
+    if (!file.endswith(".hh"))
+        return false;
+    for (const char *mod :
+         {"src/circuit/", "src/pdn/", "src/ivr/", "src/power/",
+          "src/sim/", "src/control/", "src/hypervisor/",
+          "src/common/units.hh"}) {
+        if (file.contains(mod))
+            return true;
+    }
+    return false;
+}
+
+class UnitSafetyCallback : public MatchFinder::MatchCallback
+{
+  public:
+    void
+    run(const MatchFinder::MatchResult &result) override
+    {
+        const SourceManager &sm = *result.SourceManager;
+
+        auto report = [&](SourceLocation loc, llvm::StringRef name,
+                          const char *what) {
+            if (loc.isInvalid() || !sm.isInFileID(
+                    sm.getSpellingLoc(loc), sm.getMainFileID()))
+                return;
+            const SourceLocation spell = sm.getSpellingLoc(loc);
+            const llvm::StringRef file = sm.getFilename(spell);
+            if (!inConvertedHeader(file))
+                return;
+            llvm::errs() << file << ":"
+                         << sm.getSpellingLineNumber(spell) << ": "
+                         << "[unit-safety] " << what << " '" << name
+                         << "' has builtin floating type but a "
+                         << "unit-suffixed name — use a Quantity "
+                         << "type (src/common/quantity.hh)\n";
+            ++count_;
+        };
+
+        if (const auto *param =
+                result.Nodes.getNodeAs<ParmVarDecl>("param")) {
+            if (hasUnitSuffix(param->getName()))
+                report(param->getLocation(), param->getName(),
+                       "parameter");
+        }
+        if (const auto *field =
+                result.Nodes.getNodeAs<FieldDecl>("field")) {
+            if (hasUnitSuffix(field->getName()))
+                report(field->getLocation(), field->getName(),
+                       "field");
+        }
+        if (const auto *fn =
+                result.Nodes.getNodeAs<FunctionDecl>("fn")) {
+            if (hasUnitSuffix(fn->getName()))
+                report(fn->getLocation(), fn->getName(),
+                       "function");
+        }
+    }
+
+    unsigned count() const { return count_; }
+
+  private:
+    unsigned count_ = 0;
+};
+
+} // namespace
+
+int
+main(int argc, const char **argv)
+{
+    auto expectedParser = tooling::CommonOptionsParser::create(
+        argc, argv, lintCategory);
+    if (!expectedParser) {
+        llvm::errs() << llvm::toString(expectedParser.takeError());
+        return 2;
+    }
+    tooling::CommonOptionsParser &options = *expectedParser;
+    tooling::ClangTool tool(options.getCompilations(),
+                            options.getSourcePathList());
+
+    const auto floatingType =
+        hasType(hasCanonicalType(realFloatingPointType()));
+
+    UnitSafetyCallback callback;
+    MatchFinder finder;
+    finder.addMatcher(parmVarDecl(floatingType).bind("param"),
+                      &callback);
+    finder.addMatcher(fieldDecl(floatingType).bind("field"),
+                      &callback);
+    finder.addMatcher(
+        functionDecl(returns(qualType(
+                         hasCanonicalType(realFloatingPointType()))))
+            .bind("fn"),
+        &callback);
+
+    const int status = tool.run(
+        tooling::newFrontendActionFactory(&finder).get());
+    if (status != 0)
+        return 2;
+    llvm::errs() << "vsgpu_lint_ast: " << callback.count()
+                 << " finding(s)\n";
+    return callback.count() == 0 ? 0 : 1;
+}

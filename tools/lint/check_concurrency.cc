@@ -1,0 +1,364 @@
+/**
+ * @file
+ * Family 3: pool-concurrency.
+ *
+ * Lambdas submitted to exec::Pool::parallelFor or the runSweep /
+ * runIndexSweep templates execute concurrently.  A by-reference
+ * capture that writes shared state from inside such a lambda is a
+ * data race unless one of the sanctioned patterns applies:
+ *
+ *   per-index slot    results[i] = ...; the subscript names a lambda
+ *                     parameter (the task index) so each task owns a
+ *                     disjoint element — the pattern runSweep itself
+ *                     uses for its ordered reduction.
+ *   lock in scope     a lock_guard / scoped_lock / unique_lock /
+ *                     shared_lock declared in the lambda body.
+ *   atomic target     the written variable is declared std::atomic
+ *                     in the same file.
+ *
+ * Everything else is flagged.  The check is intentionally local (one
+ * file at a time): cross-TU aliasing is the AST backend's job; this
+ * frontend catches the way the bug is actually written.
+ *
+ * Waiver: // vsgpu-lint: shared-ok(<reason>).
+ */
+
+#include "lint.hh"
+
+#include <set>
+#include <string>
+
+namespace vsgpu::lint
+{
+
+namespace
+{
+
+using TokenVec = std::vector<Token>;
+using NameSet = std::set<std::string, std::less<>>;
+
+std::size_t
+skipBalanced(const TokenVec &tokens, std::size_t open,
+             std::string_view openText, std::string_view closeText)
+{
+    int depth = 0;
+    for (std::size_t i = open; i < tokens.size(); ++i) {
+        if (tokens[i].text == openText)
+            ++depth;
+        else if (tokens[i].text == closeText && --depth == 0)
+            return i;
+    }
+    return tokens.size();
+}
+
+bool
+isMutatingMember(std::string_view name)
+{
+    return name == "push_back" || name == "emplace_back" ||
+           name == "insert" || name == "emplace" ||
+           name == "clear" || name == "resize" || name == "erase" ||
+           name == "pop_back" || name == "assign";
+}
+
+bool
+isLockType(std::string_view name)
+{
+    return name == "lock_guard" || name == "scoped_lock" ||
+           name == "unique_lock" || name == "shared_lock";
+}
+
+bool
+isAssignOp(std::string_view text)
+{
+    return text == "=" || text == "+=" || text == "-=" ||
+           text == "*=" || text == "/=" || text == "%=" ||
+           text == "&=" || text == "|=" || text == "^=" ||
+           text == "<<=" || text == ">>=";
+}
+
+/** Names declared std::atomic<...> anywhere in the file. */
+NameSet
+atomicNames(const TokenVec &tokens)
+{
+    NameSet atomics;
+    for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
+        if (tokens[i].text != "atomic" &&
+            tokens[i].text != "atomic_flag")
+            continue;
+        std::size_t j = i + 1;
+        if (tokens[j].text == "<") {
+            int depth = 0;
+            for (; j < tokens.size(); ++j) {
+                if (tokens[j].text == "<")
+                    ++depth;
+                else if (tokens[j].text == ">")
+                    --depth;
+                else if (tokens[j].text == ">>")
+                    depth -= 2;
+                if (depth <= 0) {
+                    ++j;
+                    break;
+                }
+            }
+        }
+        if (j < tokens.size() &&
+            tokens[j].kind == Token::Kind::Identifier)
+            atomics.insert(std::string(tokens[j].text));
+    }
+    return atomics;
+}
+
+/**
+ * Walk a lambda body [begin, end) and record identifiers that look
+ * locally declared: an identifier preceded by a type-ish token
+ * (identifier, '>', '&', '*') and followed by '=', ';', '{', or '('
+ * in statement position.  Approximate on purpose — a false "local"
+ * only suppresses a finding, never invents one.
+ */
+NameSet
+localNames(const TokenVec &tokens, std::size_t begin,
+           std::size_t end)
+{
+    NameSet locals;
+    for (std::size_t i = begin; i < end; ++i) {
+        if (tokens[i].kind != Token::Kind::Identifier || i == begin)
+            continue;
+        const Token &prev = tokens[i - 1];
+        const bool typeBefore =
+            (prev.kind == Token::Kind::Identifier &&
+             prev.text != "return" && !isAssignOp(prev.text)) ||
+            prev.text == ">" || prev.text == "&" || prev.text == "*";
+        if (!typeBefore)
+            continue;
+        const std::string_view next =
+            i + 1 < end ? tokens[i + 1].text : std::string_view{};
+        if (next == "=" || next == ";" || next == "{" ||
+            next == "(" || next == ",")
+            locals.insert(std::string(tokens[i].text));
+    }
+    return locals;
+}
+
+/** Parameter names of a lambda: last identifier of each parameter. */
+NameSet
+paramNames(const TokenVec &tokens, std::size_t openParen,
+           std::size_t closeParen)
+{
+    NameSet params;
+    int depth = 0;
+    std::size_t lastIdent = 0;
+    bool haveIdent = false;
+    for (std::size_t i = openParen; i <= closeParen &&
+                                    i < tokens.size(); ++i) {
+        const Token &tok = tokens[i];
+        if (tok.text == "(" || tok.text == "<" || tok.text == "[")
+            ++depth;
+        else if (tok.text == ")" || tok.text == ">" ||
+                 tok.text == "]")
+            --depth;
+        if (tok.kind == Token::Kind::Identifier && depth == 1) {
+            lastIdent = i;
+            haveIdent = true;
+        }
+        const bool boundary =
+            (tok.text == "," && depth == 1) ||
+            (tok.text == ")" && depth == 0);
+        if (boundary && haveIdent) {
+            params.insert(std::string(tokens[lastIdent].text));
+            haveIdent = false;
+        }
+    }
+    return params;
+}
+
+/** Does any [subscript] in [chainBegin, writeOp) name a parameter? */
+bool
+indexedByParam(const TokenVec &tokens, std::size_t chainBegin,
+               std::size_t writeOp, const NameSet &params)
+{
+    for (std::size_t i = chainBegin; i < writeOp; ++i) {
+        if (tokens[i].text != "[")
+            continue;
+        const std::size_t close = skipBalanced(tokens, i, "[", "]");
+        for (std::size_t j = i + 1; j < close; ++j)
+            if (tokens[j].kind == Token::Kind::Identifier &&
+                params.count(tokens[j].text) > 0)
+                return true;
+        i = close;
+    }
+    return false;
+}
+
+struct LambdaScan
+{
+    const SourceFile &src;
+    const TokenVec &tokens;
+    const NameSet &atomics;
+    std::vector<Diagnostic> &out;
+};
+
+/**
+ * Analyze one by-reference lambda body submitted to the pool.
+ * @param captBegin/captEnd   the [...] capture list
+ * @param bodyBegin/bodyEnd   the {...} body (token indices)
+ */
+void
+analyzeLambda(LambdaScan &scan, std::size_t captBegin,
+              std::size_t captEnd, std::size_t paramOpen,
+              std::size_t paramClose, std::size_t bodyBegin,
+              std::size_t bodyEnd)
+{
+    const TokenVec &tokens = scan.tokens;
+
+    bool defaultRef = false;
+    NameSet refCaptures;
+    for (std::size_t i = captBegin + 1; i < captEnd; ++i) {
+        if (tokens[i].text != "&")
+            continue;
+        if (i + 1 < captEnd &&
+            tokens[i + 1].kind == Token::Kind::Identifier)
+            refCaptures.insert(std::string(tokens[i + 1].text));
+        else
+            defaultRef = true;
+    }
+    if (!defaultRef && refCaptures.empty())
+        return; // by-value only: nothing shared to race on
+
+    const NameSet params =
+        paramOpen < paramClose
+            ? paramNames(tokens, paramOpen, paramClose)
+            : NameSet{};
+    const NameSet locals = localNames(tokens, bodyBegin, bodyEnd);
+
+    bool lockHeld = false;
+    for (std::size_t i = bodyBegin; i < bodyEnd; ++i)
+        if (tokens[i].kind == Token::Kind::Identifier &&
+            isLockType(tokens[i].text))
+            lockHeld = true;
+    if (lockHeld)
+        return;
+
+    auto isSharedName = [&](std::string_view name) {
+        if (params.count(name) > 0 || locals.count(name) > 0 ||
+            scan.atomics.count(name) > 0)
+            return false;
+        return defaultRef || refCaptures.count(name) > 0;
+    };
+
+    auto diagnose = [&](const Token &name, const char *what) {
+        const int line = scan.src.lineOf(name.offset);
+        if (scan.src.hasWaiver(line, "vsgpu-lint: shared-ok"))
+            return;
+        scan.out.push_back(
+            {scan.src.display(), line, Check::PoolConcurrency,
+             std::string(what) + " '" + std::string(name.text) +
+                 "' captured by reference in a pool task without a "
+                 "lock, atomic, or per-task-index slot — concurrent "
+                 "tasks race; index by the task parameter, guard "
+                 "with std::lock_guard, or make it atomic"});
+    };
+
+    for (std::size_t i = bodyBegin; i < bodyEnd; ++i) {
+        if (tokens[i].kind != Token::Kind::Identifier)
+            continue;
+        const Token &root = tokens[i];
+        // Follow the postfix chain: x, x.y, x->y, x[...], x(...).
+        std::size_t j = i + 1;
+        while (j < bodyEnd) {
+            if (tokens[j].text == "." || tokens[j].text == "->") {
+                j += 2;
+            } else if (tokens[j].text == "[") {
+                j = skipBalanced(tokens, j, "[", "]") + 1;
+            } else {
+                break;
+            }
+        }
+        if (j >= bodyEnd) {
+            i = j;
+            continue;
+        }
+        const bool chained = j != i + 1;
+        if (isAssignOp(tokens[j].text)) {
+            // Plain write through the chain root.
+            const std::string_view prevText =
+                i > bodyBegin ? tokens[i - 1].text
+                              : std::string_view{};
+            const bool declaration =
+                !chained && i > bodyBegin &&
+                ((tokens[i - 1].kind == Token::Kind::Identifier &&
+                  !isAssignOp(prevText)) ||
+                 prevText == ">" || prevText == "&" ||
+                 prevText == "*");
+            if (!declaration && isSharedName(root.text) &&
+                !indexedByParam(tokens, i, j, params))
+                diagnose(root, "write to");
+            i = j;
+            continue;
+        }
+        if (chained && tokens[j - 1].kind == Token::Kind::Identifier &&
+            isMutatingMember(tokens[j - 1].text) &&
+            tokens[j].text == "(") {
+            if (isSharedName(root.text) &&
+                !indexedByParam(tokens, i, j, params))
+                diagnose(root, "mutating call on");
+            i = j;
+            continue;
+        }
+    }
+}
+
+} // namespace
+
+void
+checkPoolConcurrency(const SourceFile &src,
+                     std::vector<Diagnostic> &out)
+{
+    const TokenVec tokens = tokenize(src.code());
+    const NameSet atomics = atomicNames(tokens);
+    LambdaScan scan{src, tokens, atomics, out};
+
+    for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
+        const Token &tok = tokens[i];
+        if (tok.kind != Token::Kind::Identifier)
+            continue;
+        if (tok.text != "parallelFor" && tok.text != "runSweep" &&
+            tok.text != "runIndexSweep")
+            continue;
+        if (tokens[i + 1].text != "(")
+            continue;
+        const std::size_t closeCall =
+            skipBalanced(tokens, i + 1, "(", ")");
+
+        // Find lambdas in argument position within the call.
+        for (std::size_t j = i + 2; j < closeCall; ++j) {
+            if (tokens[j].text != "[")
+                continue;
+            const std::string_view prev = tokens[j - 1].text;
+            if (prev != "(" && prev != ",")
+                continue; // subscript, not a lambda argument
+            const std::size_t captEnd =
+                skipBalanced(tokens, j, "[", "]");
+            std::size_t k = captEnd + 1;
+            std::size_t paramOpen = 0;
+            std::size_t paramClose = 0;
+            if (k < closeCall && tokens[k].text == "(") {
+                paramOpen = k;
+                paramClose = skipBalanced(tokens, k, "(", ")");
+                k = paramClose + 1;
+            }
+            // Skip mutable/noexcept/-> return type up to the body.
+            while (k < closeCall && tokens[k].text != "{")
+                ++k;
+            if (k >= closeCall)
+                continue;
+            const std::size_t bodyEnd =
+                skipBalanced(tokens, k, "{", "}");
+            analyzeLambda(scan, j, captEnd, paramOpen, paramClose,
+                          k + 1, bodyEnd);
+            j = bodyEnd;
+        }
+        i = closeCall;
+    }
+}
+
+} // namespace vsgpu::lint

@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Minimal compile_commands.json reader.
+ *
+ * The database is a JSON array of objects; vsgpu_lint only needs the
+ * "directory" and "file" members, so this is a purpose-built parser
+ * for exactly that shape (tolerating and skipping every other member,
+ * including "arguments" arrays), not a general JSON library.
+ */
+
+#include "lint.hh"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace vsgpu::lint
+{
+
+namespace
+{
+
+class Parser
+{
+  public:
+    explicit Parser(std::string text) : text_(std::move(text)) {}
+
+    std::vector<CompileCommand>
+    parse()
+    {
+        std::vector<CompileCommand> commands;
+        skipWs();
+        expect('[');
+        skipWs();
+        if (peek() == ']')
+            return commands;
+        for (;;) {
+            commands.push_back(parseEntry());
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect(']');
+            break;
+        }
+        return commands;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &what)
+    {
+        throw std::runtime_error(
+            "compile_commands.json: " + what + " at offset " +
+            std::to_string(pos_));
+    }
+
+    char
+    peek()
+    {
+        if (pos_ >= text_.size())
+            fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        while (peek() != '"') {
+            char c = text_[pos_++];
+            if (c == '\\') {
+                const char esc = peek();
+                ++pos_;
+                switch (esc) {
+                  case 'n':
+                    out.push_back('\n');
+                    break;
+                  case 't':
+                    out.push_back('\t');
+                    break;
+                  case 'r':
+                    out.push_back('\r');
+                    break;
+                  case 'b':
+                  case 'f':
+                    out.push_back(' ');
+                    break;
+                  case 'u':
+                    // Paths in compile databases are ASCII in
+                    // practice; skip the four hex digits.
+                    pos_ += 4;
+                    out.push_back('?');
+                    break;
+                  default:
+                    out.push_back(esc);
+                    break;
+                }
+            } else {
+                out.push_back(c);
+            }
+        }
+        ++pos_; // closing quote
+        return out;
+    }
+
+    /** Skip any JSON value (string, array, object, literal). */
+    void
+    skipValue()
+    {
+        skipWs();
+        const char c = peek();
+        if (c == '"') {
+            parseString();
+        } else if (c == '[') {
+            ++pos_;
+            skipWs();
+            if (peek() == ']') {
+                ++pos_;
+                return;
+            }
+            for (;;) {
+                skipValue();
+                skipWs();
+                if (peek() == ',') {
+                    ++pos_;
+                    continue;
+                }
+                expect(']');
+                break;
+            }
+        } else if (c == '{') {
+            ++pos_;
+            skipWs();
+            if (peek() == '}') {
+                ++pos_;
+                return;
+            }
+            for (;;) {
+                skipWs();
+                parseString();
+                skipWs();
+                expect(':');
+                skipValue();
+                skipWs();
+                if (peek() == ',') {
+                    ++pos_;
+                    continue;
+                }
+                expect('}');
+                break;
+            }
+        } else {
+            // number / true / false / null
+            while (pos_ < text_.size() && text_[pos_] != ',' &&
+                   text_[pos_] != ']' && text_[pos_] != '}')
+                ++pos_;
+        }
+    }
+
+    CompileCommand
+    parseEntry()
+    {
+        CompileCommand cmd;
+        skipWs();
+        expect('{');
+        for (;;) {
+            skipWs();
+            const std::string key = parseString();
+            skipWs();
+            expect(':');
+            skipWs();
+            if (key == "directory") {
+                cmd.directory = parseString();
+            } else if (key == "file") {
+                cmd.file = parseString();
+            } else {
+                skipValue();
+            }
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect('}');
+            break;
+        }
+        return cmd;
+    }
+
+    std::string text_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+std::vector<CompileCommand>
+readCompileCommands(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw std::runtime_error(
+            "vsgpu_lint: cannot open compile database: " + path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return Parser(buf.str()).parse();
+}
+
+} // namespace vsgpu::lint

@@ -121,7 +121,7 @@ cmdRun(const std::map<std::string, std::string> &flags)
         fatalIf(at == std::string::npos,
                 "--halt-layer wants L@seconds, e.g. 0@3e-6");
         cfg.gatedLayer = std::stoi(spec.substr(0, at));
-        cfg.gateLayerAtSec = std::stod(spec.substr(at + 1));
+        cfg.gateLayerAtSec = Seconds{std::stod(spec.substr(at + 1))};
     }
     const bool wantWave = flags.count("wave") > 0;
     if (wantWave)
@@ -185,8 +185,8 @@ cmdRun(const std::map<std::string, std::string> &flags)
         fatalIf(!out, "cannot open '", flags.at("wave"), "'");
         out << "time_s,min_sm,max_sm,layer0,layer1,layer2,layer3\n";
         for (const auto &s : result.trace) {
-            out << s.timeSec << "," << s.minSmVolts << ","
-                << s.maxSmVolts;
+            out << s.timeSec.raw() << "," << s.minSmVolts.raw() << ","
+                << s.maxSmVolts.raw();
             for (double v : s.layerVolts)
                 out << "," << v;
             out << "\n";
