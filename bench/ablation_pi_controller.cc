@@ -36,8 +36,8 @@ evaluate(double kP, double kI)
     {
         CosimConfig cfg;
         cfg.pds = defaultPds(PdsKind::VsCrossLayer);
-        cfg.pds.controller.gainWattsPerVolt = kP;
-        cfg.pds.controller.integralGainWattsPerVolt = kI;
+        cfg.pds.controller.gainWattsPerVolt = WattsPerVolt{kP};
+        cfg.pds.controller.integralGainWattsPerVolt = WattsPerVolt{kI};
         cfg.maxCycles = 6000;
         cfg.gateLayerAtSec = 2.0_us;
         cfg.traceStride = 50;
@@ -52,8 +52,8 @@ evaluate(double kP, double kI)
     {
         CosimConfig cfg;
         cfg.pds = defaultPds(PdsKind::VsCrossLayer);
-        cfg.pds.controller.gainWattsPerVolt = kP;
-        cfg.pds.controller.integralGainWattsPerVolt = kI;
+        cfg.pds.controller.gainWattsPerVolt = WattsPerVolt{kP};
+        cfg.pds.controller.integralGainWattsPerVolt = WattsPerVolt{kI};
         cfg.maxCycles = 150000;
         const CosimResult r = CoSimulator(cfg).run(
             bench::benchWorkload(Benchmark::Hotspot,

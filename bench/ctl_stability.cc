@@ -18,18 +18,18 @@ main()
     bench::banner("ctl_stability", "closed-loop stability and "
                                    "disturbance-gain analysis");
 
-    const double cap = 4.0 * 100e-9; // per-boundary capacitance
+    const Farads cap{4.0 * 100e-9}; // per-boundary capacitance
 
     Table bound("stability boundary: max stable gain (W/V/layer)");
     bound.setHeader({"loop latency (cycles)", "max stable gain",
                      "gain x latency (W*cy/V)"});
     for (Cycle latency : {20ull, 30ull, 60ull, 90ull, 120ull,
                           180ull}) {
-        const double k = maxStableGain(cap, latency);
+        const WattsPerVolt k = maxStableGain(cap, latency);
         bound.beginRow()
             .cell(static_cast<long long>(latency))
-            .cell(k, 4)
-            .cell(k * static_cast<double>(latency), 3)
+            .cell(k.raw(), 4)
+            .cell(k.raw() * static_cast<double>(latency), 3)
             .endRow();
     }
     bound.print(std::cout);
@@ -39,7 +39,7 @@ main()
     Table sweep("gain sweep at the paper's 60-cycle loop");
     sweep.setHeader({"gain (W/V)", "spectral radius", "stable",
                      "peak gain", "droop/0.1A (V)"});
-    const double kMax = maxStableGain(cap, 60);
+    const WattsPerVolt kMax = maxStableGain(cap, 60);
     for (double frac : {0.1, 0.3, 0.5, 0.7, 0.9, 1.1, 2.0}) {
         ControlDesignSpec spec;
         spec.boundaryCapF = cap;
@@ -47,11 +47,12 @@ main()
         spec.gainWattsPerVolt = frac * kMax;
         const ControlDesign d = designController(spec);
         sweep.beginRow()
-            .cell(spec.gainWattsPerVolt, 4)
+            .cell(spec.gainWattsPerVolt.raw(), 4)
             .cell(d.spectralRadius, 4)
             .cell(d.stable ? "yes" : "NO")
             .cell(d.peakDisturbanceGain, 2)
-            .cell(d.stable ? d.worstDroopVolts(0.1) : 0.0, 3)
+            .cell(d.stable ? d.worstDroopVolts(Amps{0.1}).raw()
+                           : 0.0, 3)
             .endRow();
     }
     sweep.print(std::cout);
@@ -63,14 +64,14 @@ main()
     for (double c : {100e-9, 400e-9, 1e-6, 4e-6}) {
         caps.beginRow()
             .cell(c * 1e9, 0)
-            .cell(maxStableGain(c, 60), 3)
+            .cell(maxStableGain(Farads{c}, 60).raw(), 3)
             .endRow();
     }
     caps.print(std::cout);
 
     bench::claim("stability product C/(k*T) (theory: ~3.41)", 3.41,
-                 cap / (maxStableGain(cap, 60) * 60.0 *
-                        config::clockPeriod.raw()),
+                 cap.raw() / (maxStableGain(cap, 60).raw() * 60.0 *
+                              config::clockPeriod.raw()),
                  "");
     return 0;
 }

@@ -52,7 +52,7 @@ runFig12ThresholdSweep(ScenarioContext &ctx)
             } else {
                 cfg.pds = defaultPds(PdsKind::VsCrossLayer);
                 cfg.pds.controller.vThreshold =
-                    kThresholds[p.threshold];
+                    Volts{kThresholds[p.threshold]};
             }
             cfg.maxCycles = ctx.cycles(200000);
             return runPoint(ctx, cfg, p.bench);

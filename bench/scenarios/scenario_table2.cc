@@ -51,16 +51,17 @@ runTable2Detectors(ScenarioContext &ctx)
         table.beginRow()
             .cell(row.name)
             .cell(static_cast<long long>(spec.latency))
-            .cell(spec.powerWatts * 1e3, 1)
-            .cell(spec.resolutionVolts * 1e3, 1)
+            .cell(spec.powerWatts.raw() * 1e3, 1)
+            .cell(spec.resolutionVolts.raw() * 1e3, 1)
             .cell(row.output)
             .endRow();
         const std::string stem = row.id;
         summary.add(stem + "_latency_cycles",
                     static_cast<double>(spec.latency), 0.0);
-        summary.add(stem + "_power_mW", spec.powerWatts * 1e3, 1e-6);
+        summary.add(stem + "_power_mW",
+                    spec.powerWatts.raw() * 1e3, 1e-6);
         summary.add(stem + "_resolution_mV",
-                    spec.resolutionVolts * 1e3, 1e-6);
+                    spec.resolutionVolts.raw() * 1e3, 1e-6);
     }
     table.print(ctx.out);
 
@@ -73,15 +74,15 @@ runTable2Detectors(ScenarioContext &ctx)
             const DetectorSpec spec = detectorSpec(kRows[i].kind);
             VoltageDetector det(spec);
             for (int k = 0; k < 200; ++k)
-                det.sample(1.0);
+                det.sample(1.0_V);
             StepResponse r;
-            double out = 1.0;
+            Volts out = 1.0_V;
             for (; r.cycles < 500; ++r.cycles) {
-                out = det.sample(0.90);
-                if (std::abs(out - 0.90) <= spec.resolutionVolts)
+                out = det.sample(0.90_V);
+                if (vsgpu::abs(out - 0.90_V) <= spec.resolutionVolts)
                     break;
             }
-            r.resolvedVolts = out;
+            r.resolvedVolts = out.raw();
             return r;
         });
 

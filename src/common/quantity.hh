@@ -186,6 +186,11 @@ using Joules = Quantity<2, 1, -2, 0>;
 using Area = Quantity<2, 0, 0, 0>;
 using FaradsPerArea = Quantity<-4, -1, 4, 2>;
 
+// Controller gain: watts of power correction per volt of deviation.
+// Dimensionally this is Amps (W/V = A); the alias keeps control-code
+// signatures self-describing.
+using WattsPerVolt = decltype(Watts{} / Volts{});
+
 // Derived-unit identities: if any alias above is wrong these fail to
 // compile, so the algebra is proven once, here.
 static_assert(std::is_same_v<decltype(Watts{} / Amps{}), Volts>);
@@ -200,6 +205,9 @@ static_assert(std::is_same_v<decltype(1.0 / Seconds{}), Hertz>);
 static_assert(std::is_same_v<decltype(1.0 / Ohms{}), Siemens>);
 static_assert(std::is_same_v<decltype(Farads{} / Area{}), FaradsPerArea>);
 static_assert(std::is_same_v<decltype(Volts{} / Volts{}), double>);
+static_assert(std::is_same_v<WattsPerVolt, Amps>);
+static_assert(
+    std::is_same_v<decltype(WattsPerVolt{} * Volts{}), Watts>);
 
 inline namespace literals
 {

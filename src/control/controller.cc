@@ -24,8 +24,8 @@ SmoothingController::reset()
     for (auto &d : detectors_)
         d.reset(cfg_.vNominal);
     lastDetected_.fill(cfg_.vNominal);
-    integral_.fill(0.0);
-    periodAccum_.fill(0.0);
+    integral_.fill(Volts{});
+    periodAccum_.fill(Volts{});
     periodFill_ = 0;
     pending_.clear();
     active_ = CommandSet{};
@@ -37,13 +37,13 @@ SmoothingController::reset()
 
 CommandSet
 SmoothingController::decide(
-    const std::array<double, config::numSMs> &detected)
+    const std::array<Volts, config::numSMs> &detected)
 {
     CommandSet commands{};
     bool anyActive = false;
 
     for (int sm = 0; sm < config::numSMs; ++sm) {
-        const double v = detected[static_cast<std::size_t>(sm)];
+        const Volts v = detected[static_cast<std::size_t>(sm)];
         if (v >= cfg_.vThreshold) {
             // Bleed the integrator once the rail is healthy so old
             // droop history does not keep throttling.
@@ -57,12 +57,12 @@ SmoothingController::decide(
         // integral term that removes steady-state error under
         // sustained imbalance (PI extension of the paper's P-only
         // controller).
-        const double deviation = cfg_.vNominal - v;
-        double correction = cfg_.gainWattsPerVolt * deviation;
-        if (cfg_.integralGainWattsPerVolt > 0.0) {
+        const Volts deviation = cfg_.vNominal - v;
+        Watts correction = cfg_.gainWattsPerVolt * deviation;
+        if (cfg_.integralGainWattsPerVolt > WattsPerVolt{}) {
             auto &acc = integral_[static_cast<std::size_t>(sm)];
             acc += deviation;
-            double integralW = cfg_.integralGainWattsPerVolt * acc;
+            Watts integralW = cfg_.integralGainWattsPerVolt * acc;
             if (integralW > cfg_.integralClampWatts) {
                 integralW = cfg_.integralClampWatts;
                 acc = integralW / cfg_.integralGainWattsPerVolt;
@@ -92,7 +92,7 @@ SmoothingController::decide(
             other.fakeRate + fakeAdd, 0.0,
             static_cast<double>(config::maxIssueWidth));
 
-        const double dccAdd = cfg_.w3 * correction / cfg_.vNominal;
+        const Amps dccAdd = cfg_.w3 * correction / cfg_.vNominal;
         other.dccAmps =
             cfg_.dcc.quantize(other.dccAmps + dccAdd);
     }
@@ -115,19 +115,20 @@ SmoothingController::step(
     // loop cannot correct into the commands.
     for (int sm = 0; sm < config::numSMs; ++sm) {
         const auto idx = static_cast<std::size_t>(sm);
-        lastDetected_[idx] = detectors_[idx].sample(railVolts[idx]);
+        lastDetected_[idx] =
+            detectors_[idx].sample(Volts{railVolts[idx]});
         periodAccum_[idx] += lastDetected_[idx];
     }
     ++periodFill_;
 
     if (now_ % cfg_.period == 0 && periodFill_ > 0) {
-        std::array<double, config::numSMs> meanDetected{};
+        std::array<Volts, config::numSMs> meanDetected{};
         for (int sm = 0; sm < config::numSMs; ++sm) {
             meanDetected[static_cast<std::size_t>(sm)] =
                 periodAccum_[static_cast<std::size_t>(sm)] /
                 static_cast<double>(periodFill_);
         }
-        periodAccum_.fill(0.0);
+        periodAccum_.fill(Volts{});
         periodFill_ = 0;
         const Cycle detectorLatency = cfg_.detector.latency;
         const Cycle rest = cfg_.loopLatency > detectorLatency
@@ -142,8 +143,9 @@ SmoothingController::step(
     }
 
     // Slew the applied command toward the active decision: fast when
-    // engaging actuation, slow when releasing it.
-    const auto slew = [&](double applied, double target,
+    // engaging actuation, slow when releasing it.  Generic over the
+    // value type so dimensioned commands slew like raw ones.
+    const auto slew = [&](auto applied, auto target,
                           bool onsetIsDecrease) {
         const bool onset = onsetIsDecrease ? target < applied
                                            : target > applied;
@@ -165,17 +167,17 @@ SmoothingController::step(
     return applied_;
 }
 
-double
+Watts
 SmoothingController::detectorPower() const
 {
     return cfg_.detector.powerWatts *
            static_cast<double>(config::numSMs);
 }
 
-double
+Watts
 SmoothingController::dccPower(const CommandSet &commands) const
 {
-    double watts = 0.0;
+    Watts watts{};
     for (const auto &cmd : commands)
         watts += cmd.dccAmps * cfg_.vNominal;
     // Static leakage of the DAC macros is always present.

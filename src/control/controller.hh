@@ -36,7 +36,7 @@ struct SmCommand
 {
     double issueWidth = static_cast<double>(config::maxIssueWidth);
     double fakeRate = 0.0;
-    double dccAmps = 0.0;
+    Amps dccAmps{};
 };
 
 /** Commands for all SMs. */
@@ -46,10 +46,10 @@ using CommandSet = std::array<SmCommand, config::numSMs>;
 struct ControllerConfig
 {
     /** Trigger threshold: smoothing engages below this voltage. */
-    double vThreshold = config::defaultVThreshold.raw();
+    Volts vThreshold = config::defaultVThreshold;
 
     /** Nominal layer voltage. */
-    double vNominal = config::smVoltage.raw();
+    Volts vNominal = config::smVoltage;
 
     /** Actuation weights for DIWS / FII / DCC (sum need not be 1). */
     double w1 = 1.0;
@@ -61,25 +61,26 @@ struct ControllerConfig
      * of deviation from nominal.  k1/k2/k3 of Algorithm 1 are this
      * gain expressed in each actuator's native unit.
      */
-    double gainWattsPerVolt = 12.0;
+    WattsPerVolt gainWattsPerVolt{12.0};
 
     /**
-     * Integral gain (W per volt-period of accumulated deviation),
-     * extending the paper's proportional controller to PI.  Zero
-     * (the paper's configuration) disables the integral path.  The
-     * integrator only accumulates while the SM is below threshold
-     * and is clamped (anti-windup) so releases stay bounded.
+     * Integral gain (watts per volt-period of accumulated
+     * deviation), extending the paper's proportional controller to
+     * PI.  Zero (the paper's configuration) disables the integral
+     * path.  The integrator only accumulates while the SM is below
+     * threshold and is clamped (anti-windup) so releases stay
+     * bounded.
      */
-    double integralGainWattsPerVolt = 0.0;
+    WattsPerVolt integralGainWattsPerVolt{};
 
-    /** Anti-windup clamp on the integral correction (W). */
-    double integralClampWatts = 6.0;
+    /** Anti-windup clamp on the integral correction. */
+    Watts integralClampWatts = 6.0_W;
 
-    /** Average dynamic power of one issue-width unit (W). */
-    double powerPerIssueWidth = 2.2;
+    /** Average dynamic power of one issue-width unit. */
+    Watts powerPerIssueWidth = 2.2_W;
 
-    /** Average power of one fake instruction per cycle (W). */
-    double powerPerFakeRate = 1.4;
+    /** Average power of one fake instruction per cycle. */
+    Watts powerPerFakeRate = 1.4_W;
 
     /** Control decision period (cycles). */
     Cycle period = 30;
@@ -130,11 +131,11 @@ class SmoothingController
     /** @return configuration. */
     const ControllerConfig &config() const { return cfg_; }
 
-    /** @return detector power of the whole array (W). */
-    double detectorPower() const;
+    /** @return detector power of the whole array. */
+    Watts detectorPower() const;
 
     /** @return instantaneous DCC power drawn by current commands. */
-    double dccPower(const CommandSet &commands) const;
+    Watts dccPower(const CommandSet &commands) const;
 
     /** @return how many decisions triggered smoothing so far. */
     std::uint64_t triggeredDecisions() const { return triggered_; }
@@ -148,12 +149,12 @@ class SmoothingController
   private:
     /** Run Algorithm 1 on detected voltages, producing a command. */
     CommandSet decide(
-        const std::array<double, config::numSMs> &detected);
+        const std::array<Volts, config::numSMs> &detected);
 
     ControllerConfig cfg_;
     std::vector<VoltageDetector> detectors_;
-    std::array<double, config::numSMs> lastDetected_{};
-    std::array<double, config::numSMs> periodAccum_{};
+    std::array<Volts, config::numSMs> lastDetected_{};
+    std::array<Volts, config::numSMs> periodAccum_{};
     int periodFill_ = 0;
 
     /** Pending commands: decided, waiting out the loop latency. */
@@ -163,7 +164,7 @@ class SmoothingController
     Cycle now_ = 0;
 
     /** PI integrator state per SM (volt-periods of deviation). */
-    std::array<double, config::numSMs> integral_{};
+    std::array<Volts, config::numSMs> integral_{};
 
     std::uint64_t decisions_ = 0;
     std::uint64_t triggered_ = 0;

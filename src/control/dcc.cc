@@ -6,11 +6,11 @@
 namespace vsgpu
 {
 
-double
-DccDac::quantize(double amps) const
+Amps
+DccDac::quantize(Amps amps) const
 {
-    const double lsb = lsbAmps();
-    const double clamped = std::clamp(amps, 0.0, fullScaleAmps);
+    const Amps lsb = lsbAmps();
+    const Amps clamped = std::clamp(amps, Amps{}, fullScaleAmps);
     return std::round(clamped / lsb) * lsb;
 }
 

@@ -21,33 +21,33 @@ struct DccDac
     /** DAC resolution (bits). */
     int bits = 6;
 
-    /** Full-scale compensation current (A). */
-    double fullScaleAmps = 3.0;
+    /** Full-scale compensation current. */
+    Amps fullScaleAmps = 3.0_A;
 
-    /** Static leakage of one DAC macro (W). */
-    double leakageWatts = 0.015;
+    /** Static leakage of one DAC macro. */
+    Watts leakageWatts = 0.015_W;
 
-    /** Die area of one DAC macro (mm^2). */
-    double areaMm2 = 0.12;
+    /** Die area of one DAC macro. */
+    Area area = 0.12_mm2;
 
-    /** @return LSB current step (A). */
-    double
+    /** @return LSB current step. */
+    Amps
     lsbAmps() const
     {
         return fullScaleAmps / static_cast<double>((1 << bits) - 1);
     }
 
-    /** @return unit power of the LSB at the layer voltage (W),
+    /** @return unit power of the LSB at the layer voltage,
      *  the Pd0 of paper eq. (9). */
-    double
-    lsbPowerWatts(double layerVolts = config::smVoltage.raw()) const
+    Watts
+    lsbPowerWatts(Volts layerVolts = config::smVoltage) const
     {
         return lsbAmps() * layerVolts;
     }
 
     /** @return the requested current quantized to the DAC grid and
      *  clamped to [0, full scale]. */
-    double quantize(double amps) const;
+    Amps quantize(Amps amps) const;
 };
 
 } // namespace vsgpu

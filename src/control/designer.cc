@@ -8,8 +8,8 @@
 namespace vsgpu
 {
 
-double
-ControlDesign::worstDroopVolts(double imbalanceAmps) const
+Volts
+ControlDesign::worstDroopVolts(Amps imbalanceAmps) const
 {
     // A sinusoidal imbalance current I at the boundary contributes a
     // per-period state disturbance of amplitude I * T / C; the droop
@@ -21,16 +21,19 @@ ControlDesign::worstDroopVolts(double imbalanceAmps) const
 ControlDesign
 designController(const ControlDesignSpec &spec)
 {
-    panicIfNot(spec.boundaryCapF > 0.0, "capacitance must be positive");
+    panicIfNot(spec.boundaryCapF > Farads{},
+               "capacitance must be positive");
     panicIfNot(spec.loopLatencyCycles > 0, "latency must be positive");
 
     ControlDesign d;
     d.samplePeriodSec =
         static_cast<double>(spec.loopLatencyCycles) *
-        config::clockPeriod.raw();
+        config::clockPeriod;
     d.boundaryCapF = spec.boundaryCapF;
 
-    const double invC = 1.0 / spec.boundaryCapF;
+    // The state-space matrices are the dimension-erased boundary to
+    // the numeric library.
+    const double invC = (1.0 / spec.boundaryCapF).raw(); // vsgpu-lint: raw-escape-ok(state-space assembly boundary)
 
     // Plant: x = [V1 V2 V3]; u = [P1 P2 P3 P4] (layer powers).
     d.plant.a = Matrix(3, 3);
@@ -42,7 +45,7 @@ designController(const ControlDesignSpec &spec)
 
     // Feedback: P_i = k * (V_i - V_{i-1}) with V0 = 0 and V4 held by
     // the supply (its deviation is zero in the linearized model).
-    const double k = spec.gainWattsPerVolt;
+    const double k = spec.gainWattsPerVolt.raw(); // vsgpu-lint: raw-escape-ok(state-space assembly boundary)
     d.feedback = Matrix(4, 3);
     d.feedback(0, 0) = k;
     d.feedback(1, 0) = -k;
@@ -55,7 +58,7 @@ designController(const ControlDesignSpec &spec)
     // period n is computed from the sample at period n-1, giving the
     // augmented delayed closed loop.
     const DiscreteStateSpace dss =
-        discretizeZoh(d.plant, d.samplePeriodSec);
+        discretizeZoh(d.plant, d.samplePeriodSec.raw()); // vsgpu-lint: raw-escape-ok(state-space assembly boundary)
     const Matrix bdk = dss.bd * d.feedback;
 
     d.augmented = Matrix(6, 6);
@@ -70,19 +73,19 @@ designController(const ControlDesignSpec &spec)
     d.spectralRadius = spectralRadius(d.augmented);
     d.stable = d.spectralRadius < 1.0;
     d.peakDisturbanceGain =
-        peakDisturbanceGain(d.augmented, d.samplePeriodSec);
+        peakDisturbanceGain(d.augmented, d.samplePeriodSec.raw()); // vsgpu-lint: raw-escape-ok(state-space assembly boundary)
     return d;
 }
 
-double
-maxStableGain(double boundaryCapF, Cycle loopLatencyCycles)
+WattsPerVolt
+maxStableGain(Farads boundaryCapF, Cycle loopLatencyCycles)
 {
     ControlDesignSpec spec;
     spec.boundaryCapF = boundaryCapF;
     spec.loopLatencyCycles = loopLatencyCycles;
 
-    double lo = 0.0;
-    double hi = 1.0;
+    WattsPerVolt lo{};
+    WattsPerVolt hi{1.0};
     // Grow hi until unstable (or absurdly large).
     for (int i = 0; i < 60; ++i) {
         spec.gainWattsPerVolt = hi;
@@ -90,11 +93,11 @@ maxStableGain(double boundaryCapF, Cycle loopLatencyCycles)
             break;
         lo = hi;
         hi *= 2.0;
-        if (hi > 1e9)
+        if (hi > WattsPerVolt{1e9})
             return lo;
     }
     for (int i = 0; i < 50; ++i) {
-        const double mid = 0.5 * (lo + hi);
+        const WattsPerVolt mid = 0.5 * (lo + hi);
         spec.gainWattsPerVolt = mid;
         if (designController(spec).stable)
             lo = mid;

@@ -32,13 +32,13 @@ namespace vsgpu
 /** Inputs to the control design. */
 struct ControlDesignSpec
 {
-    /** Per-boundary-rail capacitance (F): layer decap plus CR-IVR
+    /** Per-boundary-rail capacitance: layer decap plus CR-IVR
      *  flying-cap contribution. */
-    double boundaryCapF = 4.0 * 100e-9;
+    Farads boundaryCapF = Farads{4.0 * 100e-9};
 
-    /** Proportional gain (W per volt of layer-voltage deviation),
-     *  aggregated per layer. */
-    double gainWattsPerVolt = 160.0;
+    /** Proportional gain (power correction per volt of layer-voltage
+     *  deviation), aggregated per layer. */
+    WattsPerVolt gainWattsPerVolt{160.0};
 
     /** Full control-loop latency = sampling period (cycles). */
     Cycle loopLatencyCycles = config::defaultControlLatency;
@@ -50,8 +50,8 @@ struct ControlDesign
     StateSpace plant;       ///< continuous A (3x3 zeros) and B (3x4)
     Matrix feedback;        ///< K (4x3)
     Matrix augmented;       ///< delayed closed-loop matrix (6x6)
-    double samplePeriodSec = 0.0;
-    double boundaryCapF = 1.0; ///< capacitance the design assumed
+    Seconds samplePeriodSec{};
+    Farads boundaryCapF = 1.0_F; ///< capacitance the design assumed
     double spectralRadius = 0.0;
     bool stable = false;
 
@@ -60,20 +60,21 @@ struct ControlDesign
     double peakDisturbanceGain = 0.0;
 
     /**
-     * @return worst steady droop (V) for a sinusoidal imbalance
-     * current of the given amplitude below the Nyquist frequency.
+     * @return worst steady droop for a sinusoidal imbalance current
+     * of the given amplitude below the Nyquist frequency.
      */
-    double worstDroopVolts(double imbalanceAmps) const;
+    Volts worstDroopVolts(Amps imbalanceAmps) const;
 };
 
 /** Evaluate a candidate design. */
 ControlDesign designController(const ControlDesignSpec &spec);
 
 /**
- * @return the largest stable gain (W/V) for the given capacitance and
+ * @return the largest stable gain for the given capacitance and
  * latency, found by bisection on the spectral radius.
  */
-double maxStableGain(double boundaryCapF, Cycle loopLatencyCycles);
+WattsPerVolt maxStableGain(Farads boundaryCapF,
+                           Cycle loopLatencyCycles);
 
 } // namespace vsgpu
 

@@ -12,29 +12,28 @@ detectorSpec(DetectorKind kind)
 {
     switch (kind) {
       case DetectorKind::Oddd:
-        return {DetectorKind::Oddd, 2, 0.005, 0.015};
+        return {DetectorKind::Oddd, 2, 0.005_W, 0.015_V};
       case DetectorKind::Cpm:
-        return {DetectorKind::Cpm, 40, 0.045, 0.050};
+        return {DetectorKind::Cpm, 40, 0.045_W, 0.050_V};
       case DetectorKind::Adc:
-        return {DetectorKind::Adc, 4, 0.020, 1.0 / 128.0};
+        return {DetectorKind::Adc, 4, 0.020_W, Volts{1.0 / 128.0}};
     }
     panic("unknown detector kind");
 }
 
 VoltageDetector::VoltageDetector(const DetectorSpec &spec,
-                                 double cutoffHz)
+                                 Hertz cutoffHz)
     : spec_(spec)
 {
-    panicIfNot(cutoffHz > 0.0, "filter cutoff must be positive");
+    panicIfNot(cutoffHz > Hertz{}, "filter cutoff must be positive");
     // First-order IIR equivalent of the RC filter at the core clock.
-    const double rc = 1.0 / (2.0 * M_PI * cutoffHz);
-    alpha_ = config::clockPeriod.raw() /
-             (rc + config::clockPeriod.raw());
-    reset(config::smVoltage.raw());
+    const Seconds rc = 1.0 / (2.0 * M_PI * cutoffHz);
+    alpha_ = config::clockPeriod / (rc + config::clockPeriod);
+    reset(config::smVoltage);
 }
 
 void
-VoltageDetector::reset(double volts)
+VoltageDetector::reset(Volts volts)
 {
     filtered_ = volts;
     lastOutput_ = volts;
@@ -43,10 +42,10 @@ VoltageDetector::reset(double volts)
     head_ = 0;
 }
 
-double
-VoltageDetector::sample(double actualVolts)
+Volts
+VoltageDetector::sample(Volts actualVolts)
 {
-    if (spec_.stuckAtVolts >= 0.0) {
+    if (spec_.stuckAtVolts >= Volts{}) {
         lastOutput_ = spec_.stuckAtVolts;
         return lastOutput_;
     }
@@ -54,10 +53,11 @@ VoltageDetector::sample(double actualVolts)
 
     delayLine_[head_] = filtered_;
     head_ = (head_ + 1) % delayLine_.size();
-    const double delayed = delayLine_[head_];
+    const Volts delayed = delayLine_[head_];
 
-    const double q = spec_.resolutionVolts;
-    lastOutput_ = q > 0.0 ? std::round(delayed / q) * q : delayed;
+    const Volts q = spec_.resolutionVolts;
+    lastOutput_ =
+        q > Volts{} ? std::round(delayed / q) * q : delayed;
     return lastOutput_;
 }
 

@@ -31,16 +31,16 @@ enum class DetectorKind
 struct DetectorSpec
 {
     DetectorKind kind = DetectorKind::Adc;
-    Cycle latency = 4;          ///< sensing latency (cycles)
-    double powerWatts = 0.03;   ///< static power
-    double resolutionVolts = 1.0 / 128.0; ///< quantization step
+    Cycle latency = 4;             ///< sensing latency (cycles)
+    Watts powerWatts = 0.03_W;     ///< static power
+    Volts resolutionVolts = Volts{1.0 / 128.0}; ///< quantization step
 
     /**
      * Fault injection: when non-negative the detector output is
      * stuck at this value regardless of the rail (models a failed
      * sensor for reliability studies).  Negative disables the fault.
      */
-    double stuckAtVolts = -1.0;
+    Volts stuckAtVolts = -1.0_V;
 };
 
 /** @return the paper's Table II representative numbers. */
@@ -58,31 +58,31 @@ class VoltageDetector
      * @param cutoffHz RC filter cutoff (paper: 50 MHz).
      */
     explicit VoltageDetector(const DetectorSpec &spec = {},
-                             double cutoffHz = 50e6);
+                             Hertz cutoffHz = 50.0_MHz);
 
     /**
      * Push this cycle's actual rail voltage; @return the detector
      * output visible to the controller this cycle (filtered, delayed
      * by the sensing latency, quantized).
      */
-    double sample(double actualVolts);
+    Volts sample(Volts actualVolts);
 
     /** @return last output without pushing a new sample. */
-    double output() const { return lastOutput_; }
+    Volts output() const { return lastOutput_; }
 
     /** @return the spec. */
     const DetectorSpec &spec() const { return spec_; }
 
     /** Reset filter/delay state to a given operating point. */
-    void reset(double volts);
+    void reset(Volts volts);
 
   private:
     DetectorSpec spec_;
     double alpha_;            ///< IIR coefficient from the RC cutoff
-    double filtered_;
-    std::vector<double> delayLine_;
+    Volts filtered_;
+    std::vector<Volts> delayLine_;
     std::size_t head_ = 0;
-    double lastOutput_;
+    Volts lastOutput_;
 };
 
 } // namespace vsgpu

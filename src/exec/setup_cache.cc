@@ -78,7 +78,7 @@ SetupCache::impedanceSweep(const CosimConfig &cfg,
 
     std::string key = setup->key;
     for (Hertz f : freqs) {
-        const double hz = f.raw();
+        const double hz = f.raw(); // vsgpu-lint: raw-escape-ok(cache-key byte serialization)
         char bytes[sizeof(double)];
         std::memcpy(bytes, &hz, sizeof(double));
         key.append(bytes, sizeof(double));

@@ -100,7 +100,7 @@ ImpedanceAnalyzer::respond(const std::vector<double> &smLoadAmps,
                "per-SM load vector size mismatch");
 
     AcAnalysis ac(pdn_.netlist());
-    const auto volts =
+    const auto volts = // vsgpu-lint: raw-escape-ok(AC solver boundary)
         ac.solve(freq.raw(), injectionsFor(pdn_, smLoadAmps));
     return observeAt(pdn_, volts, observeSm);
 }
@@ -150,7 +150,7 @@ ImpedanceAnalyzer::sweepPoint(Hertz freq) const
         injectionsFor(pdn_, stackLoadPattern(pdn_, 0)),
         injectionsFor(pdn_, residualLoadPattern(pdn_)),
     };
-    const auto volts = ac.solveMany(freq.raw(), patterns);
+    const auto volts = ac.solveMany(freq.raw(), patterns); // vsgpu-lint: raw-escape-ok(AC solver boundary)
 
     ImpedancePoint p;
     p.freq = freq;

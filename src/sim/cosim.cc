@@ -10,6 +10,7 @@
 #include "ivr/efficiency.hh"
 #include "pdn/single_layer.hh"
 #include "pdn/vs_pdn.hh"
+#include "sim/model_verify.hh"
 #include "sim/pds_setup.hh"
 
 namespace vsgpu
@@ -115,9 +116,24 @@ CoSimulator::runImpl(
 
     // --- controller (cross-layer only) ---
     std::unique_ptr<SmoothingController> controller;
-    if (smoothing)
+    if (smoothing) {
+        // Static control-loop audit before closing the loop: reject
+        // configurations whose discrete PI loop cannot work at all
+        // (dead-band wider than the trigger margin, non-positive
+        // period).  Stability *warnings* are expected for the paper's
+        // nonlinear gain and are reviewed via tools/vsgpu_verify.
+        if (cfg_.verifyModel) {
+            const verify::Report report = verifyControlModel(cfg_);
+            if (report.hasErrors()) {
+                fatal("control-model verification failed (run "
+                      "tools/vsgpu_verify, or set verifyModel = "
+                      "false to bypass):\n",
+                      verify::formatReport(report));
+            }
+        }
         controller =
             std::make_unique<SmoothingController>(cfg_.pds.controller);
+    }
 
     // --- loss models ---
     const VrmModel vrm;
@@ -307,7 +323,7 @@ CoSimulator::runImpl(
                 gpu.sm(sm).setIssueWidthLimit(
                     commands[idx].issueWidth);
                 gpu.sm(sm).setFakeInjectRate(commands[idx].fakeRate);
-                dccAmps[idx] = commands[idx].dccAmps;
+                dccAmps[idx] = commands[idx].dccAmps.raw();
             }
         }
 
@@ -434,9 +450,9 @@ CoSimulator::runImpl(
                 overheads.levelShifterFraction * totalLoadPower;
             if (controller) {
                 overheadWatts += overheads.controllerPower.raw() +
-                                 controller->detectorPower();
+                                 controller->detectorPower().raw();
                 overheadWatts +=
-                    cfg_.pds.controller.dcc.leakageWatts *
+                    cfg_.pds.controller.dcc.leakageWatts.raw() *
                     static_cast<double>(config::numSMs);
             }
             // DCC compensation currents flow through the netlist and

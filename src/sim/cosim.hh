@@ -70,6 +70,16 @@ struct CosimConfig
     double remoteSenseGain = 0.002;
 
     /**
+     * Run the static model verifier (netlist ERC + numeric audit
+     * before the DC solve, control-loop audit before closing the
+     * smoothing loop) and fail fast on any Error-severity finding.
+     * The vsgpu_cli --no-verify flag clears this; fault-injection
+     * studies that build deliberately broken models should too.
+     * Not part of pdsSetupKey(): verification never changes results.
+     */
+    bool verifyModel = true;
+
+    /**
      * Optional shared electrical setup (pre-built PDN + DC operating
      * point, see sim/pds_setup.hh).  When set it must have been
      * built for an electrically identical configuration

@@ -65,8 +65,8 @@ pdsAreaOverhead(const PdsOptions &options)
             const VsOverheads ov;
             return options.ivrArea() + ov.controllerArea +
                    ov.filterArea * static_cast<double>(config::numSMs) +
-                   1.0_mm2 * (options.controller.dcc.areaMm2 *
-                              static_cast<double>(config::numSMs));
+                   options.controller.dcc.area *
+                       static_cast<double>(config::numSMs);
           }
         }
         panic("unknown PDS kind");

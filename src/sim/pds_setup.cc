@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/logging.hh"
+#include "sim/model_verify.hh"
 
 namespace vsgpu
 {
@@ -95,6 +96,20 @@ buildPdsSetup(const CosimConfig &cfg)
         options.supplyVolts =
             options.supplyAtPackage ? 1.03_V : 1.06_V;
         setup->sl = std::make_shared<const SingleLayerPdn>(options);
+    }
+
+    // Static model verification (ERC + numeric audit) before the DC
+    // solve: a malformed netlist would otherwise surface as a panic
+    // deep inside the LU factorization with no hint of which element
+    // caused it.
+    if (cfg.verifyModel) {
+        const verify::Report report = verifyPdsModel(*setup, cfg);
+        if (report.hasErrors()) {
+            fatal("PDS model verification failed for ",
+                  pdsName(cfg.pds.kind), " (run tools/vsgpu_verify, "
+                  "or set verifyModel = false to bypass):\n",
+                  verify::formatReport(report));
+        }
     }
 
     // DC operating point at the netlist's default source setpoints

@@ -1,0 +1,354 @@
+/**
+ * @file
+ * Discrete-time audit of the voltage-smoothing loop.
+ *
+ * The boundary-rail dynamics decouple along the eigenvectors of the
+ * 1-D Dirichlet Laplacian (three boundary rails for a four-layer
+ * stack), so the delayed sampled PI loop reduces per mode to the
+ * scalar recurrence
+ *
+ *   v[n+1] = v[n] - g v[n-d] - h a[n-d],   a[n+1] = a[n] + v[n],
+ *
+ * with loop gain g = T k mu / (C Vnom) (and h the integral analog),
+ * sample period T, per-layer aggregate gain k, boundary capacitance C,
+ * and d whole periods of actuation delay.  Its characteristic
+ * polynomial
+ *
+ *   z^d (z - 1)^2 + g (z - 1) + h = 0
+ *
+ * is checked per mode with the Jury (Schur-Cohn) test; when every
+ * mode is stable the loop transfer L(z) = z^-d (g (z-1) + h)/(z-1)^2
+ * is swept below Nyquist for gain/phase margins.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+#include <limits>
+#include <sstream>
+#include <vector>
+
+#include "verify/verify.hh"
+
+namespace vsgpu::verify
+{
+namespace
+{
+
+/** Evaluate the polynomial at a real point (coeffs highest first). */
+double
+polyAt(const std::vector<double> &a, double x)
+{
+    double acc = 0.0;
+    for (const double c : a)
+        acc = acc * x + c;
+    return acc;
+}
+
+/**
+ * Characteristic polynomial of one delayed PI mode, coefficients
+ * highest-degree first.  h == 0 drops the integrator state.
+ */
+std::vector<double>
+modePolynomial(double g, double h, int delayPeriods)
+{
+    const std::size_t d = static_cast<std::size_t>(delayPeriods);
+    if (h == 0.0)
+    {
+        // z^(d+1) - z^d + g
+        std::vector<double> a(d + 2, 0.0);
+        a[0] = 1.0;
+        a[1] = -1.0;
+        a[d + 1] = g;
+        return a;
+    }
+    // z^(d+2) - 2 z^(d+1) + z^d + g z + (h - g)
+    std::vector<double> a(d + 3, 0.0);
+    a[0] = 1.0;
+    a[1] = -2.0;
+    a[2] = 1.0;
+    a[d + 1] += g;
+    a[d + 2] += h - g;
+    return a;
+}
+
+/** Gain/phase margins of one mode's loop transfer below Nyquist. */
+struct Margins
+{
+    double gain = std::numeric_limits<double>::infinity();
+    double phaseDeg = std::numeric_limits<double>::infinity();
+};
+
+Margins
+loopMargins(double g, double h, int delayPeriods)
+{
+    Margins m;
+    const int points = 720;
+    double prevMag = 0.0;
+    double prevPhase = 0.0;
+    bool first = true;
+    for (int i = 1; i < points; ++i)
+    {
+        const double theta =
+            M_PI * static_cast<double>(i) / static_cast<double>(points);
+        const std::complex<double> z = std::polar(1.0, theta);
+        const std::complex<double> zm1 = z - 1.0;
+        const std::complex<double> loop =
+            std::polar(1.0, -theta * static_cast<double>(delayPeriods)) *
+            (g * zm1 + h) / (zm1 * zm1);
+        const double mag = std::abs(loop);
+        double phase = std::arg(loop);
+        if (!first)
+        {
+            // Unwrap: keep the phase continuous with the previous
+            // grid point so crossing detection sees no fake jumps.
+            while (phase - prevPhase > M_PI)
+                phase -= 2.0 * M_PI;
+            while (phase - prevPhase < -M_PI)
+                phase += 2.0 * M_PI;
+            // Phase crossover (-180 deg): gain margin 1/|L|.
+            const double prevRel = prevPhase + M_PI;
+            const double rel = phase + M_PI;
+            if ((prevRel > 0.0) != (rel > 0.0) && prevRel != rel)
+            {
+                const double t = prevRel / (prevRel - rel);
+                const double magAt = prevMag + t * (mag - prevMag);
+                if (magAt > 0.0)
+                    m.gain = std::min(m.gain, 1.0 / magAt);
+            }
+            // Gain crossover (|L| = 1): phase margin 180 + arg.
+            if ((prevMag > 1.0) != (mag > 1.0) && prevMag != mag)
+            {
+                const double t = (prevMag - 1.0) / (prevMag - mag);
+                const double phaseAt =
+                    prevPhase + t * (phase - prevPhase);
+                m.phaseDeg = std::min(
+                    m.phaseDeg, 180.0 + phaseAt * 180.0 / M_PI);
+            }
+        }
+        prevMag = mag;
+        prevPhase = phase;
+        first = false;
+    }
+    return m;
+}
+
+} // namespace
+
+bool
+juryStable(const std::vector<double> &coeffs)
+{
+    std::vector<double> a = coeffs;
+    while (!a.empty() && a.front() == 0.0)
+        a.erase(a.begin());
+    if (a.size() <= 1)
+        return true; // constant: no roots at all
+    for (const double c : a)
+        if (!std::isfinite(c))
+            return false;
+    if (a.front() < 0.0)
+        for (double &c : a)
+            c = -c;
+
+    // Quick necessary conditions: a(1) > 0 and (-1)^n a(-1) > 0.
+    const std::size_t n = a.size() - 1;
+    if (polyAt(a, 1.0) <= 0.0)
+        return false;
+    const double atMinus = polyAt(a, -1.0);
+    if (((n % 2 == 0) ? atMinus : -atMinus) <= 0.0)
+        return false;
+
+    // Schur-Cohn reduction: a(z) is stable iff |a_n| < a_0 and the
+    // reduced polynomial b_k = a_0 a_k - a_n a_{n-k} (degree n-1) is
+    // stable.  Marginal roots (equality) count as unstable.
+    while (a.size() > 1)
+    {
+        const std::size_t deg = a.size() - 1;
+        const double lead = a.front();
+        const double tail = a.back();
+        if (std::fabs(tail) >= std::fabs(lead))
+            return false;
+        std::vector<double> b(deg);
+        for (std::size_t k = 0; k < deg; ++k)
+            b[k] = lead * a[k] - tail * a[deg - k];
+        a = std::move(b);
+    }
+    return true;
+}
+
+Report
+controlAudit(const ControlAuditInputs &in)
+{
+    Report report;
+    const ControllerConfig &c = in.controller;
+
+    if (c.period == 0)
+    {
+        report.add("ctl.nonpositive-period", Severity::Error,
+                   "controller.period",
+                   "control decision period must be at least one cycle");
+        return report;
+    }
+
+    // Dead band: the detector must be able to resolve the distance
+    // from nominal to the trigger threshold, else the loop either
+    // never triggers or chatters on quantization noise.
+    const Volts band = c.vNominal - c.vThreshold;
+    if (c.detector.resolutionVolts > band)
+    {
+        std::ostringstream os;
+        os << "detector resolution " << c.detector.resolutionVolts.raw()
+           << " V is coarser than the nominal-to-threshold band "
+           << band.raw() << " V; the trigger condition is inside one "
+           << "quantization step";
+        report.add("ctl.deadband", Severity::Error, "controller.detector",
+                   os.str());
+    }
+
+    if (c.detector.latency > c.loopLatency)
+    {
+        std::ostringstream os;
+        os << "detector latency " << c.detector.latency
+           << " cycles exceeds the configured total loop latency "
+           << c.loopLatency << " cycles";
+        report.add("ctl.latency-order", Severity::Warning,
+                   "controller.detector", os.str());
+    }
+
+    const double kP = c.gainWattsPerVolt.raw();
+    const double kI = c.integralGainWattsPerVolt.raw();
+    if (kP <= 0.0 && kI <= 0.0)
+        return report; // open loop: nothing to destabilize
+
+    // Per-mode scalar loop gains.  Gain and capacitance aggregate per
+    // layer (the column SMs act on the same boundary rail in the
+    // Laplacian model).
+    const Seconds period =
+        static_cast<double>(c.period) * config::clockPeriod;
+    const double sms = static_cast<double>(in.smsPerLayer);
+    // Dimensions cancel fully: s * (W/V) / (F * V) = 1.
+    const double gUnit = period * (c.gainWattsPerVolt * sms) /
+                         (in.boundaryCap * c.vNominal);
+    const double hUnit = period * (c.integralGainWattsPerVolt * sms) /
+                         (in.boundaryCap * c.vNominal);
+    const Cycle truePeriods =
+        std::max<Cycle>(1, (c.loopLatency + c.period - 1) / c.period);
+
+    // The Jury reduction below is O(d^2) in the actuation delay and
+    // the mode polynomial holds d+3 coefficients, so a pathological
+    // latency (fault-injection configs use 2^30 cycles) must not
+    // reach it.  Beyond the cap the answer is known analytically: the
+    // largest stable proportional gain of z^(d+1) - z^d + g decays as
+    // 2 sin(pi / (2 (2d+1))) ~ pi / (2d), so any practical gain is
+    // unstable and the loop survives only on its nonlinearities.
+    constexpr Cycle kMaxJuryDelayPeriods = 4096;
+    if (truePeriods > kMaxJuryDelayPeriods)
+    {
+        const double bound =
+            2.0 * std::sin(M_PI /
+                           (2.0 * (2.0 * static_cast<double>(
+                                             truePeriods) +
+                                   1.0)));
+        const double stiffest =
+            2.0 - 2.0 * std::cos(M_PI *
+                                 static_cast<double>(in.numLayers - 1) /
+                                 static_cast<double>(in.numLayers));
+        std::ostringstream os;
+        os << "actuation delay of " << truePeriods
+           << " control periods caps the Jury-stable proportional "
+              "loop gain at g = "
+           << bound << ", below any practical setting (g = "
+           << gUnit * stiffest
+           << " at the stiffest mode); the loop relies on threshold "
+              "gating, slew smoothing, and actuator saturation to "
+              "stay bounded";
+        report.add("ctl.jury-unstable", Severity::Warning,
+                   "controller.gain", os.str());
+        return report;
+    }
+    const int delayPeriods = static_cast<int>(truePeriods);
+
+    bool allStable = true;
+    double worstMode = 0.0;
+    double worstG = 0.0;
+    double worstH = 0.0;
+    const int rails = in.numLayers - 1;
+    for (int k = 1; k <= rails; ++k)
+    {
+        const double mode =
+            2.0 - 2.0 * std::cos(M_PI * static_cast<double>(k) /
+                                 static_cast<double>(in.numLayers));
+        const double g = gUnit * mode;
+        const double h = hUnit * mode;
+        if (!juryStable(modePolynomial(g, h, delayPeriods)))
+        {
+            allStable = false;
+            if (mode > worstMode)
+            {
+                worstMode = mode;
+                worstG = g;
+                worstH = h;
+            }
+        }
+    }
+
+    if (!allStable)
+    {
+        // Bisect the largest Jury-stable proportional loop gain of the
+        // worst mode so the message states how far outside the linear
+        // region the configuration sits.
+        double lo = 0.0;
+        double hi = worstG;
+        for (int i = 0; i < 60; ++i)
+        {
+            const double mid = 0.5 * (lo + hi);
+            if (juryStable(modePolynomial(mid, 0.0, delayPeriods)))
+                lo = mid;
+            else
+                hi = mid;
+        }
+        std::ostringstream os;
+        os << "stiffest Laplacian mode mu = " << worstMode
+           << ": loop gain g = " << worstG;
+        if (worstH != 0.0)
+            os << " (integral h = " << worstH << ")";
+        os << " with " << delayPeriods
+           << "-period actuation delay fails the Jury test; the "
+              "largest Jury-stable proportional gain is g = "
+           << lo
+           << ".  The loop relies on threshold gating, slew "
+              "smoothing, and actuator saturation to stay bounded";
+        report.add("ctl.jury-unstable", Severity::Warning,
+                   "controller.gain", os.str());
+        return report;
+    }
+
+    // Margins, only meaningful once linearly stable.
+    Margins worst;
+    for (int k = 1; k <= rails; ++k)
+    {
+        const double mode =
+            2.0 - 2.0 * std::cos(M_PI * static_cast<double>(k) /
+                                 static_cast<double>(in.numLayers));
+        const Margins m =
+            loopMargins(gUnit * mode, hUnit * mode, delayPeriods);
+        worst.gain = std::min(worst.gain, m.gain);
+        worst.phaseDeg = std::min(worst.phaseDeg, m.phaseDeg);
+    }
+    if (worst.gain < in.gainMarginFloor ||
+        worst.phaseDeg < in.phaseMarginFloorDeg)
+    {
+        std::ostringstream os;
+        os << "gain margin " << worst.gain << "x (floor "
+           << in.gainMarginFloor << "x), phase margin "
+           << worst.phaseDeg << " deg (floor "
+           << in.phaseMarginFloorDeg
+           << " deg): small parameter drift can destabilize the loop";
+        report.add("ctl.margin-low", Severity::Warning,
+                   "controller.gain", os.str());
+    }
+
+    return report;
+}
+
+} // namespace vsgpu::verify

@@ -1,0 +1,73 @@
+#include "verify/verify.hh"
+
+#include <sstream>
+
+namespace vsgpu::verify
+{
+
+std::string_view
+severityName(Severity severity)
+{
+    switch (severity)
+    {
+    case Severity::Warning:
+        return "warning";
+    case Severity::Error:
+        return "error";
+    }
+    return "unknown";
+}
+
+void
+Report::add(std::string id, Severity severity, std::string subject,
+            std::string message)
+{
+    diags.push_back(Diagnostic{std::move(id), severity, std::move(subject),
+                               std::move(message)});
+}
+
+void
+Report::merge(const Report &other)
+{
+    diags.insert(diags.end(), other.diags.begin(), other.diags.end());
+}
+
+std::size_t
+Report::errorCount() const
+{
+    std::size_t n = 0;
+    for (const Diagnostic &d : diags)
+        if (d.severity == Severity::Error)
+            ++n;
+    return n;
+}
+
+bool
+Report::has(std::string_view id) const
+{
+    return count(id) > 0;
+}
+
+std::size_t
+Report::count(std::string_view id) const
+{
+    std::size_t n = 0;
+    for (const Diagnostic &d : diags)
+        if (d.id == id)
+            ++n;
+    return n;
+}
+
+std::string
+formatReport(const Report &report)
+{
+    std::ostringstream os;
+    for (const Diagnostic &d : report.diags)
+    {
+        os << d.id << " [" << severityName(d.severity) << "] " << d.subject
+           << ": " << d.message << '\n';
+    }
+    return os.str();
+}
+
+} // namespace vsgpu::verify

@@ -41,7 +41,7 @@ TEST(Controller, NoActionAboveThreshold)
     for (const auto &c : cmd) {
         EXPECT_NEAR(c.issueWidth, 2.0, 1e-9);
         EXPECT_NEAR(c.fakeRate, 0.0, 1e-9);
-        EXPECT_NEAR(c.dccAmps, 0.0, 1e-9);
+        EXPECT_NEAR(c.dccAmps.raw(), 0.0, 1e-9);
     }
     EXPECT_EQ(ctl.triggeredDecisions(), 0u);
     EXPECT_GT(ctl.totalDecisions(), 0u);
@@ -114,10 +114,11 @@ TEST(Controller, DccQuantizedAndBounded)
     volts[VsPdn::smAt(0, 1)] = 0.75;
     const CommandSet cmd = settle(ctl, volts, 3000);
     const double amps =
-        cmd[static_cast<std::size_t>(VsPdn::smAt(1, 1))].dccAmps;
+        cmd[static_cast<std::size_t>(VsPdn::smAt(1, 1))]
+            .dccAmps.raw();
     EXPECT_GT(amps, 0.0);
-    EXPECT_LE(amps, cfg.dcc.fullScaleAmps);
-    const double lsb = cfg.dcc.lsbAmps();
+    EXPECT_LE(amps, cfg.dcc.fullScaleAmps.raw());
+    const double lsb = cfg.dcc.lsbAmps().raw();
     EXPECT_NEAR(amps / lsb, std::round(amps / lsb), 1e-6);
 }
 
@@ -170,19 +171,21 @@ TEST(Controller, ResetRestoresNominal)
 TEST(Controller, DetectorPowerScalesWithArray)
 {
     SmoothingController ctl;
-    EXPECT_NEAR(ctl.detectorPower(),
-                ctl.config().detector.powerWatts * 16.0, 1e-12);
+    EXPECT_NEAR(ctl.detectorPower().raw(),
+                ctl.config().detector.powerWatts.raw() * 16.0,
+                1e-12);
 }
 
 TEST(Controller, DccPowerIncludesLeakage)
 {
     SmoothingController ctl;
     CommandSet none{};
-    EXPECT_NEAR(ctl.dccPower(none),
-                ctl.config().dcc.leakageWatts * 16.0, 1e-12);
+    EXPECT_NEAR(ctl.dccPower(none).raw(),
+                ctl.config().dcc.leakageWatts.raw() * 16.0, 1e-12);
     CommandSet some{};
-    some[0].dccAmps = 1.0;
-    EXPECT_NEAR(ctl.dccPower(some) - ctl.dccPower(none), 1.0, 1e-9);
+    some[0].dccAmps = 1.0_A;
+    EXPECT_NEAR((ctl.dccPower(some) - ctl.dccPower(none)).raw(), 1.0,
+                1e-9);
 }
 
 TEST(Controller, WeightedSplitMatchesEquationNine)
@@ -193,7 +196,7 @@ TEST(Controller, WeightedSplitMatchesEquationNine)
     cfg.w1 = 0.6;
     cfg.w2 = 0.3;
     cfg.w3 = 0.1;
-    cfg.gainWattsPerVolt = 30.0;
+    cfg.gainWattsPerVolt = WattsPerVolt{30.0};
     SmoothingController ctl(cfg);
     auto volts = allAt(1.0);
     const int droopy = VsPdn::smAt(2, 3);
@@ -202,7 +205,8 @@ TEST(Controller, WeightedSplitMatchesEquationNine)
     const CommandSet cmd = settle(ctl, volts, 3000);
     EXPECT_LT(cmd[static_cast<std::size_t>(droopy)].issueWidth, 1.8);
     EXPECT_GT(cmd[static_cast<std::size_t>(neighbour)].fakeRate, 0.0);
-    EXPECT_GT(cmd[static_cast<std::size_t>(neighbour)].dccAmps, 0.0);
+    EXPECT_GT(cmd[static_cast<std::size_t>(neighbour)].dccAmps.raw(),
+              0.0);
 }
 
 TEST(ControllerPi, IntegralRemovesSteadyStateGap)
@@ -210,9 +214,9 @@ TEST(ControllerPi, IntegralRemovesSteadyStateGap)
     // Under a constant mild droop the PI variant eventually applies a
     // deeper correction than P alone (the integrator accumulates).
     ControllerConfig p, pi;
-    p.gainWattsPerVolt = 4.0;
-    pi.gainWattsPerVolt = 4.0;
-    pi.integralGainWattsPerVolt = 1.0;
+    p.gainWattsPerVolt = WattsPerVolt{4.0};
+    pi.gainWattsPerVolt = WattsPerVolt{4.0};
+    pi.integralGainWattsPerVolt = WattsPerVolt{1.0};
     SmoothingController ctlP(p), ctlPi(pi);
     auto volts = allAt(1.0);
     volts[0] = 0.86;
@@ -224,9 +228,9 @@ TEST(ControllerPi, IntegralRemovesSteadyStateGap)
 TEST(ControllerPi, AntiWindupBoundsCorrection)
 {
     ControllerConfig cfg;
-    cfg.gainWattsPerVolt = 4.0;
-    cfg.integralGainWattsPerVolt = 5.0;
-    cfg.integralClampWatts = 1.0;
+    cfg.gainWattsPerVolt = WattsPerVolt{4.0};
+    cfg.integralGainWattsPerVolt = WattsPerVolt{5.0};
+    cfg.integralClampWatts = 1.0_W;
     SmoothingController ctl(cfg);
     auto volts = allAt(1.0);
     volts[0] = 0.80;
@@ -234,15 +238,15 @@ TEST(ControllerPi, AntiWindupBoundsCorrection)
     // Correction bounded by kP*dev + clamp: width cut <=
     // (4*0.2 + 1.0) / powerPerIssueWidth.
     const double maxCut =
-        (4.0 * 0.2 + 1.0) / cfg.powerPerIssueWidth + 0.05;
+        (4.0 * 0.2 + 1.0) / cfg.powerPerIssueWidth.raw() + 0.05;
     EXPECT_GE(cmd[0].issueWidth, 2.0 - maxCut);
 }
 
 TEST(ControllerPi, IntegratorBleedsWhenHealthy)
 {
     ControllerConfig cfg;
-    cfg.gainWattsPerVolt = 4.0;
-    cfg.integralGainWattsPerVolt = 2.0;
+    cfg.gainWattsPerVolt = WattsPerVolt{4.0};
+    cfg.integralGainWattsPerVolt = WattsPerVolt{2.0};
     SmoothingController ctl(cfg);
     auto droop = allAt(1.0);
     droop[0] = 0.82;
@@ -256,7 +260,7 @@ TEST(ControllerPi, IntegratorBleedsWhenHealthy)
 TEST(ControllerPi, ZeroIntegralGainMatchesPaperBehaviour)
 {
     ControllerConfig cfg;
-    EXPECT_EQ(cfg.integralGainWattsPerVolt, 0.0);
+    EXPECT_EQ(cfg.integralGainWattsPerVolt.raw(), 0.0);
     SmoothingController ctl(cfg);
     auto volts = allAt(1.0);
     volts[0] = 0.85;

@@ -52,7 +52,7 @@ TEST(ControllerProperties, CommandsStayInActuatorRangesOverRandomTraces)
         cfg.w2 = 0.4;
         cfg.w3 = 0.2;
         SmoothingController ctl(cfg);
-        const double fullScale = cfg.dcc.fullScaleAmps;
+        const double fullScale = cfg.dcc.fullScaleAmps.raw();
         const double maxWidth =
             static_cast<double>(config::maxIssueWidth);
 
@@ -61,13 +61,13 @@ TEST(ControllerProperties, CommandsStayInActuatorRangesOverRandomTraces)
             for (const SmCommand &c : commands) {
                 ASSERT_TRUE(std::isfinite(c.issueWidth));
                 ASSERT_TRUE(std::isfinite(c.fakeRate));
-                ASSERT_TRUE(std::isfinite(c.dccAmps));
+                ASSERT_TRUE(std::isfinite(c.dccAmps.raw()));
                 ASSERT_GE(c.issueWidth, 0.0);
                 ASSERT_LE(c.issueWidth, maxWidth);
                 ASSERT_GE(c.fakeRate, 0.0);
                 ASSERT_LE(c.fakeRate, maxWidth);
-                ASSERT_GE(c.dccAmps, 0.0);
-                ASSERT_LE(c.dccAmps, fullScale);
+                ASSERT_GE(c.dccAmps.raw(), 0.0);
+                ASSERT_LE(c.dccAmps.raw(), fullScale);
             }
         }
         EXPECT_GT(ctl.triggeredDecisions(), 0u)
@@ -79,14 +79,14 @@ TEST(ControllerProperties, NeverTriggersAtNominalRail)
 {
     SmoothingController ctl;
     Rails nominal{};
-    nominal.fill(ctl.config().vNominal);
+    nominal.fill(ctl.config().vNominal.raw());
     for (int t = 0; t < 5000; ++t) {
         const CommandSet &commands = ctl.step(nominal);
         for (const SmCommand &c : commands) {
             EXPECT_EQ(c.issueWidth,
                       static_cast<double>(config::maxIssueWidth));
             EXPECT_EQ(c.fakeRate, 0.0);
-            EXPECT_EQ(c.dccAmps, 0.0);
+            EXPECT_EQ(c.dccAmps.raw(), 0.0);
         }
     }
     EXPECT_EQ(ctl.triggeredDecisions(), 0u);
@@ -106,7 +106,7 @@ TEST(ControllerProperties, TriggerCountMonotonicInThreshold)
         for (double threshold :
              {0.70, 0.80, 0.85, 0.90, 0.95, 1.00}) {
             ControllerConfig cfg;
-            cfg.vThreshold = threshold;
+            cfg.vThreshold = Volts{threshold};
             SmoothingController ctl(cfg);
             for (const Rails &rails : trace)
                 ctl.step(rails);
@@ -126,15 +126,15 @@ TEST(ControllerProperties, DccCommandsLandOnDacGrid)
     cfg.w2 = 0.0;
     cfg.w3 = 1.0; // all correction through the DCC
     SmoothingController ctl(cfg);
-    const double lsb = cfg.dcc.lsbAmps();
+    const double lsb = cfg.dcc.lsbAmps().raw();
 
     Rng rng(5);
     for (const Rails &rails : randomRailTraces(rng, 3000)) {
         const CommandSet &commands = ctl.step(rails);
         for (const SmCommand &c : commands) {
-            const double steps = c.dccAmps / lsb;
+            const double steps = c.dccAmps.raw() / lsb;
             ASSERT_NEAR(steps, std::round(steps), 1e-6)
-                << "dcc command " << c.dccAmps
+                << "dcc command " << c.dccAmps.raw()
                 << " A is off the DAC grid";
         }
     }

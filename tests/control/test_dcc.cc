@@ -16,39 +16,42 @@ TEST(DccDacTest, LsbFromBitsAndFullScale)
 {
     DccDac dac;
     dac.bits = 6;
-    dac.fullScaleAmps = 3.0;
-    EXPECT_NEAR(dac.lsbAmps(), 3.0 / 63.0, 1e-12);
+    dac.fullScaleAmps = 3.0_A;
+    EXPECT_NEAR(dac.lsbAmps().raw(), 3.0 / 63.0, 1e-12);
 }
 
 TEST(DccDacTest, LsbPowerAtLayerVoltage)
 {
     DccDac dac;
-    EXPECT_NEAR(dac.lsbPowerWatts(1.0), dac.lsbAmps(), 1e-12);
-    EXPECT_NEAR(dac.lsbPowerWatts(0.5), 0.5 * dac.lsbAmps(), 1e-12);
+    EXPECT_NEAR(dac.lsbPowerWatts(1.0_V).raw(), dac.lsbAmps().raw(),
+                1e-12);
+    EXPECT_NEAR(dac.lsbPowerWatts(Volts{0.5}).raw(),
+                0.5 * dac.lsbAmps().raw(), 1e-12);
 }
 
 TEST(DccDacTest, QuantizeSnapsToGrid)
 {
     DccDac dac;
     dac.bits = 2; // LSB = fullScale / 3
-    dac.fullScaleAmps = 3.0;
-    EXPECT_NEAR(dac.quantize(1.4), 1.0, 1e-12);
-    EXPECT_NEAR(dac.quantize(1.6), 2.0, 1e-12);
+    dac.fullScaleAmps = 3.0_A;
+    EXPECT_NEAR(dac.quantize(Amps{1.4}).raw(), 1.0, 1e-12);
+    EXPECT_NEAR(dac.quantize(Amps{1.6}).raw(), 2.0, 1e-12);
 }
 
 TEST(DccDacTest, QuantizeClampsRange)
 {
     DccDac dac;
-    EXPECT_DOUBLE_EQ(dac.quantize(-1.0), 0.0);
-    EXPECT_DOUBLE_EQ(dac.quantize(99.0), dac.fullScaleAmps);
+    EXPECT_DOUBLE_EQ(dac.quantize(Amps{-1.0}).raw(), 0.0);
+    EXPECT_DOUBLE_EQ(dac.quantize(Amps{99.0}).raw(),
+                     dac.fullScaleAmps.raw());
 }
 
 TEST(DccDacTest, QuantizeIsIdempotent)
 {
     DccDac dac;
     for (double amps : {0.0, 0.7, 1.3, 2.9}) {
-        const double q = dac.quantize(amps);
-        EXPECT_DOUBLE_EQ(dac.quantize(q), q);
+        const Amps q = dac.quantize(Amps{amps});
+        EXPECT_DOUBLE_EQ(dac.quantize(q).raw(), q.raw());
     }
 }
 
@@ -59,10 +62,12 @@ TEST(DccDacTest, FinerDacHasSmallerError)
     fine.bits = 8;
     double coarseErr = 0.0, fineErr = 0.0;
     for (double amps = 0.0; amps < 3.0; amps += 0.01) {
-        coarseErr = std::max(coarseErr,
-                             std::abs(coarse.quantize(amps) - amps));
-        fineErr =
-            std::max(fineErr, std::abs(fine.quantize(amps) - amps));
+        coarseErr = std::max(
+            coarseErr,
+            std::abs(coarse.quantize(Amps{amps}).raw() - amps));
+        fineErr = std::max(
+            fineErr,
+            std::abs(fine.quantize(Amps{amps}).raw() - amps));
     }
     EXPECT_LT(fineErr, coarseErr / 8.0);
 }

@@ -30,11 +30,12 @@ TEST(Designer, ClosedLoopIsLaplacianShaped)
 {
     // A + B K = (k/C) tridiag(1, -2, 1) over the boundary voltages.
     ControlDesignSpec spec;
-    spec.gainWattsPerVolt = 100.0;
-    spec.boundaryCapF = 1e-6;
+    spec.gainWattsPerVolt = WattsPerVolt{100.0};
+    spec.boundaryCapF = Farads{1e-6};
     const ControlDesign d = designController(spec);
     const Matrix acl = d.plant.a + d.plant.b * d.feedback;
-    const double scale = spec.gainWattsPerVolt / spec.boundaryCapF;
+    const double scale =
+        spec.gainWattsPerVolt.raw() / spec.boundaryCapF.raw();
     EXPECT_NEAR(acl(0, 0), -2.0 * scale, 1e-3);
     EXPECT_NEAR(acl(0, 1), 1.0 * scale, 1e-3);
     EXPECT_NEAR(acl(1, 0), 1.0 * scale, 1e-3);
@@ -47,7 +48,7 @@ TEST(Designer, ModerateGainIsStable)
     // The pure-integrator plant with a 60-cycle delayed loop is
     // stable only below ~C/(3.41 T) = 1.37 W/V per layer.
     ControlDesignSpec spec;
-    spec.gainWattsPerVolt = 0.5;
+    spec.gainWattsPerVolt = WattsPerVolt{0.5};
     const ControlDesign d = designController(spec);
     EXPECT_TRUE(d.stable);
     EXPECT_LT(d.spectralRadius, 1.0);
@@ -67,27 +68,27 @@ TEST(Designer, ExcessiveGainIsUnstable)
 
 TEST(Designer, MaxStableGainShrinksWithLatency)
 {
-    const double cap = 4.0 * 100e-9;
-    const double fast = maxStableGain(cap, 30);
-    const double slow = maxStableGain(cap, 120);
-    EXPECT_GT(fast, slow);
-    EXPECT_GT(slow, 0.0);
+    const Farads cap{4.0 * 100e-9};
+    const WattsPerVolt fast = maxStableGain(cap, 30);
+    const WattsPerVolt slow = maxStableGain(cap, 120);
+    EXPECT_GT(fast.raw(), slow.raw());
+    EXPECT_GT(slow.raw(), 0.0);
 }
 
 TEST(Designer, MaxStableGainGrowsWithCapacitance)
 {
-    const double small = maxStableGain(1e-7, 60);
-    const double large = maxStableGain(1e-6, 60);
-    EXPECT_GT(large, small);
+    const WattsPerVolt small = maxStableGain(Farads{1e-7}, 60);
+    const WattsPerVolt large = maxStableGain(Farads{1e-6}, 60);
+    EXPECT_GT(large.raw(), small.raw());
     // Linear relationship: the stability bound scales with C / T.
     EXPECT_NEAR(large / small, 10.0, 1.0);
 }
 
 TEST(Designer, BisectionBracketsTheBoundary)
 {
-    const double cap = 4.0 * 100e-9;
+    const Farads cap{4.0 * 100e-9};
     const Cycle latency = 60;
-    const double kMax = maxStableGain(cap, latency);
+    const WattsPerVolt kMax = maxStableGain(cap, latency);
     ControlDesignSpec spec;
     spec.boundaryCapF = cap;
     spec.loopLatencyCycles = latency;
@@ -100,7 +101,7 @@ TEST(Designer, BisectionBracketsTheBoundary)
 TEST(Designer, DisturbanceGainFiniteWhenStable)
 {
     ControlDesignSpec spec;
-    spec.gainWattsPerVolt = 50.0;
+    spec.gainWattsPerVolt = WattsPerVolt{50.0};
     const ControlDesign d = designController(spec);
     EXPECT_GT(d.peakDisturbanceGain, 0.0);
     EXPECT_LT(d.peakDisturbanceGain, 1e4);
@@ -109,20 +110,21 @@ TEST(Designer, DisturbanceGainFiniteWhenStable)
 TEST(Designer, StrongerGainTightensWorstDroop)
 {
     ControlDesignSpec weak, strong;
-    weak.gainWattsPerVolt = 0.27;  // ~0.2 x stability bound
-    strong.gainWattsPerVolt = 0.68; // ~0.5 x stability bound
+    weak.gainWattsPerVolt = WattsPerVolt{0.27};  // ~0.2 x bound
+    strong.gainWattsPerVolt = WattsPerVolt{0.68}; // ~0.5 x bound
     const ControlDesign dw = designController(weak);
     const ControlDesign ds = designController(strong);
     ASSERT_TRUE(dw.stable);
     ASSERT_TRUE(ds.stable);
-    EXPECT_LT(ds.worstDroopVolts(1.0), dw.worstDroopVolts(1.0));
+    EXPECT_LT(ds.worstDroopVolts(1.0_A).raw(),
+              dw.worstDroopVolts(1.0_A).raw());
 }
 
 TEST(Designer, WorstDroopScalesLinearlyWithDisturbance)
 {
     const ControlDesign d = designController(ControlDesignSpec{});
-    EXPECT_NEAR(d.worstDroopVolts(2.0), 2.0 * d.worstDroopVolts(1.0),
-                1e-9);
+    EXPECT_NEAR(d.worstDroopVolts(Amps{2.0}).raw(),
+                2.0 * d.worstDroopVolts(1.0_A).raw(), 1e-9);
 }
 
 TEST(Designer, PaperDefaultMeetsTheMarginBound)
@@ -134,22 +136,22 @@ TEST(Designer, PaperDefaultMeetsTheMarginBound)
     // the 0.2 V margin.
     ControlDesignSpec spec;
     spec.loopLatencyCycles = config::defaultControlLatency;
-    spec.boundaryCapF = 4.0 * 100e-9;
+    spec.boundaryCapF = Farads{4.0 * 100e-9};
     spec.gainWattsPerVolt =
         0.5 * maxStableGain(spec.boundaryCapF,
                             spec.loopLatencyCycles);
     const ControlDesign d = designController(spec);
     ASSERT_TRUE(d.stable);
-    EXPECT_LT(d.worstDroopVolts(0.05), config::voltageMargin.raw());
+    EXPECT_LT(d.worstDroopVolts(Amps{0.05}), config::voltageMargin);
 }
 
 TEST(DesignerDeath, RejectsBadSpecs)
 {
     setLogQuiet(true);
     ControlDesignSpec spec;
-    spec.boundaryCapF = 0.0;
+    spec.boundaryCapF = Farads{};
     EXPECT_DEATH(designController(spec), "");
-    spec.boundaryCapF = 1e-7;
+    spec.boundaryCapF = Farads{1e-7};
     spec.loopLatencyCycles = 0;
     EXPECT_DEATH(designController(spec), "");
 }

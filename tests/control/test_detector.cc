@@ -18,7 +18,7 @@ TEST(DetectorSpecs, TableIIValues)
 {
     const DetectorSpec oddd = detectorSpec(DetectorKind::Oddd);
     EXPECT_LE(oddd.latency, 2u);
-    EXPECT_LE(oddd.powerWatts, 0.010);
+    EXPECT_LE(oddd.powerWatts.raw(), 0.010);
 
     const DetectorSpec cpm = detectorSpec(DetectorKind::Cpm);
     EXPECT_GE(cpm.latency, 10u);
@@ -27,31 +27,31 @@ TEST(DetectorSpecs, TableIIValues)
     const DetectorSpec adc = detectorSpec(DetectorKind::Adc);
     EXPECT_GE(adc.latency, 1u);
     EXPECT_LE(adc.latency, 10u);
-    EXPECT_NEAR(adc.resolutionVolts, 1.0 / 128.0, 1e-12);
+    EXPECT_NEAR(adc.resolutionVolts.raw(), 1.0 / 128.0, 1e-12);
 }
 
 TEST(VoltageDetectorTest, SettlesToConstantInput)
 {
     VoltageDetector det;
-    double out = 0.0;
+    Volts out{};
     for (int i = 0; i < 200; ++i)
-        out = det.sample(0.85);
-    EXPECT_NEAR(out, 0.85, detectorSpec(DetectorKind::Adc)
-                               .resolutionVolts);
+        out = det.sample(Volts{0.85});
+    EXPECT_NEAR(out.raw(), 0.85,
+                detectorSpec(DetectorKind::Adc).resolutionVolts.raw());
 }
 
 TEST(VoltageDetectorTest, DelayMatchesLatency)
 {
     DetectorSpec spec = detectorSpec(DetectorKind::Adc);
-    spec.resolutionVolts = 0.0; // isolate the delay
+    spec.resolutionVolts = Volts{}; // isolate the delay
     // Very high cutoff so the filter is transparent.
-    VoltageDetector det(spec, 1e12);
+    VoltageDetector det(spec, Hertz{1e12});
     // Step from 1.0 to 0.0: the output must stay ~1.0 for exactly
     // `latency` samples.
     int delay = 0;
     for (int i = 0; i < 50; ++i) {
-        const double out = det.sample(0.0);
-        if (out > 0.5)
+        const Volts out = det.sample(Volts{});
+        if (out > Volts{0.5})
             ++delay;
         else
             break;
@@ -63,27 +63,27 @@ TEST(VoltageDetectorTest, QuantizesToResolution)
 {
     DetectorSpec spec;
     spec.latency = 0;
-    spec.resolutionVolts = 0.1;
-    VoltageDetector det(spec, 1e12);
-    double out = 0.0;
+    spec.resolutionVolts = Volts{0.1};
+    VoltageDetector det(spec, Hertz{1e12});
+    Volts out{};
     for (int i = 0; i < 100; ++i)
-        out = det.sample(0.8749);
-    EXPECT_NEAR(out, 0.9, 1e-12);
+        out = det.sample(Volts{0.8749});
+    EXPECT_NEAR(out.raw(), 0.9, 1e-12);
 }
 
 TEST(VoltageDetectorTest, FiltersFastRipple)
 {
     // 200 MHz square ripple around 1.0 V through the 50 MHz filter:
     // the output swing must be strongly attenuated.
-    VoltageDetector det(detectorSpec(DetectorKind::Oddd), 50e6);
+    VoltageDetector det(detectorSpec(DetectorKind::Oddd), 50.0_MHz);
     double lo = 2.0, hi = 0.0;
     for (int i = 0; i < 4000; ++i) {
         // ~3.5 cycles per half period at 700 MHz core clock.
-        const double v = ((i / 2) % 2) ? 1.1 : 0.9;
-        const double out = det.sample(v);
+        const Volts v = ((i / 2) % 2) ? Volts{1.1} : Volts{0.9};
+        const Volts out = det.sample(v);
         if (i > 500) {
-            lo = std::min(lo, out);
-            hi = std::max(hi, out);
+            lo = std::min(lo, out.raw());
+            hi = std::max(hi, out.raw());
         }
     }
     EXPECT_LT(hi - lo, 0.1); // input swing was 0.2
@@ -93,49 +93,50 @@ TEST(VoltageDetectorTest, FiltersFastRipple)
 TEST(VoltageDetectorTest, TracksSlowDrift)
 {
     VoltageDetector det;
-    double out = 0.0;
+    Volts out{};
     // Slow ramp over thousands of cycles passes through.
     for (int i = 0; i <= 5000; ++i)
-        out = det.sample(1.0 - 0.2 * i / 5000.0);
-    EXPECT_NEAR(out, 0.8, 0.02);
+        out = det.sample(Volts{1.0 - 0.2 * i / 5000.0});
+    EXPECT_NEAR(out.raw(), 0.8, 0.02);
 }
 
 TEST(VoltageDetectorTest, ResetRestoresOperatingPoint)
 {
     VoltageDetector det;
     for (int i = 0; i < 100; ++i)
-        det.sample(0.5);
-    det.reset(1.0);
-    EXPECT_NEAR(det.output(), 1.0, 1e-12);
-    EXPECT_NEAR(det.sample(1.0), 1.0,
-                detectorSpec(DetectorKind::Adc).resolutionVolts);
+        det.sample(Volts{0.5});
+    det.reset(1.0_V);
+    EXPECT_NEAR(det.output().raw(), 1.0, 1e-12);
+    EXPECT_NEAR(det.sample(1.0_V).raw(), 1.0,
+                detectorSpec(DetectorKind::Adc).resolutionVolts.raw());
 }
 
 TEST(VoltageDetectorTest, CpmIsCoarserThanAdc)
 {
-    VoltageDetector cpm(detectorSpec(DetectorKind::Cpm), 1e12);
-    VoltageDetector adc(detectorSpec(DetectorKind::Adc), 1e12);
-    double cpmOut = 0.0, adcOut = 0.0;
+    VoltageDetector cpm(detectorSpec(DetectorKind::Cpm), Hertz{1e12});
+    VoltageDetector adc(detectorSpec(DetectorKind::Adc), Hertz{1e12});
+    Volts cpmOut{}, adcOut{};
     for (int i = 0; i < 200; ++i) {
-        cpmOut = cpm.sample(0.874);
-        adcOut = adc.sample(0.874);
+        cpmOut = cpm.sample(Volts{0.874});
+        adcOut = adc.sample(Volts{0.874});
     }
-    EXPECT_LE(std::abs(adcOut - 0.874), std::abs(cpmOut - 0.874) + 1e-12);
+    EXPECT_LE(std::abs(adcOut.raw() - 0.874),
+              std::abs(cpmOut.raw() - 0.874) + 1e-12);
 }
 
 TEST(VoltageDetectorTest, StuckAtFaultOverridesRail)
 {
     DetectorSpec spec;
-    spec.stuckAtVolts = 1.0;
+    spec.stuckAtVolts = 1.0_V;
     VoltageDetector det(spec);
     for (int i = 0; i < 100; ++i)
-        EXPECT_DOUBLE_EQ(det.sample(0.5), 1.0);
+        EXPECT_DOUBLE_EQ(det.sample(Volts{0.5}).raw(), 1.0);
 }
 
 TEST(VoltageDetectorTest, FaultDisabledByDefault)
 {
     const DetectorSpec spec;
-    EXPECT_LT(spec.stuckAtVolts, 0.0);
+    EXPECT_LT(spec.stuckAtVolts, Volts{});
 }
 
 } // namespace

@@ -50,14 +50,14 @@ TEST(DetectorProperties, OutputStaysInsideInputEnvelope)
             const double hi =
                 *std::max_element(trace.begin(), trace.end());
             for (double v : trace) {
-                const double out = det.sample(v);
+                const double out = det.sample(Volts{v}).raw();
                 EXPECT_TRUE(std::isfinite(out));
                 // The filter is an average of past inputs and the
                 // reset state (1 V); quantization adds one step.
-                EXPECT_GE(out,
-                          std::min(lo, 1.0) - spec.resolutionVolts);
-                EXPECT_LE(out,
-                          std::max(hi, 1.0) + spec.resolutionVolts);
+                EXPECT_GE(out, std::min(lo, 1.0) -
+                                   spec.resolutionVolts.raw());
+                EXPECT_LE(out, std::max(hi, 1.0) +
+                                   spec.resolutionVolts.raw());
             }
         }
     }
@@ -72,8 +72,9 @@ TEST(DetectorProperties, SettlesWithinResolutionOnConstantRail)
             VoltageDetector det(spec);
             double out = 0.0;
             for (int i = 0; i < 2000; ++i)
-                out = det.sample(level);
-            EXPECT_NEAR(out, level, spec.resolutionVolts + 1e-12)
+                out = det.sample(Volts{level}).raw();
+            EXPECT_NEAR(out, level,
+                        spec.resolutionVolts.raw() + 1e-12)
                 << "kind " << static_cast<int>(kind) << " level "
                 << level;
         }
@@ -86,8 +87,9 @@ TEST(DetectorProperties, OutputLandsOnResolutionGrid)
     Rng rng(99);
     VoltageDetector det(spec);
     for (int i = 0; i < 1000; ++i) {
-        const double out = det.sample(rng.uniform(0.8, 1.1));
-        const double steps = out / spec.resolutionVolts;
+        const double out =
+            det.sample(Volts{rng.uniform(0.8, 1.1)}).raw();
+        const double steps = out / spec.resolutionVolts.raw();
         EXPECT_NEAR(steps, std::round(steps), 1e-9)
             << "output " << out << " is off the quantization grid";
     }
@@ -96,11 +98,12 @@ TEST(DetectorProperties, OutputLandsOnResolutionGrid)
 TEST(DetectorProperties, StuckAtFaultDominatesAnyInput)
 {
     DetectorSpec spec = detectorSpec(DetectorKind::Adc);
-    spec.stuckAtVolts = 0.93;
+    spec.stuckAtVolts = Volts{0.93};
     Rng rng(7);
     VoltageDetector det(spec);
     for (int i = 0; i < 500; ++i)
-        EXPECT_EQ(det.sample(rng.uniform(0.5, 1.5)), 0.93);
+        EXPECT_EQ(det.sample(Volts{rng.uniform(0.5, 1.5)}).raw(),
+                  0.93);
 }
 
 } // namespace

@@ -54,7 +54,7 @@ runSweepWithJobs(int jobs)
                     [&cache](const SweepPoint &p, TaskContext &) {
                         CosimConfig cfg;
                         cfg.pds = defaultPds(p.kind);
-                        cfg.pds.controller.vThreshold = p.vThreshold;
+                        cfg.pds.controller.vThreshold = Volts{p.vThreshold};
                         cfg.maxCycles = 25000;
                         CoSimulator sim(cache.withSetup(cfg));
                         return sim.run(scaledToInstrs(
@@ -126,7 +126,7 @@ TEST(Determinism, SetupSharingAcrossThreadsIsTransparent)
         [&cache](const SweepPoint &p, TaskContext &) {
             CosimConfig cfg;
             cfg.pds = defaultPds(p.kind);
-            cfg.pds.controller.vThreshold = p.vThreshold;
+            cfg.pds.controller.vThreshold = Volts{p.vThreshold};
             cfg.maxCycles = 25000;
             CoSimulator sim(cache.withSetup(cfg));
             return sim.run(
@@ -136,7 +136,7 @@ TEST(Determinism, SetupSharingAcrossThreadsIsTransparent)
         pool, points, 7, [](const SweepPoint &p, TaskContext &) {
             CosimConfig cfg;
             cfg.pds = defaultPds(p.kind);
-            cfg.pds.controller.vThreshold = p.vThreshold;
+            cfg.pds.controller.vThreshold = Volts{p.vThreshold};
             cfg.maxCycles = 25000;
             CoSimulator sim(cfg);
             return sim.run(

@@ -54,7 +54,7 @@ TEST(PdsSetupKey, IgnoresControllerAndWorkloadFields)
 {
     const CosimConfig a = smallConfig(PdsKind::VsCrossLayer);
     CosimConfig b = a;
-    b.pds.controller.vThreshold = 0.7;
+    b.pds.controller.vThreshold = Volts{0.7};
     b.maxCycles = 99999;
     b.traceStride = 8;
     EXPECT_EQ(pdsSetupKey(a), pdsSetupKey(b));

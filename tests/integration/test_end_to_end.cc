@@ -150,9 +150,9 @@ TEST_F(EndToEnd, DesignerPredictsCosimStability)
 {
     // A gain far beyond the designer's stability bound must produce
     // visibly worse voltage excursions than a conservative gain.
-    const double cap = 4.0 * 100e-9;
-    const double kMax = maxStableGain(cap, 60);
-    const auto runMin = [](double gain) {
+    const Farads cap{4.0 * 100e-9};
+    const WattsPerVolt kMax = maxStableGain(cap, 60);
+    const auto runMin = [](WattsPerVolt gain) {
         CosimConfig cfg;
         cfg.pds = defaultPds(PdsKind::VsCrossLayer);
         cfg.pds.controller.gainWattsPerVolt = gain;

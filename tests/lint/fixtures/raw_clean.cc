@@ -1,0 +1,17 @@
+// vsgpu_lint fixture: raw-escape clean file.  Quantity values stay
+// typed end to end; the only raw() spellings appear in comments and
+// strings, which the scrubbed token scan must ignore: v.raw() here
+// is commentary, not code.
+
+struct Voltsish
+{
+    double value = 0.0;
+};
+
+Voltsish
+add(Voltsish a, Voltsish b)
+{
+    const char *label = "sum without .raw() anywhere";
+    (void)label;
+    return Voltsish{a.value + b.value};
+}

@@ -1,0 +1,55 @@
+// vsgpu_lint fixture: raw-escape violations.  Each unwaived
+// .raw() / ->raw() call below must be flagged; the waived one and
+// the near-miss shapes must not.  tests/lint/test_lint.cc counts
+// the findings.
+
+struct Quantityish
+{
+    double
+    raw() const
+    {
+        return value;
+    }
+    double value = 0.0;
+};
+
+double
+leakByDot(const Quantityish &q)
+{
+    return q.raw();
+}
+
+double
+leakByArrow(const Quantityish *q)
+{
+    return q->raw();
+}
+
+double
+waivedLeak(const Quantityish &q)
+{
+    return q.raw(); // vsgpu-lint: raw-escape-ok(fixture waiver)
+}
+
+// Near misses: a free function named raw and a member raw(arg) are
+// not the Quantity escape hatch.
+double
+raw()
+{
+    return 1.0;
+}
+
+struct Other
+{
+    double
+    raw(int scale) const
+    {
+        return static_cast<double>(scale);
+    }
+};
+
+double
+nearMisses(const Other &o)
+{
+    return raw() + o.raw(2);
+}

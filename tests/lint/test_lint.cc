@@ -140,6 +140,31 @@ TEST(LintContracts, CleanFixture)
         messages(diags));
 }
 
+TEST(LintRawEscape, ViolatingFixture)
+{
+    const SourceFile src = fixture("raw_violate.cc");
+    std::vector<Diagnostic> diags;
+    checkRawEscape(src, diags);
+    // leakByDot + leakByArrow fire; the waived call and the
+    // near-miss shapes (free raw(), member raw(arg)) do not.
+    EXPECT_EQ(diags.size(), 2U) << ::testing::PrintToString(
+        messages(diags));
+    for (const Diagnostic &d : diags) {
+        EXPECT_EQ(d.check, Check::RawEscape);
+        EXPECT_EQ(d.file, "tests/lint/fixtures/raw_violate.cc");
+        EXPECT_GT(d.line, 0);
+    }
+}
+
+TEST(LintRawEscape, CleanFixture)
+{
+    const SourceFile src = fixture("raw_clean.cc");
+    std::vector<Diagnostic> diags;
+    checkRawEscape(src, diags);
+    EXPECT_TRUE(diags.empty()) << ::testing::PrintToString(
+        messages(diags));
+}
+
 // ================= lexer =================
 
 TEST(LintLexer, ScrubBlanksCommentsAndStrings)
@@ -214,6 +239,19 @@ TEST(LintScope, FamiliesScopeByPath)
     // contracts apply everywhere.
     EXPECT_TRUE(
         checkAppliesTo(Check::Contracts, "tests/foo/bar.cc"));
+    // raw-escape polices src/ outside the numeric core.
+    EXPECT_TRUE(
+        checkAppliesTo(Check::RawEscape, "src/control/controller.cc"));
+    EXPECT_TRUE(checkAppliesTo(Check::RawEscape, "src/pdn/vs_pdn.cc"));
+    EXPECT_FALSE(
+        checkAppliesTo(Check::RawEscape, "src/circuit/transient.cc"));
+    EXPECT_FALSE(checkAppliesTo(Check::RawEscape, "src/verify/erc.cc"));
+    EXPECT_FALSE(
+        checkAppliesTo(Check::RawEscape, "src/common/quantity.hh"));
+    EXPECT_FALSE(
+        checkAppliesTo(Check::RawEscape, "src/sim/cosim.cc"));
+    EXPECT_FALSE(
+        checkAppliesTo(Check::RawEscape, "bench/ctl_stability.cc"));
 }
 
 TEST(LintScope, EntropyAllowlistPermitsSeededFactory)
@@ -301,6 +339,40 @@ TEST(LintCompileDb, ParsesDirectoryAndFile)
     EXPECT_EQ(commands[0].directory, "/tmp/build");
     EXPECT_EQ(commands[0].file, "../src/a.cc");
     EXPECT_EQ(commands[1].file, "/abs/b.cc");
+}
+
+TEST(LintCompileDb, ParseErrorNamesTheDatabase)
+{
+    const std::string path =
+        ::testing::TempDir() + "/vsgpu_lint_bad_cdb.json";
+    {
+        std::ofstream out(path);
+        out << "[{\"directory\": oops}]";
+    }
+    bool threw = false;
+    try {
+        readCompileCommands(path);
+    } catch (const std::exception &err) {
+        threw = true;
+        EXPECT_NE(std::string(err.what()).find(path),
+                  std::string::npos)
+            << err.what();
+    }
+    std::remove(path.c_str());
+    EXPECT_TRUE(threw);
+}
+
+TEST(LintChecks, NameRoundTrip)
+{
+    for (Check c : {Check::UnitSafety, Check::Determinism,
+                    Check::PoolConcurrency, Check::Contracts,
+                    Check::RawEscape}) {
+        Check parsed{};
+        ASSERT_TRUE(parseCheckName(checkName(c), parsed));
+        EXPECT_EQ(parsed, c);
+    }
+    Check parsed{};
+    EXPECT_FALSE(parseCheckName("no-such-check", parsed));
 }
 
 // ================= runChecks plumbing =================

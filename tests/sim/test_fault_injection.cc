@@ -45,7 +45,7 @@ TEST(FaultInjection, StuckDetectorDisablesProtection)
     // worst-case settles like the unprotected circuit-only design.
     ControllerConfig healthy;
     ControllerConfig blind;
-    blind.detector.stuckAtVolts = 1.0;
+    blind.detector.stuckAtVolts = 1.0_V;
 
     const double withControl = settledFloor(worstCase(healthy));
     const double withoutControl = settledFloor(worstCase(blind));
@@ -58,7 +58,7 @@ TEST(FaultInjection, StuckLowDetectorThrottlesPermanently)
     // A detector stuck below threshold forces continuous smoothing:
     // the workload still completes, just slower.
     ControllerConfig stuck;
-    stuck.detector.stuckAtVolts = 0.8;
+    stuck.detector.stuckAtVolts = Volts{0.8};
     CosimConfig cfg;
     cfg.pds = defaultPds(PdsKind::VsCrossLayer);
     cfg.pds.controller = stuck;

@@ -24,7 +24,10 @@ namespace
 class Parser
 {
   public:
-    explicit Parser(std::string text) : text_(std::move(text)) {}
+    Parser(std::string text, std::string path)
+        : text_(std::move(text)), path_(std::move(path))
+    {
+    }
 
     std::vector<CompileCommand>
     parse()
@@ -52,9 +55,9 @@ class Parser
     [[noreturn]] void
     fail(const std::string &what)
     {
-        throw std::runtime_error(
-            "compile_commands.json: " + what + " at offset " +
-            std::to_string(pos_));
+        throw std::runtime_error(path_ + ": " + what +
+                                 " at offset " +
+                                 std::to_string(pos_));
     }
 
     char
@@ -208,6 +211,7 @@ class Parser
     }
 
     std::string text_;
+    std::string path_;
     std::size_t pos_ = 0;
 };
 
@@ -222,7 +226,7 @@ readCompileCommands(const std::string &path)
             "vsgpu_lint: cannot open compile database: " + path);
     std::ostringstream buf;
     buf << in.rdbuf();
-    return Parser(buf.str()).parse();
+    return Parser(buf.str(), path).parse();
 }
 
 } // namespace vsgpu::lint

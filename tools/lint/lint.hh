@@ -15,6 +15,8 @@
  *   contracts         functions tagged [[vsgpu::contract]] /
  *                     VSGPU_CONTRACT must state VSGPU_REQUIRES or
  *                     VSGPU_ENSURES in their definition
+ *   raw-escape        Quantity::raw() called outside the numeric
+ *                     core (circuit/verify/solver boundary files)
  *
  * The analysis is a deliberately small token-level frontend: it scrubs
  * comments and string literals, tokenizes, and pattern-matches — no
@@ -28,6 +30,7 @@
  *   // vsgpu-lint: nondet-ok(<reason>)     determinism (banned calls)
  *   // vsgpu-lint: unordered-ok(<reason>)  determinism (iteration)
  *   // vsgpu-lint: shared-ok(<reason>)     pool-concurrency
+ *   // vsgpu-lint: raw-escape-ok(<reason>) raw-escape
  * A waiver on the diagnosed line or the line above it applies.
  */
 
@@ -49,6 +52,7 @@ enum class Check
     Determinism,
     PoolConcurrency,
     Contracts,
+    RawEscape,
 };
 
 /** Stable kebab-case name used on the CLI and in baseline files. */
@@ -147,6 +151,10 @@ void checkPoolConcurrency(const SourceFile &src,
 
 /** Family 4: contract-tagged functions must state contracts. */
 void checkContracts(const SourceFile &src,
+                    std::vector<Diagnostic> &out);
+
+/** Family 5: Quantity::raw() escapes outside the numeric core. */
+void checkRawEscape(const SourceFile &src,
                     std::vector<Diagnostic> &out);
 
 /**

@@ -28,6 +28,7 @@
 #include <iostream>
 #include <map>
 #include <set>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -46,7 +47,8 @@ struct Options
     bool verbose = false;
     std::vector<Check> checks = {
         Check::UnitSafety, Check::Determinism,
-        Check::PoolConcurrency, Check::Contracts};
+        Check::PoolConcurrency, Check::Contracts,
+        Check::RawEscape};
     std::vector<std::string> files;
 };
 
@@ -151,7 +153,7 @@ main(int argc, char **argv)
         } else if (arg == "--list-checks") {
             for (Check c : {Check::UnitSafety, Check::Determinism,
                             Check::PoolConcurrency,
-                            Check::Contracts})
+                            Check::Contracts, Check::RawEscape})
                 std::cout << checkName(c) << "\n";
             return 0;
         } else if (arg == "--help" || arg == "-h") {
@@ -234,8 +236,15 @@ main(int argc, char **argv)
         for (const SourceFile &src : sources) {
             if (opt.verbose)
                 std::cerr << "lint " << src.display() << "\n";
-            runChecks(src, opt.checks, checkOpts, explicitFiles,
-                      diags);
+            try {
+                runChecks(src, opt.checks, checkOpts, explicitFiles,
+                          diags);
+            } catch (const std::exception &err) {
+                // Name the file that broke the tokenizer or a check;
+                // without this a fixture sweep fails anonymously.
+                throw std::runtime_error(src.display() + ": " +
+                                        err.what());
+            }
         }
 
         std::string baselinePath = opt.baselinePath;

@@ -27,6 +27,8 @@ checkName(Check check)
         return "pool-concurrency";
       case Check::Contracts:
         return "contracts";
+      case Check::RawEscape:
+        return "raw-escape";
     }
     return "unknown";
 }
@@ -35,7 +37,8 @@ bool
 parseCheckName(std::string_view name, Check &out)
 {
     for (Check c : {Check::UnitSafety, Check::Determinism,
-                    Check::PoolConcurrency, Check::Contracts}) {
+                    Check::PoolConcurrency, Check::Contracts,
+                    Check::RawEscape}) {
         if (checkName(c) == name) {
             out = c;
             return true;
@@ -292,6 +295,23 @@ checkAppliesTo(Check check, std::string_view display)
                pathContains(display, "tools/");
       case Check::Contracts:
         return true;
+      case Check::RawEscape: {
+        // Simulation and modelling code only; the numeric core is
+        // the legitimate home of raw() conversions.  cosim.cc and
+        // pds_setup.cc sit at the solver boundary (they assemble the
+        // per-step current vectors and netlist stamps), as do the
+        // verifier and the circuit layer itself.
+        if (!pathContains(display, "src/"))
+            return false;
+        for (std::string_view allowed :
+             {"src/circuit/", "src/verify/",
+              "src/common/quantity.hh", "src/common/check.hh",
+              "src/sim/cosim.cc", "src/sim/pds_setup.cc"}) {
+            if (pathContains(display, allowed))
+                return false;
+        }
+        return true;
+      }
     }
     return false;
 }
@@ -316,6 +336,9 @@ runChecks(const SourceFile &src, const std::vector<Check> &checks,
             break;
           case Check::Contracts:
             checkContracts(src, out);
+            break;
+          case Check::RawEscape:
+            checkRawEscape(src, out);
             break;
         }
     }

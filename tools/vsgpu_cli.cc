@@ -22,6 +22,8 @@
  *   --threshold V               smoothing trigger  [0.9]
  *   --halt-layer L@T            halt layer L at time T seconds
  *   --wave FILE.csv             dump layer-voltage trace as CSV
+ *   --no-verify                 skip the static model verifier
+ *                               (see tools/vsgpu_verify)
  *
  * (Statistics from the GPU core model can be inspected with the
  * examples or programmatically via Gpu::dumpStats.)
@@ -54,6 +56,10 @@ parseFlags(int argc, char **argv, int first)
         const std::string key = argv[i];
         fatalIf(key.size() < 3 || key.substr(0, 2) != "--",
                 "expected --flag, got '", key, "'");
+        if (key == "--no-verify") { // boolean flag, no value
+            flags["no-verify"] = "1";
+            continue;
+        }
         fatalIf(i + 1 >= argc, "flag ", key, " needs a value");
         flags[key.substr(2)] = argv[++i];
     }
@@ -114,7 +120,9 @@ cmdRun(const std::map<std::string, std::string> &flags)
         cfg.pds.ivrAreaFraction = std::stod(flags.at("area"));
     if (flags.count("threshold"))
         cfg.pds.controller.vThreshold =
-            std::stod(flags.at("threshold"));
+            Volts{std::stod(flags.at("threshold"))};
+    if (flags.count("no-verify"))
+        cfg.verifyModel = false;
     if (flags.count("halt-layer")) {
         const std::string spec = flags.at("halt-layer");
         const auto at = spec.find('@');
