@@ -8,6 +8,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "obs/trace.hh"
 #include "pdn/impedance.hh"
 #include "pdn/vs_pdn.hh"
 #include "sim/cosim.hh"
@@ -102,6 +103,43 @@ BM_WorkloadGeneration(benchmark::State &state)
     }
 }
 BENCHMARK(BM_WorkloadGeneration)->Unit(benchmark::kMicrosecond);
+
+/**
+ * The disabled-tracing fast path: one relaxed atomic load per
+ * instrumentation point.  This pins the "near zero cost when
+ * disabled" contract the hot loops (pool tasks, cosim cycles)
+ * rely on — compare against BM_TraceScopeEnabled to see the gap.
+ */
+void
+BM_TraceScopeDisabled(benchmark::State &state)
+{
+    obs::Tracer::instance().disable();
+    for (auto _ : state) {
+        VSGPU_TRACE_SCOPE(obs::CatPool, "bench.disabled");
+        VSGPU_TRACE_INSTANT(obs::CatCtl, "bench.instant");
+        benchmark::ClobberMemory();
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceScopeDisabled);
+
+void
+BM_TraceScopeEnabled(benchmark::State &state)
+{
+    obs::Tracer &tracer = obs::Tracer::instance();
+    tracer.enable(obs::CatPool);
+    for (auto _ : state) {
+        VSGPU_TRACE_SCOPE(obs::CatPool, "bench.enabled");
+        benchmark::ClobberMemory();
+        // Stay under the event cap however long the bench runs.
+        if (tracer.numEvents() + 2 >= obs::Tracer::maxEvents())
+            tracer.clear();
+    }
+    tracer.disable();
+    tracer.clear();
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceScopeEnabled);
 
 } // namespace
 

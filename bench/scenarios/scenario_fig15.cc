@@ -79,7 +79,10 @@ runFig15Dfs(ScenarioContext &ctx)
             sim.attachDfs(&dfs);
             if (run.useHypervisor)
                 sim.attachHypervisor(&hv);
-            return sim.run(benchWorkload(ctx, kSet[run.bench]));
+            CosimResult r =
+                sim.run(benchWorkload(ctx, kSet[run.bench]));
+            ctx.record(r.counters);
+            return r;
         });
 
     const auto groupOf = [&results](int g) {

@@ -85,7 +85,10 @@ runFig16Pg(ScenarioContext &ctx)
                 if (c.useHypervisor)
                     sim.attachHypervisor(&hv);
             }
-            return sim.run(benchWorkload(ctx, kSet[run.bench]));
+            CosimResult r =
+                sim.run(benchWorkload(ctx, kSet[run.bench]));
+            ctx.record(r.counters);
+            return r;
         });
 
     const auto groupOf = [&results](int c) {

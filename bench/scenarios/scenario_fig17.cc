@@ -84,8 +84,10 @@ runFig17Imbalance(ScenarioContext &ctx)
                 sim.attachPg(&pg);
                 sim.attachHypervisor(&hv);
             }
-            return sim.run(benchWorkload(ctx, run.bench))
-                .imbalanceBins;
+            const CosimResult r =
+                sim.run(benchWorkload(ctx, run.bench));
+            ctx.record(r.counters);
+            return r.imbalanceBins;
         });
 
     const auto averageOf = [&](int group) {

@@ -53,7 +53,9 @@ runPoint(ScenarioContext &ctx, const CosimConfig &cfg, Benchmark b,
          int baseInstrs = sweepBenchInstrs)
 {
     CoSimulator sim(ctx.cache.withSetup(cfg));
-    return sim.run(benchWorkload(ctx, b, baseInstrs));
+    CosimResult result = sim.run(benchWorkload(ctx, b, baseInstrs));
+    ctx.record(result.counters);
+    return result;
 }
 
 /** Print a paper-vs-measured claim line. */

@@ -6,6 +6,8 @@
 #include <iostream>
 
 #include "common/logging.hh"
+#include "obs/trace.hh"
+#include "sim/stats_export.hh"
 
 namespace vsgpu::scen
 {
@@ -53,7 +55,8 @@ findScenario(const std::string &name)
 
 Summary
 runScenario(const ScenarioInfo &info, const ScenarioOptions &opts,
-            std::ostream &out)
+            std::ostream &out, obs::StatsRegistry *stats,
+            obs::Manifest *manifest)
 {
     exec::Pool pool(opts.jobs);
     exec::SetupCache cache;
@@ -68,6 +71,23 @@ runScenario(const ScenarioInfo &info, const ScenarioOptions &opts,
     Summary summary = info.fn(ctx);
     summary.scenario = info.name;
     summary.scale = opts.scale;
+
+    if (stats != nullptr) {
+        registerCounters(*stats, ctx.counters);
+        registerExecStats(
+            *stats, pool.tasksRun(), pool.steals(),
+            static_cast<std::uint64_t>(cache.setupsBuilt()),
+            static_cast<std::uint64_t>(cache.setupHits()));
+    }
+    if (manifest != nullptr) {
+        *manifest = obs::makeManifest(info.name);
+        manifest->subject = info.name;
+        manifest->configFingerprint =
+            obs::configFingerprint(cache.cachedKeys());
+        manifest->seed = 0; // scenarios derive seeds per sweep
+        manifest->scale = opts.scale;
+        summary.manifest = *manifest;
+    }
     return summary;
 }
 
@@ -82,6 +102,9 @@ scenarioMain(const char *name, int argc, char **argv)
 
     ScenarioOptions opts;
     std::string jsonPath;
+    std::string statsPath;
+    std::string tracePath;
+    std::string traceCategories;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         const bool hasValue = i + 1 < argc;
@@ -91,15 +114,29 @@ scenarioMain(const char *name, int argc, char **argv)
             opts.scale = std::atof(argv[++i]);
         } else if (arg == "--json" && hasValue) {
             jsonPath = argv[++i];
+        } else if (arg == "--stats-out" && hasValue) {
+            statsPath = argv[++i];
+        } else if (arg == "--trace-out" && hasValue) {
+            tracePath = argv[++i];
+        } else if (arg == "--trace-categories" && hasValue) {
+            traceCategories = argv[++i];
         } else if (arg == "--help" || arg == "-h") {
             std::cout
                 << "usage: " << argv[0]
                 << " [--jobs N] [--scale X] [--json PATH]\n"
+                << "       [--stats-out PATH] [--trace-out PATH]\n"
+                << "       [--trace-categories LIST]\n"
                 << "  --jobs N     worker threads (default: hardware "
                    "concurrency)\n"
                 << "  --scale X    workload scale (default 1.0)\n"
                 << "  --json PATH  write the summary metrics as "
-                   "JSON\n";
+                   "JSON\n"
+                << "  --stats-out PATH  write the stats registry "
+                   "dump as JSON\n"
+                << "  --trace-out PATH  write a Chrome trace_event "
+                   "JSON file\n"
+                << "  --trace-categories LIST  comma list of phase,"
+                   "pool,ctl,hv,all\n";
             return 0;
         } else {
             std::cerr << "unknown argument: " << arg
@@ -112,8 +149,15 @@ scenarioMain(const char *name, int argc, char **argv)
         return 1;
     }
 
+    if (!tracePath.empty())
+        obs::Tracer::instance().enable(
+            obs::parseTraceCategories(traceCategories));
+
     setLogQuiet(true);
-    const Summary summary = runScenario(*info, opts, std::cout);
+    obs::StatsRegistry registry;
+    obs::Manifest manifest;
+    const Summary summary = runScenario(*info, opts, std::cout,
+                                        &registry, &manifest);
 
     std::cout << "\nSummary metrics:\n";
     for (const SummaryMetric &m : summary.metrics)
@@ -127,6 +171,28 @@ scenarioMain(const char *name, int argc, char **argv)
         }
         writeSummaryJson(summary, out);
         std::cout << "\nwrote " << jsonPath << "\n";
+    }
+    if (!statsPath.empty()) {
+        std::ofstream out(statsPath);
+        if (!out.good()) {
+            std::cerr << "cannot write " << statsPath << "\n";
+            return 1;
+        }
+        registry.setManifest(manifest);
+        registry.dumpJson(out);
+        std::cout << "wrote " << statsPath << "\n";
+    }
+    if (!tracePath.empty()) {
+        obs::Tracer::instance().disable();
+        std::ofstream out(tracePath);
+        if (!out.good()) {
+            std::cerr << "cannot write " << tracePath << "\n";
+            return 1;
+        }
+        obs::Tracer::instance().writeJson(out);
+        std::cout << "wrote " << tracePath << " ("
+                  << obs::Tracer::instance().numEvents()
+                  << " events)\n";
     }
     return 0;
 }

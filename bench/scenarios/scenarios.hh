@@ -29,6 +29,7 @@
 #include <algorithm>
 #include <cmath>
 #include <iosfwd>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -37,6 +38,8 @@
 #include "exec/pool.hh"
 #include "exec/setup_cache.hh"
 #include "exec/sweep.hh"
+#include "obs/stats_registry.hh"
+#include "sim/metrics.hh"
 
 namespace vsgpu::scen
 {
@@ -83,6 +86,24 @@ struct ScenarioContext
         const double scaled = static_cast<double>(base) * scale;
         return std::max<Cycle>(5000, static_cast<Cycle>(scaled));
     }
+
+    /**
+     * Accumulated event counters over every co-simulation the
+     * scenario ran.  Counters are unsigned integers and record()
+     * sums element-wise under the mutex, so the totals are exact
+     * and independent of pool scheduling: stats dumps built from
+     * them are bitwise identical for --jobs 1 and --jobs N.
+     */
+    CosimCounters counters{};
+    std::mutex countersMutex{};
+
+    /** Record one run's counters (thread-safe; call from tasks). */
+    void
+    record(const CosimCounters &c)
+    {
+        std::lock_guard<std::mutex> lock(countersMutex);
+        counters.add(c);
+    }
 };
 
 using ScenarioFn = Summary (*)(ScenarioContext &ctx);
@@ -104,15 +125,29 @@ const ScenarioInfo *findScenario(const std::string &name);
 /**
  * Run one scenario: builds the pool and setup cache, prints the
  * banner and tables to @p out, returns the summary.
+ *
+ * When @p stats is non-null, the scenario's aggregated counters
+ * (gpu / sim / control / hypervisor) and exec-layer stats (pool,
+ * setup cache) are registered into it after the run.  When
+ * @p manifest is non-null it is filled with the run's provenance
+ * (config fingerprint over every cached pdsSetupKey) and stamped
+ * into the returned summary.  Both default to null so the golden
+ * harness keeps producing manifest-free summaries byte-identical
+ * to the recorded files.
  */
 Summary runScenario(const ScenarioInfo &info,
-                    const ScenarioOptions &opts, std::ostream &out);
+                    const ScenarioOptions &opts, std::ostream &out,
+                    obs::StatsRegistry *stats = nullptr,
+                    obs::Manifest *manifest = nullptr);
 
 /**
  * Shared main() for the thin bench binaries.  Flags:
- *   --jobs N     worker threads (default: hardware concurrency)
- *   --scale X    workload scale (default 1.0)
- *   --json PATH  also write the Summary as JSON to PATH
+ *   --jobs N              worker threads (default: hw concurrency)
+ *   --scale X             workload scale (default 1.0)
+ *   --json PATH           also write the Summary as JSON to PATH
+ *   --stats-out PATH      write the stats registry dump as JSON
+ *   --trace-out PATH      write a Chrome trace_event JSON file
+ *   --trace-categories C  comma list: phase,pool,ctl,hv,all
  */
 int scenarioMain(const char *name, int argc, char **argv);
 

@@ -81,6 +81,8 @@ class Parser
                 out.scenario = parseString();
             } else if (key == "scale") {
                 out.scale = parseNumber();
+            } else if (key == "manifest") {
+                parseManifest(out.manifest);
             } else if (key == "metrics") {
                 parseMetrics(out);
             } else {
@@ -92,6 +94,40 @@ class Parser
     }
 
   private:
+    void
+    parseManifest(obs::Manifest &m)
+    {
+        m.valid = true;
+        expect('{');
+        bool first = true;
+        while (peek() != '}') {
+            if (!first)
+                expect(',');
+            first = false;
+            const std::string key = parseString();
+            expect(':');
+            const std::string value = parseString();
+            if (key == "tool")
+                m.tool = value;
+            else if (key == "version")
+                m.version = value;
+            else if (key == "build")
+                m.build = value;
+            else if (key == "subject")
+                m.subject = value;
+            else if (key == "config_fingerprint")
+                m.configFingerprint = value;
+            else if (key == "seed")
+                m.seed = std::stoull(value);
+            else if (key == "scale")
+                m.scale = std::stod(value);
+            else
+                panic("summary JSON: unknown manifest key '", key,
+                      "'");
+        }
+        expect('}');
+    }
+
     void
     parseMetrics(Summary &out)
     {
@@ -184,8 +220,13 @@ writeSummaryJson(const Summary &summary, std::ostream &os)
 {
     os << "{\n"
        << "  \"scenario\": " << quote(summary.scenario) << ",\n"
-       << "  \"scale\": " << formatDouble(summary.scale) << ",\n"
-       << "  \"metrics\": [";
+       << "  \"scale\": " << formatDouble(summary.scale) << ",\n";
+    if (summary.manifest.valid) {
+        os << "  \"manifest\": ";
+        obs::writeManifestJson(summary.manifest, os, "  ");
+        os << ",\n";
+    }
+    os << "  \"metrics\": [";
     for (std::size_t i = 0; i < summary.metrics.size(); ++i) {
         const SummaryMetric &m = summary.metrics[i];
         os << (i ? ",\n" : "\n")

@@ -18,6 +18,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/manifest.hh"
+
 namespace vsgpu::scen
 {
 
@@ -40,6 +42,11 @@ struct Summary
      *  ScenarioOptions::scale); goldens only compare at equal
      *  scale. */
     double scale = 1.0;
+
+    /** Run provenance (obs/manifest.hh), stamped by scenarioMain.
+     *  Omitted from JSON while !manifest.valid, so recorded goldens
+     *  (which carry no manifest) stay byte-stable. */
+    obs::Manifest manifest;
 
     std::vector<SummaryMetric> metrics;
 

@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Validate the observability outputs of one simulator run.
+
+Usage: check_observability.py --stats STATS.json [--trace TRACE.json]
+                              [--summary SUMMARY.json]
+
+Checks (stdlib only, no third-party deps):
+  stats   parses as JSON; carries a manifest with a tool, a 16-hex
+          config fingerprint, and a seed; has counters from each of
+          the gpu / sim / control / hypervisor / exec layers; every
+          entry carries name/kind/unit/desc.
+  trace   parses as Chrome trace_event JSON; spans have
+          non-negative durations; at least a few distinct phase
+          spans and one pool span exist; every event names a known
+          category; 'i' events carry the scope field.
+  summary scenario summary JSON embeds the same manifest
+          fingerprint as the stats dump.
+
+Exits non-zero with a message on the first failed check.
+"""
+
+import argparse
+import json
+import sys
+
+REQUIRED_LAYERS = ("gpu.", "sim.", "control.", "hypervisor.", "exec.")
+KNOWN_KINDS = {"scalar", "counter", "distribution", "formula"}
+KNOWN_CATEGORIES = {"phase", "pool", "ctl", "hv"}
+MIN_PHASE_SPAN_KINDS = 4
+
+
+def fail(msg: str) -> None:
+    print(f"check_observability: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_manifest(manifest: dict, context: str) -> str:
+    for key in ("tool", "version", "build", "subject",
+                "config_fingerprint", "seed", "scale"):
+        if key not in manifest:
+            fail(f"{context}: manifest lacks '{key}'")
+    fp = manifest["config_fingerprint"]
+    if len(fp) != 16 or any(c not in "0123456789abcdef" for c in fp):
+        fail(f"{context}: config_fingerprint '{fp}' is not 16 hex")
+    int(manifest["seed"])  # must parse
+    return fp
+
+
+def check_stats(path: str) -> str:
+    with open(path, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if "manifest" not in doc:
+        fail(f"{path}: no manifest block")
+    fingerprint = check_manifest(doc["manifest"], path)
+    stats = doc.get("stats")
+    if not isinstance(stats, list) or not stats:
+        fail(f"{path}: empty or missing stats array")
+    names = set()
+    for entry in stats:
+        for key in ("name", "kind", "unit", "desc"):
+            if key not in entry:
+                fail(f"{path}: stat entry lacks '{key}': {entry}")
+        if entry["kind"] not in KNOWN_KINDS:
+            fail(f"{path}: unknown stat kind '{entry['kind']}'")
+        if entry["name"] in names:
+            fail(f"{path}: duplicate stat '{entry['name']}'")
+        names.add(entry["name"])
+    for layer in REQUIRED_LAYERS:
+        if not any(n.startswith(layer) for n in names):
+            fail(f"{path}: no stats under the '{layer}' hierarchy")
+    if sorted(names) != [e["name"] for e in stats]:
+        fail(f"{path}: stats are not sorted by name")
+    print(f"check_observability: {path}: {len(stats)} stats, "
+          f"fingerprint {fingerprint}")
+    return fingerprint
+
+
+def check_trace(path: str) -> None:
+    with open(path, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail(f"{path}: empty or missing traceEvents")
+    phase_span_names = set()
+    pool_spans = 0
+    for event in events:
+        if event.get("ph") not in ("X", "i"):
+            fail(f"{path}: unexpected event phase: {event}")
+        if event.get("cat") not in KNOWN_CATEGORIES:
+            fail(f"{path}: unknown category: {event}")
+        if event.get("pid") != 1 or "tid" not in event:
+            fail(f"{path}: event lacks pid/tid: {event}")
+        if event["ph"] == "X":
+            if event.get("dur", -1.0) < 0.0 or event.get("ts", -1.0) < 0.0:
+                fail(f"{path}: span with negative ts/dur: {event}")
+            if event["cat"] == "phase":
+                phase_span_names.add(event["name"])
+            if event["name"] == "pool.task":
+                pool_spans += 1
+        else:
+            if event.get("s") != "t":
+                fail(f"{path}: instant without thread scope: {event}")
+    if len(phase_span_names) < MIN_PHASE_SPAN_KINDS:
+        fail(f"{path}: only {sorted(phase_span_names)} phase spans; "
+             f"want >= {MIN_PHASE_SPAN_KINDS} distinct")
+    if pool_spans == 0:
+        fail(f"{path}: no pool.task spans")
+    print(f"check_observability: {path}: {len(events)} events, "
+          f"{len(phase_span_names)} phase span kinds, "
+          f"{pool_spans} pool spans")
+
+
+def check_summary(path: str, stats_fingerprint: str) -> None:
+    with open(path, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if "manifest" not in doc:
+        fail(f"{path}: summary has no manifest block")
+    fingerprint = check_manifest(doc["manifest"], path)
+    if fingerprint != stats_fingerprint:
+        fail(f"{path}: summary fingerprint {fingerprint} != stats "
+             f"fingerprint {stats_fingerprint}")
+    print(f"check_observability: {path}: manifest matches stats dump")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--stats", required=True)
+    parser.add_argument("--trace")
+    parser.add_argument("--summary")
+    args = parser.parse_args()
+
+    fingerprint = check_stats(args.stats)
+    if args.trace:
+        check_trace(args.trace)
+    if args.summary:
+        check_summary(args.summary, fingerprint)
+    print("check_observability: OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -164,6 +164,7 @@ TransientSim::factorFor(std::uint64_t key)
     auto it = luCache_.find(key);
     if (it != luCache_.end())
         return *it->second;
+    ++luBuilds_;
 
     const std::size_t n = static_cast<std::size_t>(numUnknowns_);
     Matrix g(n, n);

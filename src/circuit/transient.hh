@@ -74,6 +74,11 @@ class TransientSim
     /** @return number of steps taken. */
     std::uint64_t steps() const { return stepCount_; }
 
+    /** @return LU factorizations built (cache misses on the
+     *  switch-state key); the fixed-step linear solver's analogue of
+     *  a variable-step engine's Newton iteration count. */
+    std::uint64_t luBuilds() const { return luBuilds_; }
+
     /** @return voltage at a node (ground = 0 V). */
     double nodeVoltage(NodeId node) const;
 
@@ -127,6 +132,7 @@ class TransientSim
     double dt_;
     double time_ = 0.0;
     std::uint64_t stepCount_ = 0;
+    std::uint64_t luBuilds_ = 0;
 
     int numNodes_;
     int numVsrc_;

@@ -1,6 +1,8 @@
 #include "common/logging.hh"
 
 #include <atomic>
+#include <cctype>
+#include <mutex>
 
 namespace vsgpu
 {
@@ -22,6 +24,47 @@ levelTag(LogLevel level)
     return "?";
 }
 
+std::mutex sinkMutex;
+LogSink userSink; // guarded by sinkMutex; empty = default stderr
+
+/** Threshold below which inform/warn are dropped.  -1 = not yet
+ *  resolved from VSGPU_LOG_LEVEL / setLogThreshold(). */
+std::atomic<int> thresholdLevel{-1};
+
+int
+parseEnvThreshold()
+{
+    const char *env = std::getenv("VSGPU_LOG_LEVEL");
+    if (env == nullptr)
+        return static_cast<int>(LogLevel::Inform);
+    std::string value;
+    for (const char *p = env; *p; ++p)
+        value += static_cast<char>(
+            std::tolower(static_cast<unsigned char>(*p)));
+    if (value == "info" || value == "inform" || value.empty())
+        return static_cast<int>(LogLevel::Inform);
+    if (value == "warn" || value == "warning")
+        return static_cast<int>(LogLevel::Warn);
+    if (value == "fatal" || value == "error")
+        return static_cast<int>(LogLevel::Fatal);
+    if (value == "none" || value == "quiet")
+        return static_cast<int>(LogLevel::Panic) + 1;
+    // Unknown value: keep everything visible rather than hiding the
+    // user's output behind a typo.
+    return static_cast<int>(LogLevel::Inform);
+}
+
+int
+threshold()
+{
+    int level = thresholdLevel.load();
+    if (level < 0) {
+        level = parseEnvThreshold();
+        thresholdLevel.store(level);
+    }
+    return level;
+}
+
 } // namespace
 
 void
@@ -36,6 +79,19 @@ logQuiet()
     return quietFlag.load();
 }
 
+void
+setLogSink(LogSink sink)
+{
+    std::lock_guard<std::mutex> lock(sinkMutex);
+    userSink = std::move(sink);
+}
+
+void
+setLogThreshold(LogLevel level)
+{
+    thresholdLevel.store(static_cast<int>(level));
+}
+
 namespace detail
 {
 
@@ -46,6 +102,13 @@ emitLog(LogLevel level, const std::string &msg)
         level == LogLevel::Inform || level == LogLevel::Warn;
     if (suppressible && quietFlag.load())
         return;
+    if (suppressible && static_cast<int>(level) < threshold())
+        return;
+    std::lock_guard<std::mutex> lock(sinkMutex);
+    if (userSink) {
+        userSink(level, msg);
+        return;
+    }
     std::cerr << levelTag(level) << ": " << msg << "\n";
 }
 

@@ -9,14 +9,24 @@
  *               (bad configuration, invalid arguments).  Exits with 1.
  *
  * Status functions that never stop the simulation:
- *   - inform(): normal operating message.
- *   - warn():   functionality that might not behave as expected.
+ *   - inform():    normal operating message.
+ *   - warn():      functionality that might not behave as expected.
+ *   - warn_once(): like warn(), but at most once per callsite.
+ *
+ * Output routing: messages go to a pluggable sink (stderr by
+ * default; tests install their own with setLogSink()).  Inform/warn
+ * visibility is filtered by a threshold taken from the
+ * VSGPU_LOG_LEVEL environment variable ("info", "warn",
+ * "fatal"/"error", "none"/"quiet") or overridden programmatically
+ * with setLogThreshold(); fatal() and panic() always pass.
  */
 
 #ifndef VSGPU_COMMON_LOGGING_HH
 #define VSGPU_COMMON_LOGGING_HH
 
+#include <atomic>
 #include <cstdlib>
+#include <functional>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -56,6 +66,23 @@ void setLogQuiet(bool quiet);
 
 /** @return true when inform()/warn() output is suppressed. */
 bool logQuiet();
+
+/** Sink receiving every emitted (non-filtered) log line. */
+using LogSink = std::function<void(LogLevel, const std::string &)>;
+
+/**
+ * Install a log sink; pass an empty function to restore the default
+ * stderr sink.  Tests use this to capture inform/warn output.
+ */
+void setLogSink(LogSink sink);
+
+/**
+ * Override the visibility threshold: messages below @p level are
+ * dropped (Fatal/Panic always pass).  Normally the threshold comes
+ * from the VSGPU_LOG_LEVEL environment variable, parsed lazily on
+ * first emission; this setter takes precedence (tests, CLI flags).
+ */
+void setLogThreshold(LogLevel level);
 
 /**
  * Report an unrecoverable user-caused error and exit(1).
@@ -99,6 +126,18 @@ inform(Args &&...args)
     detail::emitLog(LogLevel::Inform,
                     detail::concat(std::forward<Args>(args)...));
 }
+
+/**
+ * Emit a warning at most once per callsite (per process), however
+ * many times control passes through it.  Implemented as a macro so
+ * each textual use gets its own latch.
+ */
+#define warn_once(...)                                               \
+    do {                                                             \
+        static std::atomic<bool> vsgpuWarnedOnce{false};             \
+        if (!vsgpuWarnedOnce.exchange(true))                         \
+            ::vsgpu::warn(__VA_ARGS__);                              \
+    } while (false)
 
 /**
  * Assert a simulator invariant; on failure, panic with the message.

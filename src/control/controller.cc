@@ -33,6 +33,10 @@ SmoothingController::reset()
     now_ = 0;
     decisions_ = 0;
     triggered_ = 0;
+    detectorTrips_ = 0;
+    diws_ = 0;
+    fii_ = 0;
+    dcc_ = 0;
 }
 
 CommandSet
@@ -51,6 +55,7 @@ SmoothingController::decide(
             continue;
         }
         anyActive = true;
+        ++detectorTrips_;
 
         // Proportional power correction for the deviation from
         // nominal (Algorithm 1's (1 - V_SM) term), plus an optional
@@ -74,6 +79,8 @@ SmoothingController::decide(
         auto &self = commands[static_cast<std::size_t>(sm)];
         const double issueCut =
             cfg_.w1 * correction / cfg_.powerPerIssueWidth;
+        if (issueCut > 0.0)
+            ++diws_;
         self.issueWidth = std::clamp(
             static_cast<double>(config::maxIssueWidth) - issueCut,
             0.0, static_cast<double>(config::maxIssueWidth));
@@ -88,11 +95,15 @@ SmoothingController::decide(
 
         const double fakeAdd =
             cfg_.w2 * correction / cfg_.powerPerFakeRate;
+        if (fakeAdd > 0.0)
+            ++fii_;
         other.fakeRate = std::clamp(
             other.fakeRate + fakeAdd, 0.0,
             static_cast<double>(config::maxIssueWidth));
 
         const Amps dccAdd = cfg_.w3 * correction / cfg_.vNominal;
+        if (dccAdd > Amps{})
+            ++dcc_;
         other.dccAmps =
             cfg_.dcc.quantize(other.dccAmps + dccAdd);
     }

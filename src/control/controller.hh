@@ -143,6 +143,18 @@ class SmoothingController
     /** @return total decisions so far. */
     std::uint64_t totalDecisions() const { return decisions_; }
 
+    /** @return per-SM below-threshold detections (trips). */
+    std::uint64_t detectorTrips() const { return detectorTrips_; }
+
+    /** @return decisions that engaged DIWS on some SM. */
+    std::uint64_t diwsEngagements() const { return diws_; }
+
+    /** @return decisions that engaged FII on some SM. */
+    std::uint64_t fiiEngagements() const { return fii_; }
+
+    /** @return decisions that engaged DCC on some SM. */
+    std::uint64_t dccEngagements() const { return dcc_; }
+
     /** Reset all state to nominal. */
     void reset();
 
@@ -168,6 +180,10 @@ class SmoothingController
 
     std::uint64_t decisions_ = 0;
     std::uint64_t triggered_ = 0;
+    std::uint64_t detectorTrips_ = 0;
+    std::uint64_t diws_ = 0;
+    std::uint64_t fii_ = 0;
+    std::uint64_t dcc_ = 0;
 };
 
 } // namespace vsgpu

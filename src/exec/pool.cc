@@ -4,6 +4,7 @@
 
 #include "common/check.hh"
 #include "common/logging.hh"
+#include "obs/trace.hh"
 
 namespace vsgpu::exec
 {
@@ -109,7 +110,12 @@ Pool::drainBatch(int slot)
         }
         if (!skip) {
             try {
-                (*body_)(task);
+                {
+                    obs::ScopedSpan span(obs::CatPool, "pool.task");
+                    if (span.live())
+                        span.setArg("task", std::to_string(task));
+                    (*body_)(task);
+                }
                 tasksRun_.fetch_add(1, std::memory_order_relaxed);
             } catch (...) {
                 std::lock_guard<std::mutex> lock(batchMutex_);
@@ -138,7 +144,12 @@ Pool::parallelFor(int numTasks, const std::function<void(int)> &body)
         // Inline fast path: no threads, no locks — the determinism
         // baseline every parallel run is measured against.
         for (int i = 0; i < numTasks; ++i) {
-            body(i);
+            {
+                obs::ScopedSpan span(obs::CatPool, "pool.task");
+                if (span.live())
+                    span.setArg("task", std::to_string(i));
+                body(i);
+            }
             tasksRun_.fetch_add(1, std::memory_order_relaxed);
         }
         return;

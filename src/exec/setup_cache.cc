@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/check.hh"
+#include "obs/trace.hh"
 
 namespace vsgpu::exec
 {
@@ -49,7 +50,11 @@ SetupCache::setupFor(const CosimConfig &cfg)
     bool hit = false;
     auto setup = getOrBuild(
         setups_, pdsSetupKey(cfg),
-        [&cfg] { return buildPdsSetup(cfg); }, &hit);
+        [&cfg] {
+            VSGPU_TRACE_SCOPE(obs::CatPhase, "setup.build_pds");
+            return buildPdsSetup(cfg);
+        },
+        &hit);
     {
         std::lock_guard<std::mutex> lock(mutex_);
         if (hit)
@@ -88,6 +93,7 @@ SetupCache::impedanceSweep(const CosimConfig &cfg,
     return getOrBuild(
         impedances_, key,
         [&] {
+            VSGPU_TRACE_SCOPE(obs::CatPhase, "setup.ac_scan");
             ImpedanceAnalyzer analyzer(*setup->vs);
             return std::make_shared<
                 const std::vector<ImpedancePoint>>(
@@ -108,6 +114,17 @@ SetupCache::setupHits() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     return setupHits_;
+}
+
+std::vector<std::string>
+SetupCache::cachedKeys() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::string> keys;
+    keys.reserve(setups_.size());
+    for (const auto &entry : setups_)
+        keys.push_back(entry.first);
+    return keys;
 }
 
 } // namespace vsgpu::exec

@@ -78,6 +78,14 @@ class SetupCache
     /** @return number of setupFor() calls answered from the cache. */
     int setupHits() const;
 
+    /**
+     * @return every distinct pdsSetupKey this cache has seen, in
+     * map order (deterministic).  Feeds the run-manifest config
+     * fingerprint: the set of keys identifies the electrical
+     * configurations a sweep actually touched.
+     */
+    std::vector<std::string> cachedKeys() const;
+
   private:
     template <typename V, typename Build>
     std::shared_ptr<const V>

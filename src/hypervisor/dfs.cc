@@ -58,7 +58,10 @@ DfsGovernor::step(const Gpu &gpu)
             std::max(ipcAtFull, 1e-6) * fracNow;
         Hertz hz = needFraction * config::smClockHz;
         hz = std::ceil(hz / cfg_.stepHz) * cfg_.stepHz;
-        requestHz_[idx] = std::clamp(hz, cfg_.minHz, cfg_.maxHz);
+        const Hertz next = std::clamp(hz, cfg_.minHz, cfg_.maxHz);
+        if (next != requestHz_[idx])
+            ++transitions_;
+        requestHz_[idx] = next;
     }
 }
 

@@ -62,9 +62,13 @@ class DfsGovernor
     /** @return configuration. */
     const DfsConfig &config() const { return cfg_; }
 
+    /** @return per-SM frequency-step changes across all epochs. */
+    std::uint64_t transitions() const { return transitions_; }
+
   private:
     DfsConfig cfg_;
     Cycle cycleInEpoch_ = 0;
+    std::uint64_t transitions_ = 0;
     std::array<std::uint64_t, config::numSMs> lastRetired_{};
     std::array<double, config::numSMs> referenceIpc_{};
     std::array<Hertz, config::numSMs> requestHz_;

@@ -46,13 +46,17 @@ PgGovernor::step(Gpu &gpu, Cycle now)
             if (!unitAllowed(kind))
                 continue;
             if (vetoed_[static_cast<std::size_t>(s)]
-                       [static_cast<std::size_t>(u)])
+                       [static_cast<std::size_t>(u)]) {
+                ++vetoSkips_;
                 continue;
+            }
             ExecUnit &unit = sm.unit(kind);
             if (unit.gated(now) || unit.busy(now))
                 continue;
-            if (unit.idleCycles(now) >= cfg_.idleDetect)
+            if (unit.idleCycles(now) >= cfg_.idleDetect) {
                 sm.requestGate(kind, now);
+                ++gateRequests_;
+            }
         }
     }
 }

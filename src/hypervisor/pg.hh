@@ -60,11 +60,19 @@ class PgGovernor
     /** @return configuration. */
     const PgConfig &config() const { return cfg_; }
 
+    /** @return gate requests issued to SMs so far. */
+    std::uint64_t gateRequests() const { return gateRequests_; }
+
+    /** @return policy evaluations skipped by a hypervisor veto. */
+    std::uint64_t vetoSkips() const { return vetoSkips_; }
+
   private:
     bool unitAllowed(ExecUnitKind kind) const;
 
     PgConfig cfg_;
     Cycle sinceCheck_ = 0;
+    std::uint64_t gateRequests_ = 0;
+    std::uint64_t vetoSkips_ = 0;
     std::array<std::array<bool, numExecUnits>, config::numSMs>
         vetoed_{};
 };

@@ -49,6 +49,7 @@ VsAwareHypervisor::filterFrequencies(
                 // Pull the outlier up to the budgeted spread,
                 // quantized to the DFS step grid.
                 f = std::ceil(floor / cfg_.stepHz) * cfg_.stepHz;
+                ++freqRemaps_;
             }
         }
     }
@@ -100,6 +101,7 @@ VsAwareHypervisor::filterGating(
             if (*minmax.second - *minmax.first > leakThresholdW_) {
                 // Would exceed the imbalance budget: veto.
                 gatedLeak[static_cast<std::size_t>(layer)] -= r.watts;
+                ++gatingDenials_;
                 continue;
             }
             plan[static_cast<std::size_t>(r.sm)]

@@ -91,10 +91,21 @@ class VsAwareHypervisor
     /** @return current leakage budget. */
     Watts leakThresholdW() const { return leakThresholdW_; }
 
+    /** @return DFS requests pulled up to the column budget. */
+    std::uint64_t freqRemaps() const { return freqRemaps_; }
+
+    /** @return gating requests denied by the imbalance budget. */
+    std::uint64_t gatingDenials() const { return gatingDenials_; }
+
   private:
     HypervisorConfig cfg_;
     Hertz freqThresholdHz_;
     Watts leakThresholdW_;
+
+    // The filter methods are logically const (pure command
+    // remapping); the counters only observe how often they act.
+    mutable std::uint64_t freqRemaps_ = 0;
+    mutable std::uint64_t gatingDenials_ = 0;
 };
 
 } // namespace vsgpu

@@ -1,0 +1,124 @@
+#include "obs/manifest.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+namespace vsgpu::obs
+{
+
+namespace
+{
+
+/** Shortest round-trip-exact representation of a double (mirrors the
+ *  summary JSON writer so manifests embed identically everywhere). */
+std::string
+formatDouble(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    for (int prec = 1; prec < 17; ++prec) {
+        char shorter[40];
+        std::snprintf(shorter, sizeof(shorter), "%.*g", prec, v);
+        double back = 0.0;
+        std::sscanf(shorter, "%lf", &back);
+        if (back == v)
+            return shorter;
+    }
+    return buf;
+}
+
+std::string
+buildFlavour()
+{
+    std::string out =
+#ifdef NDEBUG
+        "release";
+#else
+        "debug";
+#endif
+#if defined(__SANITIZE_ADDRESS__)
+    out += "+asan";
+#endif
+#if defined(__SANITIZE_THREAD__)
+    out += "+tsan";
+#endif
+#if defined(VSGPU_UBSAN_BUILD)
+    out += "+ubsan";
+#endif
+    return out;
+}
+
+} // namespace
+
+std::string
+fnv1a64Hex(std::string_view bytes)
+{
+    std::uint64_t hash = 0xcbf29ce484222325ull;
+    for (unsigned char c : bytes) {
+        hash ^= c;
+        hash *= 0x100000001b3ull;
+    }
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(hash));
+    return buf;
+}
+
+std::string
+configFingerprint(std::vector<std::string> keys)
+{
+    std::sort(keys.begin(), keys.end());
+    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+    std::string all;
+    for (const std::string &k : keys) {
+        all += k;
+        all += '\x1f'; // separator outside any key alphabet
+    }
+    return fnv1a64Hex(all);
+}
+
+Manifest
+makeManifest(std::string tool)
+{
+    Manifest m;
+    m.valid = true;
+    m.tool = std::move(tool);
+#ifdef VSGPU_VERSION_STRING
+    m.version = VSGPU_VERSION_STRING;
+#else
+    m.version = "unversioned";
+#endif
+    m.build = buildFlavour();
+    return m;
+}
+
+std::vector<std::pair<std::string, std::string>>
+Manifest::toPairs() const
+{
+    std::vector<std::pair<std::string, std::string>> out;
+    out.emplace_back("tool", tool);
+    out.emplace_back("version", version);
+    out.emplace_back("build", build);
+    out.emplace_back("subject", subject);
+    out.emplace_back("config_fingerprint", configFingerprint);
+    out.emplace_back("seed", std::to_string(seed));
+    out.emplace_back("scale", formatDouble(scale));
+    return out;
+}
+
+void
+writeManifestJson(const Manifest &manifest, std::ostream &os,
+                  const std::string &indent)
+{
+    const auto pairs = manifest.toPairs();
+    os << "{";
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+        os << (i ? "," : "") << "\n"
+           << indent << "  \"" << pairs[i].first << "\": \""
+           << pairs[i].second << "\"";
+    }
+    os << "\n" << indent << "}";
+}
+
+} // namespace vsgpu::obs

@@ -1,0 +1,555 @@
+#include "obs/stats_registry.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace vsgpu::obs
+{
+
+namespace
+{
+
+/** Shortest round-trip-exact representation of a double. */
+std::string
+formatDouble(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    for (int prec = 1; prec < 17; ++prec) {
+        char shorter[40];
+        std::snprintf(shorter, sizeof(shorter), "%.*g", prec, v);
+        double back = 0.0;
+        std::sscanf(shorter, "%lf", &back);
+        if (back == v)
+            return shorter;
+    }
+    return buf;
+}
+
+std::string
+quote(const std::string &s)
+{
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace
+
+const char *
+statKindName(StatKind kind)
+{
+    switch (kind) {
+      case StatKind::Scalar:       return "scalar";
+      case StatKind::Counter:      return "counter";
+      case StatKind::Distribution: return "distribution";
+      case StatKind::Formula:      return "formula";
+    }
+    return "?";
+}
+
+void
+DistributionStat::add(double x)
+{
+    if (stats_.count() == 0) {
+        min_ = x;
+        max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    stats_.add(x);
+}
+
+// ---------------- StatsGroup ----------------
+
+std::string
+StatsGroup::qualify(const std::string &name) const
+{
+    return prefix_.empty() ? name : prefix_ + "." + name;
+}
+
+ScalarStat &
+StatsGroup::scalar(const std::string &name, const std::string &unit,
+                   const std::string &desc)
+{
+    return registry_.addScalar(qualify(name), unit, desc);
+}
+
+CounterStat &
+StatsGroup::counter(const std::string &name, const std::string &unit,
+                    const std::string &desc, bool scheduleDependent)
+{
+    return registry_.addCounter(qualify(name), unit, desc,
+                                scheduleDependent);
+}
+
+DistributionStat &
+StatsGroup::distribution(const std::string &name,
+                         const std::string &unit,
+                         const std::string &desc)
+{
+    return registry_.addDistribution(qualify(name), unit, desc);
+}
+
+FormulaStat &
+StatsGroup::formula(const std::string &name, const std::string &unit,
+                    const std::string &desc,
+                    std::function<double()> fn)
+{
+    return registry_.addFormula(qualify(name), unit, desc,
+                                std::move(fn));
+}
+
+StatsGroup
+StatsGroup::group(const std::string &name) const
+{
+    return StatsGroup(registry_, qualify(name));
+}
+
+// ---------------- StatsRegistry ----------------
+
+void
+StatsRegistry::checkUnique(const std::string &name) const
+{
+    const auto clash = [&name](const auto &container) {
+        return std::any_of(container.begin(), container.end(),
+                           [&name](const auto &stat) {
+                               return stat.info().name == name;
+                           });
+    };
+    panicIfNot(!clash(scalars_) && !clash(counters_) &&
+                   !clash(distributions_) && !clash(formulas_),
+               "duplicate stat registration: ", name);
+}
+
+ScalarStat &
+StatsRegistry::addScalar(const std::string &name,
+                         const std::string &unit,
+                         const std::string &desc)
+{
+    checkUnique(name);
+    scalars_.emplace_back(StatInfo{name, unit, desc, false});
+    return scalars_.back();
+}
+
+CounterStat &
+StatsRegistry::addCounter(const std::string &name,
+                          const std::string &unit,
+                          const std::string &desc,
+                          bool scheduleDependent)
+{
+    checkUnique(name);
+    counters_.emplace_back(
+        StatInfo{name, unit, desc, scheduleDependent});
+    return counters_.back();
+}
+
+DistributionStat &
+StatsRegistry::addDistribution(const std::string &name,
+                               const std::string &unit,
+                               const std::string &desc)
+{
+    checkUnique(name);
+    distributions_.emplace_back(StatInfo{name, unit, desc, false});
+    return distributions_.back();
+}
+
+FormulaStat &
+StatsRegistry::addFormula(const std::string &name,
+                          const std::string &unit,
+                          const std::string &desc,
+                          std::function<double()> fn)
+{
+    checkUnique(name);
+    formulas_.emplace_back(StatInfo{name, unit, desc, false},
+                           std::move(fn));
+    return formulas_.back();
+}
+
+std::size_t
+StatsRegistry::size() const
+{
+    return scalars_.size() + counters_.size() +
+           distributions_.size() + formulas_.size();
+}
+
+StatsSnapshot
+StatsRegistry::snapshot(bool includeScheduleDependent) const
+{
+    StatsSnapshot out;
+    out.manifest = manifest_;
+    const auto keep = [&](const StatInfo &info) {
+        return includeScheduleDependent || !info.scheduleDependent;
+    };
+    for (const ScalarStat &s : scalars_) {
+        if (!keep(s.info()))
+            continue;
+        SnapshotEntry e;
+        e.kind = StatKind::Scalar;
+        e.name = s.info().name;
+        e.unit = s.info().unit;
+        e.desc = s.info().desc;
+        e.value = s.value();
+        out.entries.push_back(std::move(e));
+    }
+    for (const CounterStat &c : counters_) {
+        if (!keep(c.info()))
+            continue;
+        SnapshotEntry e;
+        e.kind = StatKind::Counter;
+        e.name = c.info().name;
+        e.unit = c.info().unit;
+        e.desc = c.info().desc;
+        e.count = c.count();
+        out.entries.push_back(std::move(e));
+    }
+    for (const DistributionStat &d : distributions_) {
+        if (!keep(d.info()))
+            continue;
+        SnapshotEntry e;
+        e.kind = StatKind::Distribution;
+        e.name = d.info().name;
+        e.unit = d.info().unit;
+        e.desc = d.info().desc;
+        e.count = d.count();
+        e.mean = d.mean();
+        e.stddev = d.stddev();
+        e.min = d.min();
+        e.max = d.max();
+        out.entries.push_back(std::move(e));
+    }
+    for (const FormulaStat &f : formulas_) {
+        if (!keep(f.info()))
+            continue;
+        SnapshotEntry e;
+        e.kind = StatKind::Formula;
+        e.name = f.info().name;
+        e.unit = f.info().unit;
+        e.desc = f.info().desc;
+        e.value = f.value();
+        out.entries.push_back(std::move(e));
+    }
+    std::sort(out.entries.begin(), out.entries.end(),
+              [](const SnapshotEntry &a, const SnapshotEntry &b) {
+                  return a.name < b.name;
+              });
+    return out;
+}
+
+const SnapshotEntry *
+StatsRegistry::find(const std::string &name) const
+{
+    cachedSnapshot_ = snapshot(true);
+    for (const SnapshotEntry &e : cachedSnapshot_.entries)
+        if (e.name == name)
+            return &e;
+    return nullptr;
+}
+
+void
+StatsRegistry::dumpText(std::ostream &os,
+                        bool includeScheduleDependent) const
+{
+    writeStatsText(snapshot(includeScheduleDependent), os);
+}
+
+void
+StatsRegistry::dumpJson(std::ostream &os,
+                        bool includeScheduleDependent) const
+{
+    writeStatsJson(snapshot(includeScheduleDependent), os);
+}
+
+// ---------------- serialization ----------------
+
+void
+writeStatsText(const StatsSnapshot &snapshot, std::ostream &os)
+{
+    os << "---------- Begin Simulation Statistics ----------\n";
+    const auto line = [&os](const std::string &name,
+                            const std::string &value,
+                            const std::string &desc,
+                            const std::string &unit) {
+        os << std::left << std::setw(44) << name << " "
+           << std::right << std::setw(16) << value << "  # " << desc;
+        if (!unit.empty())
+            os << " (" << unit << ")";
+        os << "\n";
+    };
+    for (const SnapshotEntry &e : snapshot.entries) {
+        switch (e.kind) {
+          case StatKind::Scalar:
+          case StatKind::Formula:
+            line(e.name, formatDouble(e.value), e.desc, e.unit);
+            break;
+          case StatKind::Counter:
+            line(e.name, std::to_string(e.count), e.desc, e.unit);
+            break;
+          case StatKind::Distribution:
+            line(e.name + ".count", std::to_string(e.count), e.desc,
+                 "samples");
+            line(e.name + ".mean", formatDouble(e.mean), e.desc,
+                 e.unit);
+            line(e.name + ".stddev", formatDouble(e.stddev), e.desc,
+                 e.unit);
+            line(e.name + ".min", formatDouble(e.min), e.desc,
+                 e.unit);
+            line(e.name + ".max", formatDouble(e.max), e.desc,
+                 e.unit);
+            break;
+        }
+    }
+    os << "---------- End Simulation Statistics   ----------\n";
+}
+
+void
+writeStatsJson(const StatsSnapshot &snapshot, std::ostream &os)
+{
+    os << "{\n";
+    if (snapshot.manifest.valid) {
+        os << "  \"manifest\": ";
+        writeManifestJson(snapshot.manifest, os, "  ");
+        os << ",\n";
+    }
+    os << "  \"stats\": [";
+    for (std::size_t i = 0; i < snapshot.entries.size(); ++i) {
+        const SnapshotEntry &e = snapshot.entries[i];
+        os << (i ? ",\n" : "\n") << "    {\"name\": " << quote(e.name)
+           << ", \"kind\": \"" << statKindName(e.kind) << "\""
+           << ", \"unit\": " << quote(e.unit)
+           << ", \"desc\": " << quote(e.desc);
+        switch (e.kind) {
+          case StatKind::Scalar:
+          case StatKind::Formula:
+            os << ", \"value\": " << formatDouble(e.value);
+            break;
+          case StatKind::Counter:
+            os << ", \"value\": " << e.count;
+            break;
+          case StatKind::Distribution:
+            os << ", \"count\": " << e.count
+               << ", \"mean\": " << formatDouble(e.mean)
+               << ", \"stddev\": " << formatDouble(e.stddev)
+               << ", \"min\": " << formatDouble(e.min)
+               << ", \"max\": " << formatDouble(e.max);
+            break;
+        }
+        os << "}";
+    }
+    os << "\n  ]\n}\n";
+}
+
+namespace
+{
+
+/** Minimal parser for the JSON subset writeStatsJson emits. */
+class StatsParser
+{
+  public:
+    explicit StatsParser(std::istream &is)
+    {
+        std::ostringstream buf;
+        buf << is.rdbuf();
+        text_ = buf.str();
+    }
+
+    StatsSnapshot
+    parse()
+    {
+        StatsSnapshot out;
+        expect('{');
+        bool first = true;
+        while (peek() != '}') {
+            if (!first)
+                expect(',');
+            first = false;
+            const std::string key = parseString();
+            expect(':');
+            if (key == "manifest") {
+                parseManifest(out.manifest);
+            } else if (key == "stats") {
+                parseEntries(out.entries);
+            } else {
+                panic("stats JSON: unknown key '", key, "'");
+            }
+        }
+        expect('}');
+        return out;
+    }
+
+  private:
+    void
+    parseManifest(Manifest &m)
+    {
+        m.valid = true;
+        expect('{');
+        bool first = true;
+        while (peek() != '}') {
+            if (!first)
+                expect(',');
+            first = false;
+            const std::string key = parseString();
+            expect(':');
+            const std::string value = parseString();
+            if (key == "tool")
+                m.tool = value;
+            else if (key == "version")
+                m.version = value;
+            else if (key == "build")
+                m.build = value;
+            else if (key == "subject")
+                m.subject = value;
+            else if (key == "config_fingerprint")
+                m.configFingerprint = value;
+            else if (key == "seed")
+                m.seed = std::stoull(value);
+            else if (key == "scale")
+                m.scale = std::stod(value);
+            else
+                panic("stats JSON: unknown manifest key '", key, "'");
+        }
+        expect('}');
+    }
+
+    void
+    parseEntries(std::vector<SnapshotEntry> &entries)
+    {
+        expect('[');
+        while (peek() != ']') {
+            if (!entries.empty())
+                expect(',');
+            SnapshotEntry e;
+            expect('{');
+            bool first = true;
+            bool isCounter = false;
+            double value = 0.0;
+            while (peek() != '}') {
+                if (!first)
+                    expect(',');
+                first = false;
+                const std::string key = parseString();
+                expect(':');
+                if (key == "name") {
+                    e.name = parseString();
+                } else if (key == "kind") {
+                    const std::string kind = parseString();
+                    bool known = false;
+                    for (StatKind k :
+                         {StatKind::Scalar, StatKind::Counter,
+                          StatKind::Distribution,
+                          StatKind::Formula}) {
+                        if (kind == statKindName(k)) {
+                            e.kind = k;
+                            known = true;
+                        }
+                    }
+                    panicIfNot(known, "stats JSON: unknown kind '",
+                               kind, "'");
+                    isCounter = e.kind == StatKind::Counter;
+                } else if (key == "unit") {
+                    e.unit = parseString();
+                } else if (key == "desc") {
+                    e.desc = parseString();
+                } else if (key == "value") {
+                    value = parseNumber();
+                } else if (key == "count") {
+                    e.count =
+                        static_cast<std::uint64_t>(parseNumber());
+                } else if (key == "mean") {
+                    e.mean = parseNumber();
+                } else if (key == "stddev") {
+                    e.stddev = parseNumber();
+                } else if (key == "min") {
+                    e.min = parseNumber();
+                } else if (key == "max") {
+                    e.max = parseNumber();
+                } else {
+                    panic("stats JSON: unknown entry key '", key,
+                          "'");
+                }
+            }
+            expect('}');
+            if (isCounter)
+                e.count = static_cast<std::uint64_t>(value);
+            else
+                e.value = value;
+            entries.push_back(std::move(e));
+        }
+        expect(']');
+    }
+
+    char
+    peek()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+        panicIfNot(pos_ < text_.size(),
+                   "stats JSON: unexpected end of input");
+        return text_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        panicIfNot(peek() == c, "stats JSON: expected '", c,
+                   "' at byte ", pos_);
+        ++pos_;
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+            if (text_[pos_] == '\\')
+                ++pos_;
+            panicIfNot(pos_ < text_.size(),
+                       "stats JSON: unterminated string");
+            out += text_[pos_++];
+        }
+        panicIfNot(pos_ < text_.size(),
+                   "stats JSON: unterminated string");
+        ++pos_;
+        return out;
+    }
+
+    double
+    parseNumber()
+    {
+        peek();
+        std::size_t used = 0;
+        const double v = std::stod(text_.substr(pos_), &used);
+        panicIfNot(used != 0, "stats JSON: expected number at byte ",
+                   pos_);
+        pos_ += used;
+        return v;
+    }
+
+    std::string text_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+StatsSnapshot
+readStatsJson(std::istream &is)
+{
+    StatsParser parser(is);
+    return parser.parse();
+}
+
+} // namespace vsgpu::obs

@@ -4,10 +4,12 @@
 #include <cmath>
 #include <limits>
 
+#include "circuit/wave_writer.hh"
 #include "common/check.hh"
 #include "common/logging.hh"
 #include "control/controller.hh"
 #include "ivr/efficiency.hh"
+#include "obs/trace.hh"
 #include "pdn/single_layer.hh"
 #include "pdn/vs_pdn.hh"
 #include "sim/model_verify.hh"
@@ -75,6 +77,9 @@ CoSimulator::runImpl(
     const bool smoothing = cfg_.pds.kind == PdsKind::VsCrossLayer &&
                            cfg_.pds.smoothingEnabled;
 
+    VSGPU_TRACE_SCOPE(obs::CatPhase, "cosim.run");
+    obs::ScopedSpan setupSpan(obs::CatPhase, "cosim.setup");
+
     // --- build the device and the PDS ---
     Gpu gpu(cfg_.gpu);
 
@@ -96,7 +101,7 @@ CoSimulator::runImpl(
     }
     const VsPdn *vsPdn = setup->vs.get();
     const SingleLayerPdn *slPdn = setup->sl.get();
-    auto tr = std::make_unique<TransientSim>(
+    auto tr = std::make_shared<TransientSim>(
         setup->netlist(), config::clockPeriod.raw());
     const std::vector<int> &loadResistors =
         stacked ? vsPdn->loadResistorIndices()
@@ -183,6 +188,34 @@ CoSimulator::runImpl(
     Cycle lastHvUpdate = 0;
     std::uint64_t lastThrottled = 0;
 
+    // Governor counter baselines: attached governors are long-lived
+    // and may serve several runs, so this run's counters are deltas.
+    const std::uint64_t dfsBase = dfs_ ? dfs_->transitions() : 0;
+    const std::uint64_t pgReqBase = pg_ ? pg_->gateRequests() : 0;
+    const std::uint64_t pgVetoBase = pg_ ? pg_->vetoSkips() : 0;
+    const std::uint64_t hvFreqBase =
+        hypervisor_ ? hypervisor_->freqRemaps() : 0;
+    const std::uint64_t hvGateBase =
+        hypervisor_ ? hypervisor_->gatingDenials() : 0;
+
+    // --- waveform capture (observability only) ---
+    std::shared_ptr<WaveWriter> wave;
+    if (cfg_.waveStride > 0) {
+        wave = std::make_shared<WaveWriter>(*tr, cfg_.waveStride);
+        for (int sm = 0; sm < config::numSMs; ++sm) {
+            const std::string name = "sm" + std::to_string(sm) +
+                                     "_rail";
+            if (stacked) {
+                wave->addSignal(name, vsPdn->smTopNode(sm),
+                                vsPdn->smBottomNode(sm));
+            } else {
+                wave->addSignal(name, slPdn->smNode(sm));
+            }
+        }
+    }
+
+    setupSpan.end();
+
     const Cycle gateLayerAt =
         cfg_.gateLayerAtSec >= Seconds{}
             ? static_cast<Cycle>(cfg_.gateLayerAtSec.raw() / dt)
@@ -199,8 +232,35 @@ CoSimulator::runImpl(
         gpu.launch(*kernels[k]);
         ++kernelsLaunched;
 
+        obs::ScopedSpan kernelSpan(obs::CatPhase, "cosim.kernel");
+        if (kernelSpan.live())
+            kernelSpan.setArg("kernel", std::to_string(k));
+
+        // Transient work is traced as fixed-size chunks so long runs
+        // show up as a sequence of spans rather than one opaque box.
+        const bool tracePhases =
+            obs::Tracer::enabledFor(obs::CatPhase);
+        constexpr Cycle chunkCycles = 16384;
+        Cycle chunkStartCycle = gpu.cycle();
+        double chunkStartUs =
+            tracePhases ? obs::Tracer::instance().nowUs() : 0.0;
+        const auto emitChunk = [&](Cycle upTo) {
+            obs::Tracer &tracer = obs::Tracer::instance();
+            const double nowUs = tracer.nowUs();
+            tracer.complete(
+                obs::CatPhase, "cosim.transient_chunk",
+                chunkStartUs, nowUs - chunkStartUs,
+                {{"start_cycle", std::to_string(chunkStartCycle)},
+                 {"cycles",
+                  std::to_string(upTo - chunkStartCycle)}});
+            chunkStartUs = nowUs;
+            chunkStartCycle = upTo;
+        };
+
     while (!gpu.done() && gpu.cycle() < cfg_.maxCycles) {
         const Cycle now = gpu.cycle();
+        if (tracePhases && now - chunkStartCycle >= chunkCycles)
+            emitChunk(now);
 
         // 1. GPU timing step.
         gpu.step();
@@ -250,6 +310,8 @@ CoSimulator::runImpl(
             dccDrawnWatts += rail * dccAmps[idx];
         }
         tr->step();
+        if (wave)
+            wave->sample();
 
         // 3b. Remote-sense load-line regulation: servo the VRM
         // output so the average die rail tracks nominal.
@@ -317,7 +379,15 @@ CoSimulator::runImpl(
             std::array<double, config::numSMs> volts{};
             for (int sm = 0; sm < config::numSMs; ++sm)
                 volts[static_cast<std::size_t>(sm)] = railVolts(sm);
+            const std::uint64_t trippedBefore =
+                obs::Tracer::enabledFor(obs::CatCtl)
+                    ? controller->triggeredDecisions()
+                    : 0;
             const CommandSet &commands = controller->step(volts);
+            if (obs::Tracer::enabledFor(obs::CatCtl) &&
+                controller->triggeredDecisions() > trippedBefore) {
+                VSGPU_TRACE_INSTANT(obs::CatCtl, "ctl.trigger");
+            }
             for (int sm = 0; sm < config::numSMs; ++sm) {
                 const auto idx = static_cast<std::size_t>(sm);
                 gpu.sm(sm).setIssueWidthLimit(
@@ -329,7 +399,15 @@ CoSimulator::runImpl(
 
         // 7. Higher-level power management.
         if (dfs_) {
+            const std::uint64_t dfsBefore =
+                obs::Tracer::enabledFor(obs::CatHv)
+                    ? dfs_->transitions()
+                    : 0;
             dfs_->step(gpu);
+            if (obs::Tracer::enabledFor(obs::CatHv) &&
+                dfs_->transitions() > dfsBefore) {
+                VSGPU_TRACE_INSTANT(obs::CatHv, "dfs.transition");
+            }
             auto request = dfs_->requested();
             if (hypervisor_ && stacked)
                 request = hypervisor_->filterFrequencies(request);
@@ -357,8 +435,17 @@ CoSimulator::runImpl(
                                 pg_->config().idleDetect;
                     }
                 }
+                const std::uint64_t denialsBefore =
+                    obs::Tracer::enabledFor(obs::CatHv)
+                        ? hypervisor_->gatingDenials()
+                        : 0;
                 const GatingPlan plan = hypervisor_->filterGating(
                     wish, cfg_.energy.unitLeakage);
+                if (obs::Tracer::enabledFor(obs::CatHv) &&
+                    hypervisor_->gatingDenials() > denialsBefore) {
+                    VSGPU_TRACE_INSTANT(obs::CatHv,
+                                        "hv.gating_denial");
+                }
                 for (int sm = 0; sm < config::numSMs; ++sm) {
                     for (int u = 0; u < numExecUnits; ++u) {
                         const auto kind =
@@ -489,6 +576,8 @@ CoSimulator::runImpl(
         result.energy.wall += wallWatts * dt;
     }
 
+        if (tracePhases && gpu.cycle() > chunkStartCycle)
+            emitChunk(gpu.cycle());
         if (gpu.cycle() >= cfg_.maxCycles)
             budgetExhausted = true;
     }
@@ -521,6 +610,50 @@ CoSimulator::runImpl(
     }
     for (std::size_t b = 0; b < 4; ++b)
         result.imbalanceBins[b] = imbalance.fraction(b);
+
+    // --- event counters for the obs stats registry ---
+    CosimCounters &ctr = result.counters;
+    ctr.cycles = result.cycles;
+    ctr.instructions = instructions;
+    ctr.throttledCycles = throttled;
+    ctr.kernelLaunches = kernelsLaunched;
+    for (int sm = 0; sm < config::numSMs; ++sm) {
+        ctr.fakeInstructions += gpu.sm(sm).fakeIssuedTotal();
+        const SmStats smStats = gpu.sm(sm).stats();
+        for (std::uint64_t events : smStats.gateEvents)
+            ctr.gateEvents += events;
+    }
+    ctr.memAccesses = gpu.memory().accesses();
+    ctr.l1Hits = gpu.memory().l1Hits();
+    ctr.l2Hits = gpu.memory().l2Hits();
+    ctr.dramAccesses = gpu.memory().dramAccesses();
+    ctr.timesteps = tr->steps();
+    ctr.luFactorizations = tr->luBuilds();
+    if (controller) {
+        ctr.ctlDecisions = controller->totalDecisions();
+        ctr.ctlTriggered = controller->triggeredDecisions();
+        ctr.detectorTrips = controller->detectorTrips();
+        ctr.diwsEngagements = controller->diwsEngagements();
+        ctr.fiiEngagements = controller->fiiEngagements();
+        ctr.dccEngagements = controller->dccEngagements();
+    }
+    if (dfs_)
+        ctr.dfsTransitions = dfs_->transitions() - dfsBase;
+    if (pg_) {
+        ctr.pgGateRequests = pg_->gateRequests() - pgReqBase;
+        ctr.pgVetoSkips = pg_->vetoSkips() - pgVetoBase;
+    }
+    if (hypervisor_) {
+        ctr.hvFreqRemaps = hypervisor_->freqRemaps() - hvFreqBase;
+        ctr.hvGatingDenials =
+            hypervisor_->gatingDenials() - hvGateBase;
+    }
+
+    if (wave) {
+        result.wave = wave;
+        result.waveSim = tr;
+        result.waveSetup = setup;
+    }
     return result;
 }
 

@@ -43,6 +43,14 @@ struct CosimConfig
     /** Record a TraceSample every this many cycles (0 = off). */
     int traceStride = 0;
 
+    /**
+     * Capture per-SM rail-voltage waveforms every this many cycles
+     * into result.wave (0 = off; see circuit/wave_writer.hh and the
+     * vsgpu_cli --wave-out flag).  Observability only: not part of
+     * pdsSetupKey() and never feeds back into the run.
+     */
+    int waveStride = 0;
+
     /** Worst-case scenario: halt one layer's SMs ("manually turn
      *  off", paper Fig. 9, at 3 us) from this time on (< 0 disables).
      *  Halted SMs stop issuing but keep clock-tree and leakage power,

@@ -8,6 +8,8 @@
 #define VSGPU_SIM_METRICS_HH
 
 #include <array>
+#include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/stats.hh"
@@ -15,6 +17,82 @@
 
 namespace vsgpu
 {
+
+class TransientSim;
+class WaveWriter;
+struct PdsSetup;
+
+/**
+ * Schedule-independent event counts of one run, for the obs stats
+ * registry.  All integers: cross-task aggregation (add()) is exact,
+ * commutative and associative, so a sweep's summed counters are
+ * bitwise identical for --jobs 1 and --jobs N regardless of pool
+ * scheduling (docs/parallel_exec.md).
+ */
+struct CosimCounters
+{
+    std::uint64_t cycles = 0;
+    std::uint64_t instructions = 0;
+    std::uint64_t fakeInstructions = 0;
+    std::uint64_t throttledCycles = 0;
+    std::uint64_t kernelLaunches = 0;
+
+    // Memory system.
+    std::uint64_t memAccesses = 0;
+    std::uint64_t l1Hits = 0;
+    std::uint64_t l2Hits = 0;
+    std::uint64_t dramAccesses = 0;
+
+    // Circuit engine (fixed-step linear solver: timesteps and LU
+    // factorization builds are its cost counters).
+    std::uint64_t timesteps = 0;
+    std::uint64_t luFactorizations = 0;
+
+    // Smoothing controller.
+    std::uint64_t ctlDecisions = 0;
+    std::uint64_t ctlTriggered = 0;
+    std::uint64_t detectorTrips = 0;
+    std::uint64_t diwsEngagements = 0;
+    std::uint64_t fiiEngagements = 0;
+    std::uint64_t dccEngagements = 0;
+
+    // Hypervisor-level power management.
+    std::uint64_t dfsTransitions = 0;
+    std::uint64_t pgGateRequests = 0;
+    std::uint64_t pgVetoSkips = 0;
+    std::uint64_t gateEvents = 0;
+    std::uint64_t hvFreqRemaps = 0;
+    std::uint64_t hvGatingDenials = 0;
+
+    /** Element-wise accumulate (exact integer sums). */
+    void
+    add(const CosimCounters &o)
+    {
+        cycles += o.cycles;
+        instructions += o.instructions;
+        fakeInstructions += o.fakeInstructions;
+        throttledCycles += o.throttledCycles;
+        kernelLaunches += o.kernelLaunches;
+        memAccesses += o.memAccesses;
+        l1Hits += o.l1Hits;
+        l2Hits += o.l2Hits;
+        dramAccesses += o.dramAccesses;
+        timesteps += o.timesteps;
+        luFactorizations += o.luFactorizations;
+        ctlDecisions += o.ctlDecisions;
+        ctlTriggered += o.ctlTriggered;
+        detectorTrips += o.detectorTrips;
+        diwsEngagements += o.diwsEngagements;
+        fiiEngagements += o.fiiEngagements;
+        dccEngagements += o.dccEngagements;
+        dfsTransitions += o.dfsTransitions;
+        pgGateRequests += o.pgGateRequests;
+        pgVetoSkips += o.pgVetoSkips;
+        gateEvents += o.gateEvents;
+        hvFreqRemaps += o.hvFreqRemaps;
+        hvGatingDenials += o.hvGatingDenials;
+    }
+};
 
 /** Energy breakdown of one run (J). */
 struct EnergyBreakdown
@@ -79,6 +157,19 @@ struct CosimResult
 
     /** Optional voltage trace (when tracing was enabled). */
     std::vector<TraceSample> trace;
+
+    /** Event counts for the obs stats registry. */
+    CosimCounters counters;
+
+    /**
+     * Optional full-resolution waveform capture (cfg.waveStride > 0):
+     * per-SM rail voltages, dumpable as VCD or CSV.  The writer
+     * observes the run's TransientSim, so the result keeps the sim
+     * and its setup alive alongside it.
+     */
+    std::shared_ptr<WaveWriter> wave;
+    std::shared_ptr<TransientSim> waveSim;
+    std::shared_ptr<const PdsSetup> waveSetup;
 
     /** @return average load power over the run (W). */
     double

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/logging.hh"
+#include "obs/trace.hh"
 #include "sim/model_verify.hh"
 
 namespace vsgpu
@@ -124,7 +125,10 @@ buildPdsSetup(const CosimConfig &cfg)
     closed.reserve(net.switches().size());
     for (const auto &sw : net.switches())
         closed.push_back(sw.initiallyClosed);
-    setup->dcNodeVolts = solveDc(net, amps, closed);
+    {
+        VSGPU_TRACE_SCOPE(obs::CatPhase, "pds.dc_solve");
+        setup->dcNodeVolts = solveDc(net, amps, closed);
+    }
     return setup;
 }
 

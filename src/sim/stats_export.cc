@@ -1,0 +1,167 @@
+#include "sim/stats_export.hh"
+
+namespace vsgpu
+{
+
+void
+registerCounters(obs::StatsRegistry &registry,
+                 const CosimCounters &counters)
+{
+    obs::StatsGroup gpu = registry.group("gpu");
+    gpu.counter("cycles", "cycles", "simulated core cycles")
+        .set(counters.cycles);
+    gpu.counter("instructions", "insts",
+                "real instructions retired")
+        .set(counters.instructions);
+    gpu.counter("fake_instructions", "insts",
+                "fake instructions injected (FII)")
+        .set(counters.fakeInstructions);
+    gpu.counter("throttled_cycles", "cycles",
+                "SM-cycles under DIWS throttling")
+        .set(counters.throttledCycles);
+    gpu.counter("kernel_launches", "kernels",
+                "kernels launched on the device")
+        .set(counters.kernelLaunches);
+    gpu.counter("gate_events", "events",
+                "execution-unit power-gate engagements")
+        .set(counters.gateEvents);
+
+    obs::StatsGroup mem = gpu.group("mem");
+    mem.counter("accesses", "accesses",
+                "memory requests issued by LSUs")
+        .set(counters.memAccesses);
+    mem.counter("l1_hits", "accesses", "requests served by L1")
+        .set(counters.l1Hits);
+    mem.counter("l2_hits", "accesses", "requests served by L2")
+        .set(counters.l2Hits);
+    mem.counter("dram_accesses", "accesses",
+                "requests served by DRAM")
+        .set(counters.dramAccesses);
+
+    obs::StatsGroup sim = registry.group("sim");
+    sim.counter("transient.timesteps", "steps",
+                "fixed-step transient solver steps")
+        .set(counters.timesteps);
+    sim.counter("transient.lu_factorizations", "factorizations",
+                "MNA LU factorizations built (switch-state cache "
+                "misses)")
+        .set(counters.luFactorizations);
+
+    obs::StatsGroup control = registry.group("control");
+    control.counter("decisions", "decisions",
+                    "smoothing-controller decision periods")
+        .set(counters.ctlDecisions);
+    control.counter("triggered", "decisions",
+                    "decisions that engaged smoothing")
+        .set(counters.ctlTriggered);
+    control.counter("detector_trips", "trips",
+                    "per-SM below-threshold voltage detections")
+        .set(counters.detectorTrips);
+    control.counter("diws_engagements", "engagements",
+                    "issue-width throttle actuations (DIWS)")
+        .set(counters.diwsEngagements);
+    control.counter("fii_engagements", "engagements",
+                    "fake-instruction injection actuations (FII)")
+        .set(counters.fiiEngagements);
+    control.counter("dcc_engagements", "engagements",
+                    "current-DAC compensation actuations (DCC)")
+        .set(counters.dccEngagements);
+
+    obs::StatsGroup hv = registry.group("hypervisor");
+    hv.counter("dfs_transitions", "transitions",
+               "per-SM DFS frequency-step changes")
+        .set(counters.dfsTransitions);
+    hv.counter("pg_gate_requests", "requests",
+               "power-gate requests issued to SMs")
+        .set(counters.pgGateRequests);
+    hv.counter("pg_veto_skips", "skips",
+               "PG policy evaluations skipped by a veto")
+        .set(counters.pgVetoSkips);
+    hv.counter("freq_remaps", "remaps",
+               "DFS requests pulled up to the column budget")
+        .set(counters.hvFreqRemaps);
+    hv.counter("gating_denials", "denials",
+               "gating requests denied by the imbalance budget")
+        .set(counters.hvGatingDenials);
+}
+
+void
+registerRunStats(obs::StatsRegistry &registry,
+                 const CosimResult &result)
+{
+    registerCounters(registry, result.counters);
+
+    obs::StatsGroup gpu = registry.group("gpu");
+    gpu.scalar("min_voltage", obs::unitName<Volts>(),
+               "worst per-SM rail voltage over the run")
+        .set(result.minVoltage);
+    gpu.scalar("mean_voltage", obs::unitName<Volts>(),
+               "mean per-SM rail voltage over the run")
+        .set(result.meanVoltage);
+    gpu.scalar("throttle_rate", "",
+               "fraction of SM-cycles under DIWS throttling")
+        .set(result.throttleRate);
+    gpu.scalar("trigger_rate", "",
+               "fraction of control decisions that triggered")
+        .set(result.triggerRate);
+    gpu.scalar("avg_load_power", obs::unitName<Watts>(),
+               "average SM load power over the run")
+        .set(result.avgLoadPower());
+
+    obs::StatsGroup energy = registry.group("energy");
+    const char *joules = obs::unitName<Joules>();
+    energy.scalar("load", joules, "energy delivered to SM loads")
+        .set(result.energy.load);
+    energy.scalar("fake", joules, "load energy spent on FII")
+        .set(result.energy.fake);
+    energy.scalar("pdn", joules, "resistive PDN loss")
+        .set(result.energy.pdn);
+    energy
+        .scalar("conversion", joules,
+                "VRM / single-layer IVR conversion loss")
+        .set(result.energy.conversion);
+    energy
+        .scalar("cr_ivr", joules,
+                "CR-IVR charge-transfer and switching loss")
+        .set(result.energy.crIvr);
+    energy
+        .scalar("overhead", joules,
+                "detector, controller, DCC, shifter overheads")
+        .set(result.energy.overhead);
+    energy.scalar("wall", joules, "total board-supply energy")
+        .set(result.energy.wall);
+    energy
+        .formula("pde", "",
+                 "power delivery efficiency (load / wall)",
+                 [load = result.energy.load,
+                  wall = result.energy.wall] {
+                     return wall > 0.0 ? load / wall : 0.0;
+                 })
+        .value();
+}
+
+void
+registerExecStats(obs::StatsRegistry &registry,
+                  std::uint64_t poolTasksRun,
+                  std::uint64_t poolSteals,
+                  std::uint64_t setupsBuilt,
+                  std::uint64_t setupHits)
+{
+    obs::StatsGroup exec = registry.group("exec");
+    exec.counter("pool.tasks_run", "tasks",
+                 "pool tasks executed to completion")
+        .set(poolTasksRun);
+    exec.counter("pool.steals", "steals",
+                 "tasks taken from another worker's queue "
+                 "(schedule-dependent; excluded from default dumps)",
+                 /*scheduleDependent=*/true)
+        .set(poolSteals);
+    exec.counter("setup_cache.built", "setups",
+                 "electrical setups built (cache misses)")
+        .set(setupsBuilt);
+    exec.counter("setup_cache.hits", "setups",
+                 "setup requests answered from the cache")
+        .set(setupHits);
+}
+
+} // namespace vsgpu

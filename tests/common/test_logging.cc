@@ -5,6 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <utility>
+#include <vector>
+
 #include "common/logging.hh"
 
 namespace vsgpu
@@ -65,6 +69,67 @@ TEST(Logging, ConcatFormatsMixedTypes)
 {
     EXPECT_EQ(detail::concat("a", 1, "b", 2.5), "a1b2.5");
     EXPECT_EQ(detail::concat(), "");
+}
+
+/** RAII: capture log output through a test sink, restore on exit. */
+class SinkCapture
+{
+  public:
+    SinkCapture()
+    {
+        wasQuiet_ = logQuiet();
+        setLogQuiet(false);
+        setLogThreshold(LogLevel::Inform);
+        setLogSink([this](LogLevel level, const std::string &msg) {
+            lines.emplace_back(level, msg);
+        });
+    }
+
+    ~SinkCapture()
+    {
+        setLogSink({});
+        setLogQuiet(wasQuiet_);
+    }
+
+    std::vector<std::pair<LogLevel, std::string>> lines;
+
+  private:
+    bool wasQuiet_ = false;
+};
+
+TEST(Logging, SinkReceivesWarnAndInform)
+{
+    SinkCapture capture;
+    inform("hello ", 1);
+    warn("watch out");
+    ASSERT_EQ(capture.lines.size(), 2U);
+    EXPECT_EQ(capture.lines[0].first, LogLevel::Inform);
+    EXPECT_EQ(capture.lines[0].second, "hello 1");
+    EXPECT_EQ(capture.lines[1].first, LogLevel::Warn);
+    EXPECT_EQ(capture.lines[1].second, "watch out");
+}
+
+TEST(Logging, ThresholdFiltersBelowLevel)
+{
+    SinkCapture capture;
+    setLogThreshold(LogLevel::Warn);
+    inform("dropped");
+    warn("kept");
+    setLogThreshold(LogLevel::Inform);
+    ASSERT_EQ(capture.lines.size(), 1U);
+    EXPECT_EQ(capture.lines[0].second, "kept");
+}
+
+TEST(Logging, WarnOnceFiresOncePerCallsite)
+{
+    SinkCapture capture;
+    for (int i = 0; i < 5; ++i)
+        warn_once("only once, i=", i);
+    ASSERT_EQ(capture.lines.size(), 1U);
+    EXPECT_EQ(capture.lines[0].second, "only once, i=0");
+    // A distinct callsite has its own latch.
+    warn_once("second site");
+    EXPECT_EQ(capture.lines.size(), 2U);
 }
 
 } // namespace

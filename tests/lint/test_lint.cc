@@ -102,6 +102,46 @@ TEST(LintDeterminism, CleanFixture)
         messages(diags));
 }
 
+TEST(LintDeterminism, IostreamViolatingFixture)
+{
+    const SourceFile src = fixture("iostream_violate.cc");
+    std::vector<Diagnostic> diags;
+    checkDeterminism(src, CheckOptions{}, diags);
+    // std::cout, std::cerr, the using-declaration of std::clog, and
+    // the unqualified clog write.
+    EXPECT_EQ(diags.size(), 4U) << ::testing::PrintToString(
+        messages(diags));
+    EXPECT_TRUE(anyMentions(diags, "std::cout"));
+    EXPECT_TRUE(anyMentions(diags, "std::cerr"));
+    EXPECT_TRUE(anyMentions(diags, "std::clog"));
+    for (const Diagnostic &d : diags)
+        EXPECT_EQ(d.check, Check::Determinism);
+}
+
+TEST(LintDeterminism, IostreamCleanFixture)
+{
+    const SourceFile src = fixture("iostream_clean.cc");
+    std::vector<Diagnostic> diags;
+    checkDeterminism(src, CheckOptions{}, diags);
+    EXPECT_TRUE(diags.empty()) << ::testing::PrintToString(
+        messages(diags));
+}
+
+TEST(LintDeterminism, IostreamAllowlistPermitsWriters)
+{
+    const std::string code = "void f() { std::cout << 1; }\n";
+    std::vector<Diagnostic> diags;
+    checkDeterminism(SourceFile("src/common/logging.cc", code),
+                     CheckOptions{}, diags);
+    EXPECT_TRUE(diags.empty());
+    checkDeterminism(SourceFile("src/circuit/wave_writer.cc", code),
+                     CheckOptions{}, diags);
+    EXPECT_TRUE(diags.empty());
+    checkDeterminism(SourceFile("src/sim/cosim.cc", code),
+                     CheckOptions{}, diags);
+    EXPECT_EQ(diags.size(), 1U);
+}
+
 TEST(LintPoolConcurrency, ViolatingFixture)
 {
     const SourceFile src = fixture("pool_violate.cc");

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Unit tests for the run manifest: fingerprint stability, pair
+ * ordering, and JSON rendering.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "obs/manifest.hh"
+
+namespace vsgpu::obs
+{
+namespace
+{
+
+TEST(Manifest, Fnv1a64MatchesReferenceVectors)
+{
+    // Published FNV-1a 64 test vectors.
+    EXPECT_EQ(fnv1a64Hex(""), "cbf29ce484222325");
+    EXPECT_EQ(fnv1a64Hex("a"), "af63dc4c8601ec8c");
+    EXPECT_EQ(fnv1a64Hex("foobar"), "85944171f73967e8");
+}
+
+TEST(Manifest, FingerprintIsOrderIndependent)
+{
+    const std::string ab = configFingerprint({"keyA", "keyB"});
+    const std::string ba = configFingerprint({"keyB", "keyA"});
+    EXPECT_EQ(ab, ba);
+    EXPECT_EQ(ab.size(), 16U);
+}
+
+TEST(Manifest, FingerprintDeduplicatesKeys)
+{
+    EXPECT_EQ(configFingerprint({"k", "k", "k"}),
+              configFingerprint({"k"}));
+}
+
+TEST(Manifest, FingerprintSeparatesKeyBoundaries)
+{
+    // "ab" + "c" must not collide with "a" + "bc".
+    EXPECT_NE(configFingerprint({"ab", "c"}),
+              configFingerprint({"a", "bc"}));
+}
+
+TEST(Manifest, MakeManifestFillsToolVersionBuild)
+{
+    const Manifest m = makeManifest("vsgpu");
+    EXPECT_TRUE(m.valid);
+    EXPECT_EQ(m.tool, "vsgpu");
+    EXPECT_FALSE(m.version.empty());
+    EXPECT_FALSE(m.build.empty());
+}
+
+TEST(Manifest, ToPairsKeepsStableOrder)
+{
+    Manifest m = makeManifest("t");
+    m.subject = "s";
+    m.configFingerprint = "f";
+    m.seed = 7;
+    m.scale = 0.5;
+    const auto pairs = m.toPairs();
+    ASSERT_EQ(pairs.size(), 7U);
+    EXPECT_EQ(pairs[0].first, "tool");
+    EXPECT_EQ(pairs[1].first, "version");
+    EXPECT_EQ(pairs[2].first, "build");
+    EXPECT_EQ(pairs[3].first, "subject");
+    EXPECT_EQ(pairs[4].first, "config_fingerprint");
+    EXPECT_EQ(pairs[5].first, "seed");
+    EXPECT_EQ(pairs[5].second, "7");
+    EXPECT_EQ(pairs[6].first, "scale");
+}
+
+TEST(Manifest, JsonContainsEveryPair)
+{
+    Manifest m = makeManifest("t");
+    m.subject = "run x";
+    m.configFingerprint = "deadbeefdeadbeef";
+    std::ostringstream oss;
+    writeManifestJson(m, oss, "  ");
+    const std::string json = oss.str();
+    for (const auto &kv : m.toPairs()) {
+        EXPECT_NE(json.find("\"" + kv.first + "\""),
+                  std::string::npos)
+            << kv.first;
+    }
+}
+
+} // namespace
+} // namespace vsgpu::obs

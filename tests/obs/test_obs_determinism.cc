@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Cross-layer observability integration tests: stats dumps must be
+ * bitwise identical for --jobs 1 and --jobs 8 (the schedule-
+ * dependent stats are excluded by default), the run manifest must
+ * not vary with the job count, and enabling tracing must not perturb
+ * simulation results.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "bench/scenarios/scenarios.hh"
+#include "obs/trace.hh"
+
+namespace vsgpu::scen
+{
+namespace
+{
+
+/** Smallest useful scale: keeps each co-simulation short. */
+constexpr double kScale = 0.05;
+
+struct ScenarioDump
+{
+    std::string statsJson;
+    std::string statsText;
+    std::string summaryJson;
+    obs::Manifest manifest;
+};
+
+ScenarioDump
+runWithJobs(const char *scenario, int jobs)
+{
+    const ScenarioInfo *info = findScenario(scenario);
+    EXPECT_NE(info, nullptr);
+    ScenarioOptions opts;
+    opts.jobs = jobs;
+    opts.scale = kScale;
+
+    std::ostringstream tables;
+    obs::StatsRegistry registry;
+    ScenarioDump dump;
+    const Summary summary =
+        runScenario(*info, opts, tables, &registry, &dump.manifest);
+
+    registry.setManifest(dump.manifest);
+    std::ostringstream statsJson;
+    registry.dumpJson(statsJson);
+    dump.statsJson = statsJson.str();
+    std::ostringstream statsText;
+    registry.dumpText(statsText);
+    dump.statsText = statsText.str();
+    std::ostringstream summaryJson;
+    writeSummaryJson(summary, summaryJson);
+    dump.summaryJson = summaryJson.str();
+    return dump;
+}
+
+TEST(ObsDeterminism, StatsDumpsIdenticalAcrossJobCounts)
+{
+    const ScenarioDump one = runWithJobs("fig12_threshold_sweep", 1);
+    const ScenarioDump eight =
+        runWithJobs("fig12_threshold_sweep", 8);
+    EXPECT_EQ(one.statsJson, eight.statsJson);
+    EXPECT_EQ(one.statsText, eight.statsText);
+    EXPECT_EQ(one.summaryJson, eight.summaryJson);
+    EXPECT_EQ(one.manifest.configFingerprint,
+              eight.manifest.configFingerprint);
+}
+
+TEST(ObsDeterminism, StatsDumpCoversEveryLayer)
+{
+    const ScenarioDump dump = runWithJobs("fig12_threshold_sweep", 4);
+    for (const char *needle :
+         {"\"gpu.", "\"sim.", "\"control.", "\"hypervisor.",
+          "\"exec."}) {
+        EXPECT_NE(dump.statsJson.find(needle), std::string::npos)
+            << needle;
+    }
+    EXPECT_NE(dump.statsJson.find("\"manifest\""),
+              std::string::npos);
+    EXPECT_NE(dump.summaryJson.find("\"manifest\""),
+              std::string::npos);
+}
+
+TEST(ObsDeterminism, TracingDoesNotPerturbResults)
+{
+    const ScenarioDump quiet = runWithJobs("fig12_threshold_sweep", 2);
+
+    obs::Tracer::instance().enable(obs::CatAll);
+    const ScenarioDump traced =
+        runWithJobs("fig12_threshold_sweep", 2);
+    obs::Tracer::instance().disable();
+    EXPECT_GT(obs::Tracer::instance().numEvents(), 0U);
+    obs::Tracer::instance().clear();
+
+    EXPECT_EQ(quiet.summaryJson, traced.summaryJson);
+    EXPECT_EQ(quiet.statsJson, traced.statsJson);
+}
+
+TEST(ObsDeterminism, StatsJsonRoundTripsThroughParser)
+{
+    const ScenarioDump dump = runWithJobs("fig12_threshold_sweep", 2);
+    std::istringstream in(dump.statsJson);
+    const obs::StatsSnapshot parsed = obs::readStatsJson(in);
+    std::ostringstream out;
+    obs::writeStatsJson(parsed, out);
+    EXPECT_EQ(out.str(), dump.statsJson);
+}
+
+} // namespace
+} // namespace vsgpu::scen

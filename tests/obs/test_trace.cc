@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Unit tests for the Chrome trace_event tracer: category parsing,
+ * the disabled fast path, span nesting by timestamp containment, and
+ * the emitted JSON document shape.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "obs/trace.hh"
+
+namespace vsgpu::obs
+{
+namespace
+{
+
+/** RAII: each test starts and ends with a clean, disabled tracer. */
+class TracerFixture : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        Tracer::instance().disable();
+        Tracer::instance().clear();
+    }
+
+    void
+    TearDown() override
+    {
+        Tracer::instance().disable();
+        Tracer::instance().clear();
+    }
+};
+
+using TraceTest = TracerFixture;
+
+TEST_F(TraceTest, CategoryParsing)
+{
+    EXPECT_EQ(parseTraceCategories(""), CatAll);
+    EXPECT_EQ(parseTraceCategories("all"), CatAll);
+    EXPECT_EQ(parseTraceCategories("phase"), CatPhase);
+    EXPECT_EQ(parseTraceCategories("phase,pool"),
+              CatPhase | CatPool);
+    EXPECT_EQ(parseTraceCategories("ctl,hv"), CatCtl | CatHv);
+}
+
+TEST_F(TraceTest, CategoryParsingRejectsUnknownNames)
+{
+    EXPECT_DEATH(parseTraceCategories("phase,bogus"), "");
+}
+
+TEST_F(TraceTest, CategoryNames)
+{
+    EXPECT_STREQ(traceCategoryName(CatPhase), "phase");
+    EXPECT_STREQ(traceCategoryName(CatPool), "pool");
+    EXPECT_STREQ(traceCategoryName(CatCtl), "ctl");
+    EXPECT_STREQ(traceCategoryName(CatHv), "hv");
+}
+
+TEST_F(TraceTest, DisabledRecordsNothing)
+{
+    {
+        VSGPU_TRACE_SCOPE(CatPhase, "should.not.appear");
+        VSGPU_TRACE_INSTANT(CatCtl, "neither.this");
+    }
+    EXPECT_EQ(Tracer::instance().numEvents(), 0U);
+}
+
+TEST_F(TraceTest, DisabledCategoryIsFilteredWhileOthersRecord)
+{
+    Tracer::instance().enable(CatPhase);
+    {
+        VSGPU_TRACE_SCOPE(CatPhase, "kept");
+        VSGPU_TRACE_INSTANT(CatCtl, "filtered");
+    }
+    const auto events = Tracer::instance().events();
+    ASSERT_EQ(events.size(), 1U);
+    EXPECT_STREQ(events[0].name, "kept");
+    EXPECT_EQ(events[0].phase, 'X');
+}
+
+TEST_F(TraceTest, NestedSpansAreContainedInTime)
+{
+    Tracer::instance().enable(CatAll);
+    {
+        VSGPU_TRACE_SCOPE(CatPhase, "outer");
+        {
+            VSGPU_TRACE_SCOPE(CatPhase, "inner");
+        }
+    }
+    const auto events = Tracer::instance().events();
+    ASSERT_EQ(events.size(), 2U);
+    // Inner finishes (and records) first.
+    const TraceEvent &inner = events[0];
+    const TraceEvent &outer = events[1];
+    EXPECT_STREQ(inner.name, "inner");
+    EXPECT_STREQ(outer.name, "outer");
+    EXPECT_GE(inner.tsUs, outer.tsUs);
+    EXPECT_LE(inner.tsUs + inner.durUs, outer.tsUs + outer.durUs);
+}
+
+TEST_F(TraceTest, EarlyEndIsIdempotent)
+{
+    Tracer::instance().enable(CatAll);
+    {
+        ScopedSpan span(CatPhase, "early");
+        EXPECT_TRUE(span.live());
+        span.end();
+        EXPECT_FALSE(span.live());
+        span.end(); // second end and the destructor are no-ops
+    }
+    EXPECT_EQ(Tracer::instance().numEvents(), 1U);
+}
+
+TEST_F(TraceTest, JsonDocumentShape)
+{
+    Tracer::instance().enable(CatAll);
+    {
+        ScopedSpan span(CatPool, "pool.task");
+        span.setArg("task", "3");
+    }
+    VSGPU_TRACE_INSTANT(CatHv, "dfs.transition");
+    Tracer::instance().disable();
+
+    std::ostringstream oss;
+    Tracer::instance().writeJson(oss);
+    const std::string json = oss.str();
+    EXPECT_NE(json.find("\"displayTimeUnit\""), std::string::npos);
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\": \"i\""), std::string::npos);
+    EXPECT_NE(json.find("\"cat\": \"pool\""), std::string::npos);
+    EXPECT_NE(json.find("\"cat\": \"hv\""), std::string::npos);
+    EXPECT_NE(json.find("\"task\": \"3\""), std::string::npos);
+    EXPECT_NE(json.find("\"pid\": 1"), std::string::npos);
+}
+
+TEST_F(TraceTest, ClearDropsEvents)
+{
+    Tracer::instance().enable(CatAll);
+    VSGPU_TRACE_INSTANT(CatCtl, "x");
+    EXPECT_EQ(Tracer::instance().numEvents(), 1U);
+    Tracer::instance().clear();
+    EXPECT_EQ(Tracer::instance().numEvents(), 0U);
+}
+
+} // namespace
+} // namespace vsgpu::obs

@@ -4,7 +4,7 @@
  *
  * The engine invariant "--jobs 1 and --jobs N are bitwise identical"
  * (docs/parallel_exec.md) only survives if simulation code never
- * consults ambient state.  Two sub-rules:
+ * consults ambient state.  Three sub-rules:
  *
  *  banned calls      std::rand/srand, std::time, std::random_device
  *                    (outside the seeded factory in common/random),
@@ -18,8 +18,16 @@
  *                    result depend on hash-table ordering, which
  *                    varies across libstdc++ versions and ASLR.
  *
+ *  direct stdio      std::cout/cerr/clog in src/ outside the
+ *                    allowlisted writers (common/logging,
+ *                    common/table, circuit/wave_writer).  Library
+ *                    code printing directly bypasses the filterable
+ *                    logging sink and interleaves with the tools'
+ *                    structured output in pool-thread order.
+ *
  * Waivers: // vsgpu-lint: nondet-ok(<reason>) for banned calls,
- *          // vsgpu-lint: unordered-ok(<reason>) for iteration.
+ *          // vsgpu-lint: unordered-ok(<reason>) for iteration,
+ *          // vsgpu-lint: iostream-ok(<reason>) for direct stdio.
  */
 
 #include "lint.hh"
@@ -158,6 +166,42 @@ checkDeterminism(const SourceFile &src, const CheckOptions &opts,
                    "per-task Rng stream (exec::TaskContext) or an "
                    "explicit seed",
                "vsgpu-lint: nondet-ok");
+    }
+
+    // --- Sub-rule 3: direct stdio in library code ---------------
+    const bool iostreamAllowed = std::any_of(
+        opts.iostreamAllowlist.begin(), opts.iostreamAllowlist.end(),
+        [&](const std::string &suffix) {
+            const std::string &d = src.display();
+            return d.size() >= suffix.size() &&
+                   d.compare(d.size() - suffix.size(),
+                             suffix.size(), suffix) == 0;
+        });
+    if (!iostreamAllowed) {
+        for (std::size_t i = 0; i < tokens.size(); ++i) {
+            const Token &tok = tokens[i];
+            if (tok.kind != Token::Kind::Identifier ||
+                (tok.text != "cout" && tok.text != "cerr" &&
+                 tok.text != "clog"))
+                continue;
+            const std::string_view prev =
+                i > 0 ? tokens[i - 1].text : std::string_view{};
+            if (prev == "." || prev == "->")
+                continue; // member named cout/cerr, not the stream
+            // "int cout = 0;" declares a member of that name.
+            const bool declared =
+                i > 0 &&
+                tokens[i - 1].kind == Token::Kind::Identifier &&
+                tokens[i - 1].text != "return";
+            if (declared)
+                continue;
+            report(tok.offset,
+                   "direct std::" + std::string(tok.text) +
+                       " in library code — route output through "
+                       "common/logging (filterable, pluggable sink) "
+                       "or return data for the frontend to print",
+                   "vsgpu-lint: iostream-ok");
+        }
     }
 
     // --- Sub-rule 2: unordered-container iteration --------------

@@ -29,6 +29,7 @@
  *   // vsgpu-lint: raw-ok(<reason>)        unit-safety
  *   // vsgpu-lint: nondet-ok(<reason>)     determinism (banned calls)
  *   // vsgpu-lint: unordered-ok(<reason>)  determinism (iteration)
+ *   // vsgpu-lint: iostream-ok(<reason>)   determinism (direct stdio)
  *   // vsgpu-lint: shared-ok(<reason>)     pool-concurrency
  *   // vsgpu-lint: raw-escape-ok(<reason>) raw-escape
  * A waiver on the diagnosed line or the line above it applies.
@@ -134,6 +135,23 @@ struct CheckOptions
     std::vector<std::string> entropyAllowlist = {
         "src/common/random.cc",
         "src/common/random.hh",
+    };
+
+    /**
+     * Determinism: src/ files allowed to write std::cout/cerr/clog
+     * directly.  Everything else routes output through
+     * common/logging (filterable, sink-pluggable) or returns data
+     * for a frontend to print, so library code never interleaves
+     * raw stdio with the tools' structured output.  Matched as path
+     * suffixes.
+     */
+    std::vector<std::string> iostreamAllowlist = {
+        "src/common/logging.cc",
+        "src/common/logging.hh",
+        "src/common/table.cc",
+        "src/common/table.hh",
+        "src/circuit/wave_writer.cc",
+        "src/circuit/wave_writer.hh",
     };
 };
 

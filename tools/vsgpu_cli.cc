@@ -22,11 +22,16 @@
  *   --threshold V               smoothing trigger  [0.9]
  *   --halt-layer L@T            halt layer L at time T seconds
  *   --wave FILE.csv             dump layer-voltage trace as CSV
+ *   --wave-out FILE             per-SM rail waveforms (VCD, or CSV
+ *                               when FILE ends in .csv)
+ *   --wave-stride N             record every Nth timestep [16]
+ *   --stats-out FILE            stats registry dump as JSON, with
+ *                               the run manifest
+ *   --trace-out FILE            Chrome trace_event JSON (open in
+ *                               Perfetto / chrome://tracing)
+ *   --trace-categories LIST     comma list of phase,pool,ctl,hv,all
  *   --no-verify                 skip the static model verifier
  *                               (see tools/vsgpu_verify)
- *
- * (Statistics from the GPU core model can be inspected with the
- * examples or programmatically via Gpu::dumpStats.)
  */
 
 #include <cstring>
@@ -35,10 +40,18 @@
 #include <map>
 #include <string>
 
+#include "circuit/wave_writer.hh"
 #include "common/logging.hh"
 #include "common/table.hh"
+#include "exec/pool.hh"
+#include "exec/setup_cache.hh"
+#include "obs/manifest.hh"
+#include "obs/stats_registry.hh"
+#include "obs/trace.hh"
 #include "pdn/impedance.hh"
 #include "sim/cosim.hh"
+#include "sim/pds_setup.hh"
+#include "sim/stats_export.hh"
 #include "workloads/suite.hh"
 #include "workloads/trace_file.hh"
 
@@ -134,20 +147,46 @@ cmdRun(const std::map<std::string, std::string> &flags)
     const bool wantWave = flags.count("wave") > 0;
     if (wantWave)
         cfg.traceStride = 16;
+    const std::string waveOutPath = flagOr(flags, "wave-out", "");
+    if (!waveOutPath.empty())
+        cfg.waveStride =
+            std::stoi(flagOr(flags, "wave-stride", "16"));
 
-    CoSimulator sim(cfg);
+    const std::string tracePath = flagOr(flags, "trace-out", "");
+    if (!tracePath.empty())
+        obs::Tracer::instance().enable(obs::parseTraceCategories(
+            flagOr(flags, "trace-categories", "")));
+
+    // Route through the exec layer (single-worker pool + setup
+    // cache) so the exec.* stats describe a real code path and the
+    // manifest fingerprint comes from the cache's key set.
+    exec::SetupCache cache;
+    exec::Pool pool(1);
+
     CosimResult result;
+    std::uint64_t seed = 0;
+    std::string subject;
     if (flags.count("trace")) {
         std::ifstream in(flags.at("trace"));
         fatalIf(!in, "cannot open trace '", flags.at("trace"), "'");
         TraceFileFactory factory(TraceFile::parse(in));
-        result = sim.run(factory, 0.6);
+        subject = "run trace " + flags.at("trace");
+        CoSimulator sim(cache.withSetup(cfg));
+        pool.parallelFor(1, [&](int) {
+            // vsgpu-lint: shared-ok(single task on a one-worker pool)
+            result = sim.run(factory, 0.6);
+        });
     } else {
-        WorkloadSpec spec = workloadFor(
-            parseBenchmark(flagOr(flags, "benchmark", "hotspot")));
+        const Benchmark bench =
+            parseBenchmark(flagOr(flags, "benchmark", "hotspot"));
+        seed = benchmarkSeed(bench);
+        subject = std::string("run ") + benchmarkName(bench);
+        WorkloadSpec spec = workloadFor(bench);
         spec = scaledToInstrs(
             spec, std::stoi(flagOr(flags, "instrs", "1500")));
-        result = sim.run(spec);
+        CoSimulator sim(cache.withSetup(cfg));
+        // vsgpu-lint: shared-ok(single task on a one-worker pool)
+        pool.parallelFor(1, [&](int) { result = sim.run(spec); });
     }
 
     const auto &e = result.energy;
@@ -202,6 +241,57 @@ cmdRun(const std::map<std::string, std::string> &flags)
         std::cout << "\nwrote " << result.trace.size()
                   << " waveform samples to " << flags.at("wave")
                   << "\n";
+    }
+
+    if (!waveOutPath.empty()) {
+        fatalIf(!result.wave, "run produced no waveform capture");
+        std::ofstream out(waveOutPath);
+        fatalIf(!out, "cannot open '", waveOutPath, "'");
+        const bool csv =
+            waveOutPath.size() >= 4 &&
+            waveOutPath.substr(waveOutPath.size() - 4) == ".csv";
+        if (csv)
+            result.wave->writeCsv(out);
+        else
+            result.wave->writeVcd(out);
+        std::cout << "wrote " << result.wave->numSamples()
+                  << " samples x " << result.wave->numSignals()
+                  << " rails to " << waveOutPath
+                  << (csv ? " (CSV)" : " (VCD)") << "\n";
+    }
+
+    if (flags.count("stats-out")) {
+        obs::Manifest manifest = obs::makeManifest("vsgpu");
+        manifest.subject = subject;
+        manifest.configFingerprint =
+            obs::configFingerprint(cache.cachedKeys());
+        manifest.seed = seed;
+        manifest.scale = 1.0;
+
+        obs::StatsRegistry registry;
+        registerRunStats(registry, result);
+        registerExecStats(
+            registry, pool.tasksRun(), pool.steals(),
+            static_cast<std::uint64_t>(cache.setupsBuilt()),
+            static_cast<std::uint64_t>(cache.setupHits()));
+        registry.setManifest(manifest);
+
+        const std::string &path = flags.at("stats-out");
+        std::ofstream out(path);
+        fatalIf(!out, "cannot open '", path, "'");
+        registry.dumpJson(out);
+        std::cout << "wrote " << registry.size() << " stats to "
+                  << path << "\n";
+    }
+
+    if (!tracePath.empty()) {
+        obs::Tracer &tracer = obs::Tracer::instance();
+        tracer.disable();
+        std::ofstream out(tracePath);
+        fatalIf(!out, "cannot open '", tracePath, "'");
+        tracer.writeJson(out);
+        std::cout << "wrote " << tracer.numEvents() << " events to "
+                  << tracePath << "\n";
     }
     return 0;
 }
