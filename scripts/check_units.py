@@ -1,100 +1,34 @@
 #!/usr/bin/env python3
-"""Unit-suffix lint for the converted physical-model modules.
+"""Unit lint shim: delegates to vsgpu_lint (tools/lint/).
 
-This check has been folded into the vsgpu_lint tool (tools/lint/),
-whose unit-safety family supersedes the regex scan below: it lexes
-real tokens, covers every converted module, and honors the shared
-baseline (tools/lint/lint_baseline.txt).  When the binary has been
-built, this script simply delegates to
+The regex scan that used to live here is fully retired.  The
+vsgpu_lint unit-safety family supersedes it (real tokens, every
+converted module, the shared fingerprint baseline), and the unit-flow
+family goes further: it propagates unit tags through assignments,
+arithmetic, and call arguments, so mixed-unit bugs are caught even
+when every variable is an unsuffixed raw double.
 
-    vsgpu_lint --checks unit-safety [files...]
+This script exists only to keep the historical entry point (and its
+exit codes) stable for hooks and muscle memory:
 
-and the regex fallback only runs when no build tree exists (e.g. a
-bare checkout running pre-commit hooks).  The fallback accepts both
-the legacy waiver `// check_units:allow` and the vsgpu_lint spelling
-`// vsgpu-lint: raw-ok(<reason>)`.
+    scripts/check_units.py [--verbose] [files...]
 
-Usage:  scripts/check_units.py [--verbose] [files...]
+is exactly
 
-With no arguments, scans every public header of the converted modules.
-Exit status 0 = clean, 1 = violations found.
+    vsgpu_lint --checks unit-safety,unit-flow -p <build> [files...]
+
+Exit status: 0 = clean, 1 = violations, 2 = vsgpu_lint not built or
+not runnable (build the project first: cmake -B build && cmake
+--build build).
 """
 
 import argparse
 import os
 import pathlib
-import re
 import subprocess
 import sys
 
 REPO = pathlib.Path(__file__).resolve().parent.parent
-
-# Headers of modules whose public interfaces are fully converted.
-CONVERTED_GLOBS = [
-    "src/common/units.hh",
-    "src/circuit/netlist.hh",
-    "src/pdn/*.hh",
-    "src/ivr/*.hh",
-    "src/power/*.hh",
-]
-
-# Unit-ish name suffixes, case-insensitive word-final:
-#   loadOhms, supplyVolts, freqHz, areaMm2, capF, delaySec, powerW ...
-UNIT_SUFFIX = re.compile(
-    r"(volts?|amps?|ohms?|siemens|farads?|henr(?:y|ies)|watts?|"
-    r"joules?|hz|hertz|mhz|ghz|sec(?:onds?)?|m?m2|nf|uf|pf|nh|ph|"
-    r"mv|ma|mw|nj|us|ns|ps)$",
-    re.IGNORECASE,
-)
-
-# `double <name>` as a parameter or data member, capturing the name.
-DOUBLE_DECL = re.compile(r"\bdouble\s+(\w+)")
-
-# Escape hatch for the rare legitimate case (document why inline).
-WAIVER = "check_units:allow"
-
-
-def strip_comments(text: str) -> str:
-    """Blank out // and /* */ comments, preserving line numbers."""
-    out = []
-    i, n = 0, len(text)
-    while i < n:
-        if text.startswith("//", i):
-            j = text.find("\n", i)
-            j = n if j < 0 else j
-            i = j
-        elif text.startswith("/*", i):
-            j = text.find("*/", i)
-            j = n if j < 0 else j + 2
-            out.append("\n" * text.count("\n", i, j))
-            i = j
-        else:
-            out.append(text[i])
-            i += 1
-    return "".join(out)
-
-
-def lint_file(path: pathlib.Path) -> list[str]:
-    raw_lines = path.read_text().splitlines()
-    text = strip_comments(path.read_text())
-    problems = []
-    for lineno, line in enumerate(text.splitlines(), start=1):
-        for match in DOUBLE_DECL.finditer(line):
-            name = match.group(1)
-            if not UNIT_SUFFIX.search(name):
-                continue
-            near = raw_lines[max(0, lineno - 2) : lineno]
-            if any(WAIVER in s or "vsgpu-lint: raw-ok" in s
-                   for s in near):
-                continue
-            rel = path.relative_to(REPO)
-            problems.append(
-                f"{rel}:{lineno}: raw double '{name}' carries a unit "
-                f"suffix — declare it as a Quantity type "
-                f"(see src/common/quantity.hh) or waive with "
-                f"'// {WAIVER}: <reason>'"
-            )
-    return problems
 
 
 def find_vsgpu_lint() -> pathlib.Path | None:
@@ -118,44 +52,22 @@ def main() -> int:
     args = parser.parse_args()
 
     lint = find_vsgpu_lint()
-    if lint is not None:
-        cmd = [str(lint), "--checks", "unit-safety"]
-        cmd += ["-p", str(lint.parents[2])]
-        cmd += [str(p) for p in args.files]
-        if args.verbose:
-            cmd.append("--verbose")
-            print("check_units: delegating to", " ".join(cmd))
-        return subprocess.run(cmd, cwd=REPO, check=False).returncode
-
-    if args.verbose:
-        print("check_units: vsgpu_lint not built; regex fallback")
-
-    if args.files:
-        targets = [p.resolve() for p in args.files]
-        # Only headers of converted modules are in scope.
-        in_scope = {
-            f for g in CONVERTED_GLOBS for f in REPO.glob(g)
-        }
-        targets = [p for p in targets if p in in_scope]
-    else:
-        targets = sorted(
-            f for g in CONVERTED_GLOBS for f in REPO.glob(g)
+    if lint is None:
+        print(
+            "check_units: vsgpu_lint is not built — run "
+            "`cmake -B build && cmake --build build` first "
+            "(or point $VSGPU_LINT at the binary)",
+            file=sys.stderr,
         )
+        return 2
 
-    problems = []
-    for path in targets:
-        if args.verbose:
-            print(f"checking {path.relative_to(REPO)}")
-        problems.extend(lint_file(path))
-
-    for p in problems:
-        print(p, file=sys.stderr)
-    if problems:
-        print(f"check_units: {len(problems)} violation(s)",
-              file=sys.stderr)
-        return 1
-    print(f"check_units: {len(targets)} header(s) clean")
-    return 0
+    cmd = [str(lint), "--checks", "unit-safety,unit-flow"]
+    cmd += ["-p", str(lint.parents[2])]
+    cmd += [str(p) for p in args.files]
+    if args.verbose:
+        cmd.append("--verbose")
+        print("check_units: delegating to", " ".join(cmd))
+    return subprocess.run(cmd, cwd=REPO, check=False).returncode
 
 
 if __name__ == "__main__":

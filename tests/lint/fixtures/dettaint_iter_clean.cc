@@ -1,0 +1,24 @@
+// vsgpu_lint fixture: values drawn from an ordered std::map iterate
+// in key order, so the exported value is deterministic and no taint
+// reaches the stats write.
+#include <map>
+
+struct ScalarStat
+{
+    void set(double v);
+};
+struct StatsGroup
+{
+    ScalarStat &scalar(const char *name);
+};
+
+void
+exportLast(StatsGroup &group,
+           const std::map<int, double> &samples)
+{
+    double last = 0.0;
+    for (const auto &kv : samples) {
+        last = kv.second;
+    }
+    group.scalar("last_sample").set(last);
+}

@@ -1,0 +1,27 @@
+// vsgpu_lint fixture: iterating an unordered_map with a PLAIN
+// assignment in the body — no accumulator, so the token-level
+// unordered-iteration rule (which requires += / ++ in the loop) sees
+// nothing.  Whichever element the hash order visits last wins, and
+// that hash-ordered value then reaches a stats write: a flow only
+// determinism-taint can follow.
+#include <unordered_map>
+
+struct ScalarStat
+{
+    void set(double v);
+};
+struct StatsGroup
+{
+    ScalarStat &scalar(const char *name);
+};
+
+void
+exportLast(StatsGroup &group,
+           const std::unordered_map<int, double> &samples)
+{
+    double last = 0.0;
+    for (const auto &kv : samples) {
+        last = kv.second;
+    }
+    group.scalar("last_sample").set(last);
+}

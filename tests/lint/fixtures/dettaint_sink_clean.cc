@@ -1,0 +1,25 @@
+// vsgpu_lint fixture: the stats write only ever sees values derived
+// from simulation inputs — no wall-clock, RNG, address, or hash
+// ordering anywhere on the path — so determinism-taint stays quiet.
+struct ScalarStat
+{
+    void set(double v);
+};
+struct StatsGroup
+{
+    ScalarStat &scalar(const char *name);
+};
+
+double
+meanOf(double total, int count)
+{
+    double mean = total / static_cast<double>(count);
+    return mean;
+}
+
+void
+exportMean(StatsGroup &group, double total, int count)
+{
+    double mean = meanOf(total, count);
+    group.scalar("mean").set(mean);
+}

@@ -1,0 +1,30 @@
+// vsgpu_lint fixture: a pointer address laundered through
+// reinterpret_cast flows into a stats-registry write.  The
+// token-level determinism family has no address rule and no flow
+// tracking, so only determinism-taint can connect the source (in one
+// function) to the sink (in another) via the return value.
+#include <cstdint>
+
+struct ScalarStat
+{
+    void set(double v);
+};
+struct StatsGroup
+{
+    ScalarStat &scalar(const char *name);
+};
+
+double
+bufferKey(const int *buffer)
+{
+    double key = static_cast<double>(
+        reinterpret_cast<std::uintptr_t>(buffer));
+    return key;
+}
+
+void
+exportKey(StatsGroup &group, const int *buffer)
+{
+    double key = bufferKey(buffer);
+    group.scalar("buffer_key").set(key);
+}

@@ -1,0 +1,23 @@
+// vsgpu_lint fixture: false-positive regression for the token-level
+// pool-concurrency family.  A const local captured by reference and
+// a by-ref capture that is only ever READ are both safe — earlier
+// versions of the checker flagged them as shared writes.
+#include <vector>
+
+struct Pool
+{
+    template <typename F>
+    void parallelFor(int n, F &&f);
+};
+
+void
+apply(Pool &pool, std::vector<double> &out,
+      const std::vector<double> &in)
+{
+    const double gain = 1.5;
+    double bias = 0.25;
+    pool.parallelFor(static_cast<int>(out.size()), [&](int i) {
+        const std::size_t k = static_cast<std::size_t>(i);
+        out[k] = gain * in[k] + bias;
+    });
+}

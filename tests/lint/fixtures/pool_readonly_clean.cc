@@ -1,0 +1,26 @@
+// vsgpu_lint fixture: false-positive regression for the token-level
+// pool-concurrency family.  Structured bindings and comma-form
+// declarators inside the task body are task-LOCAL variables — writes
+// to them are private to each task, not shared-state races.
+#include <utility>
+#include <vector>
+
+struct Pool
+{
+    template <typename F>
+    void parallelFor(int n, F &&f);
+};
+
+std::pair<double, double> bounds(int i);
+
+void
+spans(Pool &pool, std::vector<double> &out)
+{
+    pool.parallelFor(static_cast<int>(out.size()), [&](int i) {
+        auto [lo, hi] = bounds(i);
+        double mid = 0.0, width = 0.0;
+        mid = (lo + hi) / 2.0;
+        width = hi - lo;
+        out[static_cast<std::size_t>(i)] = mid + width;
+    });
+}

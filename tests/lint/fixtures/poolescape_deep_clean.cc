@@ -1,0 +1,42 @@
+// vsgpu_lint fixture: the task calls helpers, but the only write two
+// calls down is guarded by a lock, and the direct helper write goes
+// to an atomic — both sanctioned patterns, so pool-escape stays
+// quiet even through the call graph.
+#include <atomic>
+#include <mutex>
+
+namespace exec
+{
+struct Pool
+{
+    template <typename F>
+    void parallelFor(int n, F &&f);
+};
+} // namespace exec
+
+namespace
+{
+std::atomic<long> gSampleCount{0};
+double gGuardedTotal = 0.0;
+std::mutex gTotalMutex;
+} // namespace
+
+void
+addGuarded(double v)
+{
+    std::lock_guard<std::mutex> lock(gTotalMutex);
+    gGuardedTotal += v;
+}
+
+void
+noteSample(int i)
+{
+    gSampleCount += 1;
+    addGuarded(static_cast<double>(i));
+}
+
+void
+sweep(exec::Pool &pool, int tasks)
+{
+    pool.parallelFor(tasks, [](int i) { noteSample(i); });
+}

@@ -1,0 +1,35 @@
+// vsgpu_lint fixture: the pool task body looks clean — it only calls
+// a helper.  Two calls down the chain, the helper writes a mutable
+// global.  The token-level family never looks past the lambda body,
+// so only the call-graph-aware pool-escape family can see the race.
+namespace exec
+{
+struct Pool
+{
+    template <typename F>
+    void parallelFor(int n, F &&f);
+};
+} // namespace exec
+
+namespace
+{
+double gLastSample = 0.0;
+} // namespace
+
+void
+recordSample(double v)
+{
+    gLastSample = v;
+}
+
+void
+noteSample(int i)
+{
+    recordSample(static_cast<double>(i));
+}
+
+void
+sweep(exec::Pool &pool, int tasks)
+{
+    pool.parallelFor(tasks, [](int i) { noteSample(i); });
+}

@@ -1,0 +1,26 @@
+// vsgpu_lint fixture: by-value captures that only READ are safe —
+// each task gets its own copy (scale) or only dereferences the
+// pointer without writing (base).  Writes land in a per-index slot.
+#include <vector>
+
+namespace exec
+{
+struct Pool
+{
+    template <typename F>
+    void parallelFor(int n, F &&f);
+};
+} // namespace exec
+
+void
+scaleAll(exec::Pool &pool, std::vector<double> &out)
+{
+    const double scale = 2.0;
+    const double offset = 1.0;
+    const double *base = &offset;
+    pool.parallelFor(static_cast<int>(out.size()), [&, scale,
+                                                    base](int i) {
+        out[static_cast<std::size_t>(i)] =
+            scale * static_cast<double>(i) + *base;
+    });
+}

@@ -1,0 +1,25 @@
+// vsgpu_lint fixture: a pool task captures a pointer BY VALUE and
+// writes through it.  The token-level pool-concurrency family only
+// inspects by-reference captures, so this race is invisible to it;
+// the semantic pool-escape family must flag it (the copied pointer
+// still aliases the caller's object, so tasks race on the pointee).
+#include <vector>
+
+namespace exec
+{
+struct Pool
+{
+    template <typename F>
+    void parallelFor(int n, F &&f);
+};
+} // namespace exec
+
+void
+accumulate(exec::Pool &pool, const std::vector<double> &samples)
+{
+    double total = 0.0;
+    double *slot = &total;
+    pool.parallelFor(static_cast<int>(samples.size()), [=](int i) {
+        *slot += samples[static_cast<std::size_t>(i)];
+    });
+}

@@ -1,0 +1,20 @@
+// vsgpu_lint fixture: argument tags that match the callee's
+// expectation (amps into an amps parameter, untagged scale factor
+// into an untagged parameter) pass unit-flow.
+struct Amps
+{
+    double raw() const;
+};
+
+// vsgpu-lint: raw-ok(fixture: suffix carries the expectation tag)
+double scaleCurrent(double loadAmps, double factor)
+{
+    return loadAmps * factor;
+}
+
+double
+route(Amps load)
+{
+    double a = load.raw(); // vsgpu-lint: raw-escape-ok(fixture)
+    return scaleCurrent(a, 2.0);
+}

@@ -1,0 +1,21 @@
+// vsgpu_lint fixture: a volts-tagged value is passed where the
+// callee expects amps.  The value travels through an unsuffixed
+// local, so no token-level suffix rule can see the mismatch — only
+// tag propagation across the call boundary catches it.
+struct Volts
+{
+    double raw() const;
+};
+
+// vsgpu-lint: raw-ok(fixture: suffix carries the expectation tag)
+double scaleCurrent(double loadAmps, double factor)
+{
+    return loadAmps * factor;
+}
+
+double
+misroute(Volts rail)
+{
+    double v = rail.raw(); // vsgpu-lint: raw-escape-ok(fixture)
+    return scaleCurrent(v, 2.0);
+}

@@ -1,0 +1,21 @@
+// vsgpu_lint fixture: unit-correct flows stay quiet — like-units add
+// freely, and a volts*amps product is a derived dimension (watts)
+// that may combine with other derived values.
+struct Volts
+{
+    double raw() const;
+};
+struct Amps
+{
+    double raw() const;
+};
+
+double
+budget(Volts rail, Volts droop, Amps load)
+{
+    // vsgpu-lint: raw-escape-ok(fixture)
+    double usable = rail.raw() - droop.raw();
+    double power = usable * load.raw(); // vsgpu-lint: raw-escape-ok(fixture)
+    double margin = power + 0.5;
+    return margin;
+}

@@ -1,0 +1,22 @@
+// vsgpu_lint fixture: both operands reach the addition through
+// UNSUFFIXED raw doubles, so the token-level unit-safety family sees
+// nothing.  The unit-flow family tracks the Volts/Amps tags from the
+// Quantity parameters through .raw() and the intermediates, and must
+// flag the volts+amps meet.
+struct Volts
+{
+    double raw() const;
+};
+struct Amps
+{
+    double raw() const;
+};
+
+double
+headroom(Volts rail, Amps load)
+{
+    double r = rail.raw(); // vsgpu-lint: raw-escape-ok(fixture)
+    double l = load.raw(); // vsgpu-lint: raw-escape-ok(fixture)
+    double total = r + l;
+    return total;
+}

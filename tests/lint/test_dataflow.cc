@@ -1,0 +1,343 @@
+/**
+ * @file
+ * Tests for the intraprocedural dataflow core (tools/lint/dataflow).
+ *
+ * The lowering from tokens to the statement IR is approximate by
+ * design; these tests pin down the contract the semantic families
+ * rely on: def/use extraction, CFG shape over branches and loops,
+ * strong-update kills vs through-write may-defs in reachingDefs, and
+ * fixpoint convergence of the generic taint solver (including taint
+ * carried around a loop back edge).
+ */
+
+#include "dataflow.hh"
+#include "lint.hh"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+using namespace vsgpu::lint;
+namespace df = vsgpu::lint::df;
+
+namespace
+{
+
+df::Cfg
+cfgOf(const std::string &body, std::vector<Token> &tokens)
+{
+    tokens = tokenize(body);
+    return df::buildCfg(tokens, 0, tokens.size());
+}
+
+/** All statements of a CFG flattened in block order. */
+std::vector<df::Stmt>
+allStmts(const df::Cfg &cfg)
+{
+    std::vector<df::Stmt> out;
+    for (const df::Block &block : cfg.blocks)
+        for (const df::Stmt &stmt : block.stmts)
+            out.push_back(stmt);
+    return out;
+}
+
+bool
+uses(const df::Stmt &stmt, const std::string &name)
+{
+    return std::find(stmt.uses.begin(), stmt.uses.end(), name) !=
+           stmt.uses.end();
+}
+
+// ================= statement lowering =================
+
+TEST(Dataflow, StraightLineDefsAndUses)
+{
+    std::vector<Token> tokens;
+    const df::Cfg cfg = cfgOf("int a = 1;\n"
+                              "a = c + d;\n"
+                              "int b = a;\n",
+                              tokens);
+    ASSERT_EQ(cfg.blocks.size(), 1U);
+    const auto stmts = allStmts(cfg);
+    ASSERT_EQ(stmts.size(), 3U);
+
+    EXPECT_EQ(stmts[0].defs, std::vector<std::string>{"a"});
+    EXPECT_TRUE(stmts[0].declares);
+    EXPECT_EQ(stmts[0].declType, "int");
+
+    EXPECT_EQ(stmts[1].defs, std::vector<std::string>{"a"});
+    EXPECT_FALSE(stmts[1].declares);
+    EXPECT_TRUE(uses(stmts[1], "c"));
+    EXPECT_TRUE(uses(stmts[1], "d"));
+
+    EXPECT_EQ(stmts[2].defs, std::vector<std::string>{"b"});
+    EXPECT_TRUE(stmts[2].declares);
+    EXPECT_TRUE(uses(stmts[2], "a"));
+}
+
+TEST(Dataflow, MemberChainWritesAreThroughDefs)
+{
+    std::vector<Token> tokens;
+    const df::Cfg cfg = cfgOf("p->field = 1;\n"
+                              "*q = 2.0;\n"
+                              "arr[k] = 3;\n",
+                              tokens);
+    const auto stmts = allStmts(cfg);
+    ASSERT_EQ(stmts.size(), 3U);
+    for (const df::Stmt &s : stmts)
+        EXPECT_TRUE(s.defThrough)
+            << "stmt defining " << s.defs.front();
+    EXPECT_EQ(stmts[0].defs, std::vector<std::string>{"p"});
+    EXPECT_EQ(stmts[1].defs, std::vector<std::string>{"q"});
+    EXPECT_EQ(stmts[2].defs, std::vector<std::string>{"arr"});
+}
+
+TEST(Dataflow, CompoundAssignReadsItsTarget)
+{
+    std::vector<Token> tokens;
+    const df::Cfg cfg = cfgOf("total += sample;\n", tokens);
+    const auto stmts = allStmts(cfg);
+    ASSERT_EQ(stmts.size(), 1U);
+    EXPECT_EQ(stmts[0].defs, std::vector<std::string>{"total"});
+    EXPECT_TRUE(uses(stmts[0], "total"));
+    EXPECT_TRUE(uses(stmts[0], "sample"));
+}
+
+TEST(Dataflow, StructuredBindingDeclaresAllNames)
+{
+    std::vector<Token> tokens;
+    const df::Cfg cfg = cfgOf("auto [lo, hi] = bounds(i);\n",
+                              tokens);
+    const auto stmts = allStmts(cfg);
+    ASSERT_EQ(stmts.size(), 1U);
+    EXPECT_TRUE(stmts[0].declares);
+    const std::vector<std::string> expected = {"lo", "hi"};
+    EXPECT_EQ(stmts[0].defs, expected);
+}
+
+TEST(Dataflow, CallExtractionWithReceiverAndArgRoots)
+{
+    std::vector<Token> tokens;
+    const df::Cfg cfg =
+        cfgOf("group.scalar(name).set(a + b.c);\n", tokens);
+    const auto stmts = allStmts(cfg);
+    ASSERT_EQ(stmts.size(), 1U);
+    const auto &calls = stmts[0].calls;
+    ASSERT_GE(calls.size(), 2U);
+    // The chained .set call resolves its receiver to the chain root.
+    const auto set = std::find_if(
+        calls.begin(), calls.end(),
+        [](const df::CallRef &c) { return c.callee == "set"; });
+    ASSERT_NE(set, calls.end());
+    EXPECT_EQ(set->receiver, "group");
+    ASSERT_EQ(set->args.size(), 1U);
+    const std::vector<std::string> roots = {"a", "b"};
+    EXPECT_EQ(set->args[0], roots);
+}
+
+TEST(Dataflow, RangeForRecordsContainer)
+{
+    std::vector<Token> tokens;
+    const df::Cfg cfg = cfgOf("for (const auto &kv : samples) {\n"
+                              "    last = kv;\n"
+                              "}\n",
+                              tokens);
+    bool found = false;
+    for (const df::Stmt &s : allStmts(cfg))
+        if (s.rangeContainer == "samples") {
+            found = true;
+            EXPECT_EQ(s.defs, std::vector<std::string>{"kv"});
+        }
+    EXPECT_TRUE(found);
+}
+
+// ================= CFG shape =================
+
+TEST(Dataflow, IfElseForksAndJoins)
+{
+    std::vector<Token> tokens;
+    const df::Cfg cfg = cfgOf("int x = 0;\n"
+                              "if (c) { x = 1; } else { x = 2; }\n"
+                              "int y = x;\n",
+                              tokens);
+    // entry, then, else, join at minimum; entry reaches two blocks.
+    ASSERT_GE(cfg.blocks.size(), 4U);
+    EXPECT_GE(cfg.blocks[0].succs.size(), 2U);
+}
+
+TEST(Dataflow, WhileLoopHasBackEdge)
+{
+    std::vector<Token> tokens;
+    const df::Cfg cfg = cfgOf("int x = 0;\n"
+                              "while (cond) { x = x + 1; }\n"
+                              "int y = x;\n",
+                              tokens);
+    bool backEdge = false;
+    for (std::size_t b = 0; b < cfg.blocks.size(); ++b)
+        for (int succ : cfg.blocks[b].succs)
+            if (succ <= static_cast<int>(b))
+                backEdge = true;
+    EXPECT_TRUE(backEdge);
+}
+
+// ================= reaching definitions =================
+
+/**
+ * Reaching-def sites of @p name on entry to the block containing
+ * the (unique) statement that defines @p atDef.
+ */
+std::set<df::DefSite>
+reachingAt(const df::Cfg &cfg, const std::string &name,
+           const std::string &atDef)
+{
+    const std::vector<df::ReachEnv> envs = df::reachingDefs(cfg);
+    for (std::size_t b = 0; b < cfg.blocks.size(); ++b)
+        for (const df::Stmt &stmt : cfg.blocks[b].stmts)
+            if (std::find(stmt.defs.begin(), stmt.defs.end(),
+                          atDef) != stmt.defs.end()) {
+                const auto it = envs[b].find(name);
+                return it == envs[b].end() ? std::set<df::DefSite>{}
+                                           : it->second;
+            }
+    ADD_FAILURE() << "no statement defines " << atDef;
+    return {};
+}
+
+TEST(Dataflow, BranchDefsKillTheInitializer)
+{
+    std::vector<Token> tokens;
+    const df::Cfg cfg = cfgOf("int x = 0;\n"
+                              "if (c) { x = 1; } else { x = 2; }\n"
+                              "int y = x;\n",
+                              tokens);
+    // Both arms assign x, so the initializer cannot reach y: exactly
+    // the two arm definitions merge at the join.
+    EXPECT_EQ(reachingAt(cfg, "x", "y").size(), 2U);
+}
+
+TEST(Dataflow, OneArmedBranchKeepsTheInitializer)
+{
+    std::vector<Token> tokens;
+    const df::Cfg cfg = cfgOf("int x = 0;\n"
+                              "if (c) { x = 1; }\n"
+                              "int y = x;\n",
+                              tokens);
+    // The fall-through edge carries the initializer past the branch.
+    EXPECT_EQ(reachingAt(cfg, "x", "y").size(), 2U);
+}
+
+TEST(Dataflow, ThroughWritesDoNotKill)
+{
+    std::vector<Token> tokens;
+    const df::Cfg cfg = cfgOf("int x = 0;\n"
+                              "if (c) { *x = 1; } else { *x = 2; }\n"
+                              "int y = x;\n",
+                              tokens);
+    // A write through x may not overwrite the binding of x itself,
+    // so all three definition sites survive to the join.
+    EXPECT_EQ(reachingAt(cfg, "x", "y").size(), 3U);
+}
+
+TEST(Dataflow, LoopBodyDefsReachTheExit)
+{
+    std::vector<Token> tokens;
+    const df::Cfg cfg = cfgOf("int x = 0;\n"
+                              "while (c) { x = x + 1; }\n"
+                              "int y = x;\n",
+                              tokens);
+    // Zero-trip (initializer) and one-or-more-trip (body def) both
+    // reach past the loop.
+    EXPECT_EQ(reachingAt(cfg, "x", "y").size(), 2U);
+}
+
+// ================= taint solver =================
+
+/** Transfer: `source` seeds tag SRC; otherwise tags flow by use. */
+df::TagSet
+seedTransfer(const df::Stmt &stmt, const df::TaintEnv &env)
+{
+    df::TagSet tags = df::tagsOf(env, stmt.uses);
+    if (std::find(stmt.uses.begin(), stmt.uses.end(), "source") !=
+        stmt.uses.end())
+        tags.insert("SRC");
+    return tags;
+}
+
+/** Converged tags of @p name before the statement defining @p at. */
+df::TagSet
+taintAt(const df::Cfg &cfg, const std::string &name,
+        const std::string &at)
+{
+    df::TagSet result;
+    df::solveTaint(cfg, seedTransfer,
+                   [&](const df::Stmt &stmt, const df::TaintEnv &env) {
+                       if (std::find(stmt.defs.begin(),
+                                     stmt.defs.end(),
+                                     at) == stmt.defs.end())
+                           return;
+                       const auto it = env.find(name);
+                       if (it != env.end())
+                           result = it->second;
+                   });
+    return result;
+}
+
+TEST(Dataflow, TaintFlowsThroughAssignments)
+{
+    std::vector<Token> tokens;
+    const df::Cfg cfg = cfgOf("double a = source;\n"
+                              "double b = a;\n"
+                              "double c = b;\n"
+                              "double sink = c;\n",
+                              tokens);
+    EXPECT_EQ(taintAt(cfg, "c", "sink"), df::TagSet{"SRC"});
+}
+
+TEST(Dataflow, CleanValuesStayUntagged)
+{
+    std::vector<Token> tokens;
+    const df::Cfg cfg = cfgOf("double a = input;\n"
+                              "double b = a;\n"
+                              "double sink = b;\n",
+                              tokens);
+    EXPECT_TRUE(taintAt(cfg, "b", "sink").empty());
+}
+
+TEST(Dataflow, ReassignmentClearsTaint)
+{
+    std::vector<Token> tokens;
+    const df::Cfg cfg = cfgOf("double a = source;\n"
+                              "a = input;\n"
+                              "double sink = a;\n",
+                              tokens);
+    // The strong update replaces a's tags on the straight-line path.
+    EXPECT_TRUE(taintAt(cfg, "a", "sink").empty());
+}
+
+TEST(Dataflow, TaintConvergesAroundLoopBackEdge)
+{
+    std::vector<Token> tokens;
+    const df::Cfg cfg = cfgOf("double a = source;\n"
+                              "double b = 0.0;\n"
+                              "while (c) { b = a; }\n"
+                              "double sink = b;\n",
+                              tokens);
+    // b is tainted only via the loop body; the fixpoint must carry
+    // the tag around the back edge to the exit.
+    EXPECT_EQ(taintAt(cfg, "b", "sink"), df::TagSet{"SRC"});
+}
+
+TEST(Dataflow, TagsOfUnionsAcrossNames)
+{
+    df::TaintEnv env;
+    env["a"] = {"X"};
+    env["b"] = {"Y", "Z"};
+    const df::TagSet got = df::tagsOf(env, {"a", "b", "missing"});
+    const df::TagSet expected = {"X", "Y", "Z"};
+    EXPECT_EQ(got, expected);
+}
+
+} // namespace

@@ -15,6 +15,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -156,6 +157,28 @@ TEST(LintPoolConcurrency, ViolatingFixture)
 TEST(LintPoolConcurrency, CleanFixture)
 {
     const SourceFile src = fixture("pool_clean.cc");
+    std::vector<Diagnostic> diags;
+    checkPoolConcurrency(src, diags);
+    EXPECT_TRUE(diags.empty()) << ::testing::PrintToString(
+        messages(diags));
+}
+
+TEST(LintPoolConcurrency, ConstByRefCapturesAreNotWrites)
+{
+    // False-positive regression: const locals captured by reference
+    // and by-ref captures that are only read must stay quiet.
+    const SourceFile src = fixture("pool_constref_clean.cc");
+    std::vector<Diagnostic> diags;
+    checkPoolConcurrency(src, diags);
+    EXPECT_TRUE(diags.empty()) << ::testing::PrintToString(
+        messages(diags));
+}
+
+TEST(LintPoolConcurrency, StructuredBindingsAndCommaDeclsAreLocal)
+{
+    // False-positive regression: `auto [lo, hi] = ...` and
+    // `double a = 0, b = 0;` declare task-local names.
+    const SourceFile src = fixture("pool_readonly_clean.cc");
     std::vector<Diagnostic> diags;
     checkPoolConcurrency(src, diags);
     EXPECT_TRUE(diags.empty()) << ::testing::PrintToString(
@@ -310,7 +333,7 @@ TEST(LintScope, EntropyAllowlistPermitsSeededFactory)
 
 TEST(LintBaseline, FingerprintSqueezesWhitespace)
 {
-    const Diagnostic d{"src/a.hh", 7, Check::UnitSafety, "msg"};
+    const Diagnostic d{"src/a.hh", 7, Check::UnitSafety, "msg", ""};
     EXPECT_EQ(fingerprint(d, "  double   x ;"),
               fingerprint(d, "double x ;"));
     EXPECT_EQ(fingerprint(d, "double x;").find("unit-safety|"), 0U);
@@ -404,15 +427,22 @@ TEST(LintCompileDb, ParseErrorNamesTheDatabase)
 
 TEST(LintChecks, NameRoundTrip)
 {
-    for (Check c : {Check::UnitSafety, Check::Determinism,
-                    Check::PoolConcurrency, Check::Contracts,
-                    Check::RawEscape}) {
+    for (Check c : kAllChecks) {
         Check parsed{};
         ASSERT_TRUE(parseCheckName(checkName(c), parsed));
         EXPECT_EQ(parsed, c);
     }
     Check parsed{};
     EXPECT_FALSE(parseCheckName("no-such-check", parsed));
+}
+
+TEST(LintChecks, ProjectChecksAreTheSemanticFamilies)
+{
+    EXPECT_TRUE(isProjectCheck(Check::PoolEscape));
+    EXPECT_TRUE(isProjectCheck(Check::UnitFlow));
+    EXPECT_TRUE(isProjectCheck(Check::DeterminismTaint));
+    EXPECT_FALSE(isProjectCheck(Check::UnitSafety));
+    EXPECT_FALSE(isProjectCheck(Check::PoolConcurrency));
 }
 
 // ================= runChecks plumbing =================
@@ -431,6 +461,88 @@ TEST(LintRunChecks, ScopedSweepSkipsOutOfScopeFamilies)
     runChecks(src, {Check::UnitSafety}, CheckOptions{},
               /*ignoreScope=*/true, diags);
     EXPECT_EQ(diags.size(), 1U);
+}
+
+// ================= semantic-family scoping =================
+
+TEST(LintScope, SemanticFamiliesScopeByPath)
+{
+    EXPECT_TRUE(
+        checkAppliesTo(Check::PoolEscape, "src/exec/pool.cc"));
+    EXPECT_TRUE(checkAppliesTo(Check::PoolEscape, "bench/fig07.cc"));
+    EXPECT_FALSE(
+        checkAppliesTo(Check::PoolEscape, "tests/exec/t.cc"));
+    // unit-flow shares the raw-escape scope: the numeric core is
+    // allowed to work in raw doubles.
+    EXPECT_TRUE(
+        checkAppliesTo(Check::UnitFlow, "src/control/controller.cc"));
+    EXPECT_FALSE(
+        checkAppliesTo(Check::UnitFlow, "src/circuit/transient.cc"));
+    EXPECT_TRUE(
+        checkAppliesTo(Check::DeterminismTaint, "src/sim/engine.cc"));
+    EXPECT_FALSE(
+        checkAppliesTo(Check::DeterminismTaint, "bench/fig07.cc"));
+}
+
+// ================= SARIF output =================
+
+TEST(LintSarif, EmitsRulesAndResults)
+{
+    const std::vector<Diagnostic> diags = {
+        {"src/a.cc", 3, Check::PoolEscape, "race on 'x'",
+         "pool-escape.capture-write"},
+        {"src/b.cc", 9, Check::UnitSafety, "raw double", ""},
+    };
+    std::ostringstream os;
+    writeSarif(os, diags);
+    const std::string sarif = os.str();
+    EXPECT_NE(sarif.find("\"version\": \"2.1.0\""),
+              std::string::npos);
+    // Rules: the diagnostic id when present, family name otherwise.
+    EXPECT_NE(sarif.find("pool-escape.capture-write"),
+              std::string::npos);
+    EXPECT_NE(sarif.find("\"unit-safety\""), std::string::npos);
+    EXPECT_NE(sarif.find("race on 'x'"), std::string::npos);
+    EXPECT_NE(sarif.find("\"uri\": \"src/a.cc\""),
+              std::string::npos);
+    EXPECT_NE(sarif.find("\"startLine\": 3"), std::string::npos);
+}
+
+TEST(LintSarif, EscapesJsonSpecials)
+{
+    const std::vector<Diagnostic> diags = {
+        {"src/a.cc", 1, Check::Determinism,
+         "quote \" backslash \\ newline \n done", ""},
+    };
+    std::ostringstream os;
+    writeSarif(os, diags);
+    const std::string sarif = os.str();
+    EXPECT_NE(sarif.find("quote \\\" backslash \\\\ newline \\n"),
+              std::string::npos);
+}
+
+// ================= fingerprints with ids =================
+
+TEST(LintBaseline, DiagnosticIdHeadsTheFingerprint)
+{
+    const Diagnostic d{"src/a.cc", 4, Check::PoolEscape, "msg",
+                       "pool-escape.global-write"};
+    EXPECT_EQ(fingerprint(d, "g = 1;")
+                  .find("pool-escape.global-write|"),
+              0U);
+}
+
+TEST(LintBaseline, FingerprintSurvivesWhitespaceRefactor)
+{
+    // Re-indenting a file must not invalidate baseline entries: the
+    // fingerprint squeezes runs of whitespace in the quoted line and
+    // never includes the line number.
+    const Diagnostic before{"src/a.cc", 10, Check::UnitFlow, "m",
+                            "unit-flow.mixed-units"};
+    const Diagnostic after{"src/a.cc", 42, Check::UnitFlow, "m",
+                           "unit-flow.mixed-units"};
+    EXPECT_EQ(fingerprint(before, "total = r   + l;"),
+              fingerprint(after, "    total = r + l;"));
 }
 
 } // namespace

@@ -1,0 +1,425 @@
+/**
+ * @file
+ * Tests for the cross-TU semantic layer (tools/lint/semantic.hh):
+ * symbol indexing, call-graph effect propagation, the three semantic
+ * families over the fixture corpus, and — the point of the whole
+ * layer — explicit proof that each seeded fixture bug is INVISIBLE
+ * to the corresponding token-level family and caught only by the
+ * semantic one.
+ */
+
+#include "lint.hh"
+#include "semantic.hh"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace vsgpu::lint;
+
+namespace
+{
+
+SourceFile
+fixture(const std::string &name)
+{
+    const std::string path =
+        std::string(VSGPU_LINT_FIXTURE_DIR) + "/" + name;
+    return loadSource(path, "tests/lint/fixtures/" + name);
+}
+
+Project
+projectOf(std::vector<std::pair<std::string, std::string>> files)
+{
+    std::vector<SourceFile> sources;
+    sources.reserve(files.size());
+    for (auto &[display, code] : files)
+        sources.emplace_back(display, code);
+    return Project(std::move(sources));
+}
+
+Project
+fixtureProject(const std::string &name)
+{
+    std::vector<SourceFile> sources;
+    sources.push_back(fixture(name));
+    return Project(std::move(sources));
+}
+
+std::vector<std::string>
+messages(const std::vector<Diagnostic> &diags)
+{
+    std::vector<std::string> out;
+    out.reserve(diags.size());
+    for (const Diagnostic &d : diags)
+        out.push_back(d.message);
+    return out;
+}
+
+const FunctionDef &
+fn(const Project &project, const std::string &name)
+{
+    const auto &hits = project.lookup(name);
+    EXPECT_EQ(hits.size(), 1U) << name;
+    return project.index()
+        .functions[static_cast<std::size_t>(hits.front())];
+}
+
+// ================= symbol index =================
+
+TEST(SymbolIndex, FindsFunctionsParamsAndGlobals)
+{
+    const Project p = projectOf(
+        {{"src/a.cc",
+          "namespace { double gTotal = 0.0; }\n"
+          "const int kLimit = 4;\n"
+          "double scale(const Volts &v, double factor)\n"
+          "{\n"
+          "    return v.raw() * factor;\n"
+          "}\n"}});
+    const FunctionDef &f = fn(p, "scale");
+    ASSERT_EQ(f.params.size(), 2U);
+    EXPECT_EQ(f.params[0].name, "v");
+    EXPECT_EQ(f.params[0].type, "Volts");
+    EXPECT_TRUE(f.params[0].byRef);
+    EXPECT_TRUE(f.params[0].isConst);
+    EXPECT_EQ(f.params[1].name, "factor");
+    EXPECT_EQ(f.params[1].type, "double");
+    EXPECT_EQ(p.index().globals.count("gTotal"), 1U);
+    EXPECT_EQ(p.index().globals.count("kLimit"), 0U)
+        << "const globals are not mutable shared state";
+    EXPECT_EQ(p.index().constNames.count("kLimit"), 1U);
+}
+
+TEST(SymbolIndex, MethodsRecordTheirClassAndFieldWrites)
+{
+    const Project p = projectOf(
+        {{"src/a.cc",
+          "class Meter\n"
+          "{\n"
+          "  public:\n"
+          "    void tick() { count_ = count_ + 1; }\n"
+          "  private:\n"
+          "    long count_ = 0;\n"
+          "};\n"}});
+    const FunctionDef &f = fn(p, "tick");
+    EXPECT_EQ(f.className, "Meter");
+    EXPECT_TRUE(f.writesFields);
+    EXPECT_EQ(p.index().classFields.at("Meter").count("count_"),
+              1U);
+}
+
+TEST(SymbolIndex, DirectEffectSummaries)
+{
+    const Project p = projectOf(
+        {{"src/a.cc",
+          "namespace { double gLast = 0.0; }\n"
+          "void record(double v) { gLast = v; }\n"
+          "void bump(double &x) { x += 1.0; }\n"
+          "void guarded(double v)\n"
+          "{\n"
+          "    std::lock_guard<std::mutex> lock(gMutex);\n"
+          "    gLast = v;\n"
+          "}\n"}});
+    EXPECT_EQ(fn(p, "record").writesGlobals.count("gLast"), 1U);
+    EXPECT_EQ(fn(p, "bump").writesParams.count(0), 1U);
+    EXPECT_TRUE(fn(p, "guarded").takesLock);
+}
+
+// ================= call graph =================
+
+TEST(CallGraph, EffectsPropagateTransitively)
+{
+    const Project p = projectOf(
+        {{"src/a.cc",
+          "namespace { double gLast = 0.0; }\n"
+          "void sinkWrite(double v) { gLast = v; }\n"
+          "void middle(double v) { sinkWrite(v); }\n"
+          "void outer(double v) { middle(v); }\n"}});
+    const FunctionDef &outer = fn(p, "outer");
+    EXPECT_EQ(outer.writesGlobals.count("gLast"), 1U);
+    // The via-path names the call chain for the diagnostic.
+    const auto via = outer.effectVia.find("gLast");
+    ASSERT_NE(via, outer.effectVia.end());
+    EXPECT_NE(via->second.find("middle"), std::string::npos);
+}
+
+TEST(CallGraph, LockTakingCalleesAbsorbTheirWrites)
+{
+    const Project p = projectOf(
+        {{"src/a.cc",
+          "namespace { double gLast = 0.0; }\n"
+          "void guarded(double v)\n"
+          "{\n"
+          "    std::lock_guard<std::mutex> lock(gMutex);\n"
+          "    gLast = v;\n"
+          "}\n"
+          "void outer(double v) { guarded(v); }\n"}});
+    EXPECT_EQ(fn(p, "outer").writesGlobals.count("gLast"), 0U)
+        << "a serialized write is not a caller-visible race";
+}
+
+TEST(CallGraph, RefParamWritesFollowForwardedArguments)
+{
+    const Project p = projectOf(
+        {{"src/a.cc",
+          "void bump(double &x) { x += 1.0; }\n"
+          "void outer(double &y) { bump(y); }\n"}});
+    EXPECT_EQ(fn(p, "outer").writesParams.count(0), 1U);
+}
+
+TEST(CallGraph, CyclesTerminate)
+{
+    const Project p = projectOf(
+        {{"src/a.cc",
+          "namespace { double gPing = 0.0; }\n"
+          "void even(int n);\n"
+          "void odd(int n) { gPing = 1.0; even(n - 1); }\n"
+          "void even(int n) { odd(n - 1); }\n"}});
+    // Mutual recursion: the bounded closure and the effect fixpoint
+    // must both terminate, and effects still cross the cycle.
+    EXPECT_EQ(fn(p, "even").writesGlobals.count("gPing"), 1U);
+}
+
+TEST(CallGraph, CrossTranslationUnitEffects)
+{
+    const Project p = projectOf(
+        {{"src/a.cc",
+          "namespace { double gShared = 0.0; }\n"
+          "void poke(double v) { gShared = v; }\n"},
+         {"src/b.cc", "void relay(double v) { poke(v); }\n"}});
+    // poke lives in a different TU than relay; the index is global.
+    EXPECT_EQ(fn(p, "relay").writesGlobals.count("gShared"), 1U);
+}
+
+// ================= pool-escape =================
+
+TEST(PoolEscape, ByValuePointerCaptureIsInvisibleToTokenFamily)
+{
+    // The seeded race: a pointer captured BY VALUE, written through
+    // inside the task.  The token-level family bails out on by-value
+    // captures — only the semantic family can see the alias.
+    const SourceFile src = fixture("poolescape_ptr_violate.cc");
+    std::vector<Diagnostic> token;
+    checkPoolConcurrency(src, token);
+    EXPECT_TRUE(token.empty())
+        << "token family unexpectedly sees the by-value race: "
+        << ::testing::PrintToString(messages(token));
+
+    const Project p = fixtureProject("poolescape_ptr_violate.cc");
+    std::vector<Diagnostic> semantic;
+    checkPoolEscape(p, semantic);
+    ASSERT_EQ(semantic.size(), 1U)
+        << ::testing::PrintToString(messages(semantic));
+    EXPECT_EQ(semantic[0].id, "pool-escape.pointer-capture-write");
+}
+
+TEST(PoolEscape, ReadOnlyByValueCapturesPass)
+{
+    const Project p = fixtureProject("poolescape_ptr_clean.cc");
+    std::vector<Diagnostic> diags;
+    checkPoolEscape(p, diags);
+    EXPECT_TRUE(diags.empty())
+        << ::testing::PrintToString(messages(diags));
+}
+
+TEST(PoolEscape, GlobalWriteTwoCallsDeepIsInvisibleToTokenFamily)
+{
+    const SourceFile src = fixture("poolescape_deep_violate.cc");
+    std::vector<Diagnostic> token;
+    checkPoolConcurrency(src, token);
+    EXPECT_TRUE(token.empty())
+        << "token family cannot see through calls: "
+        << ::testing::PrintToString(messages(token));
+
+    const Project p = fixtureProject("poolescape_deep_violate.cc");
+    std::vector<Diagnostic> semantic;
+    checkPoolEscape(p, semantic);
+    ASSERT_EQ(semantic.size(), 1U)
+        << ::testing::PrintToString(messages(semantic));
+    EXPECT_EQ(semantic[0].id, "pool-escape.global-write");
+    EXPECT_NE(semantic[0].message.find("via recordSample"),
+              std::string::npos)
+        << semantic[0].message;
+}
+
+TEST(PoolEscape, LockedAndAtomicHelperWritesPass)
+{
+    const Project p = fixtureProject("poolescape_deep_clean.cc");
+    std::vector<Diagnostic> diags;
+    checkPoolEscape(p, diags);
+    EXPECT_TRUE(diags.empty())
+        << ::testing::PrintToString(messages(diags));
+}
+
+TEST(PoolEscape, CrossTuHelperWriteIsCaught)
+{
+    // The helper that writes the global lives in a DIFFERENT file
+    // than the pool task: only a project-wide index can connect the
+    // two.
+    const Project p = projectOf(
+        {{"src/helper.cc",
+          "namespace { double gSeen = 0.0; }\n"
+          "void note(double v) { gSeen = v; }\n"},
+         {"src/task.cc",
+          "namespace exec { struct Pool {\n"
+          "    template <typename F> void parallelFor(int, F &&);\n"
+          "}; }\n"
+          "void drive(exec::Pool &pool)\n"
+          "{\n"
+          "    pool.parallelFor(8, [](int i) {\n"
+          "        note(static_cast<double>(i));\n"
+          "    });\n"
+          "}\n"}});
+    std::vector<Diagnostic> diags;
+    checkPoolEscape(p, diags);
+    ASSERT_EQ(diags.size(), 1U)
+        << ::testing::PrintToString(messages(diags));
+    EXPECT_EQ(diags[0].id, "pool-escape.global-write");
+    EXPECT_EQ(diags[0].file, "src/task.cc");
+}
+
+// ================= unit-flow =================
+
+TEST(UnitFlow, MixedUnitsThroughIntermediatesInvisibleToTokenFamily)
+{
+    const SourceFile src = fixture("unitflow_mix_violate.cc");
+    std::vector<Diagnostic> token;
+    checkUnitSafety(src, token);
+    EXPECT_TRUE(token.empty())
+        << "no suffixed raw double exists for the token family: "
+        << ::testing::PrintToString(messages(token));
+
+    const Project p = fixtureProject("unitflow_mix_violate.cc");
+    std::vector<Diagnostic> semantic;
+    checkUnitFlow(p, semantic);
+    ASSERT_EQ(semantic.size(), 1U)
+        << ::testing::PrintToString(messages(semantic));
+    EXPECT_EQ(semantic[0].id, "unit-flow.mixed-units");
+}
+
+TEST(UnitFlow, LikeUnitsAndDerivedProductsPass)
+{
+    const Project p = fixtureProject("unitflow_mix_clean.cc");
+    std::vector<Diagnostic> diags;
+    checkUnitFlow(p, diags);
+    EXPECT_TRUE(diags.empty())
+        << ::testing::PrintToString(messages(diags));
+}
+
+TEST(UnitFlow, TaggedArgumentIntoWrongUnitParameter)
+{
+    const Project p = fixtureProject("unitflow_arg_violate.cc");
+    std::vector<Diagnostic> diags;
+    checkUnitFlow(p, diags);
+    ASSERT_EQ(diags.size(), 1U)
+        << ::testing::PrintToString(messages(diags));
+    EXPECT_EQ(diags[0].id, "unit-flow.arg-mismatch");
+    EXPECT_NE(diags[0].message.find("'Amps'"), std::string::npos);
+}
+
+TEST(UnitFlow, MatchingArgumentTagsPass)
+{
+    const Project p = fixtureProject("unitflow_arg_clean.cc");
+    std::vector<Diagnostic> diags;
+    checkUnitFlow(p, diags);
+    EXPECT_TRUE(diags.empty())
+        << ::testing::PrintToString(messages(diags));
+}
+
+// ================= determinism-taint =================
+
+TEST(DetTaint, AddressTaintAcrossFunctionsInvisibleToTokenFamily)
+{
+    const SourceFile src = fixture("dettaint_sink_violate.cc");
+    std::vector<Diagnostic> token;
+    checkDeterminism(src, CheckOptions{}, token);
+    EXPECT_TRUE(token.empty())
+        << "the token family has no address-as-value rule: "
+        << ::testing::PrintToString(messages(token));
+
+    const Project p = fixtureProject("dettaint_sink_violate.cc");
+    std::vector<Diagnostic> semantic;
+    checkDeterminismTaint(p, semantic);
+    ASSERT_EQ(semantic.size(), 1U)
+        << ::testing::PrintToString(messages(semantic));
+    EXPECT_EQ(semantic[0].id, "determinism-taint.sink");
+    EXPECT_NE(semantic[0].message.find("address"),
+              std::string::npos);
+}
+
+TEST(DetTaint, SimulationDerivedStatsPass)
+{
+    const Project p = fixtureProject("dettaint_sink_clean.cc");
+    std::vector<Diagnostic> diags;
+    checkDeterminismTaint(p, diags);
+    EXPECT_TRUE(diags.empty())
+        << ::testing::PrintToString(messages(diags));
+}
+
+TEST(DetTaint, UnorderedIterationWithoutAccumulatorInvisibleToToken)
+{
+    // A plain assignment in the loop body defeats the token rule
+    // (which requires an accumulator), but hash-order still decides
+    // which element survives to the stats write.
+    const SourceFile src = fixture("dettaint_iter_violate.cc");
+    std::vector<Diagnostic> token;
+    checkDeterminism(src, CheckOptions{}, token);
+    EXPECT_TRUE(token.empty())
+        << ::testing::PrintToString(messages(token));
+
+    const Project p = fixtureProject("dettaint_iter_violate.cc");
+    std::vector<Diagnostic> semantic;
+    checkDeterminismTaint(p, semantic);
+    ASSERT_EQ(semantic.size(), 1U)
+        << ::testing::PrintToString(messages(semantic));
+    EXPECT_EQ(semantic[0].id, "determinism-taint.sink");
+    EXPECT_NE(semantic[0].message.find("iteration-order"),
+              std::string::npos);
+}
+
+TEST(DetTaint, OrderedIterationPasses)
+{
+    const Project p = fixtureProject("dettaint_iter_clean.cc");
+    std::vector<Diagnostic> diags;
+    checkDeterminismTaint(p, diags);
+    EXPECT_TRUE(diags.empty())
+        << ::testing::PrintToString(messages(diags));
+}
+
+// ================= driver plumbing =================
+
+TEST(ProjectChecks, ScopingFiltersFixturePaths)
+{
+    // Fixture displays live under tests/, which no semantic family
+    // covers — a scoped sweep stays clean, explicit files fire.
+    std::vector<SourceFile> sources;
+    sources.push_back(fixture("poolescape_deep_violate.cc"));
+    const Project p(std::move(sources));
+
+    std::vector<Diagnostic> scoped;
+    runProjectChecks(p, {Check::PoolEscape}, /*ignoreScope=*/false,
+                     scoped);
+    EXPECT_TRUE(scoped.empty());
+
+    std::vector<Diagnostic> explicitRun;
+    runProjectChecks(p, {Check::PoolEscape}, /*ignoreScope=*/true,
+                     explicitRun);
+    EXPECT_EQ(explicitRun.size(), 1U);
+}
+
+TEST(ProjectChecks, IndexDumpIsWellFormedEnough)
+{
+    const Project p = projectOf(
+        {{"src/a.cc", "void f(double x) { g(x); }\n"}});
+    std::ostringstream os;
+    dumpIndexJson(p, os);
+    const std::string json = os.str();
+    EXPECT_NE(json.find("\"functions\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\": \"f\""), std::string::npos);
+}
+
+} // namespace

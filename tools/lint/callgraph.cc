@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Call graph over the symbol index (semantic.hh): name-resolved call
+ * edges, a depth-bounded transitive closure, and fixpoint side-effect
+ * propagation so a task body's writes are visible any bounded number
+ * of calls deep.
+ *
+ * Resolution is by unqualified name with overloads merged — every
+ * function sharing the callee's name receives an edge.  That is
+ * deliberately conservative in the "more edges" direction for the
+ * closure, which the families use only to widen effect summaries; a
+ * spurious edge can at worst surface a finding against a call path
+ * that names the wrong overload, never hide one.
+ */
+
+#include "semantic.hh"
+
+#include <algorithm>
+#include <queue>
+
+namespace vsgpu::lint
+{
+
+CallGraph
+buildCallGraph(const SymbolIndex &index, int depthBound)
+{
+    const std::size_t n = index.functions.size();
+    CallGraph graph;
+    graph.callees.resize(n);
+    graph.reachable.resize(n);
+
+    for (std::size_t i = 0; i < n; ++i) {
+        std::set<int> edges;
+        for (const std::string &callee : index.functions[i].calls) {
+            const auto it = index.byName.find(callee);
+            if (it == index.byName.end())
+                continue;
+            for (int id : it->second)
+                if (static_cast<std::size_t>(id) != i)
+                    edges.insert(id);
+        }
+        graph.callees[i].assign(edges.begin(), edges.end());
+    }
+
+    // Bounded BFS closure: cycles terminate because each node is
+    // visited once; the depth bound caps how far effects travel.
+    for (std::size_t i = 0; i < n; ++i) {
+        std::set<int> seen;
+        std::queue<std::pair<int, int>> frontier; // (id, depth)
+        for (int c : graph.callees[i])
+            frontier.push({c, 1});
+        while (!frontier.empty()) {
+            const auto [id, depth] = frontier.front();
+            frontier.pop();
+            if (!seen.insert(id).second)
+                continue;
+            if (depth >= depthBound)
+                continue;
+            for (int c :
+                 graph.callees[static_cast<std::size_t>(id)])
+                if (!seen.count(c))
+                    frontier.push({c, depth + 1});
+        }
+        graph.reachable[i].assign(seen.begin(), seen.end());
+    }
+    return graph;
+}
+
+void
+propagateEffects(SymbolIndex &index, const CallGraph &graph,
+                 int rounds)
+{
+    const std::size_t n = index.functions.size();
+    for (int round = 0; round < rounds; ++round) {
+        bool changed = false;
+        for (std::size_t i = 0; i < n; ++i) {
+            FunctionDef &fn = index.functions[i];
+            for (int calleeId : graph.callees[i]) {
+                const FunctionDef &callee =
+                    index.functions[static_cast<std::size_t>(
+                        calleeId)];
+                // A lock-taking callee serializes its own writes;
+                // they are not a concurrency hazard for the caller.
+                if (callee.takesLock)
+                    continue;
+                for (const std::string &g : callee.writesGlobals) {
+                    if (fn.writesGlobals.insert(g).second) {
+                        const auto via = callee.effectVia.find(g);
+                        fn.effectVia[g] =
+                            via == callee.effectVia.end()
+                                ? "via " + callee.name
+                                : "via " + callee.name + " " +
+                                      via->second.substr(4);
+                        changed = true;
+                    }
+                }
+                if (callee.writesFields && !fn.writesFields &&
+                    !callee.className.empty() &&
+                    callee.className == fn.className) {
+                    fn.writesFields = true;
+                    changed = true;
+                }
+            }
+            // Parameter forwarding: if this function passes its own
+            // parameter p as argument a of a callee that writes
+            // through its parameter a, then p is written too.
+            for (const FunctionDef::ArgFlow &flow : fn.forwards) {
+                const auto it = index.byName.find(flow.callee);
+                if (it == index.byName.end())
+                    continue;
+                for (int id : it->second) {
+                    const FunctionDef &callee =
+                        index.functions[static_cast<std::size_t>(
+                            id)];
+                    if (callee.takesLock)
+                        continue;
+                    if (callee.writesParams.count(flow.arg) &&
+                        fn.writesParams.insert(flow.param).second)
+                        changed = true;
+                }
+            }
+        }
+        if (!changed)
+            break;
+    }
+}
+
+} // namespace vsgpu::lint

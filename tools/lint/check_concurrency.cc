@@ -1,11 +1,12 @@
 /**
  * @file
- * Family 3: pool-concurrency.
+ * Families 3 and 6: pool-concurrency (token-level) and pool-escape
+ * (semantic).
  *
  * Lambdas submitted to exec::Pool::parallelFor or the runSweep /
- * runIndexSweep templates execute concurrently.  A by-reference
- * capture that writes shared state from inside such a lambda is a
- * data race unless one of the sanctioned patterns applies:
+ * runIndexSweep templates execute concurrently.  A capture that
+ * writes shared state from inside such a lambda is a data race
+ * unless one of the sanctioned patterns applies:
  *
  *   per-index slot    results[i] = ...; the subscript names a lambda
  *                     parameter (the task index) so each task owns a
@@ -13,17 +14,33 @@
  *                     uses for its ordered reduction.
  *   lock in scope     a lock_guard / scoped_lock / unique_lock /
  *                     shared_lock declared in the lambda body.
- *   atomic target     the written variable is declared std::atomic
- *                     in the same file.
+ *   atomic target     the written variable is declared std::atomic.
  *
- * Everything else is flagged.  The check is intentionally local (one
- * file at a time): cross-TU aliasing is the AST backend's job; this
- * frontend catches the way the bug is actually written.
+ * The token-level family (checkPoolConcurrency) is local to one file
+ * and only looks at by-reference captures — fast, and the way the
+ * bug is usually written.  The semantic family (checkPoolEscape)
+ * runs over the whole project's symbol index and call graph and
+ * additionally catches what the token scan provably cannot:
  *
- * Waiver: // vsgpu-lint: shared-ok(<reason>).
+ *   pool-escape.pointer-capture-write   a pointer captured BY VALUE
+ *       whose pointee is written — the copy aliases the same object,
+ *       so tasks still race (the token family bails out on by-value
+ *       capture lists)
+ *   pool-escape.global-write            a namespace-scope variable
+ *       written directly or any bounded number of calls deep
+ *       (globals need no capture at all)
+ *   pool-escape.field-write             a member field written via
+ *       the captured this (directly or through a same-class method)
+ *   pool-escape.capture-write           a by-ref capture written in
+ *       the task body (the semantic version of the token rule)
+ *   pool-escape.param-alias-write       an escaped object passed to
+ *       a callee that writes through that parameter
+ *
+ * Both families share the waiver: // vsgpu-lint: shared-ok(<reason>).
  */
 
-#include "lint.hh"
+#include "dataflow.hh"
+#include "semantic.hh"
 
 #include <set>
 #include <string>
@@ -108,11 +125,47 @@ atomicNames(const TokenVec &tokens)
     return atomics;
 }
 
+/** Names declared const/constexpr anywhere in the file — a const
+ *  object cannot be assigned, so a "write" finding against one is
+ *  always a misparse (the FP class this set suppresses). */
+NameSet
+constDeclNames(const TokenVec &tokens)
+{
+    NameSet names;
+    for (std::size_t i = 1; i + 1 < tokens.size(); ++i) {
+        if (tokens[i].kind != Token::Kind::Identifier)
+            continue;
+        const std::string_view next = tokens[i + 1].text;
+        if (next != "=" && next != ";" && next != "{")
+            continue;
+        const Token &prev = tokens[i - 1];
+        const bool typeBefore =
+            prev.kind == Token::Kind::Identifier || prev.text == ">" ||
+            prev.text == "&" || prev.text == "*";
+        if (!typeBefore)
+            continue;
+        // Statement window: back to the nearest ; { or }.
+        bool hasConst = false;
+        for (std::size_t k = i; k > 0; --k) {
+            const std::string_view t = tokens[k - 1].text;
+            if (t == ";" || t == "{" || t == "}")
+                break;
+            if (t == "const" || t == "constexpr")
+                hasConst = true;
+        }
+        if (hasConst)
+            names.insert(std::string(tokens[i].text));
+    }
+    return names;
+}
+
 /**
  * Walk a lambda body [begin, end) and record identifiers that look
  * locally declared: an identifier preceded by a type-ish token
  * (identifier, '>', '&', '*') and followed by '=', ';', '{', or '('
- * in statement position.  Approximate on purpose — a false "local"
+ * in statement position; the names of a structured binding
+ * (auto [a, b] = ...); and trailing comma declarators
+ * (double a = 0, b = 0).  Approximate on purpose — a false "local"
  * only suppresses a finding, never invents one.
  */
 NameSet
@@ -121,6 +174,18 @@ localNames(const TokenVec &tokens, std::size_t begin,
 {
     NameSet locals;
     for (std::size_t i = begin; i < end; ++i) {
+        // Structured binding: auto [a, b] / auto &[a, b].
+        if (tokens[i].text == "[" && i > begin &&
+            (tokens[i - 1].text == "auto" ||
+             tokens[i - 1].text == "&")) {
+            const std::size_t close =
+                skipBalanced(tokens, i, "[", "]");
+            for (std::size_t j = i + 1; j < close && j < end; ++j)
+                if (tokens[j].kind == Token::Kind::Identifier)
+                    locals.insert(std::string(tokens[j].text));
+            i = close;
+            continue;
+        }
         if (tokens[i].kind != Token::Kind::Identifier || i == begin)
             continue;
         const Token &prev = tokens[i - 1];
@@ -133,8 +198,30 @@ localNames(const TokenVec &tokens, std::size_t begin,
         const std::string_view next =
             i + 1 < end ? tokens[i + 1].text : std::string_view{};
         if (next == "=" || next == ";" || next == "{" ||
-            next == "(" || next == ",")
+            next == "(" || next == ",") {
             locals.insert(std::string(tokens[i].text));
+            // Comma declarators: double a = 0, b = 0; — every
+            // identifier right after a depth-0 ',' before the ';'
+            // is part of the same declaration.
+            if (next == "=") {
+                int depth = 0;
+                for (std::size_t j = i + 1; j < end; ++j) {
+                    const std::string_view t = tokens[j].text;
+                    if (t == "(" || t == "[" || t == "{")
+                        ++depth;
+                    else if (t == ")" || t == "]" || t == "}")
+                        --depth;
+                    else if (t == ";" && depth == 0)
+                        break;
+                    else if (t == "," && depth == 0 &&
+                             j + 1 < end &&
+                             tokens[j + 1].kind ==
+                                 Token::Kind::Identifier)
+                        locals.insert(
+                            std::string(tokens[j + 1].text));
+                }
+            }
+        }
     }
     return locals;
 }
@@ -171,6 +258,62 @@ paramNames(const TokenVec &tokens, std::size_t openParen,
     return params;
 }
 
+/**
+ * Names usable as per-task-index subscripts: the task parameters
+ * plus integer-typed locals initialised from them, transitively
+ * (`const std::size_t k = static_cast<std::size_t>(i);`).  Two
+ * passes resolve alias-of-alias chains declared in order.
+ */
+NameSet
+indexAliasNames(const TokenVec &tokens, std::size_t bodyBegin,
+                std::size_t bodyEnd, const NameSet &params)
+{
+    static constexpr std::string_view integerish[] = {
+        "int", "long", "short", "unsigned", "size_t", "ptrdiff_t",
+        "auto"};
+    NameSet names = params;
+    for (int pass = 0; pass < 2; ++pass) {
+        for (std::size_t i = bodyBegin; i + 1 < bodyEnd; ++i) {
+            if (tokens[i].kind != Token::Kind::Identifier ||
+                tokens[i + 1].text != "=")
+                continue;
+            // Walk the declaration type backwards; require an
+            // integer-ish token so derived doubles do not become
+            // index slots.
+            bool integerType = false;
+            bool sawType = false;
+            for (std::size_t j = i; j-- > bodyBegin;) {
+                const std::string_view t = tokens[j].text;
+                if (t == ";" || t == "{" || t == "}" || t == ")")
+                    break;
+                if (tokens[j].kind == Token::Kind::Identifier) {
+                    sawType = true;
+                    for (std::string_view k : integerish)
+                        if (t == k || (t.size() > k.size() &&
+                                       t.find(k) !=
+                                           std::string_view::npos))
+                            integerType = true;
+                } else if (t != "::" && t != "<" && t != ">" &&
+                           t != "&" && t != "const") {
+                    break;
+                }
+            }
+            if (!sawType || !integerType)
+                continue;
+            // Initialiser up to ';' must mention a known index name.
+            bool fromIndex = false;
+            for (std::size_t j = i + 2;
+                 j < bodyEnd && tokens[j].text != ";"; ++j)
+                if (tokens[j].kind == Token::Kind::Identifier &&
+                    names.count(tokens[j].text) > 0)
+                    fromIndex = true;
+            if (fromIndex)
+                names.insert(std::string(tokens[i].text));
+        }
+    }
+    return names;
+}
+
 /** Does any [subscript] in [chainBegin, writeOp) name a parameter? */
 bool
 indexedByParam(const TokenVec &tokens, std::size_t chainBegin,
@@ -189,45 +332,100 @@ indexedByParam(const TokenVec &tokens, std::size_t chainBegin,
     return false;
 }
 
+/** One lambda found in argument position of a pool submission. */
+struct PoolLambda
+{
+    std::size_t captBegin = 0;  ///< '[' of the capture list
+    std::size_t captEnd = 0;    ///< matching ']'
+    std::size_t paramOpen = 0;  ///< '(' of the parameter list (or 0)
+    std::size_t paramClose = 0; ///< matching ')' (or 0)
+    std::size_t bodyBegin = 0;  ///< token just past the body '{'
+    std::size_t bodyEnd = 0;    ///< token index of the body '}'
+};
+
+/** Find every lambda passed to parallelFor/runSweep/runIndexSweep. */
+std::vector<PoolLambda>
+findPoolLambdas(const TokenVec &tokens)
+{
+    std::vector<PoolLambda> found;
+    for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
+        const Token &tok = tokens[i];
+        if (tok.kind != Token::Kind::Identifier)
+            continue;
+        if (tok.text != "parallelFor" && tok.text != "runSweep" &&
+            tok.text != "runIndexSweep")
+            continue;
+        if (tokens[i + 1].text != "(")
+            continue;
+        const std::size_t closeCall =
+            skipBalanced(tokens, i + 1, "(", ")");
+
+        for (std::size_t j = i + 2; j < closeCall; ++j) {
+            if (tokens[j].text != "[")
+                continue;
+            const std::string_view prev = tokens[j - 1].text;
+            if (prev != "(" && prev != ",")
+                continue; // subscript, not a lambda argument
+            PoolLambda lam;
+            lam.captBegin = j;
+            lam.captEnd = skipBalanced(tokens, j, "[", "]");
+            std::size_t k = lam.captEnd + 1;
+            if (k < closeCall && tokens[k].text == "(") {
+                lam.paramOpen = k;
+                lam.paramClose = skipBalanced(tokens, k, "(", ")");
+                k = lam.paramClose + 1;
+            }
+            while (k < closeCall && tokens[k].text != "{")
+                ++k;
+            if (k >= closeCall)
+                continue;
+            lam.bodyBegin = k + 1;
+            lam.bodyEnd = skipBalanced(tokens, k, "{", "}");
+            found.push_back(lam);
+            j = lam.bodyEnd;
+        }
+        i = closeCall;
+    }
+    return found;
+}
+
 struct LambdaScan
 {
     const SourceFile &src;
     const TokenVec &tokens;
     const NameSet &atomics;
+    const NameSet &consts;
     std::vector<Diagnostic> &out;
 };
 
-/**
- * Analyze one by-reference lambda body submitted to the pool.
- * @param captBegin/captEnd   the [...] capture list
- * @param bodyBegin/bodyEnd   the {...} body (token indices)
- */
+/** Analyze one by-reference lambda body submitted to the pool. */
 void
-analyzeLambda(LambdaScan &scan, std::size_t captBegin,
-              std::size_t captEnd, std::size_t paramOpen,
-              std::size_t paramClose, std::size_t bodyBegin,
-              std::size_t bodyEnd)
+analyzeLambda(LambdaScan &scan, const PoolLambda &lam)
 {
     const TokenVec &tokens = scan.tokens;
+    const std::size_t bodyBegin = lam.bodyBegin;
+    const std::size_t bodyEnd = lam.bodyEnd;
 
     bool defaultRef = false;
     NameSet refCaptures;
-    for (std::size_t i = captBegin + 1; i < captEnd; ++i) {
+    for (std::size_t i = lam.captBegin + 1; i < lam.captEnd; ++i) {
         if (tokens[i].text != "&")
             continue;
-        if (i + 1 < captEnd &&
+        if (i + 1 < lam.captEnd &&
             tokens[i + 1].kind == Token::Kind::Identifier)
             refCaptures.insert(std::string(tokens[i + 1].text));
         else
             defaultRef = true;
     }
     if (!defaultRef && refCaptures.empty())
-        return; // by-value only: nothing shared to race on
+        return; // by-value only: the semantic family's territory
 
-    const NameSet params =
-        paramOpen < paramClose
-            ? paramNames(tokens, paramOpen, paramClose)
+    const NameSet taskParams =
+        lam.paramOpen < lam.paramClose
+            ? paramNames(tokens, lam.paramOpen, lam.paramClose)
             : NameSet{};
+    const NameSet params =
+        indexAliasNames(tokens, bodyBegin, bodyEnd, taskParams);
     const NameSet locals = localNames(tokens, bodyBegin, bodyEnd);
 
     bool lockHeld = false;
@@ -240,7 +438,8 @@ analyzeLambda(LambdaScan &scan, std::size_t captBegin,
 
     auto isSharedName = [&](std::string_view name) {
         if (params.count(name) > 0 || locals.count(name) > 0 ||
-            scan.atomics.count(name) > 0)
+            scan.atomics.count(name) > 0 ||
+            scan.consts.count(name) > 0)
             return false;
         return defaultRef || refCaptures.count(name) > 0;
     };
@@ -255,13 +454,18 @@ analyzeLambda(LambdaScan &scan, std::size_t captBegin,
                  "' captured by reference in a pool task without a "
                  "lock, atomic, or per-task-index slot — concurrent "
                  "tasks race; index by the task parameter, guard "
-                 "with std::lock_guard, or make it atomic"});
+                 "with std::lock_guard, or make it atomic",
+             ""});
     };
 
     for (std::size_t i = bodyBegin; i < bodyEnd; ++i) {
         if (tokens[i].kind != Token::Kind::Identifier)
             continue;
         const Token &root = tokens[i];
+        // `auto [lo, hi] = f();` is a structured-binding
+        // declaration, not a write through a subscript chain.
+        if (root.text == "auto")
+            continue;
         // Follow the postfix chain: x, x.y, x->y, x[...], x(...).
         std::size_t j = i + 1;
         while (j < bodyEnd) {
@@ -315,49 +519,372 @@ checkPoolConcurrency(const SourceFile &src,
 {
     const TokenVec tokens = tokenize(src.code());
     const NameSet atomics = atomicNames(tokens);
-    LambdaScan scan{src, tokens, atomics, out};
+    const NameSet consts = constDeclNames(tokens);
+    LambdaScan scan{src, tokens, atomics, consts, out};
 
-    for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
-        const Token &tok = tokens[i];
-        if (tok.kind != Token::Kind::Identifier)
-            continue;
-        if (tok.text != "parallelFor" && tok.text != "runSweep" &&
-            tok.text != "runIndexSweep")
-            continue;
-        if (tokens[i + 1].text != "(")
-            continue;
-        const std::size_t closeCall =
-            skipBalanced(tokens, i + 1, "(", ")");
+    for (const PoolLambda &lam : findPoolLambdas(tokens))
+        analyzeLambda(scan, lam);
+}
 
-        // Find lambdas in argument position within the call.
-        for (std::size_t j = i + 2; j < closeCall; ++j) {
-            if (tokens[j].text != "[")
-                continue;
-            const std::string_view prev = tokens[j - 1].text;
-            if (prev != "(" && prev != ",")
-                continue; // subscript, not a lambda argument
-            const std::size_t captEnd =
-                skipBalanced(tokens, j, "[", "]");
-            std::size_t k = captEnd + 1;
-            std::size_t paramOpen = 0;
-            std::size_t paramClose = 0;
-            if (k < closeCall && tokens[k].text == "(") {
-                paramOpen = k;
-                paramClose = skipBalanced(tokens, k, "(", ")");
-                k = paramClose + 1;
+// ====================================================================
+// Family 6: pool-escape (semantic, project-wide)
+// ====================================================================
+
+namespace
+{
+
+/** Escape analysis of one pool task body. */
+class EscapeAnalysis
+{
+  public:
+    EscapeAnalysis(const Project &project, int fileIndex,
+                   const PoolLambda &lam,
+                   std::vector<Diagnostic> &out)
+        : project_(project), index_(project.index()),
+          fileIndex_(fileIndex),
+          src_(project.sources()[static_cast<std::size_t>(
+              fileIndex)]),
+          tokens_(project.tokens(fileIndex)), lam_(lam), out_(out)
+    {
+    }
+
+    void
+    run()
+    {
+        parseCaptures();
+        for (std::size_t i = lam_.bodyBegin; i < lam_.bodyEnd; ++i)
+            if (tokens_[i].kind == Token::Kind::Identifier &&
+                isLockType(tokens_[i].text))
+                return; // serialized body
+        params_ = lam_.paramOpen < lam_.paramClose
+                      ? paramNames(tokens_, lam_.paramOpen,
+                                   lam_.paramClose)
+                      : NameSet{};
+        indexNames_ = indexAliasNames(tokens_, lam_.bodyBegin,
+                                      lam_.bodyEnd, params_);
+        locals_ = localNames(tokens_, lam_.bodyBegin, lam_.bodyEnd);
+        enclosingClass_ = findEnclosingClass();
+
+        const df::Cfg cfg =
+            df::buildCfg(tokens_, lam_.bodyBegin, lam_.bodyEnd);
+        for (const df::Block &block : cfg.blocks)
+            for (const df::Stmt &stmt : block.stmts) {
+                if (stmt.declares)
+                    locals_.insert(stmt.defs.begin(),
+                                   stmt.defs.end());
             }
-            // Skip mutable/noexcept/-> return type up to the body.
-            while (k < closeCall && tokens[k].text != "{")
-                ++k;
-            if (k >= closeCall)
+        for (const df::Block &block : cfg.blocks)
+            for (const df::Stmt &stmt : block.stmts)
+                visitStmt(stmt);
+    }
+
+  private:
+    enum class Kind
+    {
+        None,
+        Capture,
+        PointerCapture,
+        Global,
+        Field,
+    };
+
+    void
+    parseCaptures()
+    {
+        for (std::size_t i = lam_.captBegin + 1; i < lam_.captEnd;
+             ++i) {
+            const std::string_view t = tokens_[i].text;
+            if (t == "&") {
+                if (i + 1 < lam_.captEnd &&
+                    tokens_[i + 1].kind == Token::Kind::Identifier) {
+                    refCaptures_.insert(
+                        std::string(tokens_[i + 1].text));
+                    ++i;
+                } else {
+                    defaultRef_ = true;
+                }
                 continue;
-            const std::size_t bodyEnd =
-                skipBalanced(tokens, k, "{", "}");
-            analyzeLambda(scan, j, captEnd, paramOpen, paramClose,
-                          k + 1, bodyEnd);
-            j = bodyEnd;
+            }
+            if (t == "=") {
+                defaultCopy_ = true;
+                continue;
+            }
+            if (t == "this") {
+                capturesThis_ = true;
+                continue;
+            }
+            if (tokens_[i].kind == Token::Kind::Identifier) {
+                valueCaptures_.insert(std::string(t));
+                // Init capture [p = expr]: skip the initializer.
+                if (i + 1 < lam_.captEnd &&
+                    tokens_[i + 1].text == "=") {
+                    int depth = 0;
+                    for (++i; i < lam_.captEnd; ++i) {
+                        const std::string_view s = tokens_[i].text;
+                        if (s == "(" || s == "[" || s == "{")
+                            ++depth;
+                        else if (s == ")" || s == "]" || s == "}")
+                            --depth;
+                        else if (s == "," && depth == 0)
+                            break;
+                    }
+                }
+            }
         }
-        i = closeCall;
+        if (defaultRef_ || defaultCopy_)
+            capturesThis_ = true; // [&]/[=] capture this implicitly
+    }
+
+    std::string
+    findEnclosingClass() const
+    {
+        std::string cls;
+        std::size_t best = 0;
+        for (const FunctionDef &fn : index_.functions) {
+            if (fn.fileIndex != fileIndex_)
+                continue;
+            if (fn.bodyBegin <= lam_.captBegin &&
+                lam_.captBegin < fn.bodyEnd &&
+                fn.bodyBegin >= best) {
+                best = fn.bodyBegin;
+                cls = fn.className;
+            }
+        }
+        return cls;
+    }
+
+    bool
+    isEnclosingField(const std::string &name) const
+    {
+        if (enclosingClass_.empty())
+            return false;
+        const auto it = index_.classFields.find(enclosingClass_);
+        return it != index_.classFields.end() &&
+               it->second.count(name) > 0;
+    }
+
+    /** Classify a write to @p name (through = indirect write). */
+    Kind
+    classify(const std::string &name, bool through) const
+    {
+        if (name == "this")
+            return capturesThis_ ? Kind::Field : Kind::None;
+        if (params_.count(name) || locals_.count(name) ||
+            index_.atomics.count(name) ||
+            index_.constNames.count(name))
+            return Kind::None;
+        if (capturesThis_ && isEnclosingField(name))
+            return Kind::Field;
+        if (index_.globals.count(name))
+            return Kind::Global;
+        if (refCaptures_.count(name))
+            return Kind::Capture;
+        if ((valueCaptures_.count(name) || defaultCopy_) &&
+            index_.pointerNames.count(name) && through)
+            return Kind::PointerCapture;
+        if (defaultRef_)
+            return Kind::Capture;
+        return Kind::None;
+    }
+
+    void
+    diagnose(std::size_t offset, const std::string &id,
+             std::string message)
+    {
+        const int line = src_.lineOf(offset);
+        if (src_.hasWaiver(line, "vsgpu-lint: shared-ok"))
+            return;
+        const std::string key =
+            id + ":" + std::to_string(line) + ":" + message;
+        if (!seen_.insert(key).second)
+            return;
+        out_.push_back({src_.display(), line, Check::PoolEscape,
+                        std::move(message), id});
+    }
+
+    void
+    diagnoseWrite(Kind kind, const std::string &name,
+                  std::size_t offset, const std::string &how)
+    {
+        switch (kind) {
+          case Kind::None:
+            return;
+          case Kind::Capture:
+            diagnose(offset, "pool-escape.capture-write",
+                     "pool task " + how + " captured '" + name +
+                         "' shared across concurrent tasks — index "
+                         "by the task parameter, guard with a lock, "
+                         "or make it atomic");
+            return;
+          case Kind::PointerCapture:
+            diagnose(offset, "pool-escape.pointer-capture-write",
+                     "pool task " + how + " the pointee of '" +
+                         name +
+                         "' captured by value — the copied pointer "
+                         "aliases the same object, so concurrent "
+                         "tasks still race on it");
+            return;
+          case Kind::Global:
+            diagnose(offset, "pool-escape.global-write",
+                     "pool task " + how + " global '" + name +
+                         "' — globals are shared across every "
+                         "concurrent task without any capture");
+            return;
+          case Kind::Field:
+            diagnose(offset, "pool-escape.field-write",
+                     "pool task " + how + " member field '" + name +
+                         "' through the captured this — fields are "
+                         "shared across concurrent tasks");
+            return;
+        }
+    }
+
+    void
+    visitStmt(const df::Stmt &stmt)
+    {
+        // Per-index slot: a subscript naming a task parameter (or
+        // an integer local derived from one) on the WRITTEN lvalue
+        // suppresses the write (the runSweep pattern).  Only the
+        // left-hand side counts — `*ptr += samples[i]` still races
+        // on the pointee even though the read is indexed.
+        std::size_t lhsEnd = stmt.tokEnd;
+        {
+            int depth = 0;
+            for (std::size_t i = stmt.tokBegin; i < stmt.tokEnd;
+                 ++i) {
+                const std::string_view t = tokens_[i].text;
+                if (t == "(" || t == "[" || t == "{")
+                    ++depth;
+                else if (t == ")" || t == "]" || t == "}")
+                    --depth;
+                else if (depth == 0 && isAssignOp(t)) {
+                    lhsEnd = i;
+                    break;
+                }
+            }
+        }
+        const bool perIndex = indexedByParam(
+            tokens_, stmt.tokBegin, lhsEnd, indexNames_);
+
+        if (!stmt.declares && !perIndex)
+            for (const std::string &def : stmt.defs)
+                diagnoseWrite(classify(def, stmt.defThrough), def,
+                              stmt.offset, "writes");
+
+        for (const df::CallRef &call : stmt.calls) {
+            // For a mutating member call the "lvalue" is the
+            // receiver chain, which ends at the callee name.
+            std::size_t callTok = stmt.tokEnd;
+            for (std::size_t i = stmt.tokBegin; i < stmt.tokEnd;
+                 ++i)
+                if (tokens_[i].offset == call.nameOffset) {
+                    callTok = i;
+                    break;
+                }
+            const bool perIndexCall = indexedByParam(
+                tokens_, stmt.tokBegin, callTok, indexNames_);
+            if (!call.receiver.empty() &&
+                isMutatingMember(call.callee) && !perIndexCall) {
+                diagnoseWrite(classify(call.receiver, true),
+                              call.receiver, call.nameOffset,
+                              "mutates");
+                continue;
+            }
+            if (locals_.count(call.callee) ||
+                params_.count(call.callee))
+                continue;
+            visitCall(call);
+        }
+    }
+
+    /** Transitive effects through the call graph. */
+    void
+    visitCall(const df::CallRef &call)
+    {
+        for (int id : project_.lookup(call.callee)) {
+            const FunctionDef &callee =
+                index_.functions[static_cast<std::size_t>(id)];
+            if (callee.takesLock)
+                continue;
+            for (const std::string &g : callee.writesGlobals) {
+                if (index_.atomics.count(g))
+                    continue;
+                const auto via = callee.effectVia.find(g);
+                diagnose(call.nameOffset,
+                         "pool-escape.global-write",
+                         "pool task calls '" + callee.name +
+                             "' which writes shared global '" + g +
+                             "'" +
+                             (via == callee.effectVia.end()
+                                  ? std::string{}
+                                  : " (" + via->second + ")") +
+                             " — concurrent tasks race on it");
+            }
+            for (int p : callee.writesParams) {
+                if (static_cast<std::size_t>(p) >=
+                    call.args.size())
+                    continue;
+                for (const std::string &root :
+                     call.args[static_cast<std::size_t>(p)]) {
+                    if (classify(root, true) == Kind::None)
+                        continue;
+                    diagnose(
+                        call.nameOffset,
+                        "pool-escape.param-alias-write",
+                        "pool task passes shared '" + root +
+                            "' to '" + callee.name +
+                            "', which writes through that "
+                            "parameter — concurrent tasks race on "
+                            "the shared object");
+                }
+            }
+            if (!call.receiver.empty() && callee.writesFields &&
+                !callee.className.empty() &&
+                classify(call.receiver, true) != Kind::None) {
+                diagnose(call.nameOffset,
+                         "pool-escape.field-write",
+                         "pool task calls '" + call.receiver + "." +
+                             callee.name +
+                             "()', which mutates the shared "
+                             "object's fields — concurrent tasks "
+                             "race on it");
+            }
+        }
+    }
+
+    const Project &project_;
+    const SymbolIndex &index_;
+    int fileIndex_;
+    const SourceFile &src_;
+    const TokenVec &tokens_;
+    PoolLambda lam_;
+    std::vector<Diagnostic> &out_;
+
+    bool defaultRef_ = false;
+    bool defaultCopy_ = false;
+    bool capturesThis_ = false;
+    NameSet refCaptures_;
+    NameSet valueCaptures_;
+    NameSet params_;
+    NameSet indexNames_;
+    NameSet locals_;
+    std::string enclosingClass_;
+    std::set<std::string> seen_;
+};
+
+} // namespace
+
+void
+checkPoolEscape(const Project &project, std::vector<Diagnostic> &out)
+{
+    for (std::size_t f = 0; f < project.sources().size(); ++f) {
+        const TokenVec &tokens =
+            project.tokens(static_cast<int>(f));
+        for (const PoolLambda &lam : findPoolLambdas(tokens)) {
+            EscapeAnalysis analysis(project, static_cast<int>(f),
+                                    lam, out);
+            analysis.run();
+        }
     }
 }
 

@@ -133,7 +133,7 @@ checkUnitSafety(const SourceFile &src, std::vector<Diagnostic> &out)
                    "(src/common/quantity.hh) or waive with "
                    "'// vsgpu-lint: raw-ok(<reason>)'";
         out.push_back({src.display(), line, Check::UnitSafety,
-                       std::move(message)});
+                       std::move(message), ""});
     }
 }
 

@@ -39,6 +39,7 @@
 #define VSGPU_TOOLS_LINT_LINT_HH
 
 #include <cstddef>
+#include <iosfwd>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -46,7 +47,10 @@
 namespace vsgpu::lint
 {
 
-/** Check families, in severity-neutral declaration order. */
+/** Check families, in severity-neutral declaration order.  The
+ *  first five are per-file token-level families; the last three are
+ *  project-wide semantic families built on the symbol index / call
+ *  graph / dataflow core (semantic.hh, dataflow.hh). */
 enum class Check
 {
     UnitSafety,
@@ -54,7 +58,21 @@ enum class Check
     PoolConcurrency,
     Contracts,
     RawEscape,
+    PoolEscape,
+    UnitFlow,
+    DeterminismTaint,
 };
+
+/** Every family, in declaration order (CLI listings, round-trips). */
+inline constexpr Check kAllChecks[] = {
+    Check::UnitSafety,   Check::Determinism,
+    Check::PoolConcurrency, Check::Contracts,
+    Check::RawEscape,    Check::PoolEscape,
+    Check::UnitFlow,     Check::DeterminismTaint,
+};
+
+/** True for the project-wide semantic families. */
+bool isProjectCheck(Check check);
 
 /** Stable kebab-case name used on the CLI and in baseline files. */
 std::string_view checkName(Check check);
@@ -69,6 +87,14 @@ struct Diagnostic
     int line = 0;     ///< 1-based
     Check check = Check::UnitSafety;
     std::string message;
+    /**
+     * Stable dotted diagnostic id ("pool-escape.pointer-capture"),
+     * set by the semantic families.  Empty for the token-level
+     * families, whose fingerprints predate ids and must stay stable;
+     * when set, it replaces the family name in fingerprints and is
+     * the SARIF ruleId.
+     */
+    std::string id;
 };
 
 /**
@@ -218,6 +244,14 @@ struct CompileCommand
 /** Parse the compile database; panics on malformed JSON. */
 std::vector<CompileCommand>
 readCompileCommands(const std::string &path);
+
+/**
+ * Write @p diags as a SARIF 2.1.0 log (GitHub code scanning).  Rules
+ * are derived from the diagnostic ids (falling back to the family
+ * name); locations use the display paths as repository-relative URIs.
+ */
+void writeSarif(std::ostream &os,
+                const std::vector<Diagnostic> &diags);
 
 } // namespace vsgpu::lint
 

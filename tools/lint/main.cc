@@ -5,7 +5,8 @@
  * Usage:
  *   vsgpu_lint [-p <build-dir>] [--checks a,b,...]
  *              [--baseline <file> | --no-baseline]
- *              [--write-baseline] [--list-checks] [file...]
+ *              [--write-baseline] [--list-checks]
+ *              [--sarif <file>] [--dump-index <file>] [file...]
  *
  * With no file arguments, lints every project source named by the
  * compile database (<build-dir>/compile_commands.json, default
@@ -20,6 +21,7 @@
  */
 
 #include "lint.hh"
+#include "semantic.hh"
 
 #include <algorithm>
 #include <cstring>
@@ -45,10 +47,10 @@ struct Options
     bool useBaseline = true;
     bool writeBaseline = false;
     bool verbose = false;
-    std::vector<Check> checks = {
-        Check::UnitSafety, Check::Determinism,
-        Check::PoolConcurrency, Check::Contracts,
-        Check::RawEscape};
+    std::string sarifPath;     ///< write SARIF 2.1.0 log here
+    std::string dumpIndexPath; ///< write symbol-index JSON here
+    std::vector<Check> checks{std::begin(kAllChecks),
+                              std::end(kAllChecks)};
     std::vector<std::string> files;
 };
 
@@ -58,6 +60,7 @@ usage(std::ostream &os)
     os << "usage: vsgpu_lint [-p build-dir] [--checks a,b,...]\n"
           "                  [--baseline file | --no-baseline]\n"
           "                  [--write-baseline] [--verbose]\n"
+          "                  [--sarif file] [--dump-index file]\n"
           "                  [--list-checks] [file...]\n";
     return 2;
 }
@@ -150,10 +153,18 @@ main(int argc, char **argv)
             opt.writeBaseline = true;
         } else if (arg == "--verbose") {
             opt.verbose = true;
+        } else if (arg == "--sarif") {
+            const char *v = next();
+            if (!v)
+                return usage(std::cerr);
+            opt.sarifPath = v;
+        } else if (arg == "--dump-index") {
+            const char *v = next();
+            if (!v)
+                return usage(std::cerr);
+            opt.dumpIndexPath = v;
         } else if (arg == "--list-checks") {
-            for (Check c : {Check::UnitSafety, Check::Determinism,
-                            Check::PoolConcurrency,
-                            Check::Contracts, Check::RawEscape})
+            for (Check c : kAllChecks)
                 std::cout << checkName(c) << "\n";
             return 0;
         } else if (arg == "--help" || arg == "-h") {
@@ -219,16 +230,32 @@ main(int argc, char **argv)
 
         std::sort(targets.begin(), targets.end());
 
-        std::vector<SourceFile> sources;
-        sources.reserve(targets.size());
+        std::vector<SourceFile> loaded;
+        loaded.reserve(targets.size());
         for (const fs::path &t : targets) {
             if (!fs::exists(t)) {
                 std::cerr << "vsgpu_lint: no such file: " << t
                           << "\n";
                 return 2;
             }
-            sources.push_back(loadSource(
+            loaded.push_back(loadSource(
                 t.string(), displayPath(t, repoRoot)));
+        }
+
+        // The Project owns the sources: it tokenizes every file
+        // once and builds the symbol index + call graph the
+        // semantic families (and --dump-index) consume.
+        Project project(std::move(loaded));
+        const std::vector<SourceFile> &sources = project.sources();
+
+        if (!opt.dumpIndexPath.empty()) {
+            std::ofstream out(opt.dumpIndexPath);
+            if (!out) {
+                std::cerr << "vsgpu_lint: cannot write index "
+                          << opt.dumpIndexPath << "\n";
+                return 2;
+            }
+            dumpIndexJson(project, out);
         }
 
         CheckOptions checkOpts;
@@ -246,6 +273,16 @@ main(int argc, char **argv)
                                         err.what());
             }
         }
+        runProjectChecks(project, opt.checks, explicitFiles, diags);
+
+        std::sort(diags.begin(), diags.end(),
+                  [](const Diagnostic &a, const Diagnostic &b) {
+                      if (a.file != b.file)
+                          return a.file < b.file;
+                      if (a.line != b.line)
+                          return a.line < b.line;
+                      return a.id < b.id;
+                  });
 
         std::string baselinePath = opt.baselinePath;
         if (baselinePath.empty() && !repoRoot.empty())
@@ -295,10 +332,22 @@ main(int argc, char **argv)
             baselined = diags.size() - fresh.size();
         }
 
+        if (!opt.sarifPath.empty()) {
+            std::ofstream out(opt.sarifPath);
+            if (!out) {
+                std::cerr << "vsgpu_lint: cannot write SARIF "
+                          << opt.sarifPath << "\n";
+                return 2;
+            }
+            writeSarif(out, fresh);
+        }
+
         for (const Diagnostic &d : fresh)
             std::cerr << d.file << ":" << d.line << ": ["
-                      << checkName(d.check) << "] " << d.message
-                      << "\n";
+                      << (d.id.empty() ? std::string(checkName(
+                                             d.check))
+                                       : d.id)
+                      << "] " << d.message << "\n";
 
         std::cout << "vsgpu_lint: " << sources.size()
                   << " file(s), " << fresh.size()

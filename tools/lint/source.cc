@@ -29,6 +29,12 @@ checkName(Check check)
         return "contracts";
       case Check::RawEscape:
         return "raw-escape";
+      case Check::PoolEscape:
+        return "pool-escape";
+      case Check::UnitFlow:
+        return "unit-flow";
+      case Check::DeterminismTaint:
+        return "determinism-taint";
     }
     return "unknown";
 }
@@ -36,15 +42,20 @@ checkName(Check check)
 bool
 parseCheckName(std::string_view name, Check &out)
 {
-    for (Check c : {Check::UnitSafety, Check::Determinism,
-                    Check::PoolConcurrency, Check::Contracts,
-                    Check::RawEscape}) {
+    for (Check c : kAllChecks) {
         if (checkName(c) == name) {
             out = c;
             return true;
         }
     }
     return false;
+}
+
+bool
+isProjectCheck(Check check)
+{
+    return check == Check::PoolEscape || check == Check::UnitFlow ||
+           check == Check::DeterminismTaint;
 }
 
 namespace
@@ -295,12 +306,15 @@ checkAppliesTo(Check check, std::string_view display)
                pathContains(display, "tools/");
       case Check::Contracts:
         return true;
-      case Check::RawEscape: {
+      case Check::RawEscape:
+      case Check::UnitFlow: {
         // Simulation and modelling code only; the numeric core is
         // the legitimate home of raw() conversions.  cosim.cc and
         // pds_setup.cc sit at the solver boundary (they assemble the
         // per-step current vectors and netlist stamps), as do the
-        // verifier and the circuit layer itself.
+        // verifier and the circuit layer itself.  unit-flow polices
+        // the same boundary from the dataflow side: where raw() is
+        // legitimate, mixing raw doubles is the solver's business.
         if (!pathContains(display, "src/"))
             return false;
         for (std::string_view allowed :
@@ -312,6 +326,15 @@ checkAppliesTo(Check check, std::string_view display)
         }
         return true;
       }
+      case Check::PoolEscape:
+        // Same surface as the token-level pool-concurrency family.
+        return pathContains(display, "src/") ||
+               pathContains(display, "bench/") ||
+               pathContains(display, "tools/");
+      case Check::DeterminismTaint:
+        // Observable outputs are produced by src/; benches and tests
+        // route everything through the library sinks.
+        return pathContains(display, "src/");
     }
     return false;
 }
@@ -339,6 +362,11 @@ runChecks(const SourceFile &src, const std::vector<Check> &checks,
             break;
           case Check::RawEscape:
             checkRawEscape(src, out);
+            break;
+          case Check::PoolEscape:
+          case Check::UnitFlow:
+          case Check::DeterminismTaint:
+            // Project-wide semantic families: runProjectChecks.
             break;
         }
     }

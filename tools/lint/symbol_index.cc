@@ -1,0 +1,674 @@
+/**
+ * @file
+ * Project-wide symbol index for vsgpu_lint's semantic families
+ * (semantic.hh): function/method definitions with parameter lists and
+ * side-effect summaries, globals, class fields, and the const /
+ * atomic / pointer / unordered name sets.  Also the Project façade,
+ * the semantic-family dispatcher, and the index JSON dump.
+ *
+ * The parser is the same dependency-free token scan as the rest of
+ * the linter.  It tracks a brace-context stack (namespace / class /
+ * function / other) so namespace-scope variables and member fields
+ * are told apart, and recognizes function definitions by the shape
+ * `name ( params ) qualifiers { body }` — including constructor
+ * initializer lists and trailing return types.  Misparses degrade to
+ * missing index entries, which suppress findings; they never invent
+ * one.
+ */
+
+#include "semantic.hh"
+
+#include "dataflow.hh"
+
+#include <algorithm>
+#include <ostream>
+
+namespace vsgpu::lint
+{
+
+namespace
+{
+
+using TokenVec = std::vector<Token>;
+
+constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+bool
+isTypeKeyword(std::string_view t)
+{
+    return t == "double" || t == "float" || t == "int" ||
+           t == "bool" || t == "char" || t == "long" ||
+           t == "short" || t == "unsigned" || t == "signed" ||
+           t == "auto" || t == "void";
+}
+
+bool
+isDeclQualifier(std::string_view t)
+{
+    return t == "const" || t == "constexpr" || t == "static" ||
+           t == "inline" || t == "mutable" || t == "extern" ||
+           t == "thread_local" || t == "volatile";
+}
+
+bool
+isReservedWord(std::string_view t)
+{
+    return isTypeKeyword(t) || isDeclQualifier(t) || t == "if" ||
+           t == "else" || t == "for" || t == "while" || t == "do" ||
+           t == "switch" || t == "return" || t == "case" ||
+           t == "break" || t == "continue" || t == "sizeof" ||
+           t == "new" || t == "delete" || t == "true" ||
+           t == "false" || t == "nullptr" || t == "using" ||
+           t == "namespace" || t == "struct" || t == "class" ||
+           t == "template" || t == "typename" || t == "operator" ||
+           t == "throw" || t == "try" || t == "catch" ||
+           t == "goto" || t == "default" || t == "std" ||
+           t == "this" || t == "enum" || t == "typedef" ||
+           t == "explicit" || t == "virtual" || t == "override" ||
+           t == "final" || t == "public" || t == "private" ||
+           t == "protected" || t == "noexcept" || t == "friend" ||
+           t == "decltype" || t == "requires" || t == "concept";
+}
+
+bool
+isLockTypeName(std::string_view name)
+{
+    return name == "lock_guard" || name == "scoped_lock" ||
+           name == "unique_lock" || name == "shared_lock";
+}
+
+bool
+isMutatingMemberName(std::string_view name)
+{
+    return name == "push_back" || name == "emplace_back" ||
+           name == "insert" || name == "emplace" ||
+           name == "clear" || name == "resize" || name == "erase" ||
+           name == "pop_back" || name == "assign";
+}
+
+std::size_t
+skipBalanced(const TokenVec &tokens, std::size_t open,
+             std::string_view openText, std::string_view closeText)
+{
+    int depth = 0;
+    for (std::size_t i = open; i < tokens.size(); ++i) {
+        if (tokens[i].text == openText)
+            ++depth;
+        else if (tokens[i].text == closeText && --depth == 0)
+            return i;
+    }
+    return tokens.size();
+}
+
+/** Parse one parameter list into ParamInfo records. */
+std::vector<ParamInfo>
+parseParams(const TokenVec &tokens, std::size_t open,
+            std::size_t close)
+{
+    std::vector<ParamInfo> params;
+    std::size_t segBegin = open + 1;
+    int depth = 1;
+    for (std::size_t i = open + 1; i <= close && i < tokens.size();
+         ++i) {
+        const std::string_view t = tokens[i].text;
+        if (t == "(" || t == "[" || t == "{" || t == "<")
+            ++depth;
+        else if (t == ")" || t == "]" || t == "}" || t == ">")
+            --depth;
+        const bool boundary =
+            (t == "," && depth == 1) || (i == close && depth == 0);
+        if (!boundary)
+            continue;
+        if (i > segBegin) {
+            ParamInfo info;
+            // Top-level identifiers of the segment; the last
+            // non-reserved one is the name, its predecessor the type.
+            std::vector<std::string_view> idents;
+            int d = 0;
+            for (std::size_t k = segBegin; k < i; ++k) {
+                const std::string_view s = tokens[k].text;
+                if (s == "<" || s == "(" || s == "[")
+                    ++d;
+                else if (s == ">" || s == ")" || s == "]")
+                    --d;
+                else if (s == "&" || s == "&&")
+                    info.byRef = true;
+                else if (s == "*")
+                    info.isPointer = true;
+                else if (s == "const")
+                    info.isConst = true;
+                if (d == 0 &&
+                    tokens[k].kind == Token::Kind::Identifier &&
+                    s != "std" && !isDeclQualifier(s))
+                    idents.push_back(s);
+            }
+            while (!idents.empty() &&
+                   isReservedWord(idents.back()) &&
+                   !isTypeKeyword(idents.back()))
+                idents.pop_back();
+            if (!idents.empty() &&
+                !isTypeKeyword(idents.back())) {
+                info.name = std::string(idents.back());
+                if (idents.size() >= 2)
+                    info.type =
+                        std::string(idents[idents.size() - 2]);
+            } else if (!idents.empty()) {
+                // Unnamed parameter like `f(double)`.
+                info.type = std::string(idents.back());
+            }
+            params.push_back(std::move(info));
+        }
+        segBegin = i + 1;
+    }
+    return params;
+}
+
+/** Brace-context kinds for the pass-1 scanner. */
+enum class Ctx
+{
+    Namespace,
+    Class,
+    Function,
+    Other,
+};
+
+struct Frame
+{
+    Ctx ctx = Ctx::Namespace;
+    std::string className; ///< for Ctx::Class
+};
+
+/**
+ * From a `)` closing a parameter list, find the `{` opening the
+ * function body, tolerating cv/ref/noexcept/override qualifiers,
+ * trailing return types, and constructor initializer lists.  Returns
+ * npos when the shape is not a definition (declaration, call, ...).
+ */
+std::size_t
+findBodyBrace(const TokenVec &tokens, std::size_t closeParen)
+{
+    std::size_t i = closeParen + 1;
+    bool initList = false;
+    while (i < tokens.size()) {
+        const std::string_view t = tokens[i].text;
+        if (t == "{") {
+            if (!initList)
+                return i;
+            // Brace-init of a member: skip, expect ',' or body.
+            i = skipBalanced(tokens, i, "{", "}") + 1;
+            if (i < tokens.size() && tokens[i].text == ",") {
+                ++i;
+                continue;
+            }
+            if (i < tokens.size() && tokens[i].text == "{")
+                return i;
+            continue;
+        }
+        if (t == ";" || t == "=")
+            return npos;
+        if (t == ",") {
+            if (!initList)
+                return npos;
+            ++i;
+            continue;
+        }
+        if (t == ":") {
+            initList = true;
+            ++i;
+            continue;
+        }
+        if (t == "(") {
+            i = skipBalanced(tokens, i, "(", ")") + 1;
+            continue;
+        }
+        if (t == "const" || t == "noexcept" || t == "override" ||
+            t == "final" || t == "mutable" || t == "&" ||
+            t == "&&" || t == "->" || t == "::" || t == "<" ||
+            t == ">" || t == "*" || t == "try" ||
+            tokens[i].kind == Token::Kind::Identifier ||
+            tokens[i].kind == Token::Kind::Number) {
+            ++i;
+            continue;
+        }
+        return npos;
+    }
+    return npos;
+}
+
+/** Statement start: walk back to the nearest ; { or }. */
+std::size_t
+stmtStart(const TokenVec &tokens, std::size_t i)
+{
+    while (i > 0) {
+        const std::string_view t = tokens[i - 1].text;
+        if (t == ";" || t == "{" || t == "}")
+            break;
+        --i;
+    }
+    return i;
+}
+
+/** Pass 1: declarations, contexts, and function shells. */
+void
+scanFile(int fileIndex, const SourceFile &src, const TokenVec &toks,
+         SymbolIndex &index)
+{
+    std::vector<Frame> stack{{Ctx::Namespace, ""}};
+    Ctx pending = Ctx::Other;
+    std::string pendingClass;
+    bool havePending = false;
+
+    auto current = [&]() -> const Frame & { return stack.back(); };
+
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        const Token &tok = toks[i];
+        const std::string_view t = tok.text;
+
+        if (t == "{") {
+            Frame frame;
+            frame.ctx = havePending ? pending : Ctx::Other;
+            // A bare block inside a namespace stays namespace-like
+            // only for `namespace {` (anonymous); other stray braces
+            // (array initializers) are opaque.
+            frame.className = pendingClass;
+            stack.push_back(frame);
+            havePending = false;
+            pendingClass.clear();
+            continue;
+        }
+        if (t == "}") {
+            if (stack.size() > 1)
+                stack.pop_back();
+            continue;
+        }
+        if (t == ";") {
+            havePending = false; // forward declaration
+            pendingClass.clear();
+            continue;
+        }
+        if (t == "namespace") {
+            pending = Ctx::Namespace;
+            havePending = true;
+            continue;
+        }
+        if (t == "class" || t == "struct" || t == "union") {
+            if (i + 1 < toks.size() &&
+                toks[i + 1].kind == Token::Kind::Identifier) {
+                pendingClass = std::string(toks[i + 1].text);
+                pending = Ctx::Class;
+            } else {
+                pendingClass.clear();
+                pending = Ctx::Class;
+            }
+            havePending = true;
+            continue;
+        }
+        if (t == "enum") {
+            pending = Ctx::Other;
+            havePending = true;
+            continue;
+        }
+
+        if (tok.kind != Token::Kind::Identifier ||
+            isReservedWord(t))
+            continue;
+
+        const std::string_view next =
+            i + 1 < toks.size() ? toks[i + 1].text
+                                : std::string_view{};
+        const std::string_view prev =
+            i > 0 ? toks[i - 1].text : std::string_view{};
+
+        // ---- atomic / unordered / pointer name sets -------------
+        if ((t == "atomic" || t == "atomic_flag" ||
+             t == "unordered_map" || t == "unordered_set" ||
+             t == "unordered_multimap" ||
+             t == "unordered_multiset")) {
+            std::size_t j = i + 1;
+            if (j < toks.size() && toks[j].text == "<") {
+                int depth = 0;
+                for (; j < toks.size(); ++j) {
+                    if (toks[j].text == "<")
+                        ++depth;
+                    else if (toks[j].text == ">")
+                        --depth;
+                    else if (toks[j].text == ">>")
+                        depth -= 2;
+                    if (depth <= 0) {
+                        ++j;
+                        break;
+                    }
+                }
+            }
+            while (j < toks.size() && (toks[j].text == "&" ||
+                                       toks[j].text == "*"))
+                ++j;
+            if (j < toks.size() &&
+                toks[j].kind == Token::Kind::Identifier) {
+                const std::string name(toks[j].text);
+                if (t == "atomic" || t == "atomic_flag")
+                    index.atomics.insert(name);
+                else
+                    index.unorderedVars[fileIndex].insert(name);
+            }
+            continue;
+        }
+
+        // ---- function definition? -------------------------------
+        const bool callCtx = prev == "." || prev == "->";
+        if (next == "(" && !callCtx &&
+            (current().ctx == Ctx::Namespace ||
+             current().ctx == Ctx::Class)) {
+            const bool qualified = prev == "::";
+            const bool typeBefore =
+                i > 0 &&
+                ((toks[i - 1].kind == Token::Kind::Identifier &&
+                  !isDeclQualifier(prev)) ||
+                 isTypeKeyword(prev) || prev == ">" ||
+                 prev == "&" || prev == "*");
+            const bool ctorLike =
+                current().ctx == Ctx::Class &&
+                t == current().className;
+            if (qualified || typeBefore || ctorLike) {
+                const std::size_t closeParen =
+                    skipBalanced(toks, i + 1, "(", ")");
+                const std::size_t body =
+                    findBodyBrace(toks, closeParen);
+                if (body != npos && body < toks.size()) {
+                    FunctionDef fn;
+                    fn.name = std::string(t);
+                    if (qualified && i >= 2 &&
+                        toks[i - 2].kind == Token::Kind::Identifier)
+                        fn.className = std::string(toks[i - 2].text);
+                    else if (current().ctx == Ctx::Class)
+                        fn.className = current().className;
+                    fn.fileIndex = fileIndex;
+                    fn.line = src.lineOf(tok.offset);
+                    fn.params =
+                        parseParams(toks, i + 1, closeParen);
+                    fn.bodyBegin = body + 1;
+                    fn.bodyEnd =
+                        skipBalanced(toks, body, "{", "}");
+                    const int id = static_cast<int>(
+                        index.functions.size());
+                    index.byName[fn.name].push_back(id);
+                    index.functions.push_back(std::move(fn));
+                    // The body is scanned by the main loop too (for
+                    // const/pointer/atomic names); mark its context.
+                    pending = Ctx::Function;
+                    havePending = true;
+                    continue;
+                }
+            }
+        }
+
+        // ---- variable declarations ------------------------------
+        const bool typeBefore =
+            i > 0 &&
+            ((toks[i - 1].kind == Token::Kind::Identifier &&
+              !isReservedWord(prev)) ||
+             isTypeKeyword(prev) || prev == ">" || prev == "&" ||
+             prev == "*");
+        if (!typeBefore ||
+            !(next == "=" || next == ";" || next == "{"))
+            continue;
+        // `foo} name =` style misparses guard: statement window.
+        const std::size_t start = stmtStart(toks, i);
+        bool hasConst = false, skip = false, chained = false;
+        for (std::size_t k = start; k < i; ++k) {
+            const std::string_view s = toks[k].text;
+            if (s == "const" || s == "constexpr")
+                hasConst = true;
+            if (s == "using" || s == "return" || s == "namespace" ||
+                s == "template" || s == "typedef" ||
+                s == "operator" || s == "=")
+                skip = true;
+            if (s == "." || s == "->")
+                chained = true;
+        }
+        if (skip || chained)
+            continue;
+        const std::string name(t);
+        if (prev == "*")
+            index.pointerNames.insert(name);
+        if (hasConst) {
+            index.constNames.insert(name);
+            continue;
+        }
+        if (current().ctx == Ctx::Namespace)
+            index.globals.insert(name);
+        else if (current().ctx == Ctx::Class &&
+                 !current().className.empty())
+            index.classFields[current().className].insert(name);
+    }
+}
+
+/** Pass 2: per-body side-effect summaries. */
+void
+summarizeBody(FunctionDef &fn, const TokenVec &toks,
+              const SymbolIndex &index)
+{
+    for (std::size_t i = fn.bodyBegin; i < fn.bodyEnd; ++i)
+        if (toks[i].kind == Token::Kind::Identifier &&
+            isLockTypeName(toks[i].text))
+            fn.takesLock = true;
+
+    const df::Cfg cfg = df::buildCfg(toks, fn.bodyBegin, fn.bodyEnd);
+
+    std::set<std::string> locals;
+    std::map<std::string, int> paramIndex;
+    for (std::size_t p = 0; p < fn.params.size(); ++p)
+        if (!fn.params[p].name.empty())
+            paramIndex[fn.params[p].name] = static_cast<int>(p);
+    for (const df::Block &block : cfg.blocks)
+        for (const df::Stmt &stmt : block.stmts)
+            if (stmt.declares)
+                locals.insert(stmt.defs.begin(), stmt.defs.end());
+
+    auto classifyWrite = [&](const std::string &name,
+                             bool through) {
+        if (name == "this") {
+            fn.writesFields = true;
+            return;
+        }
+        if (index.atomics.count(name) ||
+            index.constNames.count(name))
+            return;
+        const auto pit = paramIndex.find(name);
+        if (pit != paramIndex.end()) {
+            const ParamInfo &p =
+                fn.params[static_cast<std::size_t>(pit->second)];
+            if (p.isConst)
+                return;
+            if ((p.byRef && !p.isPointer) ||
+                (p.isPointer && through))
+                fn.writesParams.insert(pit->second);
+            return;
+        }
+        if (locals.count(name))
+            return;
+        if (index.globals.count(name)) {
+            fn.writesGlobals.insert(name);
+            return;
+        }
+        if (!fn.className.empty()) {
+            const auto cit = index.classFields.find(fn.className);
+            if (cit != index.classFields.end() &&
+                cit->second.count(name))
+                fn.writesFields = true;
+        }
+    };
+
+    for (const df::Block &block : cfg.blocks) {
+        for (const df::Stmt &stmt : block.stmts) {
+            for (const std::string &def : stmt.defs) {
+                if (stmt.declares)
+                    continue;
+                classifyWrite(def, stmt.defThrough);
+            }
+            for (const df::CallRef &call : stmt.calls) {
+                fn.calls.insert(call.callee);
+                if (!call.receiver.empty() &&
+                    isMutatingMemberName(call.callee))
+                    classifyWrite(call.receiver, true);
+                for (std::size_t a = 0; a < call.args.size(); ++a)
+                    for (const std::string &root : call.args[a]) {
+                        const auto pit = paramIndex.find(root);
+                        if (pit != paramIndex.end())
+                            fn.forwards.push_back(
+                                {pit->second, call.callee,
+                                 static_cast<int>(a)});
+                    }
+            }
+        }
+    }
+}
+
+} // namespace
+
+SymbolIndex
+buildSymbolIndex(const std::vector<SourceFile> &sources,
+                 const std::vector<std::vector<Token>> &tokens)
+{
+    SymbolIndex index;
+    for (std::size_t f = 0; f < sources.size(); ++f)
+        scanFile(static_cast<int>(f), sources[f], tokens[f], index);
+    for (FunctionDef &fn : index.functions)
+        summarizeBody(
+            fn, tokens[static_cast<std::size_t>(fn.fileIndex)],
+            index);
+    return index;
+}
+
+Project::Project(std::vector<SourceFile> sources)
+    : sources_(std::move(sources))
+{
+    tokens_.reserve(sources_.size());
+    for (const SourceFile &src : sources_)
+        tokens_.push_back(tokenize(src.code()));
+    index_ = buildSymbolIndex(sources_, tokens_);
+    graph_ = buildCallGraph(index_);
+    propagateEffects(index_, graph_);
+}
+
+const std::vector<int> &
+Project::lookup(const std::string &name) const
+{
+    static const std::vector<int> empty;
+    const auto it = index_.byName.find(name);
+    return it == index_.byName.end() ? empty : it->second;
+}
+
+void
+runProjectChecks(const Project &project,
+                 const std::vector<Check> &checks, bool ignoreScope,
+                 std::vector<Diagnostic> &out)
+{
+    std::vector<Diagnostic> raw;
+    for (Check check : checks) {
+        switch (check) {
+          case Check::PoolEscape:
+            checkPoolEscape(project, raw);
+            break;
+          case Check::UnitFlow:
+            checkUnitFlow(project, raw);
+            break;
+          case Check::DeterminismTaint:
+            checkDeterminismTaint(project, raw);
+            break;
+          default:
+            break;
+        }
+    }
+    for (Diagnostic &diag : raw)
+        if (ignoreScope || checkAppliesTo(diag.check, diag.file))
+            out.push_back(std::move(diag));
+}
+
+namespace
+{
+
+void
+jsonEscapeTo(std::ostream &os, std::string_view s)
+{
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            os << "\\\"";
+            break;
+          case '\\':
+            os << "\\\\";
+            break;
+          case '\n':
+            os << "\\n";
+            break;
+          case '\t':
+            os << "\\t";
+            break;
+          default:
+            os << c;
+        }
+    }
+}
+
+} // namespace
+
+void
+dumpIndexJson(const Project &project, std::ostream &os)
+{
+    const SymbolIndex &index = project.index();
+    os << "{\n  \"functions\": [\n";
+    for (std::size_t i = 0; i < index.functions.size(); ++i) {
+        const FunctionDef &fn = index.functions[i];
+        os << "    {\"name\": \"";
+        jsonEscapeTo(os, fn.name);
+        os << "\", \"class\": \"";
+        jsonEscapeTo(os, fn.className);
+        os << "\", \"file\": \"";
+        jsonEscapeTo(
+            os,
+            project.sources()[static_cast<std::size_t>(fn.fileIndex)]
+                .display());
+        os << "\", \"line\": " << fn.line
+           << ", \"params\": " << fn.params.size()
+           << ", \"writesFields\": "
+           << (fn.writesFields ? "true" : "false")
+           << ", \"takesLock\": "
+           << (fn.takesLock ? "true" : "false")
+           << ", \"writesGlobals\": [";
+        bool first = true;
+        for (const std::string &g : fn.writesGlobals) {
+            os << (first ? "\"" : ", \"");
+            jsonEscapeTo(os, g);
+            os << "\"";
+            first = false;
+        }
+        os << "], \"writesParams\": [";
+        first = true;
+        for (int p : fn.writesParams) {
+            os << (first ? "" : ", ") << p;
+            first = false;
+        }
+        os << "]}";
+        os << (i + 1 < index.functions.size() ? ",\n" : "\n");
+    }
+    os << "  ],\n  \"globals\": [";
+    bool first = true;
+    for (const std::string &g : index.globals) {
+        os << (first ? "\"" : ", \"");
+        jsonEscapeTo(os, g);
+        os << "\"";
+        first = false;
+    }
+    os << "],\n  \"atomics\": [";
+    first = true;
+    for (const std::string &a : index.atomics) {
+        os << (first ? "\"" : ", \"");
+        jsonEscapeTo(os, a);
+        os << "\"";
+        first = false;
+    }
+    os << "],\n  \"files\": " << project.sources().size() << "\n}\n";
+}
+
+} // namespace vsgpu::lint
