@@ -8,9 +8,23 @@
  * CR-IVR to hold the rail above 0.8 V; at 0.2x the rail collapses;
  * the cross-layer solution at only 0.2x dips briefly and recovers
  * above the margin.
+ *
+ * Doubles as the sparse-solver benchmark (ROADMAP item 1,
+ * BENCH_circuit.json): `--solver sparse|dense` selects the MNA
+ * backend for the co-simulation lane, and `--json PATH` additionally
+ * replays the worst-case transient through the circuit engine alone
+ * with BOTH solvers, writing the wall-clock numbers so
+ * scripts/check_bench.py can track the sparse speedup trajectory.
+ * Solver results are bitwise-identical, so the claims below hold for
+ * either backend.
  */
 
+#include <chrono>
+#include <fstream>
+
 #include "bench/bench_util.hh"
+#include "circuit/solver.hh"
+#include "sim/pds_setup.hh"
 
 using namespace vsgpu;
 
@@ -31,11 +45,74 @@ worstCase(PdsKind kind, double areaFraction)
     return sim.run(WorkloadFactory(uniformWorkload(9000)), 0.9);
 }
 
+/**
+ * The circuit-engine share of the worst case: replay the same
+ * imbalance event (all SMs loaded, layer 0 dropped to zero half way
+ * through) through TransientSim alone on the cross-layer 0.2x
+ * netlist.  This isolates the MNA solver the co-simulation lane
+ * above spends only part of its time in.
+ *
+ * @return wall-clock seconds for @p steps transient steps.
+ */
+double
+circuitReplay(SolverKind kind, std::uint64_t steps)
+{
+    CosimConfig cfg;
+    cfg.pds = defaultPds(PdsKind::VsCrossLayer);
+    cfg.pds.ivrAreaFraction = 0.2;
+    const std::shared_ptr<const PdsSetup> setup = buildPdsSetup(cfg);
+    const VsPdn &pdn = *setup->vs;
+
+    TransientSim sim(setup->netlist(), config::clockPeriod.raw(),
+                     kind, setup->mnaPattern);
+    sim.initFromDc(setup->dcNodeVolts);
+    const double loadAmps = 5.0;
+    for (int sm = 0; sm < config::numSMs; ++sm)
+        sim.setCurrent(pdn.smCurrentSource(sm), loadAmps);
+
+    const auto t0 = std::chrono::steady_clock::now(); // vsgpu-lint: nondet-ok(bench wall-clock timing is reporting-only)
+    for (std::uint64_t i = 0; i < steps; ++i) {
+        if (i == steps / 2) {
+            // The fig09 event: one full layer of SMs halts.
+            for (int sm = 0; sm < config::numSMs; ++sm)
+                if (pdn.smLayer(sm) == 0)
+                    sim.setCurrent(pdn.smCurrentSource(sm), 0.0);
+        }
+        sim.step();
+    }
+    const auto t1 = std::chrono::steady_clock::now(); // vsgpu-lint: nondet-ok(bench wall-clock timing is reporting-only)
+    return std::chrono::duration<double>(t1 - t0).count();
+}
+
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    std::string jsonPath;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const bool hasValue = i + 1 < argc;
+        if (arg == "--solver" && hasValue) {
+            SolverKind kind;
+            if (!parseSolverKind(argv[++i], kind)) {
+                std::cerr << "--solver must be sparse or dense\n";
+                return 1;
+            }
+            setDefaultSolver(kind);
+        } else if (arg == "--json" && hasValue) {
+            jsonPath = argv[++i];
+        } else if (arg == "--help" || arg == "-h") {
+            std::cout << "usage: " << argv[0]
+                      << " [--solver sparse|dense] [--json PATH]\n";
+            return 0;
+        } else {
+            std::cerr << "unknown argument: " << arg
+                      << " (try --help)\n";
+            return 1;
+        }
+    }
+
     setLogQuiet(true);
     bench::banner("Fig. 9",
                   "transient waveforms under worst-case imbalance "
@@ -54,9 +131,15 @@ main()
         {"cross-layer  0.2x", PdsKind::VsCrossLayer, 0.2},
     };
 
+    // Wall-clock timing is reporting-only; it never feeds back into
+    // the simulation, whose outputs stay deterministic.
+    const auto t0 = std::chrono::steady_clock::now(); // vsgpu-lint: nondet-ok(bench wall-clock timing is reporting-only)
     std::vector<CosimResult> results;
     for (const auto &c : configs)
         results.push_back(worstCase(c.kind, c.area));
+    const auto t1 = std::chrono::steady_clock::now(); // vsgpu-lint: nondet-ok(bench wall-clock timing is reporting-only)
+    const double elapsedSec =
+        std::chrono::duration<double>(t1 - t0).count();
 
     Table table("min SM voltage vs time");
     table.setHeader({"time_us", configs[0].label, configs[1].label,
@@ -76,6 +159,42 @@ main()
     for (std::size_t c = 0; c < results.size(); ++c)
         std::cout << "  " << configs[c].label << ": min "
                   << formatFixed(results[c].minVoltage, 3) << " V\n";
+
+    std::uint64_t timesteps = 0;
+    for (const auto &r : results)
+        timesteps += r.counters.timesteps;
+    const SolverKind solver = defaultSolver();
+    std::cout << "\nSolver: " << solverName(solver) << ", "
+              << timesteps << " timesteps in "
+              << formatFixed(elapsedSec, 3) << " s\n";
+
+    if (!jsonPath.empty()) {
+        const double circuitSparse =
+            circuitReplay(SolverKind::Sparse, timesteps);
+        const double circuitDense =
+            circuitReplay(SolverKind::Dense, timesteps);
+        const double speedup = circuitDense / circuitSparse;
+        std::cout << "Circuit-engine replay (" << timesteps
+                  << " steps): sparse "
+                  << formatFixed(circuitSparse, 3) << " s, dense "
+                  << formatFixed(circuitDense, 3) << " s ("
+                  << formatFixed(speedup, 1) << "x)\n";
+        std::ofstream out(jsonPath);
+        if (!out.good()) {
+            std::cerr << "cannot write " << jsonPath << "\n";
+            return 1;
+        }
+        out << "{\n"
+            << "  \"bench\": \"fig09_worst_transient\",\n"
+            << "  \"solver\": \"" << solverName(solver) << "\",\n"
+            << "  \"timesteps\": " << timesteps << ",\n"
+            << "  \"cosim_elapsed_sec\": " << elapsedSec << ",\n"
+            << "  \"circuit_sparse_sec\": " << circuitSparse << ",\n"
+            << "  \"circuit_dense_sec\": " << circuitDense << ",\n"
+            << "  \"circuit_speedup\": " << speedup << "\n"
+            << "}\n";
+        std::cout << "wrote " << jsonPath << "\n";
+    }
 
     bench::claim("circuit-only 2.0x stays above", 0.8,
                  results[0].minVoltage, " V");

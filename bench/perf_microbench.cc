@@ -8,6 +8,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include "circuit/solver.hh"
+#include "circuit/stamping.hh"
+#include "numeric/matrix.hh"
+#include "numeric/sparse.hh"
 #include "obs/trace.hh"
 #include "pdn/impedance.hh"
 #include "pdn/vs_pdn.hh"
@@ -19,14 +23,42 @@ namespace
 
 using namespace vsgpu;
 
-void
-BM_TransientStep(benchmark::State &state)
+VsPdn &
+benchPdn()
 {
-    VsPdnOptions options;
-    options.crIvrEffOhms = 0.1_Ohm;
-    options.crIvrFlyCapF = 50.0_nF;
-    VsPdn pdn(options);
-    TransientSim sim(pdn.netlist(), config::clockPeriod.raw());
+    static VsPdn pdn([] {
+        VsPdnOptions options;
+        options.crIvrEffOhms = 0.1_Ohm;
+        options.crIvrFlyCapF = 50.0_nF;
+        return options;
+    }());
+    return pdn;
+}
+
+/** Stamp the transient-step MNA values for the bench PDN. */
+const std::vector<double> &
+assembleTransient(MnaAssembler &assembler, const Netlist &nl)
+{
+    assembler.beginStep();
+    assembler.stampResistors(nl);
+    assembler.stampSwitches(nl, [&nl](std::size_t i) {
+        return nl.switches()[i].initiallyClosed;
+    });
+    assembler.stampCapacitorsTrapezoidal(nl,
+                                         config::clockPeriod.raw());
+    assembler.stampInductorsTrapezoidal(nl,
+                                        config::clockPeriod.raw());
+    assembler.stampEqualizersScaled(nl);
+    assembler.stampVoltageSources(nl);
+    return assembler.commitStep();
+}
+
+void
+stepBench(benchmark::State &state, SolverKind solver)
+{
+    VsPdn &pdn = benchPdn();
+    TransientSim sim(pdn.netlist(), config::clockPeriod.raw(),
+                     solver);
     for (int sm = 0; sm < config::numSMs; ++sm)
         sim.setCurrent(pdn.smCurrentSource(sm), 5.0);
     sim.initToDc();
@@ -36,7 +68,151 @@ BM_TransientStep(benchmark::State &state)
     }
     state.SetItemsProcessed(state.iterations());
 }
+
+void
+BM_TransientStep(benchmark::State &state)
+{
+    stepBench(state, SolverKind::Sparse);
+}
 BENCHMARK(BM_TransientStep);
+
+void
+BM_TransientStepDense(benchmark::State &state)
+{
+    stepBench(state, SolverKind::Dense);
+}
+BENCHMARK(BM_TransientStepDense);
+
+/** Per-step element stamping into the CSC value vector. */
+void
+BM_SolverStamp(benchmark::State &state)
+{
+    const Netlist &nl = benchPdn().netlist();
+    MnaAssembler assembler(MnaPattern::build(nl));
+    for (auto _ : state) {
+        const std::vector<double> &v = assembleTransient(assembler,
+                                                         nl);
+        benchmark::DoNotOptimize(v.data());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SolverStamp);
+
+/** Symbolic analysis: union pattern build + slot resolution.  Runs
+ *  once per topology in production (cached in PdsSetup). */
+void
+BM_SolverSymbolic(benchmark::State &state)
+{
+    const Netlist &nl = benchPdn().netlist();
+    for (auto _ : state) {
+        auto pattern = MnaPattern::build(nl);
+        benchmark::DoNotOptimize(pattern->csc->nnz());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SolverSymbolic);
+
+/** Sparse numeric refactorization (per switch-topology change). */
+void
+BM_SolverRefactorSparse(benchmark::State &state)
+{
+    const Netlist &nl = benchPdn().netlist();
+    auto pattern = MnaPattern::build(nl);
+    MnaAssembler assembler(pattern);
+    const std::vector<double> &values = assembleTransient(assembler,
+                                                          nl);
+    SparseLu lu(pattern->csc);
+    for (auto _ : state) {
+        lu.factor(values);
+        benchmark::DoNotOptimize(lu.factorNnz());
+    }
+    state.SetItemsProcessed(state.iterations());
+    state.counters["unknowns"] =
+        static_cast<double>(pattern->numUnknowns);
+    state.counters["pattern_nnz"] =
+        static_cast<double>(pattern->csc->nnz());
+    state.counters["factor_nnz"] =
+        static_cast<double>(lu.factorNnz());
+}
+BENCHMARK(BM_SolverRefactorSparse);
+
+/** Dense LU refactorization over the same system, for the ratio. */
+void
+BM_SolverRefactorDense(benchmark::State &state)
+{
+    const Netlist &nl = benchPdn().netlist();
+    auto pattern = MnaPattern::build(nl);
+    MnaAssembler assembler(pattern);
+    const std::vector<double> &values = assembleTransient(assembler,
+                                                          nl);
+    const auto n = static_cast<std::size_t>(pattern->numUnknowns);
+    Matrix g(n, n);
+    const CscPattern &csc = *pattern->csc;
+    for (int col = 0; col < pattern->numUnknowns; ++col)
+        for (std::int32_t t = csc.colPtr[static_cast<std::size_t>(col)];
+             t < csc.colPtr[static_cast<std::size_t>(col) + 1]; ++t)
+            g(static_cast<std::size_t>(
+                  csc.rowIdx[static_cast<std::size_t>(t)]),
+              static_cast<std::size_t>(col)) =
+                values[static_cast<std::size_t>(t)];
+    for (auto _ : state) {
+        LuFactor<double> lu(g);
+        benchmark::DoNotOptimize(&lu);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SolverRefactorDense);
+
+/** Sparse triangular solve against a cached factorization — the
+ *  per-timestep hot path. */
+void
+BM_SolverSolveSparse(benchmark::State &state)
+{
+    const Netlist &nl = benchPdn().netlist();
+    auto pattern = MnaPattern::build(nl);
+    MnaAssembler assembler(pattern);
+    SparseLu lu(pattern->csc);
+    lu.factor(assembleTransient(assembler, nl));
+    std::vector<double> rhs(
+        static_cast<std::size_t>(pattern->numUnknowns), 0.0);
+    rhs[0] = 1.0;
+    std::vector<double> x;
+    for (auto _ : state) {
+        lu.solve(rhs, x);
+        benchmark::DoNotOptimize(x.data());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SolverSolveSparse);
+
+/** Dense triangular solve against a cached factorization. */
+void
+BM_SolverSolveDense(benchmark::State &state)
+{
+    const Netlist &nl = benchPdn().netlist();
+    auto pattern = MnaPattern::build(nl);
+    MnaAssembler assembler(pattern);
+    const std::vector<double> &values = assembleTransient(assembler,
+                                                          nl);
+    const auto n = static_cast<std::size_t>(pattern->numUnknowns);
+    Matrix g(n, n);
+    const CscPattern &csc = *pattern->csc;
+    for (int col = 0; col < pattern->numUnknowns; ++col)
+        for (std::int32_t t = csc.colPtr[static_cast<std::size_t>(col)];
+             t < csc.colPtr[static_cast<std::size_t>(col) + 1]; ++t)
+            g(static_cast<std::size_t>(
+                  csc.rowIdx[static_cast<std::size_t>(t)]),
+              static_cast<std::size_t>(col)) =
+                values[static_cast<std::size_t>(t)];
+    const LuFactor<double> lu(g);
+    std::vector<double> rhs(n, 0.0);
+    rhs[0] = 1.0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(lu.solve(rhs).data());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SolverSolveDense);
 
 void
 BM_AcSolve(benchmark::State &state)

@@ -5,6 +5,7 @@
 #include <fstream>
 #include <iostream>
 
+#include "circuit/solver.hh"
 #include "common/logging.hh"
 #include "obs/trace.hh"
 #include "sim/stats_export.hh"
@@ -120,6 +121,13 @@ scenarioMain(const char *name, int argc, char **argv)
             tracePath = argv[++i];
         } else if (arg == "--trace-categories" && hasValue) {
             traceCategories = argv[++i];
+        } else if (arg == "--solver" && hasValue) {
+            SolverKind kind;
+            if (!parseSolverKind(argv[++i], kind)) {
+                std::cerr << "--solver must be sparse or dense\n";
+                return 1;
+            }
+            setDefaultSolver(kind);
         } else if (arg == "--help" || arg == "-h") {
             std::cout
                 << "usage: " << argv[0]
@@ -136,7 +144,9 @@ scenarioMain(const char *name, int argc, char **argv)
                 << "  --trace-out PATH  write a Chrome trace_event "
                    "JSON file\n"
                 << "  --trace-categories LIST  comma list of phase,"
-                   "pool,ctl,hv,all\n";
+                   "pool,ctl,hv,all\n"
+                << "  --solver KIND  MNA linear solver: sparse "
+                   "(default) or dense\n";
             return 0;
         } else {
             std::cerr << "unknown argument: " << arg

@@ -1,0 +1,188 @@
+#!/usr/bin/env python3
+"""Compare fresh solver-bench results against the BENCH_circuit.json
+trajectory and fail on regressions.
+
+Usage:
+  check_bench.py --trajectory BENCH_circuit.json
+                 [--fig09 FIG09.json] [--microbench GBENCH.json]
+                 [--tolerance 0.10] [--record --note "..."]
+
+Wall-clock times are not comparable across machines, so the gate
+works on *ratios* (dense time / sparse time for the same kernel on
+the same machine), which are stable: a >tolerance drop in any
+recorded speedup ratio fails the check, as does violating a hard
+floor from the trajectory's "floors" table (e.g. the fig09
+worst-transient circuit engine must stay >= 5x).
+
+Inputs (stdlib only, no third-party deps):
+  fig09       JSON written by `fig09_worst_transient --json PATH`
+              (cosim + circuit-engine replay wall clocks).
+  microbench  google-benchmark JSON written by
+              `perf_microbench --benchmark_out=PATH
+               --benchmark_out_format=json`.
+
+--record appends the fresh numbers as a new trajectory entry instead
+of gating, so the trajectory file is grown by the same tool that
+checks it.
+"""
+
+import argparse
+import datetime
+import json
+import sys
+
+# microbench ratio name -> (numerator bench, denominator bench)
+KERNEL_RATIOS = {
+    "solve_speedup": ("BM_SolverSolveDense", "BM_SolverSolveSparse"),
+    "step_speedup": ("BM_TransientStepDense", "BM_TransientStep"),
+    "refactor_speedup": ("BM_SolverRefactorDense",
+                         "BM_SolverRefactorSparse"),
+}
+# raw kernel times recorded (ns) for human trend-reading only
+KERNEL_TIMES = (
+    "BM_SolverStamp", "BM_SolverSymbolic", "BM_SolverRefactorSparse",
+    "BM_SolverRefactorDense", "BM_SolverSolveSparse",
+    "BM_SolverSolveDense", "BM_TransientStep", "BM_TransientStepDense",
+)
+
+
+def fail(msg: str) -> None:
+    print(f"check_bench: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load_json(path: str) -> dict:
+    try:
+        with open(path, encoding="utf-8") as fh:
+            return json.load(fh)
+    except (OSError, json.JSONDecodeError) as err:
+        fail(f"{path}: {err}")
+    raise AssertionError("unreachable")
+
+
+def bench_times(doc: dict, path: str) -> dict:
+    times = {}
+    for bench in doc.get("benchmarks", []):
+        name = bench.get("name", "")
+        # Skip aggregate rows (mean/median/stddev repetitions).
+        if bench.get("run_type") == "aggregate":
+            continue
+        times[name] = float(bench["cpu_time"])
+    if not times:
+        fail(f"{path}: no benchmark entries")
+    return times
+
+
+def fresh_metrics(args: argparse.Namespace) -> dict:
+    """Collect {metric: value} from whichever inputs were given."""
+    fresh = {}
+    if args.fig09:
+        doc = load_json(args.fig09)
+        for key in ("timesteps", "circuit_sparse_sec",
+                    "circuit_dense_sec", "circuit_speedup"):
+            if key not in doc:
+                fail(f"{args.fig09}: missing '{key}'")
+        fresh["fig09_circuit_speedup"] = float(doc["circuit_speedup"])
+        fresh["fig09"] = {
+            "timesteps": doc["timesteps"],
+            "cosim_elapsed_sec": doc.get("cosim_elapsed_sec"),
+            "solver": doc.get("solver"),
+            "circuit_sparse_sec": doc["circuit_sparse_sec"],
+            "circuit_dense_sec": doc["circuit_dense_sec"],
+            "circuit_speedup": doc["circuit_speedup"],
+        }
+    if args.microbench:
+        times = bench_times(load_json(args.microbench),
+                            args.microbench)
+        for ratio, (num, den) in KERNEL_RATIOS.items():
+            if num not in times or den not in times:
+                fail(f"{args.microbench}: missing {num} or {den}")
+            fresh[ratio] = times[num] / times[den]
+        fresh["kernels_ns"] = {
+            name: round(times[name], 1)
+            for name in KERNEL_TIMES if name in times
+        }
+    return fresh
+
+
+def gate(trajectory: dict, fresh: dict, tolerance: float) -> None:
+    entries = trajectory.get("entries", [])
+    if not entries:
+        fail("trajectory has no entries to compare against")
+    ref = entries[-1]
+    ref_ratios = dict(ref.get("kernel_ratios", {}))
+    if "fig09" in ref:
+        ref_ratios["fig09_circuit_speedup"] = \
+            ref["fig09"]["circuit_speedup"]
+
+    checked = 0
+    for name, want in sorted(ref_ratios.items()):
+        if name not in fresh:
+            continue
+        got = fresh[name]
+        limit = want * (1.0 - tolerance)
+        status = "ok" if got >= limit else "REGRESSION"
+        print(f"check_bench: {name}: recorded {want:.2f}x, "
+              f"fresh {got:.2f}x (limit {limit:.2f}x) {status}")
+        if got < limit:
+            fail(f"{name} regressed: {got:.2f}x < "
+                 f"{limit:.2f}x ({want:.2f}x - {tolerance:.0%})")
+        checked += 1
+    if checked == 0:
+        fail("no fresh metrics overlap the recorded trajectory "
+             "(pass --fig09 and/or --microbench)")
+
+    for name, floor in trajectory.get("floors", {}).items():
+        if name not in fresh:
+            continue
+        got = fresh[name]
+        print(f"check_bench: {name}: floor {floor:.2f}x, "
+              f"fresh {got:.2f}x "
+              f"{'ok' if got >= floor else 'BELOW FLOOR'}")
+        if got < floor:
+            fail(f"{name} = {got:.2f}x violates the hard floor "
+                 f"{floor:.2f}x")
+    print("check_bench: OK")
+
+
+def record(trajectory: dict, fresh: dict, path: str,
+           note: str) -> None:
+    entry = {
+        "date": datetime.date.today().isoformat(),
+        "note": note,
+    }
+    if "fig09" in fresh:
+        entry["fig09"] = fresh["fig09"]
+    ratios = {k: round(v, 3) for k, v in fresh.items()
+              if k in KERNEL_RATIOS}
+    if ratios:
+        entry["kernel_ratios"] = ratios
+    if "kernels_ns" in fresh:
+        entry["kernels_ns"] = fresh["kernels_ns"]
+    trajectory.setdefault("entries", []).append(entry)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(trajectory, fh, indent=2)
+        fh.write("\n")
+    print(f"check_bench: recorded entry {entry['date']} to {path}")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--trajectory", required=True)
+    parser.add_argument("--fig09")
+    parser.add_argument("--microbench")
+    parser.add_argument("--tolerance", type=float, default=0.10)
+    parser.add_argument("--record", action="store_true")
+    parser.add_argument("--note", default="")
+    args = parser.parse_args()
+
+    trajectory = load_json(args.trajectory)
+    fresh = fresh_metrics(args)
+    if args.record:
+        record(trajectory, fresh, args.trajectory, args.note)
+    else:
+        gate(trajectory, fresh, args.tolerance)
+
+
+if __name__ == "__main__":
+    main()

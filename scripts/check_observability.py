@@ -23,7 +23,8 @@ import argparse
 import json
 import sys
 
-REQUIRED_LAYERS = ("gpu.", "sim.", "control.", "hypervisor.", "exec.")
+REQUIRED_LAYERS = ("gpu.", "sim.", "circuit.", "control.",
+                   "hypervisor.", "exec.")
 KNOWN_KINDS = {"scalar", "counter", "distribution", "formula"}
 KNOWN_CATEGORIES = {"phase", "pool", "ctl", "hv"}
 MIN_PHASE_SPAN_KINDS = 4

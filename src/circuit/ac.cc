@@ -7,9 +7,47 @@
 namespace vsgpu
 {
 
+namespace
+{
+
+/** Per-pattern right-hand-side build + solve + node-voltage fold,
+ *  shared by the sparse and dense backends. */
+template <typename Lu>
+std::vector<std::vector<Complex>>
+backSubstitute(const Lu &lu,
+               const std::vector<std::vector<AcInjection>> &patterns,
+               int numNodes, std::size_t n)
+{
+    std::vector<std::vector<Complex>> results;
+    results.reserve(patterns.size());
+    for (const auto &injections : patterns) {
+        std::vector<Complex> rhs(n, Complex{});
+        for (const auto &inj : injections) {
+            panicIfNot(inj.node >= 0 && inj.node <= numNodes,
+                       "AC injection at unknown node");
+            if (inj.node > 0)
+                rhs[static_cast<std::size_t>(inj.node - 1)] +=
+                    inj.amps;
+        }
+        const std::vector<Complex> x = lu.solve(rhs);
+        std::vector<Complex> volts(
+            static_cast<std::size_t>(numNodes) + 1, Complex{});
+        for (int i = 1; i <= numNodes; ++i)
+            volts[static_cast<std::size_t>(i)] =
+                x[static_cast<std::size_t>(i - 1)];
+        results.push_back(std::move(volts));
+    }
+    return results;
+}
+
+} // namespace
+
 AcAnalysis::AcAnalysis(const Netlist &netlist,
-                       std::vector<bool> switchClosed)
-    : netlist_(netlist), switchClosed_(std::move(switchClosed))
+                       std::vector<bool> switchClosed,
+                       SolverKind solver,
+                       std::shared_ptr<const MnaPattern> pattern)
+    : netlist_(netlist), switchClosed_(std::move(switchClosed)),
+      solver_(solver), pattern_(std::move(pattern))
 {
     const auto &switches = netlist_.switches();
     if (switchClosed_.empty()) {
@@ -19,6 +57,15 @@ AcAnalysis::AcAnalysis(const Netlist &netlist,
     }
     panicIfNot(switchClosed_.size() == switches.size(),
                "AC switch-state size mismatch");
+    if (solver_ == SolverKind::Sparse) {
+        if (!pattern_)
+            pattern_ = MnaPattern::build(netlist_);
+        panicIfNot(pattern_->numUnknowns ==
+                       netlist_.numNodes() +
+                           static_cast<int>(
+                               netlist_.voltageSources().size()),
+                   "assembly pattern does not match the netlist");
+    }
 }
 
 std::vector<Complex>
@@ -39,6 +86,24 @@ AcAnalysis::solveMany(
         static_cast<int>(netlist_.voltageSources().size());
     const std::size_t n = static_cast<std::size_t>(numNodes + numVsrc);
     const double w = 2.0 * M_PI * freqHz;
+
+    if (solver_ == SolverKind::Sparse) {
+        // Same element order and floating-point expressions as the
+        // dense assembly below; see circuit/stamping.hh.
+        CMnaAssembler stamper(pattern_);
+        stamper.beginStep();
+        stamper.stampResistors(netlist_);
+        stamper.stampSwitches(netlist_, [this](std::size_t i) {
+            return static_cast<bool>(switchClosed_[i]);
+        });
+        stamper.stampCapacitorsAc(netlist_, w);
+        stamper.stampInductorsAc(netlist_, w);
+        stamper.stampEqualizersDivided(netlist_);
+        stamper.stampVoltageSources(netlist_);
+        CSparseLu lu(pattern_->csc);
+        lu.factor(stamper.commitStep());
+        return backSubstitute(lu, patterns, numNodes, n);
+    }
 
     CMatrix y(n, n);
 
@@ -107,27 +172,8 @@ AcAnalysis::solveMany(
     }
 
     // One factorization, one back-substitution per pattern.
-    const LuFactor<Complex> lu(y);
-    std::vector<std::vector<Complex>> results;
-    results.reserve(patterns.size());
-    for (const auto &injections : patterns) {
-        std::vector<Complex> rhs(n, Complex{});
-        for (const auto &inj : injections) {
-            panicIfNot(inj.node >= 0 && inj.node <= numNodes,
-                       "AC injection at unknown node");
-            if (inj.node > 0)
-                rhs[static_cast<std::size_t>(inj.node - 1)] +=
-                    inj.amps;
-        }
-        const std::vector<Complex> x = lu.solve(rhs);
-        std::vector<Complex> volts(
-            static_cast<std::size_t>(numNodes) + 1, Complex{});
-        for (int i = 1; i <= numNodes; ++i)
-            volts[static_cast<std::size_t>(i)] =
-                x[static_cast<std::size_t>(i - 1)];
-        results.push_back(std::move(volts));
-    }
-    return results;
+    return backSubstitute(LuFactor<Complex>(y), patterns, numNodes,
+                          n);
 }
 
 Complex

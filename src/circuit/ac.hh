@@ -12,10 +12,13 @@
 #ifndef VSGPU_CIRCUIT_AC_HH
 #define VSGPU_CIRCUIT_AC_HH
 
+#include <memory>
 #include <utility>
 #include <vector>
 
 #include "circuit/netlist.hh"
+#include "circuit/solver.hh"
+#include "circuit/stamping.hh"
 #include "numeric/matrix.hh"
 
 namespace vsgpu
@@ -40,9 +43,16 @@ class AcAnalysis
      * @param netlist the circuit (must outlive the analyzer).
      * @param switchClosed switch states to assume (defaults to each
      *        switch's initial state).
+     * @param solver  linear-solver backend (defaults to the
+     *        process-wide selection, normally sparse).
+     * @param pattern pre-built assembly pattern for this netlist
+     *        (nullptr = build one here when sparse).
      */
-    explicit AcAnalysis(const Netlist &netlist,
-                        std::vector<bool> switchClosed = {});
+    explicit AcAnalysis(
+        const Netlist &netlist,
+        std::vector<bool> switchClosed = {},
+        SolverKind solver = defaultSolver(),
+        std::shared_ptr<const MnaPattern> pattern = nullptr);
 
     /**
      * Solve the phasor system at one frequency.
@@ -80,6 +90,8 @@ class AcAnalysis
   private:
     const Netlist &netlist_;
     std::vector<bool> switchClosed_;
+    SolverKind solver_;
+    std::shared_ptr<const MnaPattern> pattern_;
 };
 
 } // namespace vsgpu

@@ -1,5 +1,8 @@
 #include "circuit/netlist.hh"
 
+#include <set>
+#include <utility>
+
 #include "common/check.hh"
 #include "common/logging.hh"
 
@@ -115,6 +118,131 @@ Netlist::addEqualizer(NodeId top, NodeId mid, NodeId bottom,
     VSGPU_CHECK_FINITE(effResistance);
     equalizers_.push_back({top, mid, bottom, effResistance.raw(), name});
     return static_cast<int>(equalizers_.size()) - 1;
+}
+
+std::vector<NodeId>
+Netlist::renumberMinDegree()
+{
+    // Vertices of the elimination graph: non-ground nodes first (the
+    // ones being ordered), then one vertex per voltage source (its
+    // MNA constraint row; always eliminated after all nodes, but its
+    // edges contribute to node degrees).
+    const int numVsrc = static_cast<int>(vsources_.size());
+    const std::size_t nVerts =
+        static_cast<std::size_t>(numNodes_ + numVsrc);
+    std::vector<std::set<int>> adj(nVerts);
+    const auto vertexOf = [this](NodeId node, int vsrcIdx) {
+        return node != ground ? node - 1 : numNodes_ + vsrcIdx;
+    };
+    const auto link = [&adj](int u, int v) {
+        if (u == v)
+            return;
+        adj[static_cast<std::size_t>(u)].insert(v);
+        adj[static_cast<std::size_t>(v)].insert(u);
+    };
+    const auto linkPair = [&](NodeId a, NodeId b) {
+        if (a != ground && b != ground)
+            link(a - 1, b - 1);
+    };
+    for (const Resistor &r : resistors_)
+        linkPair(r.a, r.b);
+    for (const Capacitor &c : caps_)
+        linkPair(c.a, c.b);
+    for (const Inductor &l : inductors_)
+        linkPair(l.a, l.b);
+    for (const Switch &s : switches_)
+        linkPair(s.a, s.b);
+    for (const Equalizer &e : equalizers_) {
+        linkPair(e.top, e.mid);
+        linkPair(e.mid, e.bottom);
+        linkPair(e.top, e.bottom);
+    }
+    for (int k = 0; k < numVsrc; ++k) {
+        const VoltageSource &v =
+            vsources_[static_cast<std::size_t>(k)];
+        if (v.plus != ground)
+            link(v.plus - 1, numNodes_ + k);
+        if (v.minus != ground)
+            link(v.minus - 1, numNodes_ + k);
+    }
+
+    // Greedy minimum degree over the node vertices: repeatedly
+    // eliminate the lowest-degree node (lowest old id on ties) and
+    // turn its remaining neighbourhood into a clique, exactly
+    // mirroring the fill Gaussian elimination would create.
+    std::vector<bool> eliminated(nVerts, false);
+    std::vector<NodeId> oldToNew(
+        static_cast<std::size_t>(numNodes_) + 1, ground);
+    for (int step = 0; step < numNodes_; ++step) {
+        int bestV = -1;
+        std::size_t bestDeg = nVerts + 1;
+        for (int v = 0; v < numNodes_; ++v) {
+            if (eliminated[static_cast<std::size_t>(v)])
+                continue;
+            const std::size_t deg =
+                adj[static_cast<std::size_t>(v)].size();
+            if (deg < bestDeg) {
+                bestDeg = deg;
+                bestV = v;
+            }
+        }
+        oldToNew[static_cast<std::size_t>(bestV) + 1] = step + 1;
+        eliminated[static_cast<std::size_t>(bestV)] = true;
+        const std::set<int> &nbrSet =
+            adj[static_cast<std::size_t>(bestV)];
+        const std::vector<int> nbr(nbrSet.begin(), nbrSet.end());
+        for (int u : nbr)
+            adj[static_cast<std::size_t>(u)].erase(bestV);
+        for (std::size_t i = 0; i < nbr.size(); ++i) {
+            if (eliminated[static_cast<std::size_t>(nbr[i])])
+                continue;
+            for (std::size_t j = i + 1; j < nbr.size(); ++j) {
+                if (eliminated[static_cast<std::size_t>(nbr[j])])
+                    continue;
+                link(nbr[i], nbr[j]);
+            }
+        }
+    }
+
+    // Remap every element's node references and the node labels.
+    const auto remap = [&oldToNew](NodeId &node) {
+        node = oldToNew[static_cast<std::size_t>(node)];
+    };
+    for (Resistor &r : resistors_) {
+        remap(r.a);
+        remap(r.b);
+    }
+    for (Capacitor &c : caps_) {
+        remap(c.a);
+        remap(c.b);
+    }
+    for (Inductor &l : inductors_) {
+        remap(l.a);
+        remap(l.b);
+    }
+    for (VoltageSource &v : vsources_) {
+        remap(v.plus);
+        remap(v.minus);
+    }
+    for (CurrentSource &i : isources_) {
+        remap(i.from);
+        remap(i.to);
+    }
+    for (Switch &s : switches_) {
+        remap(s.a);
+        remap(s.b);
+    }
+    for (Equalizer &e : equalizers_) {
+        remap(e.top);
+        remap(e.mid);
+        remap(e.bottom);
+    }
+    std::vector<std::string> labels(labels_.size());
+    for (std::size_t old = 0; old < labels_.size(); ++old)
+        labels[static_cast<std::size_t>(
+            oldToNew[old])] = std::move(labels_[old]);
+    labels_ = std::move(labels);
+    return oldToNew;
 }
 
 } // namespace vsgpu

@@ -157,6 +157,20 @@ class Netlist
     int addEqualizer(NodeId top, NodeId mid, NodeId bottom,
                      Ohms effResistance, const std::string &name = "");
 
+    /**
+     * Renumber the non-ground nodes into a fill-reducing greedy
+     * minimum-degree elimination order (ties broken by lowest old
+     * id, so the result is deterministic).  MNA elimination follows
+     * node numbering, so builders should call this once after the
+     * last element is added: on the stacked PDN it cuts LU fill by
+     * ~7x, which both the sparse and the dense solver benefit from.
+     * Element indices are unchanged; only node ids move.
+     *
+     * @return the old-id -> new-id map (size numNodes()+1, ground
+     * fixed at 0) so callers can remap any cached NodeIds.
+     */
+    std::vector<NodeId> renumberMinDegree();
+
     // Element accessors used by the engines.
     const std::vector<Resistor> &resistors() const { return resistors_; }
     const std::vector<Capacitor> &capacitors() const { return caps_; }

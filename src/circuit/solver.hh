@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Linear-solver selection for the MNA circuit engines.
+ *
+ * The sparse engine (numeric/sparse.hh + circuit/stamping.hh) is the
+ * production default; the dense engine is kept behind `--solver
+ * dense` as an escape hatch and as the oracle for the sparse-vs-dense
+ * differential suite.  The two produce bitwise-identical results (see
+ * numeric/sparse.hh), so switching solvers never changes simulation
+ * output — only speed.
+ *
+ * The default is process-global so one `--solver` flag reaches every
+ * consumer, including DC operating-point solves performed inside
+ * sim::buildPdsSetup behind the exec::SetupCache.  Because results
+ * are bit-identical the solver choice is deliberately *not* part of
+ * pdsSetupKey: cached setups remain valid across a solver change.
+ */
+
+#ifndef VSGPU_CIRCUIT_SOLVER_HH
+#define VSGPU_CIRCUIT_SOLVER_HH
+
+#include <atomic>
+#include <string>
+
+namespace vsgpu
+{
+
+/** Which linear-solver backend an MNA engine uses. */
+enum class SolverKind
+{
+    Sparse, ///< CSC assembly + cached-symbolic sparse LU (default)
+    Dense,  ///< dense Matrix + LuFactor (escape hatch / test oracle)
+};
+
+namespace detail
+{
+inline std::atomic<SolverKind> defaultSolverKind{SolverKind::Sparse};
+} // namespace detail
+
+/** @return the process-wide default solver backend. */
+inline SolverKind
+defaultSolver()
+{
+    return detail::defaultSolverKind.load(std::memory_order_relaxed);
+}
+
+/** Set the process-wide default solver backend (CLI `--solver`). */
+inline void
+setDefaultSolver(SolverKind kind)
+{
+    detail::defaultSolverKind.store(kind, std::memory_order_relaxed);
+}
+
+/** @return "sparse" or "dense". */
+inline const char *
+solverName(SolverKind kind)
+{
+    return kind == SolverKind::Sparse ? "sparse" : "dense";
+}
+
+/**
+ * Parse a `--solver` flag value.
+ *
+ * @return true and set @p out on "sparse"/"dense"; false otherwise.
+ */
+inline bool
+parseSolverKind(const std::string &text, SolverKind &out)
+{
+    if (text == "sparse") {
+        out = SolverKind::Sparse;
+        return true;
+    }
+    if (text == "dense") {
+        out = SolverKind::Dense;
+        return true;
+    }
+    return false;
+}
+
+} // namespace vsgpu
+
+#endif // VSGPU_CIRCUIT_SOLVER_HH

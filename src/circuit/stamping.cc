@@ -1,0 +1,151 @@
+#include "circuit/stamping.hh"
+
+namespace vsgpu
+{
+
+namespace
+{
+
+/** Matrix index of a node's voltage unknown (node 1 -> 0). */
+inline int
+nodeRow(NodeId node)
+{
+    return node - 1;
+}
+
+} // namespace
+
+std::shared_ptr<const MnaPattern>
+MnaPattern::build(const Netlist &netlist)
+{
+    auto pat = std::make_shared<MnaPattern>();
+    pat->numNodes = netlist.numNodes();
+    pat->numVsrc =
+        static_cast<int>(netlist.voltageSources().size());
+    pat->numUnknowns = pat->numNodes + pat->numVsrc;
+    panicIfNot(pat->numNodes > 0,
+               "cannot build a pattern for an empty netlist");
+
+    CscPatternBuilder builder(pat->numUnknowns);
+
+    const auto addPairEntries = [&](NodeId a, NodeId b) {
+        if (a > 0)
+            builder.add(nodeRow(a), nodeRow(a));
+        if (b > 0)
+            builder.add(nodeRow(b), nodeRow(b));
+        if (a > 0 && b > 0) {
+            builder.add(nodeRow(a), nodeRow(b));
+            builder.add(nodeRow(b), nodeRow(a));
+        }
+    };
+
+    for (const auto &r : netlist.resistors())
+        addPairEntries(r.a, r.b);
+    for (const auto &s : netlist.switches())
+        addPairEntries(s.a, s.b);
+    for (const auto &c : netlist.capacitors())
+        addPairEntries(c.a, c.b);
+    for (const auto &l : netlist.inductors())
+        addPairEntries(l.a, l.b);
+
+    for (const auto &e : netlist.equalizers()) {
+        const NodeId nodes[3] = {e.top, e.mid, e.bottom};
+        for (int i = 0; i < 3; ++i) {
+            if (nodes[i] <= 0)
+                continue;
+            for (int j = 0; j < 3; ++j) {
+                if (nodes[j] <= 0)
+                    continue;
+                builder.add(nodeRow(nodes[i]), nodeRow(nodes[j]));
+            }
+        }
+    }
+
+    const auto &vsrc = netlist.voltageSources();
+    for (std::size_t k = 0; k < vsrc.size(); ++k) {
+        const int row =
+            pat->numNodes + static_cast<int>(k);
+        if (vsrc[k].plus > 0) {
+            builder.add(nodeRow(vsrc[k].plus), row);
+            builder.add(row, nodeRow(vsrc[k].plus));
+        }
+        if (vsrc[k].minus > 0) {
+            builder.add(nodeRow(vsrc[k].minus), row);
+            builder.add(row, nodeRow(vsrc[k].minus));
+        }
+    }
+
+    // Full node diagonal: the DC leak stamp touches every node, and
+    // having the diagonal structural for all engines keeps one
+    // pattern valid for transient, DC and AC alike.
+    for (int i = 0; i < pat->numNodes; ++i)
+        builder.add(i, i);
+
+    pat->csc =
+        std::make_shared<const CscPattern>(builder.compile());
+    const CscPattern &csc = *pat->csc;
+
+    const auto pairSlots = [&](NodeId a, NodeId b) {
+        PairSlots s;
+        if (a > 0)
+            s.aa = csc.slot(nodeRow(a), nodeRow(a));
+        if (b > 0)
+            s.bb = csc.slot(nodeRow(b), nodeRow(b));
+        if (a > 0 && b > 0) {
+            s.ab = csc.slot(nodeRow(a), nodeRow(b));
+            s.ba = csc.slot(nodeRow(b), nodeRow(a));
+        }
+        return s;
+    };
+
+    for (const auto &r : netlist.resistors())
+        pat->resistors.push_back(pairSlots(r.a, r.b));
+    for (const auto &s : netlist.switches())
+        pat->switches.push_back(pairSlots(s.a, s.b));
+    for (const auto &c : netlist.capacitors())
+        pat->capacitors.push_back(pairSlots(c.a, c.b));
+    for (const auto &l : netlist.inductors())
+        pat->inductors.push_back(pairSlots(l.a, l.b));
+
+    for (const auto &e : netlist.equalizers()) {
+        const NodeId nodes[3] = {e.top, e.mid, e.bottom};
+        std::array<std::int32_t, 9> slots;
+        slots.fill(-1);
+        for (int i = 0; i < 3; ++i) {
+            if (nodes[i] <= 0)
+                continue;
+            for (int j = 0; j < 3; ++j) {
+                if (nodes[j] <= 0)
+                    continue;
+                slots[static_cast<std::size_t>(i * 3 + j)] =
+                    csc.slot(nodeRow(nodes[i]),
+                             nodeRow(nodes[j]));
+            }
+        }
+        pat->equalizers.push_back(slots);
+    }
+
+    for (std::size_t k = 0; k < vsrc.size(); ++k) {
+        const int row =
+            pat->numNodes + static_cast<int>(k);
+        VsrcSlots s;
+        if (vsrc[k].plus > 0) {
+            s.pr = csc.slot(nodeRow(vsrc[k].plus), row);
+            s.rp = csc.slot(row, nodeRow(vsrc[k].plus));
+        }
+        if (vsrc[k].minus > 0) {
+            s.mr = csc.slot(nodeRow(vsrc[k].minus), row);
+            s.rm = csc.slot(row, nodeRow(vsrc[k].minus));
+        }
+        pat->vsrcs.push_back(s);
+    }
+
+    pat->nodeDiag.resize(static_cast<std::size_t>(pat->numNodes));
+    for (int i = 0; i < pat->numNodes; ++i)
+        pat->nodeDiag[static_cast<std::size_t>(i)] =
+            csc.slot(i, i);
+
+    return pat;
+}
+
+} // namespace vsgpu

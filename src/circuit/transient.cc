@@ -1,5 +1,6 @@
 #include "circuit/transient.hh"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/check.hh"
@@ -11,16 +12,14 @@ namespace
 {
 
 /** Inductor replacement resistance for DC operating-point solves. */
-constexpr double dcInductorOhms = 1e-6;
-
-/** Tiny diagonal conductance keeping DC solves non-singular when a
- *  node is only reachable through capacitors. */
-constexpr double dcLeakSiemens = 1e-12;
+constexpr double dcInductorOhms = kDcInductorOhms;
 
 } // namespace
 
-TransientSim::TransientSim(const Netlist &netlist, double dt)
-    : netlist_(netlist), dt_(dt)
+TransientSim::TransientSim(const Netlist &netlist, double dt,
+                           SolverKind solver,
+                           std::shared_ptr<const MnaPattern> pattern)
+    : netlist_(netlist), dt_(dt), solver_(solver)
 {
     panicIfNot(dt_ > 0.0, "transient timestep must be positive");
     numNodes_ = netlist_.numNodes();
@@ -30,7 +29,17 @@ TransientSim::TransientSim(const Netlist &netlist, double dt)
     panicIfNot(netlist_.switches().size() <= 64,
                "switch-state cache supports at most 64 switches");
 
+    if (solver_ == SolverKind::Sparse) {
+        usedCachedPattern_ = pattern != nullptr;
+        pattern_ = pattern ? std::move(pattern)
+                           : MnaPattern::build(netlist_);
+        panicIfNot(pattern_->numUnknowns == numUnknowns_,
+                   "assembly pattern does not match the netlist");
+        assembler_ = std::make_unique<MnaAssembler>(pattern_);
+    }
+
     solution_.assign(static_cast<std::size_t>(numUnknowns_), 0.0);
+    rhs_.assign(static_cast<std::size_t>(numUnknowns_), 0.0);
     sourceAmps_.resize(netlist_.currentSources().size());
     for (std::size_t i = 0; i < sourceAmps_.size(); ++i)
         sourceAmps_[i] = netlist_.currentSources()[i].amps;
@@ -83,7 +92,14 @@ TransientSim::setSourceVolts(int vsrcIdx, double volts)
 void
 TransientSim::initToDc()
 {
-    initFromDc(solveDc(netlist_, sourceAmps_, switchClosed_));
+    initFromDc(solveDc(netlist_, sourceAmps_, switchClosed_, solver_,
+                       pattern_));
+}
+
+std::size_t
+TransientSim::patternNnz() const
+{
+    return pattern_ ? pattern_->csc->nnz() : 0;
 }
 
 void
@@ -211,11 +227,39 @@ TransientSim::factorFor(std::uint64_t key)
     return ref;
 }
 
+const SparseLu &
+TransientSim::sparseFor(std::uint64_t key)
+{
+    auto it = sparseCache_.find(key);
+    if (it != sparseCache_.end())
+        return *it->second;
+    ++luBuilds_;
+    ++refactorizations_;
+
+    // Same element order and floating-point expressions as the dense
+    // factorFor above; see circuit/stamping.hh.
+    assembler_->beginStep();
+    assembler_->stampResistors(netlist_);
+    assembler_->stampSwitches(netlist_, [key](std::size_t i) {
+        return ((key >> i) & 1ull) != 0;
+    });
+    assembler_->stampCapacitorsTrapezoidal(netlist_, dt_);
+    assembler_->stampInductorsTrapezoidal(netlist_, dt_);
+    assembler_->stampEqualizersScaled(netlist_);
+    assembler_->stampVoltageSources(netlist_);
+
+    auto lu = std::make_unique<SparseLu>(pattern_->csc);
+    lu->factor(assembler_->commitStep());
+    const auto &ref = *lu;
+    sparseCache_.emplace(key, std::move(lu));
+    return ref;
+}
+
 void
 TransientSim::step()
 {
-    const LuFactor<double> &lu = factorFor(switchKey());
-    std::vector<double> rhs(static_cast<std::size_t>(numUnknowns_), 0.0);
+    std::vector<double> &rhs = rhs_;
+    std::fill(rhs.begin(), rhs.end(), 0.0);
 
     const auto inject = [&](NodeId node, double amps) {
         if (node > 0)
@@ -252,7 +296,10 @@ TransientSim::step()
         rhs[static_cast<std::size_t>(numNodes_) + k] =
             sourceVolts_[k];
 
-    solution_ = lu.solve(rhs);
+    if (solver_ == SolverKind::Sparse)
+        sparseFor(switchKey()).solve(rhs, solution_);
+    else
+        solution_ = factorFor(switchKey()).solve(rhs);
 
     // Poisoning-NaN detection: a single corrupt setpoint or element
     // turns the whole solution vector non-finite within one step, so
@@ -388,9 +435,50 @@ TransientSim::totalEqualizerPower() const
     return watts;
 }
 
+namespace
+{
+
+/** Shared DC right-hand side: load injections + vsrc setpoints. */
+std::vector<double>
+dcRhs(const Netlist &netlist, const std::vector<double> &sourceAmps,
+      std::size_t n)
+{
+    std::vector<double> rhs(n, 0.0);
+    const int numNodes = netlist.numNodes();
+    const auto &isrc = netlist.currentSources();
+    for (std::size_t i = 0; i < isrc.size(); ++i) {
+        if (isrc[i].from > 0)
+            rhs[static_cast<std::size_t>(isrc[i].from - 1)] -=
+                sourceAmps[i];
+        if (isrc[i].to > 0)
+            rhs[static_cast<std::size_t>(isrc[i].to - 1)] +=
+                sourceAmps[i];
+    }
+    const auto &vsrc = netlist.voltageSources();
+    for (std::size_t k = 0; k < vsrc.size(); ++k)
+        rhs[static_cast<std::size_t>(numNodes) + k] = vsrc[k].volts;
+    return rhs;
+}
+
+/** Fold the raw MNA solution into ground-prefixed node voltages. */
+std::vector<double>
+dcNodeVolts(const std::vector<double> &x, int numNodes)
+{
+    VSGPU_CHECK_ALL_FINITE(x, "DC operating-point solution");
+    std::vector<double> volts(static_cast<std::size_t>(numNodes) + 1,
+                              0.0);
+    for (int i = 1; i <= numNodes; ++i)
+        volts[static_cast<std::size_t>(i)] =
+            x[static_cast<std::size_t>(i - 1)];
+    return volts;
+}
+
+} // namespace
+
 std::vector<double>
 solveDc(const Netlist &netlist, const std::vector<double> &sourceAmps,
-        const std::vector<bool> &switchClosed)
+        const std::vector<bool> &switchClosed, SolverKind solver,
+        std::shared_ptr<const MnaPattern> pattern)
 {
     const int numNodes = netlist.numNodes();
     const int numVsrc =
@@ -399,8 +487,35 @@ solveDc(const Netlist &netlist, const std::vector<double> &sourceAmps,
     panicIfNot(sourceAmps.size() == netlist.currentSources().size(),
                "solveDc: source setpoint count mismatch");
 
+    const auto &allSwitches = netlist.switches();
+    const auto closedAt = [&](std::size_t i) {
+        return i < switchClosed.size()
+                   ? static_cast<bool>(switchClosed[i])
+                   : allSwitches[i].initiallyClosed;
+    };
+
+    if (solver == SolverKind::Sparse) {
+        // Same element order and floating-point expressions as the
+        // dense assembly below; see circuit/stamping.hh.
+        if (!pattern)
+            pattern = MnaPattern::build(netlist);
+        panicIfNot(pattern->numUnknowns == numNodes + numVsrc,
+                   "assembly pattern does not match the netlist");
+        MnaAssembler stamper(pattern);
+        stamper.beginStep();
+        stamper.stampResistors(netlist);
+        stamper.stampInductorsDc(netlist);
+        stamper.stampEqualizersDivided(netlist);
+        stamper.stampSwitches(netlist, closedAt);
+        stamper.stampNodeLeak();
+        stamper.stampVoltageSources(netlist);
+        SparseLu lu(pattern->csc);
+        lu.factor(stamper.commitStep());
+        return dcNodeVolts(lu.solve(dcRhs(netlist, sourceAmps, n)),
+                           numNodes);
+    }
+
     Matrix g(n, n);
-    std::vector<double> rhs(n, 0.0);
 
     const auto stamp = [&](NodeId a, NodeId b, double siemens) {
         if (a > 0)
@@ -440,27 +555,15 @@ solveDc(const Netlist &netlist, const std::vector<double> &sourceAmps,
 
     const auto &switches = netlist.switches();
     for (std::size_t i = 0; i < switches.size(); ++i) {
-        const bool closed = i < switchClosed.size()
-                                ? static_cast<bool>(switchClosed[i])
-                                : switches[i].initiallyClosed;
         stamp(switches[i].a, switches[i].b,
-              1.0 / (closed ? switches[i].onOhms : switches[i].offOhms));
+              1.0 / (closedAt(i) ? switches[i].onOhms
+                                 : switches[i].offOhms));
     }
 
     // Keep capacitor-only nodes from floating.
     for (int i = 0; i < numNodes; ++i)
         g(static_cast<std::size_t>(i), static_cast<std::size_t>(i)) +=
-            dcLeakSiemens;
-
-    const auto &isrc = netlist.currentSources();
-    for (std::size_t i = 0; i < isrc.size(); ++i) {
-        if (isrc[i].from > 0)
-            rhs[static_cast<std::size_t>(isrc[i].from - 1)] -=
-                sourceAmps[i];
-        if (isrc[i].to > 0)
-            rhs[static_cast<std::size_t>(isrc[i].to - 1)] +=
-                sourceAmps[i];
-    }
+            kDcLeakSiemens;
 
     const auto &vsrc = netlist.voltageSources();
     for (std::size_t k = 0; k < vsrc.size(); ++k) {
@@ -475,17 +578,10 @@ solveDc(const Netlist &netlist, const std::vector<double> &sourceAmps,
             g(m, row) -= 1.0;
             g(row, m) -= 1.0;
         }
-        rhs[row] = vsrc[k].volts;
     }
 
-    const std::vector<double> x = solveLinear(g, rhs);
-    VSGPU_CHECK_ALL_FINITE(x, "DC operating-point solution");
-    std::vector<double> volts(static_cast<std::size_t>(numNodes) + 1,
-                              0.0);
-    for (int i = 1; i <= numNodes; ++i)
-        volts[static_cast<std::size_t>(i)] =
-            x[static_cast<std::size_t>(i - 1)];
-    return volts;
+    return dcNodeVolts(
+        solveLinear(g, dcRhs(netlist, sourceAmps, n)), numNodes);
 }
 
 } // namespace vsgpu

@@ -8,6 +8,13 @@
  * run, the system matrix only changes when a switch toggles; the LU
  * factorization is cached per switch-state so the per-step cost is a
  * right-hand-side build plus one back-substitution.
+ *
+ * Two interchangeable linear-solver backends exist (circuit/solver.hh):
+ * the default sparse engine assembles through an MnaPattern (symbolic
+ * factorization context, cacheable across runs via sim::PdsSetup) and
+ * refactorizes numerically per switch state; the dense engine is the
+ * historical path kept as a differential-testing oracle.  Both
+ * produce bitwise-identical solutions.
  */
 
 #ifndef VSGPU_CIRCUIT_TRANSIENT_HH
@@ -19,7 +26,10 @@
 #include <vector>
 
 #include "circuit/netlist.hh"
+#include "circuit/solver.hh"
+#include "circuit/stamping.hh"
 #include "numeric/matrix.hh"
+#include "numeric/sparse.hh"
 
 namespace vsgpu
 {
@@ -33,8 +43,17 @@ class TransientSim
     /**
      * @param netlist the circuit (must outlive the simulator).
      * @param dt      fixed timestep in seconds.
+     * @param solver  linear-solver backend (defaults to the
+     *                process-wide selection, normally sparse).
+     * @param pattern pre-built sparse assembly pattern for this
+     *                netlist's topology (nullptr = build one here).
+     *                Sweep engines pass the pattern cached in
+     *                sim::PdsSetup so the symbolic work happens once
+     *                per configuration.
      */
-    TransientSim(const Netlist &netlist, double dt);
+    TransientSim(const Netlist &netlist, double dt,
+                 SolverKind solver = defaultSolver(),
+                 std::shared_ptr<const MnaPattern> pattern = nullptr);
 
     /** Set a current source's value for subsequent steps (amps). */
     void setCurrent(int sourceIdx, double amps); // vsgpu-lint: raw-ok(dimension-erased MNA solver boundary)
@@ -79,8 +98,44 @@ class TransientSim
      *  a variable-step engine's Newton iteration count. */
     std::uint64_t luBuilds() const { return luBuilds_; }
 
+    /** @return the solver backend this instance runs on. */
+    SolverKind solver() const { return solver_; }
+
+    /** @return structural nonzeros of the sparse assembly pattern
+     *  (0 on the dense backend). */
+    std::size_t patternNnz() const;
+
+    /** @return sparse numeric refactorizations performed (equals
+     *  luBuilds() on the sparse backend, 0 on dense). */
+    std::uint64_t refactorizations() const
+    {
+        return refactorizations_;
+    }
+
+    /** @return true when the symbolic pattern was supplied by the
+     *  caller (i.e. reused from a setup cache) rather than built by
+     *  this instance. */
+    bool usedCachedPattern() const { return usedCachedPattern_; }
+
     /** @return voltage at a node (ground = 0 V). */
     double nodeVoltage(NodeId node) const;
+
+    /**
+     * @return index of a node's voltage in solution(), or -1 for
+     * ground.  Lets waveform samplers stream straight from the state
+     * vector without per-sample bounds checks.
+     */
+    int
+    solutionIndex(NodeId node) const
+    {
+        panicIfNot(node >= 0 && node <= numNodes_,
+                   "bad node id ", node);
+        return node - 1;
+    }
+
+    /** @return the raw MNA solution vector: node voltages (node id
+     *  - 1) followed by voltage-source branch currents. */
+    const std::vector<double> &solution() const { return solution_; }
 
     /** @return current through voltage source (plus -> external). */
     double sourceCurrent(int vsrcIdx) const;
@@ -116,8 +171,11 @@ class TransientSim
     double totalEqualizerPower() const;
 
   private:
-    /** Build and factor the MNA matrix for the current switch state. */
+    /** Build and factor the dense MNA matrix for a switch state. */
     const LuFactor<double> &factorFor(std::uint64_t key);
+
+    /** Assemble and refactor the sparse system for a switch state. */
+    const SparseLu &sparseFor(std::uint64_t key);
 
     /** Stamp a conductance into the MNA matrix. */
     static void stampConductance(Matrix &g, NodeId a, NodeId b,
@@ -133,12 +191,17 @@ class TransientSim
     double time_ = 0.0;
     std::uint64_t stepCount_ = 0;
     std::uint64_t luBuilds_ = 0;
+    std::uint64_t refactorizations_ = 0;
+
+    SolverKind solver_;
+    bool usedCachedPattern_ = false;
 
     int numNodes_;
     int numVsrc_;
     int numUnknowns_;
 
     std::vector<double> solution_;    ///< node voltages + vsrc currents
+    std::vector<double> rhs_;         ///< per-step right-hand side
     std::vector<double> sourceAmps_;  ///< current-source setpoints
     std::vector<double> sourceVolts_; ///< voltage-source setpoints
     std::vector<bool> switchClosed_;
@@ -149,7 +212,13 @@ class TransientSim
     std::vector<double> indAmps_;     ///< i through each inductor
     std::vector<double> indVolts_;    ///< v across each inductor
 
-    // Cached factorizations keyed by switch-state bitmask.
+    // Sparse backend: shared symbolic pattern, reusable stamping
+    // assembler, factors keyed by switch-state bitmask.
+    std::shared_ptr<const MnaPattern> pattern_;
+    std::unique_ptr<MnaAssembler> assembler_;
+    std::map<std::uint64_t, std::unique_ptr<SparseLu>> sparseCache_;
+
+    // Dense backend: factorizations keyed by switch-state bitmask.
     std::map<std::uint64_t, std::unique_ptr<LuFactor<double>>> luCache_;
 };
 
@@ -157,11 +226,16 @@ class TransientSim
  * DC operating-point solve: inductors become tiny resistances,
  * capacitors are open, current sources at the supplied setpoints.
  *
+ * @param solver  linear-solver backend (defaults to the process-wide
+ *                selection).
+ * @param pattern optional pre-built assembly pattern (sparse only).
  * @return node voltages indexed by node id (index 0 = ground = 0 V).
  */
-std::vector<double> solveDc(const Netlist &netlist,
-                            const std::vector<double> &sourceAmps,
-                            const std::vector<bool> &switchClosed = {});
+std::vector<double>
+solveDc(const Netlist &netlist, const std::vector<double> &sourceAmps,
+        const std::vector<bool> &switchClosed = {},
+        SolverKind solver = defaultSolver(),
+        std::shared_ptr<const MnaPattern> pattern = nullptr);
 
 } // namespace vsgpu
 

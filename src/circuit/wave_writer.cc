@@ -45,7 +45,9 @@ WaveWriter::addSignal(const std::string &name, NodeId plus,
     // One printable-ASCII VCD identifier per signal.
     panicIfNot(signals_.size() < 90,
                "WaveWriter supports at most 90 signals");
-    signals_.push_back({name, plus, minus});
+    signals_.push_back({name, plus, minus,
+                        sim_.solutionIndex(plus),
+                        sim_.solutionIndex(minus)});
     return static_cast<int>(signals_.size()) - 1;
 }
 
@@ -56,9 +58,19 @@ WaveWriter::sample()
         return;
     sinceSample_ = 0;
     times_.push_back(sim_.time());
-    for (const auto &s : signals_)
-        values_.push_back(sim_.nodeVoltage(s.plus) -
-                          sim_.nodeVoltage(s.minus));
+    // Stream straight from the solver's state vector (the node-id
+    // checks already happened at addSignal); identical values to
+    // nodeVoltage() subtraction, dense or sparse backend alike.
+    const std::vector<double> &x = sim_.solution();
+    for (const auto &s : signals_) {
+        const double vp =
+            s.plusIdx >= 0 ? x[static_cast<std::size_t>(s.plusIdx)]
+                           : 0.0;
+        const double vm =
+            s.minusIdx >= 0 ? x[static_cast<std::size_t>(s.minusIdx)]
+                            : 0.0;
+        values_.push_back(vp - vm);
+    }
 }
 
 double

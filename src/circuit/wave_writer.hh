@@ -81,6 +81,12 @@ class WaveWriter
         std::string name;
         NodeId plus;
         NodeId minus; ///< 0 (ground) for single-ended signals
+        /// Solution-vector indices resolved once at registration
+        /// (-1 = ground), so sample() streams straight from the
+        /// solver's state vector — no per-sample node lookups or
+        /// bounds checks, and no densified voltage copy.
+        int plusIdx;
+        int minusIdx;
     };
 
     const TransientSim &sim_;

@@ -1,0 +1,36 @@
+#include "numeric/sparse.hh"
+
+namespace vsgpu
+{
+
+CscPatternBuilder::CscPatternBuilder(int order)
+    : order_(order)
+{
+    panicIfNot(order_ > 0, "pattern order must be positive");
+}
+
+CscPattern
+CscPatternBuilder::compile()
+{
+    std::sort(entries_.begin(), entries_.end());
+    entries_.erase(std::unique(entries_.begin(), entries_.end()),
+                   entries_.end());
+
+    CscPattern pat;
+    pat.order = order_;
+    pat.colPtr.assign(static_cast<std::size_t>(order_) + 1, 0);
+    pat.rowIdx.reserve(entries_.size());
+    for (const auto &[col, row] : entries_) {
+        pat.rowIdx.push_back(row);
+        ++pat.colPtr[static_cast<std::size_t>(col) + 1];
+    }
+    for (int c = 0; c < order_; ++c)
+        pat.colPtr[static_cast<std::size_t>(c) + 1] =
+            static_cast<std::int32_t>(
+                pat.colPtr[static_cast<std::size_t>(c) + 1] +
+                pat.colPtr[static_cast<std::size_t>(c)]);
+    entries_.clear();
+    return pat;
+}
+
+} // namespace vsgpu

@@ -110,6 +110,12 @@ SingleLayerPdn::build()
         net_.addResistor(capMid, Netlist::ground, p.smDecapEsr,
                          "r_decap_esr");
     }
+
+    // Renumber into a fill-reducing elimination order and remap the
+    // cached SM rail ids (element indices are unaffected).
+    const std::vector<NodeId> oldToNew = net_.renumberMinDegree();
+    for (NodeId &node : smNode_)
+        node = oldToNew[static_cast<std::size_t>(node)];
 }
 
 NodeId

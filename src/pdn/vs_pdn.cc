@@ -147,6 +147,14 @@ VsPdn::build()
             }
         }
     }
+
+    // Topology is final: renumber into a fill-reducing elimination
+    // order (allocation order above follows the supply path, which
+    // is near-pessimal for LU fill) and remap the cached rail ids.
+    const std::vector<NodeId> oldToNew = net_.renumberMinDegree();
+    for (auto &level : boundary_)
+        for (NodeId &node : level)
+            node = oldToNew[static_cast<std::size_t>(node)];
 }
 
 NodeId

@@ -102,7 +102,8 @@ CoSimulator::runImpl(
     const VsPdn *vsPdn = setup->vs.get();
     const SingleLayerPdn *slPdn = setup->sl.get();
     auto tr = std::make_shared<TransientSim>(
-        setup->netlist(), config::clockPeriod.raw());
+        setup->netlist(), config::clockPeriod.raw(),
+        defaultSolver(), setup->mnaPattern);
     const std::vector<int> &loadResistors =
         stacked ? vsPdn->loadResistorIndices()
                 : slPdn->loadResistorIndices();
@@ -629,6 +630,9 @@ CoSimulator::runImpl(
     ctr.dramAccesses = gpu.memory().dramAccesses();
     ctr.timesteps = tr->steps();
     ctr.luFactorizations = tr->luBuilds();
+    ctr.sparseNnz = tr->patternNnz();
+    ctr.sparseSymbolicReuses = tr->usedCachedPattern() ? 1 : 0;
+    ctr.sparseRefactorizations = tr->refactorizations();
     if (controller) {
         ctr.ctlDecisions = controller->totalDecisions();
         ctr.ctlTriggered = controller->triggeredDecisions();

@@ -48,6 +48,13 @@ struct CosimCounters
     std::uint64_t timesteps = 0;
     std::uint64_t luFactorizations = 0;
 
+    // Sparse MNA engine (docs/sparse_solver.md): structural nonzeros
+    // of the assembly pattern, runs that reused a cached symbolic
+    // pattern, and numeric refactorizations performed.
+    std::uint64_t sparseNnz = 0;
+    std::uint64_t sparseSymbolicReuses = 0;
+    std::uint64_t sparseRefactorizations = 0;
+
     // Smoothing controller.
     std::uint64_t ctlDecisions = 0;
     std::uint64_t ctlTriggered = 0;
@@ -79,6 +86,9 @@ struct CosimCounters
         dramAccesses += o.dramAccesses;
         timesteps += o.timesteps;
         luFactorizations += o.luFactorizations;
+        sparseNnz += o.sparseNnz;
+        sparseSymbolicReuses += o.sparseSymbolicReuses;
+        sparseRefactorizations += o.sparseRefactorizations;
         ctlDecisions += o.ctlDecisions;
         ctlTriggered += o.ctlTriggered;
         detectorTrips += o.detectorTrips;

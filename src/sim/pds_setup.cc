@@ -117,6 +117,10 @@ buildPdsSetup(const CosimConfig &cfg)
     // and initial switch states — exactly what a fresh TransientSim
     // would compute in initToDc(), solved once per configuration.
     const Netlist &net = setup->netlist();
+    {
+        VSGPU_TRACE_SCOPE(obs::CatPhase, "pds.symbolic");
+        setup->mnaPattern = MnaPattern::build(net);
+    }
     std::vector<double> amps;
     amps.reserve(net.currentSources().size());
     for (const auto &src : net.currentSources())
@@ -127,7 +131,9 @@ buildPdsSetup(const CosimConfig &cfg)
         closed.push_back(sw.initiallyClosed);
     {
         VSGPU_TRACE_SCOPE(obs::CatPhase, "pds.dc_solve");
-        setup->dcNodeVolts = solveDc(net, amps, closed);
+        setup->dcNodeVolts = solveDc(net, amps, closed,
+                                     defaultSolver(),
+                                     setup->mnaPattern);
     }
     return setup;
 }

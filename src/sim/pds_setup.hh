@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "circuit/stamping.hh"
 #include "pdn/single_layer.hh"
 #include "pdn/vs_pdn.hh"
 #include "sim/cosim.hh"
@@ -47,6 +48,18 @@ struct PdsSetup
      * solveDc(); feeds TransientSim::initFromDc().
      */
     std::vector<double> dcNodeVolts;
+
+    /**
+     * Symbolic sparse-assembly pattern of the netlist (the union
+     * sparsity structure of the transient, DC and AC MNA systems and
+     * every element's value slots).  Built once per configuration;
+     * every TransientSim / AcAnalysis over this setup shares it, so
+     * the symbolic work is memoized by the exec::SetupCache along
+     * with everything else keyed off pdsSetupKey().  Always set,
+     * even when a run selects the dense solver (the pattern is
+     * solver-independent topology data).
+     */
+    std::shared_ptr<const MnaPattern> mnaPattern;
 
     /** Exact configuration key this setup was built for. */
     std::string key;

@@ -47,6 +47,20 @@ registerCounters(obs::StatsRegistry &registry,
                 "misses)")
         .set(counters.luFactorizations);
 
+    obs::StatsGroup circuit = registry.group("circuit");
+    circuit.counter("sparse.nnz", "entries",
+                    "structural nonzeros of the sparse MNA assembly "
+                    "patterns (summed across runs)")
+        .set(counters.sparseNnz);
+    circuit.counter("sparse.symbolic_reuses", "runs",
+                    "runs that reused a SetupCache-shared symbolic "
+                    "pattern instead of rebuilding it")
+        .set(counters.sparseSymbolicReuses);
+    circuit.counter("sparse.refactorizations", "factorizations",
+                    "sparse numeric refactorizations over a cached "
+                    "symbolic pattern")
+        .set(counters.sparseRefactorizations);
+
     obs::StatsGroup control = registry.group("control");
     control.counter("decisions", "decisions",
                     "smoothing-controller decision periods")

@@ -24,6 +24,7 @@
 #include <gtest/gtest.h>
 
 #include "bench/scenarios/scenarios.hh"
+#include "circuit/solver.hh"
 
 namespace vsgpu
 {
@@ -44,6 +45,13 @@ goldenPath(const std::string &scenario)
 TEST_P(GoldenBench, MatchesRecordedSummary)
 {
     const scen::ScenarioInfo &info = *GetParam();
+
+    // The goldens were recorded on the sparse default; replaying
+    // them on another backend would silently weaken the check (the
+    // backends are bitwise-identical by contract, but that contract
+    // is what the differential suite — not this one — establishes).
+    ASSERT_EQ(defaultSolver(), SolverKind::Sparse)
+        << "golden replay must run on the default sparse solver";
 
     const std::string path = goldenPath(info.name);
     std::ifstream in(path);

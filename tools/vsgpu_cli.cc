@@ -32,6 +32,8 @@
  *   --trace-categories LIST     comma list of phase,pool,ctl,hv,all
  *   --no-verify                 skip the static model verifier
  *                               (see tools/vsgpu_verify)
+ *   --solver KIND               MNA linear solver: sparse (default)
+ *                               or dense (docs/sparse_solver.md)
  */
 
 #include <cstring>
@@ -40,6 +42,7 @@
 #include <map>
 #include <string>
 
+#include "circuit/solver.hh"
 #include "circuit/wave_writer.hh"
 #include "common/logging.hh"
 #include "common/table.hh"
@@ -367,6 +370,12 @@ main(int argc, char **argv)
     }
     const std::string cmd = argv[1];
     const auto flags = parseFlags(argc, argv, 2);
+    if (flags.count("solver")) {
+        SolverKind kind;
+        fatalIf(!parseSolverKind(flags.at("solver"), kind),
+                "--solver wants sparse or dense");
+        setDefaultSolver(kind);
+    }
     if (cmd == "list")
         return cmdList();
     if (cmd == "run")
