@@ -29,6 +29,28 @@
  * one VSGPU_REQUIRES/VSGPU_ENSURES.  tools/lint/vsgpu_lint verifies
  * that promise statically; the macros verify the conditions at
  * runtime in checked builds and compile to a name-check in release.
+ *
+ * Concurrency annotations make locking protocols explicit and
+ * lintable (the lock-discipline family of vsgpu_lint consumes and
+ * enforces them; they cost nothing at runtime):
+ *
+ *   VSGPU_GUARDED_BY(mu)  on a member/global declaration: every
+ *                         access must hold mutex mu.  Placed after
+ *                         the variable name, before the initializer:
+ *                         `std::deque<int> tasks VSGPU_GUARDED_BY(mutex);`
+ *   VSGPU_ACQUIRES(mu)    on a function definition (after the
+ *                         parameter list): the body acquires mu at
+ *                         some point during execution.  The lint
+ *                         verifies the promise and uses it at call
+ *                         sites for lock-order and double-lock
+ *                         analysis.
+ *   VSGPU_EXCLUDES(mu)    on a function definition: callers must NOT
+ *                         hold mu at the call site (the body acquires
+ *                         it itself, or would deadlock/invert order).
+ *
+ * Constructors and destructors are exempt from VSGPU_GUARDED_BY
+ * enforcement (single-threaded by construction), matching the Clang
+ * thread-safety model these annotations deliberately mirror.
  */
 
 #ifndef VSGPU_COMMON_CHECK_HH
@@ -57,6 +79,16 @@
 #else
 #define VSGPU_CONTRACT
 #endif
+
+// Concurrency annotations.  They expand to nothing for every
+// compiler — the lock-discipline lint family keys on the macro names
+// in the token stream, so the annotations stay meaningful without a
+// thread-safety-analysis-capable toolchain.  The spellings mirror
+// Clang's -Wthread-safety attributes so a later migration to real
+// attributes is mechanical.
+#define VSGPU_GUARDED_BY(mutex)
+#define VSGPU_ACQUIRES(mutex)
+#define VSGPU_EXCLUDES(mutex)
 
 namespace vsgpu
 {

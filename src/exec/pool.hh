@@ -34,6 +34,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/check.hh"
+
 namespace vsgpu::exec
 {
 
@@ -86,7 +88,7 @@ class Pool
     struct WorkerQueue
     {
         std::mutex mutex;
-        std::deque<int> tasks;
+        std::deque<int> tasks VSGPU_GUARDED_BY(mutex);
     };
 
     /** Background worker main loop (slots 1..threads-1). */
@@ -105,14 +107,20 @@ class Pool
     std::mutex batchMutex_;
     std::condition_variable batchStart_;
     std::condition_variable batchDone_;
-    std::uint64_t batchGeneration_ = 0;
-    int batchRemaining_ = 0; ///< tasks not yet finished
-    int workersActive_ = 0;  ///< background workers inside a batch
-    bool shutdown_ = false;
+    std::uint64_t batchGeneration_ VSGPU_GUARDED_BY(batchMutex_) = 0;
+    /// Tasks not yet finished.
+    int batchRemaining_ VSGPU_GUARDED_BY(batchMutex_) = 0;
+    /// Background workers inside a batch.
+    int workersActive_ VSGPU_GUARDED_BY(batchMutex_) = 0;
+    bool shutdown_ VSGPU_GUARDED_BY(batchMutex_) = false;
 
+    // body_ is deliberately unannotated: workers read it without the
+    // lock, which is safe by protocol — it is written before the
+    // batchGeneration_ bump that releases the workers and read only
+    // while the batch it belongs to is in flight.
     const std::function<void(int)> *body_ = nullptr;
-    std::exception_ptr firstError_;
-    bool cancelled_ = false;
+    std::exception_ptr firstError_ VSGPU_GUARDED_BY(batchMutex_);
+    bool cancelled_ VSGPU_GUARDED_BY(batchMutex_) = false;
 
     std::atomic<std::uint64_t> tasksRun_{0};
     std::atomic<std::uint64_t> steals_{0};

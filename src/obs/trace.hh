@@ -32,6 +32,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/check.hh"
+
 namespace vsgpu::obs
 {
 
@@ -122,7 +124,11 @@ class Tracer
     void push(TraceEvent event);
 
     mutable std::mutex mutex_;
-    std::vector<TraceEvent> events_;
+    std::vector<TraceEvent> events_ VSGPU_GUARDED_BY(mutex_);
+    // originNs_ is deliberately unannotated: nowUs() reads it without
+    // the lock, which is safe by protocol — enable() writes it under
+    // the mutex before the traceMask store that makes any
+    // instrumentation point call nowUs() at all.
     std::int64_t originNs_ = 0; ///< steady-clock ns at enable()
 };
 

@@ -1,0 +1,17 @@
+// vsgpu_lint fixture: the same flag-then-data publication done
+// right — a release store orders the payload write before the flag,
+// so an acquire reader that sees the flag sees the data.
+#include <atomic>
+
+namespace
+{
+double gPayload = 0.0;
+std::atomic<bool> gReady{false};
+} // namespace
+
+void
+publish(double v)
+{
+    gPayload = v;
+    gReady.store(true, std::memory_order_release);
+}

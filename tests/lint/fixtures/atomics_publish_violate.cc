@@ -1,0 +1,19 @@
+// vsgpu_lint fixture: the flag-then-data publication idiom with a
+// relaxed flag.  The plain write to gPayload is not ordered before
+// the relaxed store, so a reader that observes gReady == true can
+// still read the stale payload.  No token-level family sees this —
+// both statements are individually idiomatic.
+#include <atomic>
+
+namespace
+{
+double gPayload = 0.0;
+std::atomic<bool> gReady{false};
+} // namespace
+
+void
+publish(double v)
+{
+    gPayload = v;
+    gReady.store(true, std::memory_order_relaxed);
+}

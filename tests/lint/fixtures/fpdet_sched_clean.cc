@@ -1,0 +1,29 @@
+// vsgpu_lint fixture: the deterministic reduction shape — each task
+// writes its own slot, and the sum runs in index order after the
+// join.  No lock, no schedule-dependent order, bitwise-identical at
+// any job count.
+#include <vector>
+
+namespace exec
+{
+struct Pool
+{
+    template <typename F>
+    void parallelFor(int n, F &&f);
+};
+} // namespace exec
+
+double contribution(int i);
+
+double
+sumEnergy(exec::Pool &pool, int tasks)
+{
+    std::vector<double> part(static_cast<std::size_t>(tasks), 0.0);
+    pool.parallelFor(tasks, [&part](int i) {
+        part[static_cast<std::size_t>(i)] = contribution(i);
+    });
+    double total = 0.0;
+    for (double p : part)
+        total += p;
+    return total;
+}

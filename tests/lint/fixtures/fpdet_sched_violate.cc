@@ -1,0 +1,32 @@
+// vsgpu_lint fixture: a lock makes the accumulation race-free, which
+// is exactly why every other family accepts it — but the ORDER of
+// the += operations is whatever the scheduler produced, and FP
+// addition is not associative, so --jobs 1 and --jobs N no longer
+// sum to bitwise-identical totals.
+#include <mutex>
+
+namespace exec
+{
+struct Pool
+{
+    template <typename F>
+    void parallelFor(int n, F &&f);
+};
+} // namespace exec
+
+namespace
+{
+double gEnergyTotal = 0.0;
+std::mutex gTotalMutex;
+} // namespace
+
+double contribution(int i);
+
+void
+sumEnergy(exec::Pool &pool, int tasks)
+{
+    pool.parallelFor(tasks, [](int i) {
+        std::lock_guard<std::mutex> lock(gTotalMutex);
+        gEnergyTotal += contribution(i);
+    });
+}

@@ -1,0 +1,25 @@
+// vsgpu_lint fixture (pairs with lockorder_cycle_b_violate.cc): this
+// translation unit nests gMuStats inside gMuQueue; the other one
+// nests them the opposite way.  Each file is locally consistent —
+// no single-TU rule can object — but together the two orders form
+// the classic ABBA deadlock that only the project-wide lock-order
+// graph can see.
+#include <mutex>
+
+std::mutex gMuQueue;
+std::mutex gMuStats;
+
+namespace
+{
+double gDepth = 0.0;
+double gCount = 0.0;
+} // namespace
+
+void
+drainAndCount(double d)
+{
+    std::lock_guard<std::mutex> queue(gMuQueue);
+    std::lock_guard<std::mutex> stats(gMuStats);
+    gDepth = d;
+    gCount = gCount + 1.0;
+}

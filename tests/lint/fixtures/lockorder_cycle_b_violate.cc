@@ -1,0 +1,20 @@
+// vsgpu_lint fixture (pairs with lockorder_cycle_a_violate.cc): the
+// opposite nesting order — gMuQueue taken while gMuStats is held.
+// See the other file for why the pair deadlocks.
+#include <mutex>
+
+extern std::mutex gMuQueue;
+extern std::mutex gMuStats;
+
+namespace
+{
+double gSnapshot = 0.0;
+} // namespace
+
+void
+snapshotThenDrain(double d)
+{
+    std::lock_guard<std::mutex> stats(gMuStats);
+    std::lock_guard<std::mutex> queue(gMuQueue);
+    gSnapshot = d;
+}

@@ -1,0 +1,29 @@
+// vsgpu_lint fixture: two call sites nesting the same two mutexes in
+// the SAME order project-wide — a chain, not a cycle, so the
+// lock-order family stays quiet.
+#include <mutex>
+
+std::mutex gMuQueue;
+std::mutex gMuStats;
+
+namespace
+{
+double gDepth = 0.0;
+double gSnapshot = 0.0;
+} // namespace
+
+void
+drainAndCount(double d)
+{
+    std::lock_guard<std::mutex> queue(gMuQueue);
+    std::lock_guard<std::mutex> stats(gMuStats);
+    gDepth = d;
+}
+
+void
+snapshotThenDrain(double d)
+{
+    std::lock_guard<std::mutex> queue(gMuQueue);
+    std::lock_guard<std::mutex> stats(gMuStats);
+    gSnapshot = d;
+}

@@ -1,0 +1,19 @@
+// vsgpu_lint fixture: one seeded race that BOTH the token-level
+// pool-concurrency family and the semantic pool-escape family can
+// see — a by-reference capture written from a task body.  The driver
+// must report it exactly once, under the semantic id (the one with
+// interprocedural context); the regression test pins that down.
+struct Pool
+{
+    template <typename F>
+    void parallelFor(int n, F &&f);
+};
+
+void
+tally(Pool &pool, int tasks)
+{
+    double total = 0.0;
+    pool.parallelFor(tasks, [&](int i) {
+        total += static_cast<double>(i);
+    });
+}

@@ -1,0 +1,24 @@
+// vsgpu_lint fixture: the two refinement levels run as SEQUENTIAL
+// batches — the first parallelFor joins before the second starts, so
+// the join is the happens-before edge and nothing nests.
+namespace exec
+{
+struct Pool
+{
+    template <typename F>
+    void parallelFor(int n, F &&f);
+};
+} // namespace exec
+
+namespace
+{
+void markCell(int) {}
+void refineMarked(int) {}
+} // namespace
+
+void
+refineGrid(exec::Pool &pool, int cells)
+{
+    pool.parallelFor(cells, [](int i) { markCell(i); });
+    pool.parallelFor(cells, [](int i) { refineMarked(i); });
+}

@@ -1,0 +1,25 @@
+// vsgpu_lint fixture: a pool task reaches a second parallelFor
+// through a helper call.  The pool is not reentrant — the inner
+// submission waits for workers that are all busy running the outer
+// batch.  The task body itself contains no submit token, so only the
+// interprocedural submit-closure can see the deadlock.
+namespace exec
+{
+struct Pool
+{
+    template <typename F>
+    void parallelFor(int n, F &&f);
+};
+} // namespace exec
+
+void
+refineCell(exec::Pool &pool, int cell)
+{
+    pool.parallelFor(cell, [](int) {});
+}
+
+void
+refineGrid(exec::Pool &pool, int cells)
+{
+    pool.parallelFor(cells, [&pool](int i) { refineCell(pool, i); });
+}

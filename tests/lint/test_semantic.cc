@@ -1,11 +1,13 @@
 /**
  * @file
  * Tests for the cross-TU semantic layer (tools/lint/semantic.hh):
- * symbol indexing, call-graph effect propagation, the three semantic
- * families over the fixture corpus, and — the point of the whole
- * layer — explicit proof that each seeded fixture bug is INVISIBLE
- * to the corresponding token-level family and caught only by the
- * semantic one.
+ * symbol indexing, call-graph effect propagation, the semantic
+ * families (including the concurrency-soundness engine:
+ * lock-discipline, atomics-misuse, pool-happens-before,
+ * fp-determinism) over the fixture corpus, and — the point of the
+ * whole layer — explicit proof that each seeded fixture bug is
+ * INVISIBLE to the corresponding token-level family and caught only
+ * by the semantic one.
  */
 
 #include "lint.hh"
@@ -388,6 +390,566 @@ TEST(DetTaint, OrderedIterationPasses)
     checkDeterminismTaint(p, diags);
     EXPECT_TRUE(diags.empty())
         << ::testing::PrintToString(messages(diags));
+}
+
+// Run every token-level family over @p src; the concurrency-
+// soundness fixtures must be invisible to all of them.
+std::vector<Diagnostic>
+allTokenDiags(const SourceFile &src)
+{
+    std::vector<Diagnostic> diags;
+    runChecks(src,
+              {std::begin(kAllChecks), std::end(kAllChecks)},
+              CheckOptions{}, /*ignoreScope=*/true, diags);
+    return diags;
+}
+
+// Run the v2 semantic families (pre-concurrency-engine) over @p p.
+std::vector<Diagnostic>
+v2SemanticDiags(const Project &p)
+{
+    std::vector<Diagnostic> diags;
+    checkPoolEscape(p, diags);
+    checkUnitFlow(p, diags);
+    checkDeterminismTaint(p, diags);
+    return diags;
+}
+
+// ================= lock-discipline =================
+
+TEST(LockDiscipline, CrossTuOrderCycleInvisibleToEveryV2Family)
+{
+    // Each TU nests the two mutexes consistently; only the merged
+    // lock-order graph sees the ABBA cycle.
+    const SourceFile a = fixture("lockorder_cycle_a_violate.cc");
+    const SourceFile b = fixture("lockorder_cycle_b_violate.cc");
+    EXPECT_TRUE(allTokenDiags(a).empty());
+    EXPECT_TRUE(allTokenDiags(b).empty());
+
+    std::vector<SourceFile> sources;
+    sources.push_back(fixture("lockorder_cycle_a_violate.cc"));
+    sources.push_back(fixture("lockorder_cycle_b_violate.cc"));
+    const Project p(std::move(sources));
+    EXPECT_TRUE(v2SemanticDiags(p).empty())
+        << ::testing::PrintToString(messages(v2SemanticDiags(p)));
+
+    std::vector<Diagnostic> diags;
+    checkLockDiscipline(p, diags);
+    ASSERT_EQ(diags.size(), 1U)
+        << ::testing::PrintToString(messages(diags));
+    EXPECT_EQ(diags[0].id, "lock-discipline.order-cycle");
+    // Cross-TU provenance: the one diagnostic cites both edges.
+    EXPECT_NE(diags[0].message.find("lockorder_cycle_a_violate"),
+              std::string::npos)
+        << diags[0].message;
+    EXPECT_NE(diags[0].message.find("lockorder_cycle_b_violate"),
+              std::string::npos)
+        << diags[0].message;
+    EXPECT_NE(diags[0].message.find("snapshotThenDrain"),
+              std::string::npos)
+        << diags[0].message;
+}
+
+TEST(LockDiscipline, ConsistentNestingOrderPasses)
+{
+    const Project p = fixtureProject("lockorder_cycle_clean.cc");
+    std::vector<Diagnostic> diags;
+    checkLockDiscipline(p, diags);
+    EXPECT_TRUE(diags.empty())
+        << ::testing::PrintToString(messages(diags));
+}
+
+TEST(LockDiscipline, DoubleLockThroughHelperNamesTheHelper)
+{
+    const Project p = projectOf(
+        {{"src/a.cc",
+          "std::mutex gMu;\n"
+          "namespace { double gV = 0.0; }\n"
+          "void helper(double v)\n"
+          "{\n"
+          "    std::lock_guard<std::mutex> lock(gMu);\n"
+          "    gV = v;\n"
+          "}\n"
+          "void outer(double v)\n"
+          "{\n"
+          "    std::lock_guard<std::mutex> lock(gMu);\n"
+          "    helper(v);\n"
+          "}\n"}});
+    std::vector<Diagnostic> diags;
+    checkLockDiscipline(p, diags);
+    ASSERT_EQ(diags.size(), 1U)
+        << ::testing::PrintToString(messages(diags));
+    EXPECT_EQ(diags[0].id, "lock-discipline.double-lock");
+    EXPECT_NE(diags[0].message.find("helper"), std::string::npos)
+        << diags[0].message;
+}
+
+TEST(LockDiscipline, GuardedByFieldReadWithoutTheMutex)
+{
+    const Project p = projectOf(
+        {{"src/cache.cc",
+          "class Cache\n"
+          "{\n"
+          "  public:\n"
+          "    int peek() const { return hits_; }\n"
+          "    void bump()\n"
+          "    {\n"
+          "        std::lock_guard<std::mutex> lock(mutex_);\n"
+          "        hits_ = hits_ + 1;\n"
+          "    }\n"
+          "  private:\n"
+          "    mutable std::mutex mutex_;\n"
+          "    int hits_ VSGPU_GUARDED_BY(mutex_) = 0;\n"
+          "};\n"}});
+    std::vector<Diagnostic> diags;
+    checkLockDiscipline(p, diags);
+    ASSERT_EQ(diags.size(), 1U)
+        << ::testing::PrintToString(messages(diags));
+    EXPECT_EQ(diags[0].id, "lock-discipline.guarded-by");
+    EXPECT_EQ(diags[0].line, 4);
+}
+
+TEST(LockDiscipline, ExcludesViolatedWhileHoldingTheMutex)
+{
+    const Project p = projectOf(
+        {{"src/a.cc",
+          "std::mutex gMu;\n"
+          "void flush() VSGPU_EXCLUDES(gMu);\n"
+          "void flush() VSGPU_EXCLUDES(gMu) {}\n"
+          "void holder()\n"
+          "{\n"
+          "    std::lock_guard<std::mutex> lock(gMu);\n"
+          "    flush();\n"
+          "}\n"}});
+    std::vector<Diagnostic> diags;
+    checkLockDiscipline(p, diags);
+    ASSERT_EQ(diags.size(), 1U)
+        << ::testing::PrintToString(messages(diags));
+    EXPECT_EQ(diags[0].id, "lock-discipline.excludes-violation");
+}
+
+// ================= atomics-misuse =================
+
+TEST(AtomicsMisuse, RelaxedPublishInvisibleToTokenFamilies)
+{
+    const SourceFile src = fixture("atomics_publish_violate.cc");
+    EXPECT_TRUE(allTokenDiags(src).empty())
+        << ::testing::PrintToString(messages(allTokenDiags(src)));
+
+    const Project p = fixtureProject("atomics_publish_violate.cc");
+    EXPECT_TRUE(v2SemanticDiags(p).empty());
+    std::vector<Diagnostic> diags;
+    checkAtomicsMisuse(p, diags);
+    ASSERT_EQ(diags.size(), 1U)
+        << ::testing::PrintToString(messages(diags));
+    EXPECT_EQ(diags[0].id, "atomics-misuse.relaxed-publish");
+    EXPECT_NE(diags[0].message.find("gPayload"), std::string::npos);
+}
+
+TEST(AtomicsMisuse, ReleasePublishPasses)
+{
+    const Project p = fixtureProject("atomics_publish_clean.cc");
+    std::vector<Diagnostic> diags;
+    checkAtomicsMisuse(p, diags);
+    EXPECT_TRUE(diags.empty())
+        << ::testing::PrintToString(messages(diags));
+}
+
+TEST(AtomicsMisuse, MixedDeclarationAcrossTusCitesBothSites)
+{
+    const Project p = projectOf(
+        {{"src/a.cc",
+          "namespace { std::atomic<long> gHits{0}; }\n"
+          "void bump() { gHits.store(1); }\n"},
+         {"src/b.cc",
+          "namespace { long gHits = 0; }\n"
+          "void set(long v) { gHits = v; }\n"}});
+    std::vector<Diagnostic> diags;
+    checkAtomicsMisuse(p, diags);
+    ASSERT_EQ(diags.size(), 1U)
+        << ::testing::PrintToString(messages(diags));
+    EXPECT_EQ(diags[0].id, "atomics-misuse.mixed-declaration");
+    EXPECT_EQ(diags[0].file, "src/b.cc");
+    EXPECT_NE(diags[0].message.find("src/a.cc"), std::string::npos)
+        << diags[0].message;
+}
+
+TEST(AtomicsMisuse, UnguardedReadOfLockDisciplinedGlobal)
+{
+    const Project p = projectOf(
+        {{"src/a.cc",
+          "namespace { double gDepth = 0.0; std::mutex gMu; }\n"
+          "void setDepth(double v)\n"
+          "{\n"
+          "    std::lock_guard<std::mutex> lock(gMu);\n"
+          "    gDepth = v;\n"
+          "}\n"
+          "double peekDepth() { return gDepth; }\n"}});
+    std::vector<Diagnostic> diags;
+    checkAtomicsMisuse(p, diags);
+    ASSERT_EQ(diags.size(), 1U)
+        << ::testing::PrintToString(messages(diags));
+    EXPECT_EQ(diags[0].id, "atomics-misuse.unguarded-read");
+    EXPECT_EQ(diags[0].line, 7);
+    EXPECT_NE(diags[0].message.find("gMu"), std::string::npos);
+}
+
+// ================= pool-happens-before =================
+
+TEST(PoolHappensBefore, NestedSubmitThroughHelperIsCaught)
+{
+    const SourceFile src = fixture("poolhb_nested_violate.cc");
+    EXPECT_TRUE(allTokenDiags(src).empty())
+        << ::testing::PrintToString(messages(allTokenDiags(src)));
+
+    const Project p = fixtureProject("poolhb_nested_violate.cc");
+    EXPECT_TRUE(v2SemanticDiags(p).empty())
+        << ::testing::PrintToString(messages(v2SemanticDiags(p)));
+    std::vector<Diagnostic> diags;
+    checkPoolHappensBefore(p, diags);
+    ASSERT_EQ(diags.size(), 1U)
+        << ::testing::PrintToString(messages(diags));
+    EXPECT_EQ(diags[0].id, "pool-happens-before.nested-submit");
+    EXPECT_NE(diags[0].message.find("refineCell"),
+              std::string::npos)
+        << diags[0].message;
+}
+
+TEST(PoolHappensBefore, SequentialBatchesPass)
+{
+    // Two batches in sequence: the join between them is the
+    // happens-before edge, nothing nests, nothing races.
+    const Project p = fixtureProject("poolhb_nested_clean.cc");
+    std::vector<Diagnostic> diags;
+    checkPoolHappensBefore(p, diags);
+    EXPECT_TRUE(diags.empty())
+        << ::testing::PrintToString(messages(diags));
+}
+
+TEST(PoolHappensBefore, SamePhaseStencilReadIsFlagged)
+{
+    const Project p = projectOf(
+        {{"src/relax.cc",
+          "namespace exec { struct Pool {\n"
+          "    template <typename F> void parallelFor(int, F &&);\n"
+          "}; }\n"
+          "void relax(exec::Pool &pool, std::vector<double> &curr,\n"
+          "           int n)\n"
+          "{\n"
+          "    pool.parallelFor(n, [&](int i) {\n"
+          "        curr[i] = 0.5 * (curr[i - 1] + curr[i + 1]);\n"
+          "    });\n"
+          "}\n"}});
+    std::vector<Diagnostic> diags;
+    checkPoolHappensBefore(p, diags);
+    ASSERT_EQ(diags.size(), 1U)
+        << ::testing::PrintToString(messages(diags));
+    EXPECT_EQ(diags[0].id, "pool-happens-before.cross-task-read");
+}
+
+// ================= fp-determinism =================
+
+TEST(FpDeterminism, LockedReductionInvisibleToPoolFamilies)
+{
+    // The lock makes the accumulation race-free — pool-escape and
+    // the token family rightly accept it — but the order of the +=
+    // is the schedule's, which breaks bitwise sweep identity.
+    const SourceFile src = fixture("fpdet_sched_violate.cc");
+    EXPECT_TRUE(allTokenDiags(src).empty())
+        << ::testing::PrintToString(messages(allTokenDiags(src)));
+
+    const Project p = fixtureProject("fpdet_sched_violate.cc");
+    EXPECT_TRUE(v2SemanticDiags(p).empty())
+        << ::testing::PrintToString(messages(v2SemanticDiags(p)));
+    std::vector<Diagnostic> diags;
+    checkFpDeterminism(p, diags);
+    ASSERT_EQ(diags.size(), 1U)
+        << ::testing::PrintToString(messages(diags));
+    EXPECT_EQ(diags[0].id, "fp-determinism.locked-reduction");
+    EXPECT_NE(diags[0].message.find("gEnergyTotal"),
+              std::string::npos);
+}
+
+TEST(FpDeterminism, PerIndexSlotsWithOrderedReducePass)
+{
+    const Project p = fixtureProject("fpdet_sched_clean.cc");
+    std::vector<Diagnostic> diags;
+    checkFpDeterminism(p, diags);
+    EXPECT_TRUE(diags.empty())
+        << ::testing::PrintToString(messages(diags));
+}
+
+TEST(FpDeterminism, UnorderedContainerSumDeclaredInAnotherTu)
+{
+    // The unordered-ness lives in registry.cc; the summing loop in
+    // report.cc sees only an opaque container name, so the token
+    // determinism family (same-file only) cannot object.
+    const Project p = projectOf(
+        {{"src/registry.cc",
+          "std::unordered_map<int, double> gCellPower;\n"
+          "void note(int cell, double w) { gCellPower[cell] = w; }\n"},
+         {"src/report.cc",
+          "double totalPower()\n"
+          "{\n"
+          "    double total = 0.0;\n"
+          "    for (const auto &cell : gCellPower)\n"
+          "        total += cell.second;\n"
+          "    return total;\n"
+          "}\n"}});
+    std::vector<Diagnostic> token;
+    checkDeterminism(p.sources()[1], CheckOptions{}, token);
+    EXPECT_TRUE(token.empty())
+        << ::testing::PrintToString(messages(token));
+
+    std::vector<Diagnostic> diags;
+    checkFpDeterminism(p, diags);
+    ASSERT_EQ(diags.size(), 1U)
+        << ::testing::PrintToString(messages(diags));
+    EXPECT_EQ(diags[0].id, "fp-determinism.unordered-reduction");
+    EXPECT_EQ(diags[0].file, "src/report.cc");
+    EXPECT_NE(diags[0].message.find("src/registry.cc"),
+              std::string::npos)
+        << diags[0].message;
+}
+
+TEST(FpDeterminism, IntegerOverloadDoesNotInheritFpStateOfSameName)
+{
+    // The exact shape that poisoned the bench sweep: record() calls
+    // the INTEGER Counters::add, but "add" also names the FP
+    // RunningStats::add.  Name-level overload merging must only ever
+    // suppress — propagation may not hand record() the FP summary of
+    // the overload it never calls.
+    const Project p = projectOf(
+        {{"src/stats.cc",
+          "struct RunningStats {\n"
+          "    double m2_ = 0.0;\n"
+          "    void add(double x) { m2_ += x * x; }\n"
+          "};\n"},
+         {"src/counters.cc",
+          "struct Counters {\n"
+          "    unsigned long total = 0;\n"
+          "    void add(const Counters &o) { total += o.total; }\n"
+          "};\n"
+          "struct Ctx {\n"
+          "    std::mutex mu;\n"
+          "    Counters counters;\n"
+          "    void record(const Counters &c)\n"
+          "    {\n"
+          "        std::lock_guard<std::mutex> lock(mu);\n"
+          "        counters.add(c);\n"
+          "    }\n"
+          "};\n"},
+         {"src/sweep.cc",
+          "void runSweep(exec::Pool &pool, Ctx &ctx, int n)\n"
+          "{\n"
+          "    pool.parallelFor(n, [&](int i) {\n"
+          "        Counters c;\n"
+          "        ctx.record(c);\n"
+          "    });\n"
+          "}\n"}});
+    std::vector<Diagnostic> diags;
+    checkFpDeterminism(p, diags);
+    EXPECT_TRUE(diags.empty())
+        << ::testing::PrintToString(messages(diags));
+}
+
+TEST(FpDeterminism, UnambiguousHelperChainStillPropagates)
+{
+    // Positive control for the strict resolution above: when the
+    // helper names are unique, the accumulation two calls deep still
+    // reaches the task's call site, with the full via chain.
+    const Project p = projectOf(
+        {{"src/energy.cc",
+          "double gEnergyTotal = 0.0;\n"
+          "std::mutex gEnergyMutex;\n"
+          "void bumpTotal(double x) { gEnergyTotal += x; }\n"
+          "void recordEnergy(double x)\n"
+          "{\n"
+          "    std::lock_guard<std::mutex> lock(gEnergyMutex);\n"
+          "    bumpTotal(x);\n"
+          "}\n"
+          "void sweep(exec::Pool &pool, int n)\n"
+          "{\n"
+          "    pool.parallelFor(n, [&](int i) {\n"
+          "        recordEnergy(static_cast<double>(i));\n"
+          "    });\n"
+          "}\n"}});
+    std::vector<Diagnostic> diags;
+    checkFpDeterminism(p, diags);
+    ASSERT_EQ(diags.size(), 1U)
+        << ::testing::PrintToString(messages(diags));
+    EXPECT_EQ(diags[0].id, "fp-determinism.locked-reduction");
+    EXPECT_NE(diags[0].message.find("recordEnergy"),
+              std::string::npos)
+        << diags[0].message;
+    EXPECT_NE(diags[0].message.find("bumpTotal"),
+              std::string::npos)
+        << diags[0].message;
+}
+
+// ================= family-overlap dedupe =================
+
+TEST(FamilyOverlap, TokenAndSemanticSameLineReportOnce)
+{
+    // A by-ref capture write is visible to BOTH the token family and
+    // pool-escape; the driver must keep exactly one diagnostic — the
+    // semantic one, which carries interprocedural context.
+    const SourceFile src = fixture("pool_overlap_violate.cc");
+    const Project p = fixtureProject("pool_overlap_violate.cc");
+
+    std::vector<Diagnostic> diags;
+    checkPoolConcurrency(src, diags);
+    ASSERT_EQ(diags.size(), 1U)
+        << "token family must see the capture write";
+    checkPoolEscape(p, diags);
+    ASSERT_EQ(diags.size(), 2U)
+        << "semantic family must see it too";
+    ASSERT_EQ(diags[0].line, diags[1].line);
+
+    dedupeFamilyOverlap(diags);
+    ASSERT_EQ(diags.size(), 1U)
+        << ::testing::PrintToString(messages(diags));
+    EXPECT_EQ(diags[0].id, "pool-escape.capture-write");
+}
+
+// ================= call-graph fixpoint boundary =================
+
+TEST(CallGraph, RecursiveChainEffectsReachTheDefaultRoundBound)
+{
+    // The writer is defined LAST, so each fixpoint round moves its
+    // effect exactly one level up the chain: depth 4 is the last
+    // caller the default rounds=4 can see.
+    const Project p = projectOf(
+        {{"src/chain.cc",
+          "namespace { double gX = 0.0; }\n"
+          "void f5(double v) { f4(v); }\n"
+          "void f4(double v) { f3(v); }\n"
+          "void f3(double v) { f2(v); }\n"
+          "void f2(double v) { f1(v); }\n"
+          "void f1(double v) { gX = v; }\n"}});
+    EXPECT_EQ(fn(p, "f2").writesGlobals.count("gX"), 1U);
+    EXPECT_EQ(fn(p, "f5").writesGlobals.count("gX"), 1U)
+        << "4 calls deep is within the default fixpoint bound";
+}
+
+TEST(CallGraph, EffectsBeyondTheRoundBoundNeedMoreRounds)
+{
+    const std::string code =
+        "namespace { double gX = 0.0; }\n"
+        "void f6(double v) { f5(v); }\n"
+        "void f5(double v) { f4(v); }\n"
+        "void f4(double v) { f3(v); }\n"
+        "void f3(double v) { f2(v); }\n"
+        "void f2(double v) { f1(v); }\n"
+        "void f1(double v) { gX = v; }\n";
+    // Through the Project (rounds=4) the 5-deep top is invisible …
+    const Project p = projectOf({{"src/chain.cc", code}});
+    EXPECT_EQ(fn(p, "f6").writesGlobals.count("gX"), 0U)
+        << "5 calls deep must be beyond the default bound";
+
+    // … and becomes visible at rounds=5: the bound is the rounds
+    // parameter, not an artifact of the graph construction.
+    std::vector<SourceFile> sources;
+    sources.emplace_back("src/chain.cc", code);
+    std::vector<std::vector<Token>> tokens;
+    tokens.push_back(tokenize(sources[0].code()));
+    SymbolIndex index = buildSymbolIndex(sources, tokens);
+    const CallGraph graph = buildCallGraph(index);
+    propagateEffects(index, graph, /*rounds=*/5);
+    bool found = false;
+    for (const FunctionDef &f : index.functions)
+        if (f.name == "f6")
+            found = f.writesGlobals.count("gX") > 0;
+    EXPECT_TRUE(found);
+}
+
+TEST(CallGraph, SelfRecursionKeepsEffectsAndTerminates)
+{
+    const Project p = projectOf(
+        {{"src/a.cc",
+          "namespace { double gAcc = 0.0; }\n"
+          "void spin(int n)\n"
+          "{\n"
+          "    gAcc = gAcc + 1.0;\n"
+          "    if (n > 0)\n"
+          "        spin(n - 1);\n"
+          "}\n"
+          "void outer(int n) { spin(n); }\n"}});
+    EXPECT_EQ(fn(p, "spin").writesGlobals.count("gAcc"), 1U);
+    EXPECT_EQ(fn(p, "outer").writesGlobals.count("gAcc"), 1U);
+}
+
+TEST(CallGraph, MutualRecursionPropagatesLockSetsAndTerminates)
+{
+    const Project p = projectOf(
+        {{"src/a.cc",
+          "std::mutex gMu;\n"
+          "void pong(int n);\n"
+          "void ping(int n)\n"
+          "{\n"
+          "    std::lock_guard<std::mutex> lock(gMu);\n"
+          "    pong(n - 1);\n"
+          "}\n"
+          "void pong(int n)\n"
+          "{\n"
+          "    if (n > 0)\n"
+          "        ping(n);\n"
+          "}\n"}});
+    // The may-acquire lock-set crosses the cycle (ping locks, pong
+    // calls ping), and the fixpoint over the cycle terminates.
+    EXPECT_EQ(fn(p, "ping").locksAcquired.count("gMu"), 1U);
+    EXPECT_EQ(fn(p, "pong").locksAcquired.count("gMu"), 1U);
+}
+
+// ================= --explain =================
+
+TEST(Explain, FamilyDottedIdAndUnknownIds)
+{
+    std::ostringstream family;
+    EXPECT_TRUE(explainDiagnostic("lock-discipline", family));
+    EXPECT_NE(family.str().find("order-cycle"), std::string::npos);
+    EXPECT_NE(family.str().find("Waiver"), std::string::npos);
+
+    std::ostringstream dotted;
+    EXPECT_TRUE(explainDiagnostic("pool-happens-before.nested-submit",
+                                  dotted));
+    EXPECT_NE(dotted.str().find("This rule:"), std::string::npos);
+
+    std::ostringstream sink;
+    EXPECT_FALSE(explainDiagnostic("lock-discipline.bogus", sink));
+    EXPECT_FALSE(explainDiagnostic("no-such-family", sink));
+}
+
+// ================= SARIF determinism =================
+
+TEST(Sarif, SortsDedupesAndEmitsColumns)
+{
+    // Out of order, with an exact duplicate: the log must come out
+    // sorted by (ruleId, file, line, column) with the duplicate
+    // collapsed and the column carried through.
+    std::vector<Diagnostic> diags;
+    diags.push_back({"src/b.cc", 9, Check::LockDiscipline, "m2",
+                     "lock-discipline.double-lock", 7});
+    diags.push_back({"src/a.cc", 3, Check::AtomicsMisuse, "m1",
+                     "atomics-misuse.unguarded-read", 5});
+    diags.push_back({"src/a.cc", 3, Check::AtomicsMisuse, "m1",
+                     "atomics-misuse.unguarded-read", 5});
+    std::ostringstream os;
+    writeSarif(os, diags);
+    const std::string sarif = os.str();
+    const std::size_t first =
+        sarif.find("atomics-misuse.unguarded-read\", \"level\"");
+    const std::size_t second =
+        sarif.find("lock-discipline.double-lock\", \"level\"");
+    ASSERT_NE(first, std::string::npos);
+    ASSERT_NE(second, std::string::npos);
+    EXPECT_LT(first, second) << "results must sort by ruleId";
+    EXPECT_EQ(sarif.find("atomics-misuse.unguarded-read\", "
+                         "\"level\"",
+                         first + 1),
+              std::string::npos)
+        << "identical locations must deduplicate";
+    EXPECT_NE(sarif.find("\"startColumn\": 5"), std::string::npos);
 }
 
 // ================= driver plumbing =================

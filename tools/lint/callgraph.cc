@@ -79,6 +79,28 @@ propagateEffects(SymbolIndex &index, const CallGraph &graph,
                 const FunctionDef &callee =
                     index.functions[static_cast<std::size_t>(
                         calleeId)];
+                // Lock acquisitions propagate through EVERY callee
+                // — a serialized write is still an acquisition for
+                // lock-order analysis even though it stops being a
+                // race.  (FP accumulations propagate below, per call
+                // NAME with strict all-candidates resolution.)
+                for (const std::string &m : callee.locksAcquired) {
+                    if (fn.locksAcquired.insert(m).second) {
+                        const auto via = callee.lockVia.find(m);
+                        fn.lockVia[m] =
+                            via == callee.lockVia.end()
+                                ? "via " + callee.name
+                                : "via " + callee.name + " " +
+                                      via->second.substr(4);
+                        changed = true;
+                    }
+                }
+                for (const std::string &m : callee.annAcquires) {
+                    if (fn.locksAcquired.insert(m).second) {
+                        fn.lockVia[m] = "via " + callee.name;
+                        changed = true;
+                    }
+                }
                 // A lock-taking callee serializes its own writes;
                 // they are not a concurrency hazard for the caller.
                 if (callee.takesLock)
@@ -99,6 +121,47 @@ propagateEffects(SymbolIndex &index, const CallGraph &graph,
                     callee.className == fn.className) {
                     fn.writesFields = true;
                     changed = true;
+                }
+            }
+            // FP accumulations resolve strictly, per call NAME: a
+            // call contributes a shared accumulator only when EVERY
+            // function sharing that name accumulates it.  Name-level
+            // overload merging widens the closure, but it must only
+            // ever suppress — it must never manufacture a finding
+            // against the overload that was not called (an integer
+            // Counters::add must not inherit the FP state of
+            // RunningStats::add just because both are named "add").
+            for (const std::string &calleeName : fn.calls) {
+                const auto cit = index.byName.find(calleeName);
+                if (cit == index.byName.end())
+                    continue;
+                std::vector<const FunctionDef *> cands;
+                for (int id : cit->second)
+                    if (static_cast<std::size_t>(id) != i)
+                        cands.push_back(
+                            &index.functions[static_cast<std::size_t>(
+                                id)]);
+                if (cands.empty())
+                    continue;
+                for (const std::string &g :
+                     cands.front()->fpAccumulates) {
+                    bool allAgree = true;
+                    for (std::size_t k = 1;
+                         k < cands.size() && allAgree; ++k)
+                        allAgree =
+                            cands[k]->fpAccumulates.count(g) != 0;
+                    if (!allAgree)
+                        continue;
+                    if (fn.fpAccumulates.insert(g).second) {
+                        const auto via =
+                            cands.front()->fpVia.find(g);
+                        fn.fpVia[g] =
+                            via == cands.front()->fpVia.end()
+                                ? "via " + calleeName
+                                : "via " + calleeName + " " +
+                                      via->second.substr(4);
+                        changed = true;
+                    }
                 }
             }
             // Parameter forwarding: if this function passes its own

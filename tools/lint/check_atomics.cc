@@ -1,0 +1,283 @@
+/**
+ * @file
+ * Family: atomics-misuse (semantic, project-wide).
+ *
+ * Three rules about the boundary between atomics, locks, and plain
+ * memory — each one a silent miscompile rather than a crash:
+ *
+ *   atomics-misuse.mixed-declaration   the same variable name
+ *       declared std::atomic in one translation unit and as a plain
+ *       mutable global in another.  Cross-TU by construction (a
+ *       single declaration can only be one or the other), so only
+ *       the project-wide index can see it; both declaration sites
+ *       are cited.
+ *   atomics-misuse.unguarded-read      a global that every writer
+ *       mutates under a common lock, read without that lock and
+ *       outside any lock scope.  The write side's discipline shows
+ *       the variable is shared; the unlocked read tears or reads
+ *       stale values.
+ *   atomics-misuse.relaxed-publish     a memory_order_relaxed store
+ *       preceded (in the same function) by an unguarded plain write
+ *       to shared state: the flag-then-data publication idiom.
+ *       Relaxed provides no release ordering, so a reader that
+ *       observes the flag may not observe the data.  Stores whose
+ *       preceding writes are lock-guarded are ordered by the lock's
+ *       release and are not flagged (the obs::Trace enable()
+ *       pattern).
+ *
+ * Waiver: // vsgpu-lint: atomics-ok(<reason>).
+ */
+
+#include "concurrency_model.hh"
+#include "semantic.hh"
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace vsgpu::lint
+{
+
+namespace
+{
+
+using TokenVec = std::vector<Token>;
+constexpr std::string_view kWaiver = "vsgpu-lint: atomics-ok";
+
+void
+emit(const Project &project, int fileIndex, std::size_t offset,
+     const std::string &id, std::string message,
+     std::vector<Diagnostic> &out)
+{
+    const SourceFile &src =
+        project.sources()[static_cast<std::size_t>(fileIndex)];
+    const int line = src.lineOf(offset);
+    if (src.hasWaiver(line, kWaiver))
+        return;
+    out.push_back({src.display(), line, Check::AtomicsMisuse,
+                   std::move(message), id,
+                   cm::columnOf(src, offset)});
+}
+
+/** Rule 1: atomic in one TU, plain global in another. */
+void
+mixedDeclarations(const Project &project,
+                  std::vector<Diagnostic> &out)
+{
+    const SymbolIndex &index = project.index();
+    for (const std::string &name : index.atomics) {
+        if (!index.globals.count(name))
+            continue;
+        const auto ait = index.atomicDecl.find(name);
+        const auto git = index.globalDecl.find(name);
+        if (ait == index.atomicDecl.end() ||
+            git == index.globalDecl.end())
+            continue;
+        const DeclSite &atomic = ait->second;
+        const DeclSite &plain = git->second;
+        if (atomic.fileIndex < 0 || plain.fileIndex < 0)
+            continue;
+        // One declaration indexed through both scans is not a mix —
+        // a real conflict needs two distinct declaration sites.
+        if (atomic.fileIndex == plain.fileIndex &&
+            atomic.line == plain.line)
+            continue;
+        const SourceFile &atomicSrc =
+            project.sources()[static_cast<std::size_t>(
+                atomic.fileIndex)];
+        // Report at the plain declaration (the one that loses the
+        // atomicity), citing the atomic one for cross-TU provenance.
+        const SourceFile &plainSrc =
+            project.sources()[static_cast<std::size_t>(
+                plain.fileIndex)];
+        const int line = plain.line;
+        if (plainSrc.hasWaiver(line, kWaiver))
+            continue;
+        out.push_back(
+            {plainSrc.display(), line, Check::AtomicsMisuse,
+             "'" + name +
+                 "' is declared as a plain global here but as "
+                 "std::atomic at " +
+                 atomicSrc.display() + ":" +
+                 std::to_string(atomic.line) +
+                 " — accesses through this declaration bypass the "
+                 "atomicity the other translation unit relies on",
+             "atomics-misuse.mixed-declaration", 0});
+    }
+}
+
+/** Rule 2: globals only ever written under a lock, read bare. */
+void
+unguardedReads(const Project &project, std::vector<Diagnostic> &out)
+{
+    const SymbolIndex &index = project.index();
+    for (const std::string &g : index.globals) {
+        if (index.atomics.count(g) || index.constNames.count(g))
+            continue;
+        // The write side: every function whose summary writes g must
+        // hold a common lock for the discipline to be established.
+        std::set<std::string> guard;
+        bool firstWriter = true;
+        int writers = 0;
+        for (const FunctionDef &fn : index.functions) {
+            if (!fn.writesGlobals.count(g))
+                continue;
+            ++writers;
+            if (fn.locksAcquired.empty()) {
+                guard.clear();
+                break;
+            }
+            if (firstWriter) {
+                guard = fn.locksAcquired;
+                firstWriter = false;
+            } else {
+                for (auto it = guard.begin(); it != guard.end();)
+                    it = fn.locksAcquired.count(*it)
+                             ? std::next(it)
+                             : guard.erase(it);
+            }
+        }
+        if (writers == 0 || guard.empty())
+            continue;
+        const std::string &lock = *guard.begin();
+
+        // The read side: a bare mention outside any lock scope in a
+        // function that is not itself a writer and holds none of the
+        // guard locks.
+        for (const FunctionDef &fn : index.functions) {
+            if (fn.writesGlobals.count(g))
+                continue;
+            bool holds = false;
+            for (const std::string &k : guard)
+                if (fn.locksAcquired.count(k) ||
+                    fn.annAcquires.count(k))
+                    holds = true;
+            if (holds)
+                continue;
+            const TokenVec &toks = project.tokens(fn.fileIndex);
+            const std::vector<cm::LockScope> scopes =
+                cm::lockScopes(toks, fn.bodyBegin, fn.bodyEnd);
+            for (std::size_t i = fn.bodyBegin; i < fn.bodyEnd;
+                 ++i) {
+                if (toks[i].kind != Token::Kind::Identifier ||
+                    toks[i].text != g)
+                    continue;
+                if (i > fn.bodyBegin &&
+                    (toks[i - 1].text == "." ||
+                     toks[i - 1].text == "->" ||
+                     toks[i - 1].text == "::"))
+                    continue; // member of something else
+                if (i + 1 < fn.bodyEnd &&
+                    (toks[i + 1].text == "(" ||
+                     cm::isAssignOp(toks[i + 1].text)))
+                    continue; // a call, or a write (writer summary)
+                if (cm::underAnyLock(scopes, i))
+                    continue;
+                emit(project, fn.fileIndex, toks[i].offset,
+                     "atomics-misuse.unguarded-read",
+                     "plain read of '" + g +
+                         "', which is only ever written under '" +
+                         lock +
+                         "' — the unlocked read races with those "
+                         "writes; take the lock or make it atomic",
+                     out);
+                break; // one finding per function is enough
+            }
+        }
+    }
+}
+
+/** Rule 3: relaxed store publishing earlier unguarded writes. */
+void
+relaxedPublish(const Project &project, std::vector<Diagnostic> &out)
+{
+    const SymbolIndex &index = project.index();
+    for (const FunctionDef &fn : index.functions) {
+        const TokenVec &toks = project.tokens(fn.fileIndex);
+        const std::vector<cm::LockScope> scopes =
+            cm::lockScopes(toks, fn.bodyBegin, fn.bodyEnd);
+        std::set<std::string> locals;
+        {
+            const cm::NameSet names = cm::localNames(
+                toks, fn.bodyBegin, fn.bodyEnd);
+            locals.insert(names.begin(), names.end());
+        }
+        for (const ParamInfo &p : fn.params)
+            locals.insert(p.name);
+
+        for (std::size_t i = fn.bodyBegin; i + 1 < fn.bodyEnd;
+             ++i) {
+            if (toks[i].text != "store" ||
+                toks[i + 1].text != "(")
+                continue;
+            const std::size_t close =
+                cm::skipBalanced(toks, i + 1, "(", ")");
+            bool relaxed = false;
+            for (std::size_t j = i + 2; j < close; ++j)
+                if (toks[j].text == "memory_order_relaxed")
+                    relaxed = true;
+            if (!relaxed || cm::underAnyLock(scopes, i))
+                continue;
+            // Earlier in this body: a plain write to shared state
+            // (global or this-class field) not under a lock.
+            for (std::size_t j = fn.bodyBegin; j < i; ++j) {
+                if (toks[j].kind != Token::Kind::Identifier ||
+                    j + 1 >= i ||
+                    !cm::isAssignOp(toks[j + 1].text))
+                    continue;
+                const std::string w(toks[j].text);
+                if (locals.count(w) || index.atomics.count(w) ||
+                    index.constNames.count(w))
+                    continue;
+                if (j > fn.bodyBegin &&
+                    (toks[j - 1].text == "." ||
+                     toks[j - 1].text == "->") &&
+                    !(j >= 2 && toks[j - 2].text == "this"))
+                    continue;
+                const bool global = index.globals.count(w) > 0;
+                bool field = false;
+                if (!fn.className.empty()) {
+                    const auto cit =
+                        index.classFields.find(fn.className);
+                    field = cit != index.classFields.end() &&
+                            cit->second.count(w) > 0;
+                }
+                if (!global && !field)
+                    continue;
+                if (cm::underAnyLock(scopes, j))
+                    continue; // ordered by the lock's release
+                std::string flag = "the atomic";
+                if (i >= 2 && (toks[i - 1].text == "." ||
+                               toks[i - 1].text == "->") &&
+                    toks[i - 2].kind == Token::Kind::Identifier)
+                    flag = "'" + std::string(toks[i - 2].text) +
+                           "'";
+                emit(project, fn.fileIndex, toks[i].offset,
+                     "atomics-misuse.relaxed-publish",
+                     "relaxed store to " + flag +
+                         " publishes the earlier plain write to '" +
+                         w +
+                         "' — memory_order_relaxed has no release "
+                         "ordering, so a reader that sees the flag "
+                         "may not see the data; use "
+                         "memory_order_release (with an acquire "
+                         "load) or do both under one lock",
+                     out);
+                break;
+            }
+        }
+    }
+}
+
+} // namespace
+
+void
+checkAtomicsMisuse(const Project &project,
+                   std::vector<Diagnostic> &out)
+{
+    mixedDeclarations(project, out);
+    unguardedReads(project, out);
+    relaxedPublish(project, out);
+}
+
+} // namespace vsgpu::lint

@@ -37,13 +37,35 @@
  *       a callee that writes through that parameter
  *
  * Both families share the waiver: // vsgpu-lint: shared-ok(<reason>).
+ *
+ * This file also hosts the pool-happens-before family (v3), which
+ * models the pool's synchronization protocol rather than its data
+ * races: parallelFor/runSweep block until every task joins, so
+ * writes before submission happen-before the tasks and reads after
+ * the call happen-after them — neither is ever diagnosed.  What IS
+ * diagnosed is what the protocol cannot order:
+ *
+ *   pool-happens-before.nested-submit   a task body that submits to
+ *       the pool again, directly or any number of calls deep —
+ *       exec::Pool is not reentrant, so a worker waiting on an inner
+ *       batch deadlocks the outer one
+ *   pool-happens-before.cross-task-read a task that writes its own
+ *       per-index slot but reads a neighbouring slot (c[i - 1]) in
+ *       the same phase — the neighbour is written concurrently, and
+ *       no intra-batch ordering exists
+ *
+ * Waiver: // vsgpu-lint: hb-ok(<reason>).
  */
 
+#include "concurrency_model.hh"
 #include "dataflow.hh"
 #include "semantic.hh"
 
+#include <algorithm>
+#include <map>
 #include <set>
 #include <string>
+#include <utility>
 
 namespace vsgpu::lint
 {
@@ -52,46 +74,17 @@ namespace
 {
 
 using TokenVec = std::vector<Token>;
-using NameSet = std::set<std::string, std::less<>>;
-
-std::size_t
-skipBalanced(const TokenVec &tokens, std::size_t open,
-             std::string_view openText, std::string_view closeText)
-{
-    int depth = 0;
-    for (std::size_t i = open; i < tokens.size(); ++i) {
-        if (tokens[i].text == openText)
-            ++depth;
-        else if (tokens[i].text == closeText && --depth == 0)
-            return i;
-    }
-    return tokens.size();
-}
-
-bool
-isMutatingMember(std::string_view name)
-{
-    return name == "push_back" || name == "emplace_back" ||
-           name == "insert" || name == "emplace" ||
-           name == "clear" || name == "resize" || name == "erase" ||
-           name == "pop_back" || name == "assign";
-}
-
-bool
-isLockType(std::string_view name)
-{
-    return name == "lock_guard" || name == "scoped_lock" ||
-           name == "unique_lock" || name == "shared_lock";
-}
-
-bool
-isAssignOp(std::string_view text)
-{
-    return text == "=" || text == "+=" || text == "-=" ||
-           text == "*=" || text == "/=" || text == "%=" ||
-           text == "&=" || text == "|=" || text == "^=" ||
-           text == "<<=" || text == ">>=";
-}
+using cm::NameSet;
+using cm::PoolLambda;
+using cm::findPoolLambdas;
+using cm::indexAliasNames;
+using cm::indexedByParam;
+using cm::isAssignOp;
+using cm::isLockType;
+using cm::isMutatingMember;
+using cm::localNames;
+using cm::paramNames;
+using cm::skipBalanced;
 
 /** Names declared std::atomic<...> anywhere in the file. */
 NameSet
@@ -157,236 +150,6 @@ constDeclNames(const TokenVec &tokens)
             names.insert(std::string(tokens[i].text));
     }
     return names;
-}
-
-/**
- * Walk a lambda body [begin, end) and record identifiers that look
- * locally declared: an identifier preceded by a type-ish token
- * (identifier, '>', '&', '*') and followed by '=', ';', '{', or '('
- * in statement position; the names of a structured binding
- * (auto [a, b] = ...); and trailing comma declarators
- * (double a = 0, b = 0).  Approximate on purpose — a false "local"
- * only suppresses a finding, never invents one.
- */
-NameSet
-localNames(const TokenVec &tokens, std::size_t begin,
-           std::size_t end)
-{
-    NameSet locals;
-    for (std::size_t i = begin; i < end; ++i) {
-        // Structured binding: auto [a, b] / auto &[a, b].
-        if (tokens[i].text == "[" && i > begin &&
-            (tokens[i - 1].text == "auto" ||
-             tokens[i - 1].text == "&")) {
-            const std::size_t close =
-                skipBalanced(tokens, i, "[", "]");
-            for (std::size_t j = i + 1; j < close && j < end; ++j)
-                if (tokens[j].kind == Token::Kind::Identifier)
-                    locals.insert(std::string(tokens[j].text));
-            i = close;
-            continue;
-        }
-        if (tokens[i].kind != Token::Kind::Identifier || i == begin)
-            continue;
-        const Token &prev = tokens[i - 1];
-        const bool typeBefore =
-            (prev.kind == Token::Kind::Identifier &&
-             prev.text != "return" && !isAssignOp(prev.text)) ||
-            prev.text == ">" || prev.text == "&" || prev.text == "*";
-        if (!typeBefore)
-            continue;
-        const std::string_view next =
-            i + 1 < end ? tokens[i + 1].text : std::string_view{};
-        if (next == "=" || next == ";" || next == "{" ||
-            next == "(" || next == ",") {
-            locals.insert(std::string(tokens[i].text));
-            // Comma declarators: double a = 0, b = 0; — every
-            // identifier right after a depth-0 ',' before the ';'
-            // is part of the same declaration.
-            if (next == "=") {
-                int depth = 0;
-                for (std::size_t j = i + 1; j < end; ++j) {
-                    const std::string_view t = tokens[j].text;
-                    if (t == "(" || t == "[" || t == "{")
-                        ++depth;
-                    else if (t == ")" || t == "]" || t == "}")
-                        --depth;
-                    else if (t == ";" && depth == 0)
-                        break;
-                    else if (t == "," && depth == 0 &&
-                             j + 1 < end &&
-                             tokens[j + 1].kind ==
-                                 Token::Kind::Identifier)
-                        locals.insert(
-                            std::string(tokens[j + 1].text));
-                }
-            }
-        }
-    }
-    return locals;
-}
-
-/** Parameter names of a lambda: last identifier of each parameter. */
-NameSet
-paramNames(const TokenVec &tokens, std::size_t openParen,
-           std::size_t closeParen)
-{
-    NameSet params;
-    int depth = 0;
-    std::size_t lastIdent = 0;
-    bool haveIdent = false;
-    for (std::size_t i = openParen; i <= closeParen &&
-                                    i < tokens.size(); ++i) {
-        const Token &tok = tokens[i];
-        if (tok.text == "(" || tok.text == "<" || tok.text == "[")
-            ++depth;
-        else if (tok.text == ")" || tok.text == ">" ||
-                 tok.text == "]")
-            --depth;
-        if (tok.kind == Token::Kind::Identifier && depth == 1) {
-            lastIdent = i;
-            haveIdent = true;
-        }
-        const bool boundary =
-            (tok.text == "," && depth == 1) ||
-            (tok.text == ")" && depth == 0);
-        if (boundary && haveIdent) {
-            params.insert(std::string(tokens[lastIdent].text));
-            haveIdent = false;
-        }
-    }
-    return params;
-}
-
-/**
- * Names usable as per-task-index subscripts: the task parameters
- * plus integer-typed locals initialised from them, transitively
- * (`const std::size_t k = static_cast<std::size_t>(i);`).  Two
- * passes resolve alias-of-alias chains declared in order.
- */
-NameSet
-indexAliasNames(const TokenVec &tokens, std::size_t bodyBegin,
-                std::size_t bodyEnd, const NameSet &params)
-{
-    static constexpr std::string_view integerish[] = {
-        "int", "long", "short", "unsigned", "size_t", "ptrdiff_t",
-        "auto"};
-    NameSet names = params;
-    for (int pass = 0; pass < 2; ++pass) {
-        for (std::size_t i = bodyBegin; i + 1 < bodyEnd; ++i) {
-            if (tokens[i].kind != Token::Kind::Identifier ||
-                tokens[i + 1].text != "=")
-                continue;
-            // Walk the declaration type backwards; require an
-            // integer-ish token so derived doubles do not become
-            // index slots.
-            bool integerType = false;
-            bool sawType = false;
-            for (std::size_t j = i; j-- > bodyBegin;) {
-                const std::string_view t = tokens[j].text;
-                if (t == ";" || t == "{" || t == "}" || t == ")")
-                    break;
-                if (tokens[j].kind == Token::Kind::Identifier) {
-                    sawType = true;
-                    for (std::string_view k : integerish)
-                        if (t == k || (t.size() > k.size() &&
-                                       t.find(k) !=
-                                           std::string_view::npos))
-                            integerType = true;
-                } else if (t != "::" && t != "<" && t != ">" &&
-                           t != "&" && t != "const") {
-                    break;
-                }
-            }
-            if (!sawType || !integerType)
-                continue;
-            // Initialiser up to ';' must mention a known index name.
-            bool fromIndex = false;
-            for (std::size_t j = i + 2;
-                 j < bodyEnd && tokens[j].text != ";"; ++j)
-                if (tokens[j].kind == Token::Kind::Identifier &&
-                    names.count(tokens[j].text) > 0)
-                    fromIndex = true;
-            if (fromIndex)
-                names.insert(std::string(tokens[i].text));
-        }
-    }
-    return names;
-}
-
-/** Does any [subscript] in [chainBegin, writeOp) name a parameter? */
-bool
-indexedByParam(const TokenVec &tokens, std::size_t chainBegin,
-               std::size_t writeOp, const NameSet &params)
-{
-    for (std::size_t i = chainBegin; i < writeOp; ++i) {
-        if (tokens[i].text != "[")
-            continue;
-        const std::size_t close = skipBalanced(tokens, i, "[", "]");
-        for (std::size_t j = i + 1; j < close; ++j)
-            if (tokens[j].kind == Token::Kind::Identifier &&
-                params.count(tokens[j].text) > 0)
-                return true;
-        i = close;
-    }
-    return false;
-}
-
-/** One lambda found in argument position of a pool submission. */
-struct PoolLambda
-{
-    std::size_t captBegin = 0;  ///< '[' of the capture list
-    std::size_t captEnd = 0;    ///< matching ']'
-    std::size_t paramOpen = 0;  ///< '(' of the parameter list (or 0)
-    std::size_t paramClose = 0; ///< matching ')' (or 0)
-    std::size_t bodyBegin = 0;  ///< token just past the body '{'
-    std::size_t bodyEnd = 0;    ///< token index of the body '}'
-};
-
-/** Find every lambda passed to parallelFor/runSweep/runIndexSweep. */
-std::vector<PoolLambda>
-findPoolLambdas(const TokenVec &tokens)
-{
-    std::vector<PoolLambda> found;
-    for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
-        const Token &tok = tokens[i];
-        if (tok.kind != Token::Kind::Identifier)
-            continue;
-        if (tok.text != "parallelFor" && tok.text != "runSweep" &&
-            tok.text != "runIndexSweep")
-            continue;
-        if (tokens[i + 1].text != "(")
-            continue;
-        const std::size_t closeCall =
-            skipBalanced(tokens, i + 1, "(", ")");
-
-        for (std::size_t j = i + 2; j < closeCall; ++j) {
-            if (tokens[j].text != "[")
-                continue;
-            const std::string_view prev = tokens[j - 1].text;
-            if (prev != "(" && prev != ",")
-                continue; // subscript, not a lambda argument
-            PoolLambda lam;
-            lam.captBegin = j;
-            lam.captEnd = skipBalanced(tokens, j, "[", "]");
-            std::size_t k = lam.captEnd + 1;
-            if (k < closeCall && tokens[k].text == "(") {
-                lam.paramOpen = k;
-                lam.paramClose = skipBalanced(tokens, k, "(", ")");
-                k = lam.paramClose + 1;
-            }
-            while (k < closeCall && tokens[k].text != "{")
-                ++k;
-            if (k >= closeCall)
-                continue;
-            lam.bodyBegin = k + 1;
-            lam.bodyEnd = skipBalanced(tokens, k, "{", "}");
-            found.push_back(lam);
-            j = lam.bodyEnd;
-        }
-        i = closeCall;
-    }
-    return found;
 }
 
 struct LambdaScan
@@ -886,6 +649,248 @@ checkPoolEscape(const Project &project, std::vector<Diagnostic> &out)
             analysis.run();
         }
     }
+}
+
+// ====================================================================
+// Family: pool-happens-before (semantic, project-wide)
+// ====================================================================
+
+namespace
+{
+
+/**
+ * "Submits to the pool" closure over the call graph, with the
+ * strictest possible resolution: a function counts only when every
+ * same-named candidate of one of its callees already counts.
+ * Overload merging therefore cannot manufacture a nested-submit
+ * finding — one non-submitting overload vetoes the whole name.
+ */
+struct SubmitClosure
+{
+    std::vector<char> reaches;
+    std::vector<std::string> path; ///< "f -> g" provenance chain
+
+    explicit SubmitClosure(const SymbolIndex &index)
+    {
+        const std::size_t n = index.functions.size();
+        reaches.assign(n, 0);
+        path.assign(n, {});
+        for (std::size_t i = 0; i < n; ++i)
+            reaches[i] = index.functions[i].submitsToPool ? 1 : 0;
+        for (int round = 0; round < 8; ++round) {
+            bool changed = false;
+            for (std::size_t i = 0; i < n; ++i) {
+                if (reaches[i])
+                    continue;
+                const FunctionDef &fn = index.functions[i];
+                for (const std::string &callee : fn.calls) {
+                    const auto it = index.byName.find(callee);
+                    if (it == index.byName.end() ||
+                        it->second.empty())
+                        continue;
+                    bool all = true;
+                    int first = -1;
+                    for (int id : it->second) {
+                        if (static_cast<std::size_t>(id) == i ||
+                            !reaches[static_cast<std::size_t>(id)]) {
+                            all = false;
+                            break;
+                        }
+                        if (first < 0)
+                            first = id;
+                    }
+                    if (!all || first < 0)
+                        continue;
+                    reaches[i] = 1;
+                    const std::string &sub =
+                        path[static_cast<std::size_t>(first)];
+                    path[i] = sub.empty() ? callee
+                                          : callee + " -> " + sub;
+                    changed = true;
+                    break;
+                }
+            }
+            if (!changed)
+                break;
+        }
+    }
+};
+
+/** Analyze one pool task body for happens-before violations. */
+void
+analyzeHappensBefore(const Project &project, int fileIndex,
+                     const PoolLambda &lam,
+                     const SubmitClosure &closure,
+                     std::vector<Diagnostic> &out)
+{
+    const SymbolIndex &index = project.index();
+    const SourceFile &src =
+        project.sources()[static_cast<std::size_t>(fileIndex)];
+    const TokenVec &tokens = project.tokens(fileIndex);
+
+    const NameSet taskParams =
+        lam.paramOpen < lam.paramClose
+            ? paramNames(tokens, lam.paramOpen, lam.paramClose)
+            : NameSet{};
+    const NameSet aliases = indexAliasNames(
+        tokens, lam.bodyBegin, lam.bodyEnd, taskParams);
+    const NameSet locals =
+        localNames(tokens, lam.bodyBegin, lam.bodyEnd);
+
+    auto diagnose = [&](std::size_t offset, const std::string &id,
+                        std::string message) {
+        const int line = src.lineOf(offset);
+        if (src.hasWaiver(line, "vsgpu-lint: hb-ok"))
+            return;
+        out.push_back({src.display(), line,
+                       Check::PoolHappensBefore, std::move(message),
+                       id, cm::columnOf(src, offset)});
+    };
+
+    // --- nested-submit: direct tokens and strict call paths -------
+    for (std::size_t i = lam.bodyBegin; i < lam.bodyEnd; ++i) {
+        const Token &tok = tokens[i];
+        if (tok.kind != Token::Kind::Identifier)
+            continue;
+        if (i + 1 >= lam.bodyEnd || tokens[i + 1].text != "(")
+            continue;
+        const std::string name(tok.text);
+        if (cm::isPoolSubmitName(name)) {
+            diagnose(tok.offset, "pool-happens-before.nested-submit",
+                     "pool task submits '" + name +
+                         "' to the pool from inside a task — "
+                         "exec::Pool is not reentrant; a worker "
+                         "blocking on the inner batch deadlocks the "
+                         "outer one; hoist the inner submission out "
+                         "of the task body");
+            continue;
+        }
+        if (locals.count(name) || taskParams.count(name))
+            continue;
+        const auto it = index.byName.find(name);
+        if (it == index.byName.end() || it->second.empty())
+            continue;
+        bool all = true;
+        int first = -1;
+        for (int id : it->second) {
+            if (!closure.reaches[static_cast<std::size_t>(id)]) {
+                all = false;
+                break;
+            }
+            if (first < 0)
+                first = id;
+        }
+        if (!all || first < 0)
+            continue;
+        const std::string &sub =
+            closure.path[static_cast<std::size_t>(first)];
+        diagnose(tok.offset, "pool-happens-before.nested-submit",
+                 "pool task calls '" + name +
+                     "', which submits to the pool" +
+                     (sub.empty() ? std::string{}
+                                  : " (via " + sub + ")") +
+                     " — exec::Pool is not reentrant; the nested "
+                     "batch deadlocks the outer one");
+    }
+
+    // --- cross-task-read: same-phase neighbour-slot access --------
+    // First pass: container names written through a pure per-index
+    // subscript (c[i] = ... / c[i] += ...).
+    NameSet perIndexWritten;
+    for (std::size_t i = lam.bodyBegin; i + 1 < lam.bodyEnd; ++i) {
+        if (tokens[i].kind != Token::Kind::Identifier ||
+            tokens[i + 1].text != "[")
+            continue;
+        const std::size_t close =
+            skipBalanced(tokens, i + 1, "[", "]");
+        if (close + 1 >= lam.bodyEnd ||
+            !isAssignOp(tokens[close + 1].text))
+            continue;
+        bool pureIndex = close == i + 3 &&
+                         tokens[i + 2].kind ==
+                             Token::Kind::Identifier &&
+                         aliases.count(tokens[i + 2].text) > 0;
+        if (pureIndex && !locals.count(tokens[i].text))
+            perIndexWritten.insert(std::string(tokens[i].text));
+    }
+    // Second pass: reads of those containers at an offset subscript
+    // (c[i - 1], c[i + 1]) — the neighbour slot belongs to a
+    // concurrently running task.  One finding per container is
+    // enough: a stencil reads both neighbours on one line.
+    NameSet reported;
+    for (std::size_t i = lam.bodyBegin; i + 1 < lam.bodyEnd; ++i) {
+        if (tokens[i].kind != Token::Kind::Identifier ||
+            tokens[i + 1].text != "[")
+            continue;
+        const std::string base(tokens[i].text);
+        const std::size_t close =
+            skipBalanced(tokens, i + 1, "[", "]");
+        if (!perIndexWritten.count(base) || reported.count(base)) {
+            i = close;
+            continue;
+        }
+        bool hasAlias = false;
+        bool hasOffset = false;
+        for (std::size_t j = i + 2; j < close; ++j) {
+            if (tokens[j].kind == Token::Kind::Identifier &&
+                aliases.count(tokens[j].text))
+                hasAlias = true;
+            if ((tokens[j].text == "+" || tokens[j].text == "-") &&
+                j + 1 < close &&
+                tokens[j + 1].kind == Token::Kind::Number)
+                hasOffset = true;
+        }
+        if (hasAlias && hasOffset) {
+            reported.insert(base);
+            diagnose(
+                tokens[i].offset,
+                "pool-happens-before.cross-task-read",
+                "pool task reads neighbour slot of '" + base +
+                    "' that a concurrent task writes in the same "
+                    "phase — no intra-batch ordering exists; split "
+                    "into two pool phases (the join between them is "
+                    "the happens-before edge) or double-buffer");
+        }
+        i = close;
+    }
+}
+
+} // namespace
+
+void
+checkPoolHappensBefore(const Project &project,
+                       std::vector<Diagnostic> &out)
+{
+    const SubmitClosure closure(project.index());
+    for (std::size_t f = 0; f < project.sources().size(); ++f) {
+        const TokenVec &tokens =
+            project.tokens(static_cast<int>(f));
+        for (const PoolLambda &lam : findPoolLambdas(tokens))
+            analyzeHappensBefore(project, static_cast<int>(f), lam,
+                                 closure, out);
+    }
+}
+
+void
+dedupeFamilyOverlap(std::vector<Diagnostic> &diags)
+{
+    // The token-level pool-concurrency family and the semantic pool
+    // families intentionally overlap on the simple cases; when both
+    // fire on the same line, the semantic finding (better message,
+    // dotted id, provenance) wins and the token one is dropped.
+    std::set<std::pair<std::string, int>> semanticAt;
+    for (const Diagnostic &d : diags)
+        if (d.check == Check::PoolEscape ||
+            d.check == Check::PoolHappensBefore)
+            semanticAt.insert({d.file, d.line});
+    diags.erase(std::remove_if(
+                    diags.begin(), diags.end(),
+                    [&](const Diagnostic &d) {
+                        return d.check == Check::PoolConcurrency &&
+                               semanticAt.count({d.file, d.line}) >
+                                   0;
+                    }),
+                diags.end());
 }
 
 } // namespace vsgpu::lint

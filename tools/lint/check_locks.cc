@@ -1,0 +1,567 @@
+/**
+ * @file
+ * Family: lock-discipline (semantic, project-wide).
+ *
+ * Interprocedural lock-set analysis over the symbol index and call
+ * graph.  Every acquisition — RAII guards, manual lock(), and the
+ * lock-sets functions inherit from their callees through
+ * propagateEffects — feeds a single global lock-order graph whose
+ * nodes are normalized mutex keys ("Pool::batchMutex_",
+ * "WorkerQueue::mutex", or a bare global name).  The family reports:
+ *
+ *   lock-discipline.order-cycle          two (or more) mutexes
+ *       acquired in opposite nesting orders somewhere in the project,
+ *       possibly in different translation units — the classic
+ *       deadlock shape.  Each cycle is reported once, at the edge
+ *       that closes it, citing where every other edge was created.
+ *   lock-discipline.double-lock          acquiring a mutex already
+ *       held on the same path, directly or by calling a helper whose
+ *       (transitive) lock-set contains it — self-deadlock for the
+ *       non-recursive std mutexes this codebase uses.
+ *   lock-discipline.unlock-without-lock  mu.unlock() with no live
+ *       acquisition of mu on that path (double-release or release of
+ *       a lock taken elsewhere).
+ *   lock-discipline.guarded-by           access to a variable
+ *       declared VSGPU_GUARDED_BY(mu) without mu held at the access
+ *       and no VSGPU_ACQUIRES(mu) promise on the enclosing function.
+ *       Constructors and destructors are exempt (no concurrent
+ *       access before/after an object's lifetime).
+ *   lock-discipline.acquires-unfulfilled a function annotated
+ *       VSGPU_ACQUIRES(mu) that never acquires mu, directly or
+ *       through any callee — the annotation lies to its callers.
+ *   lock-discipline.excludes-violation   calling a function
+ *       annotated VSGPU_EXCLUDES(mu) while holding mu — the callee
+ *       acquires mu itself, so the call self-deadlocks.
+ *
+ * Waiver: // vsgpu-lint: lock-ok(<reason>).
+ */
+
+#include "concurrency_model.hh"
+#include "semantic.hh"
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace vsgpu::lint
+{
+
+namespace
+{
+
+using TokenVec = std::vector<Token>;
+constexpr std::string_view kWaiver = "vsgpu-lint: lock-ok";
+
+std::string
+lastComponent(const std::string &key)
+{
+    const std::size_t pos = key.rfind("::");
+    return pos == std::string::npos ? key : key.substr(pos + 2);
+}
+
+/** Keys match exactly, or by last component when one side could not
+ *  be class-qualified ("mu" vs "Pool::mu" — the bare expression may
+ *  well be some instance's mu).  Two keys qualified with DIFFERENT
+ *  classes are distinct mutexes even when the member names collide
+ *  ("Tracer::mutex_" vs "SetupCache::mutex_"). */
+bool
+keysMatch(const std::string &a, const std::string &b)
+{
+    if (a == b)
+        return true;
+    if (a.find("::") != std::string::npos &&
+        b.find("::") != std::string::npos)
+        return false;
+    return lastComponent(a) == lastComponent(b);
+}
+
+bool
+anyKeyMatches(const std::vector<std::string> &held,
+              const std::string &key)
+{
+    for (const std::string &h : held)
+        if (keysMatch(h, key))
+            return true;
+    return false;
+}
+
+/** Where one lock-order edge was created (for cycle provenance). */
+struct EdgeSite
+{
+    std::string file;
+    int line = 0;
+    int column = 0;
+    std::string note; ///< " (via helper ...)" or empty
+};
+
+/** Directed acquired-while-holding graph over normalized keys. */
+using OrderGraph = std::map<std::string, std::map<std::string, EdgeSite>>;
+
+/** Normalized keys of one lock scope, with the same manual-lock
+ *  filter summarizeBody applies (lk.lock() on a guard object is a
+ *  re-lock of an already-recorded mutex, not a new acquisition). */
+std::vector<std::string>
+scopeKeys(const SymbolIndex &index, const cm::LockScope &scope,
+          const std::string &contextClass)
+{
+    std::vector<std::string> keys;
+    for (const std::string &expr : scope.mutexes) {
+        const std::string last = expr.substr(expr.rfind('.') + 1);
+        if (scope.manual && !index.mutexNames.count(last))
+            continue;
+        keys.push_back(normalizeMutexKey(index, expr, contextClass));
+    }
+    return keys;
+}
+
+class LockAnalysis
+{
+  public:
+    LockAnalysis(const Project &project, OrderGraph &order,
+                 std::vector<Diagnostic> &out)
+        : project_(project), index_(project.index()), order_(order),
+          out_(out)
+    {
+    }
+
+    void
+    runFunction(const FunctionDef &fn)
+    {
+        const SourceFile &src =
+            project_.sources()[static_cast<std::size_t>(
+                fn.fileIndex)];
+        const TokenVec &toks = project_.tokens(fn.fileIndex);
+        const std::vector<cm::LockScope> scopes =
+            cm::lockScopes(toks, fn.bodyBegin, fn.bodyEnd);
+        std::vector<std::vector<std::string>> keys;
+        keys.reserve(scopes.size());
+        for (const cm::LockScope &scope : scopes)
+            keys.push_back(scopeKeys(index_, scope, fn.className));
+
+        nestingEdges(fn, src, toks, scopes, keys);
+        callSites(fn, src, toks, scopes, keys);
+        unlocks(fn, src, toks, scopes);
+        guardedAccesses(fn, src, toks, scopes, keys);
+        annotationPromises(fn, src);
+    }
+
+  private:
+    /** Keys held at token @p tok from the in-body scopes. */
+    std::vector<std::string>
+    heldKeysAt(const std::vector<cm::LockScope> &scopes,
+               const std::vector<std::vector<std::string>> &keys,
+               std::size_t tok) const
+    {
+        std::vector<std::string> held;
+        for (std::size_t s = 0; s < scopes.size(); ++s)
+            if (scopes[s].begin <= tok && tok < scopes[s].end)
+                held.insert(held.end(), keys[s].begin(),
+                            keys[s].end());
+        return held;
+    }
+
+    void
+    diagnose(const SourceFile &src, std::size_t offset,
+             const std::string &id, std::string message)
+    {
+        const int line = src.lineOf(offset);
+        if (src.hasWaiver(line, kWaiver))
+            return;
+        const std::string key = id + "|" + src.display() + "|" +
+                                std::to_string(line) + "|" + message;
+        if (!seen_.insert(key).second)
+            return;
+        out_.push_back({src.display(), line, Check::LockDiscipline,
+                        std::move(message), id,
+                        cm::columnOf(src, offset)});
+    }
+
+    void
+    addEdge(const std::string &from, const std::string &to,
+            const SourceFile &src, std::size_t offset,
+            std::string note)
+    {
+        auto &slot = order_[from][to];
+        if (!slot.file.empty())
+            return; // first site wins (deterministic: file order)
+        slot = {src.display(), src.lineOf(offset),
+                cm::columnOf(src, offset), std::move(note)};
+    }
+
+    /** Scope-nesting edges and direct double-lock. */
+    void
+    nestingEdges(const FunctionDef &fn, const SourceFile &src,
+                 const TokenVec &toks,
+                 const std::vector<cm::LockScope> &scopes,
+                 const std::vector<std::vector<std::string>> &keys)
+    {
+        for (std::size_t b = 0; b < scopes.size(); ++b) {
+            for (std::size_t a = 0; a < scopes.size(); ++a) {
+                if (a == b ||
+                    !(scopes[a].begin <= scopes[b].declTok &&
+                      scopes[b].declTok < scopes[a].end))
+                    continue;
+                for (const std::string &ka : keys[a]) {
+                    for (const std::string &kb : keys[b]) {
+                        if (keysMatch(ka, kb)) {
+                            diagnose(
+                                src,
+                                toks[scopes[b].declTok].offset,
+                                "lock-discipline.double-lock",
+                                "'" + kb +
+                                    "' acquired while already held "
+                                    "on this path — std::mutex is "
+                                    "not recursive; this "
+                                    "self-deadlocks");
+                            continue;
+                        }
+                        addEdge(ka, kb, src,
+                                toks[scopes[b].declTok].offset,
+                                " in " +
+                                    (fn.className.empty()
+                                         ? fn.name
+                                         : fn.className +
+                                               "::" + fn.name));
+                    }
+                }
+            }
+        }
+    }
+
+    /** Call-site edges: calling into a (transitive) lock-set while
+     *  holding locks, double-lock via helper, EXCLUDES violations. */
+    void
+    callSites(const FunctionDef &fn, const SourceFile &src,
+              const TokenVec &toks,
+              const std::vector<cm::LockScope> &scopes,
+              const std::vector<std::vector<std::string>> &keys)
+    {
+        for (std::size_t i = fn.bodyBegin; i + 1 < fn.bodyEnd; ++i) {
+            if (toks[i].kind != Token::Kind::Identifier ||
+                toks[i + 1].text != "(")
+                continue;
+            const std::string name(toks[i].text);
+            const std::vector<int> &cands = project_.lookup(name);
+            if (cands.empty())
+                continue;
+            const std::vector<std::string> held =
+                heldKeysAt(scopes, keys, i);
+            if (held.empty())
+                continue;
+            // Strict resolution: only facts every same-named
+            // candidate agrees on survive, so overload merging can
+            // never manufacture a finding.
+            std::set<std::string> acquires;
+            std::set<std::string> excludes;
+            bool first = true;
+            bool recursion = false;
+            for (int id : cands) {
+                const FunctionDef &callee =
+                    index_.functions[static_cast<std::size_t>(id)];
+                if (&callee == &fn) {
+                    recursion = true;
+                    break; // recursion: no new facts
+                }
+                std::set<std::string> calleeAcq =
+                    callee.locksAcquired;
+                calleeAcq.insert(callee.annAcquires.begin(),
+                                 callee.annAcquires.end());
+                if (first) {
+                    acquires = std::move(calleeAcq);
+                    excludes = callee.annExcludes;
+                    first = false;
+                } else {
+                    for (auto it = acquires.begin();
+                         it != acquires.end();)
+                        it = calleeAcq.count(*it)
+                                 ? std::next(it)
+                                 : acquires.erase(it);
+                    for (auto it = excludes.begin();
+                         it != excludes.end();)
+                        it = callee.annExcludes.count(*it)
+                                 ? std::next(it)
+                                 : excludes.erase(it);
+                }
+            }
+            if (recursion)
+                continue;
+            const FunctionDef &rep =
+                index_.functions[static_cast<std::size_t>(
+                    cands.front())];
+            auto viaOf = [&](const std::string &k) {
+                const auto vit = rep.lockVia.find(k);
+                return vit == rep.lockVia.end()
+                           ? "via " + name
+                           : "via " + name + " " +
+                                 vit->second.substr(4);
+            };
+            for (const std::string &k : acquires) {
+                if (anyKeyMatches(held, k)) {
+                    diagnose(
+                        src, toks[i].offset,
+                        "lock-discipline.double-lock",
+                        "call to '" + name + "' acquires '" + k +
+                            "' (" + viaOf(k) +
+                            ") while it is already held — "
+                            "self-deadlock via helper");
+                } else {
+                    for (const std::string &h : held)
+                        addEdge(h, k, src, toks[i].offset,
+                                " (" + viaOf(k) + ")");
+                }
+            }
+            for (const std::string &k : excludes) {
+                if (anyKeyMatches(held, k))
+                    diagnose(
+                        src, toks[i].offset,
+                        "lock-discipline.excludes-violation",
+                        "call to '" + name +
+                            "' which declares VSGPU_EXCLUDES(" + k +
+                            ") while '" + k +
+                            "' is held — the callee acquires it "
+                            "itself and would self-deadlock");
+            }
+        }
+    }
+
+    /** mu.unlock() with no live acquisition ending there. */
+    void
+    unlocks(const FunctionDef &fn, const SourceFile &src,
+            const TokenVec &toks,
+            const std::vector<cm::LockScope> &scopes)
+    {
+        for (std::size_t i = fn.bodyBegin; i + 3 < fn.bodyEnd; ++i) {
+            if (toks[i].kind != Token::Kind::Identifier ||
+                (toks[i + 1].text != "." &&
+                 toks[i + 1].text != "->") ||
+                toks[i + 2].text != "unlock" ||
+                toks[i + 3].text != "(")
+                continue;
+            const std::string name(toks[i].text);
+            bool guardName = false;
+            bool live = false;
+            for (const cm::LockScope &scope : scopes) {
+                if (scope.guardVar == name ||
+                    (scope.manual && !scope.mutexes.empty() &&
+                     scope.mutexes.front() == name))
+                    guardName = true;
+                if (scope.end == i)
+                    live = true; // the release that ends this scope
+            }
+            if (!guardName && !index_.mutexNames.count(name))
+                continue; // not a lock object we track
+            if (live)
+                continue;
+            const std::string key = normalizeMutexKey(
+                index_, name, fn.className);
+            const auto vit = fn.lockVia.find(key);
+            diagnose(src, toks[i].offset,
+                     "lock-discipline.unlock-without-lock",
+                     "'" + name +
+                         "' released here but no acquisition is "
+                         "live on this path" +
+                         (vit != fn.lockVia.end()
+                              ? " (nearest acquisition is " +
+                                    vit->second +
+                                    ", invisible to this unlock)"
+                              : "") +
+                         " — double-release or release of a lock "
+                         "taken elsewhere is undefined behaviour");
+        }
+    }
+
+    /** VSGPU_GUARDED_BY enforcement. */
+    void
+    guardedAccesses(const FunctionDef &fn, const SourceFile &src,
+                    const TokenVec &toks,
+                    const std::vector<cm::LockScope> &scopes,
+                    const std::vector<std::vector<std::string>>
+                        &keys)
+    {
+        if (index_.guarded.empty())
+            return;
+        if (!fn.className.empty() && fn.name == fn.className)
+            return; // ctor/dtor: no concurrent access in lifetime
+        for (std::size_t i = fn.bodyBegin; i < fn.bodyEnd; ++i) {
+            if (toks[i].kind != Token::Kind::Identifier)
+                continue;
+            if (i + 1 < fn.bodyEnd && toks[i + 1].text == "(")
+                continue; // a call, not a variable access
+            const std::string name(toks[i].text);
+            const bool chained =
+                i > fn.bodyBegin && (toks[i - 1].text == "." ||
+                                     toks[i - 1].text == "->");
+            const bool viaThis =
+                chained && i >= 2 && toks[i - 2].text == "this";
+
+            const GuardedVar *match = nullptr;
+            if (!chained || viaThis) {
+                for (const GuardedVar &gv : index_.guarded)
+                    if (gv.name == name &&
+                        (gv.className.empty() ||
+                         gv.className == fn.className)) {
+                        match = &gv;
+                        break;
+                    }
+            } else {
+                // x.name: enforceable only when exactly one guarded
+                // declaration project-wide has this field name.
+                const GuardedVar *only = nullptr;
+                int count = 0;
+                for (const GuardedVar &gv : index_.guarded)
+                    if (gv.name == name) {
+                        only = &gv;
+                        ++count;
+                    }
+                if (count == 1)
+                    match = only;
+            }
+            if (!match)
+                continue;
+            // The declaration itself is not an access.
+            if (match->decl.fileIndex == fn.fileIndex &&
+                src.lineOf(toks[i].offset) == match->decl.line)
+                continue;
+            std::vector<std::string> held =
+                heldKeysAt(scopes, keys, i);
+            held.insert(held.end(), fn.annAcquires.begin(),
+                        fn.annAcquires.end());
+            if (anyKeyMatches(held, match->mutexKey))
+                continue;
+            diagnose(src, toks[i].offset,
+                     "lock-discipline.guarded-by",
+                     "'" + name + "' is VSGPU_GUARDED_BY(" +
+                         match->mutexKey +
+                         ") but the mutex is not held here — "
+                         "acquire it, or annotate this function "
+                         "with VSGPU_ACQUIRES(" +
+                         lastComponent(match->mutexKey) + ")");
+        }
+    }
+
+    /** VSGPU_ACQUIRES promises the function never keeps. */
+    void
+    annotationPromises(const FunctionDef &fn, const SourceFile &src)
+    {
+        if (fn.annAcquires.empty())
+            return;
+        std::vector<std::string> acquired(fn.locksAcquired.begin(),
+                                          fn.locksAcquired.end());
+        for (const std::string &k : fn.annAcquires) {
+            if (anyKeyMatches(acquired, k))
+                continue;
+            const TokenVec &toks = project_.tokens(fn.fileIndex);
+            std::size_t offset = 0;
+            if (fn.bodyBegin > 0 &&
+                fn.bodyBegin <= toks.size())
+                offset = toks[fn.bodyBegin - 1].offset;
+            diagnose(src, offset,
+                     "lock-discipline.acquires-unfulfilled",
+                     "'" + fn.name + "' declares VSGPU_ACQUIRES(" +
+                         lastComponent(k) +
+                         ") but never acquires it, directly or "
+                         "through a callee — callers relying on the "
+                         "promise are unprotected");
+        }
+    }
+
+    const Project &project_;
+    const SymbolIndex &index_;
+    OrderGraph &order_;
+    std::vector<Diagnostic> &out_;
+    std::set<std::string> seen_;
+};
+
+/** Enumerate each lock-order cycle once (smallest node first). */
+void
+reportCycles(const Project &project, const OrderGraph &order,
+             std::vector<Diagnostic> &out)
+{
+    auto sourceFor =
+        [&](const std::string &display) -> const SourceFile * {
+        for (const SourceFile &src : project.sources())
+            if (src.display() == display)
+                return &src;
+        return nullptr;
+    };
+
+    std::set<std::string> reported;
+    for (const auto &[start, _] : order) {
+        // DFS restricted to nodes >= start so every cycle is found
+        // exactly once, rooted at its lexicographically smallest
+        // mutex.  Depth-capped; lock chains deeper than 8 do not
+        // occur in practice.
+        std::vector<std::string> path{start};
+        std::set<std::string> onPath{start};
+
+        auto dfs = [&](auto &&self, const std::string &cur) -> void {
+            const auto it = order.find(cur);
+            if (it == order.end() || path.size() > 8)
+                return;
+            for (const auto &[next, site] : it->second) {
+                if (next == start && path.size() >= 2) {
+                    std::string cycleKey;
+                    for (const std::string &node : path)
+                        cycleKey += node + "->";
+                    if (!reported.insert(cycleKey).second)
+                        continue;
+                    // Report at the first edge; cite the others.
+                    const EdgeSite &head =
+                        order.at(path[0]).at(path[1]);
+                    std::string message =
+                        "lock-order cycle: ";
+                    for (const std::string &node : path)
+                        message += node + " -> ";
+                    message += start +
+                               " (potential deadlock; two threads "
+                               "taking opposite orders block "
+                               "forever)";
+                    for (std::size_t e = 0; e < path.size(); ++e) {
+                        const std::string &from = path[e];
+                        const std::string &to =
+                            e + 1 < path.size() ? path[e + 1]
+                                                : start;
+                        const EdgeSite &es = order.at(from).at(to);
+                        message += "; " + from + " -> " + to +
+                                   " at " + es.file + ":" +
+                                   std::to_string(es.line) +
+                                   es.note;
+                    }
+                    const SourceFile *src = sourceFor(head.file);
+                    if (src && src->hasWaiver(head.line, kWaiver))
+                        continue;
+                    out.push_back({head.file, head.line,
+                                   Check::LockDiscipline,
+                                   std::move(message),
+                                   "lock-discipline.order-cycle",
+                                   head.column});
+                    continue;
+                }
+                if (next < start || onPath.count(next))
+                    continue;
+                path.push_back(next);
+                onPath.insert(next);
+                self(self, next);
+                onPath.erase(next);
+                path.pop_back();
+            }
+        };
+        dfs(dfs, start);
+    }
+}
+
+} // namespace
+
+void
+checkLockDiscipline(const Project &project,
+                    std::vector<Diagnostic> &out)
+{
+    OrderGraph order;
+    LockAnalysis analysis(project, order, out);
+    for (const FunctionDef &fn : project.index().functions)
+        analysis.runFunction(fn);
+    reportCycles(project, order, out);
+}
+
+} // namespace vsgpu::lint

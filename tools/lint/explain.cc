@@ -1,0 +1,241 @@
+/**
+ * @file
+ * `vsgpu_lint --explain <id>`: the rationale, a minimal
+ * violating/fixed example pair, and the waiver syntax for a
+ * diagnostic id or family name.
+ *
+ * The examples are distilled from the fixture corpus under
+ * tests/lint/fixtures/ — each *_violate fixture is the smallest
+ * program a family fires on and the *_clean twin the smallest fix —
+ * so --explain stays in sync with what the analysis actually
+ * accepts.  Explanations are keyed by family; asking for a dotted id
+ * ("lock-discipline.order-cycle") prints the family entry with the
+ * sub-rule's specifics first.
+ */
+
+#include "lint.hh"
+
+#include <map>
+#include <ostream>
+#include <string>
+
+namespace vsgpu::lint
+{
+
+namespace
+{
+
+struct SubRule
+{
+    std::string_view id; ///< suffix after the family dot
+    std::string_view what;
+};
+
+struct Explanation
+{
+    std::string_view family;
+    std::string_view rationale;
+    std::string_view violating;
+    std::string_view fixed;
+    std::string_view waiver;
+    std::initializer_list<SubRule> subRules;
+};
+
+// clang-format off
+const Explanation kExplanations[] = {
+    {"unit-safety",
+     "Raw double/float in a converted public header defeats the "
+     "Quantity type system: the compiler can no longer reject a "
+     "volts-for-amps mixup at the call site.",
+     "    struct Rail { double voltage; };     // in a src/pdn header",
+     "    struct Rail { Volts voltage; };",
+     "// vsgpu-lint: raw-ok(<reason>)",
+     {}},
+    {"determinism",
+     "Wall-clock reads, global RNG, and unordered-container "
+     "iteration make two identical runs diverge, breaking golden "
+     "files and the sweep identity tests.",
+     "    auto seed = std::chrono::steady_clock::now();",
+     "    auto rng = common::seededEngine(config.seed);",
+     "// vsgpu-lint: nondet-ok / unordered-ok / iostream-ok(<reason>)",
+     {}},
+    {"pool-concurrency",
+     "A by-reference capture written inside a parallelFor/runSweep "
+     "lambda races with the sibling tasks of the same batch.",
+     "    pool.parallelFor(n, [&](std::size_t i) { sum += f(i); });",
+     "    pool.parallelFor(n, [&](std::size_t i) { out[i] = f(i); });",
+     "// vsgpu-lint: shared-ok(<reason>)",
+     {}},
+    {"contracts",
+     "A function tagged VSGPU_CONTRACT must state VSGPU_REQUIRES or "
+     "VSGPU_ENSURES in its definition; an empty contract is a "
+     "promise nobody checks.",
+     "    VSGPU_CONTRACT void step();  // body states neither",
+     "    VSGPU_CONTRACT void step() { VSGPU_REQUIRES(dt > 0.0); }",
+     "(no waiver: state a contract or drop the tag)",
+     {}},
+    {"raw-escape",
+     "Quantity::raw() outside the numeric core reintroduces the "
+     "unitless doubles the type system exists to eliminate.",
+     "    double v = rail.voltage.raw();       // in src/control",
+     "    Volts v = rail.voltage;",
+     "// vsgpu-lint: raw-escape-ok(<reason>)",
+     {}},
+    {"pool-escape",
+     "Project-wide escape analysis of pool task bodies: shared "
+     "state reachable without a capture (globals, this, value-"
+     "captured pointers, callee writes any number of calls deep) "
+     "written without a lock, atomic, or per-index slot.",
+     "    pool.parallelFor(n, [=](std::size_t i) { bump(); });\n"
+     "    // where bump() writes a namespace-scope counter",
+     "    pool.parallelFor(n, [&](std::size_t i) {\n"
+     "        counts[i] = localCount(i); });  // reduce after join",
+     "// vsgpu-lint: shared-ok(<reason>)",
+     {{"pointer-capture-write", "a value-captured pointer's pointee "
+       "is written; the copy aliases the same object"},
+      {"global-write", "a global written directly or via callees"},
+      {"field-write", "a member written through captured this"},
+      {"capture-write", "a by-ref capture written in the body"},
+      {"param-alias-write", "a shared object passed to a callee "
+       "that writes through that parameter"}}},
+    {"unit-flow",
+     "Dataflow unit-tagging: a raw() value tagged with one unit "
+     "must not flow into arithmetic or parameters expecting "
+     "another.",
+     "    double r = volts.raw(); solver.setCurrent(r);",
+     "    solver.setCurrent(amps);  // keep the Quantity type",
+     "// vsgpu-lint: raw-ok(<reason>)",
+     {}},
+    {"determinism-taint",
+     "Taint tracking from nondeterminism sources (clock, RNG, "
+     "pointer-as-value, unordered iteration) into observable "
+     "outputs: stats, traces, summary JSON.",
+     "    stats.set(\"elapsed\", clock::now() - t0);",
+     "    stats.set(\"steps\", stepCount);  // logical time only",
+     "// vsgpu-lint: nondet-ok(<reason>)",
+     {}},
+    {"lock-discipline",
+     "Interprocedural lock-set analysis: every acquisition (RAII "
+     "guard, manual lock(), VSGPU_ACQUIRES promise, or a callee's "
+     "transitive lock-set) feeds one global lock-order graph; "
+     "holding mutexes in inconsistent orders across translation "
+     "units is the classic deadlock that only a whole-project view "
+     "can see.",
+     "    // a.cc: lock(mu1) then lock(mu2)\n"
+     "    // b.cc: lock(mu2) then helper() which locks mu1",
+     "    // pick one order project-wide; or merge the critical\n"
+     "    // sections under a single mutex",
+     "// vsgpu-lint: lock-ok(<reason>)",
+     {{"order-cycle", "mutexes acquired in opposite nesting orders "
+       "somewhere in the project (cycle cited edge by edge)"},
+      {"double-lock", "acquiring a held non-recursive mutex, "
+       "directly or via a helper's lock-set"},
+      {"unlock-without-lock", "unlock() with no live acquisition "
+       "on that path"},
+      {"guarded-by", "a VSGPU_GUARDED_BY(mu) variable accessed "
+       "without mu held (ctors/dtors exempt)"},
+      {"acquires-unfulfilled", "VSGPU_ACQUIRES(mu) declared but mu "
+       "never acquired, even transitively"},
+      {"excludes-violation", "calling a VSGPU_EXCLUDES(mu) "
+       "function while holding mu"}}},
+    {"atomics-misuse",
+     "The boundary between atomics, locks, and plain memory: "
+     "mixing them on one variable compiles silently and miscompiles "
+     "under contention.",
+     "    // a.cc: std::atomic<bool> ready;  b.cc: bool ready;\n"
+     "    done = true;            // plain write\n"
+     "    flag.store(true, std::memory_order_relaxed);",
+     "    // one declaration, one discipline:\n"
+     "    flag.store(true, std::memory_order_release);",
+     "// vsgpu-lint: atomics-ok(<reason>)",
+     {{"mixed-declaration", "one name atomic in one TU, plain in "
+       "another (both declaration sites cited)"},
+      {"unguarded-read", "a global every writer mutates under a "
+       "lock, read without it"},
+      {"relaxed-publish", "a relaxed store publishing earlier "
+       "unguarded plain writes (flag-then-data)"}}},
+    {"pool-happens-before",
+     "parallelFor/runSweep block until every task joins: writes "
+     "before submission and reads after return are ordered and "
+     "never flagged.  Inside a batch there is NO ordering — nested "
+     "submission deadlocks the non-reentrant pool, and reading a "
+     "neighbour's slot races with the task writing it.",
+     "    pool.parallelFor(n, [&](std::size_t i) {\n"
+     "        next[i] = 0.5 * (curr[i - 1] + curr[i + 1]);\n"
+     "        curr[i] = next[i]; });          // same-phase stencil",
+     "    pool.parallelFor(n, [&](std::size_t i) {\n"
+     "        next[i] = 0.5 * (curr[i - 1] + curr[i + 1]); });\n"
+     "    curr.swap(next);  // the join is the happens-before edge",
+     "// vsgpu-lint: hb-ok(<reason>)",
+     {{"nested-submit", "a task body reaching a pool submission, "
+       "directly or through any call path"},
+      {"cross-task-read", "a task writing slot i but reading slot "
+       "i +/- k written by a concurrent sibling"}}},
+    {"fp-determinism",
+     "FP addition is not associative: a lock or atomic makes a "
+     "reduction race-free but leaves its order up to the scheduler, "
+     "silently breaking the jobs-1-vs-N bitwise-identity invariant "
+     "the sweep tests enforce.",
+     "    pool.parallelFor(n, [&](std::size_t i) {\n"
+     "        std::lock_guard<std::mutex> g(mu);\n"
+     "        total += contribution(i); });   // order = schedule",
+     "    pool.parallelFor(n, [&](std::size_t i) {\n"
+     "        part[i] = contribution(i); });\n"
+     "    for (double p : part) total += p;   // index order, stable",
+     "// vsgpu-lint: fp-order-ok(<reason>)",
+     {{"locked-reduction", "a serialized FP accumulation from a "
+       "pool task (lock or atomic; order still unstable)"},
+      {"unordered-reduction", "an FP sum iterating a container "
+       "whose unordered-ness is declared in another TU"}}},
+};
+// clang-format on
+
+} // namespace
+
+bool
+explainDiagnostic(std::string_view idOrFamily, std::ostream &os)
+{
+    std::string_view family = idOrFamily;
+    std::string_view sub;
+    const std::size_t dot = idOrFamily.find('.');
+    if (dot != std::string_view::npos) {
+        family = idOrFamily.substr(0, dot);
+        sub = idOrFamily.substr(dot + 1);
+    }
+    for (const Explanation &e : kExplanations) {
+        if (e.family != family)
+            continue;
+        if (!sub.empty()) {
+            bool known = false;
+            for (const SubRule &rule : e.subRules)
+                if (rule.id == sub)
+                    known = true;
+            if (!known)
+                return false;
+        }
+        os << idOrFamily << "\n";
+        for (std::size_t i = 0; i < idOrFamily.size(); ++i)
+            os << '=';
+        os << "\n\n";
+        if (!sub.empty()) {
+            for (const SubRule &rule : e.subRules)
+                if (rule.id == sub)
+                    os << "This rule: " << rule.what << ".\n\n";
+        }
+        os << e.rationale << "\n\nViolating:\n"
+           << e.violating << "\n\nFixed:\n"
+           << e.fixed << "\n\nWaiver (on the diagnosed line or the "
+                         "line above):\n    "
+           << e.waiver << "\n";
+        if (sub.empty() && e.subRules.size() > 0) {
+            os << "\nRules in this family:\n";
+            for (const SubRule &rule : e.subRules)
+                os << "    " << e.family << "." << rule.id << "  "
+                   << rule.what << "\n";
+        }
+        return true;
+    }
+    return false;
+}
+
+} // namespace vsgpu::lint

@@ -32,6 +32,10 @@
  *   // vsgpu-lint: iostream-ok(<reason>)   determinism (direct stdio)
  *   // vsgpu-lint: shared-ok(<reason>)     pool-concurrency
  *   // vsgpu-lint: raw-escape-ok(<reason>) raw-escape
+ *   // vsgpu-lint: lock-ok(<reason>)       lock-discipline
+ *   // vsgpu-lint: atomics-ok(<reason>)    atomics-misuse
+ *   // vsgpu-lint: hb-ok(<reason>)         pool-happens-before
+ *   // vsgpu-lint: fp-order-ok(<reason>)   fp-determinism
  * A waiver on the diagnosed line or the line above it applies.
  */
 
@@ -48,9 +52,12 @@ namespace vsgpu::lint
 {
 
 /** Check families, in severity-neutral declaration order.  The
- *  first five are per-file token-level families; the last three are
+ *  first five are per-file token-level families; the rest are
  *  project-wide semantic families built on the symbol index / call
- *  graph / dataflow core (semantic.hh, dataflow.hh). */
+ *  graph / dataflow core (semantic.hh, dataflow.hh).  The last four
+ *  form the concurrency-soundness engine gating the pipeline-parallel
+ *  cosim work (lock-discipline, atomics-misuse, pool-happens-before,
+ *  fp-determinism). */
 enum class Check
 {
     UnitSafety,
@@ -61,6 +68,10 @@ enum class Check
     PoolEscape,
     UnitFlow,
     DeterminismTaint,
+    LockDiscipline,
+    AtomicsMisuse,
+    PoolHappensBefore,
+    FpDeterminism,
 };
 
 /** Every family, in declaration order (CLI listings, round-trips). */
@@ -69,6 +80,8 @@ inline constexpr Check kAllChecks[] = {
     Check::PoolConcurrency, Check::Contracts,
     Check::RawEscape,    Check::PoolEscape,
     Check::UnitFlow,     Check::DeterminismTaint,
+    Check::LockDiscipline, Check::AtomicsMisuse,
+    Check::PoolHappensBefore, Check::FpDeterminism,
 };
 
 /** True for the project-wide semantic families. */
@@ -95,6 +108,11 @@ struct Diagnostic
      * the SARIF ruleId.
      */
     std::string id;
+    /** 1-based column of the finding; 0 = unknown (line-granular
+     *  families).  Participates in the SARIF sort key.  Last so the
+     *  established {file, line, check, message, id} aggregate
+     *  initializers stay valid. */
+    int column = 0;
 };
 
 /**
@@ -252,6 +270,16 @@ readCompileCommands(const std::string &path);
  */
 void writeSarif(std::ostream &os,
                 const std::vector<Diagnostic> &diags);
+
+/**
+ * Print the rationale, a minimal violating/fixed example pair (from
+ * the fixture corpus), and the waiver syntax for @p idOrFamily — a
+ * dotted diagnostic id ("lock-discipline.order-cycle") or a family
+ * name ("lock-discipline").  Returns false for an unknown id (the
+ * CLI maps that to exit status 2).
+ */
+bool explainDiagnostic(std::string_view idOrFamily,
+                       std::ostream &os);
 
 } // namespace vsgpu::lint
 

@@ -6,6 +6,7 @@
  *   vsgpu_lint [-p <build-dir>] [--checks a,b,...]
  *              [--baseline <file> | --no-baseline]
  *              [--write-baseline] [--list-checks]
+ *              [--explain <id>]
  *              [--sarif <file>] [--dump-index <file>] [file...]
  *
  * With no file arguments, lints every project source named by the
@@ -61,7 +62,8 @@ usage(std::ostream &os)
           "                  [--baseline file | --no-baseline]\n"
           "                  [--write-baseline] [--verbose]\n"
           "                  [--sarif file] [--dump-index file]\n"
-          "                  [--list-checks] [file...]\n";
+          "                  [--explain id] [--list-checks] "
+          "[file...]\n";
     return 2;
 }
 
@@ -163,6 +165,17 @@ main(int argc, char **argv)
             if (!v)
                 return usage(std::cerr);
             opt.dumpIndexPath = v;
+        } else if (arg == "--explain") {
+            const char *v = next();
+            if (!v)
+                return usage(std::cerr);
+            if (!explainDiagnostic(v, std::cout)) {
+                std::cerr << "vsgpu_lint: unknown diagnostic id '"
+                          << v
+                          << "' (see --list-checks for families)\n";
+                return 2;
+            }
+            return 0;
         } else if (arg == "--list-checks") {
             for (Check c : kAllChecks)
                 std::cout << checkName(c) << "\n";
@@ -211,19 +224,25 @@ main(int argc, char **argv)
                     targets.push_back(canon);
             }
             // Headers never appear in the compile database; the
-            // unit-safety family lives in headers, so sweep src/.
+            // unit-safety family lives in src/ headers and the
+            // concurrency families cover bench/ and tools/ (they
+            // submit to pools too), so sweep all three trees.
             if (!repoRoot.empty()) {
-                for (const auto &entry :
-                     fs::recursive_directory_iterator(repoRoot /
-                                                      "src")) {
-                    if (!entry.is_regular_file() ||
-                        entry.path().extension() != ".hh")
+                for (const char *tree : {"src", "bench", "tools"}) {
+                    const fs::path dir = repoRoot / tree;
+                    if (!fs::is_directory(dir))
                         continue;
-                    std::error_code ec;
-                    const fs::path canon =
-                        fs::weakly_canonical(entry.path(), ec);
-                    if (seen.insert(canon.string()).second)
-                        targets.push_back(canon);
+                    for (const auto &entry :
+                         fs::recursive_directory_iterator(dir)) {
+                        if (!entry.is_regular_file() ||
+                            entry.path().extension() != ".hh")
+                            continue;
+                        std::error_code ec;
+                        const fs::path canon =
+                            fs::weakly_canonical(entry.path(), ec);
+                        if (seen.insert(canon.string()).second)
+                            targets.push_back(canon);
+                    }
                 }
             }
         }
@@ -274,6 +293,7 @@ main(int argc, char **argv)
             }
         }
         runProjectChecks(project, opt.checks, explicitFiles, diags);
+        dedupeFamilyOverlap(diags);
 
         std::sort(diags.begin(), diags.end(),
                   [](const Diagnostic &a, const Diagnostic &b) {
@@ -281,7 +301,9 @@ main(int argc, char **argv)
                           return a.file < b.file;
                       if (a.line != b.line)
                           return a.line < b.line;
-                      return a.id < b.id;
+                      if (a.id != b.id)
+                          return a.id < b.id;
+                      return a.column < b.column;
                   });
 
         std::string baselinePath = opt.baselinePath;

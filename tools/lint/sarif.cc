@@ -11,6 +11,7 @@
 
 #include "lint.hh"
 
+#include <algorithm>
 #include <map>
 #include <ostream>
 #include <vector>
@@ -67,9 +68,39 @@ ruleIdOf(const Diagnostic &diag)
 void
 writeSarif(std::ostream &os, const std::vector<Diagnostic> &diags)
 {
+    // Deterministic output regardless of family execution order:
+    // results sorted by (ruleId, file, line, column), identical
+    // locations deduplicated (two scan paths reaching one finding
+    // must not double-report to code scanning).
+    std::vector<Diagnostic> sorted = diags;
+    std::stable_sort(
+        sorted.begin(), sorted.end(),
+        [](const Diagnostic &a, const Diagnostic &b) {
+            const std::string ra = ruleIdOf(a);
+            const std::string rb = ruleIdOf(b);
+            if (ra != rb)
+                return ra < rb;
+            if (a.file != b.file)
+                return a.file < b.file;
+            if (a.line != b.line)
+                return a.line < b.line;
+            return a.column < b.column;
+        });
+    sorted.erase(std::unique(sorted.begin(), sorted.end(),
+                             [](const Diagnostic &a,
+                                const Diagnostic &b) {
+                                 return ruleIdOf(a) ==
+                                            ruleIdOf(b) &&
+                                        a.file == b.file &&
+                                        a.line == b.line &&
+                                        a.column == b.column &&
+                                        a.message == b.message;
+                             }),
+                 sorted.end());
+
     // Rules: one per distinct ruleId, in sorted order.
     std::map<std::string, std::string> rules; // id -> family name
-    for (const Diagnostic &diag : diags)
+    for (const Diagnostic &diag : sorted)
         rules.emplace(ruleIdOf(diag),
                       std::string(checkName(diag.check)));
 
@@ -100,8 +131,8 @@ writeSarif(std::ostream &os, const std::vector<Diagnostic> &diags)
           "        }\n"
           "      },\n"
           "      \"results\": [\n";
-    for (std::size_t i = 0; i < diags.size(); ++i) {
-        const Diagnostic &diag = diags[i];
+    for (std::size_t i = 0; i < sorted.size(); ++i) {
+        const Diagnostic &diag = sorted[i];
         os << "        {\"ruleId\": ";
         jsonString(os, ruleIdOf(diag));
         os << ", \"level\": \"warning\", \"message\": {\"text\": ";
@@ -111,8 +142,11 @@ writeSarif(std::ostream &os, const std::vector<Diagnostic> &diags)
         jsonString(os, diag.file);
         os << ", \"uriBaseId\": \"%SRCROOT%\"}, \"region\": "
               "{\"startLine\": "
-           << (diag.line > 0 ? diag.line : 1) << "}}}]}";
-        os << (i + 1 < diags.size() ? ",\n" : "\n");
+           << (diag.line > 0 ? diag.line : 1);
+        if (diag.column > 0)
+            os << ", \"startColumn\": " << diag.column;
+        os << "}}}]}";
+        os << (i + 1 < sorted.size() ? ",\n" : "\n");
     }
     os << "      ]\n"
           "    }\n"

@@ -23,10 +23,12 @@
  *                 sources, per-file token streams, the index, and
  *                 the call graph.
  *
- * The three semantic families (pool-escape, unit-flow,
- * determinism-taint) run project-wide over a Project instead of
- * file-by-file; runProjectChecks() applies the same path scoping as
- * the per-file families.
+ * The semantic families (pool-escape, unit-flow, determinism-taint,
+ * and the concurrency-soundness engine: lock-discipline,
+ * atomics-misuse, pool-happens-before, fp-determinism) run
+ * project-wide over a Project instead of file-by-file;
+ * runProjectChecks() applies the same path scoping as the per-file
+ * families.
  */
 
 #ifndef VSGPU_TOOLS_LINT_SEMANTIC_HH
@@ -71,6 +73,29 @@ struct FunctionDef
     std::set<std::string> calls; ///< unqualified callee names
     bool takesLock = false; ///< body declares a lock guard
 
+    /** Normalized mutex keys ("Class::mu" / "mu") this function
+     *  acquires — directly or, after propagateEffects, through any
+     *  bounded number of callees. */
+    std::set<std::string> locksAcquired;
+    /** Call path provenance for a transitively acquired lock. */
+    std::map<std::string, std::string> lockVia;
+    /** Normalized keys promised by VSGPU_ACQUIRES(mu). */
+    std::set<std::string> annAcquires;
+    /** Normalized keys forbidden at call sites: VSGPU_EXCLUDES. */
+    std::set<std::string> annExcludes;
+    /** Shared FP names ("g" / "Class::field") this function
+     *  accumulates into (+=, -=, *=, /=, x = x + ...), directly or
+     *  transitively.  Tracked separately from writesGlobals because
+     *  a *serialized* FP accumulation is still order-dependent. */
+    std::set<std::string> fpAccumulates;
+    /** Call path provenance for a transitive FP accumulation. */
+    std::map<std::string, std::string> fpVia;
+    /** Body directly submits work to exec::Pool (parallelFor /
+     *  runSweep / runIndexSweep).  The pool-happens-before family
+     *  walks the call graph itself to find transitive submissions,
+     *  requiring unambiguous name resolution at every hop. */
+    bool submitsToPool = false;
+
     /** One call-site argument that forwards a caller parameter. */
     struct ArgFlow
     {
@@ -84,6 +109,22 @@ struct FunctionDef
     /** Representative call path for a transitive effect, for
      *  diagnostics ("via helperA -> helperB"). */
     std::map<std::string, std::string> effectVia;
+};
+
+/** Declaration site of an indexed name (for cross-TU provenance). */
+struct DeclSite
+{
+    int fileIndex = -1;
+    int line = 0;
+};
+
+/** One VSGPU_GUARDED_BY-annotated variable declaration. */
+struct GuardedVar
+{
+    std::string name;      ///< variable / field name
+    std::string className; ///< declaring class, "" for globals
+    std::string mutexKey;  ///< normalized required mutex key
+    DeclSite decl;
 };
 
 /** Project-wide symbol index. */
@@ -104,7 +145,33 @@ struct SymbolIndex
     std::set<std::string> pointerNames;
     /** Per-file names of unordered-container variables. */
     std::map<int, std::set<std::string>> unorderedVars;
+
+    /** Names declared with a std mutex type anywhere. */
+    std::set<std::string> mutexNames;
+    /** Mutex name -> owning class names ("" = namespace scope). */
+    std::map<std::string, std::set<std::string>> mutexOwners;
+    /** VSGPU_GUARDED_BY annotations, in declaration order. */
+    std::vector<GuardedVar> guarded;
+    /** FP-typed shared names: globals by name, fields as
+     *  "Class::field" (double/float/Quantity aliases). */
+    std::set<std::string> fpNames;
+    /** First declaration site of each atomic name. */
+    std::map<std::string, DeclSite> atomicDecl;
+    /** First declaration site of each mutable global. */
+    std::map<std::string, DeclSite> globalDecl;
+    /** First declaration site of each unordered-container name. */
+    std::map<std::string, DeclSite> unorderedDecl;
 };
+
+/**
+ * Normalize a mutex expression to a stable lock-order key: the last
+ * chain component, qualified as "Class::name" when the name is a
+ * member of @p contextClass or of exactly one class project-wide
+ * ("queue.mutex" -> "WorkerQueue::mutex"); bare otherwise.
+ */
+std::string normalizeMutexKey(const SymbolIndex &index,
+                              const std::string &expr,
+                              const std::string &contextClass);
 
 /**
  * Parse every source into the index.  @p tokens must hold the
@@ -197,6 +264,64 @@ void checkUnitFlow(const Project &project,
  */
 void checkDeterminismTaint(const Project &project,
                            std::vector<Diagnostic> &out);
+
+/**
+ * Family 9: lock-discipline — interprocedural lock-set analysis.
+ * Builds a global lock-order graph from every acquisition (RAII
+ * guards, manual lock(), VSGPU_ACQUIRES promises, and lock-sets
+ * propagated through the call graph) and reports order cycles
+ * (potential deadlock, lock-discipline.order-cycle), double
+ * acquisition of a held mutex (.double-lock), unlock without a
+ * matching lock (.unlock-without-lock), VSGPU_GUARDED_BY accesses
+ * outside the required lock (.guarded-by), unfulfilled
+ * VSGPU_ACQUIRES promises (.acquires-unfulfilled), and calls into
+ * VSGPU_EXCLUDES functions with the excluded mutex held
+ * (.excludes-violation).
+ */
+void checkLockDiscipline(const Project &project,
+                         std::vector<Diagnostic> &out);
+
+/**
+ * Family 10: atomics-misuse — a name declared std::atomic in one TU
+ * and plain in another (atomics-misuse.mixed-declaration), a global
+ * written only under locks but read without one (.unguarded-read),
+ * and a relaxed atomic store publishing earlier unguarded plain
+ * writes (flag-then-data, .relaxed-publish).
+ */
+void checkAtomicsMisuse(const Project &project,
+                        std::vector<Diagnostic> &out);
+
+/**
+ * Family 11: pool-happens-before — models Pool submission/join as
+ * happens-before edges (accesses sequenced before parallelFor /
+ * runSweep and after their return are ordered and never flagged);
+ * inside a task body it reports reaching a nested pool submission
+ * (the pool is not reentrant, pool-happens-before.nested-submit)
+ * and same-phase cross-task element access — a stencil subscript
+ * [i +/- k] on a container the task also writes per-index
+ * (.cross-task-read).
+ */
+void checkPoolHappensBefore(const Project &project,
+                            std::vector<Diagnostic> &out);
+
+/**
+ * Family 12: fp-determinism — floating-point accumulations whose
+ * result depends on task/thread scheduling order even when properly
+ * serialized (a lock or atomic makes the sum race-free but not
+ * order-stable: fp-determinism.locked-reduction), and FP reductions
+ * over containers whose unordered-ness is declared in another TU or
+ * behind a parameter type (.unordered-reduction).  Both break the
+ * jobs-1-vs-N bitwise-identity invariant.
+ */
+void checkFpDeterminism(const Project &project,
+                        std::vector<Diagnostic> &out);
+
+/**
+ * Drop token-level pool-concurrency findings that a semantic pool
+ * family also reports at the same file:line — one id wins (the
+ * dotted semantic one, which carries provenance).
+ */
+void dedupeFamilyOverlap(std::vector<Diagnostic> &diags);
 
 /**
  * Run the semantic families named in @p checks over @p project,

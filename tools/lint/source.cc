@@ -35,6 +35,14 @@ checkName(Check check)
         return "unit-flow";
       case Check::DeterminismTaint:
         return "determinism-taint";
+      case Check::LockDiscipline:
+        return "lock-discipline";
+      case Check::AtomicsMisuse:
+        return "atomics-misuse";
+      case Check::PoolHappensBefore:
+        return "pool-happens-before";
+      case Check::FpDeterminism:
+        return "fp-determinism";
     }
     return "unknown";
 }
@@ -55,7 +63,11 @@ bool
 isProjectCheck(Check check)
 {
     return check == Check::PoolEscape || check == Check::UnitFlow ||
-           check == Check::DeterminismTaint;
+           check == Check::DeterminismTaint ||
+           check == Check::LockDiscipline ||
+           check == Check::AtomicsMisuse ||
+           check == Check::PoolHappensBefore ||
+           check == Check::FpDeterminism;
 }
 
 namespace
@@ -335,6 +347,16 @@ checkAppliesTo(Check check, std::string_view display)
         // Observable outputs are produced by src/; benches and tests
         // route everything through the library sinks.
         return pathContains(display, "src/");
+      case Check::LockDiscipline:
+      case Check::AtomicsMisuse:
+      case Check::PoolHappensBefore:
+      case Check::FpDeterminism:
+        // The concurrency-soundness families cover everything that
+        // runs threaded code: the library, the scenario drivers,
+        // and the tools.
+        return pathContains(display, "src/") ||
+               pathContains(display, "bench/") ||
+               pathContains(display, "tools/");
     }
     return false;
 }
@@ -366,6 +388,10 @@ runChecks(const SourceFile &src, const std::vector<Check> &checks,
           case Check::PoolEscape:
           case Check::UnitFlow:
           case Check::DeterminismTaint:
+          case Check::LockDiscipline:
+          case Check::AtomicsMisuse:
+          case Check::PoolHappensBefore:
+          case Check::FpDeterminism:
             // Project-wide semantic families: runProjectChecks.
             break;
         }

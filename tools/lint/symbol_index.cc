@@ -18,6 +18,7 @@
 
 #include "semantic.hh"
 
+#include "concurrency_model.hh"
 #include "dataflow.hh"
 
 #include <algorithm>
@@ -75,6 +76,32 @@ isLockTypeName(std::string_view name)
 {
     return name == "lock_guard" || name == "scoped_lock" ||
            name == "unique_lock" || name == "shared_lock";
+}
+
+using cm::isFpTypeName;
+
+/** The trailing identifier chain of [begin, end): "queue.mutex",
+ *  "this.mu_", or the bare last identifier. */
+std::string
+trailingChain(const TokenVec &toks, std::size_t begin,
+              std::size_t end)
+{
+    std::size_t name = end;
+    for (std::size_t k = end; k-- > begin;)
+        if (toks[k].kind == Token::Kind::Identifier ||
+            toks[k].text == "this") {
+            name = k;
+            break;
+        }
+    if (name == end)
+        return {};
+    std::string expr(toks[name].text);
+    if (name >= begin + 2 &&
+        (toks[name - 1].text == "." || toks[name - 1].text == "->") &&
+        (toks[name - 2].kind == Token::Kind::Identifier ||
+         toks[name - 2].text == "this"))
+        expr = std::string(toks[name - 2].text) + "." + expr;
+    return expr;
 }
 
 bool
@@ -325,6 +352,7 @@ scanFile(int fileIndex, const SourceFile &src, const TokenVec &toks,
              t == "unordered_multimap" ||
              t == "unordered_multiset")) {
             std::size_t j = i + 1;
+            bool fpArg = false;
             if (j < toks.size() && toks[j].text == "<") {
                 int depth = 0;
                 for (; j < toks.size(); ++j) {
@@ -334,6 +362,8 @@ scanFile(int fileIndex, const SourceFile &src, const TokenVec &toks,
                         --depth;
                     else if (toks[j].text == ">>")
                         depth -= 2;
+                    else if (isFpTypeName(toks[j].text))
+                        fpArg = true;
                     if (depth <= 0) {
                         ++j;
                         break;
@@ -346,10 +376,19 @@ scanFile(int fileIndex, const SourceFile &src, const TokenVec &toks,
             if (j < toks.size() &&
                 toks[j].kind == Token::Kind::Identifier) {
                 const std::string name(toks[j].text);
-                if (t == "atomic" || t == "atomic_flag")
+                const DeclSite site{fileIndex,
+                                    src.lineOf(toks[j].offset)};
+                if (t == "atomic" || t == "atomic_flag") {
                     index.atomics.insert(name);
-                else
+                    index.atomicDecl.emplace(name, site);
+                    // atomic<double> accumulations are race-free
+                    // but still scheduling-order-dependent.
+                    if (fpArg)
+                        index.fpNames.insert(name);
+                } else {
                     index.unorderedVars[fileIndex].insert(name);
+                    index.unorderedDecl.emplace(name, site);
+                }
             }
             continue;
         }
@@ -389,6 +428,37 @@ scanFile(int fileIndex, const SourceFile &src, const TokenVec &toks,
                     fn.bodyBegin = body + 1;
                     fn.bodyEnd =
                         skipBalanced(toks, body, "{", "}");
+                    // VSGPU_ACQUIRES/EXCLUDES annotations sit
+                    // between the parameter list and the body.
+                    // Stored raw here; normalized once every file
+                    // is scanned (buildSymbolIndex post-pass).
+                    for (std::size_t k = closeParen + 1; k < body;
+                         ++k) {
+                        const bool acq =
+                            toks[k].text == "VSGPU_ACQUIRES";
+                        const bool exc =
+                            toks[k].text == "VSGPU_EXCLUDES";
+                        if ((!acq && !exc) ||
+                            k + 1 >= toks.size() ||
+                            toks[k + 1].text != "(")
+                            continue;
+                        const std::size_t close =
+                            skipBalanced(toks, k + 1, "(", ")");
+                        std::size_t seg = k + 2;
+                        for (std::size_t a = k + 2; a <= close;
+                             ++a) {
+                            if (toks[a].text != "," && a != close)
+                                continue;
+                            const std::string expr =
+                                trailingChain(toks, seg, a);
+                            if (!expr.empty())
+                                (acq ? fn.annAcquires
+                                     : fn.annExcludes)
+                                    .insert(expr);
+                            seg = a + 1;
+                        }
+                        k = close;
+                    }
                     const int id = static_cast<int>(
                         index.functions.size());
                     index.byName[fn.name].push_back(id);
@@ -409,37 +479,94 @@ scanFile(int fileIndex, const SourceFile &src, const TokenVec &toks,
               !isReservedWord(prev)) ||
              isTypeKeyword(prev) || prev == ">" || prev == "&" ||
              prev == "*");
+        // A VSGPU_GUARDED_BY(mu) annotation sits between the name
+        // and the initializer/semicolon; look through it for the
+        // effective next token and remember the required mutex.
+        std::string_view declNext = next;
+        std::string guardExpr;
+        if (typeBefore && next == "VSGPU_GUARDED_BY" &&
+            i + 2 < toks.size() && toks[i + 2].text == "(") {
+            const std::size_t close =
+                skipBalanced(toks, i + 2, "(", ")");
+            guardExpr = trailingChain(toks, i + 3, close);
+            declNext = close + 1 < toks.size()
+                           ? toks[close + 1].text
+                           : std::string_view{};
+        }
         if (!typeBefore ||
-            !(next == "=" || next == ";" || next == "{"))
+            !(declNext == "=" || declNext == ";" ||
+              declNext == "{"))
             continue;
         // `foo} name =` style misparses guard: statement window.
         const std::size_t start = stmtStart(toks, i);
         bool hasConst = false, skip = false, chained = false;
+        bool mutexType = false, lockType = false, fpType = false;
+        bool atomicType = false;
         for (std::size_t k = start; k < i; ++k) {
             const std::string_view s = toks[k].text;
             if (s == "const" || s == "constexpr")
                 hasConst = true;
+            if (s == "atomic" || s == "atomic_flag")
+                atomicType = true;
             if (s == "using" || s == "return" || s == "namespace" ||
                 s == "template" || s == "typedef" ||
                 s == "operator" || s == "=")
                 skip = true;
             if (s == "." || s == "->")
                 chained = true;
+            if (cm::isMutexType(s))
+                mutexType = true;
+            if (isLockTypeName(s))
+                lockType = true;
+            if (isFpTypeName(s))
+                fpType = true;
         }
         if (skip || chained)
             continue;
         const std::string name(t);
+        const std::string className =
+            current().ctx == Ctx::Class ? current().className
+                                        : std::string{};
+        if (!guardExpr.empty()) {
+            GuardedVar guard;
+            guard.name = name;
+            guard.className = className;
+            guard.mutexKey = guardExpr; // raw; normalized later
+            guard.decl = {fileIndex, src.lineOf(tok.offset)};
+            index.guarded.push_back(std::move(guard));
+        }
         if (prev == "*")
             index.pointerNames.insert(name);
         if (hasConst) {
             index.constNames.insert(name);
             continue;
         }
-        if (current().ctx == Ctx::Namespace)
+        // `std::lock_guard<std::mutex> x{mu}` names the mutex TYPE
+        // in its template argument; only a guard-free declaration
+        // declares an actual mutex object.
+        if (mutexType && !lockType) {
+            index.mutexNames.insert(name);
+            index.mutexOwners[name].insert(className);
+        }
+        if (current().ctx == Ctx::Namespace) {
             index.globals.insert(name);
-        else if (current().ctx == Ctx::Class &&
-                 !current().className.empty())
-            index.classFields[current().className].insert(name);
+            // Atomic declarations reach this scan too (the atomic
+            // handler above already recorded them); keeping them
+            // out of globalDecl lets atomics-misuse distinguish a
+            // real plain redeclaration in another TU from an
+            // atomic declaration seen again (extern or repeated).
+            if (!atomicType)
+                index.globalDecl.emplace(
+                    name,
+                    DeclSite{fileIndex, src.lineOf(tok.offset)});
+            if (fpType)
+                index.fpNames.insert(name);
+        } else if (current().ctx == Ctx::Class &&
+                   !className.empty()) {
+            index.classFields[className].insert(name);
+            if (fpType)
+                index.fpNames.insert(className + "::" + name);
+        }
     }
 }
 
@@ -452,6 +579,22 @@ summarizeBody(FunctionDef &fn, const TokenVec &toks,
         if (toks[i].kind == Token::Kind::Identifier &&
             isLockTypeName(toks[i].text))
             fn.takesLock = true;
+
+    // Mutexes this body acquires, as normalized lock-order keys.
+    // Manual x.lock() counts only when x is a known mutex object
+    // (lk.lock() on a unique_lock re-locks the guard, whose mutex
+    // the RAII scope above already recorded).
+    for (const cm::LockScope &scope :
+         cm::lockScopes(toks, fn.bodyBegin, fn.bodyEnd)) {
+        for (const std::string &expr : scope.mutexes) {
+            const std::string last =
+                expr.substr(expr.rfind('.') + 1);
+            if (scope.manual && !index.mutexNames.count(last))
+                continue;
+            fn.locksAcquired.insert(
+                normalizeMutexKey(index, expr, fn.className));
+        }
+    }
 
     const df::Cfg cfg = df::buildCfg(toks, fn.bodyBegin, fn.bodyEnd);
 
@@ -522,9 +665,76 @@ summarizeBody(FunctionDef &fn, const TokenVec &toks,
             }
         }
     }
+
+    for (const std::string &callee : fn.calls)
+        if (cm::isPoolSubmitName(callee))
+            fn.submitsToPool = true;
+
+    // FP accumulations into shared state: `x += e`, `x -= e`,
+    // `x *= e`, `x /= e`, and the spelled-out `x = x + e` — where x
+    // is an FP-typed global, a field of this class, or an FP atomic.
+    for (std::size_t i = fn.bodyBegin; i + 1 < fn.bodyEnd; ++i) {
+        if (toks[i].kind != Token::Kind::Identifier)
+            continue;
+        const std::string_view op = toks[i + 1].text;
+        bool accum = cm::isAccumOp(op);
+        if (!accum && op == "=" && i + 3 < fn.bodyEnd)
+            accum = toks[i + 2].text == toks[i].text &&
+                    (toks[i + 3].text == "+" ||
+                     toks[i + 3].text == "-");
+        if (!accum)
+            continue;
+        const std::string name(toks[i].text);
+        if (locals.count(name) || paramIndex.count(name))
+            continue;
+        if (index.fpNames.count(name))
+            fn.fpAccumulates.insert(name);
+        else if (!fn.className.empty() &&
+                 index.fpNames.count(fn.className + "::" + name))
+            fn.fpAccumulates.insert(fn.className + "::" + name);
+    }
 }
 
 } // namespace
+
+std::string
+normalizeMutexKey(const SymbolIndex &index, const std::string &expr,
+                  const std::string &contextClass)
+{
+    std::string name = expr;
+    std::string receiver;
+    const std::size_t dot = expr.rfind('.');
+    if (dot != std::string::npos) {
+        receiver = expr.substr(0, dot);
+        name = expr.substr(dot + 1);
+    }
+    // Bare name / this.name inside a method of the owning class.
+    if (!contextClass.empty() &&
+        (receiver.empty() || receiver == "this")) {
+        const auto cit = index.classFields.find(contextClass);
+        if (cit != index.classFields.end() &&
+            cit->second.count(name))
+            return contextClass + "::" + name;
+    }
+    // queue.mutex where exactly one class declares a mutex member
+    // of that name: qualify by the owning class so every instance's
+    // lock folds into one lock-order node (per-instance locks of
+    // one class rank equally in the global order).
+    const auto oit = index.mutexOwners.find(name);
+    if (oit != index.mutexOwners.end()) {
+        std::string owner;
+        int classOwners = 0;
+        for (const std::string &cls : oit->second)
+            if (!cls.empty()) {
+                owner = cls;
+                ++classOwners;
+            }
+        const bool alsoGlobal = oit->second.count("") > 0;
+        if (classOwners == 1 && (!receiver.empty() || !alsoGlobal))
+            return owner + "::" + name;
+    }
+    return name;
+}
 
 SymbolIndex
 buildSymbolIndex(const std::vector<SourceFile> &sources,
@@ -537,6 +747,20 @@ buildSymbolIndex(const std::vector<SourceFile> &sources,
         summarizeBody(
             fn, tokens[static_cast<std::size_t>(fn.fileIndex)],
             index);
+    // Normalize annotation mutex expressions now that every file's
+    // classes and mutex owners are known.
+    for (FunctionDef &fn : index.functions) {
+        for (auto *ann : {&fn.annAcquires, &fn.annExcludes}) {
+            std::set<std::string> norm;
+            for (const std::string &raw : *ann)
+                norm.insert(
+                    normalizeMutexKey(index, raw, fn.className));
+            *ann = std::move(norm);
+        }
+    }
+    for (GuardedVar &guard : index.guarded)
+        guard.mutexKey = normalizeMutexKey(index, guard.mutexKey,
+                                           guard.className);
     return index;
 }
 
@@ -575,6 +799,18 @@ runProjectChecks(const Project &project,
             break;
           case Check::DeterminismTaint:
             checkDeterminismTaint(project, raw);
+            break;
+          case Check::LockDiscipline:
+            checkLockDiscipline(project, raw);
+            break;
+          case Check::AtomicsMisuse:
+            checkAtomicsMisuse(project, raw);
+            break;
+          case Check::PoolHappensBefore:
+            checkPoolHappensBefore(project, raw);
+            break;
+          case Check::FpDeterminism:
+            checkFpDeterminism(project, raw);
             break;
           default:
             break;
