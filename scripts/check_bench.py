@@ -1,11 +1,25 @@
 #!/usr/bin/env python3
-"""Compare fresh solver-bench results against the BENCH_circuit.json
-trajectory and fail on regressions.
+"""Compare fresh bench results against a recorded trajectory and
+fail on regressions.
 
-Usage:
+Usage (solver benches, BENCH_circuit.json):
   check_bench.py --trajectory BENCH_circuit.json
                  [--fig09 FIG09.json] [--microbench GBENCH.json]
                  [--tolerance 0.10] [--record --note "..."]
+
+Usage (lint wall-clock, BENCH_lint.json):
+  check_bench.py --trajectory BENCH_lint.json --lint TIMINGS.json
+                 [--record --note "..."]
+
+The lint gate reads the JSON written by `vsgpu_lint --timings` and
+applies two checks: a hard wall-clock budget (trajectory
+"budget_seconds", the CI timeout contract) and a >tolerance
+regression against the last recorded entry's wall time (trajectory
+"regression_tolerance").  Raw wall seconds are machine-dependent, so
+the regression gate only arms above "grace_floor_seconds" — a
+sub-second run that doubles from scheduler noise is not a
+regression, but a run that blows past the floor AND the recorded
+baseline by >25% is.
 
 Wall-clock times are not comparable across machines, so the gate
 works on *ratios* (dense time / sparse time for the same kernel on
@@ -166,17 +180,97 @@ def record(trajectory: dict, fresh: dict, path: str,
     print(f"check_bench: recorded entry {entry['date']} to {path}")
 
 
+def lint_fresh(path: str) -> dict:
+    """Validate and summarize a `vsgpu_lint --timings` JSON file."""
+    doc = load_json(path)
+    for key in ("files", "wall_seconds", "families"):
+        if key not in doc:
+            fail(f"{path}: missing '{key}'")
+    families = {f["check"]: float(f["seconds"])
+                for f in doc["families"]}
+    if not families:
+        fail(f"{path}: no family timings")
+    return {
+        "files": int(doc["files"]),
+        "wall_seconds": float(doc["wall_seconds"]),
+        "families": families,
+    }
+
+
+def lint_gate(trajectory: dict, fresh: dict) -> None:
+    budget = float(trajectory.get("budget_seconds", 120.0))
+    tolerance = float(trajectory.get("regression_tolerance", 0.25))
+    floor = float(trajectory.get("grace_floor_seconds", 5.0))
+    wall = fresh["wall_seconds"]
+
+    print(f"check_bench: lint wall {wall:.3f}s over "
+          f"{fresh['files']} files (budget {budget:.0f}s)")
+    if wall > budget:
+        fail(f"lint wall {wall:.3f}s exceeds the hard budget "
+             f"{budget:.0f}s")
+
+    entries = trajectory.get("entries", [])
+    if not entries:
+        fail("trajectory has no entries to compare against")
+    ref = float(entries[-1]["wall_seconds"])
+    limit = ref * (1.0 + tolerance)
+    if wall <= floor:
+        print(f"check_bench: under the {floor:.0f}s grace floor — "
+              f"regression gate not armed")
+    else:
+        status = "ok" if wall <= limit else "REGRESSION"
+        print(f"check_bench: recorded {ref:.3f}s, fresh "
+              f"{wall:.3f}s (limit {limit:.3f}s) {status}")
+        if wall > limit:
+            fail(f"lint wall regressed: {wall:.3f}s > {limit:.3f}s "
+                 f"({ref:.3f}s + {tolerance:.0%})")
+
+    slowest = sorted(fresh["families"].items(),
+                     key=lambda kv: -kv[1])[:3]
+    for name, sec in slowest:
+        print(f"check_bench: slowest family {name}: {sec:.3f}s")
+    print("check_bench: OK")
+
+
+def lint_record(trajectory: dict, fresh: dict, path: str,
+                note: str) -> None:
+    entry = {
+        "date": datetime.date.today().isoformat(),
+        "note": note,
+        "files": fresh["files"],
+        "wall_seconds": round(fresh["wall_seconds"], 3),
+        "families": {k: round(v, 3)
+                     for k, v in fresh["families"].items()},
+    }
+    trajectory.setdefault("entries", []).append(entry)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(trajectory, fh, indent=2)
+        fh.write("\n")
+    print(f"check_bench: recorded entry {entry['date']} to {path}")
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--trajectory", required=True)
     parser.add_argument("--fig09")
     parser.add_argument("--microbench")
+    parser.add_argument("--lint",
+                        help="vsgpu_lint --timings JSON to gate "
+                             "against a BENCH_lint.json trajectory")
     parser.add_argument("--tolerance", type=float, default=0.10)
     parser.add_argument("--record", action="store_true")
     parser.add_argument("--note", default="")
     args = parser.parse_args()
 
     trajectory = load_json(args.trajectory)
+    if args.lint:
+        fresh = lint_fresh(args.lint)
+        if args.record:
+            lint_record(trajectory, fresh, args.trajectory,
+                        args.note)
+        else:
+            lint_gate(trajectory, fresh)
+        return
     fresh = fresh_metrics(args)
     if args.record:
         record(trajectory, fresh, args.trajectory, args.note)

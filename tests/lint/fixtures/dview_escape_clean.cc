@@ -1,0 +1,28 @@
+// vsgpu_lint fixture: the same registry helper, but callers only
+// hand it addresses of storage that already outlives the registry
+// entry — a namespace-scope global and a long-lived field.
+#include <vector>
+
+namespace
+{
+std::vector<const double *> gSlots;
+double gSample = 0.5;
+}
+
+void
+registerSlot(const double *slot)
+{
+    gSlots.push_back(slot);
+}
+
+struct Meter
+{
+    double value = 0.0;
+    void attach() { registerSlot(&value); } // Field outlives Global? tie — silent
+};
+
+void
+setup()
+{
+    registerSlot(&gSample); // Global storage: safe to retain
+}

@@ -1,0 +1,25 @@
+// vsgpu_lint fixture: a registry helper stores its pointer argument
+// into a process-lived container; the caller hands it the address of
+// a STACK local, which outlives nothing
+// (dangling-view.escape-local).  The escape happens one call deep —
+// only the interprocedural escape summary connects the two frames.
+#include <vector>
+
+namespace
+{
+std::vector<const double *> gSlots;
+}
+
+void
+registerSlot(const double *slot)
+{
+    gSlots.push_back(slot); // parameter escapes to Global
+}
+
+double
+sample()
+{
+    double local = 0.5;
+    registerSlot(&local); // stack address outlives the frame? no.
+    return local;
+}

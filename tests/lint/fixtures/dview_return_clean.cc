@@ -1,0 +1,20 @@
+// vsgpu_lint fixture: returning the string BY VALUE transfers
+// ownership to the caller; a view of a caller-owned parameter also
+// outlives the frame.  Both shapes are silent.
+#include <string>
+#include <string_view>
+
+std::string
+label(int node)
+{
+    std::string buf = "node-";
+    buf += std::to_string(node);
+    return buf; // by value: ownership moves out
+}
+
+std::string_view
+prefix(const std::string &text)
+{
+    std::string_view v = text; // borrows caller storage
+    return v;
+}

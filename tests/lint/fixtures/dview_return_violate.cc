@@ -1,0 +1,14 @@
+// vsgpu_lint fixture: a function with a view return type hands back
+// a LOCAL string — the view outlives the frame that owns the bytes
+// (dangling-view.return-local).  No raw pointer appears anywhere, so
+// the raw-resource token family has nothing to see.
+#include <string>
+#include <string_view>
+
+std::string_view
+label(int node)
+{
+    std::string buf = "node-";
+    buf += std::to_string(node);
+    return buf; // view into a dying frame
+}

@@ -1,0 +1,19 @@
+// vsgpu_lint fixture: the owner is materialized into a named local
+// FIRST; the view then borrows storage that outlives every use in
+// this frame.
+#include <string>
+#include <string_view>
+
+std::string
+makeName()
+{
+    return "cluster";
+}
+
+std::size_t
+nameLen()
+{
+    const std::string owned = makeName();
+    std::string_view v = owned; // owner outlives the view
+    return v.size();
+}

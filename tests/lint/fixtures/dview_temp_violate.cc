@@ -1,0 +1,19 @@
+// vsgpu_lint fixture: a string_view bound to the TEMPORARY returned
+// by an owner-returning call — the temporary dies at the semicolon
+// and the view dangles immediately
+// (dangling-view.bind-temporary).
+#include <string>
+#include <string_view>
+
+std::string
+makeName()
+{
+    return "cluster";
+}
+
+std::size_t
+nameLen()
+{
+    std::string_view v = makeName(); // temporary dies here
+    return v.size();
+}

@@ -1,0 +1,7 @@
+// vsgpu_lint fixture (file A of a two-TU pair): the reader is
+// identical to the violating twin, but the provider's initializer is
+// constexpr — constant-initialized globals exist before ANY dynamic
+// initialization runs, so the cross-TU read is ordered and silent.
+extern int gWidth;
+
+int gArea = gWidth * gWidth; // gWidth is constant-initialized: safe

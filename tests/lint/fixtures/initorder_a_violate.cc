@@ -1,0 +1,8 @@
+// vsgpu_lint fixture (file A of a two-TU pair): a namespace-scope
+// global whose initializer READS a global that is dynamically
+// initialized in ANOTHER translation unit — the read races the
+// other TU's initializer, and the link order decides who wins
+// (init-order.cross-tu, the static initialization order fiasco).
+extern int gWidth;
+
+int gArea = gWidth * gWidth; // may read gWidth before its init ran

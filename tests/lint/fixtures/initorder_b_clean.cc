@@ -1,0 +1,10 @@
+// vsgpu_lint fixture (file B of a two-TU pair): the provider uses a
+// constexpr function, so gWidth is constant-initialized at compile
+// time — no dynamic initializer, no ordering hazard.
+constexpr int
+defaultWidth()
+{
+    return 32;
+}
+
+int gWidth = defaultWidth(); // constant-initialized

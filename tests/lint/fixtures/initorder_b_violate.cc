@@ -1,0 +1,10 @@
+// vsgpu_lint fixture (file B of a two-TU pair): the provider TU.
+// gWidth is DYNAMICALLY initialized (the call is not constexpr), so
+// a cross-TU reader cannot assume it ran first.
+int
+defaultWidth()
+{
+    return 32;
+}
+
+int gWidth = defaultWidth(); // dynamic init: order is link-defined

@@ -1,0 +1,13 @@
+// vsgpu_lint fixture (file A of a two-TU pair): the helper reads a
+// CONSTANT-initialized foreign global — constant initialization
+// completes before any dynamic initializer runs, so the call chain
+// is ordered and silent.
+extern int gDepth;
+
+int
+scaledDepth()
+{
+    return gDepth * 2;
+}
+
+int gScaled = scaledDepth(); // gDepth is constant-initialized: safe

@@ -1,0 +1,14 @@
+// vsgpu_lint fixture (file A of a two-TU pair): the global's
+// initializer never touches the foreign global DIRECTLY — it calls a
+// helper, and the helper's body reads a global that is dynamically
+// initialized in another TU (init-order.via-call).  Only a
+// call-graph walk can connect the initializer to the read.
+extern int gDepth;
+
+int
+scaledDepth()
+{
+    return gDepth * 2; // the hidden cross-TU read
+}
+
+int gScaled = scaledDepth(); // initializer reaches gDepth via call

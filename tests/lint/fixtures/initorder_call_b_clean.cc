@@ -1,0 +1,4 @@
+// vsgpu_lint fixture (file B of a two-TU pair): the provider global
+// is initialized from a literal — static initialization, no dynamic
+// phase, no ordering hazard for cross-TU readers.
+int gDepth = 8; // constant-initialized

@@ -1,0 +1,10 @@
+// vsgpu_lint fixture (file B of a two-TU pair): the provider TU with
+// a dynamic initializer — computeDepth is not constexpr, so gDepth's
+// value only exists once this TU's dynamic phase has run.
+int
+computeDepth()
+{
+    return 8;
+}
+
+int gDepth = computeDepth(); // dynamic init: order is link-defined

@@ -1,0 +1,16 @@
+// vsgpu_lint fixture: the loop appends to a DIFFERENT container and
+// applies the changes after the walk finishes — the iterated range
+// is never mutated mid-flight.
+#include <vector>
+
+void
+mirrorNegatives(std::vector<int> &v)
+{
+    std::vector<int> mirrored;
+    for (int x : v) {
+        if (x < 0)
+            mirrored.push_back(-x);
+    }
+    for (int m : mirrored)
+        v.push_back(m);
+}

@@ -1,0 +1,14 @@
+// vsgpu_lint fixture: a range-for over a vector whose body grows the
+// SAME vector — the hidden begin/end iterators are invalidated by
+// the first reallocation
+// (iterator-invalidation.mutate-while-iterating).
+#include <vector>
+
+void
+mirrorNegatives(std::vector<int> &v)
+{
+    for (int x : v) {
+        if (x < 0)
+            v.push_back(-x); // grows the range being walked
+    }
+}

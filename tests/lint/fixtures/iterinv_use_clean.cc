@@ -1,0 +1,18 @@
+// vsgpu_lint fixture: the reference is (re)obtained AFTER the
+// growing call, so every read goes through a binding created after
+// the last mutation.
+#include <vector>
+
+void
+appendDefaults(std::vector<int> &v)
+{
+    v.push_back(1);
+}
+
+int
+firstAfterGrow(std::vector<int> &v)
+{
+    appendDefaults(v);
+    int &slot = v.front(); // bound after the mutation
+    return slot;
+}

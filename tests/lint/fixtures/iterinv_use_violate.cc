@@ -1,0 +1,20 @@
+// vsgpu_lint fixture: a reference obtained from a vector, then a
+// helper IN ANOTHER FRAME grows the vector — reallocation moves the
+// elements and the reference points at freed storage
+// (iterator-invalidation.use-after-mutate).  The mutation is only
+// visible through the callee's mutates-parameter summary.
+#include <vector>
+
+void
+appendDefaults(std::vector<int> &v)
+{
+    v.push_back(1); // may reallocate
+}
+
+int
+firstAfterGrow(std::vector<int> &v)
+{
+    int &slot = v.front();
+    appendDefaults(v); // invalidates slot via reallocation
+    return slot;       // read through a stale reference
+}

@@ -1,0 +1,15 @@
+// vsgpu_lint fixture: the loop reinitializes the variable before
+// each move, so every std::move transfers a specified value — the
+// reassignment kills the moved-from state on the back edge.
+#include <string>
+#include <utility>
+#include <vector>
+
+void
+drain(std::vector<std::string> &sink, std::string seed, int n)
+{
+    for (int i = 0; i < n; ++i) {
+        seed = "batch";
+        sink.push_back(std::move(seed));
+    }
+}

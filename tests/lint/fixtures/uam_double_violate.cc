@@ -1,0 +1,15 @@
+// vsgpu_lint fixture: a loop body moves the SAME variable every
+// iteration — after the first trip the move transfers an
+// unspecified value (use-after-move.double-move).  The back edge of
+// the CFG carries the moved-from state into the next iteration;
+// straight-line token scanning cannot see the repeat.
+#include <string>
+#include <utility>
+#include <vector>
+
+void
+drain(std::vector<std::string> &sink, std::string seed, int n)
+{
+    for (int i = 0; i < n; ++i)
+        sink.push_back(std::move(seed)); // moved again next trip
+}

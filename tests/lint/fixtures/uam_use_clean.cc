@@ -1,0 +1,26 @@
+// vsgpu_lint fixture: the same move-sink helper, but the caller
+// reinitializes the argument before reading it again — the
+// moved-from state ends at the reassignment, so the family stays
+// silent.
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace
+{
+std::vector<std::string> gNames;
+}
+
+void
+publishName(std::string &name)
+{
+    gNames.push_back(std::move(name));
+}
+
+std::size_t
+record(std::string name)
+{
+    publishName(name);
+    name = "sent";
+    return name.size();
+}

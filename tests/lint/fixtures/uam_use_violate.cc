@@ -1,0 +1,26 @@
+// vsgpu_lint fixture: a helper whose every candidate std::move()s
+// from its by-reference parameter is a MOVE SINK — the caller's
+// argument is hollowed out even though no std::move appears at the
+// call site.  Reading the argument afterwards is use-after-move.use;
+// only the interprocedural lifetime model can see it.
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace
+{
+std::vector<std::string> gNames;
+}
+
+void
+publishName(std::string &name)
+{
+    gNames.push_back(std::move(name));
+}
+
+std::size_t
+record(std::string name)
+{
+    publishName(name);
+    return name.size(); // read of a moved-from value
+}

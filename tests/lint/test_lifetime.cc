@@ -1,0 +1,504 @@
+/**
+ * @file
+ * Tests for the lifetime layer (tools/lint/lifetime_model.hh) and
+ * its four diagnostic families: the region classification and the
+ * outlives lattice (table-driven), the per-function move/escape/
+ * mutate summaries with "via helper" provenance, the dynamic-vs-
+ * constant classification of namespace-scope initializers, and —
+ * over the fixture corpus — proof that each seeded lifetime bug is
+ * invisible to every one of the twelve v1–v3 families and caught
+ * only by its lifetime family, with the expected dotted id.
+ */
+
+#include "dataflow.hh"
+#include "lifetime_model.hh"
+#include "lint.hh"
+#include "semantic.hh"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+using namespace vsgpu::lint;
+
+namespace
+{
+
+SourceFile
+fixture(const std::string &name)
+{
+    const std::string path =
+        std::string(VSGPU_LINT_FIXTURE_DIR) + "/" + name;
+    return loadSource(path, "tests/lint/fixtures/" + name);
+}
+
+Project
+fixtureProject(std::vector<std::string> names)
+{
+    std::vector<SourceFile> sources;
+    sources.reserve(names.size());
+    for (const std::string &name : names)
+        sources.push_back(fixture(name));
+    return Project(std::move(sources));
+}
+
+Project
+projectOf(std::vector<std::pair<std::string, std::string>> files)
+{
+    std::vector<SourceFile> sources;
+    sources.reserve(files.size());
+    for (auto &[display, code] : files)
+        sources.emplace_back(display, code);
+    return Project(std::move(sources));
+}
+
+std::vector<std::string>
+messages(const std::vector<Diagnostic> &diags)
+{
+    std::vector<std::string> out;
+    out.reserve(diags.size());
+    for (const Diagnostic &d : diags)
+        out.push_back(d.message);
+    return out;
+}
+
+const FunctionDef &
+fn(const Project &project, const std::string &name)
+{
+    const auto &hits = project.lookup(name);
+    EXPECT_EQ(hits.size(), 1U) << name;
+    return project.index()
+        .functions[static_cast<std::size_t>(hits.front())];
+}
+
+int
+fnId(const Project &project, const std::string &name)
+{
+    const auto &hits = project.lookup(name);
+    EXPECT_EQ(hits.size(), 1U) << name;
+    return hits.front();
+}
+
+/** All four lifetime families over @p project. */
+std::vector<Diagnostic>
+lifetimeDiags(const Project &project)
+{
+    std::vector<Diagnostic> out;
+    checkUseAfterMove(project, out);
+    checkDanglingView(project, out);
+    checkIterInvalidation(project, out);
+    checkInitOrder(project, out);
+    return out;
+}
+
+/** The twelve v1–v3 families (token + semantic) over @p project. */
+std::vector<Diagnostic>
+legacyDiags(const Project &project)
+{
+    const std::vector<Check> legacy = {
+        Check::UnitSafety,        Check::Determinism,
+        Check::PoolConcurrency,   Check::Contracts,
+        Check::RawEscape,         Check::PoolEscape,
+        Check::UnitFlow,          Check::DeterminismTaint,
+        Check::LockDiscipline,    Check::AtomicsMisuse,
+        Check::PoolHappensBefore, Check::FpDeterminism,
+    };
+    std::vector<Diagnostic> out;
+    const CheckOptions opts;
+    for (const SourceFile &src : project.sources())
+        runChecks(src, legacy, opts, /*ignoreScope=*/true, out);
+    runProjectChecks(project, legacy, /*ignoreScope=*/true, out);
+    return out;
+}
+
+/** One fixture round-trip: every seeded bug invisible to the twelve
+ *  legacy families, caught by its lifetime family with @p id. */
+void
+expectPair(const std::vector<std::string> &violate,
+           const std::vector<std::string> &clean,
+           const std::string &id)
+{
+    const Project bad = fixtureProject(violate);
+    EXPECT_TRUE(legacyDiags(bad).empty())
+        << id << ": a v1-v3 family already sees the seeded bug: "
+        << ::testing::PrintToString(messages(legacyDiags(bad)));
+    const std::vector<Diagnostic> found = lifetimeDiags(bad);
+    ASSERT_EQ(found.size(), 1U)
+        << id << ": "
+        << ::testing::PrintToString(messages(found));
+    EXPECT_EQ(found[0].id, id);
+
+    const Project good = fixtureProject(clean);
+    EXPECT_TRUE(lifetimeDiags(good).empty())
+        << id << " clean twin: "
+        << ::testing::PrintToString(messages(lifetimeDiags(good)));
+}
+
+// ================= region lattice =================
+
+TEST(RegionLattice, RankOrderMatchesLifetimeOrder)
+{
+    struct Row
+    {
+        lm::Region region;
+        int rank;
+        std::string_view name;
+    };
+    const Row rows[] = {
+        {lm::Region::Temporary, 0, "temporary"},
+        {lm::Region::Local, 1, "local"},
+        {lm::Region::Param, 2, "param"},
+        {lm::Region::Field, 3, "field"},
+        {lm::Region::Global, 4, "global"},
+        {lm::Region::Unknown, 5, "unknown"},
+    };
+    for (const Row &row : rows) {
+        EXPECT_EQ(lm::regionRank(row.region), row.rank) << row.name;
+        EXPECT_EQ(lm::regionName(row.region), row.name);
+    }
+}
+
+TEST(RegionLattice, OutlivesIsTheRankOrder)
+{
+    const lm::Region all[] = {
+        lm::Region::Temporary, lm::Region::Local,
+        lm::Region::Param,     lm::Region::Field,
+        lm::Region::Global,    lm::Region::Unknown,
+    };
+    for (lm::Region longer : all)
+        for (lm::Region shorter : all)
+            EXPECT_EQ(lm::outlives(longer, shorter),
+                      lm::regionRank(longer) >=
+                          lm::regionRank(shorter))
+                << lm::regionName(longer) << " vs "
+                << lm::regionName(shorter);
+    // The load-bearing corner: Unknown outlives everything, so a
+    // name the model cannot place NEVER produces a finding.
+    for (lm::Region r : all)
+        EXPECT_TRUE(lm::outlives(lm::Region::Unknown, r));
+}
+
+TEST(RegionLattice, RegionOfClassifiesEveryStorageKind)
+{
+    const Project p = projectOf(
+        {{"src/a.cc",
+          "namespace { double gTotal = 0.0; }\n"
+          "class Meter\n"
+          "{\n"
+          "  public:\n"
+          "    double mix(const double &byRef, double byVal)\n"
+          "    {\n"
+          "        double local = byVal;\n"
+          "        count_ = count_ + 1;\n"
+          "        gTotal = gTotal + local;\n"
+          "        return local + byRef + mystery;\n"
+          "    }\n"
+          "  private:\n"
+          "    long count_ = 0;\n"
+          "};\n"}});
+    const FunctionDef &f = fn(p, "mix");
+    const df::Cfg cfg = df::buildCfg(
+        p.tokens(f.fileIndex), f.bodyBegin, f.bodyEnd);
+    const std::set<std::string> locals =
+        lm::localsOf(p.tokens(f.fileIndex), cfg);
+
+    struct Row
+    {
+        std::string name;
+        lm::Region region;
+    };
+    const Row rows[] = {
+        {"local", lm::Region::Local},
+        {"byVal", lm::Region::Local}, // by-value param = own frame
+        {"byRef", lm::Region::Param},
+        {"count_", lm::Region::Field},
+        {"this", lm::Region::Field},
+        {"gTotal", lm::Region::Global},
+        {"mystery", lm::Region::Unknown},
+    };
+    for (const Row &row : rows)
+        EXPECT_EQ(lm::regionOf(p.index(), f, locals, row.name),
+                  row.region)
+            << row.name;
+}
+
+TEST(RegionLattice, TypeNamePredicates)
+{
+    struct Row
+    {
+        std::string_view name;
+        bool view, owner;
+    };
+    const Row rows[] = {
+        {"string_view", true, false}, {"span", true, false},
+        {"string", false, true},      {"vector", false, true},
+        {"double", false, false},     {"Volts", false, false},
+    };
+    for (const Row &row : rows) {
+        EXPECT_EQ(lm::isViewTypeName(row.name), row.view)
+            << row.name;
+        EXPECT_EQ(lm::isOwnerTypeName(row.name), row.owner)
+            << row.name;
+    }
+    EXPECT_TRUE(lm::isInvalidatingMemberName("push_back"));
+    EXPECT_TRUE(lm::isInvalidatingMemberName("erase"));
+    EXPECT_FALSE(lm::isInvalidatingMemberName("size"));
+    EXPECT_TRUE(lm::isReinitMemberName("clear"));
+    EXPECT_FALSE(lm::isReinitMemberName("push_back"));
+    EXPECT_TRUE(lm::isInsertingMemberName("push_back"));
+    EXPECT_FALSE(lm::isInsertingMemberName("erase"));
+}
+
+// ================= function summaries =================
+
+TEST(LifetimeModel, ReturnInfoSurvivesAnIncludeBlock)
+{
+    // Regression: directive tokens are not scrubbed, so the return
+    // type of the FIRST function after an include block used to
+    // parse as "include".
+    const Project p = projectOf(
+        {{"src/a.cc",
+          "#include <string>\n"
+          "#include <string_view>\n"
+          "std::string_view viewer() { return {}; }\n"
+          "std::string owner() { return {}; }\n"
+          "const std::string &refer(const std::string &s)\n"
+          "{ return s; }\n"
+          "constexpr int answer() { return 42; }\n"}});
+    const lm::FunctionLifetime &viewer =
+        p.lifetime().of(fnId(p, "viewer"));
+    EXPECT_EQ(viewer.ret.type, "string_view");
+    EXPECT_TRUE(viewer.ret.isView);
+    EXPECT_FALSE(viewer.ret.byRef);
+    const lm::FunctionLifetime &owner =
+        p.lifetime().of(fnId(p, "owner"));
+    EXPECT_TRUE(owner.ret.isOwner);
+    EXPECT_FALSE(owner.ret.byRef);
+    const lm::FunctionLifetime &refer =
+        p.lifetime().of(fnId(p, "refer"));
+    EXPECT_TRUE(refer.ret.byRef);
+    EXPECT_TRUE(p.lifetime().of(fnId(p, "answer")).isConstexpr);
+}
+
+TEST(LifetimeModel, MoveSummaryPropagatesWithProvenance)
+{
+    const Project p = projectOf(
+        {{"src/a.cc",
+          "#include <string>\n"
+          "#include <utility>\n"
+          "#include <vector>\n"
+          "namespace { std::vector<std::string> gLog; }\n"
+          "void sink(std::string &s)\n"
+          "{ gLog.push_back(std::move(s)); }\n"
+          "void relay(std::string &s) { sink(s); }\n"}});
+    const lm::FunctionLifetime &sink =
+        p.lifetime().of(fnId(p, "sink"));
+    EXPECT_EQ(sink.movesParams.count(0), 1U);
+    const lm::FunctionLifetime &relay =
+        p.lifetime().of(fnId(p, "relay"));
+    EXPECT_EQ(relay.movesParams.count(0), 1U);
+    ASSERT_EQ(relay.moveVia.count(0), 1U);
+    EXPECT_EQ(relay.moveVia.at(0), "via sink");
+}
+
+TEST(LifetimeModel, EscapeAndMutateSummaries)
+{
+    const Project p = projectOf(
+        {{"src/a.cc",
+          "#include <vector>\n"
+          "namespace { std::vector<const double *> gSlots; }\n"
+          "void keep(const double *slot)\n"
+          "{ gSlots.push_back(slot); }\n"
+          "void grow(std::vector<int> &v) { v.push_back(1); }\n"
+          "void peek(const std::vector<int> &v) { v.size(); }\n"}});
+    EXPECT_EQ(
+        p.lifetime().of(fnId(p, "keep")).escapesParams.count(0),
+        1U);
+    EXPECT_EQ(
+        p.lifetime().of(fnId(p, "grow")).mutatesParams.count(0),
+        1U);
+    const lm::FunctionLifetime &peek =
+        p.lifetime().of(fnId(p, "peek"));
+    EXPECT_TRUE(peek.mutatesParams.empty())
+        << "const receiver must not count as mutation";
+    EXPECT_TRUE(peek.escapesParams.empty());
+}
+
+TEST(LifetimeModel, GlobalInitDynamicClassification)
+{
+    const Project p = projectOf(
+        {{"src/a.cc",
+          "int plain = 8;\n"
+          "constexpr int fold() { return 4; }\n"
+          "int folded = fold();\n"
+          "int runtime();\n"
+          "int eager = runtime();\n"
+          "int runtime() { return 5; }\n"}});
+    struct Row
+    {
+        std::string name;
+        bool dynamic;
+    };
+    const Row rows[] = {
+        {"plain", false},  // literal: constant-initialized
+        {"folded", false}, // constexpr call folds at compile time
+        {"eager", true},   // non-constexpr call: dynamic init
+    };
+    for (const Row &row : rows) {
+        const auto &idx = p.lifetime().initsOf(row.name);
+        ASSERT_EQ(idx.size(), 1U) << row.name;
+        EXPECT_EQ(p.lifetime()
+                      .globalInits()[static_cast<std::size_t>(
+                          idx.front())]
+                      .dynamic,
+                  row.dynamic)
+            << row.name;
+    }
+}
+
+TEST(LifetimeModel, DefaultArgumentsAreNotGlobalInits)
+{
+    // Regression: a default argument inside a function parameter
+    // list (`int instrs = defaultInstrs`) used to be scanned as a
+    // namespace-scope initializer, inventing init-order readers.
+    const Project p = projectOf(
+        {{"src/a.cc",
+          "int defaultInstrs();\n"
+          "double hash01(unsigned long seed, unsigned long a,\n"
+          "              unsigned long b = 0);\n"
+          "int spec(int instrs = defaultInstrs());\n"}});
+    EXPECT_TRUE(p.lifetime().initsOf("b").empty());
+    EXPECT_TRUE(p.lifetime().initsOf("instrs").empty());
+    std::vector<Diagnostic> diags;
+    checkInitOrder(p, diags);
+    EXPECT_TRUE(diags.empty())
+        << ::testing::PrintToString(messages(diags));
+}
+
+// ================= fixture corpus =================
+
+TEST(LifetimeFixtures, UseAfterMoveThroughSinkParameter)
+{
+    expectPair({"uam_use_violate.cc"}, {"uam_use_clean.cc"},
+               "use-after-move.use");
+}
+
+TEST(LifetimeFixtures, DoubleMoveAcrossLoopBackEdge)
+{
+    expectPair({"uam_double_violate.cc"}, {"uam_double_clean.cc"},
+               "use-after-move.double-move");
+}
+
+TEST(LifetimeFixtures, ViewReturnOfLocalStorage)
+{
+    expectPair({"dview_return_violate.cc"},
+               {"dview_return_clean.cc"},
+               "dangling-view.return-local");
+}
+
+TEST(LifetimeFixtures, ViewBoundToOwningTemporary)
+{
+    expectPair({"dview_temp_violate.cc"}, {"dview_temp_clean.cc"},
+               "dangling-view.bind-temporary");
+}
+
+TEST(LifetimeFixtures, LocalAddressEscapesThroughRegistry)
+{
+    expectPair({"dview_escape_violate.cc"},
+               {"dview_escape_clean.cc"},
+               "dangling-view.escape-local");
+}
+
+TEST(LifetimeFixtures, ReferenceStaleAfterCalleeMutation)
+{
+    expectPair({"iterinv_use_violate.cc"}, {"iterinv_use_clean.cc"},
+               "iterator-invalidation.use-after-mutate");
+}
+
+TEST(LifetimeFixtures, RangeForBodyGrowsItsOwnRange)
+{
+    expectPair({"iterinv_loop_violate.cc"},
+               {"iterinv_loop_clean.cc"},
+               "iterator-invalidation.mutate-while-iterating");
+}
+
+TEST(LifetimeFixtures, CrossTuDynamicInitRead)
+{
+    expectPair({"initorder_a_violate.cc", "initorder_b_violate.cc"},
+               {"initorder_a_clean.cc", "initorder_b_clean.cc"},
+               "init-order.cross-tu");
+}
+
+TEST(LifetimeFixtures, CrossTuReadHiddenBehindACall)
+{
+    expectPair({"initorder_call_a_violate.cc",
+                "initorder_call_b_violate.cc"},
+               {"initorder_call_a_clean.cc",
+                "initorder_call_b_clean.cc"},
+               "init-order.via-call");
+}
+
+// ================= family mechanics =================
+
+TEST(LifetimeFamilies, WaiversSuppressEachFamily)
+{
+    const Project p = projectOf(
+        {{"src/a.cc",
+          "#include <string>\n"
+          "#include <string_view>\n"
+          "std::string_view label()\n"
+          "{\n"
+          "    std::string buf = \"node\";\n"
+          "    // vsgpu-lint: view-ok(caller copies immediately)\n"
+          "    return buf;\n"
+          "}\n"}});
+    std::vector<Diagnostic> diags;
+    checkDanglingView(p, diags);
+    EXPECT_TRUE(diags.empty())
+        << ::testing::PrintToString(messages(diags));
+}
+
+TEST(LifetimeFamilies, DedupeKeepsTheHighestPriorityFamily)
+{
+    std::vector<Diagnostic> diags = {
+        {"src/a.cc", 7, Check::DanglingView, "view msg",
+         "dangling-view.escape-local", 5},
+        {"src/a.cc", 7, Check::UseAfterMove, "move msg",
+         "use-after-move.use", 5},
+        {"src/a.cc", 9, Check::DanglingView, "other line",
+         "dangling-view.escape-local", 5},
+    };
+    dedupeFamilyOverlap(diags);
+    std::set<std::string> ids;
+    for (const Diagnostic &d : diags)
+        ids.insert(d.id);
+    EXPECT_EQ(ids.count("use-after-move.use"), 1U);
+    EXPECT_EQ(diags.size(), 2U)
+        << "same-line dangling-view must yield to use-after-move";
+}
+
+TEST(LifetimeFamilies, NewFamiliesAreRegistered)
+{
+    struct Row
+    {
+        Check check;
+        std::string_view name;
+    };
+    const Row rows[] = {
+        {Check::UseAfterMove, "use-after-move"},
+        {Check::DanglingView, "dangling-view"},
+        {Check::IterInvalidation, "iterator-invalidation"},
+        {Check::InitOrder, "init-order"},
+    };
+    for (const Row &row : rows) {
+        EXPECT_EQ(checkName(row.check), row.name);
+        EXPECT_TRUE(isProjectCheck(row.check)) << row.name;
+        Check parsed = Check::UnitSafety;
+        EXPECT_TRUE(parseCheckName(row.name, parsed)) << row.name;
+        EXPECT_EQ(parsed, row.check);
+    }
+}
+
+} // namespace

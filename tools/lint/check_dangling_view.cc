@@ -1,0 +1,554 @@
+/**
+ * @file
+ * Family: dangling-view (semantic, project-wide).
+ *
+ * A view (string_view, span, reference, pointer, iterator) borrows
+ * storage it does not own; it is safe exactly while its referent's
+ * region outlives every region the view escapes to — the outlives
+ * lattice of lifetime_model.hh.  Three ways to break that:
+ *
+ *   dangling-view.return-local    a function returning by reference
+ *       or returning a view type hands back storage from its own
+ *       frame: `return localBuf;` from a `std::string_view f()`.
+ *       By-value parameters count — they live in the callee frame.
+ *   dangling-view.bind-temporary  a view variable bound to an
+ *       owning value a call returns by value: the temporary dies at
+ *       the end of the full-expression and the view dangles on the
+ *       next line (`std::string_view v = makeName();`).  Reference
+ *       declarations are exempt — lifetime extension keeps the
+ *       temporary alive.
+ *   dangling-view.escape-local    the address or a view of a local
+ *       stored into Field/Global/Param-region storage that outlives
+ *       the frame: a bare `&local` assigned to a member, pushed
+ *       into a long-lived registry container (the StatsGroup /
+ *       Tracer shape), or passed to a callee whose parameter the
+ *       lifetime model knows escapes ("via helper" provenance).
+ *
+ * Suppress-only discipline: a name the region model cannot place, a
+ * pointer/view local with no tracked referent, or a call with an
+ * unresolvable candidate never flags.
+ *
+ * Waiver: // vsgpu-lint: view-ok(<reason>).
+ */
+
+#include "concurrency_model.hh"
+#include "dataflow.hh"
+#include "lifetime_model.hh"
+#include "semantic.hh"
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace vsgpu::lint
+{
+
+namespace
+{
+
+using TokenVec = std::vector<Token>;
+constexpr std::string_view kWaiver = "vsgpu-lint: view-ok";
+
+void
+emit(const Project &project, int fileIndex, std::size_t offset,
+     const std::string &id, std::string message,
+     std::vector<Diagnostic> &out)
+{
+    const SourceFile &src =
+        project.sources()[static_cast<std::size_t>(fileIndex)];
+    const int line = src.lineOf(offset);
+    if (src.hasWaiver(line, kWaiver))
+        return;
+    out.push_back({src.display(), line, Check::DanglingView,
+                   std::move(message), id,
+                   cm::columnOf(src, offset)});
+}
+
+/** What a function body knows about its declared locals. */
+struct LocalFacts
+{
+    std::map<std::string, std::string> declType;
+    std::set<std::string> refs;  ///< declared `T &name`
+    std::set<std::string> ptrs;  ///< declared `T *name`
+    std::set<std::string> views; ///< declType is a view type
+    /** view/pointer local -> the Local-region name it borrows. */
+    std::map<std::string, std::string> viewOf;
+};
+
+/** Token index of @p name inside [begin, end), or end. */
+std::size_t
+findName(const TokenVec &toks, std::size_t begin, std::size_t end,
+         const std::string &name)
+{
+    for (std::size_t i = begin; i < end; ++i)
+        if (toks[i].kind == Token::Kind::Identifier &&
+            toks[i].text == name)
+            return i;
+    return end;
+}
+
+LocalFacts
+collectLocalFacts(const Project &project, const FunctionDef &fn,
+                  const TokenVec &toks,
+                  const std::vector<const df::Stmt *> &stmts,
+                  const std::set<std::string> &locals)
+{
+    LocalFacts facts;
+    for (const ParamInfo &p : fn.params)
+        if (!p.name.empty())
+            facts.declType[p.name] = p.type;
+    for (const df::Stmt *stmt : stmts) {
+        if (!stmt->declares || stmt->defs.empty())
+            continue;
+        const std::string &name = stmt->defs.front();
+        facts.declType[name] = stmt->declType;
+        if (lm::isViewTypeName(stmt->declType))
+            facts.views.insert(name);
+        const std::size_t at =
+            findName(toks, stmt->tokBegin, stmt->tokEnd, name);
+        if (at != stmt->tokEnd && at > stmt->tokBegin) {
+            const std::string_view prev = toks[at - 1].text;
+            if (prev == "&" || prev == "&&")
+                facts.refs.insert(name);
+            else if (prev == "*")
+                facts.ptrs.insert(name);
+        }
+        // A view/pointer bound to exactly one call-free Local
+        // source is a tracked borrow; anything structured stays
+        // Unknown (and never flags).
+        const bool viewish = facts.views.count(name) ||
+                             facts.ptrs.count(name);
+        if (viewish && stmt->calls.empty() &&
+            stmt->uses.size() == 1) {
+            const std::string &src = stmt->uses.front();
+            if (src != name &&
+                lm::regionOf(project.index(), fn, locals, src) ==
+                    lm::Region::Local &&
+                !facts.ptrs.count(src) && !facts.refs.count(src) &&
+                !facts.views.count(src))
+                facts.viewOf[name] = src;
+        }
+    }
+    return facts;
+}
+
+/** First variable root a return statement hands back, "" if the
+ *  returned expression is a call or literal.  @p derefed is set
+ *  when the root is dereferenced (`*p`, `it->second`) — the
+ *  returned storage then lives wherever the pointee does, not in
+ *  the root itself. */
+std::string
+returnedRoot(const TokenVec &toks, const df::Stmt &stmt,
+             bool &derefed)
+{
+    derefed = false;
+    std::size_t i = stmt.tokBegin;
+    while (i < stmt.tokEnd && toks[i].text != "return")
+        ++i;
+    for (++i; i < stmt.tokEnd; ++i) {
+        const Token &tok = toks[i];
+        if (tok.text == "*") {
+            derefed = true;
+            continue;
+        }
+        if (tok.text == "(" || tok.text == "&")
+            continue;
+        if (tok.kind != Token::Kind::Identifier)
+            return "";
+        // Skip namespace qualifiers (std::..., detail::...).
+        if (i + 1 < stmt.tokEnd && toks[i + 1].text == "::") {
+            ++i;
+            continue;
+        }
+        if (i + 1 < stmt.tokEnd && toks[i + 1].text == "(")
+            return ""; // a call, not a variable
+        if (i + 1 < stmt.tokEnd && toks[i + 1].text == "->")
+            derefed = true;
+        // `return it == m.end() ? a : b;` — the first identifier
+        // is an operand of a comparison/ternary, not the returned
+        // storage; the cheap extraction cannot tell which branch
+        // wins, so stay silent (suppress-only discipline).
+        if (i + 1 < stmt.tokEnd) {
+            const std::string_view next = toks[i + 1].text;
+            if (next == "==" || next == "!=" || next == "<" ||
+                next == ">" || next == "<=" || next == ">=" ||
+                next == "?" || next == "&&" || next == "||")
+                return "";
+        }
+        return std::string(tok.text);
+    }
+    return "";
+}
+
+void
+checkReturnLocal(const Project &project, const FunctionDef &fn,
+                 int fnId, const TokenVec &toks,
+                 const std::vector<const df::Stmt *> &stmts,
+                 const std::set<std::string> &locals,
+                 const LocalFacts &facts,
+                 std::vector<Diagnostic> &out)
+{
+    const lm::ReturnInfo &ret = project.lifetime().of(fnId).ret;
+    if (!ret.byRef && !ret.isView)
+        return;
+    for (const df::Stmt *stmt : stmts) {
+        if (!stmt->isReturn)
+            continue;
+        bool derefed = false;
+        const std::string root =
+            returnedRoot(toks, *stmt, derefed);
+        if (root.empty() || facts.refs.count(root))
+            continue;
+        if (lm::regionOf(project.index(), fn, locals, root) !=
+            lm::Region::Local)
+            continue;
+        // A pointer/view local — or a dereferenced root (`*p`,
+        // `it->second`: an iterator designates container storage,
+        // not its own frame slot) — only dangles when we know what
+        // it borrows; an untracked one may alias long-lived
+        // storage.
+        std::string borrowed;
+        if (derefed || facts.ptrs.count(root) ||
+            facts.views.count(root) ||
+            project.index().pointerNames.count(root)) {
+            const auto it = facts.viewOf.find(root);
+            if (it == facts.viewOf.end())
+                continue;
+            borrowed = it->second;
+        }
+        std::string what =
+            ret.isView ? "a view" : "a reference";
+        std::string msg =
+            "function returns " + what + " into local '" +
+            (borrowed.empty() ? root : borrowed) +
+            "', whose storage dies with this frame";
+        if (!borrowed.empty())
+            msg += " (borrowed through '" + root + "')";
+        msg += " — the caller receives a dangling " +
+               std::string(ret.isView ? "view" : "reference") +
+               "; return by value or take the storage from the "
+               "caller";
+        emit(project, fn.fileIndex, stmt->offset,
+             "dangling-view.return-local", std::move(msg), out);
+    }
+}
+
+void
+checkBindTemporary(const Project &project, const FunctionDef &fn,
+                   const std::vector<const df::Stmt *> &stmts,
+                   const LocalFacts &facts,
+                   std::vector<Diagnostic> &out)
+{
+    for (const df::Stmt *stmt : stmts) {
+        std::string target;
+        if (stmt->declares && !stmt->defs.empty() &&
+            facts.views.count(stmt->defs.front()) &&
+            !facts.refs.count(stmt->defs.front()))
+            target = stmt->defs.front();
+        else if (!stmt->declares && stmt->defs.size() == 1 &&
+                 !stmt->defThrough &&
+                 facts.views.count(stmt->defs.front()))
+            target = stmt->defs.front();
+        if (target.empty())
+            continue;
+        for (const df::CallRef &call : stmt->calls) {
+            std::string producer;
+            if (call.receiver.empty()) {
+                const std::vector<int> &cands =
+                    project.lookup(call.callee);
+                if (cands.empty())
+                    continue;
+                bool allOwnerByValue = true;
+                for (int id : cands) {
+                    const lm::ReturnInfo &ret =
+                        project.lifetime().of(id).ret;
+                    if (!ret.isOwner || ret.byRef)
+                        allOwnerByValue = false;
+                }
+                if (!allOwnerByValue)
+                    continue;
+                producer = call.callee + "()";
+            } else {
+                // s.substr(...) / oss.str() hand back an owning
+                // temporary — but only claim so when the receiver's
+                // type is a known owner.
+                if (call.callee != "substr" && call.callee != "str")
+                    continue;
+                const auto it = facts.declType.find(call.receiver);
+                if (it == facts.declType.end() ||
+                    !lm::isOwnerTypeName(it->second))
+                    continue;
+                producer = call.receiver + "." + call.callee + "()";
+            }
+            emit(project, fn.fileIndex, stmt->offset,
+                 "dangling-view.bind-temporary",
+                 "view '" + target +
+                     "' is bound to the owning temporary returned "
+                     "by '" +
+                     producer +
+                     "' — the temporary dies at the end of this "
+                     "statement and the view dangles; bind a named "
+                     "owner first (or bind a const reference, which "
+                     "extends the temporary's lifetime)",
+                 out);
+            break;
+        }
+    }
+}
+
+void
+checkEscapeLocal(const Project &project, const FunctionDef &fn,
+                 const TokenVec &toks,
+                 const std::vector<const df::Stmt *> &stmts,
+                 const std::set<std::string> &locals,
+                 const LocalFacts &facts,
+                 std::vector<Diagnostic> &out)
+{
+    const SymbolIndex &index = project.index();
+    const int fieldRank = lm::regionRank(lm::Region::Field);
+    const int localRank = lm::regionRank(lm::Region::Local);
+
+    // The Local-region names whose address/view escaping matters:
+    // tracked borrows expand to their referent for the message.
+    const auto localNamed = [&](const std::string &name) {
+        return lm::regionOf(index, fn, locals, name) ==
+                   lm::Region::Local &&
+               !facts.refs.count(name);
+    };
+
+    for (const df::Stmt *stmt : stmts) {
+        // --- (a) assignment into longer-lived storage ------------
+        if (!stmt->declares && !stmt->defs.empty()) {
+            const std::string &target = stmt->defs.front();
+            const lm::Region tr =
+                lm::regionOf(index, fn, locals, target);
+            if (tr != lm::Region::Unknown &&
+                lm::regionRank(tr) >= fieldRank) {
+                // Find the top-level '=' so only RHS mentions count.
+                std::size_t eq = stmt->tokEnd;
+                int depth = 0;
+                for (std::size_t i = stmt->tokBegin;
+                     i < stmt->tokEnd; ++i) {
+                    const std::string_view t = toks[i].text;
+                    if (t == "(" || t == "[" || t == "{")
+                        ++depth;
+                    else if (t == ")" || t == "]" || t == "}")
+                        --depth;
+                    else if (t == "=" && depth == 0) {
+                        eq = i;
+                        break;
+                    }
+                }
+                if (eq != stmt->tokEnd) {
+                    for (const std::string &name : locals) {
+                        if (!localNamed(name))
+                            continue;
+                        if (lm::addressTakenIn(toks, eq + 1,
+                                               stmt->tokEnd,
+                                               name)) {
+                            emit(project, fn.fileIndex,
+                                 stmt->offset,
+                                 "dangling-view.escape-local",
+                                 "address of local '" + name +
+                                     "' is stored into " +
+                                     std::string(
+                                         lm::regionName(tr)) +
+                                     "-region '" + target +
+                                     "', which outlives this "
+                                     "frame — the stored pointer "
+                                     "dangles on return; store a "
+                                     "copy or heap-owned storage",
+                                 out);
+                            break;
+                        }
+                    }
+                    // A tracked view of a local assigned whole.
+                    const std::string sole = lm::soleIdentArg(
+                        toks, eq + 1, stmt->tokEnd);
+                    const auto vit = facts.viewOf.find(sole);
+                    if (vit != facts.viewOf.end())
+                        emit(project, fn.fileIndex, stmt->offset,
+                             "dangling-view.escape-local",
+                             "view '" + sole + "' of local '" +
+                                 vit->second + "' is stored into " +
+                                 std::string(lm::regionName(tr)) +
+                                 "-region '" + target +
+                                 "', which outlives this frame — "
+                                 "the view dangles on return; "
+                                 "store an owning copy",
+                             out);
+                }
+            }
+        }
+
+        for (const df::CallRef &call : stmt->calls) {
+            // --- (b) insertion into a longer-lived container -----
+            if (!call.receiver.empty() &&
+                lm::isInsertingMemberName(call.callee)) {
+                const lm::Region rr =
+                    lm::regionOf(index, fn, locals, call.receiver);
+                if (rr == lm::Region::Unknown ||
+                    lm::regionRank(rr) <= localRank)
+                    continue;
+                const std::size_t nameTok = lm::tokenAt(
+                    toks, stmt->tokBegin, stmt->tokEnd,
+                    call.nameOffset);
+                if (nameTok + 1 >= stmt->tokEnd ||
+                    toks[nameTok + 1].text != "(")
+                    continue;
+                for (const auto &[ab, ae] :
+                     lm::argTokenRanges(toks, nameTok + 1)) {
+                    const std::string sole =
+                        lm::soleIdentArg(toks, ab, ae);
+                    const bool addressed =
+                        ae - ab == 2 && toks[ab].text == "&";
+                    std::string borrowed;
+                    if (addressed && localNamed(sole))
+                        borrowed = sole;
+                    else if (!addressed) {
+                        const auto vit = facts.viewOf.find(sole);
+                        if (vit != facts.viewOf.end())
+                            borrowed = vit->second;
+                    }
+                    if (borrowed.empty())
+                        continue;
+                    emit(project, fn.fileIndex, stmt->offset,
+                         "dangling-view.escape-local",
+                         std::string(addressed ? "address of"
+                                               : "view of") +
+                             " local '" + borrowed +
+                             "' is inserted into " +
+                             std::string(lm::regionName(rr)) +
+                             "-region container '" +
+                             call.receiver +
+                             "', which outlives this frame — the "
+                             "registered entry dangles after "
+                             "return; register an owning copy or "
+                             "storage with matching lifetime",
+                         out);
+                    break;
+                }
+                continue;
+            }
+
+            // --- (c) callee whose parameter escapes --------------
+            if (!call.receiver.empty())
+                continue;
+            const std::vector<int> &cands =
+                project.lookup(call.callee);
+            if (cands.empty())
+                continue;
+            const std::size_t nameTok =
+                lm::tokenAt(toks, stmt->tokBegin, stmt->tokEnd,
+                            call.nameOffset);
+            if (nameTok + 1 >= stmt->tokEnd ||
+                toks[nameTok + 1].text != "(")
+                continue;
+            const auto argRanges =
+                lm::argTokenRanges(toks, nameTok + 1);
+            for (std::size_t k = 0; k < argRanges.size(); ++k) {
+                // ALL candidates must agree the parameter escapes
+                // (and, for a plain argument, bind by reference).
+                bool allEscape = !cands.empty();
+                bool allByRef = true;
+                std::string via;
+                for (int id : cands) {
+                    const lm::FunctionLifetime &lt =
+                        project.lifetime().of(id);
+                    if (!lt.escapesParams.count(
+                            static_cast<int>(k))) {
+                        allEscape = false;
+                        break;
+                    }
+                    const FunctionDef &callee =
+                        index.functions[static_cast<std::size_t>(
+                            id)];
+                    if (k >= callee.params.size() ||
+                        !callee.params[k].byRef)
+                        allByRef = false;
+                    if (via.empty()) {
+                        const auto vit = lt.escapeVia.find(
+                            static_cast<int>(k));
+                        via = vit == lt.escapeVia.end()
+                                  ? "via " + call.callee
+                                  : "via " + call.callee + " " +
+                                        vit->second.substr(4);
+                    }
+                }
+                if (!allEscape)
+                    continue;
+                const auto &[ab, ae] = argRanges[k];
+                const std::string sole =
+                    lm::soleIdentArg(toks, ab, ae);
+                const bool addressed =
+                    ae - ab == 2 && toks[ab].text == "&";
+                std::string borrowed;
+                if (addressed && localNamed(sole))
+                    borrowed = sole;
+                else if (!addressed && allByRef &&
+                         localNamed(sole) &&
+                         !facts.ptrs.count(sole))
+                    borrowed = sole;
+                else if (!addressed) {
+                    const auto vit = facts.viewOf.find(sole);
+                    if (vit != facts.viewOf.end())
+                        borrowed = vit->second;
+                }
+                if (borrowed.empty())
+                    continue;
+                emit(project, fn.fileIndex, stmt->offset,
+                     "dangling-view.escape-local",
+                     "local '" + borrowed + "' escapes through '" +
+                         call.callee +
+                         "', which stores its parameter into "
+                         "longer-lived storage (" +
+                         via +
+                         ") — the stored reference outlives this "
+                         "frame and dangles; pass an owning copy "
+                         "or hoist the storage",
+                     out);
+            }
+        }
+    }
+}
+
+void
+analyzeFunction(const Project &project, const FunctionDef &fn,
+                int fnId, std::vector<Diagnostic> &out)
+{
+    if (fn.bodyBegin >= fn.bodyEnd)
+        return;
+    const TokenVec &toks = project.tokens(fn.fileIndex);
+    const df::Cfg cfg =
+        df::buildCfg(toks, fn.bodyBegin, fn.bodyEnd);
+    if (cfg.blocks.empty())
+        return;
+    const std::set<std::string> locals = lm::localsOf(toks, cfg);
+    std::vector<const df::Stmt *> stmts;
+    for (const df::Block &block : cfg.blocks)
+        for (const df::Stmt &stmt : block.stmts)
+            stmts.push_back(&stmt);
+
+    const LocalFacts facts =
+        collectLocalFacts(project, fn, toks, stmts, locals);
+    checkReturnLocal(project, fn, fnId, toks, stmts, locals, facts,
+                     out);
+    checkBindTemporary(project, fn, stmts, facts, out);
+    checkEscapeLocal(project, fn, toks, stmts, locals, facts, out);
+}
+
+} // namespace
+
+void
+checkDanglingView(const Project &project,
+                  std::vector<Diagnostic> &out)
+{
+    const std::vector<FunctionDef> &fns =
+        project.index().functions;
+    for (std::size_t id = 0; id < fns.size(); ++id)
+        analyzeFunction(project, fns[id], static_cast<int>(id),
+                        out);
+}
+
+} // namespace vsgpu::lint

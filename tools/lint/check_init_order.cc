@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Family: init-order (semantic, project-wide).
+ *
+ * Dynamic initialization of namespace-scope variables runs in an
+ * unspecified order ACROSS translation units (the static
+ * initialization order fiasco).  An initializer that reads another
+ * TU's dynamically initialized global may observe it
+ * zero-initialized — and whether it does changes with link order,
+ * so the bug appears and vanishes with unrelated edits.  This is
+ * exactly the class solver.hh's process-global default avoids by
+ * construction (constant-initializable), and the family keeps it
+ * avoided:
+ *
+ *   init-order.cross-tu    a namespace-scope initializer reads a
+ *       global whose own initializer is dynamic (calls a
+ *       non-constexpr function or reads mutable state) and lives in
+ *       a different .cc file.
+ *   init-order.via-call    the read hides one call deep: the
+ *       initializer calls a helper (unambiguous, single candidate)
+ *       whose body reads the other TU's dynamic global.
+ *
+ * Constant-initialized targets (const/constexpr, literal
+ * initializers) never flag — constant initialization happens before
+ * any dynamic initializer runs.  Targets declared in headers are
+ * skipped too: every includer sees the definition, so there is no
+ * cross-TU ordering question the token model can settle.  Fix:
+ * function-local static (construct-on-first-use), or make the
+ * target constant-initializable.
+ *
+ * Waiver: // vsgpu-lint: initorder-ok(<reason>).
+ */
+
+#include "concurrency_model.hh"
+#include "lifetime_model.hh"
+#include "semantic.hh"
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace vsgpu::lint
+{
+
+namespace
+{
+
+using TokenVec = std::vector<Token>;
+constexpr std::string_view kWaiver = "vsgpu-lint: initorder-ok";
+
+void
+emit(const Project &project, int fileIndex, std::size_t offset,
+     const std::string &id, std::string message,
+     std::vector<Diagnostic> &out)
+{
+    const SourceFile &src =
+        project.sources()[static_cast<std::size_t>(fileIndex)];
+    const int line = src.lineOf(offset);
+    if (src.hasWaiver(line, kWaiver))
+        return;
+    out.push_back({src.display(), line, Check::InitOrder,
+                   std::move(message), id,
+                   cm::columnOf(src, offset)});
+}
+
+bool
+endsWith(std::string_view str, std::string_view suffix)
+{
+    return str.size() >= suffix.size() &&
+           str.substr(str.size() - suffix.size()) == suffix;
+}
+
+/** The dynamic GlobalInit for @p name defined in another .cc than
+ *  file @p readerFile, or nullptr. */
+const lm::GlobalInit *
+dynamicInitElsewhere(const Project &project, const std::string &name,
+                     int readerFile)
+{
+    const lm::LifetimeModel &model = project.lifetime();
+    for (int idx : model.initsOf(name)) {
+        const lm::GlobalInit &init =
+            model.globalInits()[static_cast<std::size_t>(idx)];
+        if (!init.dynamic || init.fileIndex == readerFile)
+            continue;
+        const std::string &display =
+            project.sources()[static_cast<std::size_t>(
+                                  init.fileIndex)]
+                .display();
+        // Header-defined targets are visible to every includer;
+        // only a .cc-private dynamic initializer has an order that
+        // genuinely depends on link order.
+        if (!endsWith(display, ".cc") && !endsWith(display, ".cpp"))
+            continue;
+        return &init;
+    }
+    return nullptr;
+}
+
+std::string
+citeTarget(const Project &project, const lm::GlobalInit &target)
+{
+    return "'" + target.name + "', dynamically initialized in " +
+           project.sources()[static_cast<std::size_t>(
+                                 target.fileIndex)]
+               .display() +
+           ":" + std::to_string(target.line);
+}
+
+/** Is token @p i a variable read (not a member, qualifier, or
+ *  declaration context)? */
+bool
+isVarRead(const TokenVec &toks, std::size_t i)
+{
+    if (toks[i].kind != Token::Kind::Identifier)
+        return false;
+    if (i > 0 && (toks[i - 1].text == "." ||
+                  toks[i - 1].text == "->" ||
+                  toks[i - 1].text == "::" ||
+                  toks[i - 1].text == "&"))
+        return false;
+    if (i + 1 < toks.size() && toks[i + 1].text == "::")
+        return false;
+    return true;
+}
+
+void
+scanReader(const Project &project, const lm::GlobalInit &reader,
+           std::vector<Diagnostic> &out)
+{
+    const SymbolIndex &index = project.index();
+    const TokenVec &toks = project.tokens(reader.fileIndex);
+    // One report per (reader, name): `gW * gW` is one hazard.
+    std::set<std::string> reported;
+
+    for (std::size_t i = reader.initBegin;
+         i < reader.initEnd && i < toks.size(); ++i) {
+        if (!isVarRead(toks, i))
+            continue;
+        const std::string name(toks[i].text);
+        if (name == reader.name || reported.count(name))
+            continue;
+        const bool isCall =
+            i + 1 < toks.size() && toks[i + 1].text == "(";
+
+        if (!isCall) {
+            const lm::GlobalInit *target = dynamicInitElsewhere(
+                project, name, reader.fileIndex);
+            if (target == nullptr)
+                continue;
+            reported.insert(name);
+            emit(project, reader.fileIndex, toks[i].offset,
+                 "init-order.cross-tu",
+                 "initializer of '" + reader.name + "' reads " +
+                     citeTarget(project, *target) +
+                     " — cross-TU dynamic initialization order is "
+                     "unspecified, so this may read a "
+                     "zero-initialized value depending on link "
+                     "order; use a function-local static "
+                     "(construct-on-first-use) or make the target "
+                     "constant-initializable",
+                 out);
+            continue;
+        }
+
+        // One call deep: only an unambiguous helper is followed —
+        // a misresolved overload must not invent an ordering bug.
+        const std::vector<int> &cands = project.lookup(name);
+        if (cands.size() != 1)
+            continue;
+        const FunctionDef &callee =
+            index.functions[static_cast<std::size_t>(
+                cands.front())];
+        if (callee.bodyBegin >= callee.bodyEnd)
+            continue;
+        const TokenVec &ctoks = project.tokens(callee.fileIndex);
+        for (std::size_t j = callee.bodyBegin; j < callee.bodyEnd;
+             ++j) {
+            if (!isVarRead(ctoks, j))
+                continue;
+            const std::string read(ctoks[j].text);
+            const lm::GlobalInit *target = dynamicInitElsewhere(
+                project, read, reader.fileIndex);
+            if (target == nullptr)
+                continue;
+            reported.insert(name);
+            emit(project, reader.fileIndex, toks[i].offset,
+                 "init-order.via-call",
+                 "initializer of '" + reader.name + "' calls '" +
+                     name + "', which reads " +
+                     citeTarget(project, *target) +
+                     " (via " + name +
+                     ") — cross-TU dynamic initialization order "
+                     "is unspecified; use a function-local static "
+                     "(construct-on-first-use) or make the target "
+                     "constant-initializable",
+                 out);
+            break;
+        }
+    }
+}
+
+} // namespace
+
+void
+checkInitOrder(const Project &project, std::vector<Diagnostic> &out)
+{
+    for (const lm::GlobalInit &reader :
+         project.lifetime().globalInits())
+        scanReader(project, reader, out);
+}
+
+} // namespace vsgpu::lint

@@ -1,0 +1,430 @@
+/**
+ * @file
+ * Family: iterator-invalidation (semantic, project-wide).
+ *
+ * An iterator, reference, or pointer into a container is a view of
+ * one element; structural mutation of the container may reallocate
+ * or erase the storage under it.  The family tracks bindings
+ * (iterator = v.begin()/v.find(), `auto &r = v[i]`, `T *p =
+ * &v[i]`) through each function in statement order and reports:
+ *
+ *   iterator-invalidation.use-after-mutate    a binding read after
+ *       a may-mutate operation on its container.  erase / clear /
+ *       resize / assign / pop_* invalidate unconditionally; the
+ *       insert family (push_back, emplace, insert, ...) only when
+ *       the container's type is known to relocate on growth
+ *       (vector/string/deque) or rehash (unordered_*) — inserting
+ *       into a std::map does NOT invalidate and never flags.
+ *       Cross-TU: a helper whose every overload candidate
+ *       structurally mutates its container parameter invalidates at
+ *       the call site ("via helper" provenance from the lifetime
+ *       model).
+ *   iterator-invalidation.mutate-while-iterating    a range-for
+ *       body structurally mutating the container it iterates — the
+ *       loop's hidden iterator is invalidated mid-flight.
+ *
+ * Reassigning the binding (`it = v.insert(it, x)`) ends its tracked
+ * state, so the standard rebind idiom never flags.
+ *
+ * Waiver: // vsgpu-lint: iter-ok(<reason>).
+ */
+
+#include "concurrency_model.hh"
+#include "dataflow.hh"
+#include "lifetime_model.hh"
+#include "semantic.hh"
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace vsgpu::lint
+{
+
+namespace
+{
+
+using TokenVec = std::vector<Token>;
+constexpr std::string_view kWaiver = "vsgpu-lint: iter-ok";
+
+void
+emit(const Project &project, int fileIndex, std::size_t offset,
+     const std::string &id, std::string message,
+     std::vector<Diagnostic> &out)
+{
+    const SourceFile &src =
+        project.sources()[static_cast<std::size_t>(fileIndex)];
+    const int line = src.lineOf(offset);
+    if (src.hasWaiver(line, kWaiver))
+        return;
+    out.push_back({src.display(), line, Check::IterInvalidation,
+                   std::move(message), id,
+                   cm::columnOf(src, offset)});
+}
+
+/** Containers whose insert family relocates elements on growth. */
+bool
+isRelocatingTypeName(std::string_view name)
+{
+    return name == "vector" || name == "string" ||
+           name == "basic_string" || name == "wstring" ||
+           name == "deque";
+}
+
+bool
+isUnorderedTypeName(std::string_view name)
+{
+    return name.substr(0, 10) == "unordered_";
+}
+
+/** Token index of @p name inside the statement's range, or
+ *  stmt.tokEnd when absent. */
+std::size_t
+findNameTok(const TokenVec &toks, const df::Stmt &stmt,
+            const std::string &name)
+{
+    for (std::size_t i = stmt.tokBegin; i < stmt.tokEnd; ++i)
+        if (toks[i].kind == Token::Kind::Identifier &&
+            toks[i].text == name)
+            return i;
+    return stmt.tokEnd;
+}
+
+/** One live binding into a container. */
+struct Binding
+{
+    std::string container;
+};
+
+/** A binding whose container was mutated after it was taken. */
+struct Invalidated
+{
+    std::string container;
+    int mutLine = 0;
+    std::string mutation; ///< "v.push_back" / "helper(v)"
+    std::string via;      ///< "" direct, "via helper ..." else
+};
+
+struct FnContext
+{
+    const Project *project = nullptr;
+    const FunctionDef *fn = nullptr;
+    const TokenVec *toks = nullptr;
+    std::map<std::string, std::string> declType;
+};
+
+/** Is structural insertion into @p container known to invalidate
+ *  (relocating sequence or rehashing unordered container)? */
+bool
+insertInvalidates(const FnContext &ctx, const std::string &cont)
+{
+    const auto it = ctx.declType.find(cont);
+    if (it != ctx.declType.end() &&
+        (isRelocatingTypeName(it->second) ||
+         isUnorderedTypeName(it->second)))
+        return true;
+    const SymbolIndex &index = ctx.project->index();
+    const auto uit = index.unorderedVars.find(ctx.fn->fileIndex);
+    if (uit != index.unorderedVars.end() &&
+        uit->second.count(cont))
+        return true;
+    return index.unorderedDecl.count(cont) > 0;
+}
+
+/** Mark every live binding into @p cont as invalidated. */
+void
+invalidateContainer(const std::map<std::string, Binding> &bindings,
+                    std::map<std::string, Invalidated> &invalid,
+                    const std::string &cont, int mutLine,
+                    const std::string &mutation,
+                    const std::string &via)
+{
+    for (const auto &[name, binding] : bindings)
+        if (binding.container == cont)
+            invalid.emplace(name, Invalidated{cont, mutLine,
+                                              mutation, via});
+}
+
+void
+analyzeBindings(const FnContext &ctx,
+                const std::vector<const df::Stmt *> &stmts,
+                std::vector<Diagnostic> &out)
+{
+    const Project &project = *ctx.project;
+    const FunctionDef &fn = *ctx.fn;
+    const TokenVec &toks = *ctx.toks;
+
+    std::map<std::string, Binding> bindings;
+    std::map<std::string, Invalidated> invalid;
+
+    for (const df::Stmt *stmt : stmts) {
+        // --- 1. reads of invalidated bindings (evaluated before
+        // --- this statement's own mutations take effect).
+        std::set<std::string> seen;
+        for (const std::string &use : stmt->uses) {
+            if (!seen.insert(use).second)
+                continue;
+            const auto it = invalid.find(use);
+            if (it == invalid.end())
+                continue;
+            const Invalidated &inv = it->second;
+            std::string msg =
+                "'" + use + "' points into '" + inv.container +
+                "', which '" + inv.mutation +
+                "' may have restructured at line " +
+                std::to_string(inv.mutLine);
+            if (!inv.via.empty())
+                msg += " (" + inv.via + ")";
+            msg += " — the element storage may have moved or "
+                   "gone; re-acquire the iterator/reference after "
+                   "mutating";
+            emit(project, fn.fileIndex, stmt->offset,
+                 "iterator-invalidation.use-after-mutate",
+                 std::move(msg), out);
+            invalid.erase(it); // one report per binding
+        }
+
+        // --- 2. mutations this statement performs.
+        const SourceFile &src =
+            project.sources()[static_cast<std::size_t>(
+                fn.fileIndex)];
+        for (const df::CallRef &call : stmt->calls) {
+            if (!call.receiver.empty()) {
+                if (!lm::isInvalidatingMemberName(call.callee))
+                    continue;
+                if (lm::isInsertingMemberName(call.callee) &&
+                    !insertInvalidates(ctx, call.receiver))
+                    continue;
+                invalidateContainer(
+                    bindings, invalid, call.receiver,
+                    src.lineOf(call.nameOffset),
+                    call.receiver + "." + call.callee + "()", "");
+                continue;
+            }
+            // Helper call: EVERY candidate must structurally
+            // mutate the argument's parameter position, and the
+            // container's type must be known to invalidate.
+            const std::vector<int> &cands =
+                project.lookup(call.callee);
+            if (cands.empty())
+                continue;
+            for (std::size_t k = 0; k < call.args.size(); ++k) {
+                if (call.args[k].size() != 1)
+                    continue;
+                const std::string &arg = call.args[k].front();
+                bool anyBinding = false;
+                for (const auto &[name, b] : bindings)
+                    if (b.container == arg)
+                        anyBinding = true;
+                if (!anyBinding)
+                    continue;
+                bool allMutate = true;
+                std::string via;
+                for (int id : cands) {
+                    const lm::FunctionLifetime &lt =
+                        project.lifetime().of(id);
+                    if (!lt.mutatesParams.count(
+                            static_cast<int>(k))) {
+                        allMutate = false;
+                        break;
+                    }
+                    if (via.empty()) {
+                        const auto vit = lt.mutateVia.find(
+                            static_cast<int>(k));
+                        via = vit == lt.mutateVia.end()
+                                  ? "via " + call.callee
+                                  : "via " + call.callee + " " +
+                                        vit->second.substr(4);
+                    }
+                }
+                if (!allMutate || !insertInvalidates(ctx, arg))
+                    continue;
+                invalidateContainer(
+                    bindings, invalid, arg,
+                    src.lineOf(call.nameOffset),
+                    call.callee + "(" + arg + ")", via);
+            }
+        }
+
+        // --- 3. redefinition ends a binding's tracked state (the
+        // --- `it = v.insert(it, x)` rebind idiom).
+        for (const std::string &def : stmt->defs)
+            if (!stmt->defThrough) {
+                bindings.erase(def);
+                invalid.erase(def);
+            }
+
+        // --- 4. new bindings taken by this statement.
+        if (stmt->defs.empty())
+            continue;
+        const std::string &target = stmt->defs.front();
+        for (const df::CallRef &call : stmt->calls) {
+            if (call.receiver.empty() || call.receiver == target)
+                continue;
+            const bool iterish =
+                lm::isViewReturningMemberName(call.callee);
+            bool refish = false;
+            if (!iterish && stmt->declares &&
+                (call.callee == "front" || call.callee == "back" ||
+                 call.callee == "at")) {
+                // Only a reference/pointer declaration keeps the
+                // element aliased; a value copy is safe.
+                const std::size_t at = lm::tokenAt(
+                    toks, stmt->tokBegin, stmt->tokEnd,
+                    call.nameOffset);
+                for (std::size_t i = stmt->tokBegin;
+                     i < at && i < stmt->tokEnd; ++i)
+                    if ((toks[i].text == "&" ||
+                         toks[i].text == "*") &&
+                        i + 1 < stmt->tokEnd &&
+                        toks[i + 1].text == target)
+                        refish = true;
+            }
+            if (iterish || refish) {
+                bindings[target] = Binding{call.receiver};
+                invalid.erase(target);
+                break;
+            }
+        }
+        // `auto &r = v[i]` / `T *p = &v[i]`: a declared ref/ptr
+        // whose initializer subscripts a container.
+        if (stmt->declares && !bindings.count(target) &&
+            stmt->calls.empty()) {
+            const std::size_t at = findNameTok(toks, *stmt, target);
+            if (at != stmt->tokEnd && at > stmt->tokBegin &&
+                (toks[at - 1].text == "&" ||
+                 toks[at - 1].text == "*")) {
+                for (std::size_t i = at + 1;
+                     i + 1 < stmt->tokEnd; ++i)
+                    if (toks[i].kind == Token::Kind::Identifier &&
+                        toks[i + 1].text == "[") {
+                        bindings[target] =
+                            Binding{std::string(toks[i].text)};
+                        break;
+                    }
+            }
+        }
+    }
+}
+
+/** Range-for bodies structurally mutating their own container. */
+void
+mutateWhileIterating(const FnContext &ctx,
+                     std::vector<Diagnostic> &out)
+{
+    const Project &project = *ctx.project;
+    const FunctionDef &fn = *ctx.fn;
+    const TokenVec &toks = *ctx.toks;
+
+    for (std::size_t i = fn.bodyBegin; i + 1 < fn.bodyEnd; ++i) {
+        if (toks[i].text != "for" || toks[i + 1].text != "(")
+            continue;
+        const std::size_t close =
+            cm::skipBalanced(toks, i + 1, "(", ")");
+        std::size_t colon = 0;
+        int depth = 0;
+        for (std::size_t j = i + 2; j < close; ++j) {
+            const std::string_view t = toks[j].text;
+            if (t == "(" || t == "[" || t == "{" || t == "<")
+                ++depth;
+            else if (t == ")" || t == "]" || t == "}" || t == ">")
+                --depth;
+            else if (t == ":" && depth == 0) {
+                colon = j;
+                break;
+            }
+        }
+        if (colon == 0)
+            continue;
+        std::size_t contTok = 0;
+        for (std::size_t j = close; j-- > colon + 1;)
+            if (toks[j].kind == Token::Kind::Identifier) {
+                contTok = j;
+                break;
+            }
+        if (contTok == 0 || toks[contTok - 1].text == "." ||
+            toks[contTok - 1].text == "->")
+            contTok = 0; // member-chain container: root ambiguous
+        if (contTok == 0) {
+            i = close;
+            continue;
+        }
+        const std::string cont(toks[contTok].text);
+        if (close + 1 >= fn.bodyEnd ||
+            toks[close + 1].text != "{") {
+            i = close;
+            continue;
+        }
+        const std::size_t bodyClose =
+            cm::skipBalanced(toks, close + 1, "{", "}");
+        for (std::size_t j = close + 2; j + 2 < bodyClose; ++j) {
+            if (toks[j].kind != Token::Kind::Identifier ||
+                toks[j].text != cont)
+                continue;
+            if (toks[j + 1].text != "." &&
+                toks[j + 1].text != "->")
+                continue;
+            const std::string_view member = toks[j + 2].text;
+            if (!lm::isInvalidatingMemberName(member))
+                continue;
+            if (lm::isInsertingMemberName(member) &&
+                !insertInvalidates(ctx, cont))
+                continue;
+            emit(project, fn.fileIndex, toks[j].offset,
+                 "iterator-invalidation.mutate-while-iterating",
+                 "range-for over '" + cont + "' calls '" + cont +
+                     "." + std::string(member) +
+                     "()' inside the loop body — the loop's "
+                     "iterator is invalidated mid-iteration; "
+                     "collect the changes and apply them after "
+                     "the loop (or switch to an index loop)",
+                 out);
+            j = bodyClose;
+        }
+        i = close;
+    }
+}
+
+void
+analyzeFunction(const Project &project, const FunctionDef &fn,
+                std::vector<Diagnostic> &out)
+{
+    if (fn.bodyBegin >= fn.bodyEnd)
+        return;
+    const TokenVec &toks = project.tokens(fn.fileIndex);
+    const df::Cfg cfg =
+        df::buildCfg(toks, fn.bodyBegin, fn.bodyEnd);
+    if (cfg.blocks.empty())
+        return;
+    std::vector<const df::Stmt *> stmts;
+    for (const df::Block &block : cfg.blocks)
+        for (const df::Stmt &stmt : block.stmts)
+            stmts.push_back(&stmt);
+
+    FnContext ctx;
+    ctx.project = &project;
+    ctx.fn = &fn;
+    ctx.toks = &toks;
+    for (const ParamInfo &p : fn.params)
+        if (!p.name.empty())
+            ctx.declType[p.name] = p.type;
+    for (const df::Stmt *stmt : stmts)
+        if (stmt->declares && !stmt->defs.empty())
+            ctx.declType[stmt->defs.front()] = stmt->declType;
+
+    analyzeBindings(ctx, stmts, out);
+    mutateWhileIterating(ctx, out);
+}
+
+} // namespace
+
+void
+checkIterInvalidation(const Project &project,
+                      std::vector<Diagnostic> &out)
+{
+    for (const FunctionDef &fn : project.index().functions)
+        analyzeFunction(project, fn, out);
+}
+
+} // namespace vsgpu::lint

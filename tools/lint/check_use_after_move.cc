@@ -1,0 +1,288 @@
+/**
+ * @file
+ * Family: use-after-move (semantic, project-wide).
+ *
+ * A moved-from object holds a valid-but-unspecified value; reading
+ * it is either a silent logic bug (empty vector where data was
+ * expected) or undefined behaviour one refactor later.  The family
+ * runs a forward may-move dataflow over each function's CFG:
+ *
+ *   use-after-move.use         a local or parameter is read after a
+ *       path moved its value away and nothing reinitialized it.
+ *       Moves are visible directly (`std::move(x)` in any
+ *       expression) and through sink-parameter callees — a helper
+ *       whose every overload candidate std::move()s from a
+ *       by-reference parameter moves the caller's argument, any
+ *       bounded number of calls deep ("via helper" provenance from
+ *       the lifetime model).
+ *   use-after-move.double-move a second move of an already
+ *       moved-from variable — usually a loop body moving the same
+ *       captured value every iteration.
+ *
+ * The moved-from state ends at anything that plausibly
+ * reinitializes: direct reassignment, clear()/reset()/assign(), the
+ * variable passed to a callee that writes through that parameter,
+ * or its address taken (ANY overload candidate suffices to kill —
+ * kills are suppress-only, generation requires ALL candidates).
+ * Only Local/Param-region names are tracked; an unclassifiable name
+ * never flags.
+ *
+ * Waiver: // vsgpu-lint: move-ok(<reason>).
+ */
+
+#include "concurrency_model.hh"
+#include "dataflow.hh"
+#include "lifetime_model.hh"
+#include "semantic.hh"
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace vsgpu::lint
+{
+
+namespace
+{
+
+using TokenVec = std::vector<Token>;
+constexpr std::string_view kWaiver = "vsgpu-lint: move-ok";
+
+/** Where (and through what) a variable lost its value. */
+struct MovedAt
+{
+    int line = 0;
+    std::string via; ///< "" direct, "via helper ..." otherwise
+};
+
+/** Variable name -> move site that may reach this point. */
+using MoveEnv = std::map<std::string, MovedAt>;
+
+void
+emit(const Project &project, int fileIndex, std::size_t offset,
+     const std::string &id, std::string message,
+     std::vector<Diagnostic> &out)
+{
+    const SourceFile &src =
+        project.sources()[static_cast<std::size_t>(fileIndex)];
+    const int line = src.lineOf(offset);
+    if (src.hasWaiver(line, kWaiver))
+        return;
+    out.push_back({src.display(), line, Check::UseAfterMove,
+                   std::move(message), id,
+                   cm::columnOf(src, offset)});
+}
+
+/** Union join; returns true when @p into gained a new name. */
+bool
+joinInto(MoveEnv &into, const MoveEnv &from)
+{
+    bool changed = false;
+    for (const auto &[name, at] : from)
+        if (into.emplace(name, at).second)
+            changed = true;
+    return changed;
+}
+
+std::string
+describeMove(const MovedAt &at)
+{
+    std::string where = "moved at line " + std::to_string(at.line);
+    if (!at.via.empty())
+        where += " (" + at.via + ")";
+    return where;
+}
+
+/**
+ * One statement's effect on the moved-from environment; when
+ * @p diags is non-null the converged pass also reports uses.
+ */
+void
+transfer(const Project &project, const FunctionDef &fn,
+         const TokenVec &toks, const std::set<std::string> &locals,
+         const df::Stmt &stmt, MoveEnv &env,
+         std::vector<Diagnostic> *diags)
+{
+    const SymbolIndex &index = project.index();
+    const std::vector<lm::MoveEvent> moves =
+        lm::movesInStmt(toks, stmt, index, project.lifetime());
+    std::set<std::string> movedHere;
+    for (const lm::MoveEvent &mv : moves)
+        movedHere.insert(mv.name);
+
+    // --- kills first: anything that plausibly reinitializes ends
+    // --- the moved-from state before this statement's reads are
+    // --- judged (conservative: `x = f(x)` never flags).
+    for (const std::string &def : stmt.defs)
+        if (!stmt.defThrough)
+            env.erase(def);
+    for (const df::CallRef &call : stmt.calls) {
+        if (!call.receiver.empty() &&
+            lm::isReinitMemberName(call.callee)) {
+            env.erase(call.receiver);
+            continue;
+        }
+        if (!call.receiver.empty())
+            continue;
+        const std::vector<int> &cands = project.lookup(call.callee);
+        if (cands.empty())
+            continue;
+        for (std::size_t k = 0; k < call.args.size(); ++k) {
+            if (call.args[k].size() != 1)
+                continue;
+            // ANY candidate writing through parameter k counts as a
+            // reinitialization of the argument (suppress-only).
+            bool writes = false;
+            for (int id : cands) {
+                const FunctionDef &callee =
+                    index.functions[static_cast<std::size_t>(id)];
+                if (callee.writesParams.count(static_cast<int>(k)))
+                    writes = true;
+            }
+            if (writes)
+                env.erase(call.args[k].front());
+        }
+    }
+    if (!env.empty()) {
+        std::vector<std::string> addressed;
+        for (const auto &[name, at] : env)
+            if (lm::addressTakenIn(toks, stmt.tokBegin, stmt.tokEnd,
+                                   name))
+                addressed.push_back(name);
+        for (const std::string &name : addressed)
+            env.erase(name);
+    }
+
+    // --- report: reads of still-moved names, then repeat moves.
+    if (diags != nullptr) {
+        std::set<std::string> seen;
+        for (const std::string &use : stmt.uses) {
+            if (!seen.insert(use).second || movedHere.count(use))
+                continue;
+            const auto it = env.find(use);
+            if (it == env.end())
+                continue;
+            const lm::Region region = lm::regionOf(
+                project.index(), fn, locals, use);
+            emit(project, fn.fileIndex, stmt.offset,
+                 "use-after-move.use",
+                 std::string(lm::regionName(region)) + " '" + use +
+                     "' is read after its value was moved away (" +
+                     describeMove(it->second) +
+                     ") — a moved-from object holds an unspecified "
+                     "value; reinitialize it before reuse or copy "
+                     "instead of moving",
+                 *diags);
+        }
+        for (const lm::MoveEvent &mv : moves) {
+            const auto it = env.find(mv.name);
+            if (it == env.end())
+                continue;
+            emit(project, fn.fileIndex, mv.offset,
+                 "use-after-move.double-move",
+                 "'" + mv.name +
+                     "' is moved again after already being moved (" +
+                     describeMove(it->second) +
+                     ") — the second move transfers an unspecified "
+                     "value; move once or reinitialize between "
+                     "moves",
+                 *diags);
+        }
+    }
+
+    // --- gen: this statement's own moves (Local/Param only; a name
+    // --- the region model cannot place never enters the state).
+    for (const lm::MoveEvent &mv : moves) {
+        bool redefined = false;
+        for (const std::string &def : stmt.defs)
+            if (!stmt.defThrough && def == mv.name)
+                redefined = true;
+        // A reinitializing call LATER in the same statement range
+        // (a lambda body lowered into one statement: move, then
+        // `x.clear()`) ends the moved-from state before it can
+        // escape the statement.
+        for (const df::CallRef &call : stmt.calls) {
+            if (call.nameOffset <= mv.offset)
+                continue;
+            if (call.receiver == mv.name &&
+                lm::isReinitMemberName(call.callee))
+                redefined = true;
+        }
+        if (redefined)
+            continue;
+        const lm::Region region =
+            lm::regionOf(project.index(), fn, locals, mv.name);
+        if (region != lm::Region::Local &&
+            region != lm::Region::Param)
+            continue;
+        const SourceFile &src =
+            project.sources()[static_cast<std::size_t>(
+                fn.fileIndex)];
+        env.emplace(mv.name,
+                    MovedAt{src.lineOf(mv.offset), mv.via});
+    }
+}
+
+void
+analyzeFunction(const Project &project, const FunctionDef &fn,
+                std::vector<Diagnostic> &out)
+{
+    if (fn.bodyBegin >= fn.bodyEnd)
+        return;
+    const TokenVec &toks = project.tokens(fn.fileIndex);
+    const df::Cfg cfg =
+        df::buildCfg(toks, fn.bodyBegin, fn.bodyEnd);
+    if (cfg.blocks.empty())
+        return;
+    const std::set<std::string> locals = lm::localsOf(toks, cfg);
+
+    // Forward may-move fixpoint: block entry environments under
+    // set-union join (a move on EITHER branch taints the join).
+    std::vector<std::vector<int>> preds(cfg.blocks.size());
+    for (std::size_t b = 0; b < cfg.blocks.size(); ++b)
+        for (int succ : cfg.blocks[b].succs)
+            preds[static_cast<std::size_t>(succ)].push_back(
+                static_cast<int>(b));
+    std::vector<MoveEnv> entry(cfg.blocks.size());
+    bool changed = true;
+    int rounds = 0;
+    while (changed && rounds++ < 64) {
+        changed = false;
+        for (std::size_t b = 0; b < cfg.blocks.size(); ++b) {
+            MoveEnv in;
+            for (int p : preds[b]) {
+                MoveEnv outEnv =
+                    entry[static_cast<std::size_t>(p)];
+                for (const df::Stmt &stmt :
+                     cfg.blocks[static_cast<std::size_t>(p)].stmts)
+                    transfer(project, fn, toks, locals, stmt,
+                             outEnv, nullptr);
+                joinInto(in, outEnv);
+            }
+            if (b == 0 && preds[b].empty())
+                in.clear();
+            if (joinInto(entry[b], in))
+                changed = true;
+        }
+    }
+
+    // Converged reporting pass, in block order.
+    for (std::size_t b = 0; b < cfg.blocks.size(); ++b) {
+        MoveEnv env = entry[b];
+        for (const df::Stmt &stmt : cfg.blocks[b].stmts)
+            transfer(project, fn, toks, locals, stmt, env, &out);
+    }
+}
+
+} // namespace
+
+void
+checkUseAfterMove(const Project &project,
+                  std::vector<Diagnostic> &out)
+{
+    for (const FunctionDef &fn : project.index().functions)
+        analyzeFunction(project, fn, out);
+}
+
+} // namespace vsgpu::lint

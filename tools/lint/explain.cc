@@ -187,6 +187,78 @@ const Explanation kExplanations[] = {
        "pool task (lock or atomic; order still unstable)"},
       {"unordered-reduction", "an FP sum iterating a container "
        "whose unordered-ness is declared in another TU"}}},
+    {"use-after-move",
+     "A moved-from object holds a valid-but-unspecified value; "
+     "reading it is a silent logic bug.  The forward may-move "
+     "dataflow sees moves directly and through sink-parameter "
+     "helpers any bounded number of calls deep; reassignment, "
+     "clear()/reset()/assign(), or passing the variable to a "
+     "callee that writes it ends the moved-from state.",
+     "    consume(std::move(batch));\n"
+     "    log(batch.size());               // unspecified value",
+     "    const std::size_t n = batch.size();\n"
+     "    consume(std::move(batch));       // read before the move",
+     "// vsgpu-lint: move-ok(<reason>)",
+     {{"use", "a local or parameter read after a path moved its "
+       "value away, nothing reinitializing in between"},
+      {"double-move", "a second move of an already moved-from "
+       "variable (usually the same value moved every loop "
+       "iteration)"}}},
+    {"dangling-view",
+     "A view (string_view/span/reference/pointer) borrows storage "
+     "it does not own and is safe only while the referent's region "
+     "outlives everywhere the view escapes to — the outlives "
+     "lattice Temporary < Local < Param < Field < Global.",
+     "    std::string_view name() {\n"
+     "        std::string s = build();\n"
+     "        return s; }                  // frame-local referent",
+     "    std::string name() {\n"
+     "        return build(); }            // hand back ownership",
+     "// vsgpu-lint: view-ok(<reason>)",
+     {{"return-local", "returning a reference or view into the "
+       "function's own frame (by-value parameters included)"},
+      {"bind-temporary", "a view bound to an owning value a call "
+       "returns by value; the temporary dies with the statement"},
+      {"escape-local", "the address or a view of a local stored "
+       "into Field/Global-region storage or a long-lived registry, "
+       "directly or through an escaping callee parameter"}}},
+    {"iterator-invalidation",
+     "Structural container mutation may reallocate or erase the "
+     "element an iterator, reference, or pointer designates.  "
+     "erase/clear/resize always invalidate; the insert family only "
+     "on relocating (vector/string/deque) or rehashing "
+     "(unordered_*) containers — inserting into a std::map never "
+     "flags.  Helper calls that mutate their container parameter "
+     "count, cross-TU.",
+     "    auto it = ids.begin();\n"
+     "    ids.push_back(next);             // may reallocate\n"
+     "    use(*it);",
+     "    ids.push_back(next);\n"
+     "    auto it = ids.begin();           // acquire after mutating",
+     "// vsgpu-lint: iter-ok(<reason>)",
+     {{"use-after-mutate", "an iterator/reference/pointer into a "
+       "container read after a may-mutate operation on it; "
+       "reassigning the binding (it = v.insert(it, x)) ends its "
+       "tracked state"},
+      {"mutate-while-iterating", "a range-for body structurally "
+       "mutating the container it iterates"}}},
+    {"init-order",
+     "Dynamic initialization order across translation units is "
+     "unspecified (the static initialization order fiasco): an "
+     "initializer reading another TU's dynamically initialized "
+     "global may observe it zero-initialized, and link order "
+     "decides.  Constant-initialized targets are immune and never "
+     "flag.",
+     "    // a.cc: Config g_config = loadDefaults();\n"
+     "    // b.cc: int g_limit = g_config.limit;  // ran first?",
+     "    // b.cc: int limitDefault() {\n"
+     "    //   static int v = config().limit;  // first use\n"
+     "    //   return v; }",
+     "// vsgpu-lint: initorder-ok(<reason>)",
+     {{"cross-tu", "a namespace-scope initializer directly reading "
+       "a global dynamically initialized in another .cc"},
+      {"via-call", "the read hides one call deep inside an "
+       "unambiguous helper the initializer calls"}}},
 };
 // clang-format on
 

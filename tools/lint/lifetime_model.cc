@@ -1,0 +1,934 @@
+/**
+ * @file
+ * Region/escape lifetime model (lifetime_model.hh): region
+ * classification over the dataflow IR, per-function move/escape/
+ * mutate parameter summaries with call-graph propagation, and the
+ * namespace-scope initializer index for the init-order family.
+ *
+ * Same parsing discipline as the symbol index: a misparse degrades
+ * to Unknown regions or missing summary entries, which SUPPRESS
+ * findings — the model must never invent a lifetime fact.  Summary
+ * propagation across overloads requires every same-name candidate
+ * to agree, mirroring propagateEffects' strict FP resolution.
+ */
+
+#include "lifetime_model.hh"
+
+#include "concurrency_model.hh"
+#include "dataflow.hh"
+
+#include <algorithm>
+
+namespace vsgpu::lint::lm
+{
+
+namespace
+{
+
+using df::Cfg;
+using df::Stmt;
+
+constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+bool
+isQualifierWord(std::string_view t)
+{
+    return t == "const" || t == "constexpr" || t == "constinit" ||
+           t == "static" || t == "inline" || t == "mutable" ||
+           t == "extern" || t == "thread_local" ||
+           t == "volatile" || t == "virtual" || t == "explicit" ||
+           t == "friend" || t == "typename";
+}
+
+bool
+isReservedLike(std::string_view t)
+{
+    return isQualifierWord(t) || t == "std" || t == "template" ||
+           t == "operator" || t == "unsigned" || t == "signed" ||
+           t == "using" || t == "namespace" || t == "struct" ||
+           t == "class" || t == "union" || t == "enum" ||
+           t == "return" || t == "typedef" || t == "decltype" ||
+           t == "sizeof" || t == "new" || t == "delete" ||
+           t == "true" || t == "false" || t == "nullptr" ||
+           t == "this" || t == "if" || t == "else" || t == "for" ||
+           t == "while" || t == "do" || t == "switch" ||
+           t == "case" || t == "default" || t == "break" ||
+           t == "continue" || t == "noexcept" || t == "override" ||
+           t == "final" || t == "public" || t == "private" ||
+           t == "protected" || t == "throw" || t == "try" ||
+           t == "catch" || t == "goto" || t == "requires" ||
+           t == "concept";
+}
+
+/** Statement start: walk back to the nearest ; { or }. */
+std::size_t
+stmtStartBack(const TokenVec &toks, std::size_t i)
+{
+    while (i > 0) {
+        const std::string_view t = toks[i - 1].text;
+        if (t == ";" || t == "{" || t == "}")
+            break;
+        --i;
+    }
+    return i;
+}
+
+/** First `;` at bracket depth 0 in [i, end). */
+std::size_t
+findSemiAt(const TokenVec &toks, std::size_t i, std::size_t end)
+{
+    int depth = 0;
+    for (; i < end; ++i) {
+        const std::string_view t = toks[i].text;
+        if (t == "(" || t == "[" || t == "{")
+            ++depth;
+        else if (t == ")" || t == "]" || t == "}")
+            --depth;
+        else if (t == ";" && depth == 0)
+            return i;
+    }
+    return end;
+}
+
+/** Return-type summary plus constexpr-ness from the tokens between
+ *  the previous statement boundary and the function name. */
+ReturnInfo
+returnInfoOf(const SourceFile &src, const TokenVec &toks,
+             const FunctionDef &fn, bool &isConstexpr)
+{
+    ReturnInfo info;
+    isConstexpr = false;
+    std::size_t end = fn.nameTok;
+    if (end == 0 || end >= toks.size())
+        return info;
+    // Skip the `Class::` qualifier chain directly before the name.
+    while (end >= 2 && toks[end - 1].text == "::")
+        end -= 2;
+    // Region start: back to ; { } or an access-specifier ':',
+    // tracking template angle depth so `vector<int>` survives.
+    std::size_t start = end;
+    int depth = 0;
+    while (start > 0) {
+        const std::string_view t = toks[start - 1].text;
+        if (t == ">")
+            ++depth;
+        else if (t == "<") {
+            if (depth == 0)
+                break;
+            --depth;
+        } else if (depth == 0 && (t == ";" || t == "{" ||
+                                  t == "}" || t == ":" ||
+                                  t == "#"))
+            // `#` ends a preprocessor directive region: a function
+            // right after an include block must not read
+            // `#include <...>` tokens as its return type.
+            break;
+        --start;
+    }
+    // Directive tokens are not scrubbed; skip everything on the
+    // directive's own line (`include <string_view>`, `pragma once`)
+    // so the scan starts at the real return type.
+    if (start > 0 && start < end && toks[start - 1].text == "#") {
+        const int dline = src.lineOf(toks[start - 1].offset);
+        while (start < end &&
+               src.lineOf(toks[start].offset) == dline)
+            ++start;
+    }
+    // Primary type = first depth-0 identifier after qualifiers; a
+    // depth-0 & / && after it is a by-reference return.
+    int d = 0;
+    for (std::size_t i = start; i < end; ++i) {
+        const std::string_view t = toks[i].text;
+        if (t == "<") {
+            ++d;
+            continue;
+        }
+        if (t == ">") {
+            if (d > 0)
+                --d;
+            continue;
+        }
+        if (t == "constexpr")
+            isConstexpr = true;
+        if (d != 0)
+            continue;
+        if ((t == "&" || t == "&&") && !info.type.empty())
+            info.byRef = true;
+        if (toks[i].kind != Token::Kind::Identifier ||
+            isReservedLike(t))
+            continue;
+        // `std::string_view` — an identifier followed by `::` is a
+        // namespace qualifier, not the type.
+        if (i + 1 < end && toks[i + 1].text == "::")
+            continue;
+        if (info.type.empty())
+            info.type = std::string(t);
+    }
+    info.isView = isViewTypeName(info.type);
+    info.isOwner = isOwnerTypeName(info.type);
+    return info;
+}
+
+/**
+ * Namespace-scope initializers of one file.  A simplified brace
+ * context (namespace vs anything else) suffices: function bodies,
+ * class bodies, and stray initializer braces all push a
+ * non-namespace frame, so only true namespace-scope declarations
+ * with an `=`, brace, or paren initializer are recorded.
+ */
+/** Does the paren group opened at @p open look like a function
+ *  parameter list (empty, or a depth-1 `Type name` pair) rather
+ *  than a ctor-style initializer's argument expressions? */
+bool
+looksLikeParamList(const TokenVec &toks, std::size_t open,
+                   std::size_t close)
+{
+    if (close <= open + 1)
+        return true; // `name()` is a declaration, never an init
+    int depth = 0;
+    for (std::size_t k = open; k < close && k + 1 < toks.size();
+         ++k) {
+        const std::string_view t = toks[k].text;
+        if (t == "(" || t == "[" || t == "{" || t == "<")
+            ++depth;
+        else if (t == ")" || t == "]" || t == "}" || t == ">")
+            --depth;
+        if (depth != 1 || k == open)
+            continue;
+        if (t == "const")
+            return true;
+        if (toks[k].kind == Token::Kind::Identifier &&
+            !isReservedLike(t) &&
+            toks[k + 1].kind == Token::Kind::Identifier &&
+            !isReservedLike(toks[k + 1].text))
+            return true; // `Benchmark b` — two adjacent identifiers
+    }
+    return false;
+}
+
+void
+scanGlobalInits(int fileIndex, const SourceFile &src,
+                const TokenVec &toks, const SymbolIndex &index,
+                std::vector<GlobalInit> &out)
+{
+    std::vector<char> stack{1}; // 1 = namespace context
+    bool pendingNamespace = false;
+
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        const Token &tok = toks[i];
+        const std::string_view t = tok.text;
+
+        if (t == "{") {
+            stack.push_back(pendingNamespace ? 1 : 0);
+            pendingNamespace = false;
+            continue;
+        }
+        if (t == "}") {
+            if (stack.size() > 1)
+                stack.pop_back();
+            continue;
+        }
+        if (t == ";") {
+            pendingNamespace = false;
+            continue;
+        }
+        if (t == "namespace") {
+            pendingNamespace = true;
+            continue;
+        }
+        if (t == "class" || t == "struct" || t == "union" ||
+            t == "enum") {
+            pendingNamespace = false;
+            continue;
+        }
+        if (!stack.back() || tok.kind != Token::Kind::Identifier ||
+            isReservedLike(t))
+            continue;
+
+        const std::string_view prev =
+            i > 0 ? toks[i - 1].text : std::string_view{};
+        const std::string_view next =
+            i + 1 < toks.size() ? toks[i + 1].text
+                                : std::string_view{};
+        const bool typeBefore =
+            i > 0 && ((toks[i - 1].kind == Token::Kind::Identifier &&
+                       !isReservedLike(prev)) ||
+                      prev == ">" || prev == "&" || prev == "*" ||
+                      prev == "double" || prev == "float" ||
+                      prev == "int" || prev == "bool" ||
+                      prev == "char" || prev == "long" ||
+                      prev == "short" || prev == "auto" ||
+                      prev == "unsigned" || prev == "signed");
+        if (!typeBefore ||
+            !(next == "=" || next == "{" || next == "("))
+            continue;
+
+        const std::size_t stmtBegin = stmtStartBack(toks, i);
+        bool constish = false, skip = false;
+        bool ownerTyped = false;
+        for (std::size_t k = stmtBegin; k < i; ++k) {
+            const std::string_view s = toks[k].text;
+            if (s == "const" || s == "constexpr" ||
+                s == "constinit")
+                constish = true;
+            if (s == "using" || s == "typedef" || s == "=" ||
+                s == "." || s == "->" || s == "template" ||
+                s == "operator" || s == "return" || s == "extern")
+                skip = true;
+            if (isOwnerTypeName(s))
+                ownerTyped = true;
+        }
+        if (constish || skip)
+            continue;
+
+        GlobalInit init;
+        init.name = std::string(t);
+        init.fileIndex = fileIndex;
+        init.line = src.lineOf(tok.offset);
+        if (next == "=") {
+            init.initBegin = i + 2;
+            init.initEnd = findSemiAt(toks, i + 1, toks.size());
+        } else if (next == "{") {
+            init.initBegin = i + 2;
+            init.initEnd =
+                cm::skipBalanced(toks, i + 1, "{", "}");
+        } else { // name(args); — ctor-init only when a ';' follows
+            const std::size_t close =
+                cm::skipBalanced(toks, i + 1, "(", ")");
+            // A function declaration wears the same shape:
+            // `WorkloadSpec benchWorkload(Benchmark b, int n = 4)`.
+            // Skip PAST the parens either way — a default argument
+            // inside a parameter list must never be scanned as a
+            // namespace-scope initializer.
+            if (close + 1 >= toks.size() ||
+                toks[close + 1].text != ";" ||
+                index.byName.count(init.name) ||
+                looksLikeParamList(toks, i + 1, close)) {
+                i = close;
+                continue;
+            }
+            init.initBegin = i + 2;
+            init.initEnd = close;
+        }
+        if (init.initEnd > toks.size())
+            init.initEnd = toks.size();
+        // Owner-typed globals (string, vector, ...) never have
+        // constant initialization; dynamic-ness of the rest is
+        // classified once every function is summarized (build()).
+        init.dynamic = ownerTyped;
+        const std::size_t resume = init.initEnd;
+        out.push_back(std::move(init));
+        i = resume;
+    }
+}
+
+} // namespace
+
+int
+regionRank(Region region)
+{
+    switch (region) {
+      case Region::Temporary:
+        return 0;
+      case Region::Local:
+        return 1;
+      case Region::Param:
+        return 2;
+      case Region::Field:
+        return 3;
+      case Region::Global:
+        return 4;
+      case Region::Unknown:
+        return 5;
+    }
+    return 5;
+}
+
+bool
+outlives(Region longer, Region shorter)
+{
+    return regionRank(longer) >= regionRank(shorter);
+}
+
+std::string_view
+regionName(Region region)
+{
+    switch (region) {
+      case Region::Temporary:
+        return "temporary";
+      case Region::Local:
+        return "local";
+      case Region::Param:
+        return "param";
+      case Region::Field:
+        return "field";
+      case Region::Global:
+        return "global";
+      case Region::Unknown:
+        return "unknown";
+    }
+    return "unknown";
+}
+
+bool
+isViewTypeName(std::string_view name)
+{
+    return name == "string_view" || name == "wstring_view" ||
+           name == "basic_string_view" || name == "span" ||
+           name == "Span";
+}
+
+bool
+isOwnerTypeName(std::string_view name)
+{
+    return name == "string" || name == "basic_string" ||
+           name == "wstring" || name == "vector" ||
+           name == "deque" || name == "map" || name == "set" ||
+           name == "multimap" || name == "multiset" ||
+           name == "unordered_map" || name == "unordered_set" ||
+           name == "unordered_multimap" ||
+           name == "unordered_multiset" || name == "list" ||
+           name == "ostringstream" || name == "istringstream" ||
+           name == "stringstream";
+}
+
+bool
+isInvalidatingMemberName(std::string_view name)
+{
+    return name == "push_back" || name == "emplace_back" ||
+           name == "push_front" || name == "emplace_front" ||
+           name == "insert" || name == "emplace" ||
+           name == "erase" || name == "clear" ||
+           name == "resize" || name == "reserve" ||
+           name == "pop_back" || name == "pop_front" ||
+           name == "assign" || name == "shrink_to_fit";
+}
+
+bool
+isViewReturningMemberName(std::string_view name)
+{
+    return name == "begin" || name == "cbegin" ||
+           name == "rbegin" || name == "crbegin" ||
+           name == "end" || name == "cend" || name == "rend" ||
+           name == "crend" || name == "find" ||
+           name == "lower_bound" || name == "upper_bound" ||
+           name == "equal_range" || name == "data";
+}
+
+bool
+isReinitMemberName(std::string_view name)
+{
+    return name == "clear" || name == "reset" || name == "assign";
+}
+
+bool
+isInsertingMemberName(std::string_view name)
+{
+    return name == "push_back" || name == "emplace_back" ||
+           name == "push_front" || name == "emplace_front" ||
+           name == "insert" || name == "emplace";
+}
+
+std::set<std::string>
+localsOf(const TokenVec &toks, const df::Cfg &cfg)
+{
+    std::set<std::string> locals;
+    for (const df::Block &block : cfg.blocks)
+        for (const df::Stmt &stmt : block.stmts) {
+            if (!stmt.declares)
+                continue;
+            bool isStatic = false;
+            for (std::size_t k = stmt.tokBegin;
+                 k < stmt.tokEnd && k < toks.size(); ++k)
+                if (toks[k].text == "static" ||
+                    toks[k].text == "thread_local")
+                    isStatic = true;
+            if (isStatic)
+                continue;
+            locals.insert(stmt.defs.begin(), stmt.defs.end());
+        }
+    return locals;
+}
+
+Region
+regionOf(const SymbolIndex &index, const FunctionDef &fn,
+         const std::set<std::string> &locals,
+         const std::string &name)
+{
+    if (name == "this")
+        return Region::Field;
+    if (locals.count(name))
+        return Region::Local;
+    for (const ParamInfo &p : fn.params)
+        if (p.name == name)
+            // A by-value parameter is this frame's own storage; a
+            // reference/pointer parameter sees caller-owned storage.
+            return (p.byRef || p.isPointer) ? Region::Param
+                                            : Region::Local;
+    if (!fn.className.empty()) {
+        const auto cit = index.classFields.find(fn.className);
+        if (cit != index.classFields.end() &&
+            cit->second.count(name))
+            return Region::Field;
+    }
+    if (index.globals.count(name) || index.atomics.count(name) ||
+        index.constNames.count(name) ||
+        index.mutexNames.count(name))
+        return Region::Global;
+    return Region::Unknown;
+}
+
+bool
+addressTakenIn(const TokenVec &toks, std::size_t begin,
+               std::size_t end, std::string_view name)
+{
+    for (std::size_t i = begin; i + 1 < end && i + 1 < toks.size();
+         ++i) {
+        if (toks[i].text != "&" || toks[i + 1].text != name)
+            continue;
+        if (i == begin)
+            return true;
+        const Token &prev = toks[i - 1];
+        // Binary & has a value operand on its left; address-of has
+        // an operator, comma, or open bracket.
+        if (prev.kind == Token::Kind::Identifier ||
+            prev.kind == Token::Kind::Number ||
+            prev.text == ")" || prev.text == "]")
+            continue;
+        return true;
+    }
+    return false;
+}
+
+std::size_t
+tokenAt(const TokenVec &toks, std::size_t begin, std::size_t end,
+        std::size_t offset)
+{
+    for (std::size_t i = begin; i < end && i < toks.size(); ++i)
+        if (toks[i].offset == offset)
+            return i;
+    return end;
+}
+
+std::vector<std::pair<std::size_t, std::size_t>>
+argTokenRanges(const TokenVec &toks, std::size_t open)
+{
+    std::vector<std::pair<std::size_t, std::size_t>> ranges;
+    if (open >= toks.size() || toks[open].text != "(")
+        return ranges;
+    const std::size_t close =
+        cm::skipBalanced(toks, open, "(", ")");
+    std::size_t argBegin = open + 1;
+    int depth = 0;
+    for (std::size_t i = open; i <= close && i < toks.size(); ++i) {
+        const std::string_view t = toks[i].text;
+        if (t == "(" || t == "[" || t == "{")
+            ++depth;
+        else if (t == ")" || t == "]" || t == "}")
+            --depth;
+        const bool boundary = (t == "," && depth == 1) ||
+                              (i == close && depth == 0);
+        if (!boundary)
+            continue;
+        if (i > argBegin)
+            ranges.push_back({argBegin, i});
+        else if (t == ",")
+            ranges.push_back({argBegin, argBegin});
+        argBegin = i + 1;
+    }
+    return ranges;
+}
+
+std::string
+soleIdentArg(const TokenVec &toks, std::size_t begin,
+             std::size_t end)
+{
+    if (end > toks.size())
+        return {};
+    const std::size_t n = end - begin;
+    if (n == 1 && toks[begin].kind == Token::Kind::Identifier &&
+        !isReservedLike(toks[begin].text))
+        return std::string(toks[begin].text);
+    if (n == 2 && toks[begin].text == "&" &&
+        toks[begin + 1].kind == Token::Kind::Identifier)
+        return std::string(toks[begin + 1].text);
+    // std :: move ( x )  /  move ( x )
+    std::size_t i = begin;
+    if (n >= 6 && toks[i].text == "std" &&
+        toks[i + 1].text == "::")
+        i += 2;
+    if (end - i == 4 && toks[i].text == "move" &&
+        toks[i + 1].text == "(" &&
+        toks[i + 2].kind == Token::Kind::Identifier &&
+        toks[i + 3].text == ")")
+        return std::string(toks[i + 2].text);
+    return {};
+}
+
+std::vector<MoveEvent>
+movesInStmt(const TokenVec &toks, const df::Stmt &stmt,
+            const SymbolIndex &index, const LifetimeModel &model)
+{
+    std::vector<MoveEvent> events;
+    std::set<std::string> seen;
+
+    // Direct `std::move(x)` of a single identifier.  Requiring the
+    // `::` keeps a project function named `move` from matching.
+    for (std::size_t i = stmt.tokBegin;
+         i + 3 < stmt.tokEnd && i + 3 < toks.size(); ++i) {
+        if (toks[i].text != "move" || i == 0 ||
+            toks[i - 1].text != "::" || toks[i + 1].text != "(" ||
+            toks[i + 2].kind != Token::Kind::Identifier ||
+            toks[i + 3].text != ")")
+            continue;
+        const std::string name(toks[i + 2].text);
+        if (seen.insert(name).second)
+            events.push_back({name, toks[i + 2].offset, ""});
+    }
+
+    // Sink parameters: a call whose EVERY same-name candidate moves
+    // from the by-reference parameter this statement passes a bare
+    // lvalue in.
+    for (const df::CallRef &call : stmt.calls) {
+        const auto cit = index.byName.find(call.callee);
+        if (cit == index.byName.end() || cit->second.empty())
+            continue;
+        const std::size_t nameIdx = tokenAt(
+            toks, stmt.tokBegin, stmt.tokEnd, call.nameOffset);
+        if (nameIdx + 1 >= stmt.tokEnd)
+            continue;
+        const auto args = argTokenRanges(toks, nameIdx + 1);
+        for (std::size_t a = 0; a < args.size(); ++a) {
+            if (args[a].second - args[a].first != 1)
+                continue; // bare lvalue only
+            const std::string arg =
+                soleIdentArg(toks, args[a].first, args[a].second);
+            if (arg.empty())
+                continue;
+            bool allMove = true;
+            const FunctionLifetime *first = nullptr;
+            for (int id : cit->second) {
+                const FunctionDef &cand =
+                    index.functions[static_cast<std::size_t>(id)];
+                const FunctionLifetime &fl = model.of(id);
+                if (a >= cand.params.size() ||
+                    !cand.params[a].byRef ||
+                    !fl.movesParams.count(static_cast<int>(a))) {
+                    allMove = false;
+                    break;
+                }
+                if (!first)
+                    first = &fl;
+            }
+            if (!allMove || !first)
+                continue;
+            std::string via = "via " + call.callee;
+            const auto vit =
+                first->moveVia.find(static_cast<int>(a));
+            if (vit != first->moveVia.end())
+                via += " " + vit->second.substr(4);
+            if (seen.insert(arg).second)
+                events.push_back({arg, call.nameOffset, via});
+        }
+    }
+    return events;
+}
+
+const std::vector<int> &
+LifetimeModel::initsOf(const std::string &name) const
+{
+    static const std::vector<int> empty;
+    const auto it = initByName_.find(name);
+    return it == initByName_.end() ? empty : it->second;
+}
+
+LifetimeModel
+LifetimeModel::build(const std::vector<SourceFile> &sources,
+                     const std::vector<TokenVec> &tokens,
+                     const SymbolIndex &index, int rounds)
+{
+    LifetimeModel model;
+    model.fns_.resize(index.functions.size());
+
+    // --- direct per-function summaries ---------------------------
+    for (std::size_t f = 0; f < index.functions.size(); ++f) {
+        const FunctionDef &fn = index.functions[f];
+        const TokenVec &toks =
+            tokens[static_cast<std::size_t>(fn.fileIndex)];
+        FunctionLifetime &fl = model.fns_[f];
+        fl.ret = returnInfoOf(
+            sources[static_cast<std::size_t>(fn.fileIndex)], toks,
+            fn, fl.isConstexpr);
+        if (fn.bodyBegin >= fn.bodyEnd)
+            continue;
+
+        std::map<std::string, int> paramIndex;
+        for (std::size_t p = 0; p < fn.params.size(); ++p)
+            if (!fn.params[p].name.empty())
+                paramIndex[fn.params[p].name] =
+                    static_cast<int>(p);
+
+        // Direct moves: std::move(p) of a by-reference parameter.
+        for (std::size_t i = fn.bodyBegin;
+             i + 3 < fn.bodyEnd && i + 3 < toks.size(); ++i) {
+            if (toks[i].text != "move" || i == 0 ||
+                toks[i - 1].text != "::" ||
+                toks[i + 1].text != "(" ||
+                toks[i + 2].kind != Token::Kind::Identifier ||
+                toks[i + 3].text != ")")
+                continue;
+            const auto pit =
+                paramIndex.find(std::string(toks[i + 2].text));
+            if (pit == paramIndex.end())
+                continue;
+            const ParamInfo &p = fn.params[static_cast<std::size_t>(
+                pit->second)];
+            if (p.byRef)
+                fl.movesParams.insert(pit->second);
+        }
+
+        const Cfg cfg =
+            df::buildCfg(toks, fn.bodyBegin, fn.bodyEnd);
+        const std::set<std::string> locals = localsOf(toks, cfg);
+
+        // True when parameter @p idx escapes through the argument
+        // range [b, e): the bare pointer, a by-reference view
+        // parameter copied by value, or the address of a
+        // by-reference parameter.
+        auto paramEscapesAs = [&](std::size_t b, std::size_t e,
+                                  int &idxOut) {
+            const std::string arg = soleIdentArg(toks, b, e);
+            if (arg.empty())
+                return false;
+            const auto pit = paramIndex.find(arg);
+            if (pit == paramIndex.end())
+                return false;
+            const ParamInfo &p = fn.params[static_cast<std::size_t>(
+                pit->second)];
+            const bool addressed =
+                e - b == 2 && toks[b].text == "&";
+            const bool escapes =
+                addressed ? p.byRef
+                          : (p.isPointer ||
+                             (p.byRef && isViewTypeName(p.type)));
+            if (!escapes)
+                return false;
+            idxOut = pit->second;
+            return true;
+        };
+
+        // Pool submission entry points (parallelFor / runSweep /
+        // runIndexSweep) store the task body into the pool queue —
+        // a Field-region store by the lattice — but BLOCK until
+        // every task joins (the happens-before model of
+        // concurrency_model.hh), so nothing they store outlives the
+        // call.  Their escapes must not seed the summaries, or
+        // every sweep driver's locals would flag.
+        const bool joinsBeforeReturn =
+            cm::isPoolSubmitName(fn.name);
+
+        for (const df::Block &block : cfg.blocks) {
+            for (const Stmt &stmt : block.stmts) {
+                // Assignment escape: field/global = p  or  = &p.
+                if (!joinsBeforeReturn && !stmt.defs.empty() &&
+                    !stmt.declares) {
+                    const Region target = regionOf(
+                        index, fn, locals, stmt.defs.front());
+                    if (regionRank(target) >=
+                            regionRank(Region::Field) &&
+                        target != Region::Unknown) {
+                        std::size_t assignAt = npos;
+                        int depth = 0;
+                        for (std::size_t i = stmt.tokBegin;
+                             i < stmt.tokEnd && i < toks.size();
+                             ++i) {
+                            const std::string_view t =
+                                toks[i].text;
+                            if (t == "(" || t == "[" || t == "{")
+                                ++depth;
+                            else if (t == ")" || t == "]" ||
+                                     t == "}")
+                                --depth;
+                            else if (depth == 0 && t == "=" &&
+                                     assignAt == npos)
+                                assignAt = i;
+                        }
+                        int idx = 0;
+                        if (assignAt != npos &&
+                            paramEscapesAs(assignAt + 1,
+                                           stmt.tokEnd, idx))
+                            fl.escapesParams.insert(idx);
+                    }
+                }
+                for (const df::CallRef &call : stmt.calls) {
+                    // Insertion escape: outliving container keeps
+                    // the pointer/view argument.
+                    if (!joinsBeforeReturn &&
+                        !call.receiver.empty() &&
+                        isInsertingMemberName(call.callee)) {
+                        const Region rec = regionOf(
+                            index, fn, locals, call.receiver);
+                        if (regionRank(rec) >
+                                regionRank(Region::Local) &&
+                            rec != Region::Unknown) {
+                            const std::size_t nameIdx = tokenAt(
+                                toks, stmt.tokBegin, stmt.tokEnd,
+                                call.nameOffset);
+                            for (const auto &[b, e] :
+                                 argTokenRanges(toks,
+                                                nameIdx + 1)) {
+                                int idx = 0;
+                                if (paramEscapesAs(b, e, idx))
+                                    fl.escapesParams.insert(idx);
+                            }
+                        }
+                    }
+                    // Container mutation through a parameter.
+                    if (!call.receiver.empty() &&
+                        isInvalidatingMemberName(call.callee)) {
+                        const auto pit =
+                            paramIndex.find(call.receiver);
+                        if (pit != paramIndex.end()) {
+                            const ParamInfo &p =
+                                fn.params[static_cast<std::size_t>(
+                                    pit->second)];
+                            if ((p.byRef || p.isPointer) &&
+                                !p.isConst)
+                                fl.mutatesParams.insert(
+                                    pit->second);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // --- namespace-scope initializers ----------------------------
+    for (std::size_t f = 0; f < sources.size(); ++f)
+        scanGlobalInits(static_cast<int>(f), sources[f], tokens[f],
+                        index, model.inits_);
+    for (std::size_t g = 0; g < model.inits_.size(); ++g)
+        model.initByName_[model.inits_[g].name].push_back(
+            static_cast<int>(g));
+
+    // Dynamic classification: the initializer calls a non-constexpr
+    // indexed function or reads a mutable global.  (Owner-typed
+    // globals were classified during the scan.)
+    for (GlobalInit &init : model.inits_) {
+        if (init.dynamic)
+            continue;
+        const TokenVec &toks =
+            tokens[static_cast<std::size_t>(init.fileIndex)];
+        for (std::size_t i = init.initBegin;
+             i < init.initEnd && i < toks.size() && !init.dynamic;
+             ++i) {
+            if (toks[i].kind != Token::Kind::Identifier ||
+                isReservedLike(toks[i].text))
+                continue;
+            const std::string name(toks[i].text);
+            const std::string_view prevT =
+                i > 0 ? toks[i - 1].text : std::string_view{};
+            const std::string_view nextT =
+                i + 1 < toks.size() ? toks[i + 1].text
+                                    : std::string_view{};
+            if (nextT == "(") {
+                const auto cit = index.byName.find(name);
+                if (cit == index.byName.end())
+                    continue;
+                bool allConstexpr = true;
+                for (int id : cit->second)
+                    allConstexpr =
+                        allConstexpr &&
+                        model.of(id).isConstexpr;
+                if (!allConstexpr)
+                    init.dynamic = true;
+                continue;
+            }
+            if (prevT == "." || prevT == "->" || prevT == "::" ||
+                nextT == "::")
+                continue;
+            if (index.globals.count(name))
+                init.dynamic = true;
+        }
+    }
+
+    // --- call-graph propagation ----------------------------------
+    // A caller forwarding parameter p as argument a inherits the
+    // callee's move/escape/mutate of a — when EVERY candidate
+    // sharing the callee's name agrees and p itself is a
+    // reference/pointer (a by-value p is callee-frame storage; its
+    // fate is invisible to callers).
+    for (int round = 0; round < rounds; ++round) {
+        bool changed = false;
+        for (std::size_t f = 0; f < index.functions.size(); ++f) {
+            const FunctionDef &fn = index.functions[f];
+            FunctionLifetime &fl = model.fns_[f];
+            for (const FunctionDef::ArgFlow &flow : fn.forwards) {
+                if (static_cast<std::size_t>(flow.param) >=
+                    fn.params.size())
+                    continue;
+                const ParamInfo &p = fn.params[
+                    static_cast<std::size_t>(flow.param)];
+                if (!p.byRef && !p.isPointer)
+                    continue;
+                const auto cit = index.byName.find(flow.callee);
+                if (cit == index.byName.end() ||
+                    cit->second.empty())
+                    continue;
+                struct Prop
+                {
+                    std::set<int> FunctionLifetime::*members;
+                    std::map<int, std::string>
+                        FunctionLifetime::*via;
+                };
+                static constexpr Prop kProps[] = {
+                    {&FunctionLifetime::movesParams,
+                     &FunctionLifetime::moveVia},
+                    {&FunctionLifetime::escapesParams,
+                     &FunctionLifetime::escapeVia},
+                    {&FunctionLifetime::mutatesParams,
+                     &FunctionLifetime::mutateVia},
+                };
+                for (const Prop &prop : kProps) {
+                    bool all = true;
+                    const FunctionLifetime *first = nullptr;
+                    for (int id : cit->second) {
+                        if (static_cast<std::size_t>(id) == f) {
+                            all = false; // self-recursion
+                            break;
+                        }
+                        const FunctionLifetime &cand =
+                            model.fns_[static_cast<std::size_t>(
+                                id)];
+                        if (!(cand.*(prop.members))
+                                 .count(flow.arg)) {
+                            all = false;
+                            break;
+                        }
+                        if (!first)
+                            first = &cand;
+                    }
+                    if (!all || !first)
+                        continue;
+                    if ((fl.*(prop.members))
+                            .insert(flow.param)
+                            .second) {
+                        const auto vit =
+                            (first->*(prop.via)).find(flow.arg);
+                        (fl.*(prop.via))[flow.param] =
+                            vit == (first->*(prop.via)).end()
+                                ? "via " + flow.callee
+                                : "via " + flow.callee + " " +
+                                      vit->second.substr(4);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if (!changed)
+            break;
+    }
+    return model;
+}
+
+} // namespace vsgpu::lint::lm

@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Shared region/escape lifetime model for vsgpu_lint's lifetime
+ * families (use-after-move, dangling-view, iterator-invalidation,
+ * init-order).
+ *
+ * Every lvalue a function body touches lives in a storage region:
+ *
+ *   Temporary < Local < Param < Field < Global/Heap
+ *
+ * ordered by lifetime — the outlives lattice.  A view (string_view,
+ * span, reference, pointer, iterator) is safe exactly while its
+ * referent's region outlives every region the view itself escapes
+ * to: returning a view of a Local hands a Temporary-or-longer caller
+ * a dead referent; storing a pointer to a Local into a Field-region
+ * registry outlives the frame that owns the pointee.
+ *
+ * On top of the region classification the model computes three
+ * per-function parameter summaries, propagated through the call
+ * graph's argument-forwarding records with "via helper" provenance
+ * (bounded fixpoint, same discipline as propagateEffects):
+ *
+ *   movesParams    the body std::move()s from this parameter — a
+ *                  caller's argument is moved-from after the call.
+ *   escapesParams  the body stores this pointer/reference parameter
+ *                  (or its address) into Field/Global/Param-region
+ *                  storage — the argument must outlive the callee.
+ *   mutatesParams  the body structurally mutates this container
+ *                  parameter (push_back/erase/clear/...) —
+ *                  iterators into the argument may be invalidated.
+ *
+ * Summaries merge across same-name overloads only when EVERY
+ * candidate agrees (suppress-only merging): a misresolved overload
+ * can hide a finding but never invent one.
+ *
+ * The model also indexes namespace-scope initializers per file with
+ * a constant-vs-dynamic classification, the raw material of the
+ * init-order family: only a *dynamically* initialized global read
+ * from another TU's initializer is an ordering hazard.
+ */
+
+#ifndef VSGPU_TOOLS_LINT_LIFETIME_MODEL_HH
+#define VSGPU_TOOLS_LINT_LIFETIME_MODEL_HH
+
+#include "semantic.hh"
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace vsgpu::lint::df
+{
+struct Cfg;
+struct Stmt;
+} // namespace vsgpu::lint::df
+
+namespace vsgpu::lint::lm
+{
+
+using TokenVec = std::vector<Token>;
+
+/** Storage regions, in outlives order (longer-lived = larger). */
+enum class Region
+{
+    Temporary, ///< full-expression lifetime
+    Local,     ///< automatic storage of the current frame
+    Param,     ///< caller-owned storage seen through a parameter
+    Field,     ///< member of *this — lives with the object
+    Global,    ///< namespace scope / static storage
+    Unknown,   ///< could not classify — suppresses findings
+};
+
+/** Lattice rank; Unknown ranks highest so it never flags. */
+int regionRank(Region region);
+
+/** True when storage in @p longer lives at least as long as
+ *  storage in @p shorter (Unknown outlives everything). */
+bool outlives(Region longer, Region shorter);
+
+/** Human-readable region name ("local", "field", ...). */
+std::string_view regionName(Region region);
+
+/** View types whose instances borrow storage they do not own. */
+bool isViewTypeName(std::string_view name);
+
+/** Owning value types (string, vector, ...) — a function returning
+ *  one BY VALUE hands back a temporary that dies with the
+ *  full-expression. */
+bool isOwnerTypeName(std::string_view name);
+
+/** Container members that may reallocate or erase storage and so
+ *  invalidate iterators/references/pointers into the container. */
+bool isInvalidatingMemberName(std::string_view name);
+
+/** Members that give back an iterator/reference/pointer INTO the
+ *  receiver (begin, find, data, front, ...). */
+bool isViewReturningMemberName(std::string_view name);
+
+/** Members that reinitialize a moved-from object (clear, reset,
+ *  assign) — they end the moved-from state. */
+bool isReinitMemberName(std::string_view name);
+
+/** Return-type summary of a function definition. */
+struct ReturnInfo
+{
+    std::string type; ///< last type identifier ("", ctors/dtors)
+    bool byRef = false;  ///< returns T& / T&&
+    bool isView = false; ///< returns a view type by value
+    bool isOwner = false; ///< returns an owning type by value
+};
+
+/** Per-function lifetime summary (direct + propagated). */
+struct FunctionLifetime
+{
+    ReturnInfo ret;
+    bool isConstexpr = false; ///< constexpr in the declaration head
+    std::set<int> movesParams;
+    std::set<int> escapesParams;
+    std::set<int> mutatesParams;
+    /** Call-path provenance for propagated entries ("via helper"). */
+    std::map<int, std::string> moveVia;
+    std::map<int, std::string> escapeVia;
+    std::map<int, std::string> mutateVia;
+};
+
+/** One namespace-scope variable with an initializer. */
+struct GlobalInit
+{
+    std::string name;
+    int fileIndex = 0;
+    int line = 0;
+    std::size_t initBegin = 0; ///< token range of the initializer
+    std::size_t initEnd = 0;   ///< (end exclusive)
+    /** Initializer calls a function or reads another mutable
+     *  global — runs at dynamic-initialization time, so its order
+     *  against other TUs' dynamic initializers is unspecified. */
+    bool dynamic = false;
+};
+
+/** The model: built once per Project, consumed by the families. */
+class LifetimeModel
+{
+  public:
+    static LifetimeModel build(
+        const std::vector<SourceFile> &sources,
+        const std::vector<TokenVec> &tokens,
+        const SymbolIndex &index, int rounds = 4);
+
+    const FunctionLifetime &of(int fnId) const
+    {
+        return fns_[static_cast<std::size_t>(fnId)];
+    }
+    const std::vector<GlobalInit> &globalInits() const
+    {
+        return inits_;
+    }
+    /** Indexes into globalInits() for @p name (may be empty). */
+    const std::vector<int> &initsOf(const std::string &name) const;
+
+  private:
+    std::vector<FunctionLifetime> fns_;
+    std::vector<GlobalInit> inits_;
+    std::map<std::string, std::vector<int>> initByName_;
+};
+
+/** Locally declared names of @p cfg (skips static locals, which
+ *  live in the Global region). */
+std::set<std::string> localsOf(const TokenVec &toks,
+                               const df::Cfg &cfg);
+
+/** Classify @p name inside @p fn.  @p locals from localsOf(). */
+Region regionOf(const SymbolIndex &index, const FunctionDef &fn,
+                const std::set<std::string> &locals,
+                const std::string &name);
+
+/** One move event inside a statement. */
+struct MoveEvent
+{
+    std::string name;       ///< the moved-from variable root
+    std::size_t offset = 0; ///< byte offset of the event
+    std::string via;        ///< "" direct, "via helper ..." else
+};
+
+/**
+ * Moves performed by @p stmt: direct `std::move(x)` of a single
+ * identifier, plus calls whose every same-name candidate moves from
+ * the argument position @p stmt passes `x` in (sink parameters,
+ * any bounded number of calls deep via the model's propagation).
+ */
+std::vector<MoveEvent> movesInStmt(const TokenVec &toks,
+                                   const df::Stmt &stmt,
+                                   const SymbolIndex &index,
+                                   const LifetimeModel &model);
+
+/** True when tokens [begin, end) contain `& name` with `&` used as
+ *  address-of (not a binary operand or reference declarator). */
+bool addressTakenIn(const TokenVec &toks, std::size_t begin,
+                    std::size_t end, std::string_view name);
+
+/** Token index in [begin, end) whose byte offset is @p offset;
+ *  returns end when absent. */
+std::size_t tokenAt(const TokenVec &toks, std::size_t begin,
+                    std::size_t end, std::size_t offset);
+
+/** Argument token ranges of the call whose '(' is at @p open. */
+std::vector<std::pair<std::size_t, std::size_t>>
+argTokenRanges(const TokenVec &toks, std::size_t open);
+
+/** The sole identifier of an argument range — `x`, `& x`, or
+ *  `std::move(x)` all yield "x"; anything structured yields "". */
+std::string soleIdentArg(const TokenVec &toks, std::size_t begin,
+                         std::size_t end);
+
+/** Insertion members that store an argument into the receiver
+ *  (push_back, insert, emplace, ...) — the escape-into-registry
+ *  shapes, as opposed to erase/clear which only invalidate. */
+bool isInsertingMemberName(std::string_view name);
+
+} // namespace vsgpu::lint::lm
+
+#endif // VSGPU_TOOLS_LINT_LIFETIME_MODEL_HH

@@ -36,6 +36,10 @@
  *   // vsgpu-lint: atomics-ok(<reason>)    atomics-misuse
  *   // vsgpu-lint: hb-ok(<reason>)         pool-happens-before
  *   // vsgpu-lint: fp-order-ok(<reason>)   fp-determinism
+ *   // vsgpu-lint: move-ok(<reason>)       use-after-move
+ *   // vsgpu-lint: view-ok(<reason>)       dangling-view
+ *   // vsgpu-lint: iter-ok(<reason>)       iterator-invalidation
+ *   // vsgpu-lint: initorder-ok(<reason>)  init-order
  * A waiver on the diagnosed line or the line above it applies.
  */
 
@@ -54,10 +58,13 @@ namespace vsgpu::lint
 /** Check families, in severity-neutral declaration order.  The
  *  first five are per-file token-level families; the rest are
  *  project-wide semantic families built on the symbol index / call
- *  graph / dataflow core (semantic.hh, dataflow.hh).  The last four
+ *  graph / dataflow core (semantic.hh, dataflow.hh).  Families 9-12
  *  form the concurrency-soundness engine gating the pipeline-parallel
  *  cosim work (lock-discipline, atomics-misuse, pool-happens-before,
- *  fp-determinism). */
+ *  fp-determinism); families 13-16 form the lifetime/ownership
+ *  engine on the region/escape model (lifetime_model.hh):
+ *  use-after-move, dangling-view, iterator-invalidation,
+ *  init-order. */
 enum class Check
 {
     UnitSafety,
@@ -72,6 +79,10 @@ enum class Check
     AtomicsMisuse,
     PoolHappensBefore,
     FpDeterminism,
+    UseAfterMove,
+    DanglingView,
+    IterInvalidation,
+    InitOrder,
 };
 
 /** Every family, in declaration order (CLI listings, round-trips). */
@@ -82,6 +93,8 @@ inline constexpr Check kAllChecks[] = {
     Check::UnitFlow,     Check::DeterminismTaint,
     Check::LockDiscipline, Check::AtomicsMisuse,
     Check::PoolHappensBefore, Check::FpDeterminism,
+    Check::UseAfterMove, Check::DanglingView,
+    Check::IterInvalidation, Check::InitOrder,
 };
 
 /** True for the project-wide semantic families. */

@@ -7,15 +7,19 @@
  *              [--baseline <file> | --no-baseline]
  *              [--write-baseline] [--list-checks]
  *              [--explain <id>]
- *              [--sarif <file>] [--dump-index <file>] [file...]
+ *              [--sarif <file>] [--dump-index <file>]
+ *              [--timings <file>] [file...]
  *
  * With no file arguments, lints every project source named by the
  * compile database (<build-dir>/compile_commands.json, default
- * build dir "build") plus every header under src/ — headers never
+ * build dir "build") plus every header under src/, bench/, tools/,
+ * and tests/ (the lint fixture corpus excluded) — headers never
  * appear in a compile database but carry the interfaces the
  * unit-safety family polices.  Explicit file arguments are linted
  * with every enabled check regardless of path scoping (fixture
- * tests rely on this).
+ * tests rely on this).  --timings writes wall-clock and per-family
+ * seconds/finding counts as JSON for the CI budget gate
+ * (scripts/check_bench.py --lint against BENCH_lint.json).
  *
  * Exit status: 0 clean (or baselined), 1 new diagnostics, 2 usage /
  * I/O error.
@@ -25,9 +29,11 @@
 #include "semantic.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <iomanip>
 #include <iostream>
 #include <map>
 #include <set>
@@ -50,6 +56,7 @@ struct Options
     bool verbose = false;
     std::string sarifPath;     ///< write SARIF 2.1.0 log here
     std::string dumpIndexPath; ///< write symbol-index JSON here
+    std::string timingsPath;   ///< write wall/per-family JSON here
     std::vector<Check> checks{std::begin(kAllChecks),
                               std::end(kAllChecks)};
     std::vector<std::string> files;
@@ -62,6 +69,7 @@ usage(std::ostream &os)
           "                  [--baseline file | --no-baseline]\n"
           "                  [--write-baseline] [--verbose]\n"
           "                  [--sarif file] [--dump-index file]\n"
+          "                  [--timings file]\n"
           "                  [--explain id] [--list-checks] "
           "[file...]\n";
     return 2;
@@ -165,6 +173,11 @@ main(int argc, char **argv)
             if (!v)
                 return usage(std::cerr);
             opt.dumpIndexPath = v;
+        } else if (arg == "--timings") {
+            const char *v = next();
+            if (!v)
+                return usage(std::cerr);
+            opt.timingsPath = v;
         } else if (arg == "--explain") {
             const char *v = next();
             if (!v)
@@ -224,11 +237,16 @@ main(int argc, char **argv)
                     targets.push_back(canon);
             }
             // Headers never appear in the compile database; the
-            // unit-safety family lives in src/ headers and the
+            // unit-safety family lives in src/ headers, the
             // concurrency families cover bench/ and tools/ (they
-            // submit to pools too), so sweep all three trees.
+            // submit to pools too), and the lifetime families
+            // cover tests/ as well — test helpers hold views and
+            // move values like any other code.  The lint fixture
+            // corpus is excluded: it exists to CONTAIN seeded
+            // violations.
             if (!repoRoot.empty()) {
-                for (const char *tree : {"src", "bench", "tools"}) {
+                for (const char *tree :
+                     {"src", "bench", "tools", "tests"}) {
                     const fs::path dir = repoRoot / tree;
                     if (!fs::is_directory(dir))
                         continue;
@@ -240,6 +258,10 @@ main(int argc, char **argv)
                         std::error_code ec;
                         const fs::path canon =
                             fs::weakly_canonical(entry.path(), ec);
+                        if (canon.string().find(
+                                "tests/lint/fixtures") !=
+                            std::string::npos)
+                            continue;
                         if (seen.insert(canon.string()).second)
                             targets.push_back(canon);
                     }
@@ -277,22 +299,49 @@ main(int argc, char **argv)
             dumpIndexJson(project, out);
         }
 
+        if (opt.verbose)
+            for (const SourceFile &src : sources)
+                std::cerr << "lint " << src.display() << "\n";
+
+        // One pass per family so --timings can attribute wall time
+        // and raw finding counts to each check (the CI budget gate
+        // and the job summary both read the breakdown).
+        struct FamilyTiming
+        {
+            std::string_view name;
+            double seconds = 0.0;
+            std::size_t diagnostics = 0;
+        };
+        using Clock = std::chrono::steady_clock;
+        const auto secondsSince = [](Clock::time_point t0) {
+            return std::chrono::duration<double>(Clock::now() - t0)
+                .count();
+        };
+        const auto wallStart = Clock::now();
+
         CheckOptions checkOpts;
         std::vector<Diagnostic> diags;
-        for (const SourceFile &src : sources) {
-            if (opt.verbose)
-                std::cerr << "lint " << src.display() << "\n";
-            try {
-                runChecks(src, opt.checks, checkOpts, explicitFiles,
-                          diags);
-            } catch (const std::exception &err) {
-                // Name the file that broke the tokenizer or a check;
-                // without this a fixture sweep fails anonymously.
-                throw std::runtime_error(src.display() + ": " +
-                                        err.what());
+        std::vector<FamilyTiming> famTimes;
+        for (Check check : opt.checks) {
+            const auto t0 = Clock::now();
+            const std::size_t before = diags.size();
+            const std::vector<Check> one{check};
+            for (const SourceFile &src : sources) {
+                try {
+                    runChecks(src, one, checkOpts, explicitFiles,
+                              diags);
+                } catch (const std::exception &err) {
+                    // Name the file that broke the tokenizer or a
+                    // check; without this a fixture sweep fails
+                    // anonymously.
+                    throw std::runtime_error(src.display() + ": " +
+                                             err.what());
+                }
             }
+            runProjectChecks(project, one, explicitFiles, diags);
+            famTimes.push_back({checkName(check), secondsSince(t0),
+                                diags.size() - before});
         }
-        runProjectChecks(project, opt.checks, explicitFiles, diags);
         dedupeFamilyOverlap(diags);
 
         std::sort(diags.begin(), diags.end(),
@@ -352,6 +401,30 @@ main(int argc, char **argv)
             const auto baseline = loadBaseline(baselinePath);
             fresh = subtractBaseline(diags, sources, baseline);
             baselined = diags.size() - fresh.size();
+        }
+
+        if (!opt.timingsPath.empty()) {
+            std::ofstream out(opt.timingsPath);
+            if (!out) {
+                std::cerr << "vsgpu_lint: cannot write timings "
+                          << opt.timingsPath << "\n";
+                return 2;
+            }
+            out << std::fixed << std::setprecision(6);
+            out << "{\n  \"files\": " << sources.size()
+                << ",\n  \"wall_seconds\": "
+                << secondsSince(wallStart)
+                << ",\n  \"new_diagnostics\": " << fresh.size()
+                << ",\n  \"families\": [\n";
+            for (std::size_t i = 0; i < famTimes.size(); ++i) {
+                const FamilyTiming &ft = famTimes[i];
+                out << "    {\"check\": \"" << ft.name
+                    << "\", \"seconds\": " << ft.seconds
+                    << ", \"diagnostics\": " << ft.diagnostics
+                    << "}" << (i + 1 < famTimes.size() ? "," : "")
+                    << "\n";
+            }
+            out << "  ]\n}\n";
         }
 
         if (!opt.sarifPath.empty()) {

@@ -37,12 +37,18 @@
 #include "lint.hh"
 
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
 #include <vector>
 
 namespace vsgpu::lint
 {
+
+namespace lm
+{
+class LifetimeModel; // lifetime_model.hh
+} // namespace lm
 
 /** One function parameter as parsed from the definition. */
 struct ParamInfo
@@ -61,6 +67,8 @@ struct FunctionDef
     std::string className; ///< qualifying/enclosing class, "" if free
     int fileIndex = 0;     ///< into Project::sources()
     int line = 0;          ///< of the name token
+    std::size_t nameTok = 0;   ///< token index of the name (for the
+                               ///< lifetime model's return-type scan)
     std::size_t bodyBegin = 0; ///< token index just past the '{'
     std::size_t bodyEnd = 0;   ///< token index of the closing '}'
     std::vector<ParamInfo> params;
@@ -231,11 +239,15 @@ class Project
     /** Functions whose unqualified name is @p name (may be empty). */
     const std::vector<int> &lookup(const std::string &name) const;
 
+    /** Region/escape lifetime model (built once in the ctor). */
+    const lm::LifetimeModel &lifetime() const { return *lifetime_; }
+
   private:
     std::vector<SourceFile> sources_;
     std::vector<std::vector<Token>> tokens_;
     SymbolIndex index_;
     CallGraph graph_;
+    std::shared_ptr<const lm::LifetimeModel> lifetime_;
 };
 
 /**
@@ -317,9 +329,56 @@ void checkFpDeterminism(const Project &project,
                         std::vector<Diagnostic> &out);
 
 /**
+ * Family 13: use-after-move — a moved-from local or parameter read
+ * before reinitialization (use-after-move.use) or moved a second
+ * time (.double-move), with the move visible directly or through a
+ * sink-parameter callee any bounded number of calls deep ("via
+ * helper" provenance).  May-moves on one branch flag later uses on
+ * the joined path, like clang-tidy's bugprone-use-after-move.
+ */
+void checkUseAfterMove(const Project &project,
+                       std::vector<Diagnostic> &out);
+
+/**
+ * Family 14: dangling-view — a view (string_view/span/reference/
+ * pointer) outliving its referent: returning a view of a Local
+ * (dangling-view.return-local), binding a view to an owning
+ * temporary returned by value (.bind-temporary), or escaping the
+ * address/view of a Local into Field/Global/Param-region storage,
+ * including registries reached through a callee whose parameter
+ * escapes (.escape-local, "via helper").
+ */
+void checkDanglingView(const Project &project,
+                       std::vector<Diagnostic> &out);
+
+/**
+ * Family 15: iterator-invalidation — an iterator/reference/pointer
+ * into a container used after a may-mutate operation on that
+ * container (iterator-invalidation.use-after-mutate), cross-TU when
+ * the mutation hides inside a callee that mutates its container
+ * parameter; and range-for bodies structurally mutating the
+ * container they iterate (.mutate-while-iterating).
+ */
+void checkIterInvalidation(const Project &project,
+                           std::vector<Diagnostic> &out);
+
+/**
+ * Family 16: init-order — a namespace-scope initializer reading a
+ * global whose dynamic initialization lives in another translation
+ * unit (init-order.cross-tu), directly or through a single helper
+ * call (.via-call): whether the other TU ran first is unspecified
+ * (the static initialization order fiasco).
+ */
+void checkInitOrder(const Project &project,
+                    std::vector<Diagnostic> &out);
+
+/**
  * Drop token-level pool-concurrency findings that a semantic pool
  * family also reports at the same file:line — one id wins (the
- * dotted semantic one, which carries provenance).
+ * dotted semantic one, which carries provenance).  Among lifetime
+ * families at one file:line, use-after-move outranks
+ * iterator-invalidation, which outranks dangling-view (the same
+ * malformed statement often trips more than one model).
  */
 void dedupeFamilyOverlap(std::vector<Diagnostic> &diags);
 

@@ -43,6 +43,14 @@ checkName(Check check)
         return "pool-happens-before";
       case Check::FpDeterminism:
         return "fp-determinism";
+      case Check::UseAfterMove:
+        return "use-after-move";
+      case Check::DanglingView:
+        return "dangling-view";
+      case Check::IterInvalidation:
+        return "iterator-invalidation";
+      case Check::InitOrder:
+        return "init-order";
     }
     return "unknown";
 }
@@ -67,7 +75,11 @@ isProjectCheck(Check check)
            check == Check::LockDiscipline ||
            check == Check::AtomicsMisuse ||
            check == Check::PoolHappensBefore ||
-           check == Check::FpDeterminism;
+           check == Check::FpDeterminism ||
+           check == Check::UseAfterMove ||
+           check == Check::DanglingView ||
+           check == Check::IterInvalidation ||
+           check == Check::InitOrder;
 }
 
 namespace
@@ -357,6 +369,21 @@ checkAppliesTo(Check check, std::string_view display)
         return pathContains(display, "src/") ||
                pathContains(display, "bench/") ||
                pathContains(display, "tools/");
+      case Check::UseAfterMove:
+      case Check::DanglingView:
+      case Check::IterInvalidation:
+      case Check::InitOrder:
+        // The lifetime families additionally cover tests/ — test
+        // helpers pass views and iterators across lambdas and
+        // fixtures just like the library — but never the lint
+        // fixture corpus, whose *_violate halves are intentionally
+        // broken and only ever linted as explicit file arguments.
+        if (pathContains(display, "tests/lint/fixtures/"))
+            return false;
+        return pathContains(display, "src/") ||
+               pathContains(display, "bench/") ||
+               pathContains(display, "tools/") ||
+               pathContains(display, "tests/");
     }
     return false;
 }
@@ -392,6 +419,10 @@ runChecks(const SourceFile &src, const std::vector<Check> &checks,
           case Check::AtomicsMisuse:
           case Check::PoolHappensBefore:
           case Check::FpDeterminism:
+          case Check::UseAfterMove:
+          case Check::DanglingView:
+          case Check::IterInvalidation:
+          case Check::InitOrder:
             // Project-wide semantic families: runProjectChecks.
             break;
         }

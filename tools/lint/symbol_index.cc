@@ -20,6 +20,7 @@
 
 #include "concurrency_model.hh"
 #include "dataflow.hh"
+#include "lifetime_model.hh"
 
 #include <algorithm>
 #include <ostream>
@@ -423,6 +424,7 @@ scanFile(int fileIndex, const SourceFile &src, const TokenVec &toks,
                         fn.className = current().className;
                     fn.fileIndex = fileIndex;
                     fn.line = src.lineOf(tok.offset);
+                    fn.nameTok = i;
                     fn.params =
                         parseParams(toks, i + 1, closeParen);
                     fn.bodyBegin = body + 1;
@@ -773,6 +775,8 @@ Project::Project(std::vector<SourceFile> sources)
     index_ = buildSymbolIndex(sources_, tokens_);
     graph_ = buildCallGraph(index_);
     propagateEffects(index_, graph_);
+    lifetime_ = std::make_shared<const lm::LifetimeModel>(
+        lm::LifetimeModel::build(sources_, tokens_, index_));
 }
 
 const std::vector<int> &
@@ -811,6 +815,18 @@ runProjectChecks(const Project &project,
             break;
           case Check::FpDeterminism:
             checkFpDeterminism(project, raw);
+            break;
+          case Check::UseAfterMove:
+            checkUseAfterMove(project, raw);
+            break;
+          case Check::DanglingView:
+            checkDanglingView(project, raw);
+            break;
+          case Check::IterInvalidation:
+            checkIterInvalidation(project, raw);
+            break;
+          case Check::InitOrder:
+            checkInitOrder(project, raw);
             break;
           default:
             break;
