@@ -12,6 +12,7 @@
 #include "circuit/stamping.hh"
 #include "numeric/matrix.hh"
 #include "numeric/sparse.hh"
+#include "obs/profile.hh"
 #include "obs/trace.hh"
 #include "pdn/impedance.hh"
 #include "pdn/vs_pdn.hh"
@@ -316,6 +317,39 @@ BM_TraceScopeEnabled(benchmark::State &state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_TraceScopeEnabled);
+
+/**
+ * The disabled-profiling fast path: one relaxed atomic load (and a
+ * null member left unset) per ProfileScope.  This pins the "near zero
+ * cost when disabled" contract the cosim stage timers rely on, the
+ * profiler analogue of BM_TraceScopeDisabled.
+ */
+void
+BM_ProfileScopeDisabled(benchmark::State &state)
+{
+    obs::setProfiling(false);
+    obs::Profile profile;
+    for (auto _ : state) {
+        obs::ProfileScope scope(&profile, obs::StageGpu);
+        benchmark::ClobberMemory();
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ProfileScopeDisabled);
+
+void
+BM_ProfileScopeEnabled(benchmark::State &state)
+{
+    obs::setProfiling(true);
+    obs::Profile profile;
+    for (auto _ : state) {
+        obs::ProfileScope scope(&profile, obs::StageGpu);
+        benchmark::ClobberMemory();
+    }
+    obs::setProfiling(false);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ProfileScopeEnabled);
 
 } // namespace
 

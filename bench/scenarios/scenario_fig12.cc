@@ -55,7 +55,13 @@ runFig12ThresholdSweep(ScenarioContext &ctx)
                     Volts{kThresholds[p.threshold]};
             }
             cfg.maxCycles = ctx.cycles(200000);
-            return runPoint(ctx, cfg, p.bench);
+            const std::string label =
+                std::string(benchmarkName(p.bench)) +
+                (p.threshold < 0
+                     ? "/baseline"
+                     : "/vth=" +
+                           formatFixed(kThresholds[p.threshold], 2));
+            return runPoint(ctx, cfg, p.bench, label);
         });
 
     Table table("penalty (%) per benchmark");

@@ -87,7 +87,12 @@ runFig13ActuatorTradeoff(ScenarioContext &ctx)
                 cfg.pds.controller.w3 = w.w3;
             }
             cfg.maxCycles = ctx.cycles(200000);
-            return runPoint(ctx, cfg, kSet[run.bench]);
+            const std::string label =
+                std::string(benchmarkName(kSet[run.bench])) +
+                (run.weight < 0
+                     ? "/conv"
+                     : "/w" + std::to_string(run.weight));
+            return runPoint(ctx, cfg, kSet[run.bench], label);
         });
 
     const auto outcomeOf = [&results](int w) {

@@ -50,7 +50,10 @@ runFig14PenaltySaving(ScenarioContext &ctx)
                                      ? PdsKind::VsCrossLayer
                                      : PdsKind::ConventionalVrm);
             cfg.maxCycles = ctx.cycles(250000);
-            return runPoint(ctx, cfg, run.bench);
+            const std::string label =
+                std::string(benchmarkName(run.bench)) +
+                (run.crossLayer ? "/vs" : "/conv");
+            return runPoint(ctx, cfg, run.bench, label);
         });
 
     Table table("cross-layer VS vs conventional VRM");

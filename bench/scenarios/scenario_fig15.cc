@@ -75,13 +75,19 @@ runFig15Dfs(ScenarioContext &ctx)
             CosimConfig cfg;
             cfg.pds = defaultPds(run.kind);
             cfg.maxCycles = ctx.cycles(300000);
+            cfg.sampleEvery = Seconds{ctx.sampleEverySec};
             CoSimulator sim(ctx.cache.withSetup(cfg));
             sim.attachDfs(&dfs);
             if (run.useHypervisor)
                 sim.attachHypervisor(&hv);
             CosimResult r =
                 sim.run(benchWorkload(ctx, kSet[run.bench]));
-            ctx.record(r.counters);
+            const std::string label =
+                std::string(pdsName(run.kind)) +
+                (run.useHypervisor ? "+hv" : "") + "/target=" +
+                formatFixed(run.perfTarget, 1) + "/" +
+                benchmarkName(kSet[run.bench]);
+            ctx.recordObs(label, r);
             return r;
         });
 

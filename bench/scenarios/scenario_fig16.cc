@@ -79,6 +79,7 @@ runFig16Pg(ScenarioContext &ctx)
             if (c.gating)
                 cfg.gpu.sm.scheduler = SchedulerKind::Gates;
             cfg.maxCycles = ctx.cycles(300000);
+            cfg.sampleEvery = Seconds{ctx.sampleEverySec};
             CoSimulator sim(ctx.cache.withSetup(cfg));
             if (c.gating) {
                 sim.attachPg(&pg);
@@ -87,7 +88,9 @@ runFig16Pg(ScenarioContext &ctx)
             }
             CosimResult r =
                 sim.run(benchWorkload(ctx, kSet[run.bench]));
-            ctx.record(r.counters);
+            ctx.recordObs(std::string(c.id) + "/" +
+                              benchmarkName(kSet[run.bench]),
+                          r);
             return r;
         });
 

@@ -76,6 +76,7 @@ runFig17Imbalance(ScenarioContext &ctx)
             if (run.pm == Pm::Pg)
                 cfg.gpu.sm.scheduler = SchedulerKind::Gates;
             cfg.maxCycles = ctx.cycles(200000);
+            cfg.sampleEvery = Seconds{ctx.sampleEverySec};
             CoSimulator sim(ctx.cache.withSetup(cfg));
             if (run.pm == Pm::Dfs) {
                 sim.attachDfs(&dfs);
@@ -86,7 +87,14 @@ runFig17Imbalance(ScenarioContext &ctx)
             }
             const CosimResult r =
                 sim.run(benchWorkload(ctx, run.bench));
-            ctx.record(r.counters);
+            const char *pm = run.pm == Pm::None  ? "none"
+                             : run.pm == Pm::Dfs ? "dfs"
+                                                 : "pg";
+            const std::string label =
+                std::string(pm) + "/target=" +
+                formatFixed(run.dfsTarget, 1) + "/" +
+                benchmarkName(run.bench);
+            ctx.recordObs(label, r);
             return r.imbalanceBins;
         });
 

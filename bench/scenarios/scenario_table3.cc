@@ -55,7 +55,10 @@ runTable3PdsComparison(ScenarioContext &ctx)
             CosimConfig cfg;
             cfg.pds = defaultPds(kKinds[run.kind].kind);
             cfg.maxCycles = ctx.cycles(defaultMaxCycles);
-            return runPoint(ctx, cfg, run.bench);
+            const std::string label =
+                std::string(kKinds[run.kind].id) + "/" +
+                benchmarkName(run.bench);
+            return runPoint(ctx, cfg, run.bench, label);
         });
 
     Table table("Table III");

@@ -46,15 +46,21 @@ benchWorkload(const ScenarioContext &ctx, Benchmark b,
 /**
  * Run one benchmark against one configuration, sharing the
  * electrical setup through the scenario's cache.  Bitwise-identical
- * to building the setup privately.
+ * to building the setup privately.  @p label names the run in the
+ * time-series dump (unique per scenario); the context's telemetry
+ * cadence is injected here, so scenario code never has to know
+ * whether sampling is on.
  */
 inline CosimResult
 runPoint(ScenarioContext &ctx, const CosimConfig &cfg, Benchmark b,
+         const std::string &label,
          int baseInstrs = sweepBenchInstrs)
 {
-    CoSimulator sim(ctx.cache.withSetup(cfg));
+    CosimConfig pointCfg = cfg;
+    pointCfg.sampleEvery = Seconds{ctx.sampleEverySec};
+    CoSimulator sim(ctx.cache.withSetup(pointCfg));
     CosimResult result = sim.run(benchWorkload(ctx, b, baseInstrs));
-    ctx.record(result.counters);
+    ctx.recordObs(label, result);
     return result;
 }
 

@@ -7,6 +7,7 @@
 
 #include "circuit/solver.hh"
 #include "common/logging.hh"
+#include "obs/flight_recorder.hh"
 #include "obs/trace.hh"
 #include "sim/stats_export.hh"
 
@@ -57,11 +58,18 @@ findScenario(const std::string &name)
 Summary
 runScenario(const ScenarioInfo &info, const ScenarioOptions &opts,
             std::ostream &out, obs::StatsRegistry *stats,
-            obs::Manifest *manifest)
+            obs::Manifest *manifest, ScenarioTelemetry *telemetry)
 {
     exec::Pool pool(opts.jobs);
     exec::SetupCache cache;
     ScenarioContext ctx{pool, cache, opts.scale, out};
+    ctx.sampleEverySec = opts.sampleEverySec;
+
+    exec::ProgressTracker progress(opts.progress);
+    if (opts.progress || telemetry != nullptr)
+        pool.setHooks(progress.hooks());
+    if (opts.profile)
+        obs::setProfiling(true);
 
     out << "=====================================================\n"
         << info.name << ": " << info.title << "\n"
@@ -72,6 +80,29 @@ runScenario(const ScenarioInfo &info, const ScenarioOptions &opts,
     Summary summary = info.fn(ctx);
     summary.scenario = info.name;
     summary.scale = opts.scale;
+
+    if (opts.profile)
+        obs::setProfiling(false);
+    progress.finish();
+
+    if (telemetry != nullptr) {
+        if (opts.sampleEverySec > 0.0) {
+            telemetry->series.sampleEverySec = opts.sampleEverySec;
+            telemetry->series.dtSec = config::clockPeriod.raw();
+            telemetry->series.windowCycles =
+                obs::timeSeriesWindowCycles(config::clockPeriod.raw(),
+                                            opts.sampleEverySec);
+            for (const auto &entry : ctx.series)
+                telemetry->series.runs.push_back(*entry.second);
+        }
+        telemetry->profile = ctx.profile;
+        telemetry->taskRecords = progress.records();
+    }
+    if (opts.progress) {
+        for (const exec::TaskRecord &t : progress.records())
+            summary.taskRecords.push_back(
+                SummaryTask{t.batch, t.task, t.wallMs});
+    }
 
     if (stats != nullptr) {
         registerCounters(*stats, ctx.counters);
@@ -106,6 +137,8 @@ scenarioMain(const char *name, int argc, char **argv)
     std::string statsPath;
     std::string tracePath;
     std::string traceCategories;
+    std::string timeseriesPath;
+    std::string flightPath;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         const bool hasValue = i + 1 < argc;
@@ -121,6 +154,16 @@ scenarioMain(const char *name, int argc, char **argv)
             tracePath = argv[++i];
         } else if (arg == "--trace-categories" && hasValue) {
             traceCategories = argv[++i];
+        } else if (arg == "--sample-every" && hasValue) {
+            opts.sampleEverySec = std::atof(argv[++i]);
+        } else if (arg == "--timeseries-out" && hasValue) {
+            timeseriesPath = argv[++i];
+        } else if (arg == "--profile") {
+            opts.profile = true;
+        } else if (arg == "--progress") {
+            opts.progress = true;
+        } else if (arg == "--flight-out" && hasValue) {
+            flightPath = argv[++i];
         } else if (arg == "--solver" && hasValue) {
             SolverKind kind;
             if (!parseSolverKind(argv[++i], kind)) {
@@ -145,6 +188,16 @@ scenarioMain(const char *name, int argc, char **argv)
                    "JSON file\n"
                 << "  --trace-categories LIST  comma list of phase,"
                    "pool,ctl,hv,all\n"
+                << "  --sample-every SEC  windowed time-series "
+                   "telemetry cadence (sim seconds)\n"
+                << "  --timeseries-out PATH  write the time-series "
+                   "dump as JSON\n"
+                << "  --profile    stage-cost self-profiler (report "
+                   "on stdout, JSON in --stats-out)\n"
+                << "  --progress   live per-task progress line on "
+                   "stderr\n"
+                << "  --flight-out PATH  crash-dump flight recorder "
+                   "JSON here\n"
                 << "  --solver KIND  MNA linear solver: sparse "
                    "(default) or dense\n";
             return 0;
@@ -162,16 +215,27 @@ scenarioMain(const char *name, int argc, char **argv)
     if (!tracePath.empty())
         obs::Tracer::instance().enable(
             obs::parseTraceCategories(traceCategories));
+    if (!flightPath.empty())
+        obs::setFlightDumpPath(flightPath);
 
     setLogQuiet(true);
     obs::StatsRegistry registry;
     obs::Manifest manifest;
-    const Summary summary = runScenario(*info, opts, std::cout,
-                                        &registry, &manifest);
+    ScenarioTelemetry telemetry;
+    const Summary summary =
+        runScenario(*info, opts, std::cout, &registry, &manifest,
+                    &telemetry);
 
     std::cout << "\nSummary metrics:\n";
     for (const SummaryMetric &m : summary.metrics)
         std::cout << "  " << m.name << " = " << m.value << "\n";
+
+    if (opts.profile && telemetry.profile.runs > 0) {
+        registry.setProfileJson(
+            obs::writeProfileJson(telemetry.profile, "  "));
+        std::cout << "\n"
+                  << obs::renderProfileReport(telemetry.profile);
+    }
 
     if (!jsonPath.empty()) {
         std::ofstream out(jsonPath);
@@ -183,6 +247,11 @@ scenarioMain(const char *name, int argc, char **argv)
         std::cout << "\nwrote " << jsonPath << "\n";
     }
     if (!statsPath.empty()) {
+        if (!tracePath.empty()) {
+            registerTraceStats(
+                registry, obs::Tracer::instance().numEvents(),
+                obs::Tracer::instance().droppedEvents());
+        }
         std::ofstream out(statsPath);
         if (!out.good()) {
             std::cerr << "cannot write " << statsPath << "\n";
@@ -191,6 +260,16 @@ scenarioMain(const char *name, int argc, char **argv)
         registry.setManifest(manifest);
         registry.dumpJson(out);
         std::cout << "wrote " << statsPath << "\n";
+    }
+    if (!timeseriesPath.empty()) {
+        std::ofstream out(timeseriesPath);
+        if (!out.good()) {
+            std::cerr << "cannot write " << timeseriesPath << "\n";
+            return 1;
+        }
+        obs::writeTimeSeriesJson(telemetry.series, out);
+        std::cout << "wrote " << timeseriesPath << " ("
+                  << telemetry.series.runs.size() << " runs)\n";
     }
     if (!tracePath.empty()) {
         obs::Tracer::instance().disable();

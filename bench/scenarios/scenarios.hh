@@ -29,16 +29,22 @@
 #include <algorithm>
 #include <cmath>
 #include <iosfwd>
+#include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
 #include "bench/scenarios/summary.hh"
+#include "common/logging.hh"
 #include "common/units.hh"
 #include "exec/pool.hh"
+#include "exec/progress.hh"
 #include "exec/setup_cache.hh"
 #include "exec/sweep.hh"
+#include "obs/profile.hh"
 #include "obs/stats_registry.hh"
+#include "obs/timeseries.hh"
 #include "sim/metrics.hh"
 
 namespace vsgpu::scen
@@ -56,6 +62,33 @@ struct ScenarioOptions
      * at goldenScale to keep tier-1 wall-clock small.
      */
     double scale = 1.0;
+
+    /**
+     * Time-series sampling window for every co-simulation, in
+     * *simulated* seconds (<= 0 disables; CosimConfig::sampleEvery).
+     * Observability only: never perturbs results.
+     */
+    double sampleEverySec = 0.0;
+
+    /** Enable the stage-cost self-profiler for the run. */
+    bool profile = false;
+
+    /** Render a live per-task progress line on stderr. */
+    bool progress = false;
+};
+
+/** Optional observability artifacts harvested by runScenario(). */
+struct ScenarioTelemetry
+{
+    /** Per-run windowed series (empty when sampling was off). */
+    obs::TimeSeriesDoc series;
+
+    /** Aggregated stage-cost profile (runs == 0 when off). */
+    obs::Profile profile;
+
+    /** Per-task progress records, sorted by (batch, task).  Wall
+     *  timings are schedule-dependent: diagnostics only. */
+    std::vector<exec::TaskRecord> taskRecords;
 };
 
 /** Scale used when recording and replaying golden summaries. */
@@ -70,6 +103,10 @@ struct ScenarioContext
 
     /** Sink for the human-readable tables. */
     std::ostream &out;
+
+    /** Sampling window injected into every runPoint() config (sim
+     *  seconds; <= 0 disables; ScenarioOptions::sampleEverySec). */
+    double sampleEverySec = 0.0;
 
     /** Scale an instruction budget (>= 1). */
     int
@@ -104,6 +141,36 @@ struct ScenarioContext
         std::lock_guard<std::mutex> lock(countersMutex);
         counters.add(c);
     }
+
+    /**
+     * Per-run time series keyed by sweep-point label, and the
+     * scenario-wide stage-cost profile.  The map keys order the
+     * eventual dump, so it is identical for any --jobs value even
+     * though tasks *finish* in schedule order.
+     */
+    std::map<std::string, std::shared_ptr<obs::TimeSeriesRun>>
+        series{};
+    obs::Profile profile{};
+
+    /**
+     * Record one run's counters plus its optional telemetry under
+     * @p label (thread-safe; call from tasks).  Labels identify runs
+     * in the time-series dump and must be unique per scenario —
+     * duplicates panic rather than silently shadowing a run.
+     */
+    void
+    recordObs(const std::string &label, const CosimResult &r)
+    {
+        std::lock_guard<std::mutex> lock(countersMutex);
+        counters.add(r.counters);
+        if (r.timeSeries) {
+            r.timeSeries->label = label;
+            panicIfNot(series.emplace(label, r.timeSeries).second,
+                       "duplicate time-series label '", label, "'");
+        }
+        if (r.profile)
+            profile.merge(*r.profile);
+    }
 };
 
 using ScenarioFn = Summary (*)(ScenarioContext &ctx);
@@ -134,11 +201,16 @@ const ScenarioInfo *findScenario(const std::string &name);
  * into the returned summary.  Both default to null so the golden
  * harness keeps producing manifest-free summaries byte-identical
  * to the recorded files.
+ *
+ * When @p telemetry is non-null it receives the time-series dump
+ * (opts.sampleEverySec > 0), the aggregated stage-cost profile
+ * (opts.profile), and the per-task progress records.
  */
 Summary runScenario(const ScenarioInfo &info,
                     const ScenarioOptions &opts, std::ostream &out,
                     obs::StatsRegistry *stats = nullptr,
-                    obs::Manifest *manifest = nullptr);
+                    obs::Manifest *manifest = nullptr,
+                    ScenarioTelemetry *telemetry = nullptr);
 
 /**
  * Shared main() for the thin bench binaries.  Flags:
@@ -148,6 +220,11 @@ Summary runScenario(const ScenarioInfo &info,
  *   --stats-out PATH      write the stats registry dump as JSON
  *   --trace-out PATH      write a Chrome trace_event JSON file
  *   --trace-categories C  comma list: phase,pool,ctl,hv,all
+ *   --sample-every SEC    windowed time-series telemetry cadence
+ *   --timeseries-out PATH write the time-series dump as JSON
+ *   --profile             stage-cost self-profiler + report
+ *   --progress            live per-task progress line on stderr
+ *   --flight-out PATH     crash-dump flight recorder JSON here
  */
 int scenarioMain(const char *name, int argc, char **argv);
 

@@ -85,6 +85,8 @@ class Parser
                 parseManifest(out.manifest);
             } else if (key == "metrics") {
                 parseMetrics(out);
+            } else if (key == "tasks") {
+                parseTasks(out);
             } else {
                 panic("summary JSON: unknown key '", key, "'");
             }
@@ -156,6 +158,38 @@ class Parser
             }
             expect('}');
             out.metrics.push_back(std::move(m));
+        }
+        expect(']');
+    }
+
+    void
+    parseTasks(Summary &out)
+    {
+        expect('[');
+        while (peek() != ']') {
+            if (!out.taskRecords.empty())
+                expect(',');
+            SummaryTask t;
+            expect('{');
+            bool first = true;
+            while (peek() != '}') {
+                if (!first)
+                    expect(',');
+                first = false;
+                const std::string key = parseString();
+                expect(':');
+                if (key == "batch")
+                    t.batch = static_cast<int>(parseNumber());
+                else if (key == "task")
+                    t.task = static_cast<int>(parseNumber());
+                else if (key == "wall_ms")
+                    t.wallMs = parseNumber();
+                else
+                    panic("summary JSON: unknown task key '", key,
+                          "'");
+            }
+            expect('}');
+            out.taskRecords.push_back(t);
         }
         expect(']');
     }
@@ -234,7 +268,18 @@ writeSummaryJson(const Summary &summary, std::ostream &os)
            << ", \"value\": " << formatDouble(m.value)
            << ", \"tol\": " << formatDouble(m.tol) << "}";
     }
-    os << "\n  ]\n}\n";
+    os << "\n  ]";
+    if (!summary.taskRecords.empty()) {
+        os << ",\n  \"tasks\": [";
+        for (std::size_t i = 0; i < summary.taskRecords.size(); ++i) {
+            const SummaryTask &t = summary.taskRecords[i];
+            os << (i ? ",\n" : "\n") << "    {\"batch\": " << t.batch
+               << ", \"task\": " << t.task
+               << ", \"wall_ms\": " << formatDouble(t.wallMs) << "}";
+        }
+        os << "\n  ]";
+    }
+    os << "\n}\n";
 }
 
 Summary

@@ -33,6 +33,19 @@ struct SummaryMetric
     double tol = 0.0;
 };
 
+/**
+ * One completed pool task (mirrors exec::TaskRecord without the exec
+ * dependency).  Wall times are schedule-dependent diagnostics; the
+ * block is only emitted when progress tracking was on, so recorded
+ * goldens and determinism-gated summaries never contain it.
+ */
+struct SummaryTask
+{
+    int batch = 0;
+    int task = 0;
+    double wallMs = 0.0;
+};
+
 /** All headline metrics of one scenario run. */
 struct Summary
 {
@@ -49,6 +62,10 @@ struct Summary
     obs::Manifest manifest;
 
     std::vector<SummaryMetric> metrics;
+
+    /** Per-task wall-clock diagnostics (empty unless --progress;
+     *  omitted from JSON while empty). */
+    std::vector<SummaryTask> taskRecords;
 
     /** Append one metric. */
     void

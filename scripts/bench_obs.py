@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""Measure the observability overhead of the co-simulation loop.
+
+Usage: bench_obs.py --vsgpu build/tools/vsgpu [--out OBS.json]
+                    [--microbench GBENCH.json]
+                    [--benchmark hotspot] [--instrs 20000]
+                    [--cycles 1200000] [--sample-every 2e-7]
+                    [--repeat 3]
+
+Runs the single co-simulation CLI twice per repetition — once plain,
+once with time-series sampling AND the stage-cost profiler enabled —
+and reports the relative wall-clock overhead of the fully-armed
+observability path.  The two sides run as back-to-back pairs (plain,
+observed, plain, observed, ...) and the overhead is the median of
+the per-pair wall-time ratios: pairing cancels slow machine drift
+and the median resists the occasional descheduled run, which on a
+loaded single-CPU box distorts min- or mean-based estimates by
+several percent.
+
+With --microbench, the disabled-path costs (BM_ProfileScopeDisabled,
+BM_TraceScopeDisabled) are lifted from a google-benchmark JSON file
+so the trajectory also tracks the "observability off" contract.
+
+The resulting JSON feeds `check_bench.py --obs` against the
+BENCH_obs.json trajectory, which holds the hard <=2% overhead budget.
+Stdlib only, no third-party deps.
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+import time
+
+
+def fail(msg: str) -> None:
+    print(f"bench_obs: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def run_once(cmd: list) -> float:
+    start = time.monotonic()
+    proc = subprocess.run(cmd, stdout=subprocess.DEVNULL,
+                          stderr=subprocess.DEVNULL, check=False)
+    elapsed = time.monotonic() - start
+    if proc.returncode != 0:
+        fail(f"{' '.join(cmd)} exited {proc.returncode}")
+    return elapsed
+
+
+def median(values: list) -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def paired_overhead(base_cmd: list, obs_cmd: list,
+                    repeat: int) -> tuple:
+    """(median baseline, median observed, median pair ratio - 1)."""
+    baselines, observeds, ratios = [], [], []
+    for _ in range(repeat):
+        b = run_once(base_cmd)
+        o = run_once(obs_cmd)
+        baselines.append(b)
+        observeds.append(o)
+        ratios.append(o / b)
+    return median(baselines), median(observeds), median(ratios) - 1.0
+
+
+def disabled_ns(path: str) -> dict:
+    with open(path, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    times = {}
+    for bench in doc.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        times[bench.get("name", "")] = float(bench["cpu_time"])
+    out = {}
+    for name, key in (("BM_ProfileScopeDisabled",
+                       "profile_scope_disabled_ns"),
+                      ("BM_TraceScopeDisabled",
+                       "trace_scope_disabled_ns")):
+        if name in times:
+            out[key] = round(times[name], 3)
+    if not out:
+        fail(f"{path}: no *ScopeDisabled benchmarks found")
+    return out
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--vsgpu", required=True,
+                        help="path to the vsgpu CLI binary")
+    parser.add_argument("--out")
+    parser.add_argument("--microbench",
+                        help="google-benchmark JSON with the "
+                             "*ScopeDisabled entries")
+    parser.add_argument("--benchmark", default="hotspot")
+    parser.add_argument("--instrs", type=int, default=20000)
+    parser.add_argument("--cycles", type=int, default=1200000)
+    parser.add_argument("--sample-every", default="2e-7")
+    parser.add_argument("--repeat", type=int, default=3)
+    args = parser.parse_args()
+
+    base_cmd = [args.vsgpu, "run", "--benchmark", args.benchmark,
+                "--instrs", str(args.instrs),
+                "--cycles", str(args.cycles)]
+    obs_cmd = base_cmd + ["--sample-every", args.sample_every,
+                          "--profile"]
+
+    # Warm-up so neither side pays the cold-cache run.
+    run_once(base_cmd)
+    baseline, observed, overhead = paired_overhead(
+        base_cmd, obs_cmd, args.repeat)
+
+    result = {
+        "schema": "vsgpu-bench-obs-v1",
+        "benchmark": args.benchmark,
+        "instrs": args.instrs,
+        "cycles": args.cycles,
+        "sample_every_sec": float(args.sample_every),
+        "repeat": args.repeat,
+        "baseline_sec": round(baseline, 4),
+        "observed_sec": round(observed, 4),
+        "overhead_frac": round(overhead, 5),
+    }
+    if args.microbench:
+        result.update(disabled_ns(args.microbench))
+
+    print(f"bench_obs: baseline {baseline:.3f}s, observed "
+          f"{observed:.3f}s, overhead {overhead:+.2%}")
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(result, fh, indent=2)
+            fh.write("\n")
+        print(f"bench_obs: wrote {args.out}")
+    else:
+        json.dump(result, sys.stdout, indent=2)
+        print()
+
+
+if __name__ == "__main__":
+    main()

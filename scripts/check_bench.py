@@ -11,6 +11,19 @@ Usage (lint wall-clock, BENCH_lint.json):
   check_bench.py --trajectory BENCH_lint.json --lint TIMINGS.json
                  [--record --note "..."]
 
+Usage (observability overhead, BENCH_obs.json):
+  check_bench.py --trajectory BENCH_obs.json --obs OBS.json
+                 [--record --note "..."]
+
+The obs gate reads the JSON written by `scripts/bench_obs.py` and
+enforces the trajectory's hard "overhead_budget": the fully-armed
+observability path (time-series sampling + stage profiler) may not
+slow the co-simulation loop by more than that fraction.  The
+disabled-path costs (ns per ProfileScope / trace point with the
+global gates off) are recorded as machine-local trend context, with
+a generous "disabled_ns_ceiling" sanity bound so an accidentally
+heavyweight disabled path still fails somewhere.
+
 The lint gate reads the JSON written by `vsgpu_lint --timings` and
 applies two checks: a hard wall-clock budget (trajectory
 "budget_seconds", the CI timeout contract) and a >tolerance
@@ -249,6 +262,62 @@ def lint_record(trajectory: dict, fresh: dict, path: str,
     print(f"check_bench: recorded entry {entry['date']} to {path}")
 
 
+def obs_fresh(path: str) -> dict:
+    """Validate and summarize a `bench_obs.py` JSON file."""
+    doc = load_json(path)
+    if doc.get("schema") != "vsgpu-bench-obs-v1":
+        fail(f"{path}: schema is not vsgpu-bench-obs-v1")
+    for key in ("baseline_sec", "observed_sec", "overhead_frac"):
+        if key not in doc:
+            fail(f"{path}: missing '{key}'")
+    if float(doc["baseline_sec"]) <= 0.0:
+        fail(f"{path}: non-positive baseline_sec")
+    return doc
+
+
+def obs_gate(trajectory: dict, fresh: dict) -> None:
+    budget = float(trajectory.get("overhead_budget", 0.02))
+    overhead = float(fresh["overhead_frac"])
+    print(f"check_bench: obs overhead {overhead:+.2%} "
+          f"(baseline {fresh['baseline_sec']:.3f}s, observed "
+          f"{fresh['observed_sec']:.3f}s, budget {budget:.0%})")
+    if overhead > budget:
+        fail(f"observability overhead {overhead:+.2%} exceeds the "
+             f"hard budget {budget:.0%}")
+    ceiling = float(trajectory.get("disabled_ns_ceiling", 50.0))
+    for key in ("profile_scope_disabled_ns",
+                "trace_scope_disabled_ns"):
+        if key not in fresh:
+            continue
+        got = float(fresh[key])
+        status = "ok" if got <= ceiling else "ABOVE CEILING"
+        print(f"check_bench: {key}: {got:.2f} ns "
+              f"(ceiling {ceiling:.0f} ns) {status}")
+        if got > ceiling:
+            fail(f"{key} = {got:.2f} ns violates the disabled-path "
+                 f"ceiling {ceiling:.0f} ns")
+    print("check_bench: OK")
+
+
+def obs_record(trajectory: dict, fresh: dict, path: str,
+               note: str) -> None:
+    entry = {
+        "date": datetime.date.today().isoformat(),
+        "note": note,
+    }
+    for key in ("benchmark", "instrs", "cycles", "sample_every_sec",
+                "baseline_sec", "observed_sec", "overhead_frac",
+                "profile_scope_disabled_ns",
+                "trace_scope_disabled_ns"):
+        if key in fresh:
+            entry[key] = fresh[key]
+    trajectory.setdefault("entries", []).append(entry)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(trajectory, fh, indent=2)
+        fh.write("\n")
+    print(f"check_bench: recorded entry {entry['date']} to {path}")
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--trajectory", required=True)
@@ -257,12 +326,22 @@ def main() -> None:
     parser.add_argument("--lint",
                         help="vsgpu_lint --timings JSON to gate "
                              "against a BENCH_lint.json trajectory")
+    parser.add_argument("--obs",
+                        help="bench_obs.py JSON to gate against a "
+                             "BENCH_obs.json trajectory")
     parser.add_argument("--tolerance", type=float, default=0.10)
     parser.add_argument("--record", action="store_true")
     parser.add_argument("--note", default="")
     args = parser.parse_args()
 
     trajectory = load_json(args.trajectory)
+    if args.obs:
+        fresh = obs_fresh(args.obs)
+        if args.record:
+            obs_record(trajectory, fresh, args.trajectory, args.note)
+        else:
+            obs_gate(trajectory, fresh)
+        return
     if args.lint:
         fresh = lint_fresh(args.lint)
         if args.record:

@@ -258,6 +258,18 @@ TransientSim::sparseFor(std::uint64_t key)
 void
 TransientSim::step()
 {
+    obs::Profile *prof =
+        profiler_ != nullptr ? profiler_->sampling() : nullptr;
+    std::int64_t tMark = prof != nullptr ? obs::profileNowNs() : 0;
+    const auto subMark = [&](int stage) {
+        if (prof == nullptr)
+            return;
+        const std::int64_t now = obs::profileNowNs();
+        prof->stages[static_cast<std::size_t>(stage)].add(
+            static_cast<std::uint64_t>(now - tMark));
+        tMark = now;
+    };
+
     std::vector<double> &rhs = rhs_;
     std::fill(rhs.begin(), rhs.end(), 0.0);
 
@@ -296,10 +308,14 @@ TransientSim::step()
         rhs[static_cast<std::size_t>(numNodes_) + k] =
             sourceVolts_[k];
 
+    subMark(obs::StageCircuitAssemble);
+    const std::uint64_t buildsBefore = luBuilds_;
     if (solver_ == SolverKind::Sparse)
         sparseFor(switchKey()).solve(rhs, solution_);
     else
         solution_ = factorFor(switchKey()).solve(rhs);
+    subMark(buildsBefore != luBuilds_ ? obs::StageCircuitRefactor
+                                      : obs::StageCircuitSolve);
 
     // Poisoning-NaN detection: a single corrupt setpoint or element
     // turns the whole solution vector non-finite within one step, so
@@ -325,6 +341,8 @@ TransientSim::step()
         indAmps_[i] = geq * vNew + ieqPrev;
         indVolts_[i] = vNew;
     }
+
+    subMark(obs::StageCircuitUpdate);
 
     time_ += dt_;
     ++stepCount_;

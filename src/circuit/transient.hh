@@ -30,6 +30,7 @@
 #include "circuit/stamping.hh"
 #include "numeric/matrix.hh"
 #include "numeric/sparse.hh"
+#include "obs/profile.hh"
 
 namespace vsgpu
 {
@@ -170,6 +171,17 @@ class TransientSim
     /** @return summed charge-transfer loss of all equalizers (W). */
     double totalEqualizerPower() const;
 
+    /**
+     * Attach the cosim's stage timer so step() can split its cost
+     * into assemble / solve / refactor / update sub-phases on the
+     * cycles the timer samples.  Null (the default) keeps step()
+     * instrumentation-free apart from one pointer test.
+     */
+    void attachProfiler(obs::StageTimer *timer)
+    {
+        profiler_ = timer;
+    }
+
   private:
     /** Build and factor the dense MNA matrix for a switch state. */
     const LuFactor<double> &factorFor(std::uint64_t key);
@@ -195,6 +207,7 @@ class TransientSim
 
     SolverKind solver_;
     bool usedCachedPattern_ = false;
+    obs::StageTimer *profiler_ = nullptr;
 
     int numNodes_;
     int numVsrc_;

@@ -92,6 +92,21 @@ setLogThreshold(LogLevel level)
     thresholdLevel.store(static_cast<int>(level));
 }
 
+namespace
+{
+
+std::atomic<CrashHook> crashHook{nullptr};
+std::atomic<bool> crashHookRan{false};
+
+} // namespace
+
+void
+setCrashHook(CrashHook hook)
+{
+    crashHook.store(hook);
+    crashHookRan.store(false);
+}
+
 namespace detail
 {
 
@@ -104,12 +119,20 @@ emitLog(LogLevel level, const std::string &msg)
         return;
     if (suppressible && static_cast<int>(level) < threshold())
         return;
-    std::lock_guard<std::mutex> lock(sinkMutex);
-    if (userSink) {
-        userSink(level, msg);
-        return;
+    {
+        std::lock_guard<std::mutex> lock(sinkMutex);
+        if (userSink)
+            userSink(level, msg);
+        else
+            std::cerr << levelTag(level) << ": " << msg << "\n";
     }
-    std::cerr << levelTag(level) << ": " << msg << "\n";
+    // The crash hook fires once, after the message reached the sink
+    // and outside sinkMutex so the hook may log on its own.
+    if (level == LogLevel::Fatal || level == LogLevel::Panic) {
+        CrashHook hook = crashHook.load();
+        if (hook != nullptr && !crashHookRan.exchange(true))
+            hook(level, msg);
+    }
 }
 
 } // namespace detail

@@ -84,6 +84,18 @@ void setLogSink(LogSink sink);
  */
 void setLogThreshold(LogLevel level);
 
+/** Callback invoked once, right after the first Fatal/Panic message
+ *  is emitted and before the process terminates. */
+using CrashHook = void (*)(LogLevel, const std::string &msg);
+
+/**
+ * Install a process-wide crash hook (the flight recorder uses this
+ * to dump its ring buffer).  The hook runs at most once per process
+ * — a fatal() raised inside the hook itself cannot recurse — and a
+ * null pointer uninstalls it.
+ */
+void setCrashHook(CrashHook hook);
+
 /**
  * Report an unrecoverable user-caused error and exit(1).
  * Use for bad configurations or invalid arguments.

@@ -4,6 +4,7 @@
 
 #include "common/check.hh"
 #include "common/logging.hh"
+#include "obs/profile.hh"
 #include "obs/trace.hh"
 
 namespace vsgpu::exec
@@ -110,6 +111,8 @@ Pool::drainBatch(int slot)
         }
         if (!skip) {
             try {
+                const std::int64_t taskStartNs =
+                    hooks_.taskDone ? obs::profileNowNs() : 0;
                 {
                     obs::ScopedSpan span(obs::CatPool, "pool.task");
                     if (span.live())
@@ -117,6 +120,13 @@ Pool::drainBatch(int slot)
                     (*body_)(task);
                 }
                 tasksRun_.fetch_add(1, std::memory_order_relaxed);
+                if (hooks_.taskDone) {
+                    hooks_.taskDone(
+                        task,
+                        static_cast<double>(obs::profileNowNs() -
+                                            taskStartNs) *
+                            1e-6);
+                }
             } catch (...) {
                 std::lock_guard<std::mutex> lock(batchMutex_);
                 if (!firstError_)
@@ -140,10 +150,15 @@ Pool::parallelFor(int numTasks, const std::function<void(int)> &body)
     if (numTasks == 0)
         return;
 
+    if (hooks_.batchStart)
+        hooks_.batchStart(numTasks);
+
     if (threads_ == 1) {
         // Inline fast path: no threads, no locks — the determinism
         // baseline every parallel run is measured against.
         for (int i = 0; i < numTasks; ++i) {
+            const std::int64_t taskStartNs =
+                hooks_.taskDone ? obs::profileNowNs() : 0;
             {
                 obs::ScopedSpan span(obs::CatPool, "pool.task");
                 if (span.live())
@@ -151,6 +166,12 @@ Pool::parallelFor(int numTasks, const std::function<void(int)> &body)
                 body(i);
             }
             tasksRun_.fetch_add(1, std::memory_order_relaxed);
+            if (hooks_.taskDone) {
+                hooks_.taskDone(
+                    i, static_cast<double>(obs::profileNowNs() -
+                                           taskStartNs) *
+                           1e-6);
+            }
         }
         return;
     }

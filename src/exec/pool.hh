@@ -40,6 +40,21 @@ namespace vsgpu::exec
 {
 
 /**
+ * Observability hooks around pool batches (exec/progress.hh supplies
+ * the standard implementation).  batchStart fires on the
+ * parallelFor() caller before any task runs; taskDone fires on
+ * whichever worker completed the task, concurrently with other
+ * workers, so the callback must be thread-safe.  Task wall times are
+ * wall-clock derived and therefore schedule-dependent: anything
+ * reported through these hooks is diagnostics, never results.
+ */
+struct PoolHooks
+{
+    std::function<void(int numTasks)> batchStart;
+    std::function<void(int task, double wallMs)> taskDone;
+};
+
+/**
  * Persistent work-stealing pool.
  *
  * A Pool of N threads uses N - 1 background workers plus the calling
@@ -76,6 +91,13 @@ class Pool
      */
     void parallelFor(int numTasks,
                      const std::function<void(int)> &body);
+
+    /**
+     * Install observability hooks.  Must not be called while a
+     * parallelFor() batch is in flight (workers read the hooks
+     * without a lock, by the same protocol as body_).
+     */
+    void setHooks(PoolHooks hooks) { hooks_ = std::move(hooks); }
 
     /** Tasks executed over the pool's lifetime (observability). */
     std::uint64_t tasksRun() const { return tasksRun_.load(); }
@@ -121,6 +143,9 @@ class Pool
     const std::function<void(int)> *body_ = nullptr;
     std::exception_ptr firstError_ VSGPU_GUARDED_BY(batchMutex_);
     bool cancelled_ VSGPU_GUARDED_BY(batchMutex_) = false;
+
+    // Same access protocol as body_: written only between batches.
+    PoolHooks hooks_;
 
     std::atomic<std::uint64_t> tasksRun_{0};
     std::atomic<std::uint64_t> steals_{0};

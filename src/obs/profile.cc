@@ -1,0 +1,465 @@
+#include "obs/profile.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace vsgpu::obs
+{
+
+namespace
+{
+
+std::atomic<bool> profilingOn{false};
+// Default sampling stride: the stage marks are clock reads (~20 ns
+// each, ~10 per sampled cycle), so sampling one cycle in 32 keeps
+// the enabled profiler inside the <=2% loop-overhead budget gated in
+// BENCH_obs.json while still collecting hundreds of samples per
+// stage on any realistic run.
+std::atomic<int> profilingStrideCycles{32};
+
+/** @return histogram bucket for a duration: floor(log2(ns)). */
+int
+histBucket(std::uint64_t ns)
+{
+    int bucket = 0;
+    while (ns > 1 && bucket < profileHistBuckets - 1) {
+        ns >>= 1;
+        ++bucket;
+    }
+    return bucket;
+}
+
+} // namespace
+
+const char *
+profileStageName(int stage)
+{
+    switch (stage) {
+      case StageSetup:           return "setup";
+      case StageGpu:             return "gpu";
+      case StagePower:           return "power";
+      case StageCircuit:         return "circuit";
+      case StageControl:         return "control";
+      case StageHypervisor:      return "hypervisor";
+      case StageObserve:         return "observe";
+      case StageBookkeeping:     return "bookkeeping";
+      case StageCircuitAssemble: return "circuit.assemble";
+      case StageCircuitSolve:    return "circuit.solve";
+      case StageCircuitRefactor: return "circuit.refactor";
+      case StageCircuitUpdate:   return "circuit.update";
+    }
+    return "?";
+}
+
+void
+StageTotals::add(std::uint64_t durationNs)
+{
+    ns += durationNs;
+    ++samples;
+    ++hist[static_cast<std::size_t>(histBucket(durationNs))];
+}
+
+void
+StageTotals::merge(const StageTotals &other)
+{
+    ns += other.ns;
+    samples += other.samples;
+    for (int b = 0; b < profileHistBuckets; ++b)
+        hist[static_cast<std::size_t>(b)] +=
+            other.hist[static_cast<std::size_t>(b)];
+}
+
+double
+StageTotals::percentileNs(double frac) const
+{
+    if (samples == 0)
+        return 0.0;
+    const double target = frac * static_cast<double>(samples);
+    std::uint64_t cum = 0;
+    for (int b = 0; b < profileHistBuckets; ++b) {
+        cum += hist[static_cast<std::size_t>(b)];
+        if (static_cast<double>(cum) >= target)
+            return 1.5 * std::pow(2.0, b); // bucket midpoint
+    }
+    return 1.5 * std::pow(2.0, profileHistBuckets - 1);
+}
+
+void
+Profile::merge(const Profile &other)
+{
+    for (int s = 0; s < numProfileStages; ++s)
+        stages[static_cast<std::size_t>(s)].merge(
+            other.stages[static_cast<std::size_t>(s)]);
+    cycles += other.cycles;
+    sampledCycles += other.sampledCycles;
+    loopNs += other.loopNs;
+    wallNs += other.wallNs;
+    runs += other.runs;
+    strideCycles = std::max(strideCycles, other.strideCycles);
+}
+
+void
+setProfiling(bool on)
+{
+    profilingOn.store(on, std::memory_order_relaxed);
+}
+
+bool
+profilingEnabled()
+{
+    return profilingOn.load(std::memory_order_relaxed);
+}
+
+void
+setProfilingStride(int strideCycles)
+{
+    profilingStrideCycles.store(std::max(1, strideCycles),
+                                std::memory_order_relaxed);
+}
+
+int
+profilingStride()
+{
+    return profilingStrideCycles.load(std::memory_order_relaxed);
+}
+
+std::int64_t
+profileNowNs()
+{
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() // vsgpu-lint: nondet-ok(profiler timestamps are observability-only and never feed back into the simulation)
+                   .time_since_epoch())
+        .count();
+}
+
+StageTimer::StageTimer(Profile *profile, int strideCycles)
+    : profile_(profile), stride_(std::max(1, strideCycles))
+{
+}
+
+// ---------------- serialization ----------------
+
+std::string
+writeProfileJson(const Profile &profile, const std::string &indent)
+{
+    std::ostringstream os;
+    os << "{\n";
+    os << indent << "  \"schema\": \"vsgpu-profile-v1\",\n";
+    os << indent << "  \"runs\": " << profile.runs << ",\n";
+    os << indent << "  \"stride_cycles\": " << profile.strideCycles
+       << ",\n";
+    os << indent << "  \"cycles\": " << profile.cycles << ",\n";
+    os << indent << "  \"sampled_cycles\": " << profile.sampledCycles
+       << ",\n";
+    os << indent << "  \"loop_ns\": " << profile.loopNs << ",\n";
+    os << indent << "  \"wall_ns\": " << profile.wallNs << ",\n";
+    os << indent << "  \"stages\": [\n";
+    for (int s = 0; s < numProfileStages; ++s) {
+        const StageTotals &t =
+            profile.stages[static_cast<std::size_t>(s)];
+        os << indent << "    {\"name\": \"" << profileStageName(s)
+           << "\", \"ns\": " << t.ns
+           << ", \"samples\": " << t.samples << ", \"hist\": [";
+        for (int b = 0; b < profileHistBuckets; ++b) {
+            if (b > 0)
+                os << ", ";
+            os << t.hist[static_cast<std::size_t>(b)];
+        }
+        os << "]}";
+        if (s + 1 < numProfileStages)
+            os << ",";
+        os << "\n";
+    }
+    os << indent << "  ]\n";
+    os << indent << "}";
+    return os.str();
+}
+
+namespace
+{
+
+/** Strict parser for the profile section (stats-parser style). */
+class ProfileParser
+{
+  public:
+    explicit ProfileParser(std::string text) : text_(std::move(text))
+    {}
+
+    Profile
+    parse()
+    {
+        Profile profile;
+        expect('{');
+        bool first = true;
+        while (!peekIs('}')) {
+            if (!first)
+                expect(',');
+            first = false;
+            const std::string key = parseString();
+            expect(':');
+            if (key == "schema") {
+                const std::string schema = parseString();
+                if (schema != "vsgpu-profile-v1")
+                    panic("profile JSON: unknown schema '", schema,
+                          "'");
+            } else if (key == "runs") {
+                profile.runs = parseUint();
+            } else if (key == "stride_cycles") {
+                profile.strideCycles =
+                    static_cast<int>(parseUint());
+            } else if (key == "cycles") {
+                profile.cycles = parseUint();
+            } else if (key == "sampled_cycles") {
+                profile.sampledCycles = parseUint();
+            } else if (key == "loop_ns") {
+                profile.loopNs = parseUint();
+            } else if (key == "wall_ns") {
+                profile.wallNs = parseUint();
+            } else if (key == "stages") {
+                parseStages(profile);
+            } else {
+                panic("profile JSON: unknown key '", key, "'");
+            }
+        }
+        expect('}');
+        return profile;
+    }
+
+  private:
+    void
+    parseStages(Profile &profile)
+    {
+        expect('[');
+        int index = 0;
+        while (!peekIs(']')) {
+            if (index > 0)
+                expect(',');
+            if (index >= numProfileStages)
+                panic("profile JSON: too many stages");
+            parseStage(
+                profile.stages[static_cast<std::size_t>(index)],
+                index);
+            ++index;
+        }
+        expect(']');
+        if (index != numProfileStages)
+            panic("profile JSON: expected ", numProfileStages,
+                  " stages, got ", index);
+    }
+
+    void
+    parseStage(StageTotals &totals, int index)
+    {
+        expect('{');
+        bool first = true;
+        while (!peekIs('}')) {
+            if (!first)
+                expect(',');
+            first = false;
+            const std::string key = parseString();
+            expect(':');
+            if (key == "name") {
+                const std::string name = parseString();
+                if (name != profileStageName(index))
+                    panic("profile JSON: stage ", index,
+                          " named '", name, "', expected '",
+                          profileStageName(index), "'");
+            } else if (key == "ns") {
+                totals.ns = parseUint();
+            } else if (key == "samples") {
+                totals.samples = parseUint();
+            } else if (key == "hist") {
+                expect('[');
+                int b = 0;
+                while (!peekIs(']')) {
+                    if (b > 0)
+                        expect(',');
+                    if (b >= profileHistBuckets)
+                        panic("profile JSON: too many hist buckets");
+                    totals.hist[static_cast<std::size_t>(b)] =
+                        parseUint();
+                    ++b;
+                }
+                expect(']');
+                if (b != profileHistBuckets)
+                    panic("profile JSON: expected ",
+                          profileHistBuckets, " hist buckets");
+            } else {
+                panic("profile JSON: unknown stage key '", key, "'");
+            }
+        }
+        expect('}');
+    }
+
+    void
+    skipSpace()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    bool
+    peekIs(char c)
+    {
+        skipSpace();
+        return pos_ < text_.size() && text_[pos_] == c;
+    }
+
+    void
+    expect(char c)
+    {
+        skipSpace();
+        if (pos_ >= text_.size() || text_[pos_] != c)
+            panic("profile JSON: expected '", std::string(1, c),
+                  "' at offset ", pos_);
+        ++pos_;
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        while (pos_ < text_.size() && text_[pos_] != '"')
+            out += text_[pos_++];
+        if (pos_ >= text_.size())
+            panic("profile JSON: unterminated string");
+        ++pos_;
+        return out;
+    }
+
+    std::uint64_t
+    parseUint()
+    {
+        skipSpace();
+        const std::size_t start = pos_;
+        while (pos_ < text_.size() &&
+               std::isdigit(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+        if (pos_ == start)
+            panic("profile JSON: expected integer at offset ", pos_);
+        return std::stoull(text_.substr(start, pos_ - start));
+    }
+
+    std::string text_;
+    std::size_t pos_ = 0;
+};
+
+std::string
+formatMs(std::uint64_t ns)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.3f",
+                  static_cast<double>(ns) * 1e-6);
+    return buf;
+}
+
+std::string
+formatPct(double frac)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%5.1f%%", 100.0 * frac);
+    return buf;
+}
+
+} // namespace
+
+Profile
+parseProfileJson(const std::string &text)
+{
+    return ProfileParser(text).parse();
+}
+
+std::string
+renderProfileReport(const Profile &profile)
+{
+    std::ostringstream os;
+    os << "stage profile (" << profile.runs << " run"
+       << (profile.runs == 1 ? "" : "s") << ", " << profile.cycles
+       << " cycles, " << profile.sampledCycles
+       << " sampled, stride " << profile.strideCycles << ")\n";
+    if (profile.sampledCycles == 0) {
+        os << "  no sampled cycles; run with profiling enabled\n";
+        return os.str();
+    }
+
+    const double loopNs =
+        std::max<double>(1.0, static_cast<double>(profile.loopNs));
+    os << "  stage             time(ms)    share     p50(ns)"
+          "     p99(ns)\n";
+    std::uint64_t covered = 0;
+    for (int s = StageGpu; s < firstProfileSubStage; ++s) {
+        const StageTotals &t =
+            profile.stages[static_cast<std::size_t>(s)];
+        covered += t.ns;
+        char line[160];
+        std::snprintf(line, sizeof(line),
+                      "  %-16s %9s  %s  %10.0f  %10.0f\n",
+                      profileStageName(s), formatMs(t.ns).c_str(),
+                      formatPct(static_cast<double>(t.ns) / loopNs)
+                          .c_str(),
+                      t.percentileNs(0.50), t.percentileNs(0.99));
+        os << line;
+    }
+    const StageTotals &circuit =
+        profile.stages[static_cast<std::size_t>(StageCircuit)];
+    if (circuit.ns > 0) {
+        const double circuitNs = std::max<double>(
+            1.0, static_cast<double>(circuit.ns));
+        for (int s = firstProfileSubStage; s < numProfileStages;
+             ++s) {
+            const StageTotals &t =
+                profile.stages[static_cast<std::size_t>(s)];
+            if (t.samples == 0)
+                continue;
+            char line[160];
+            std::snprintf(
+                line, sizeof(line),
+                "    %-14s %9s  %s of circuit (%llu samples)\n",
+                profileStageName(s), formatMs(t.ns).c_str(),
+                formatPct(static_cast<double>(t.ns) / circuitNs)
+                    .c_str(),
+                static_cast<unsigned long long>(t.samples));
+            os << line;
+        }
+    }
+
+    const std::uint64_t chain =
+        profile.stages[StageGpu].ns + profile.stages[StagePower].ns +
+        profile.stages[StageCircuit].ns +
+        profile.stages[StageControl].ns;
+    os << "  serial critical path (gpu -> power -> circuit -> "
+          "control): "
+       << formatPct(static_cast<double>(chain) / loopNs) << " of "
+          "loop time\n";
+    os << "  loop coverage: named stages account for "
+       << formatPct(static_cast<double>(covered) / loopNs)
+       << " of sampled loop time\n";
+    if (profile.wallNs > 0) {
+        // Scale the sampled loop time up by the stride to estimate
+        // the full loop's share of run wall time.
+        const double scale =
+            static_cast<double>(profile.cycles) /
+            std::max<double>(
+                1.0, static_cast<double>(profile.sampledCycles));
+        const double loopEst =
+            static_cast<double>(profile.loopNs) * scale +
+            static_cast<double>(profile.stages[StageSetup].ns);
+        os << "  wall attribution: loop + setup cover "
+           << formatPct(std::min(
+                  1.0, loopEst / static_cast<double>(profile.wallNs)))
+           << " of run wall time (" << formatMs(profile.wallNs)
+           << " ms total, setup "
+           << formatMs(profile.stages[StageSetup].ns) << " ms)\n";
+    }
+    return os.str();
+}
+
+} // namespace vsgpu::obs

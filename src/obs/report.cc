@@ -1,0 +1,135 @@
+#include "obs/report.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "obs/profile.hh"
+
+namespace vsgpu::obs
+{
+
+namespace
+{
+
+/** Stats worth surfacing at the top of the report, in this order. */
+constexpr const char *headlineStats[] = {
+    "gpu.cycles",
+    "gpu.instructions",
+    "gpu.min_voltage",
+    "gpu.mean_voltage",
+    "gpu.throttle_rate",
+    "control.decisions",
+    "control.triggered",
+    "hypervisor.dfs_transitions",
+    "hypervisor.pg_gate_requests",
+    "sim.transient.timesteps",
+    "circuit.sparse.refactorizations",
+    "energy.pde",
+};
+
+const SnapshotEntry *
+findEntry(const StatsSnapshot &stats, const std::string &name)
+{
+    for (const SnapshotEntry &e : stats.entries)
+        if (e.name == name)
+            return &e;
+    return nullptr;
+}
+
+void
+writeHeadline(std::ostream &os, const StatsSnapshot &stats)
+{
+    os << "headline statistics (" << stats.entries.size()
+       << " stats in dump)\n";
+    for (const char *name : headlineStats) {
+        const SnapshotEntry *e = findEntry(stats, name);
+        if (e == nullptr)
+            continue;
+        char line[160];
+        if (e->kind == StatKind::Counter)
+            std::snprintf(line, sizeof(line), "  %-32s %20llu %s\n",
+                          e->name.c_str(),
+                          static_cast<unsigned long long>(e->count),
+                          e->unit.c_str());
+        else
+            std::snprintf(line, sizeof(line), "  %-32s %20.6g %s\n",
+                          e->name.c_str(), e->value,
+                          e->unit.c_str());
+        os << line;
+    }
+}
+
+void
+writeSeriesSummary(std::ostream &os, const TimeSeriesDoc &series)
+{
+    os << "time series (window " << series.windowCycles
+       << " cycles = ";
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.4g", series.sampleEverySec);
+    os << buf << " s simulated; " << series.runs.size() << " run"
+       << (series.runs.size() == 1 ? "" : "s") << ")\n";
+    for (const TimeSeriesRun &run : series.runs) {
+        os << "  " << (run.label.empty() ? "(unlabeled)" : run.label)
+           << ": " << run.windows() << " windows";
+        if (!run.cycles.empty())
+            os << ", " << run.cycles.back() << " cycles";
+        os << "\n";
+        for (const TimeSeriesChannel &ch : run.channels) {
+            if (ch.min.empty())
+                continue;
+            const double lo =
+                *std::min_element(ch.min.begin(), ch.min.end());
+            const double hi =
+                *std::max_element(ch.max.begin(), ch.max.end());
+            double meanSum = 0.0;
+            for (double m : ch.mean)
+                meanSum += m;
+            char line[200];
+            std::snprintf(line, sizeof(line),
+                          "    %-24s min %12.6g  mean %12.6g  max "
+                          "%12.6g %s\n",
+                          ch.name.c_str(), lo,
+                          meanSum /
+                              static_cast<double>(ch.mean.size()),
+                          hi, ch.unit.c_str());
+            os << line;
+        }
+    }
+}
+
+} // namespace
+
+void
+writeRunReport(std::ostream &os, const StatsSnapshot &stats,
+               const TimeSeriesDoc *series)
+{
+    os << "=============== vsgpu run report ===============\n";
+    if (stats.manifest.valid) {
+        const Manifest &m = stats.manifest;
+        os << "tool: " << m.tool << " " << m.version << " ("
+           << m.build << ")\n";
+        os << "subject: " << m.subject << "\n";
+        os << "config fingerprint: " << m.configFingerprint
+           << "  seed: " << m.seed << "  scale: " << m.scale
+           << "\n";
+    } else {
+        os << "(no manifest in stats dump)\n";
+    }
+    os << "\n";
+    writeHeadline(os, stats);
+
+    if (!stats.profileJson.empty()) {
+        os << "\n";
+        os << renderProfileReport(
+            parseProfileJson(stats.profileJson));
+    }
+
+    if (series != nullptr) {
+        os << "\n";
+        writeSeriesSummary(os, *series);
+    }
+    os << "================================================\n";
+}
+
+} // namespace vsgpu::obs

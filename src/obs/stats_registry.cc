@@ -190,6 +190,7 @@ StatsRegistry::snapshot(bool includeScheduleDependent) const
 {
     StatsSnapshot out;
     out.manifest = manifest_;
+    out.profileJson = profileJson_;
     const auto keep = [&](const StatInfo &info) {
         return includeScheduleDependent || !info.scheduleDependent;
     };
@@ -323,6 +324,8 @@ writeStatsJson(const StatsSnapshot &snapshot, std::ostream &os)
         writeManifestJson(snapshot.manifest, os, "  ");
         os << ",\n";
     }
+    if (!snapshot.profileJson.empty())
+        os << "  \"profile\": " << snapshot.profileJson << ",\n";
     os << "  \"stats\": [";
     for (std::size_t i = 0; i < snapshot.entries.size(); ++i) {
         const SnapshotEntry &e = snapshot.entries[i];
@@ -379,6 +382,8 @@ class StatsParser
             expect(':');
             if (key == "manifest") {
                 parseManifest(out.manifest);
+            } else if (key == "profile") {
+                out.profileJson = parseRawObject();
             } else if (key == "stats") {
                 parseEntries(out.entries);
             } else {
@@ -488,6 +493,43 @@ class StatsParser
             entries.push_back(std::move(e));
         }
         expect(']');
+    }
+
+    /**
+     * Capture one balanced JSON object verbatim (the `profile`
+     * section is owned by obs/profile.hh; the stats layer stores and
+     * re-emits it byte-exactly rather than interpreting it).
+     */
+    std::string
+    parseRawObject()
+    {
+        panicIfNot(peek() == '{',
+                   "stats JSON: expected object at byte ", pos_);
+        const std::size_t start = pos_;
+        int depth = 0;
+        bool inString = false;
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (inString) {
+                if (c == '\\')
+                    ++pos_;
+                else if (c == '"')
+                    inString = false;
+            } else if (c == '"') {
+                inString = true;
+            } else if (c == '{') {
+                ++depth;
+            } else if (c == '}') {
+                --depth;
+                if (depth == 0) {
+                    ++pos_;
+                    return text_.substr(start, pos_ - start);
+                }
+            }
+            ++pos_;
+        }
+        panic("stats JSON: unterminated object at byte ", start);
+        return {};
     }
 
     char

@@ -177,6 +177,16 @@ struct SnapshotEntry
 struct StatsSnapshot
 {
     Manifest manifest; ///< omitted from JSON when !manifest.valid
+
+    /**
+     * Pre-rendered `profile` section (see obs/profile.hh), stored as
+     * raw JSON text and re-emitted verbatim so the round-trip stays
+     * byte-exact.  Omitted from JSON when empty; only populated when
+     * profiling was explicitly requested (wall-clock contents are
+     * schedule-dependent by nature).
+     */
+    std::string profileJson;
+
     std::vector<SnapshotEntry> entries;
 };
 
@@ -279,11 +289,18 @@ class StatsRegistry
         manifest_ = manifest;
     }
 
+    /** Rendered `profile` section for JSON dumps (empty = none). */
+    void setProfileJson(std::string profileJson)
+    {
+        profileJson_ = std::move(profileJson);
+    }
+
   private:
     void checkUnique(const std::string &name) const;
     mutable StatsSnapshot cachedSnapshot_; ///< find() scratch
 
     Manifest manifest_;
+    std::string profileJson_;
     std::deque<ScalarStat> scalars_;
     std::deque<CounterStat> counters_;
     std::deque<DistributionStat> distributions_;

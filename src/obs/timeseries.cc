@@ -1,0 +1,636 @@
+#include "obs/timeseries.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/check.hh"
+#include "common/logging.hh"
+
+namespace vsgpu::obs
+{
+
+namespace
+{
+
+/** Shortest round-trip-exact representation of a double. */
+std::string
+formatDouble(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    for (int prec = 1; prec < 17; ++prec) {
+        char shorter[40];
+        std::snprintf(shorter, sizeof(shorter), "%.*g", prec, v);
+        double back = 0.0;
+        std::sscanf(shorter, "%lf", &back);
+        if (back == v)
+            return shorter;
+    }
+    return buf;
+}
+
+std::string
+quote(const std::string &s)
+{
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+void
+writeDoubleArray(std::ostream &os, const std::vector<double> &v)
+{
+    os << "[";
+    for (std::size_t i = 0; i < v.size(); ++i) {
+        if (i > 0)
+            os << ", ";
+        os << formatDouble(v[i]);
+    }
+    os << "]";
+}
+
+void
+writeCycleArray(std::ostream &os, const std::vector<std::uint64_t> &v)
+{
+    os << "[";
+    for (std::size_t i = 0; i < v.size(); ++i) {
+        if (i > 0)
+            os << ", ";
+        os << v[i];
+    }
+    os << "]";
+}
+
+/** Exact p99 (nearest-rank) of the samples.  The caller-owned
+ *  scratch buffer absorbs the nth_element reorder so closing a
+ *  window allocates nothing once the buffers are warm. */
+double
+percentile99(const std::vector<double> &samples,
+             std::vector<double> &scratch)
+{
+    if (samples.empty())
+        return 0.0;
+    scratch.assign(samples.begin(), samples.end());
+    const std::size_t rank =
+        (scratch.size() * 99 + 99) / 100; // ceil(0.99 * n)
+    const std::size_t idx = std::min(rank, scratch.size()) - 1;
+    std::nth_element(scratch.begin(),
+                     scratch.begin() + static_cast<std::ptrdiff_t>(idx),
+                     scratch.end());
+    return scratch[idx];
+}
+
+} // namespace
+
+std::uint64_t
+timeSeriesWindowCycles(double dtSec, double sampleEverySec)
+{
+    if (!(dtSec > 0.0) || !(sampleEverySec > 0.0))
+        return 1;
+    const double cycles = sampleEverySec / dtSec;
+    const auto rounded =
+        static_cast<std::uint64_t>(std::llround(cycles));
+    return std::max<std::uint64_t>(1, rounded);
+}
+
+// ---------------- TimeSeriesRecorder ----------------
+
+TimeSeriesRecorder::TimeSeriesRecorder(double dtSec,
+                                       double sampleEverySec)
+    : dtSec_(dtSec), sampleEverySec_(sampleEverySec),
+      windowCycles_(timeSeriesWindowCycles(dtSec, sampleEverySec)),
+      run_(std::make_shared<TimeSeriesRun>())
+{
+    // Strided channels target ~256 records per window with a floor
+    // of 32 cycles between records: short windows (a few hundred
+    // cycles) would otherwise record every cycle and the sampling
+    // cost would scale with channel count instead of staying inside
+    // the BENCH_obs.json overhead budget.  The first cycle of every
+    // window is always on-stride, so even a 1-cycle window gets a
+    // record.
+    sampleStride_ =
+        std::max<std::uint64_t>(32, windowCycles_ / 256);
+}
+
+int
+TimeSeriesRecorder::addChannel(std::string name, std::string unit,
+                               std::string desc,
+                               bool scheduleDependent)
+{
+    VSGPU_REQUIRES(cycle_ == 0,
+                   "time-series channels must be registered before "
+                   "the first cycle");
+    TimeSeriesChannel ch;
+    ch.name = std::move(name);
+    ch.unit = std::move(unit);
+    ch.desc = std::move(desc);
+    ch.scheduleDependent = scheduleDependent;
+    run_->channels.push_back(std::move(ch));
+    accums_.emplace_back();
+    return static_cast<int>(run_->channels.size()) - 1;
+}
+
+void
+TimeSeriesRecorder::pushSample(Accum &a, double value)
+{
+    // Deterministic doubling-stride decimation: the p99 buffer
+    // covers the whole window at progressively coarser resolution
+    // instead of only its first p99SampleCap records.  The keep == 1
+    // short-circuit skips the divide in the common case of a window
+    // that never overflows the sample cap.
+    ++a.sampleCount;
+    if (a.keep != 1 && (a.sampleCount - 1) % a.keep != 0)
+        return;
+    if (a.samples.size() >= p99SampleCap) {
+        std::size_t w = 0;
+        for (std::size_t r = 0; r < a.samples.size(); r += 2)
+            a.samples[w++] = a.samples[r];
+        a.samples.resize(w);
+        a.keep *= 2;
+        if ((a.sampleCount - 1) % a.keep != 0)
+            return;
+    }
+    a.samples.push_back(value);
+}
+
+void
+TimeSeriesRecorder::record(int channel, double value)
+{
+    VSGPU_REQUIRES(channel >= 0 &&
+                       static_cast<std::size_t>(channel) <
+                           accums_.size(),
+                   "time-series channel id out of range");
+    Accum &a = accums_[static_cast<std::size_t>(channel)];
+    if (a.count == 0) {
+        a.min = value;
+        a.max = value;
+    } else {
+        a.min = std::min(a.min, value);
+        a.max = std::max(a.max, value);
+    }
+    a.sum += value;
+    ++a.count;
+    pushSample(a, value);
+}
+
+void
+TimeSeriesRecorder::recordDense(int channel, double value)
+{
+    VSGPU_REQUIRES(channel >= 0 &&
+                       static_cast<std::size_t>(channel) <
+                           accums_.size(),
+                   "time-series channel id out of range");
+    Accum &a = accums_[static_cast<std::size_t>(channel)];
+    if (a.count == 0) {
+        a.min = value;
+        a.max = value;
+    } else {
+        a.min = std::min(a.min, value);
+        a.max = std::max(a.max, value);
+    }
+    a.sum += value;
+    ++a.count;
+    // The p99 estimate takes the on-stride subsample only; the
+    // aggregates above stay exact over every cycle.
+    if (sampleThisCycle())
+        pushSample(a, value);
+}
+
+void
+TimeSeriesRecorder::endCycle()
+{
+    ++cycle_;
+    ++cycleInWindow_;
+    if (++cyclesSinceStride_ >= sampleStride_)
+        cyclesSinceStride_ = 0;
+    if (cycleInWindow_ >= windowCycles_)
+        closeWindow();
+}
+
+void
+TimeSeriesRecorder::closeWindow()
+{
+    run_->timeSec.push_back(static_cast<double>(cycle_) * dtSec_);
+    run_->cycles.push_back(cycle_);
+    for (std::size_t c = 0; c < accums_.size(); ++c) {
+        Accum &a = accums_[c];
+        TimeSeriesChannel &ch = run_->channels[c];
+        if (a.count == 0) {
+            ch.min.push_back(0.0);
+            ch.max.push_back(0.0);
+            ch.mean.push_back(0.0);
+            ch.p99.push_back(0.0);
+        } else {
+            ch.min.push_back(a.min);
+            ch.max.push_back(a.max);
+            ch.mean.push_back(a.sum /
+                              static_cast<double>(a.count));
+            ch.p99.push_back(percentile99(a.samples, p99Scratch_));
+        }
+        // Field-wise reset keeps the sample buffer's capacity so the
+        // next window records without re-allocating.
+        a.min = 0.0;
+        a.max = 0.0;
+        a.sum = 0.0;
+        a.count = 0;
+        a.sampleCount = 0;
+        a.keep = 1;
+        a.samples.clear();
+    }
+    cycleInWindow_ = 0;
+    // The first cycle of every window is on-stride by contract.
+    cyclesSinceStride_ = 0;
+}
+
+std::shared_ptr<TimeSeriesRun>
+TimeSeriesRecorder::finish()
+{
+    if (cycleInWindow_ > 0)
+        closeWindow();
+    return run_;
+}
+
+// ---------------- serialization ----------------
+
+namespace
+{
+
+void
+writeChannel(std::ostream &os, const TimeSeriesChannel &ch,
+             const char *indent)
+{
+    os << indent << "{\n";
+    os << indent << "  \"name\": " << quote(ch.name) << ",\n";
+    os << indent << "  \"unit\": " << quote(ch.unit) << ",\n";
+    os << indent << "  \"desc\": " << quote(ch.desc) << ",\n";
+    if (ch.scheduleDependent)
+        os << indent << "  \"schedule_dependent\": true,\n";
+    os << indent << "  \"min\": ";
+    writeDoubleArray(os, ch.min);
+    os << ",\n";
+    os << indent << "  \"max\": ";
+    writeDoubleArray(os, ch.max);
+    os << ",\n";
+    os << indent << "  \"mean\": ";
+    writeDoubleArray(os, ch.mean);
+    os << ",\n";
+    os << indent << "  \"p99\": ";
+    writeDoubleArray(os, ch.p99);
+    os << "\n";
+    os << indent << "}";
+}
+
+} // namespace
+
+void
+writeTimeSeriesJson(const TimeSeriesDoc &doc, std::ostream &os,
+                    bool includeScheduleDependent)
+{
+    std::vector<const TimeSeriesRun *> runs;
+    runs.reserve(doc.runs.size());
+    for (const TimeSeriesRun &run : doc.runs)
+        runs.push_back(&run);
+    std::sort(runs.begin(), runs.end(),
+              [](const TimeSeriesRun *a, const TimeSeriesRun *b) {
+                  return a->label < b->label;
+              });
+
+    os << "{\n";
+    os << "  \"schema\": \"vsgpu-timeseries-v1\",\n";
+    os << "  \"sample_every_sec\": "
+       << formatDouble(doc.sampleEverySec) << ",\n";
+    os << "  \"dt_sec\": " << formatDouble(doc.dtSec) << ",\n";
+    os << "  \"window_cycles\": " << doc.windowCycles << ",\n";
+    os << "  \"runs\": [";
+    bool firstRun = true;
+    for (const TimeSeriesRun *run : runs) {
+        if (!firstRun)
+            os << ",";
+        firstRun = false;
+        os << "\n    {\n";
+        os << "      \"label\": " << quote(run->label) << ",\n";
+        os << "      \"time_sec\": ";
+        writeDoubleArray(os, run->timeSec);
+        os << ",\n";
+        os << "      \"cycles\": ";
+        writeCycleArray(os, run->cycles);
+        os << ",\n";
+        os << "      \"channels\": [";
+        bool firstCh = true;
+        for (const TimeSeriesChannel &ch : run->channels) {
+            if (ch.scheduleDependent && !includeScheduleDependent)
+                continue;
+            if (!firstCh)
+                os << ",";
+            firstCh = false;
+            os << "\n";
+            writeChannel(os, ch, "        ");
+        }
+        if (!firstCh)
+            os << "\n      ";
+        os << "]\n";
+        os << "    }";
+    }
+    if (!firstRun)
+        os << "\n  ";
+    os << "]\n";
+    os << "}\n";
+}
+
+void
+writeTimeSeriesCsv(const TimeSeriesDoc &doc, std::ostream &os,
+                   bool includeScheduleDependent)
+{
+    std::vector<const TimeSeriesRun *> runs;
+    runs.reserve(doc.runs.size());
+    for (const TimeSeriesRun &run : doc.runs)
+        runs.push_back(&run);
+    std::sort(runs.begin(), runs.end(),
+              [](const TimeSeriesRun *a, const TimeSeriesRun *b) {
+                  return a->label < b->label;
+              });
+
+    // Header comes from the first run; all runs of a document share
+    // the channel layout because they come from the same cosim code.
+    os << "label,window,time_sec,cycles";
+    if (!runs.empty()) {
+        for (const TimeSeriesChannel &ch : runs.front()->channels) {
+            if (ch.scheduleDependent && !includeScheduleDependent)
+                continue;
+            os << "," << ch.name << ".min"
+               << "," << ch.name << ".max"
+               << "," << ch.name << ".mean"
+               << "," << ch.name << ".p99";
+        }
+    }
+    os << "\n";
+    for (const TimeSeriesRun *run : runs) {
+        for (std::size_t w = 0; w < run->windows(); ++w) {
+            os << run->label << "," << w << ","
+               << formatDouble(run->timeSec[w]) << ","
+               << run->cycles[w];
+            for (const TimeSeriesChannel &ch : run->channels) {
+                if (ch.scheduleDependent &&
+                    !includeScheduleDependent)
+                    continue;
+                os << "," << formatDouble(ch.min[w]) << ","
+                   << formatDouble(ch.max[w]) << ","
+                   << formatDouble(ch.mean[w]) << ","
+                   << formatDouble(ch.p99[w]);
+            }
+            os << "\n";
+        }
+    }
+}
+
+namespace
+{
+
+/**
+ * Strict recursive-descent parser for the time-series dump, in the
+ * style of the stats-registry parser: panics on any malformed or
+ * unknown construct so schema drift fails loudly.
+ */
+class TimeSeriesParser
+{
+  public:
+    explicit TimeSeriesParser(std::string text)
+        : text_(std::move(text))
+    {}
+
+    TimeSeriesDoc
+    parse()
+    {
+        TimeSeriesDoc doc;
+        expect('{');
+        bool first = true;
+        while (!peekIs('}')) {
+            if (!first)
+                expect(',');
+            first = false;
+            const std::string key = parseString();
+            expect(':');
+            if (key == "schema") {
+                const std::string schema = parseString();
+                if (schema != "vsgpu-timeseries-v1")
+                    panic("timeseries JSON: unknown schema '",
+                          schema, "'");
+            } else if (key == "sample_every_sec") {
+                doc.sampleEverySec = parseNumber();
+            } else if (key == "dt_sec") {
+                doc.dtSec = parseNumber();
+            } else if (key == "window_cycles") {
+                doc.windowCycles =
+                    static_cast<std::uint64_t>(parseNumber());
+            } else if (key == "runs") {
+                parseRuns(doc);
+            } else {
+                panic("timeseries JSON: unknown key '", key, "'");
+            }
+        }
+        expect('}');
+        return doc;
+    }
+
+  private:
+    void
+    parseRuns(TimeSeriesDoc &doc)
+    {
+        expect('[');
+        while (!peekIs(']')) {
+            if (!doc.runs.empty())
+                expect(',');
+            doc.runs.push_back(parseRun());
+        }
+        expect(']');
+    }
+
+    TimeSeriesRun
+    parseRun()
+    {
+        TimeSeriesRun run;
+        expect('{');
+        bool first = true;
+        while (!peekIs('}')) {
+            if (!first)
+                expect(',');
+            first = false;
+            const std::string key = parseString();
+            expect(':');
+            if (key == "label") {
+                run.label = parseString();
+            } else if (key == "time_sec") {
+                run.timeSec = parseDoubleArray();
+            } else if (key == "cycles") {
+                for (double v : parseDoubleArray())
+                    run.cycles.push_back(
+                        static_cast<std::uint64_t>(v));
+            } else if (key == "channels") {
+                expect('[');
+                while (!peekIs(']')) {
+                    if (!run.channels.empty())
+                        expect(',');
+                    run.channels.push_back(parseChannel());
+                }
+                expect(']');
+            } else {
+                panic("timeseries JSON: unknown run key '", key,
+                      "'");
+            }
+        }
+        expect('}');
+        return run;
+    }
+
+    TimeSeriesChannel
+    parseChannel()
+    {
+        TimeSeriesChannel ch;
+        expect('{');
+        bool first = true;
+        while (!peekIs('}')) {
+            if (!first)
+                expect(',');
+            first = false;
+            const std::string key = parseString();
+            expect(':');
+            if (key == "name") {
+                ch.name = parseString();
+            } else if (key == "unit") {
+                ch.unit = parseString();
+            } else if (key == "desc") {
+                ch.desc = parseString();
+            } else if (key == "schedule_dependent") {
+                ch.scheduleDependent = parseBool();
+            } else if (key == "min") {
+                ch.min = parseDoubleArray();
+            } else if (key == "max") {
+                ch.max = parseDoubleArray();
+            } else if (key == "mean") {
+                ch.mean = parseDoubleArray();
+            } else if (key == "p99") {
+                ch.p99 = parseDoubleArray();
+            } else {
+                panic("timeseries JSON: unknown channel key '", key,
+                      "'");
+            }
+        }
+        expect('}');
+        return ch;
+    }
+
+    std::vector<double>
+    parseDoubleArray()
+    {
+        std::vector<double> out;
+        expect('[');
+        while (!peekIs(']')) {
+            if (!out.empty())
+                expect(',');
+            out.push_back(parseNumber());
+        }
+        expect(']');
+        return out;
+    }
+
+    void
+    skipSpace()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    bool
+    peekIs(char c)
+    {
+        skipSpace();
+        return pos_ < text_.size() && text_[pos_] == c;
+    }
+
+    void
+    expect(char c)
+    {
+        skipSpace();
+        if (pos_ >= text_.size() || text_[pos_] != c)
+            panic("timeseries JSON: expected '", std::string(1, c),
+                  "' at offset ", pos_);
+        ++pos_;
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+            char c = text_[pos_++];
+            if (c == '\\' && pos_ < text_.size())
+                c = text_[pos_++];
+            out += c;
+        }
+        if (pos_ >= text_.size())
+            panic("timeseries JSON: unterminated string");
+        ++pos_; // closing quote
+        return out;
+    }
+
+    bool
+    parseBool()
+    {
+        skipSpace();
+        if (text_.compare(pos_, 4, "true") == 0) {
+            pos_ += 4;
+            return true;
+        }
+        if (text_.compare(pos_, 5, "false") == 0) {
+            pos_ += 5;
+            return false;
+        }
+        panic("timeseries JSON: expected boolean at offset ", pos_);
+        return false;
+    }
+
+    double
+    parseNumber()
+    {
+        skipSpace();
+        const std::size_t start = pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(
+                    static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '-' || text_[pos_] == '+' ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E'))
+            ++pos_;
+        if (pos_ == start)
+            panic("timeseries JSON: expected number at offset ",
+                  pos_);
+        return std::stod(text_.substr(start, pos_ - start));
+    }
+
+    std::string text_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+TimeSeriesDoc
+readTimeSeriesJson(std::istream &is)
+{
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    return TimeSeriesParser(buf.str()).parse();
+}
+
+} // namespace vsgpu::obs

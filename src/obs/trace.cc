@@ -119,12 +119,19 @@ void
 Tracer::push(TraceEvent event)
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (events_.size() >= maxEvents()) {
-        warn_once("trace buffer full (", maxEvents(),
-                  " events); dropping further events");
+    if (events_.size() < maxEvents()) {
+        events_.push_back(std::move(event));
         return;
     }
-    events_.push_back(std::move(event));
+    // Ring semantics: keep the most recent maxEvents() events by
+    // overwriting the oldest; the tail of a long run is worth more
+    // than its start.
+    warn_once("trace buffer full (", maxEvents(),
+              " events); evicting oldest events");
+    // vsgpu-lint: move-ok(the push_back branch above returns, so the two moves are on mutually exclusive paths)
+    events_[head_] = std::move(event);
+    head_ = (head_ + 1) % maxEvents();
+    ++dropped_;
 }
 
 void
@@ -169,7 +176,21 @@ std::vector<TraceEvent>
 Tracer::events() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    return events_;
+    if (head_ == 0)
+        return events_;
+    // Unroll the ring: oldest surviving event first.
+    std::vector<TraceEvent> out;
+    out.reserve(events_.size());
+    for (std::size_t i = 0; i < events_.size(); ++i)
+        out.push_back(events_[(head_ + i) % events_.size()]);
+    return out;
+}
+
+std::uint64_t
+Tracer::droppedEvents() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return dropped_;
 }
 
 void
@@ -177,6 +198,8 @@ Tracer::clear()
 {
     std::lock_guard<std::mutex> lock(mutex_);
     events_.clear();
+    head_ = 0;
+    dropped_ = 0;
 }
 
 void

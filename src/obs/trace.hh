@@ -75,7 +75,10 @@ struct TraceEvent
 /**
  * Process-wide trace collector.  Thread-safe: events append under a
  * mutex (only ever taken on the enabled path).  Bounded: past
- * maxEvents() further events are dropped with a one-time warning.
+ * maxEvents() the buffer becomes a ring that evicts the oldest
+ * event (with a one-time warning); droppedEvents() counts the
+ * evictions and is surfaced as the schedule-dependent stat
+ * obs.trace.dropped_events.
  */
 class Tracer
 {
@@ -110,7 +113,13 @@ class Tracer
                      args = {});
 
     std::size_t numEvents() const;
+
+    /** Held events in chronological (oldest-first) order. */
     std::vector<TraceEvent> events() const;
+
+    /** Events evicted from the ring since the last clear(). */
+    std::uint64_t droppedEvents() const;
+
     void clear();
 
     static constexpr std::size_t maxEvents() { return 1u << 20; }
@@ -125,6 +134,10 @@ class Tracer
 
     mutable std::mutex mutex_;
     std::vector<TraceEvent> events_ VSGPU_GUARDED_BY(mutex_);
+    /** Ring head once events_ is full: index of the oldest event. */
+    std::size_t head_ VSGPU_GUARDED_BY(mutex_) = 0;
+    /** Events evicted (overwritten) since the last clear(). */
+    std::uint64_t dropped_ VSGPU_GUARDED_BY(mutex_) = 0;
     // originNs_ is deliberately unannotated: nowUs() reads it without
     // the lock, which is safe by protocol — enable() writes it under
     // the mutex before the traceMask store that makes any

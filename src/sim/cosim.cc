@@ -9,6 +9,10 @@
 #include "common/logging.hh"
 #include "control/controller.hh"
 #include "ivr/efficiency.hh"
+#include "obs/flight_recorder.hh"
+#include "obs/manifest.hh"
+#include "obs/profile.hh"
+#include "obs/timeseries.hh"
 #include "obs/trace.hh"
 #include "pdn/single_layer.hh"
 #include "pdn/vs_pdn.hh"
@@ -80,6 +84,20 @@ CoSimulator::runImpl(
     VSGPU_TRACE_SCOPE(obs::CatPhase, "cosim.run");
     obs::ScopedSpan setupSpan(obs::CatPhase, "cosim.setup");
 
+    // --- stage-cost profiling (obs/profile.hh; off by default) ---
+    std::shared_ptr<obs::Profile> profile;
+    std::int64_t runStartNs = 0;
+    if (obs::profilingEnabled()) {
+        profile = std::make_shared<obs::Profile>();
+        profile->runs = 1;
+        profile->strideCycles = obs::profilingStride();
+        runStartNs = obs::profileNowNs();
+    }
+    obs::StageTimer stageTimer(
+        profile.get(), profile ? profile->strideCycles : 1);
+    const std::int64_t setupStartNs =
+        profile ? obs::profileNowNs() : 0;
+
     // --- build the device and the PDS ---
     Gpu gpu(cfg_.gpu);
 
@@ -99,11 +117,23 @@ CoSimulator::runImpl(
     } else {
         setup = buildPdsSetup(cfg_);
     }
+    // Flight recorder: arm the crash dump with this run's identity
+    // before anything downstream (verify gate, DC audit, solver) can
+    // abort the process.
+    obs::FlightRecorder &flight = obs::FlightRecorder::instance();
+    if (obs::flightRecorderEnabled()) {
+        obs::installFlightRecorderCrashDump();
+        flight.beginRun(pdsName(cfg_.pds.kind),
+                        obs::fnv1a64Hex(setup->key));
+    }
+
     const VsPdn *vsPdn = setup->vs.get();
     const SingleLayerPdn *slPdn = setup->sl.get();
     auto tr = std::make_shared<TransientSim>(
         setup->netlist(), config::clockPeriod.raw(),
         defaultSolver(), setup->mnaPattern);
+    if (profile)
+        tr->attachProfiler(&stageTimer);
     const std::vector<int> &loadResistors =
         stacked ? vsPdn->loadResistorIndices()
                 : slPdn->loadResistorIndices();
@@ -215,7 +245,75 @@ CoSimulator::runImpl(
         }
     }
 
+    // --- time-series telemetry (observability only) ---
+    std::unique_ptr<obs::TimeSeriesRecorder> series;
+    struct SeriesChannels
+    {
+        std::array<int, config::numSMs> railSm{};
+        int railMin = -1;
+        int railMax = -1;
+        int powerLoad = -1;
+        int luBuilds = -1;
+        int ctlMargin = -1;
+        int ctlTriggered = -1;
+        int dfsFreq = -1;
+        int pgGated = -1;
+        int wallUs = -1;
+    } chans;
+    if (cfg_.sampleEvery.raw() > 0.0) {
+        series = std::make_unique<obs::TimeSeriesRecorder>(
+            config::clockPeriod.raw(), cfg_.sampleEvery.raw());
+        // Dense channels (recorded every cycle from values the loop
+        // already computes).
+        chans.railMin = series->addChannel(
+            "rail.min", "V", "minimum SM rail voltage this cycle");
+        chans.railMax = series->addChannel(
+            "rail.max", "V", "maximum SM rail voltage this cycle");
+        // Strided channels (recorded on the recorder's deterministic
+        // sampling stride).
+        for (int sm = 0; sm < config::numSMs; ++sm) {
+            chans.railSm[static_cast<std::size_t>(sm)] =
+                series->addChannel(
+                    "rail.sm" + std::to_string(sm), "V",
+                    "rail voltage of SM " + std::to_string(sm));
+        }
+        chans.powerLoad = series->addChannel(
+            "power.load", "W", "total SM load power");
+        chans.luBuilds = series->addChannel(
+            "circuit.lu_builds", "count",
+            "cumulative LU factorizations built");
+        if (smoothing) {
+            chans.ctlMargin = series->addChannel(
+                "ctl.margin", "V",
+                "min rail voltage minus trigger threshold");
+            chans.ctlTriggered = series->addChannel(
+                "ctl.triggered", "count",
+                "cumulative triggered control decisions");
+        }
+        if (dfs_) {
+            chans.dfsFreq = series->addChannel(
+                "hv.dfs_freq", "frac",
+                "mean requested SM frequency fraction");
+        }
+        if (pg_) {
+            chans.pgGated = series->addChannel(
+                "hv.gated_units", "units",
+                "execution units currently power-gated");
+        }
+        // Wall-clock channel: marked schedule-dependent, so default
+        // dumps (and the jobs=1 vs jobs=N determinism gate) exclude
+        // it, following the exec.pool.steals precedent.
+        chans.wallUs = series->addChannel(
+            "wall.sample_us", "us",
+            "wall microseconds per sampled cycle",
+            /*scheduleDependent=*/true);
+    }
+
     setupSpan.end();
+    if (profile)
+        profile->stages[obs::StageSetup].add(
+            static_cast<std::uint64_t>(obs::profileNowNs() -
+                                       setupStartNs));
 
     const Cycle gateLayerAt =
         cfg_.gateLayerAtSec >= Seconds{}
@@ -225,6 +323,8 @@ CoSimulator::runImpl(
     // ================= main loop =================
     std::size_t kernelsLaunched = 0;
     bool budgetExhausted = false;
+    std::int64_t lastSampleWallNs =
+        series ? obs::profileNowNs() : 0;
     for (std::size_t k = 0; k < kernels.size() && !budgetExhausted;
          ++k) {
         // Kernel-boundary resynchronization: the previous kernel has
@@ -232,6 +332,9 @@ CoSimulator::runImpl(
         gpu.memory().setL1HitRate(l1HitRates[k]);
         gpu.launch(*kernels[k]);
         ++kernelsLaunched;
+        if (obs::flightRecorderEnabled())
+            flight.record("kernel.launch", tr->time(), gpu.cycle(),
+                          static_cast<double>(k), 0.0);
 
         obs::ScopedSpan kernelSpan(obs::CatPhase, "cosim.kernel");
         if (kernelSpan.live())
@@ -263,8 +366,11 @@ CoSimulator::runImpl(
         if (tracePhases && now - chunkStartCycle >= chunkCycles)
             emitChunk(now);
 
+        stageTimer.beginCycle();
+
         // 1. GPU timing step.
         gpu.step();
+        stageTimer.mark(obs::StageGpu);
 
         // 2. Per-SM power from the event trace.
         double totalLoadPower = 0.0;
@@ -310,6 +416,7 @@ CoSimulator::runImpl(
                 rail * (loadAmps + rail / loadOhms);
             dccDrawnWatts += rail * dccAmps[idx];
         }
+        stageTimer.mark(obs::StagePower);
         tr->step();
         if (wave)
             wave->sample();
@@ -326,21 +433,39 @@ CoSimulator::runImpl(
             vrmSetVolts = std::clamp(vrmSetVolts, 0.95, 1.15);
             tr->setSourceVolts(slPdn->supplySource(), vrmSetVolts);
         }
+        stageTimer.mark(obs::StageCircuit);
 
         // 4. Observability: noise statistics and traces.
         double cycleMin = 1e9;
         double cycleMax = -1e9;
+        double railSum = 0.0;
+        std::array<double, config::numSMs> railNow;
         for (int sm = 0; sm < config::numSMs; ++sm) {
             const double v = railVolts(sm);
             // A non-finite rail voltage here means the PDS solve has
             // already gone unstable; fail fast in debug builds.
             VSGPU_CHECK_FINITE(v);
+            railSum += v;
+            railNow[static_cast<std::size_t>(sm)] = v;
             noise[static_cast<std::size_t>(sm)].add(v);
             pooledVolts.add(v);
             cycleMin = std::min(cycleMin, v);
             cycleMax = std::max(cycleMax, v);
         }
+        // Always-on solver/NaN guard (min/max comparisons let NaN
+        // slip through, a finite sum cannot): abort the run instead
+        // of integrating garbage, with the flight recorder dumping
+        // the recent history from the crash hook.
+        if (!std::isfinite(railSum)) {
+            panic("PDS solve produced a non-finite rail voltage at "
+                  "cycle ", now, " (t = ", tr->time(),
+                  " s); flight-recorder dump of recent history "
+                  "follows");
+        }
         minVoltage = std::min(minVoltage, cycleMin);
+        if (obs::flightRecorderEnabled())
+            flight.record("rail", tr->time(), now, cycleMin,
+                          cycleMax);
 
         if (cfg_.traceStride > 0 &&
             now % static_cast<Cycle>(cfg_.traceStride) == 0) {
@@ -352,6 +477,70 @@ CoSimulator::runImpl(
                 sample.layerVolts[static_cast<std::size_t>(layer)] =
                     railVolts(VsPdn::smAt(layer, 0));
             result.trace.push_back(sample);
+        }
+
+        if (series) {
+            // Dense channels come from values this loop already
+            // computed; everything else records on the recorder's
+            // deterministic stride to bound the overhead.
+            series->recordDense(chans.railMin, cycleMin);
+            series->recordDense(chans.railMax, cycleMax);
+            if (series->sampleThisCycle()) {
+                for (int sm = 0; sm < config::numSMs; ++sm) {
+                    const auto idx = static_cast<std::size_t>(sm);
+                    series->record(chans.railSm[idx], railNow[idx]);
+                }
+                series->record(chans.powerLoad, totalLoadPower);
+                series->record(
+                    chans.luBuilds,
+                    static_cast<double>(tr->luBuilds()));
+                if (chans.ctlMargin >= 0) {
+                    series->record(
+                        chans.ctlMargin,
+                        cycleMin -
+                            cfg_.pds.controller.vThreshold.raw());
+                }
+                if (chans.ctlTriggered >= 0) {
+                    series->record(
+                        chans.ctlTriggered,
+                        static_cast<double>(
+                            controller->triggeredDecisions()));
+                }
+                if (chans.dfsFreq >= 0) {
+                    const auto &request = dfs_->requested();
+                    double frac = 0.0;
+                    for (int sm = 0; sm < config::numSMs; ++sm)
+                        frac +=
+                            request[static_cast<std::size_t>(sm)] /
+                            config::smClockHz;
+                    series->record(
+                        chans.dfsFreq,
+                        frac / static_cast<double>(config::numSMs));
+                }
+                if (chans.pgGated >= 0) {
+                    int gated = 0;
+                    for (int sm = 0; sm < config::numSMs; ++sm) {
+                        for (int u = 0; u < numExecUnits; ++u) {
+                            const auto kind =
+                                static_cast<ExecUnitKind>(u);
+                            if (gpu.sm(sm).unit(kind).gated(now))
+                                ++gated;
+                        }
+                    }
+                    series->record(chans.pgGated,
+                                   static_cast<double>(gated));
+                }
+                // Wall cost per sampled cycle, amortized over the
+                // stride (schedule-dependent channel).
+                const std::int64_t wallNowNs = obs::profileNowNs();
+                series->record(
+                    chans.wallUs,
+                    static_cast<double>(wallNowNs -
+                                        lastSampleWallNs) *
+                        1e-3 /
+                        static_cast<double>(series->sampleStride()));
+                lastSampleWallNs = wallNowNs;
+            }
         }
 
         // 5. Imbalance histogram over an averaging window.
@@ -374,6 +563,7 @@ CoSimulator::runImpl(
             windowPower.fill(0.0);
             windowFill = 0;
         }
+        stageTimer.mark(obs::StageObserve);
 
         // 6. Voltage-smoothing control loop.
         if (controller) {
@@ -397,6 +587,7 @@ CoSimulator::runImpl(
                 dccAmps[idx] = commands[idx].dccAmps.raw();
             }
         }
+        stageTimer.mark(obs::StageControl);
 
         // 7. Higher-level power management.
         if (dfs_) {
@@ -480,6 +671,7 @@ CoSimulator::runImpl(
             lastThrottled = throttled;
             hypervisor_->feedback(std::clamp(rate, 0.0, 1.0));
         }
+        stageTimer.mark(obs::StageHypervisor);
 
         // 8. Energy bookkeeping.
         result.energy.load += electricalLoadWatts * dt;
@@ -575,6 +767,10 @@ CoSimulator::runImpl(
         result.energy.crIvr += crIvrWatts * dt;
         result.energy.overhead += overheadWatts * dt;
         result.energy.wall += wallWatts * dt;
+        stageTimer.mark(obs::StageBookkeeping);
+        stageTimer.endCycle();
+        if (series)
+            series->endCycle();
     }
 
         if (tracePhases && gpu.cycle() > chunkStartCycle)
@@ -657,6 +853,13 @@ CoSimulator::runImpl(
         result.wave = wave;
         result.waveSim = tr;
         result.waveSetup = setup;
+    }
+    if (series)
+        result.timeSeries = series->finish();
+    if (profile) {
+        profile->wallNs += static_cast<std::uint64_t>(
+            obs::profileNowNs() - runStartNs);
+        result.profile = profile;
     }
     return result;
 }

@@ -51,6 +51,16 @@ struct CosimConfig
      */
     int waveStride = 0;
 
+    /**
+     * Sample windowed time-series telemetry every this many
+     * *simulated* seconds into result.timeSeries (<= 0 disables; see
+     * obs/timeseries.hh).  The cadence derives from simulated time
+     * only, so dumps are bitwise identical across --jobs counts.
+     * Observability only: not part of pdsSetupKey() and never feeds
+     * back into the run.
+     */
+    Seconds sampleEvery{0.0};
+
     /** Worst-case scenario: halt one layer's SMs ("manually turn
      *  off", paper Fig. 9, at 3 us) from this time on (< 0 disables).
      *  Halted SMs stop issuing but keep clock-tree and leakage power,

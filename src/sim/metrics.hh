@@ -22,6 +22,12 @@ class TransientSim;
 class WaveWriter;
 struct PdsSetup;
 
+namespace obs
+{
+struct Profile;
+struct TimeSeriesRun;
+} // namespace obs
+
 /**
  * Schedule-independent event counts of one run, for the obs stats
  * registry.  All integers: cross-task aggregation (add()) is exact,
@@ -180,6 +186,17 @@ struct CosimResult
     std::shared_ptr<WaveWriter> wave;
     std::shared_ptr<TransientSim> waveSim;
     std::shared_ptr<const PdsSetup> waveSetup;
+
+    /**
+     * Optional windowed time-series telemetry (cfg.sampleEvery > 0);
+     * the label is assigned by the sweep frontend.  Deterministic:
+     * identical across --jobs counts by construction.
+     */
+    std::shared_ptr<obs::TimeSeriesRun> timeSeries;
+
+    /** Optional stage-cost profile (obs::profilingEnabled() during
+     *  the run).  Wall-clock derived — never determinism-gated. */
+    std::shared_ptr<obs::Profile> profile;
 
     /** @return average load power over the run (W). */
     double

@@ -178,4 +178,24 @@ registerExecStats(obs::StatsRegistry &registry,
         .set(setupHits);
 }
 
+void
+registerTraceStats(obs::StatsRegistry &registry,
+                   std::uint64_t traceEvents,
+                   std::uint64_t traceDropped)
+{
+    obs::StatsGroup obsGroup = registry.group("obs");
+    obsGroup
+        .counter("trace.events", "events",
+                 "trace events retained in the in-memory ring "
+                 "(schedule-dependent; excluded from default dumps)",
+                 /*scheduleDependent=*/true)
+        .set(traceEvents);
+    obsGroup
+        .counter("trace.dropped_events", "events",
+                 "oldest trace events evicted by ring wraparound "
+                 "(schedule-dependent; excluded from default dumps)",
+                 /*scheduleDependent=*/true)
+        .set(traceDropped);
+}
+
 } // namespace vsgpu

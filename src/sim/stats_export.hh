@@ -43,6 +43,15 @@ void registerExecStats(obs::StatsRegistry &registry,
                        std::uint64_t setupsBuilt,
                        std::uint64_t setupHits);
 
+/**
+ * Register the trace-ring occupancy stats (retained and evicted
+ * event counts).  Both depend on wall-clock rate limiting and worker
+ * interleaving, so they are schedule-dependent like pool.steals.
+ */
+void registerTraceStats(obs::StatsRegistry &registry,
+                        std::uint64_t traceEvents,
+                        std::uint64_t traceDropped);
+
 } // namespace vsgpu
 
 #endif // VSGPU_SIM_STATS_EXPORT_HH

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Unit tests for the per-task progress tracker: hook wiring into
+ * exec::Pool, record accounting across batches, the (batch, task)
+ * snapshot ordering, and thread safety under a parallel pool.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "exec/pool.hh"
+#include "exec/progress.hh"
+
+namespace vsgpu::exec
+{
+namespace
+{
+
+TEST(Progress, RecordsEveryTaskOnce)
+{
+    ProgressTracker tracker;
+    tracker.batchStart(3);
+    tracker.taskDone(2, 1.0);
+    tracker.taskDone(0, 2.0);
+    tracker.taskDone(1, 3.0);
+    EXPECT_EQ(tracker.completed(), 3);
+    EXPECT_EQ(tracker.total(), 3);
+    const auto records = tracker.records();
+    ASSERT_EQ(records.size(), 3u);
+    // Sorted by (batch, task) regardless of completion order.
+    for (int i = 0; i < 3; ++i) {
+        EXPECT_EQ(records[static_cast<std::size_t>(i)].batch, 0);
+        EXPECT_EQ(records[static_cast<std::size_t>(i)].task, i);
+    }
+    EXPECT_DOUBLE_EQ(records[2].wallMs, 1.0);
+}
+
+TEST(Progress, BatchesNumberSequentially)
+{
+    ProgressTracker tracker;
+    tracker.batchStart(1);
+    tracker.taskDone(0, 1.0);
+    tracker.batchStart(2);
+    tracker.taskDone(1, 1.0);
+    tracker.taskDone(0, 1.0);
+    EXPECT_EQ(tracker.completed(), 3);
+    EXPECT_EQ(tracker.total(), 3);
+    const auto records = tracker.records();
+    ASSERT_EQ(records.size(), 3u);
+    EXPECT_EQ(records[0].batch, 0);
+    EXPECT_EQ(records[1].batch, 1);
+    EXPECT_EQ(records[1].task, 0);
+    EXPECT_EQ(records[2].batch, 1);
+    EXPECT_EQ(records[2].task, 1);
+}
+
+TEST(Progress, HooksRecordPoolTasks)
+{
+    ProgressTracker tracker;
+    Pool pool(4);
+    pool.setHooks(tracker.hooks());
+
+    std::atomic<int> ran{0};
+    pool.parallelFor(16, [&ran](int) { ++ran; });
+    pool.parallelFor(8, [&ran](int) { ++ran; });
+
+    EXPECT_EQ(ran.load(), 24);
+    EXPECT_EQ(tracker.completed(), 24);
+    EXPECT_EQ(tracker.total(), 24);
+    const auto records = tracker.records();
+    ASSERT_EQ(records.size(), 24u);
+    for (std::size_t i = 0; i < 16; ++i) {
+        EXPECT_EQ(records[i].batch, 0);
+        EXPECT_EQ(records[i].task, static_cast<int>(i));
+        EXPECT_GE(records[i].wallMs, 0.0);
+    }
+    for (std::size_t i = 16; i < 24; ++i) {
+        EXPECT_EQ(records[i].batch, 1);
+        EXPECT_EQ(records[i].task, static_cast<int>(i - 16));
+    }
+    tracker.finish();
+}
+
+TEST(Progress, SingleThreadInlinePathAlsoRecords)
+{
+    ProgressTracker tracker;
+    Pool pool(1);
+    pool.setHooks(tracker.hooks());
+    pool.parallelFor(5, [](int) {});
+    EXPECT_EQ(tracker.completed(), 5);
+    ASSERT_EQ(tracker.records().size(), 5u);
+}
+
+TEST(Progress, EmptyBatchIsIgnored)
+{
+    ProgressTracker tracker;
+    Pool pool(2);
+    pool.setHooks(tracker.hooks());
+    pool.parallelFor(0, [](int) {});
+    EXPECT_EQ(tracker.completed(), 0);
+    EXPECT_EQ(tracker.total(), 0);
+    EXPECT_TRUE(tracker.records().empty());
+}
+
+} // namespace
+} // namespace vsgpu::exec

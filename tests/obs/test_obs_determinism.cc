@@ -13,6 +13,7 @@
 #include <string>
 
 #include "bench/scenarios/scenarios.hh"
+#include "obs/timeseries.hh"
 #include "obs/trace.hh"
 
 namespace vsgpu::scen
@@ -28,23 +29,32 @@ struct ScenarioDump
     std::string statsJson;
     std::string statsText;
     std::string summaryJson;
+    std::string seriesJson;
     obs::Manifest manifest;
+    ScenarioTelemetry telemetry;
 };
 
 ScenarioDump
-runWithJobs(const char *scenario, int jobs)
+runWithJobs(const char *scenario, int jobs,
+            double sampleEverySec = 0.0, bool profile = false)
 {
     const ScenarioInfo *info = findScenario(scenario);
     EXPECT_NE(info, nullptr);
     ScenarioOptions opts;
     opts.jobs = jobs;
     opts.scale = kScale;
+    opts.sampleEverySec = sampleEverySec;
+    opts.profile = profile;
 
     std::ostringstream tables;
     obs::StatsRegistry registry;
     ScenarioDump dump;
     const Summary summary =
-        runScenario(*info, opts, tables, &registry, &dump.manifest);
+        runScenario(*info, opts, tables, &registry, &dump.manifest,
+                    &dump.telemetry);
+    std::ostringstream seriesJson;
+    obs::writeTimeSeriesJson(dump.telemetry.series, seriesJson);
+    dump.seriesJson = seriesJson.str();
 
     registry.setManifest(dump.manifest);
     std::ostringstream statsJson;
@@ -99,6 +109,50 @@ TEST(ObsDeterminism, TracingDoesNotPerturbResults)
 
     EXPECT_EQ(quiet.summaryJson, traced.summaryJson);
     EXPECT_EQ(quiet.statsJson, traced.statsJson);
+}
+
+TEST(ObsDeterminism, TimeSeriesDumpsIdenticalAcrossJobCounts)
+{
+    // The sampling cadence derives from simulated time only, so the
+    // windowed dumps must be bitwise identical for any --jobs value.
+    constexpr double kSampleEvery = 2e-7;
+    const ScenarioDump one =
+        runWithJobs("fig14_penalty_saving", 1, kSampleEvery);
+    const ScenarioDump eight =
+        runWithJobs("fig14_penalty_saving", 8, kSampleEvery);
+    EXPECT_FALSE(one.telemetry.series.runs.empty());
+    EXPECT_EQ(one.seriesJson, eight.seriesJson);
+}
+
+TEST(ObsDeterminism, SeriesChannelsCoverEveryLayer)
+{
+    const ScenarioDump dump =
+        runWithJobs("fig14_penalty_saving", 4, 2e-7);
+    // fig14 runs both PDS kinds with no DFS/PG attached, so the
+    // electrical, power, circuit, and control channels must appear
+    // (the hv.* channels only exist when a governor is attached).
+    for (const char *needle :
+         {"rail.min", "rail.max", "rail.sm0", "power.load",
+          "circuit.lu_builds", "ctl.margin", "ctl.triggered"}) {
+        EXPECT_NE(dump.seriesJson.find(needle), std::string::npos)
+            << needle;
+    }
+    // The wall-clock channel is schedule-dependent and must stay out
+    // of the default (determinism-gated) dump.
+    EXPECT_EQ(dump.seriesJson.find("wall.sample_us"),
+              std::string::npos);
+}
+
+TEST(ObsDeterminism, SamplingAndProfilingDoNotPerturbResults)
+{
+    const ScenarioDump quiet =
+        runWithJobs("fig14_penalty_saving", 2);
+    const ScenarioDump observed = runWithJobs(
+        "fig14_penalty_saving", 2, 2e-7, /*profile=*/true);
+    EXPECT_EQ(quiet.summaryJson, observed.summaryJson);
+    EXPECT_EQ(quiet.statsJson, observed.statsJson);
+    EXPECT_GT(observed.telemetry.profile.runs, 0u);
+    EXPECT_GT(observed.telemetry.profile.sampledCycles, 0u);
 }
 
 TEST(ObsDeterminism, StatsJsonRoundTripsThroughParser)

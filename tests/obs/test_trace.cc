@@ -146,6 +146,41 @@ TEST_F(TraceTest, ClearDropsEvents)
     EXPECT_EQ(Tracer::instance().numEvents(), 1U);
     Tracer::instance().clear();
     EXPECT_EQ(Tracer::instance().numEvents(), 0U);
+    EXPECT_EQ(Tracer::instance().droppedEvents(), 0U);
+}
+
+TEST_F(TraceTest, BufferWrapsAroundEvictingOldest)
+{
+    Tracer &tracer = Tracer::instance();
+    tracer.enable(CatAll);
+    // Fill past the cap: the buffer must become a ring that keeps
+    // the newest maxEvents() events and counts the evictions.
+    const std::size_t extra = 50;
+    const std::size_t total = Tracer::maxEvents() + extra;
+    for (std::size_t i = 0; i < total; ++i) {
+        if (i < extra)
+            VSGPU_TRACE_INSTANT(CatCtl, "early");
+        else
+            VSGPU_TRACE_INSTANT(CatPool, "late");
+    }
+    EXPECT_EQ(tracer.numEvents(), Tracer::maxEvents());
+    EXPECT_EQ(tracer.droppedEvents(), extra);
+
+    // The first `extra` events are exactly the ones evicted, so no
+    // "early" events survive and the snapshot is all post-wrap
+    // "late" events in chronological order.
+    const auto events = tracer.events();
+    ASSERT_EQ(events.size(), Tracer::maxEvents());
+    for (const TraceEvent &e : {events.front(), events.back()})
+        EXPECT_STREQ(e.name, "late");
+    EXPECT_LE(events.front().tsUs, events.back().tsUs);
+
+    // The wrapped buffer still renders valid, loadable JSON.
+    std::ostringstream oss;
+    tracer.writeJson(oss);
+    const std::string json = oss.str();
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_EQ(json.find("\"early\""), std::string::npos);
 }
 
 } // namespace

@@ -30,10 +30,25 @@
  *   --trace-out FILE            Chrome trace_event JSON (open in
  *                               Perfetto / chrome://tracing)
  *   --trace-categories LIST     comma list of phase,pool,ctl,hv,all
+ *   --sample-every SEC          windowed time-series telemetry
+ *                               cadence, simulated seconds
+ *   --timeseries-out FILE       time-series dump as JSON
+ *   --profile                   stage-cost self-profiler: report on
+ *                               stdout, JSON inside --stats-out
+ *   --flight-out FILE           write the flight-recorder crash dump
+ *                               as JSON here (stderr text dump is
+ *                               always on)
+ *   --gate-watts W              power of a halted layer's SMs
+ *                               (fault injection: 'nan' trips the
+ *                               solver NaN guard)
  *   --no-verify                 skip the static model verifier
  *                               (see tools/vsgpu_verify)
  *   --solver KIND               MNA linear solver: sparse (default)
  *                               or dense (docs/sparse_solver.md)
+ *
+ *   vsgpu report --stats FILE [--timeseries FILE]
+ *       Render stats / profile / time-series JSON dumps as a
+ *       human-readable report.
  */
 
 #include <cstring>
@@ -48,8 +63,12 @@
 #include "common/table.hh"
 #include "exec/pool.hh"
 #include "exec/setup_cache.hh"
+#include "obs/flight_recorder.hh"
 #include "obs/manifest.hh"
+#include "obs/profile.hh"
+#include "obs/report.hh"
 #include "obs/stats_registry.hh"
+#include "obs/timeseries.hh"
 #include "obs/trace.hh"
 #include "pdn/impedance.hh"
 #include "sim/cosim.hh"
@@ -72,8 +91,9 @@ parseFlags(int argc, char **argv, int first)
         const std::string key = argv[i];
         fatalIf(key.size() < 3 || key.substr(0, 2) != "--",
                 "expected --flag, got '", key, "'");
-        if (key == "--no-verify") { // boolean flag, no value
-            flags["no-verify"] = "1";
+        if (key == "--no-verify" || key == "--profile") {
+            // Boolean flags, no value.
+            flags.emplace(key.substr(2), "1");
             continue;
         }
         fatalIf(i + 1 >= argc, "flag ", key, " needs a value");
@@ -147,6 +167,15 @@ cmdRun(const std::map<std::string, std::string> &flags)
         cfg.gatedLayer = std::stoi(spec.substr(0, at));
         cfg.gateLayerAtSec = Seconds{std::stod(spec.substr(at + 1))};
     }
+    if (flags.count("gate-watts"))
+        cfg.gatedLayerWatts = Watts{std::stod(flags.at("gate-watts"))};
+    if (flags.count("sample-every"))
+        cfg.sampleEvery = Seconds{std::stod(flags.at("sample-every"))};
+    if (flags.count("flight-out"))
+        obs::setFlightDumpPath(flags.at("flight-out"));
+    const bool wantProfile = flags.count("profile") > 0;
+    if (wantProfile)
+        obs::setProfiling(true);
     const bool wantWave = flags.count("wave") > 0;
     if (wantWave)
         cfg.traceStride = 16;
@@ -191,6 +220,9 @@ cmdRun(const std::map<std::string, std::string> &flags)
         // vsgpu-lint: shared-ok(single task on a one-worker pool)
         pool.parallelFor(1, [&](int) { result = sim.run(spec); });
     }
+
+    if (wantProfile)
+        obs::setProfiling(false);
 
     const auto &e = result.energy;
     Table table("run summary");
@@ -263,6 +295,29 @@ cmdRun(const std::map<std::string, std::string> &flags)
                   << (csv ? " (CSV)" : " (VCD)") << "\n";
     }
 
+    if (wantProfile && result.profile) {
+        std::cout << "\n"
+                  << obs::renderProfileReport(*result.profile);
+    }
+
+    if (flags.count("timeseries-out")) {
+        obs::TimeSeriesDoc doc;
+        doc.sampleEverySec = cfg.sampleEvery.raw();
+        doc.dtSec = config::clockPeriod.raw();
+        doc.windowCycles = obs::timeSeriesWindowCycles(
+            config::clockPeriod.raw(), cfg.sampleEvery.raw());
+        if (result.timeSeries) {
+            result.timeSeries->label = subject;
+            doc.runs.push_back(*result.timeSeries);
+        }
+        const std::string &path = flags.at("timeseries-out");
+        std::ofstream out(path);
+        fatalIf(!out, "cannot open '", path, "'");
+        obs::writeTimeSeriesJson(doc, out);
+        std::cout << "wrote " << doc.runs.size()
+                  << " time-series runs to " << path << "\n";
+    }
+
     if (flags.count("stats-out")) {
         obs::Manifest manifest = obs::makeManifest("vsgpu");
         manifest.subject = subject;
@@ -277,6 +332,10 @@ cmdRun(const std::map<std::string, std::string> &flags)
             registry, pool.tasksRun(), pool.steals(),
             static_cast<std::uint64_t>(cache.setupsBuilt()),
             static_cast<std::uint64_t>(cache.setupHits()));
+        if (wantProfile && result.profile) {
+            registry.setProfileJson(
+                obs::writeProfileJson(*result.profile, "  "));
+        }
         registry.setManifest(manifest);
 
         const std::string &path = flags.at("stats-out");
@@ -296,6 +355,30 @@ cmdRun(const std::map<std::string, std::string> &flags)
         std::cout << "wrote " << tracer.numEvents() << " events to "
                   << tracePath << "\n";
     }
+    return 0;
+}
+
+int
+cmdReport(const std::map<std::string, std::string> &flags)
+{
+    fatalIf(!flags.count("stats"),
+            "report needs --stats FILE (a --stats-out dump); "
+            "--timeseries FILE is optional");
+    std::ifstream statsIn(flags.at("stats"));
+    fatalIf(!statsIn, "cannot open '", flags.at("stats"), "'");
+    const obs::StatsSnapshot stats = obs::readStatsJson(statsIn);
+
+    obs::TimeSeriesDoc series;
+    const bool haveSeries = flags.count("timeseries") > 0;
+    if (haveSeries) {
+        std::ifstream seriesIn(flags.at("timeseries"));
+        fatalIf(!seriesIn, "cannot open '", flags.at("timeseries"),
+                "'");
+        series = obs::readTimeSeriesJson(seriesIn);
+    }
+
+    obs::writeRunReport(std::cout, stats,
+                        haveSeries ? &series : nullptr);
     return 0;
 }
 
@@ -354,7 +437,7 @@ void
 usage()
 {
     std::cout
-        << "usage: vsgpu <list|run|impedance|export-trace> "
+        << "usage: vsgpu <list|run|report|impedance|export-trace> "
            "[--flag value ...]\n"
            "see the header of tools/vsgpu_cli.cc for all options\n";
 }
@@ -380,6 +463,8 @@ main(int argc, char **argv)
         return cmdList();
     if (cmd == "run")
         return cmdRun(flags);
+    if (cmd == "report")
+        return cmdReport(flags);
     if (cmd == "impedance")
         return cmdImpedance(flags);
     if (cmd == "export-trace")
